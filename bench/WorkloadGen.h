@@ -1,0 +1,176 @@
+//===- bench/WorkloadGen.h - Synthetic systems-code generator ----*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generators for the synthetic "mini-kernel" corpora the
+/// benches analyse (the paper ran on Linux/BSD; we substitute seeded
+/// workloads with known ground truth — see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_BENCH_WORKLOADGEN_H
+#define MC_BENCH_WORKLOADGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mc::bench {
+
+/// Tiny deterministic PRNG (same sequence everywhere).
+class Lcg {
+public:
+  explicit Lcg(uint64_t Seed) : State(Seed ? Seed : 1) {}
+  uint32_t next() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return uint32_t(State >> 33);
+  }
+  /// Uniform in [0, N).
+  uint32_t below(uint32_t N) { return N ? next() % N : 0; }
+  bool chance(uint32_t Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+/// A function with N sequential diamonds (if/else) — the classic
+/// exponential-paths shape caching must collapse (Figure 4's motivation).
+inline std::string diamondFunction(const std::string &Name, unsigned Diamonds,
+                                   bool SeedBug) {
+  std::string S = "int " + Name + "(int *p";
+  for (unsigned I = 0; I < Diamonds; ++I)
+    S += ", int c" + std::to_string(I);
+  S += ") {\n  int acc = 0;\n";
+  if (SeedBug)
+    S += "  kfree(p);\n";
+  for (unsigned I = 0; I < Diamonds; ++I) {
+    std::string C = "c" + std::to_string(I);
+    S += "  if (" + C + ") { acc += " + std::to_string(I) +
+         "; } else { acc -= 1; }\n";
+  }
+  if (SeedBug)
+    S += "  return *p + acc;\n";
+  else
+    S += "  return acc;\n";
+  S += "}\n";
+  return S;
+}
+
+/// A corpus with `Fns` functions of `Diamonds` diamonds each, called from a
+/// single root. Prefix with free-checker declarations.
+inline std::string diamondCorpus(unsigned Fns, unsigned Diamonds,
+                                 bool SeedBugs) {
+  std::string S = "void kfree(void *p);\n";
+  for (unsigned F = 0; F < Fns; ++F)
+    S += diamondFunction("worker" + std::to_string(F), Diamonds,
+                         SeedBugs && F % 2 == 0);
+  S += "int root(int *p, int c) {\n  int acc = 0;\n";
+  for (unsigned F = 0; F < Fns; ++F) {
+    S += "  acc += worker" + std::to_string(F) + "(p";
+    for (unsigned I = 0; I < Diamonds; ++I)
+      S += ", c";
+    S += ");\n";
+  }
+  S += "  return acc;\n}\n";
+  return S;
+}
+
+/// A call chain of the given depth ending in a function that frees its
+/// argument; the root dereferences afterwards. Exercises top-down
+/// interprocedural analysis and summaries.
+inline std::string callChainCorpus(unsigned Depth, unsigned Callers) {
+  std::string S = "void kfree(void *p);\n";
+  S += "int level0(int *x) { kfree(x); return 0; }\n";
+  for (unsigned I = 1; I <= Depth; ++I)
+    S += "int level" + std::to_string(I) + "(int *x) { return level" +
+         std::to_string(I - 1) + "(x); }\n";
+  for (unsigned C = 0; C < Callers; ++C) {
+    S += "int root" + std::to_string(C) + "(int *p) {\n";
+    S += "  level" + std::to_string(Depth) + "(p);\n";
+    S += "  return *p;\n}\n";
+  }
+  return S;
+}
+
+/// The mini-kernel: a mixed corpus of lock, allocation and free usage with
+/// a configurable seeded-bug rate. Returns the source and fills ground
+/// truth (the number of each seeded bug class).
+struct MiniKernel {
+  std::string Source;
+  unsigned SeededUseAfterFree = 0;
+  unsigned SeededLostLocks = 0;
+  unsigned SeededNullDerefs = 0;
+  unsigned Functions = 0;
+  unsigned Lines = 0;
+};
+
+inline MiniKernel miniKernel(unsigned Functions, uint64_t Seed,
+                             unsigned BugPercent = 20) {
+  Lcg Rng(Seed);
+  MiniKernel MK;
+  std::string &S = MK.Source;
+  S = "void kfree(void *p);\n"
+      "void *kmalloc(int n);\n"
+      "int trylock(int *l); void lock(int *l); void unlock(int *l);\n"
+      "void panic(char *msg);\n"
+      "int do_io(int *buf, int n);\n";
+  for (unsigned F = 0; F < Functions; ++F) {
+    std::string Name = "fn" + std::to_string(F);
+    unsigned Kind = Rng.below(3);
+    bool Buggy = Rng.chance(BugPercent);
+    switch (Kind) {
+    case 0: { // free discipline
+      S += "int " + Name + "(int *p, int c) {\n";
+      S += "  if (c > " + std::to_string(Rng.below(100)) + ")\n";
+      S += "    return 0;\n";
+      S += "  kfree(p);\n";
+      if (Buggy) {
+        S += "  return *p;\n"; // use-after-free
+        ++MK.SeededUseAfterFree;
+      } else {
+        S += "  return 0;\n";
+      }
+      S += "}\n";
+      break;
+    }
+    case 1: { // lock discipline
+      S += "int " + Name + "(int *l, int c) {\n";
+      S += "  lock(l);\n";
+      if (Buggy) {
+        S += "  if (c == " + std::to_string(Rng.below(16)) + ")\n";
+        S += "    return -1;\n"; // lost lock
+        ++MK.SeededLostLocks;
+      }
+      S += "  unlock(l);\n  return 0;\n";
+      S += "}\n";
+      break;
+    }
+    default: { // allocation discipline
+      S += "int " + Name + "(int n) {\n";
+      S += "  int *buf;\n";
+      S += "  buf = kmalloc(n);\n";
+      if (Buggy) {
+        S += "  *buf = n;\n"; // unchecked deref
+        ++MK.SeededNullDerefs;
+        S += "  return n;\n";
+      } else {
+        S += "  if (!buf)\n    return -1;\n";
+        S += "  *buf = n;\n  return 0;\n";
+      }
+      S += "}\n";
+      break;
+    }
+    }
+  }
+  MK.Functions = Functions;
+  for (char C : S)
+    MK.Lines += C == '\n';
+  return MK;
+}
+
+} // namespace mc::bench
+
+#endif // MC_BENCH_WORKLOADGEN_H

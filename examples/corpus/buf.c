@@ -1,0 +1,51 @@
+#include "module.h"
+
+/* Buffer management with two seeded free-discipline bugs. */
+
+struct buf *buf_new(int cap) {
+  struct buf *b;
+  b = kmalloc(sizeof(struct buf));
+  if (!b)
+    return 0;
+  b->data = kmalloc(cap);
+  if (!b->data) {
+    kfree(b);
+    return 0;
+  }
+  b->len = 0;
+  b->cap = cap;
+  return b;
+}
+
+int buf_grow(struct buf *b, int newcap) {
+  char *bigger;
+  bigger = kmalloc(newcap);
+  if (!bigger)
+    return -1;
+  kfree(b->data);
+  b->len = b->data[0];  /* BUG: reads the freed buffer */
+  b->data = bigger;
+  b->cap = newcap;
+  return 0;
+}
+
+int buf_shrink(struct buf *b, int newcap) {
+  char *smaller;
+  smaller = kmalloc(newcap);
+  if (!smaller) {
+    kfree(b->data);
+    kfree(b->data);     /* BUG: double free on the error path */
+    return -1;
+  }
+  kfree(b->data);
+  b->data = smaller;
+  b->cap = newcap;
+  return 0;
+}
+
+void buf_free(struct buf *b) {
+  if (!b)
+    return;
+  kfree(b->data);
+  kfree(b);
+}

@@ -1,0 +1,27 @@
+#include "module.h"
+
+/* The user-facing entry point, with a seeded SECURITY bug. */
+
+static int mode_table[8];
+
+int mod_ioctl(int which) {
+  int mode;
+  mode = get_user_int(which);
+  return mode_table[mode];  /* BUG: unchecked user index */
+}
+
+int mod_ioctl_checked(int which) {
+  int mode;
+  mode = get_user_int(which);
+  if (mode >= 8)
+    return -1;
+  return mode_table[mode];
+}
+
+int mod_sanity(struct queue *q) {
+  if (!q) {
+    panic("null queue");
+    return q->count;  /* dead path: suppressed by path_kill */
+  }
+  return 0;
+}

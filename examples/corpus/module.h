@@ -1,0 +1,25 @@
+/* Shared declarations for the example corpus. */
+#ifndef MODULE_H
+#define MODULE_H
+
+void kfree(void *p);
+void *kmalloc(int n);
+int trylock(int *l);
+void lock(int *l);
+void unlock(int *l);
+void panic(char *msg);
+int get_user_int(int which);
+
+struct buf {
+  char *data;
+  int len;
+  int cap;
+};
+
+struct queue {
+  int qlock;
+  int count;
+  struct buf *items[32];
+};
+
+#endif /* MODULE_H */

@@ -1,0 +1,49 @@
+#include "module.h"
+
+/* A locked queue with a lost-lock bug and an unchecked allocation. */
+
+int queue_push(struct queue *q, struct buf *item) {
+  lock(&q->qlock);
+  if (q->count >= 32) {
+    unlock(&q->qlock);
+    return -1;
+  }
+  q->items[q->count] = item;
+  q->count = q->count + 1;
+  unlock(&q->qlock);
+  return 0;
+}
+
+struct buf *queue_pop(struct queue *q) {
+  struct buf *item;
+  lock(&q->qlock);
+  if (q->count == 0)
+    return 0;           /* BUG: returns with qlock held */
+  q->count = q->count - 1;
+  item = q->items[q->count];
+  unlock(&q->qlock);
+  return item;
+}
+
+int queue_flush(struct queue *q) {
+  int *scratch;
+  scratch = kmalloc(64);
+  *scratch = q->count;  /* BUG: allocation never checked */
+  while (q->count > 0) {
+    struct buf *item;
+    item = queue_pop(q);
+    if (!item)
+      break;
+  }
+  kfree(scratch);
+  return 0;
+}
+
+int queue_try_drain(struct queue *q) {
+  if (trylock(&q->qlock)) {
+    q->count = 0;
+    unlock(&q->qlock);
+    return 1;
+  }
+  return 0;
+}

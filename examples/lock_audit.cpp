@@ -1,0 +1,121 @@
+//===- examples/lock_audit.cpp - Auditing a driver for lock bugs ---------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The workload the paper's introduction motivates: systems code full of
+// locking and interrupt discipline. Runs the Figure 3 lock checker and the
+// global-state interrupt checker over a small "device driver", composed
+// with the path-kill (panic) annotator, and prints the ranked findings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Tool.h"
+#include "support/RawOstream.h"
+
+using namespace mc;
+
+namespace {
+
+const char *Driver = R"c(
+/* A miniature character-device driver. */
+int trylock(int *l);
+void lock(int *l);
+void unlock(int *l);
+void cli(void);
+void sti(void);
+void panic(char *msg);
+int copy_block(int *dst, int *src, int n);
+
+struct device {
+  int state;
+  int queue_lock;
+  int hw_lock;
+};
+
+int dev_ok_path(struct device *dev) {
+  lock(&dev->queue_lock);
+  dev->state = 1;
+  unlock(&dev->queue_lock);
+  return 0;
+}
+
+int dev_forgets_unlock(struct device *dev, int busy) {
+  lock(&dev->queue_lock);
+  if (busy)
+    return -1;              /* BUG: leaves queue_lock held */
+  dev->state = 2;
+  unlock(&dev->queue_lock);
+  return 0;
+}
+
+int dev_trylock_ok(struct device *dev) {
+  if (trylock(&dev->hw_lock)) {
+    dev->state = 3;
+    unlock(&dev->hw_lock);
+    return 1;
+  }
+  return 0;                 /* not acquired: nothing to release */
+}
+
+int dev_release_unheld(struct device *dev) {
+  if (trylock(&dev->hw_lock) == 0) {
+    unlock(&dev->hw_lock);  /* BUG: releasing a lock we failed to get */
+    return -1;
+  }
+  unlock(&dev->hw_lock);
+  return 0;
+}
+
+int dev_irq_path(struct device *dev, int n) {
+  cli();
+  dev->state = n;
+  sti();
+  return 0;
+}
+
+int dev_irq_leak(struct device *dev, int n) {
+  cli();
+  if (n < 0)
+    return -1;              /* BUG: interrupts left disabled */
+  dev->state = n;
+  sti();
+  return 0;
+}
+
+int dev_panic_path(struct device *dev) {
+  lock(&dev->queue_lock);
+  if (dev->state == -1) {
+    panic("device wedged");
+    return -1;              /* not reported: path is dead */
+  }
+  unlock(&dev->queue_lock);
+  return 0;
+}
+)c";
+
+} // namespace
+
+int main() {
+  raw_ostream &OS = outs();
+  XgccTool Tool;
+  if (!Tool.addSource("driver.c", Driver)) {
+    errs() << "parse error\n";
+    return 1;
+  }
+  // Composition order matters: the panic annotator runs first so the lock
+  // and interrupt checkers skip dominated paths.
+  Tool.addBuiltinChecker("path_kill");
+  Tool.addBuiltinChecker("lock");
+  Tool.addBuiltinChecker("intr");
+  Tool.run();
+
+  OS << "=== Lock/interrupt audit of driver.c ===\n";
+  Tool.reports().print(OS, RankPolicy::Generic);
+  OS << '\n' << Tool.reports().size() << " report(s); expected 3:\n"
+     << "  dev_forgets_unlock (lost lock), dev_release_unheld (bogus\n"
+     << "  release), dev_irq_leak (interrupts left disabled).\n"
+     << "dev_panic_path stays quiet thanks to checker composition.\n";
+  return Tool.reports().size() == 3 ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+//===- cfg/CFG.h - Control flow graphs --------------------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graph over statement *trees*: each basic block holds a list
+/// of full statement trees that the engine walks in execution order
+/// (Section 5). Terminators carry the branch condition and labelled
+/// true/false (or case) edges so that path-specific transitions (Section 3.2)
+/// and false-path pruning (Section 8) know which way an edge goes.
+///
+/// Following the paper's supergraph construction (Section 6.2), every
+/// function CFG has a dedicated entry node and exit node, and blocks are
+/// split after statements that contain calls to functions whose CFGs are
+/// available, which makes those blocks callsite nodes and their successors
+/// return-site nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CFG_CFG_H
+#define MC_CFG_CFG_H
+
+#include "cfront/ASTContext.h"
+
+#include <memory>
+#include <vector>
+
+namespace mc {
+
+class BasicBlock;
+
+/// A labelled CFG edge.
+struct CFGEdge {
+  enum EdgeKind {
+    Uncond, ///< Unconditional fallthrough or jump.
+    True,   ///< Taken when the block's condition is true.
+    False,  ///< Taken when the block's condition is false.
+    Case,   ///< Switch case arm; CaseValue holds the label value.
+    Default ///< Switch default arm.
+  };
+
+  BasicBlock *To = nullptr;
+  EdgeKind Kind = Uncond;
+  const Expr *CaseValue = nullptr;
+};
+
+/// A basic block: a straight-line sequence of statement trees plus labelled
+/// successor edges.
+class BasicBlock {
+public:
+  enum BlockKind {
+    Normal,
+    Entry,   ///< The function's entry node (sp in the paper).
+    Exit,    ///< The function's exit node (ep in the paper).
+    CallSite ///< Ends with a statement containing a followable call.
+  };
+
+  explicit BasicBlock(unsigned Id, BlockKind Kind = Normal)
+      : Id(Id), Kind(Kind) {}
+
+  unsigned id() const { return Id; }
+  BlockKind blockKind() const { return Kind; }
+  void setBlockKind(BlockKind K) { Kind = K; }
+
+  const std::vector<const Stmt *> &stmts() const { return Stmts; }
+  void appendStmt(const Stmt *S) { Stmts.push_back(S); }
+
+  /// The controlling expression for True/False/Case edges (null otherwise).
+  const Expr *condition() const { return Cond; }
+  void setCondition(const Expr *E) { Cond = E; }
+
+  const std::vector<CFGEdge> &succs() const { return Succs; }
+  void addSucc(BasicBlock *To, CFGEdge::EdgeKind K = CFGEdge::Uncond,
+               const Expr *CaseValue = nullptr) {
+    Succs.push_back(CFGEdge{To, K, CaseValue});
+  }
+  void clearSuccs() { Succs.clear(); }
+
+  bool isExit() const { return Kind == Exit; }
+
+private:
+  unsigned Id;
+  BlockKind Kind;
+  std::vector<const Stmt *> Stmts;
+  const Expr *Cond = nullptr;
+  std::vector<CFGEdge> Succs;
+};
+
+/// The CFG of one function.
+class CFG {
+public:
+  explicit CFG(const FunctionDecl *Fn) : Fn(Fn) {}
+  CFG(const CFG &) = delete;
+  CFG &operator=(const CFG &) = delete;
+
+  const FunctionDecl *function() const { return Fn; }
+  BasicBlock *entry() const { return EntryBlock; }
+  BasicBlock *exit() const { return ExitBlock; }
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  unsigned numBlocks() const { return Blocks.size(); }
+
+  BasicBlock *createBlock(BasicBlock::BlockKind Kind = BasicBlock::Normal) {
+    Blocks.push_back(std::make_unique<BasicBlock>(Blocks.size(), Kind));
+    return Blocks.back().get();
+  }
+  void setEntry(BasicBlock *B) { EntryBlock = B; }
+  void setExit(BasicBlock *B) { ExitBlock = B; }
+
+private:
+  const FunctionDecl *Fn;
+  BasicBlock *EntryBlock = nullptr;
+  BasicBlock *ExitBlock = nullptr;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+/// Decides whether a call is followable (its CFG will be available); used to
+/// split callsite blocks during construction.
+class CallTargetPredicate {
+public:
+  virtual ~CallTargetPredicate() = default;
+  virtual bool isFollowable(const FunctionDecl *Callee) const = 0;
+};
+
+/// Builds the CFG for \p Fn. \p FollowableCalls may be null (no blocks are
+/// then split at callsites — pure intraprocedural use).
+std::unique_ptr<CFG> buildCFG(const FunctionDecl *Fn,
+                              const CallTargetPredicate *FollowableCalls);
+
+} // namespace mc
+
+#endif // MC_CFG_CFG_H

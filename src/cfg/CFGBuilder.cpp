@@ -1,0 +1,331 @@
+//===- cfg/CFGBuilder.cpp - CFG construction --------------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFG.h"
+
+#include "cfront/ASTUtils.h"
+
+#include <map>
+
+using namespace mc;
+
+namespace {
+
+/// Returns true when \p E contains a call to a followable function.
+bool exprHasFollowableCall(const Expr *E, const CallTargetPredicate *Pred) {
+  if (!E || !Pred)
+    return false;
+  if (const auto *CE = dyn_cast<CallExpr>(E))
+    if (const auto *DRE = dyn_cast<DeclRefExpr>(CE->callee()))
+      if (const auto *FD = dyn_cast<FunctionDecl>(DRE->decl()))
+        if (Pred->isFollowable(FD))
+          return true;
+  bool Found = false;
+  forEachChild(E, [&](const Expr *Child) {
+    if (!Found && exprHasFollowableCall(Child, Pred))
+      Found = true;
+  });
+  return Found;
+}
+
+bool stmtHasFollowableCall(const Stmt *S, const CallTargetPredicate *Pred) {
+  if (!S || !Pred)
+    return false;
+  if (const auto *E = dyn_cast<Expr>(S))
+    return exprHasFollowableCall(E, Pred);
+  if (const auto *DS = dyn_cast<DeclStmt>(S)) {
+    for (const VarDecl *VD : DS->decls())
+      if (exprHasFollowableCall(VD->init(), Pred))
+        return true;
+    return false;
+  }
+  if (const auto *RS = dyn_cast<ReturnStmt>(S))
+    return exprHasFollowableCall(RS->value(), Pred);
+  return false;
+}
+
+class CFGBuilder {
+public:
+  CFGBuilder(CFG &G, const CallTargetPredicate *Pred) : G(G), Pred(Pred) {}
+
+  void run(const FunctionDecl *Fn) {
+    BasicBlock *EntryB = G.createBlock(BasicBlock::Entry);
+    ExitB = G.createBlock(BasicBlock::Exit);
+    G.setEntry(EntryB);
+    G.setExit(ExitB);
+    Cur = G.createBlock();
+    EntryB->addSucc(Cur);
+    visit(Fn->body());
+    if (Cur)
+      Cur->addSucc(ExitB);
+    // Resolve forward gotos.
+    for (auto &[Block, Label] : PendingGotos) {
+      auto It = Labels.find(Label);
+      if (It != Labels.end())
+        Block->addSucc(It->second);
+      else
+        Block->addSucc(ExitB); // Unknown label: treat as leaving the function.
+    }
+  }
+
+private:
+  BasicBlock *fresh() { return G.createBlock(); }
+
+  /// Ensures there is a current block (statements after a return/break start
+  /// an unreachable block, which the DFS simply never visits).
+  BasicBlock *require() {
+    if (!Cur)
+      Cur = fresh();
+    return Cur;
+  }
+
+  /// Appends a leaf statement tree, splitting the block when the tree
+  /// contains a followable call (supergraph callsite/return-site split).
+  void appendLeaf(const Stmt *S) {
+    BasicBlock *B = require();
+    B->appendStmt(S);
+    if (stmtHasFollowableCall(S, Pred)) {
+      B->setBlockKind(BasicBlock::CallSite);
+      BasicBlock *ReturnSite = fresh();
+      B->addSucc(ReturnSite);
+      Cur = ReturnSite;
+    }
+  }
+
+  void visit(const Stmt *S) {
+    if (!S)
+      return;
+    if (const auto *E = dyn_cast<Expr>(S)) {
+      appendLeaf(E);
+      return;
+    }
+    switch (S->kind()) {
+    case Stmt::SK_Compound:
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+        visit(Sub);
+      return;
+    case Stmt::SK_Decl:
+      appendLeaf(S);
+      return;
+    case Stmt::SK_Null:
+      return;
+    case Stmt::SK_Return:
+      appendLeaf(S);
+      if (Cur) {
+        Cur->addSucc(ExitB);
+        Cur = nullptr;
+      }
+      return;
+    case Stmt::SK_If: {
+      const auto *IS = cast<IfStmt>(S);
+      BasicBlock *CondB = require();
+      CondB->appendStmt(IS->cond());
+      CondB->setCondition(IS->cond());
+      BasicBlock *ThenB = fresh();
+      BasicBlock *JoinB = fresh();
+      CondB->addSucc(ThenB, CFGEdge::True);
+      BasicBlock *ElseB = nullptr;
+      if (IS->elseStmt()) {
+        ElseB = fresh();
+        CondB->addSucc(ElseB, CFGEdge::False);
+      } else {
+        CondB->addSucc(JoinB, CFGEdge::False);
+      }
+      Cur = ThenB;
+      visit(IS->thenStmt());
+      if (Cur)
+        Cur->addSucc(JoinB);
+      if (ElseB) {
+        Cur = ElseB;
+        visit(IS->elseStmt());
+        if (Cur)
+          Cur->addSucc(JoinB);
+      }
+      Cur = JoinB;
+      return;
+    }
+    case Stmt::SK_While: {
+      const auto *WS = cast<WhileStmt>(S);
+      BasicBlock *Header = fresh();
+      BasicBlock *BodyB = fresh();
+      BasicBlock *After = fresh();
+      require()->addSucc(Header);
+      Header->appendStmt(WS->cond());
+      Header->setCondition(WS->cond());
+      Header->addSucc(BodyB, CFGEdge::True);
+      Header->addSucc(After, CFGEdge::False);
+      BreakTargets.push_back(After);
+      ContinueTargets.push_back(Header);
+      Cur = BodyB;
+      visit(WS->body());
+      if (Cur)
+        Cur->addSucc(Header);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Cur = After;
+      return;
+    }
+    case Stmt::SK_Do: {
+      const auto *DS = cast<DoStmt>(S);
+      BasicBlock *BodyB = fresh();
+      BasicBlock *CondB = fresh();
+      BasicBlock *After = fresh();
+      require()->addSucc(BodyB);
+      BreakTargets.push_back(After);
+      ContinueTargets.push_back(CondB);
+      Cur = BodyB;
+      visit(DS->body());
+      if (Cur)
+        Cur->addSucc(CondB);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      CondB->appendStmt(DS->cond());
+      CondB->setCondition(DS->cond());
+      CondB->addSucc(BodyB, CFGEdge::True);
+      CondB->addSucc(After, CFGEdge::False);
+      Cur = After;
+      return;
+    }
+    case Stmt::SK_For: {
+      const auto *FS = cast<ForStmt>(S);
+      if (FS->init())
+        visit(FS->init());
+      BasicBlock *Header = fresh();
+      BasicBlock *BodyB = fresh();
+      BasicBlock *IncB = fresh();
+      BasicBlock *After = fresh();
+      require()->addSucc(Header);
+      if (FS->cond()) {
+        Header->appendStmt(FS->cond());
+        Header->setCondition(FS->cond());
+        Header->addSucc(BodyB, CFGEdge::True);
+        Header->addSucc(After, CFGEdge::False);
+      } else {
+        Header->addSucc(BodyB);
+      }
+      BreakTargets.push_back(After);
+      ContinueTargets.push_back(IncB);
+      Cur = BodyB;
+      visit(FS->body());
+      if (Cur)
+        Cur->addSucc(IncB);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Cur = IncB;
+      if (FS->inc())
+        appendLeaf(FS->inc());
+      require()->addSucc(Header);
+      Cur = After;
+      return;
+    }
+    case Stmt::SK_Switch: {
+      const auto *SS = cast<SwitchStmt>(S);
+      BasicBlock *Head = require();
+      Head->appendStmt(SS->cond());
+      Head->setCondition(SS->cond());
+      BasicBlock *After = fresh();
+      SwitchCtx Saved = Switch;
+      Switch = SwitchCtx{Head, false};
+      BreakTargets.push_back(After);
+      Cur = nullptr; // Code before the first case label is unreachable.
+      visit(SS->body());
+      if (Cur)
+        Cur->addSucc(After);
+      if (!Switch.SeenDefault)
+        Head->addSucc(After, CFGEdge::Default);
+      BreakTargets.pop_back();
+      Switch = Saved;
+      Cur = After;
+      return;
+    }
+    case Stmt::SK_Case: {
+      const auto *CS = cast<CaseStmt>(S);
+      BasicBlock *ArmB = fresh();
+      if (Switch.Head)
+        Switch.Head->addSucc(ArmB, CFGEdge::Case, CS->value());
+      if (Cur)
+        Cur->addSucc(ArmB); // Fallthrough from the previous arm.
+      Cur = ArmB;
+      visit(CS->sub());
+      return;
+    }
+    case Stmt::SK_Default: {
+      const auto *DS = cast<DefaultStmt>(S);
+      BasicBlock *ArmB = fresh();
+      if (Switch.Head) {
+        Switch.Head->addSucc(ArmB, CFGEdge::Default);
+        Switch.SeenDefault = true;
+      }
+      if (Cur)
+        Cur->addSucc(ArmB);
+      Cur = ArmB;
+      visit(DS->sub());
+      return;
+    }
+    case Stmt::SK_Break:
+      if (Cur && !BreakTargets.empty()) {
+        Cur->addSucc(BreakTargets.back());
+        Cur = nullptr;
+      }
+      return;
+    case Stmt::SK_Continue:
+      if (Cur && !ContinueTargets.empty()) {
+        Cur->addSucc(ContinueTargets.back());
+        Cur = nullptr;
+      }
+      return;
+    case Stmt::SK_Goto: {
+      const auto *GS = cast<GotoStmt>(S);
+      BasicBlock *B = require();
+      auto It = Labels.find(GS->label());
+      if (It != Labels.end())
+        B->addSucc(It->second);
+      else
+        PendingGotos.emplace_back(B, GS->label());
+      Cur = nullptr;
+      return;
+    }
+    case Stmt::SK_Label: {
+      const auto *LS = cast<LabelStmt>(S);
+      BasicBlock *LabelB = fresh();
+      Labels[LS->name()] = LabelB;
+      if (Cur)
+        Cur->addSucc(LabelB);
+      Cur = LabelB;
+      visit(LS->sub());
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  struct SwitchCtx {
+    BasicBlock *Head = nullptr;
+    bool SeenDefault = false;
+  };
+
+  CFG &G;
+  const CallTargetPredicate *Pred;
+  BasicBlock *Cur = nullptr;
+  BasicBlock *ExitB = nullptr;
+  std::vector<BasicBlock *> BreakTargets;
+  std::vector<BasicBlock *> ContinueTargets;
+  SwitchCtx Switch;
+  std::map<std::string_view, BasicBlock *> Labels;
+  std::vector<std::pair<BasicBlock *, std::string_view>> PendingGotos;
+};
+
+} // namespace
+
+std::unique_ptr<CFG> mc::buildCFG(const FunctionDecl *Fn,
+                                  const CallTargetPredicate *FollowableCalls) {
+  assert(Fn && Fn->isDefined() && "cannot build a CFG without a body");
+  auto G = std::make_unique<CFG>(Fn);
+  CFGBuilder Builder(*G, FollowableCalls);
+  Builder.run(Fn);
+  return G;
+}

@@ -1,0 +1,164 @@
+//===- cfg/CallGraph.cpp - Call graph and supergraph roots ------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CallGraph.h"
+
+#include "cfront/ASTUtils.h"
+
+#include <set>
+
+using namespace mc;
+
+namespace {
+
+void collectCallsInExpr(const Expr *E,
+                        std::vector<const FunctionDecl *> &Out) {
+  if (!E)
+    return;
+  if (const auto *CE = dyn_cast<CallExpr>(E))
+    if (const auto *DRE = dyn_cast<DeclRefExpr>(CE->callee()))
+      if (const auto *FD = dyn_cast<FunctionDecl>(DRE->decl()))
+        Out.push_back(FD);
+  forEachChild(E, [&](const Expr *Child) { collectCallsInExpr(Child, Out); });
+}
+
+void collectCallsInStmt(const Stmt *S,
+                        std::vector<const FunctionDecl *> &Out) {
+  if (!S)
+    return;
+  if (const auto *E = dyn_cast<Expr>(S)) {
+    collectCallsInExpr(E, Out);
+    return;
+  }
+  switch (S->kind()) {
+  case Stmt::SK_Compound:
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+      collectCallsInStmt(Sub, Out);
+    return;
+  case Stmt::SK_Decl:
+    for (const VarDecl *VD : cast<DeclStmt>(S)->decls())
+      collectCallsInExpr(VD->init(), Out);
+    return;
+  case Stmt::SK_If: {
+    const auto *IS = cast<IfStmt>(S);
+    collectCallsInExpr(IS->cond(), Out);
+    collectCallsInStmt(IS->thenStmt(), Out);
+    collectCallsInStmt(IS->elseStmt(), Out);
+    return;
+  }
+  case Stmt::SK_While:
+    collectCallsInExpr(cast<WhileStmt>(S)->cond(), Out);
+    collectCallsInStmt(cast<WhileStmt>(S)->body(), Out);
+    return;
+  case Stmt::SK_Do:
+    collectCallsInStmt(cast<DoStmt>(S)->body(), Out);
+    collectCallsInExpr(cast<DoStmt>(S)->cond(), Out);
+    return;
+  case Stmt::SK_For: {
+    const auto *FS = cast<ForStmt>(S);
+    collectCallsInStmt(FS->init(), Out);
+    collectCallsInExpr(FS->cond(), Out);
+    collectCallsInExpr(FS->inc(), Out);
+    collectCallsInStmt(FS->body(), Out);
+    return;
+  }
+  case Stmt::SK_Switch:
+    collectCallsInExpr(cast<SwitchStmt>(S)->cond(), Out);
+    collectCallsInStmt(cast<SwitchStmt>(S)->body(), Out);
+    return;
+  case Stmt::SK_Case:
+    collectCallsInExpr(cast<CaseStmt>(S)->value(), Out);
+    collectCallsInStmt(cast<CaseStmt>(S)->sub(), Out);
+    return;
+  case Stmt::SK_Default:
+    collectCallsInStmt(cast<DefaultStmt>(S)->sub(), Out);
+    return;
+  case Stmt::SK_Return:
+    collectCallsInExpr(cast<ReturnStmt>(S)->value(), Out);
+    return;
+  case Stmt::SK_Label:
+    collectCallsInStmt(cast<LabelStmt>(S)->sub(), Out);
+    return;
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+void CallGraph::collectCallees(const FunctionDecl *Fn) {
+  std::vector<const FunctionDecl *> Calls;
+  collectCallsInStmt(Fn->body(), Calls);
+  Node &N = Nodes[Fn];
+  N.Fn = Fn;
+  std::set<const FunctionDecl *> Seen;
+  for (const FunctionDecl *Callee : Calls) {
+    if (!Seen.insert(Callee).second)
+      continue;
+    N.Callees.push_back(Callee);
+    Node &CalleeNode = Nodes[Callee];
+    CalleeNode.Fn = Callee;
+    if (Callee->isDefined() && Callee != Fn)
+      ++CalleeNode.NumCallers;
+  }
+}
+
+void CallGraph::markReachable(
+    const FunctionDecl *Fn, std::map<const FunctionDecl *, bool> &Reached) const {
+  auto It = Reached.find(Fn);
+  if (It != Reached.end() && It->second)
+    return;
+  Reached[Fn] = true;
+  auto NodeIt = Nodes.find(Fn);
+  if (NodeIt == Nodes.end())
+    return;
+  for (const FunctionDecl *Callee : NodeIt->second.Callees)
+    if (Callee->isDefined())
+      markReachable(Callee, Reached);
+}
+
+void CallGraph::computeRoots() {
+  Roots.clear();
+  std::map<const FunctionDecl *, bool> Reached;
+  for (const FunctionDecl *Fn : Defined) {
+    if (Nodes[Fn].NumCallers == 0) {
+      Roots.push_back(Fn);
+      markReachable(Fn, Reached);
+    }
+  }
+  // Recursive chains with no outside callers: break them arbitrarily by
+  // promoting the first unreached function (parse order) to a root, until
+  // everything is covered.
+  for (const FunctionDecl *Fn : Defined) {
+    if (!Reached[Fn]) {
+      Roots.push_back(Fn);
+      markReachable(Fn, Reached);
+    }
+  }
+}
+
+void CallGraph::build(const ASTContext &Ctx) {
+  Nodes.clear();
+  CFGs.clear();
+  Defined.clear();
+  for (const FunctionDecl *Fn : Ctx.functions()) {
+    Nodes[Fn].Fn = Fn;
+    if (Fn->isDefined())
+      Defined.push_back(Fn);
+  }
+  for (const FunctionDecl *Fn : Defined)
+    collectCallees(Fn);
+  computeRoots();
+  for (const FunctionDecl *Fn : Defined)
+    CFGs[Fn] = buildCFG(Fn, this);
+}
+
+unsigned CallGraph::numCFGBlocks() const {
+  unsigned N = 0;
+  for (const auto &[Fn, G] : CFGs)
+    N += G->numBlocks();
+  return N;
+}

@@ -1,0 +1,80 @@
+//===- cfg/CallGraph.h - Call graph and supergraph roots --------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph over a source base. "Functions with no callers are considered
+/// roots. When computing roots, recursive call chains are broken
+/// arbitrarily." (Section 6, step 2.) Also owns the per-function CFGs — this
+/// pair is the supergraph the interprocedural engine traverses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CFG_CALLGRAPH_H
+#define MC_CFG_CALLGRAPH_H
+
+#include "cfg/CFG.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// Call graph + CFGs for every defined function.
+class CallGraph : public CallTargetPredicate {
+public:
+  struct Node {
+    const FunctionDecl *Fn = nullptr;
+    std::vector<const FunctionDecl *> Callees; ///< Deduplicated, in call order.
+    unsigned NumCallers = 0; ///< Callers among defined functions.
+  };
+
+  /// Builds the graph and all CFGs for the functions in \p Ctx.
+  void build(const ASTContext &Ctx);
+
+  /// True when \p Callee has a CFG we can follow.
+  bool isFollowable(const FunctionDecl *Callee) const override {
+    return Callee && Callee->isDefined();
+  }
+
+  const Node *node(const FunctionDecl *Fn) const {
+    auto It = Nodes.find(Fn);
+    return It == Nodes.end() ? nullptr : &It->second;
+  }
+
+  /// The CFG of \p Fn, or null for undefined functions.
+  const CFG *cfg(const FunctionDecl *Fn) const {
+    auto It = CFGs.find(Fn);
+    return It == CFGs.end() ? nullptr : It->second.get();
+  }
+
+  /// Callgraph roots: functions with no callers, plus one arbitrary member
+  /// of every otherwise-unreachable recursive chain.
+  const std::vector<const FunctionDecl *> &roots() const { return Roots; }
+
+  /// Every defined function, in parse order.
+  const std::vector<const FunctionDecl *> &definedFunctions() const {
+    return Defined;
+  }
+
+  unsigned numCFGBlocks() const;
+
+private:
+  void collectCallees(const FunctionDecl *Fn);
+  void computeRoots();
+  void markReachable(const FunctionDecl *Fn,
+                     std::map<const FunctionDecl *, bool> &Reached) const;
+
+  std::map<const FunctionDecl *, Node> Nodes;
+  std::map<const FunctionDecl *, std::unique_ptr<CFG>> CFGs;
+  std::vector<const FunctionDecl *> Defined;
+  std::vector<const FunctionDecl *> Roots;
+};
+
+} // namespace mc
+
+#endif // MC_CFG_CALLGRAPH_H

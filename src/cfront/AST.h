@@ -1,0 +1,779 @@
+//===- cfront/AST.h - C abstract syntax trees -------------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for the C subset plus the pattern-only HoleExpr node
+/// used by metal patterns (Section 4 of the paper). Nodes are allocated in an
+/// ASTContext arena and are trivially destructible: child lists are arena
+/// arrays and names are interned string_views.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CFRONT_AST_H
+#define MC_CFRONT_AST_H
+
+#include "cfront/Type.h"
+#include "support/Casting.h"
+#include "support/SourceManager.h"
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mc {
+
+class ASTContext;
+class Expr;
+class CompoundStmt;
+class VarDecl;
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// Base class for declarations.
+class Decl {
+public:
+  enum DeclKind {
+    DK_Var,
+    DK_Function,
+    DK_EnumConstant,
+    DK_Typedef,
+    DK_Record,
+    DK_Enum,
+  };
+
+  DeclKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  std::string_view name() const { return Name; }
+
+protected:
+  Decl(DeclKind Kind, SourceLoc Loc, std::string_view Name)
+      : Kind(Kind), Loc(Loc), Name(Name) {}
+  ~Decl() = default;
+
+private:
+  const DeclKind Kind;
+  SourceLoc Loc;
+  std::string_view Name;
+};
+
+/// A variable or parameter.
+class VarDecl : public Decl {
+public:
+  /// Storage duration/scope class; the refine/restore rules (Table 2) and
+  /// file-scope inactivation (Section 6.1) depend on it.
+  enum Storage {
+    Local,      ///< Block-scope automatic variable.
+    Param,      ///< Function parameter.
+    Global,     ///< External linkage, visible everywhere.
+    FileStatic, ///< File-scope static: leaves scope across file boundaries.
+  };
+
+  VarDecl(SourceLoc Loc, std::string_view Name, const Type *Ty,
+          Storage StorageClass)
+      : Decl(DK_Var, Loc, Name), Ty(Ty), StorageClass(StorageClass) {}
+
+  const Type *type() const { return Ty; }
+  Storage storage() const { return StorageClass; }
+  bool isParam() const { return StorageClass == Param; }
+  bool isLocal() const { return StorageClass == Local || isParam(); }
+  const Expr *init() const { return Init; }
+  void setInit(const Expr *E) { Init = E; }
+
+  static bool classof(const Decl *D) { return D->kind() == DK_Var; }
+
+private:
+  const Type *Ty;
+  Storage StorageClass;
+  const Expr *Init = nullptr;
+};
+
+/// A function declaration or definition.
+class FunctionDecl : public Decl {
+public:
+  FunctionDecl(SourceLoc Loc, std::string_view Name, const FunctionType *Ty,
+               std::span<VarDecl *const> Params, bool IsFileStatic,
+               unsigned FileID)
+      : Decl(DK_Function, Loc, Name), Ty(Ty), Params(Params),
+        IsFileStatic(IsFileStatic), FileID(FileID) {}
+
+  const FunctionType *type() const { return Ty; }
+  const Type *returnType() const { return Ty->returnType(); }
+  std::span<VarDecl *const> params() const { return Params; }
+  unsigned numParams() const { return Params.size(); }
+  VarDecl *param(unsigned I) const { return Params[I]; }
+
+  bool isDefined() const { return Body != nullptr; }
+  const CompoundStmt *body() const { return Body; }
+  void setBody(const CompoundStmt *B) { Body = B; }
+  /// Used when a later declaration refines the parameter list (a definition
+  /// following a prototype).
+  void setParams(std::span<VarDecl *const> Ps) { Params = Ps; }
+
+  /// File-scope static functions never escape their file.
+  bool isFileStatic() const { return IsFileStatic; }
+  /// The file this function was defined in; drives the file-scope variable
+  /// inactivation rule at call boundaries.
+  unsigned fileID() const { return FileID; }
+  void setFileID(unsigned ID) { FileID = ID; }
+
+  static bool classof(const Decl *D) { return D->kind() == DK_Function; }
+
+private:
+  const FunctionType *Ty;
+  std::span<VarDecl *const> Params;
+  const CompoundStmt *Body = nullptr;
+  bool IsFileStatic;
+  unsigned FileID;
+};
+
+/// An enumerator with its computed constant value.
+class EnumConstantDecl : public Decl {
+public:
+  EnumConstantDecl(SourceLoc Loc, std::string_view Name, long long Value,
+                   const EnumType *Ty)
+      : Decl(DK_EnumConstant, Loc, Name), Value(Value), Ty(Ty) {}
+
+  long long value() const { return Value; }
+  const EnumType *type() const { return Ty; }
+
+  static bool classof(const Decl *D) { return D->kind() == DK_EnumConstant; }
+
+private:
+  long long Value;
+  const EnumType *Ty;
+};
+
+/// typedef Name = Ty.
+class TypedefDecl : public Decl {
+public:
+  TypedefDecl(SourceLoc Loc, std::string_view Name, const Type *Ty)
+      : Decl(DK_Typedef, Loc, Name), Ty(Ty) {}
+
+  const Type *type() const { return Ty; }
+
+  static bool classof(const Decl *D) { return D->kind() == DK_Typedef; }
+
+private:
+  const Type *Ty;
+};
+
+/// A struct/union definition at file scope (the type itself lives in the
+/// TypeContext; this records the declaration site).
+class RecordDecl : public Decl {
+public:
+  RecordDecl(SourceLoc Loc, std::string_view Name, RecordType *Ty)
+      : Decl(DK_Record, Loc, Name), Ty(Ty) {}
+
+  RecordType *type() const { return Ty; }
+
+  static bool classof(const Decl *D) { return D->kind() == DK_Record; }
+
+private:
+  RecordType *Ty;
+};
+
+/// An enum definition at file scope.
+class EnumDecl : public Decl {
+public:
+  EnumDecl(SourceLoc Loc, std::string_view Name, EnumType *Ty,
+           std::span<EnumConstantDecl *const> Constants)
+      : Decl(DK_Enum, Loc, Name), Ty(Ty), Constants(Constants) {}
+
+  EnumType *type() const { return Ty; }
+  std::span<EnumConstantDecl *const> constants() const { return Constants; }
+
+  static bool classof(const Decl *D) { return D->kind() == DK_Enum; }
+
+private:
+  EnumType *Ty;
+  std::span<EnumConstantDecl *const> Constants;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements and expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class for statements. Expressions derive from Stmt (as in Clang) so
+/// expression statements need no wrapper node.
+class Stmt {
+public:
+  enum StmtKind {
+    // Statements.
+    SK_Compound,
+    SK_Decl,
+    SK_If,
+    SK_While,
+    SK_Do,
+    SK_For,
+    SK_Switch,
+    SK_Case,
+    SK_Default,
+    SK_Break,
+    SK_Continue,
+    SK_Return,
+    SK_Goto,
+    SK_Label,
+    SK_Null,
+    // Expressions — keep contiguous; firstExpr/lastExpr delimit the range.
+    SK_IntegerLiteral,
+    SK_FloatLiteral,
+    SK_CharLiteral,
+    SK_StringLiteral,
+    SK_DeclRef,
+    SK_Unary,
+    SK_Binary,
+    SK_ArraySubscript,
+    SK_Member,
+    SK_Call,
+    SK_Cast,
+    SK_Sizeof,
+    SK_Conditional,
+    SK_InitList,
+    SK_Hole,
+    firstExpr = SK_IntegerLiteral,
+    lastExpr = SK_Hole,
+  };
+
+  StmtKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+  ~Stmt() = default;
+
+private:
+  const StmtKind Kind;
+  SourceLoc Loc;
+};
+
+/// Base class for expressions; carries the computed type.
+class Expr : public Stmt {
+public:
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() >= firstExpr && S->kind() <= lastExpr;
+  }
+
+protected:
+  Expr(StmtKind Kind, SourceLoc Loc, const Type *Ty)
+      : Stmt(Kind, Loc), Ty(Ty) {}
+
+private:
+  const Type *Ty;
+};
+
+class IntegerLiteral : public Expr {
+public:
+  IntegerLiteral(SourceLoc Loc, unsigned long long Value, const Type *Ty)
+      : Expr(SK_IntegerLiteral, Loc, Ty), Value(Value) {}
+
+  unsigned long long value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_IntegerLiteral; }
+
+private:
+  unsigned long long Value;
+};
+
+class FloatLiteral : public Expr {
+public:
+  FloatLiteral(SourceLoc Loc, double Value, const Type *Ty)
+      : Expr(SK_FloatLiteral, Loc, Ty), Value(Value) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_FloatLiteral; }
+
+private:
+  double Value;
+};
+
+class CharLiteral : public Expr {
+public:
+  CharLiteral(SourceLoc Loc, int Value, const Type *Ty)
+      : Expr(SK_CharLiteral, Loc, Ty), Value(Value) {}
+
+  int value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_CharLiteral; }
+
+private:
+  int Value;
+};
+
+class StringLiteral : public Expr {
+public:
+  StringLiteral(SourceLoc Loc, std::string_view Value, const Type *Ty)
+      : Expr(SK_StringLiteral, Loc, Ty), Value(Value) {}
+
+  std::string_view value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_StringLiteral; }
+
+private:
+  std::string_view Value;
+};
+
+/// Reference to a variable, function or enumerator.
+class DeclRefExpr : public Expr {
+public:
+  DeclRefExpr(SourceLoc Loc, const Decl *D, const Type *Ty)
+      : Expr(SK_DeclRef, Loc, Ty), D(D) {}
+
+  const Decl *decl() const { return D; }
+  std::string_view name() const { return D->name(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_DeclRef; }
+
+private:
+  const Decl *D;
+};
+
+class UnaryOperator : public Expr {
+public:
+  enum Opcode {
+    Deref,
+    AddrOf,
+    Plus,
+    Minus,
+    Not,     ///< ~
+    LNot,    ///< !
+    PreInc,
+    PreDec,
+    PostInc,
+    PostDec,
+  };
+
+  UnaryOperator(SourceLoc Loc, Opcode Op, const Expr *Sub, const Type *Ty)
+      : Expr(SK_Unary, Loc, Ty), Op(Op), Sub(Sub) {}
+
+  Opcode opcode() const { return Op; }
+  const Expr *sub() const { return Sub; }
+  bool isIncrementDecrement() const { return Op >= PreInc; }
+
+  static const char *opcodeText(Opcode Op);
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Unary; }
+
+private:
+  Opcode Op;
+  const Expr *Sub;
+};
+
+class BinaryOperator : public Expr {
+public:
+  enum Opcode {
+    Mul,
+    Div,
+    Rem,
+    Add,
+    Sub,
+    Shl,
+    Shr,
+    LT,
+    GT,
+    LE,
+    GE,
+    EQ,
+    NE,
+    And,
+    Xor,
+    Or,
+    LAnd,
+    LOr,
+    Assign,
+    MulAssign,
+    DivAssign,
+    RemAssign,
+    AddAssign,
+    SubAssign,
+    ShlAssign,
+    ShrAssign,
+    AndAssign,
+    XorAssign,
+    OrAssign,
+    Comma,
+  };
+
+  BinaryOperator(SourceLoc Loc, Opcode Op, const Expr *LHS, const Expr *RHS,
+                 const Type *Ty)
+      : Expr(SK_Binary, Loc, Ty), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  Opcode opcode() const { return Op; }
+  const Expr *lhs() const { return LHS; }
+  const Expr *rhs() const { return RHS; }
+  bool isAssignment() const { return Op >= Assign && Op <= OrAssign; }
+  bool isCompoundAssignment() const { return Op > Assign && Op <= OrAssign; }
+  bool isComparison() const { return Op >= LT && Op <= NE; }
+  bool isLogical() const { return Op == LAnd || Op == LOr; }
+
+  static const char *opcodeText(Opcode Op);
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Binary; }
+
+private:
+  Opcode Op;
+  const Expr *LHS;
+  const Expr *RHS;
+};
+
+class ArraySubscriptExpr : public Expr {
+public:
+  ArraySubscriptExpr(SourceLoc Loc, const Expr *Base, const Expr *Index,
+                     const Type *Ty)
+      : Expr(SK_ArraySubscript, Loc, Ty), Base(Base), Index(Index) {}
+
+  const Expr *base() const { return Base; }
+  const Expr *index() const { return Index; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_ArraySubscript; }
+
+private:
+  const Expr *Base;
+  const Expr *Index;
+};
+
+class MemberExpr : public Expr {
+public:
+  MemberExpr(SourceLoc Loc, const Expr *Base, std::string_view Member,
+             bool IsArrow, const Type *Ty)
+      : Expr(SK_Member, Loc, Ty), Base(Base), Member(Member),
+        IsArrow(IsArrow) {}
+
+  const Expr *base() const { return Base; }
+  std::string_view member() const { return Member; }
+  bool isArrow() const { return IsArrow; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Member; }
+
+private:
+  const Expr *Base;
+  std::string_view Member;
+  bool IsArrow;
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLoc Loc, const Expr *Callee, std::span<const Expr *const> Args,
+           const Type *Ty)
+      : Expr(SK_Call, Loc, Ty), Callee(Callee), Args(Args) {}
+
+  const Expr *callee() const { return Callee; }
+  std::span<const Expr *const> args() const { return Args; }
+  unsigned numArgs() const { return Args.size(); }
+  const Expr *arg(unsigned I) const { return Args[I]; }
+
+  /// The callee's name when the callee is a plain identifier, else "".
+  std::string_view calleeName() const {
+    if (const auto *DRE = dyn_cast<DeclRefExpr>(Callee))
+      return DRE->name();
+    return {};
+  }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Call; }
+
+private:
+  const Expr *Callee;
+  std::span<const Expr *const> Args;
+};
+
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLoc Loc, const Type *ToType, const Expr *Sub)
+      : Expr(SK_Cast, Loc, ToType), Sub(Sub) {}
+
+  const Expr *sub() const { return Sub; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Cast; }
+
+private:
+  const Expr *Sub;
+};
+
+class SizeofExpr : public Expr {
+public:
+  /// sizeof(type-name)
+  SizeofExpr(SourceLoc Loc, const Type *Arg, const Type *Ty)
+      : Expr(SK_Sizeof, Loc, Ty), ArgType(Arg), ArgExpr(nullptr) {}
+  /// sizeof expr
+  SizeofExpr(SourceLoc Loc, const Expr *Arg, const Type *Ty)
+      : Expr(SK_Sizeof, Loc, Ty), ArgType(nullptr), ArgExpr(Arg) {}
+
+  const Type *argType() const { return ArgType; }
+  const Expr *argExpr() const { return ArgExpr; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Sizeof; }
+
+private:
+  const Type *ArgType;
+  const Expr *ArgExpr;
+};
+
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(SourceLoc Loc, const Expr *Cond, const Expr *Then,
+                  const Expr *Else, const Type *Ty)
+      : Expr(SK_Conditional, Loc, Ty), Cond(Cond), Then(Then), Else(Else) {}
+
+  const Expr *cond() const { return Cond; }
+  const Expr *thenExpr() const { return Then; }
+  const Expr *elseExpr() const { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Conditional; }
+
+private:
+  const Expr *Cond;
+  const Expr *Then;
+  const Expr *Else;
+};
+
+class InitListExpr : public Expr {
+public:
+  InitListExpr(SourceLoc Loc, std::span<const Expr *const> Inits,
+               const Type *Ty)
+      : Expr(SK_InitList, Loc, Ty), Inits(Inits) {}
+
+  std::span<const Expr *const> inits() const { return Inits; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_InitList; }
+
+private:
+  std::span<const Expr *const> Inits;
+};
+
+/// Pattern-only node: a metal hole variable occurrence (Section 4, Table 1).
+/// Never appears in ASTs parsed from real source.
+class HoleExpr : public Expr {
+public:
+  enum HoleKind {
+    CType,        ///< `decl int x` — matches expressions of that C type.
+    AnyExpr,      ///< any legal expression.
+    AnyScalar,    ///< any scalar value.
+    AnyPointer,   ///< any pointer of any type.
+    AnyArguments, ///< an entire argument list.
+    AnyFnCall,    ///< any function call (callee position or whole call).
+  };
+
+  HoleExpr(SourceLoc Loc, std::string_view Name, HoleKind HK,
+           const Type *DeclaredTy)
+      : Expr(SK_Hole, Loc, DeclaredTy), Name(Name), HK(HK) {}
+
+  std::string_view holeName() const { return Name; }
+  HoleKind holeKind() const { return HK; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Hole; }
+
+private:
+  std::string_view Name;
+  HoleKind HK;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt(SourceLoc Loc, std::span<const Stmt *const> Body)
+      : Stmt(SK_Compound, Loc), Body(Body) {}
+
+  std::span<const Stmt *const> body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Compound; }
+
+private:
+  std::span<const Stmt *const> Body;
+};
+
+/// A local declaration statement; initializers live on the VarDecls.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLoc Loc, std::span<VarDecl *const> Decls)
+      : Stmt(SK_Decl, Loc), Decls(Decls) {}
+
+  std::span<VarDecl *const> decls() const { return Decls; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Decl; }
+
+private:
+  std::span<VarDecl *const> Decls;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, const Expr *Cond, const Stmt *Then, const Stmt *Else)
+      : Stmt(SK_If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+
+  const Expr *cond() const { return Cond; }
+  const Stmt *thenStmt() const { return Then; }
+  const Stmt *elseStmt() const { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_If; }
+
+private:
+  const Expr *Cond;
+  const Stmt *Then;
+  const Stmt *Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, const Expr *Cond, const Stmt *Body)
+      : Stmt(SK_While, Loc), Cond(Cond), Body(Body) {}
+
+  const Expr *cond() const { return Cond; }
+  const Stmt *body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_While; }
+
+private:
+  const Expr *Cond;
+  const Stmt *Body;
+};
+
+class DoStmt : public Stmt {
+public:
+  DoStmt(SourceLoc Loc, const Stmt *Body, const Expr *Cond)
+      : Stmt(SK_Do, Loc), Body(Body), Cond(Cond) {}
+
+  const Stmt *body() const { return Body; }
+  const Expr *cond() const { return Cond; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Do; }
+
+private:
+  const Stmt *Body;
+  const Expr *Cond;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLoc Loc, const Stmt *Init, const Expr *Cond, const Expr *Inc,
+          const Stmt *Body)
+      : Stmt(SK_For, Loc), Init(Init), Cond(Cond), Inc(Inc), Body(Body) {}
+
+  const Stmt *init() const { return Init; }
+  const Expr *cond() const { return Cond; }
+  const Expr *inc() const { return Inc; }
+  const Stmt *body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_For; }
+
+private:
+  const Stmt *Init;
+  const Expr *Cond;
+  const Expr *Inc;
+  const Stmt *Body;
+};
+
+class SwitchStmt : public Stmt {
+public:
+  SwitchStmt(SourceLoc Loc, const Expr *Cond, const Stmt *Body)
+      : Stmt(SK_Switch, Loc), Cond(Cond), Body(Body) {}
+
+  const Expr *cond() const { return Cond; }
+  const Stmt *body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Switch; }
+
+private:
+  const Expr *Cond;
+  const Stmt *Body;
+};
+
+class CaseStmt : public Stmt {
+public:
+  CaseStmt(SourceLoc Loc, const Expr *Value, const Stmt *Sub)
+      : Stmt(SK_Case, Loc), Value(Value), Sub(Sub) {}
+
+  const Expr *value() const { return Value; }
+  const Stmt *sub() const { return Sub; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Case; }
+
+private:
+  const Expr *Value;
+  const Stmt *Sub;
+};
+
+class DefaultStmt : public Stmt {
+public:
+  DefaultStmt(SourceLoc Loc, const Stmt *Sub) : Stmt(SK_Default, Loc), Sub(Sub) {}
+
+  const Stmt *sub() const { return Sub; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Default; }
+
+private:
+  const Stmt *Sub;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(SK_Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == SK_Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(SK_Continue, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == SK_Continue; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, const Expr *Value)
+      : Stmt(SK_Return, Loc), Value(Value) {}
+
+  const Expr *value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Return; }
+
+private:
+  const Expr *Value;
+};
+
+class GotoStmt : public Stmt {
+public:
+  GotoStmt(SourceLoc Loc, std::string_view Label)
+      : Stmt(SK_Goto, Loc), Label(Label) {}
+
+  std::string_view label() const { return Label; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Goto; }
+
+private:
+  std::string_view Label;
+};
+
+class LabelStmt : public Stmt {
+public:
+  LabelStmt(SourceLoc Loc, std::string_view Name, const Stmt *Sub)
+      : Stmt(SK_Label, Loc), Name(Name), Sub(Sub) {}
+
+  std::string_view name() const { return Name; }
+  const Stmt *sub() const { return Sub; }
+
+  static bool classof(const Stmt *S) { return S->kind() == SK_Label; }
+
+private:
+  std::string_view Name;
+  const Stmt *Sub;
+};
+
+class NullStmt : public Stmt {
+public:
+  explicit NullStmt(SourceLoc Loc) : Stmt(SK_Null, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == SK_Null; }
+};
+
+} // namespace mc
+
+#endif // MC_CFRONT_AST_H

@@ -1,0 +1,354 @@
+//===- cfront/ASTPrinter.cpp - AST to C text --------------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/ASTPrinter.h"
+
+#include "cfront/AST.h"
+#include "support/StringUtils.h"
+
+using namespace mc;
+
+const char *UnaryOperator::opcodeText(Opcode Op) {
+  switch (Op) {
+  case Deref: return "*";
+  case AddrOf: return "&";
+  case Plus: return "+";
+  case Minus: return "-";
+  case Not: return "~";
+  case LNot: return "!";
+  case PreInc: case PostInc: return "++";
+  case PreDec: case PostDec: return "--";
+  }
+  return "?";
+}
+
+const char *BinaryOperator::opcodeText(Opcode Op) {
+  switch (Op) {
+  case Mul: return "*";
+  case Div: return "/";
+  case Rem: return "%";
+  case Add: return "+";
+  case Sub: return "-";
+  case Shl: return "<<";
+  case Shr: return ">>";
+  case LT: return "<";
+  case GT: return ">";
+  case LE: return "<=";
+  case GE: return ">=";
+  case EQ: return "==";
+  case NE: return "!=";
+  case And: return "&";
+  case Xor: return "^";
+  case Or: return "|";
+  case LAnd: return "&&";
+  case LOr: return "||";
+  case Assign: return "=";
+  case MulAssign: return "*=";
+  case DivAssign: return "/=";
+  case RemAssign: return "%=";
+  case AddAssign: return "+=";
+  case SubAssign: return "-=";
+  case ShlAssign: return "<<=";
+  case ShrAssign: return ">>=";
+  case AndAssign: return "&=";
+  case XorAssign: return "^=";
+  case OrAssign: return "|=";
+  case Comma: return ",";
+  }
+  return "?";
+}
+
+namespace {
+
+void printExprInto(const Expr *E, std::string &Out);
+
+/// Prints a subexpression, wrapping compound forms in parens so the printed
+/// form is unambiguous (and canonical).
+void printOperand(const Expr *E, std::string &Out) {
+  bool Atomic = isa<IntegerLiteral>(E) || isa<FloatLiteral>(E) ||
+                isa<CharLiteral>(E) || isa<StringLiteral>(E) ||
+                isa<DeclRefExpr>(E) || isa<HoleExpr>(E) || isa<CallExpr>(E) ||
+                isa<ArraySubscriptExpr>(E) || isa<MemberExpr>(E);
+  if (Atomic) {
+    printExprInto(E, Out);
+    return;
+  }
+  Out += '(';
+  printExprInto(E, Out);
+  Out += ')';
+}
+
+void printExprInto(const Expr *E, std::string &Out) {
+  if (!E) {
+    Out += "<null>";
+    return;
+  }
+  switch (E->kind()) {
+  case Stmt::SK_IntegerLiteral:
+    Out += std::to_string(cast<IntegerLiteral>(E)->value());
+    return;
+  case Stmt::SK_FloatLiteral:
+    Out += formatString("%g", cast<FloatLiteral>(E)->value());
+    return;
+  case Stmt::SK_CharLiteral:
+    Out += formatString("'\\x%02x'", cast<CharLiteral>(E)->value() & 0xff);
+    return;
+  case Stmt::SK_StringLiteral:
+    Out += '"';
+    Out.append(cast<StringLiteral>(E)->value());
+    Out += '"';
+    return;
+  case Stmt::SK_DeclRef:
+    Out.append(cast<DeclRefExpr>(E)->name());
+    return;
+  case Stmt::SK_Hole: {
+    const auto *H = cast<HoleExpr>(E);
+    Out += '$';
+    Out.append(H->holeName());
+    return;
+  }
+  case Stmt::SK_Unary: {
+    const auto *UO = cast<UnaryOperator>(E);
+    if (UO->opcode() == UnaryOperator::PostInc ||
+        UO->opcode() == UnaryOperator::PostDec) {
+      printOperand(UO->sub(), Out);
+      Out += UnaryOperator::opcodeText(UO->opcode());
+      return;
+    }
+    Out += UnaryOperator::opcodeText(UO->opcode());
+    printOperand(UO->sub(), Out);
+    return;
+  }
+  case Stmt::SK_Binary: {
+    const auto *BO = cast<BinaryOperator>(E);
+    printOperand(BO->lhs(), Out);
+    Out += ' ';
+    Out += BinaryOperator::opcodeText(BO->opcode());
+    Out += ' ';
+    printOperand(BO->rhs(), Out);
+    return;
+  }
+  case Stmt::SK_ArraySubscript: {
+    const auto *AS = cast<ArraySubscriptExpr>(E);
+    printOperand(AS->base(), Out);
+    Out += '[';
+    printExprInto(AS->index(), Out);
+    Out += ']';
+    return;
+  }
+  case Stmt::SK_Member: {
+    const auto *ME = cast<MemberExpr>(E);
+    printOperand(ME->base(), Out);
+    Out += ME->isArrow() ? "->" : ".";
+    Out.append(ME->member());
+    return;
+  }
+  case Stmt::SK_Call: {
+    const auto *CE = cast<CallExpr>(E);
+    printOperand(CE->callee(), Out);
+    Out += '(';
+    for (size_t I = 0; I != CE->args().size(); ++I) {
+      if (I)
+        Out += ", ";
+      printExprInto(CE->arg(I), Out);
+    }
+    Out += ')';
+    return;
+  }
+  case Stmt::SK_Cast: {
+    const auto *CE = cast<CastExpr>(E);
+    Out += '(';
+    Out += CE->type() ? CE->type()->str() : "?";
+    Out += ')';
+    printOperand(CE->sub(), Out);
+    return;
+  }
+  case Stmt::SK_Sizeof: {
+    const auto *SE = cast<SizeofExpr>(E);
+    Out += "sizeof(";
+    if (SE->argType())
+      Out += SE->argType()->str();
+    else
+      printExprInto(SE->argExpr(), Out);
+    Out += ')';
+    return;
+  }
+  case Stmt::SK_Conditional: {
+    const auto *CO = cast<ConditionalExpr>(E);
+    printOperand(CO->cond(), Out);
+    Out += " ? ";
+    printOperand(CO->thenExpr(), Out);
+    Out += " : ";
+    printOperand(CO->elseExpr(), Out);
+    return;
+  }
+  case Stmt::SK_InitList: {
+    const auto *IL = cast<InitListExpr>(E);
+    Out += '{';
+    for (size_t I = 0; I != IL->inits().size(); ++I) {
+      if (I)
+        Out += ", ";
+      printExprInto(IL->inits()[I], Out);
+    }
+    Out += '}';
+    return;
+  }
+  default:
+    Out += "<expr>";
+    return;
+  }
+}
+
+void printStmtInto(const Stmt *S, std::string &Out) {
+  if (!S) {
+    Out += ";";
+    return;
+  }
+  if (const auto *E = dyn_cast<Expr>(S)) {
+    printExprInto(E, Out);
+    Out += ';';
+    return;
+  }
+  switch (S->kind()) {
+  case Stmt::SK_Compound: {
+    Out += "{ ";
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->body()) {
+      printStmtInto(Sub, Out);
+      Out += ' ';
+    }
+    Out += '}';
+    return;
+  }
+  case Stmt::SK_Decl: {
+    const auto *DS = cast<DeclStmt>(S);
+    for (VarDecl *VD : DS->decls()) {
+      Out += VD->type() ? VD->type()->str() : "int";
+      Out += ' ';
+      Out.append(VD->name());
+      if (VD->init()) {
+        Out += " = ";
+        printExprInto(VD->init(), Out);
+      }
+      Out += "; ";
+    }
+    return;
+  }
+  case Stmt::SK_If: {
+    const auto *IS = cast<IfStmt>(S);
+    Out += "if (";
+    printExprInto(IS->cond(), Out);
+    Out += ") ";
+    printStmtInto(IS->thenStmt(), Out);
+    if (IS->elseStmt()) {
+      Out += " else ";
+      printStmtInto(IS->elseStmt(), Out);
+    }
+    return;
+  }
+  case Stmt::SK_While: {
+    const auto *WS = cast<WhileStmt>(S);
+    Out += "while (";
+    printExprInto(WS->cond(), Out);
+    Out += ") ";
+    printStmtInto(WS->body(), Out);
+    return;
+  }
+  case Stmt::SK_Do: {
+    const auto *DS = cast<DoStmt>(S);
+    Out += "do ";
+    printStmtInto(DS->body(), Out);
+    Out += " while (";
+    printExprInto(DS->cond(), Out);
+    Out += ");";
+    return;
+  }
+  case Stmt::SK_For: {
+    const auto *FS = cast<ForStmt>(S);
+    Out += "for (";
+    if (FS->init())
+      printStmtInto(FS->init(), Out);
+    else
+      Out += ';';
+    Out += ' ';
+    if (FS->cond())
+      printExprInto(FS->cond(), Out);
+    Out += "; ";
+    if (FS->inc())
+      printExprInto(FS->inc(), Out);
+    Out += ") ";
+    printStmtInto(FS->body(), Out);
+    return;
+  }
+  case Stmt::SK_Switch: {
+    const auto *SS = cast<SwitchStmt>(S);
+    Out += "switch (";
+    printExprInto(SS->cond(), Out);
+    Out += ") ";
+    printStmtInto(SS->body(), Out);
+    return;
+  }
+  case Stmt::SK_Case: {
+    const auto *CS = cast<CaseStmt>(S);
+    Out += "case ";
+    printExprInto(CS->value(), Out);
+    Out += ": ";
+    printStmtInto(CS->sub(), Out);
+    return;
+  }
+  case Stmt::SK_Default:
+    Out += "default: ";
+    printStmtInto(cast<DefaultStmt>(S)->sub(), Out);
+    return;
+  case Stmt::SK_Break:
+    Out += "break;";
+    return;
+  case Stmt::SK_Continue:
+    Out += "continue;";
+    return;
+  case Stmt::SK_Return: {
+    const auto *RS = cast<ReturnStmt>(S);
+    Out += "return";
+    if (RS->value()) {
+      Out += ' ';
+      printExprInto(RS->value(), Out);
+    }
+    Out += ';';
+    return;
+  }
+  case Stmt::SK_Goto:
+    Out += "goto ";
+    Out.append(cast<GotoStmt>(S)->label());
+    Out += ';';
+    return;
+  case Stmt::SK_Label: {
+    const auto *LS = cast<LabelStmt>(S);
+    Out.append(LS->name());
+    Out += ": ";
+    printStmtInto(LS->sub(), Out);
+    return;
+  }
+  case Stmt::SK_Null:
+    Out += ';';
+    return;
+  default:
+    Out += "<stmt>";
+    return;
+  }
+}
+
+} // namespace
+
+std::string mc::printExpr(const Expr *E) {
+  std::string Out;
+  printExprInto(E, Out);
+  return Out;
+}
+
+std::string mc::printStmt(const Stmt *S) {
+  std::string Out;
+  printStmtInto(S, Out);
+  return Out;
+}

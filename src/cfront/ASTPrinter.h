@@ -1,0 +1,35 @@
+//===- cfront/ASTPrinter.h - AST to C text ----------------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders expressions and statements back to C-like text. This implements
+/// the paper's `mc_identifier` callout (error messages print the tree a hole
+/// matched), canonical keys for program objects with attached state, and the
+/// Figure 5 summary notation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CFRONT_ASTPRINTER_H
+#define MC_CFRONT_ASTPRINTER_H
+
+#include <string>
+
+namespace mc {
+
+class Expr;
+class Stmt;
+
+/// Renders \p E as C-like text, fully parenthesised where precedence is
+/// ambiguous. Two structurally equivalent expressions print identically, so
+/// the result doubles as a canonical key.
+std::string printExpr(const Expr *E);
+
+/// Renders a statement (single line, no indentation) for diagnostics.
+std::string printStmt(const Stmt *S);
+
+} // namespace mc
+
+#endif // MC_CFRONT_ASTPRINTER_H

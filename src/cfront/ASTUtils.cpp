@@ -1,0 +1,230 @@
+//===- cfront/ASTUtils.cpp - Equivalence, keys, execution order ------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/ASTUtils.h"
+
+#include "cfront/ASTPrinter.h"
+
+using namespace mc;
+
+bool mc::exprEquivalent(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Stmt::SK_IntegerLiteral:
+    return cast<IntegerLiteral>(A)->value() == cast<IntegerLiteral>(B)->value();
+  case Stmt::SK_FloatLiteral:
+    return cast<FloatLiteral>(A)->value() == cast<FloatLiteral>(B)->value();
+  case Stmt::SK_CharLiteral:
+    return cast<CharLiteral>(A)->value() == cast<CharLiteral>(B)->value();
+  case Stmt::SK_StringLiteral:
+    return cast<StringLiteral>(A)->value() == cast<StringLiteral>(B)->value();
+  case Stmt::SK_DeclRef: {
+    const auto *DA = cast<DeclRefExpr>(A);
+    const auto *DB = cast<DeclRefExpr>(B);
+    // Same declaration is definitive; otherwise compare spellings (pattern
+    // wildcards and cross-context trees match by name).
+    return DA->decl() == DB->decl() || DA->name() == DB->name();
+  }
+  case Stmt::SK_Hole: {
+    const auto *HA = cast<HoleExpr>(A);
+    const auto *HB = cast<HoleExpr>(B);
+    return HA->holeName() == HB->holeName();
+  }
+  case Stmt::SK_Unary: {
+    const auto *UA = cast<UnaryOperator>(A);
+    const auto *UB = cast<UnaryOperator>(B);
+    return UA->opcode() == UB->opcode() && exprEquivalent(UA->sub(), UB->sub());
+  }
+  case Stmt::SK_Binary: {
+    const auto *BA = cast<BinaryOperator>(A);
+    const auto *BB = cast<BinaryOperator>(B);
+    return BA->opcode() == BB->opcode() &&
+           exprEquivalent(BA->lhs(), BB->lhs()) &&
+           exprEquivalent(BA->rhs(), BB->rhs());
+  }
+  case Stmt::SK_ArraySubscript: {
+    const auto *SA = cast<ArraySubscriptExpr>(A);
+    const auto *SB = cast<ArraySubscriptExpr>(B);
+    return exprEquivalent(SA->base(), SB->base()) &&
+           exprEquivalent(SA->index(), SB->index());
+  }
+  case Stmt::SK_Member: {
+    const auto *MA = cast<MemberExpr>(A);
+    const auto *MB = cast<MemberExpr>(B);
+    return MA->isArrow() == MB->isArrow() && MA->member() == MB->member() &&
+           exprEquivalent(MA->base(), MB->base());
+  }
+  case Stmt::SK_Call: {
+    const auto *CA = cast<CallExpr>(A);
+    const auto *CB = cast<CallExpr>(B);
+    if (CA->numArgs() != CB->numArgs())
+      return false;
+    if (!exprEquivalent(CA->callee(), CB->callee()))
+      return false;
+    for (unsigned I = 0; I != CA->numArgs(); ++I)
+      if (!exprEquivalent(CA->arg(I), CB->arg(I)))
+        return false;
+    return true;
+  }
+  case Stmt::SK_Cast: {
+    const auto *CA = cast<CastExpr>(A);
+    const auto *CB = cast<CastExpr>(B);
+    return CA->type() == CB->type() && exprEquivalent(CA->sub(), CB->sub());
+  }
+  case Stmt::SK_Sizeof: {
+    const auto *SA = cast<SizeofExpr>(A);
+    const auto *SB = cast<SizeofExpr>(B);
+    if (SA->argType() || SB->argType())
+      return SA->argType() == SB->argType();
+    return exprEquivalent(SA->argExpr(), SB->argExpr());
+  }
+  case Stmt::SK_Conditional: {
+    const auto *CA = cast<ConditionalExpr>(A);
+    const auto *CB = cast<ConditionalExpr>(B);
+    return exprEquivalent(CA->cond(), CB->cond()) &&
+           exprEquivalent(CA->thenExpr(), CB->thenExpr()) &&
+           exprEquivalent(CA->elseExpr(), CB->elseExpr());
+  }
+  case Stmt::SK_InitList: {
+    const auto *IA = cast<InitListExpr>(A);
+    const auto *IB = cast<InitListExpr>(B);
+    if (IA->inits().size() != IB->inits().size())
+      return false;
+    for (size_t I = 0; I != IA->inits().size(); ++I)
+      if (!exprEquivalent(IA->inits()[I], IB->inits()[I]))
+        return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+std::string mc::exprKey(const Expr *E) { return printExpr(E); }
+
+void mc::forEachChild(const Expr *E,
+                      const std::function<void(const Expr *)> &Fn) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case Stmt::SK_Unary:
+    Fn(cast<UnaryOperator>(E)->sub());
+    return;
+  case Stmt::SK_Binary:
+    Fn(cast<BinaryOperator>(E)->lhs());
+    Fn(cast<BinaryOperator>(E)->rhs());
+    return;
+  case Stmt::SK_ArraySubscript:
+    Fn(cast<ArraySubscriptExpr>(E)->base());
+    Fn(cast<ArraySubscriptExpr>(E)->index());
+    return;
+  case Stmt::SK_Member:
+    Fn(cast<MemberExpr>(E)->base());
+    return;
+  case Stmt::SK_Call: {
+    const auto *CE = cast<CallExpr>(E);
+    Fn(CE->callee());
+    for (const Expr *A : CE->args())
+      Fn(A);
+    return;
+  }
+  case Stmt::SK_Cast:
+    Fn(cast<CastExpr>(E)->sub());
+    return;
+  case Stmt::SK_Sizeof:
+    if (const Expr *Arg = cast<SizeofExpr>(E)->argExpr())
+      Fn(Arg);
+    return;
+  case Stmt::SK_Conditional:
+    Fn(cast<ConditionalExpr>(E)->cond());
+    Fn(cast<ConditionalExpr>(E)->thenExpr());
+    Fn(cast<ConditionalExpr>(E)->elseExpr());
+    return;
+  case Stmt::SK_InitList:
+    for (const Expr *I : cast<InitListExpr>(E)->inits())
+      Fn(I);
+    return;
+  default:
+    return;
+  }
+}
+
+bool mc::exprReferencesDecl(const Expr *E, const Decl *D) {
+  if (!E)
+    return false;
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(E))
+    if (DRE->decl() == D)
+      return true;
+  bool Found = false;
+  forEachChild(E, [&](const Expr *Child) {
+    if (!Found && exprReferencesDecl(Child, D))
+      Found = true;
+  });
+  return Found;
+}
+
+bool mc::exprContains(const Expr *Haystack, const Expr *Needle) {
+  if (!Haystack)
+    return false;
+  if (exprEquivalent(Haystack, Needle))
+    return true;
+  bool Found = false;
+  forEachChild(Haystack, [&](const Expr *Child) {
+    if (!Found && exprContains(Child, Needle))
+      Found = true;
+  });
+  return Found;
+}
+
+bool mc::isLValueShape(const Expr *E) {
+  if (!E)
+    return false;
+  switch (E->kind()) {
+  case Stmt::SK_DeclRef:
+  case Stmt::SK_ArraySubscript:
+  case Stmt::SK_Member:
+    return true;
+  case Stmt::SK_Unary:
+    return cast<UnaryOperator>(E)->opcode() == UnaryOperator::Deref;
+  case Stmt::SK_Cast:
+    return isLValueShape(cast<CastExpr>(E)->sub());
+  default:
+    return false;
+  }
+}
+
+void mc::forEachPointExecutionOrder(
+    const Expr *E, const std::function<void(const Expr *)> &Fn) {
+  if (!E)
+    return;
+  // Assignments evaluate the RHS, then the LHS, then perform the store —
+  // exactly the order Section 5 prescribes.
+  if (const auto *BO = dyn_cast<BinaryOperator>(E)) {
+    if (BO->isAssignment()) {
+      forEachPointExecutionOrder(BO->rhs(), Fn);
+      forEachPointExecutionOrder(BO->lhs(), Fn);
+      Fn(E);
+      return;
+    }
+  }
+  // Calls evaluate arguments, then the callee expression, then the call.
+  if (const auto *CE = dyn_cast<CallExpr>(E)) {
+    for (const Expr *A : CE->args())
+      forEachPointExecutionOrder(A, Fn);
+    forEachPointExecutionOrder(CE->callee(), Fn);
+    Fn(E);
+    return;
+  }
+  forEachChild(E, [&](const Expr *Child) {
+    forEachPointExecutionOrder(Child, Fn);
+  });
+  Fn(E);
+}

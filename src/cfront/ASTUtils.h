@@ -1,0 +1,60 @@
+//===- cfront/ASTUtils.h - Equivalence, keys, execution order --*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural AST helpers shared by the pattern matcher and the engine:
+///
+/// - `exprEquivalent`: the equivalence the paper requires when "the same hole
+///   variable appears multiple times in a pattern" (Section 4) and when the
+///   engine attaches state to a *tree*, not to a declaration (Section 5.1 —
+///   "the tree in the var field can be any tree in the code").
+/// - `exprKey`: canonical identity for a program object.
+/// - `exprReferencesDecl` / `exprContains`: used by the automatic kill
+///   analysis ("Killing variables and expressions", Section 8).
+/// - `forEachPointExecutionOrder`: the per-statement visit order the paper
+///   specifies (arguments before calls, RHS before LHS before assignment).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CFRONT_ASTUTILS_H
+#define MC_CFRONT_ASTUTILS_H
+
+#include "cfront/AST.h"
+
+#include <functional>
+#include <string>
+
+namespace mc {
+
+/// Structural equivalence of expressions. DeclRefs compare by referenced
+/// declaration identity when both sides resolve to declarations in the same
+/// context, by name otherwise (patterns synthesise their own decls).
+bool exprEquivalent(const Expr *A, const Expr *B);
+
+/// Canonical key for a program object (an l-value or general expression the
+/// engine attached state to). Equivalent expressions produce equal keys.
+std::string exprKey(const Expr *E);
+
+/// True when \p E mentions declaration \p D anywhere.
+bool exprReferencesDecl(const Expr *E, const Decl *D);
+
+/// True when \p Haystack contains a subexpression equivalent to \p Needle.
+bool exprContains(const Expr *Haystack, const Expr *Needle);
+
+/// True when \p E is an l-value shape (identifier, deref, subscript, member).
+bool isLValueShape(const Expr *E);
+
+/// Visits every expression node of \p E in execution order: operands first,
+/// with assignment visiting RHS, then LHS, then the assignment itself.
+void forEachPointExecutionOrder(const Expr *E,
+                                const std::function<void(const Expr *)> &Fn);
+
+/// Visits the sub-expressions of \p E (direct children only).
+void forEachChild(const Expr *E, const std::function<void(const Expr *)> &Fn);
+
+} // namespace mc
+
+#endif // MC_CFRONT_ASTUTILS_H

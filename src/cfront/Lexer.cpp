@@ -1,0 +1,303 @@
+//===- cfront/Lexer.cpp - C tokenizer --------------------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Lexer.h"
+
+#include "support/Diagnostics.h"
+
+#include <cctype>
+#include <map>
+
+using namespace mc;
+
+Tok mc::keywordKind(std::string_view Ident) {
+  static const std::map<std::string_view, Tok> Keywords = {
+      {"auto", Tok::KwAuto},         {"break", Tok::KwBreak},
+      {"case", Tok::KwCase},         {"char", Tok::KwChar},
+      {"const", Tok::KwConst},       {"continue", Tok::KwContinue},
+      {"default", Tok::KwDefault},   {"do", Tok::KwDo},
+      {"double", Tok::KwDouble},     {"else", Tok::KwElse},
+      {"enum", Tok::KwEnum},         {"extern", Tok::KwExtern},
+      {"float", Tok::KwFloat},       {"for", Tok::KwFor},
+      {"goto", Tok::KwGoto},         {"if", Tok::KwIf},
+      {"inline", Tok::KwInline},     {"int", Tok::KwInt},
+      {"long", Tok::KwLong},         {"register", Tok::KwRegister},
+      {"return", Tok::KwReturn},     {"short", Tok::KwShort},
+      {"signed", Tok::KwSigned},     {"sizeof", Tok::KwSizeof},
+      {"static", Tok::KwStatic},     {"struct", Tok::KwStruct},
+      {"switch", Tok::KwSwitch},     {"typedef", Tok::KwTypedef},
+      {"union", Tok::KwUnion},       {"unsigned", Tok::KwUnsigned},
+      {"void", Tok::KwVoid},         {"volatile", Tok::KwVolatile},
+      {"while", Tok::KwWhile},       {"_Bool", Tok::KwBool},
+  };
+  auto It = Keywords.find(Ident);
+  return It == Keywords.end() ? Tok::Identifier : It->second;
+}
+
+const char *mc::tokenName(Tok Kind) {
+  switch (Kind) {
+  case Tok::Eof: return "end of file";
+  case Tok::Identifier: return "identifier";
+  case Tok::IntLiteral: return "integer literal";
+  case Tok::FloatLiteral: return "float literal";
+  case Tok::CharLiteral: return "character literal";
+  case Tok::StringLiteral: return "string literal";
+  case Tok::LParen: return "'('";
+  case Tok::RParen: return "')'";
+  case Tok::LBrace: return "'{'";
+  case Tok::RBrace: return "'}'";
+  case Tok::LBracket: return "'['";
+  case Tok::RBracket: return "']'";
+  case Tok::Semi: return "';'";
+  case Tok::Comma: return "','";
+  case Tok::Dot: return "'.'";
+  case Tok::Arrow: return "'->'";
+  case Tok::Ellipsis: return "'...'";
+  case Tok::Star: return "'*'";
+  case Tok::Equal: return "'='";
+  case Tok::Colon: return "':'";
+  case Tok::Question: return "'?'";
+  case Tok::Hash: return "'#'";
+  case Tok::Dollar: return "'$'";
+  default: return "token";
+  }
+}
+
+Lexer::Lexer(const SourceManager &SM, unsigned FileID, DiagnosticEngine *Diags)
+    : SM(SM), FileID(FileID), Diags(Diags), Text(SM.bufferText(FileID)) {}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\v' ||
+        C == '\f') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Text.size() && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      Pos += 2;
+      while (Pos < Text.size() && !(Text[Pos] == '*' && peek(1) == '/'))
+        ++Pos;
+      if (Pos < Text.size())
+        Pos += 2;
+      else if (Diags)
+        Diags->error(SourceLoc(FileID, Pos), "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(Tok Kind, unsigned Start) const {
+  return Token{Kind, Text.substr(Start, Pos - Start), SourceLoc(FileID, Start)};
+}
+
+Token Lexer::lexIdentifier() {
+  unsigned Start = Pos;
+  while (Pos < Text.size() &&
+         (std::isalnum((unsigned char)Text[Pos]) || Text[Pos] == '_'))
+    ++Pos;
+  Token T = makeToken(Tok::Identifier, Start);
+  T.Kind = keywordKind(T.Text);
+  if (T.Kind != Tok::Identifier) {
+    // Reset to Identifier text but keyword kind — Text already right.
+  }
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  unsigned Start = Pos;
+  bool IsFloat = false;
+  if (Text[Pos] == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Pos += 2;
+    while (Pos < Text.size() && std::isxdigit((unsigned char)Text[Pos]))
+      ++Pos;
+  } else {
+    while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
+      ++Pos;
+    if (peek() == '.' && std::isdigit((unsigned char)peek(1))) {
+      IsFloat = true;
+      ++Pos;
+      while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
+        ++Pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      unsigned Save = Pos;
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      if (std::isdigit((unsigned char)peek())) {
+        IsFloat = true;
+        while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
+          ++Pos;
+      } else {
+        Pos = Save;
+      }
+    }
+  }
+  // Suffixes.
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
+         (IsFloat && (peek() == 'f' || peek() == 'F')))
+    ++Pos;
+  return makeToken(IsFloat ? Tok::FloatLiteral : Tok::IntLiteral, Start);
+}
+
+Token Lexer::lexString() {
+  unsigned Start = Pos;
+  ++Pos; // consume "
+  while (Pos < Text.size() && Text[Pos] != '"') {
+    if (Text[Pos] == '\\' && Pos + 1 < Text.size())
+      ++Pos;
+    ++Pos;
+  }
+  if (Pos < Text.size())
+    ++Pos; // consume closing "
+  else if (Diags)
+    Diags->error(SourceLoc(FileID, Start), "unterminated string literal");
+  return makeToken(Tok::StringLiteral, Start);
+}
+
+Token Lexer::lexChar() {
+  unsigned Start = Pos;
+  ++Pos; // consume '
+  while (Pos < Text.size() && Text[Pos] != '\'') {
+    if (Text[Pos] == '\\' && Pos + 1 < Text.size())
+      ++Pos;
+    ++Pos;
+  }
+  if (Pos < Text.size())
+    ++Pos;
+  else if (Diags)
+    Diags->error(SourceLoc(FileID, Start), "unterminated character literal");
+  return makeToken(Tok::CharLiteral, Start);
+}
+
+Token Lexer::lex() {
+  skipWhitespaceAndComments();
+  if (Pos >= Text.size())
+    return Token{Tok::Eof, {}, SourceLoc(FileID, Pos)};
+
+  unsigned Start = Pos;
+  char C = Text[Pos];
+
+  if (std::isalpha((unsigned char)C) || C == '_')
+    return lexIdentifier();
+  if (std::isdigit((unsigned char)C))
+    return lexNumber();
+  if (C == '"')
+    return lexString();
+  if (C == '\'')
+    return lexChar();
+
+  auto Two = [&](char Next) { return peek(1) == Next; };
+  switch (C) {
+  case '(': ++Pos; return makeToken(Tok::LParen, Start);
+  case ')': ++Pos; return makeToken(Tok::RParen, Start);
+  case '{': ++Pos; return makeToken(Tok::LBrace, Start);
+  case '}': ++Pos; return makeToken(Tok::RBrace, Start);
+  case '[': ++Pos; return makeToken(Tok::LBracket, Start);
+  case ']': ++Pos; return makeToken(Tok::RBracket, Start);
+  case ';': ++Pos; return makeToken(Tok::Semi, Start);
+  case ',': ++Pos; return makeToken(Tok::Comma, Start);
+  case '?': ++Pos; return makeToken(Tok::Question, Start);
+  case ':': ++Pos; return makeToken(Tok::Colon, Start);
+  case '~': ++Pos; return makeToken(Tok::Tilde, Start);
+  case '#': ++Pos; return makeToken(Tok::Hash, Start);
+  case '$': ++Pos; return makeToken(Tok::Dollar, Start);
+  case '.':
+    if (Two('.') && peek(2) == '.') {
+      Pos += 3;
+      return makeToken(Tok::Ellipsis, Start);
+    }
+    ++Pos;
+    return makeToken(Tok::Dot, Start);
+  case '+':
+    if (Two('+')) { Pos += 2; return makeToken(Tok::PlusPlus, Start); }
+    if (Two('=')) { Pos += 2; return makeToken(Tok::PlusEqual, Start); }
+    ++Pos;
+    return makeToken(Tok::Plus, Start);
+  case '-':
+    if (Two('-')) { Pos += 2; return makeToken(Tok::MinusMinus, Start); }
+    if (Two('=')) { Pos += 2; return makeToken(Tok::MinusEqual, Start); }
+    if (Two('>')) { Pos += 2; return makeToken(Tok::Arrow, Start); }
+    ++Pos;
+    return makeToken(Tok::Minus, Start);
+  case '*':
+    if (Two('=')) { Pos += 2; return makeToken(Tok::StarEqual, Start); }
+    ++Pos;
+    return makeToken(Tok::Star, Start);
+  case '/':
+    if (Two('=')) { Pos += 2; return makeToken(Tok::SlashEqual, Start); }
+    ++Pos;
+    return makeToken(Tok::Slash, Start);
+  case '%':
+    if (Two('=')) { Pos += 2; return makeToken(Tok::PercentEqual, Start); }
+    ++Pos;
+    return makeToken(Tok::Percent, Start);
+  case '<':
+    if (Two('<')) {
+      if (peek(2) == '=') { Pos += 3; return makeToken(Tok::LessLessEqual, Start); }
+      Pos += 2;
+      return makeToken(Tok::LessLess, Start);
+    }
+    if (Two('=')) { Pos += 2; return makeToken(Tok::LessEqual, Start); }
+    ++Pos;
+    return makeToken(Tok::Less, Start);
+  case '>':
+    if (Two('>')) {
+      if (peek(2) == '=') { Pos += 3; return makeToken(Tok::GreaterGreaterEqual, Start); }
+      Pos += 2;
+      return makeToken(Tok::GreaterGreater, Start);
+    }
+    if (Two('=')) { Pos += 2; return makeToken(Tok::GreaterEqual, Start); }
+    ++Pos;
+    return makeToken(Tok::Greater, Start);
+  case '=':
+    if (Two('=')) { Pos += 2; return makeToken(Tok::EqualEqual, Start); }
+    ++Pos;
+    return makeToken(Tok::Equal, Start);
+  case '!':
+    if (Two('=')) { Pos += 2; return makeToken(Tok::ExclaimEqual, Start); }
+    ++Pos;
+    return makeToken(Tok::Exclaim, Start);
+  case '&':
+    if (Two('&')) { Pos += 2; return makeToken(Tok::AmpAmp, Start); }
+    if (Two('=')) { Pos += 2; return makeToken(Tok::AmpEqual, Start); }
+    ++Pos;
+    return makeToken(Tok::Amp, Start);
+  case '|':
+    if (Two('|')) { Pos += 2; return makeToken(Tok::PipePipe, Start); }
+    if (Two('=')) { Pos += 2; return makeToken(Tok::PipeEqual, Start); }
+    ++Pos;
+    return makeToken(Tok::Pipe, Start);
+  case '^':
+    if (Two('=')) { Pos += 2; return makeToken(Tok::CaretEqual, Start); }
+    ++Pos;
+    return makeToken(Tok::Caret, Start);
+  default:
+    ++Pos;
+    if (Diags)
+      Diags->error(SourceLoc(FileID, Start),
+                   std::string("unexpected character '") + C + "'");
+    return makeToken(Tok::Unknown, Start);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  for (;;) {
+    Token T = lex();
+    Out.push_back(T);
+    if (T.is(Tok::Eof))
+      break;
+  }
+  return Out;
+}

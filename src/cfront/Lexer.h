@@ -1,0 +1,116 @@
+//===- cfront/Lexer.h - C tokenizer -----------------------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the C subset. Works over a SourceManager buffer so every
+/// token carries a SourceLoc. The same lexer serves the C parser, the
+/// preprocessor's expression evaluator, and metal pattern bodies (which are
+/// written in an extended version of C — Section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CFRONT_LEXER_H
+#define MC_CFRONT_LEXER_H
+
+#include "support/SourceManager.h"
+
+#include <string_view>
+#include <vector>
+
+namespace mc {
+
+class DiagnosticEngine;
+
+/// Token kinds. Keywords get their own kinds so the parser can switch on
+/// them directly.
+enum class Tok {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwAuto, KwBreak, KwCase, KwChar, KwConst, KwContinue, KwDefault, KwDo,
+  KwDouble, KwElse, KwEnum, KwExtern, KwFloat, KwFor, KwGoto, KwIf,
+  KwInline, KwInt, KwLong, KwRegister, KwReturn, KwShort, KwSigned,
+  KwSizeof, KwStatic, KwStruct, KwSwitch, KwTypedef, KwUnion, KwUnsigned,
+  KwVoid, KwVolatile, KwWhile, KwBool,
+
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Dot, Arrow, Ellipsis,
+  PlusPlus, MinusMinus,
+  Amp, Star, Plus, Minus, Tilde, Exclaim,
+  Slash, Percent, LessLess, GreaterGreater,
+  Less, Greater, LessEqual, GreaterEqual, EqualEqual, ExclaimEqual,
+  Caret, Pipe, AmpAmp, PipePipe,
+  Question, Colon,
+  Equal, StarEqual, SlashEqual, PercentEqual, PlusEqual, MinusEqual,
+  LessLessEqual, GreaterGreaterEqual, AmpEqual, CaretEqual, PipeEqual,
+  Hash, Dollar,
+
+  Unknown,
+};
+
+/// A lexed token: kind, source range text and location.
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string_view Text;
+  SourceLoc Loc;
+
+  bool is(Tok K) const { return Kind == K; }
+  bool isNot(Tok K) const { return Kind != K; }
+  bool isOneOf(Tok K1, Tok K2) const { return is(K1) || is(K2); }
+  template <typename... Ts> bool isOneOf(Tok K1, Tok K2, Ts... Ks) const {
+    return is(K1) || isOneOf(K2, Ks...);
+  }
+};
+
+/// Returns the keyword token kind for \p Ident, or Tok::Identifier.
+Tok keywordKind(std::string_view Ident);
+
+/// Human-readable name of a token kind, for diagnostics.
+const char *tokenName(Tok Kind);
+
+/// Tokenizer over a single registered buffer.
+class Lexer {
+public:
+  /// Lexes buffer \p FileID of \p SM. \p Diags may be null to ignore lexical
+  /// errors (the preprocessor does its own reporting).
+  Lexer(const SourceManager &SM, unsigned FileID, DiagnosticEngine *Diags);
+
+  /// Lexes the next token.
+  Token lex();
+
+  /// Lexes the whole buffer.
+  std::vector<Token> lexAll();
+
+  /// Current byte offset (for error recovery and raw-text capture).
+  unsigned offset() const { return Pos; }
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+  }
+  void skipWhitespaceAndComments();
+  Token makeToken(Tok Kind, unsigned Start) const;
+  Token lexIdentifier();
+  Token lexNumber();
+  Token lexString();
+  Token lexChar();
+
+  const SourceManager &SM;
+  unsigned FileID;
+  DiagnosticEngine *Diags;
+  std::string_view Text;
+  unsigned Pos = 0;
+};
+
+} // namespace mc
+
+#endif // MC_CFRONT_LEXER_H

@@ -1,0 +1,1144 @@
+//===- cfront/Parser.cpp - C parser ----------------------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Parser.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+
+using namespace mc;
+
+Parser::Parser(ASTContext &Ctx, const SourceManager &SM,
+               DiagnosticEngine &Diags, unsigned FileID)
+    : Ctx(Ctx), SM(SM), Diags(Diags), FileID(FileID) {
+  Lexer Lex(SM, FileID, &Diags);
+  Toks = Lex.lexAll();
+  ErrorsBefore = Diags.errorCount();
+}
+
+void Parser::error(const std::string &Msg) { Diags.error(cur().Loc, Msg); }
+
+bool Parser::expect(Tok K, const char *Context) {
+  if (accept(K))
+    return true;
+  error(formatString("expected %s %s", tokenName(K), Context));
+  return false;
+}
+
+void Parser::skipTo(Tok K1, Tok K2) {
+  int Depth = 0;
+  while (cur().isNot(Tok::Eof)) {
+    if (Depth == 0 && (cur().is(K1) || cur().is(K2)))
+      return;
+    if (cur().is(Tok::LBrace))
+      ++Depth;
+    else if (cur().is(Tok::RBrace) && Depth > 0)
+      --Depth;
+    advance();
+  }
+}
+
+void Parser::declare(std::string_view Name, Decl *D) {
+  assert(!Scopes.empty());
+  Scopes.back()[std::string(Name)] = D;
+}
+
+Decl *Parser::lookup(std::string_view Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+bool Parser::isTypeName(std::string_view Name) const {
+  return isa_and_nonnull<TypedefDecl>(lookup(Name));
+}
+
+//===----------------------------------------------------------------------===//
+// Constant expression evaluation (enum values, case labels, array sizes)
+//===----------------------------------------------------------------------===//
+
+static bool evalConstExpr(const Expr *E, long long &Out) {
+  if (const auto *IL = dyn_cast<IntegerLiteral>(E)) {
+    Out = (long long)IL->value();
+    return true;
+  }
+  if (const auto *CL = dyn_cast<CharLiteral>(E)) {
+    Out = CL->value();
+    return true;
+  }
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(E)) {
+    if (const auto *EC = dyn_cast<EnumConstantDecl>(DRE->decl())) {
+      Out = EC->value();
+      return true;
+    }
+    return false;
+  }
+  if (const auto *UO = dyn_cast<UnaryOperator>(E)) {
+    long long V;
+    if (!evalConstExpr(UO->sub(), V))
+      return false;
+    switch (UO->opcode()) {
+    case UnaryOperator::Minus: Out = -V; return true;
+    case UnaryOperator::Plus: Out = V; return true;
+    case UnaryOperator::Not: Out = ~V; return true;
+    case UnaryOperator::LNot: Out = !V; return true;
+    default: return false;
+    }
+  }
+  if (const auto *BO = dyn_cast<BinaryOperator>(E)) {
+    long long L, R;
+    if (!evalConstExpr(BO->lhs(), L) || !evalConstExpr(BO->rhs(), R))
+      return false;
+    switch (BO->opcode()) {
+    case BinaryOperator::Add: Out = L + R; return true;
+    case BinaryOperator::Sub: Out = L - R; return true;
+    case BinaryOperator::Mul: Out = L * R; return true;
+    case BinaryOperator::Div: if (!R) return false; Out = L / R; return true;
+    case BinaryOperator::Rem: if (!R) return false; Out = L % R; return true;
+    case BinaryOperator::Shl: Out = L << (R & 63); return true;
+    case BinaryOperator::Shr: Out = L >> (R & 63); return true;
+    case BinaryOperator::And: Out = L & R; return true;
+    case BinaryOperator::Or: Out = L | R; return true;
+    case BinaryOperator::Xor: Out = L ^ R; return true;
+    default: return false;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Declaration specifiers
+//===----------------------------------------------------------------------===//
+
+bool Parser::startsDeclaration() const {
+  switch (cur().Kind) {
+  case Tok::KwVoid: case Tok::KwChar: case Tok::KwInt: case Tok::KwFloat:
+  case Tok::KwDouble: case Tok::KwBool: case Tok::KwShort: case Tok::KwLong:
+  case Tok::KwSigned: case Tok::KwUnsigned: case Tok::KwStruct:
+  case Tok::KwUnion: case Tok::KwEnum: case Tok::KwTypedef:
+  case Tok::KwStatic: case Tok::KwExtern: case Tok::KwConst:
+  case Tok::KwVolatile: case Tok::KwRegister: case Tok::KwAuto:
+  case Tok::KwInline:
+    return true;
+  case Tok::Identifier:
+    // `name` starts a declaration only when it is a typedef name and the
+    // next token looks like a declarator (avoids eating `x * y;` exprs).
+    return isTypeName(cur().Text) &&
+           (peek().isOneOf(Tok::Star, Tok::Identifier) ||
+            peek().is(Tok::LParen));
+  default:
+    return false;
+  }
+}
+
+Parser::DeclSpec Parser::parseDeclSpecifiers() {
+  DeclSpec DS;
+  enum BaseKind { None, Void, Bool, Char, Int, Float, Double, Other } Base = None;
+  int Longs = 0;
+  bool Short = false, Unsigned = false, Signed = false;
+  const Type *OtherTy = nullptr;
+
+  for (;;) {
+    switch (cur().Kind) {
+    case Tok::KwTypedef: DS.IsTypedef = true; advance(); continue;
+    case Tok::KwStatic: DS.IsStatic = true; advance(); continue;
+    case Tok::KwExtern: DS.IsExtern = true; advance(); continue;
+    case Tok::KwConst: case Tok::KwVolatile: case Tok::KwRegister:
+    case Tok::KwAuto: case Tok::KwInline:
+      advance();
+      continue;
+    case Tok::KwVoid: Base = Void; advance(); continue;
+    case Tok::KwBool: Base = Bool; advance(); continue;
+    case Tok::KwChar: Base = Char; advance(); continue;
+    case Tok::KwInt: if (Base == None) Base = Int; advance(); continue;
+    case Tok::KwFloat: Base = Float; advance(); continue;
+    case Tok::KwDouble: Base = Double; advance(); continue;
+    case Tok::KwShort: Short = true; if (Base == None) Base = Int; advance(); continue;
+    case Tok::KwLong: ++Longs; if (Base == None) Base = Int; advance(); continue;
+    case Tok::KwSigned: Signed = true; if (Base == None) Base = Int; advance(); continue;
+    case Tok::KwUnsigned: Unsigned = true; if (Base == None) Base = Int; advance(); continue;
+    case Tok::KwStruct: case Tok::KwUnion:
+      OtherTy = parseStructOrUnion();
+      Base = Other;
+      continue;
+    case Tok::KwEnum:
+      OtherTy = parseEnum();
+      Base = Other;
+      continue;
+    case Tok::Identifier:
+      if (Base == None && isTypeName(cur().Text)) {
+        OtherTy = cast<TypedefDecl>(lookup(cur().Text))->type();
+        Base = Other;
+        advance();
+        continue;
+      }
+      break;
+    default:
+      break;
+    }
+    break;
+  }
+
+  TypeContext &TC = Ctx.types();
+  switch (Base) {
+  case None:
+    if (DS.IsTypedef || DS.IsStatic || DS.IsExtern) {
+      DS.BaseTy = TC.intTy(); // Implicit int.
+      DS.Valid = true;
+    }
+    return DS;
+  case Void: DS.BaseTy = TC.voidTy(); break;
+  case Bool: DS.BaseTy = TC.builtin(BuiltinType::Bool); break;
+  case Char:
+    DS.BaseTy = TC.builtin(Unsigned  ? BuiltinType::UChar
+                           : Signed ? BuiltinType::SChar
+                                    : BuiltinType::Char);
+    break;
+  case Int:
+    if (Short)
+      DS.BaseTy = TC.builtin(Unsigned ? BuiltinType::UShort : BuiltinType::Short);
+    else if (Longs >= 2)
+      DS.BaseTy = TC.builtin(Unsigned ? BuiltinType::ULongLong : BuiltinType::LongLong);
+    else if (Longs == 1)
+      DS.BaseTy = TC.builtin(Unsigned ? BuiltinType::ULong : BuiltinType::Long);
+    else
+      DS.BaseTy = TC.builtin(Unsigned ? BuiltinType::UInt : BuiltinType::Int);
+    break;
+  case Float: DS.BaseTy = TC.builtin(BuiltinType::Float); break;
+  case Double:
+    DS.BaseTy = TC.builtin(Longs ? BuiltinType::LongDouble : BuiltinType::Double);
+    break;
+  case Other: DS.BaseTy = OtherTy; break;
+  }
+  DS.Valid = DS.BaseTy != nullptr;
+  return DS;
+}
+
+const Type *Parser::parseStructOrUnion() {
+  bool IsUnion = cur().is(Tok::KwUnion);
+  SourceLoc Loc = cur().Loc;
+  advance();
+  std::string Tag;
+  if (cur().is(Tok::Identifier)) {
+    Tag = std::string(cur().Text);
+    advance();
+  } else {
+    Tag = formatString("<anon.%u>", AnonCounter++);
+  }
+  RecordType *RT = Ctx.types().record(Tag, IsUnion);
+  if (!accept(Tok::LBrace))
+    return RT;
+
+  std::vector<RecordType::Field> Fields;
+  while (cur().isNot(Tok::RBrace) && cur().isNot(Tok::Eof)) {
+    DeclSpec DS = parseDeclSpecifiers();
+    if (!DS.Valid) {
+      error("expected field declaration in struct/union");
+      skipTo(Tok::Semi, Tok::RBrace);
+      accept(Tok::Semi);
+      continue;
+    }
+    do {
+      std::string_view Name;
+      const Type *Ty = parseDeclarator(DS.BaseTy, Name, nullptr);
+      // Bitfields: `int flags : 3;` — width parsed and dropped.
+      if (accept(Tok::Colon))
+        parseConditional();
+      if (!Name.empty())
+        Fields.push_back(RecordType::Field{std::string(Name), Ty});
+    } while (accept(Tok::Comma));
+    expect(Tok::Semi, "after struct field");
+  }
+  expect(Tok::RBrace, "to close struct/union");
+  RT->setFields(std::move(Fields));
+  Ctx.topLevelDecls().push_back(
+      Ctx.create<RecordDecl>(Loc, Ctx.intern(Tag), RT));
+  return RT;
+}
+
+const Type *Parser::parseEnum() {
+  SourceLoc Loc = cur().Loc;
+  advance(); // enum
+  std::string Tag;
+  if (cur().is(Tok::Identifier)) {
+    Tag = std::string(cur().Text);
+    advance();
+  } else {
+    Tag = formatString("<anon.%u>", AnonCounter++);
+  }
+  EnumType *ET = Ctx.types().enumTy(Tag);
+  if (!accept(Tok::LBrace))
+    return ET;
+
+  std::vector<EnumConstantDecl *> Constants;
+  long long NextValue = 0;
+  while (cur().isNot(Tok::RBrace) && cur().isNot(Tok::Eof)) {
+    if (cur().isNot(Tok::Identifier)) {
+      error("expected enumerator name");
+      skipTo(Tok::RBrace);
+      break;
+    }
+    SourceLoc ELoc = cur().Loc;
+    std::string_view Name = Ctx.intern(cur().Text);
+    advance();
+    if (accept(Tok::Equal)) {
+      const Expr *ValExpr = parseConditional();
+      long long V;
+      if (ValExpr && evalConstExpr(ValExpr, V))
+        NextValue = V;
+    }
+    auto *EC = Ctx.create<EnumConstantDecl>(ELoc, Name, NextValue, ET);
+    ++NextValue;
+    declare(Name, EC);
+    Constants.push_back(EC);
+    if (!accept(Tok::Comma))
+      break;
+  }
+  expect(Tok::RBrace, "to close enum");
+  Ctx.topLevelDecls().push_back(Ctx.create<EnumDecl>(
+      Loc, Ctx.intern(Tag), ET, Ctx.allocateArray(Constants)));
+  return ET;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarators
+//===----------------------------------------------------------------------===//
+
+const Type *Parser::parseDeclaratorSuffix(const Type *Base,
+                                          std::vector<VarDecl *> *ParamsOut) {
+  if (cur().is(Tok::LBracket)) {
+    // Collect dimensions, then fold right so `int a[2][3]` is array(2, array(3)).
+    std::vector<unsigned> Dims;
+    while (accept(Tok::LBracket)) {
+      unsigned Size = 0;
+      if (cur().isNot(Tok::RBracket)) {
+        const Expr *E = parseConditional();
+        long long V;
+        if (E && evalConstExpr(E, V) && V > 0)
+          Size = (unsigned)V;
+      }
+      expect(Tok::RBracket, "to close array bound");
+      Dims.push_back(Size);
+    }
+    const Type *T = Base;
+    for (auto It = Dims.rbegin(); It != Dims.rend(); ++It)
+      T = Ctx.types().arrayOf(T, *It);
+    return T;
+  }
+  if (accept(Tok::LParen)) {
+    std::vector<const Type *> ParamTys;
+    std::vector<VarDecl *> Params;
+    bool Variadic = false;
+    if (cur().is(Tok::KwVoid) && peek().is(Tok::RParen)) {
+      advance(); // void
+    } else if (cur().isNot(Tok::RParen)) {
+      do {
+        if (accept(Tok::Ellipsis)) {
+          Variadic = true;
+          break;
+        }
+        DeclSpec DS = parseDeclSpecifiers();
+        if (!DS.Valid) {
+          // K&R-style or unknown: treat as int.
+          DS.BaseTy = Ctx.types().intTy();
+        }
+        std::string_view PName;
+        const Type *PTy = parseDeclarator(DS.BaseTy, PName, nullptr);
+        // Arrays and functions decay in parameter position.
+        if (PTy->isArray())
+          PTy = Ctx.types().pointerTo(cast<ArrayType>(PTy)->element());
+        else if (PTy->isFunction())
+          PTy = Ctx.types().pointerTo(PTy);
+        ParamTys.push_back(PTy);
+        Params.push_back(Ctx.create<VarDecl>(cur().Loc, Ctx.intern(PName), PTy,
+                                             VarDecl::Param));
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "to close parameter list");
+    if (ParamsOut)
+      *ParamsOut = std::move(Params);
+    return Ctx.types().functionTy(Base, std::move(ParamTys), Variadic);
+  }
+  return Base;
+}
+
+const Type *Parser::parseDeclarator(const Type *Base, std::string_view &Name,
+                                    std::vector<VarDecl *> *ParamsOut) {
+  Name = {};
+  while (accept(Tok::Star)) {
+    while (cur().isOneOf(Tok::KwConst, Tok::KwVolatile))
+      advance();
+    Base = Ctx.types().pointerTo(Base);
+  }
+  // Function-pointer style declarator: `(*name)(params)` or `(*name)[N]`.
+  if (cur().is(Tok::LParen) && peek().is(Tok::Star)) {
+    advance(); // (
+    unsigned Stars = 0;
+    while (accept(Tok::Star))
+      ++Stars;
+    if (cur().is(Tok::Identifier)) {
+      Name = Ctx.intern(cur().Text);
+      advance();
+    }
+    expect(Tok::RParen, "in function-pointer declarator");
+    const Type *Inner = parseDeclaratorSuffix(Base, nullptr);
+    for (unsigned I = 0; I != Stars; ++I)
+      Inner = Ctx.types().pointerTo(Inner);
+    return Inner;
+  }
+  if (cur().is(Tok::Identifier) && !isTypeName(cur().Text)) {
+    Name = Ctx.intern(cur().Text);
+    advance();
+  }
+  return parseDeclaratorSuffix(Base, ParamsOut);
+}
+
+const Type *Parser::parseTypeName() {
+  DeclSpec DS = parseDeclSpecifiers();
+  if (!DS.Valid)
+    return nullptr;
+  std::string_view Name;
+  return parseDeclarator(DS.BaseTy, Name, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// External declarations
+//===----------------------------------------------------------------------===//
+
+void Parser::parseExternalDeclaration() {
+  DeclSpec DS = parseDeclSpecifiers();
+  if (!DS.Valid) {
+    error("expected a declaration");
+    advance();
+    skipTo(Tok::Semi);
+    accept(Tok::Semi);
+    return;
+  }
+  if (accept(Tok::Semi))
+    return; // struct/enum definition alone
+
+  bool First = true;
+  do {
+    std::string_view Name;
+    std::vector<VarDecl *> Params;
+    const Type *Ty = parseDeclarator(DS.BaseTy, Name, &Params);
+
+    if (DS.IsTypedef) {
+      auto *TD = Ctx.create<TypedefDecl>(cur().Loc, Name, Ty);
+      declare(Name, TD);
+      Ctx.topLevelDecls().push_back(TD);
+      First = false;
+      continue;
+    }
+
+    if (Ty->isFunction()) {
+      const auto *FT = cast<FunctionType>(Ty);
+      FunctionDecl *FD = Ctx.findFunction(Name);
+      if (!FD) {
+        FD = Ctx.create<FunctionDecl>(cur().Loc, Name, FT,
+                                      Ctx.allocateArray(Params), DS.IsStatic,
+                                      FileID);
+        Ctx.functions().push_back(FD);
+        Ctx.topLevelDecls().push_back(FD);
+        declare(Name, FD);
+      } else {
+        if (!FD->isDefined())
+          FD->setParams(Ctx.allocateArray(Params));
+        // Re-declaration in a later translation unit: make it visible.
+        declare(Name, FD);
+      }
+      if (First && cur().is(Tok::LBrace)) {
+        if (FD->isDefined())
+          error(formatString("redefinition of function '%.*s'",
+                             (int)Name.size(), Name.data()));
+        FD->setFileID(FileID);
+        FD->setParams(Ctx.allocateArray(Params));
+        pushScope();
+        for (VarDecl *P : FD->params())
+          if (!P->name().empty())
+            declare(P->name(), P);
+        const CompoundStmt *Body = parseCompound();
+        popScope();
+        FD->setBody(Body);
+        return; // Function definitions take the whole declaration.
+      }
+      First = false;
+      continue;
+    }
+
+    auto *VD = Ctx.create<VarDecl>(
+        cur().Loc, Name, Ty,
+        DS.IsStatic ? VarDecl::FileStatic : VarDecl::Global);
+    if (accept(Tok::Equal))
+      VD->setInit(parseInitializer());
+    declare(Name, VD);
+    Ctx.topLevelDecls().push_back(VD);
+    First = false;
+  } while (accept(Tok::Comma));
+  expect(Tok::Semi, "after declaration");
+}
+
+bool Parser::parseTranslationUnit() {
+  pushScope();
+  while (cur().isNot(Tok::Eof))
+    parseExternalDeclaration();
+  popScope();
+  return Diags.errorCount() == ErrorsBefore;
+}
+
+//===----------------------------------------------------------------------===//
+// Local declarations and statements
+//===----------------------------------------------------------------------===//
+
+void Parser::parseLocalDeclaration(std::vector<VarDecl *> &Decls) {
+  DeclSpec DS = parseDeclSpecifiers();
+  if (!DS.Valid) {
+    error("expected a declaration");
+    skipTo(Tok::Semi, Tok::RBrace);
+    accept(Tok::Semi);
+    return;
+  }
+  if (accept(Tok::Semi))
+    return; // local struct/enum definition
+  do {
+    std::string_view Name;
+    const Type *Ty = parseDeclarator(DS.BaseTy, Name, nullptr);
+    if (DS.IsTypedef) {
+      declare(Name, Ctx.create<TypedefDecl>(cur().Loc, Name, Ty));
+      continue;
+    }
+    auto *VD = Ctx.create<VarDecl>(cur().Loc, Name, Ty,
+                                   DS.IsStatic ? VarDecl::FileStatic
+                                               : VarDecl::Local);
+    if (accept(Tok::Equal))
+      VD->setInit(parseInitializer());
+    declare(Name, VD);
+    Decls.push_back(VD);
+  } while (accept(Tok::Comma));
+  expect(Tok::Semi, "after declaration");
+}
+
+const CompoundStmt *Parser::parseCompound() {
+  SourceLoc Loc = cur().Loc;
+  expect(Tok::LBrace, "to open block");
+  std::vector<const Stmt *> Body;
+  pushScope();
+  while (cur().isNot(Tok::RBrace) && cur().isNot(Tok::Eof)) {
+    size_t Before = Idx;
+    const Stmt *S = parseStatement();
+    if (S)
+      Body.push_back(S);
+    if (Idx == Before) {
+      // Parser made no progress; bail out of the block.
+      error("could not parse statement");
+      advance();
+    }
+  }
+  popScope();
+  expect(Tok::RBrace, "to close block");
+  return Ctx.create<CompoundStmt>(Loc, Ctx.allocateArray(Body));
+}
+
+const Stmt *Parser::parseStatement() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case Tok::LBrace:
+    return parseCompound();
+  case Tok::Semi:
+    advance();
+    return Ctx.create<NullStmt>(Loc);
+  case Tok::KwIf: {
+    advance();
+    expect(Tok::LParen, "after 'if'");
+    const Expr *Cond = parseExpression();
+    expect(Tok::RParen, "after if condition");
+    const Stmt *Then = parseStatement();
+    const Stmt *Else = nullptr;
+    if (accept(Tok::KwElse))
+      Else = parseStatement();
+    return Ctx.create<IfStmt>(Loc, Cond, Then, Else);
+  }
+  case Tok::KwWhile: {
+    advance();
+    expect(Tok::LParen, "after 'while'");
+    const Expr *Cond = parseExpression();
+    expect(Tok::RParen, "after while condition");
+    const Stmt *Body = parseStatement();
+    return Ctx.create<WhileStmt>(Loc, Cond, Body);
+  }
+  case Tok::KwDo: {
+    advance();
+    const Stmt *Body = parseStatement();
+    expect(Tok::KwWhile, "after do body");
+    expect(Tok::LParen, "after 'while'");
+    const Expr *Cond = parseExpression();
+    expect(Tok::RParen, "after do-while condition");
+    expect(Tok::Semi, "after do-while");
+    return Ctx.create<DoStmt>(Loc, Body, Cond);
+  }
+  case Tok::KwFor: {
+    advance();
+    expect(Tok::LParen, "after 'for'");
+    pushScope();
+    const Stmt *Init = nullptr;
+    if (cur().is(Tok::Semi)) {
+      advance();
+    } else if (startsDeclaration()) {
+      std::vector<VarDecl *> Decls;
+      SourceLoc DLoc = cur().Loc;
+      parseLocalDeclaration(Decls);
+      Init = Ctx.create<DeclStmt>(DLoc, Ctx.allocateMutableArray(Decls));
+    } else {
+      Init = parseExpression();
+      expect(Tok::Semi, "after for initializer");
+    }
+    const Expr *Cond = nullptr;
+    if (cur().isNot(Tok::Semi))
+      Cond = parseExpression();
+    expect(Tok::Semi, "after for condition");
+    const Expr *Inc = nullptr;
+    if (cur().isNot(Tok::RParen))
+      Inc = parseExpression();
+    expect(Tok::RParen, "after for increment");
+    const Stmt *Body = parseStatement();
+    popScope();
+    return Ctx.create<ForStmt>(Loc, Init, Cond, Inc, Body);
+  }
+  case Tok::KwSwitch: {
+    advance();
+    expect(Tok::LParen, "after 'switch'");
+    const Expr *Cond = parseExpression();
+    expect(Tok::RParen, "after switch condition");
+    const Stmt *Body = parseStatement();
+    return Ctx.create<SwitchStmt>(Loc, Cond, Body);
+  }
+  case Tok::KwCase: {
+    advance();
+    const Expr *Value = parseConditional();
+    expect(Tok::Colon, "after case value");
+    const Stmt *Sub = cur().is(Tok::RBrace) ? Ctx.create<NullStmt>(Loc)
+                                            : parseStatement();
+    return Ctx.create<CaseStmt>(Loc, Value, Sub);
+  }
+  case Tok::KwDefault: {
+    advance();
+    expect(Tok::Colon, "after 'default'");
+    const Stmt *Sub = cur().is(Tok::RBrace) ? Ctx.create<NullStmt>(Loc)
+                                            : parseStatement();
+    return Ctx.create<DefaultStmt>(Loc, Sub);
+  }
+  case Tok::KwBreak:
+    advance();
+    expect(Tok::Semi, "after 'break'");
+    return Ctx.create<BreakStmt>(Loc);
+  case Tok::KwContinue:
+    advance();
+    expect(Tok::Semi, "after 'continue'");
+    return Ctx.create<ContinueStmt>(Loc);
+  case Tok::KwReturn: {
+    advance();
+    const Expr *Value = nullptr;
+    if (cur().isNot(Tok::Semi))
+      Value = parseExpression();
+    expect(Tok::Semi, "after return");
+    return Ctx.create<ReturnStmt>(Loc, Value);
+  }
+  case Tok::KwGoto: {
+    advance();
+    std::string_view Label;
+    if (cur().is(Tok::Identifier)) {
+      Label = Ctx.intern(cur().Text);
+      advance();
+    } else {
+      error("expected label after 'goto'");
+    }
+    expect(Tok::Semi, "after goto");
+    return Ctx.create<GotoStmt>(Loc, Label);
+  }
+  case Tok::Identifier:
+    if (peek().is(Tok::Colon) && !isTypeName(cur().Text)) {
+      std::string_view Name = Ctx.intern(cur().Text);
+      advance(); // name
+      advance(); // ':'
+      const Stmt *Sub = cur().is(Tok::RBrace) ? Ctx.create<NullStmt>(Loc)
+                                              : parseStatement();
+      return Ctx.create<LabelStmt>(Loc, Name, Sub);
+    }
+    break;
+  default:
+    break;
+  }
+
+  if (startsDeclaration()) {
+    std::vector<VarDecl *> Decls;
+    parseLocalDeclaration(Decls);
+    return Ctx.create<DeclStmt>(Loc, Ctx.allocateMutableArray(Decls));
+  }
+
+  const Expr *E = parseExpression();
+  expect(Tok::Semi, "after expression");
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const Type *Parser::decay(const Type *T) const {
+  if (const auto *AT = dyn_cast_or_null<ArrayType>(T))
+    return Ctx.types().pointerTo(AT->element());
+  return T;
+}
+
+const Type *Parser::usualArithmetic(const Type *A, const Type *B) const {
+  if (!A)
+    return B;
+  if (!B)
+    return A;
+  if (A->isPointer() || A->isArray())
+    return decay(A);
+  if (B->isPointer() || B->isArray())
+    return decay(B);
+  if (A->isFloating())
+    return A;
+  if (B->isFloating())
+    return B;
+  return Ctx.types().intTy();
+}
+
+const Expr *Parser::makeBinary(SourceLoc Loc, BinaryOperator::Opcode Op,
+                               const Expr *LHS, const Expr *RHS) {
+  const Type *Ty;
+  if (Op >= BinaryOperator::LT && Op <= BinaryOperator::NE)
+    Ty = Ctx.types().intTy();
+  else if (Op == BinaryOperator::LAnd || Op == BinaryOperator::LOr)
+    Ty = Ctx.types().intTy();
+  else if (Op >= BinaryOperator::Assign && Op <= BinaryOperator::OrAssign)
+    Ty = LHS->type();
+  else if (Op == BinaryOperator::Comma)
+    Ty = RHS->type();
+  else
+    Ty = usualArithmetic(LHS->type(), RHS->type());
+  return Ctx.create<BinaryOperator>(Loc, Op, LHS, RHS, Ty);
+}
+
+bool Parser::isStartOfTypeName() const {
+  const Token &T = peek(1);
+  switch (T.Kind) {
+  case Tok::KwVoid: case Tok::KwChar: case Tok::KwInt: case Tok::KwFloat:
+  case Tok::KwDouble: case Tok::KwBool: case Tok::KwShort: case Tok::KwLong:
+  case Tok::KwSigned: case Tok::KwUnsigned: case Tok::KwStruct:
+  case Tok::KwUnion: case Tok::KwEnum: case Tok::KwConst: case Tok::KwVolatile:
+    return true;
+  case Tok::Identifier:
+    return isTypeName(T.Text);
+  default:
+    return false;
+  }
+}
+
+const Expr *Parser::parseExpression() {
+  const Expr *E = parseAssignment();
+  while (cur().is(Tok::Comma)) {
+    SourceLoc Loc = cur().Loc;
+    advance();
+    const Expr *RHS = parseAssignment();
+    E = makeBinary(Loc, BinaryOperator::Comma, E, RHS);
+  }
+  return E;
+}
+
+const Expr *Parser::parseAssignment() {
+  const Expr *LHS = parseConditional();
+  BinaryOperator::Opcode Op;
+  switch (cur().Kind) {
+  case Tok::Equal: Op = BinaryOperator::Assign; break;
+  case Tok::StarEqual: Op = BinaryOperator::MulAssign; break;
+  case Tok::SlashEqual: Op = BinaryOperator::DivAssign; break;
+  case Tok::PercentEqual: Op = BinaryOperator::RemAssign; break;
+  case Tok::PlusEqual: Op = BinaryOperator::AddAssign; break;
+  case Tok::MinusEqual: Op = BinaryOperator::SubAssign; break;
+  case Tok::LessLessEqual: Op = BinaryOperator::ShlAssign; break;
+  case Tok::GreaterGreaterEqual: Op = BinaryOperator::ShrAssign; break;
+  case Tok::AmpEqual: Op = BinaryOperator::AndAssign; break;
+  case Tok::CaretEqual: Op = BinaryOperator::XorAssign; break;
+  case Tok::PipeEqual: Op = BinaryOperator::OrAssign; break;
+  default:
+    return LHS;
+  }
+  SourceLoc Loc = cur().Loc;
+  advance();
+  const Expr *RHS = parseAssignment();
+  return makeBinary(Loc, Op, LHS, RHS);
+}
+
+const Expr *Parser::parseConditional() {
+  const Expr *Cond = parseBinaryRHS(parseCast(), 1);
+  if (!accept(Tok::Question))
+    return Cond;
+  SourceLoc Loc = cur().Loc;
+  const Expr *Then = parseExpression();
+  expect(Tok::Colon, "in conditional expression");
+  const Expr *Else = parseConditional();
+  return Ctx.create<ConditionalExpr>(Loc, Cond, Then, Else, Then->type());
+}
+
+static int binaryPrecedence(Tok K, BinaryOperator::Opcode &Op) {
+  switch (K) {
+  case Tok::Star: Op = BinaryOperator::Mul; return 10;
+  case Tok::Slash: Op = BinaryOperator::Div; return 10;
+  case Tok::Percent: Op = BinaryOperator::Rem; return 10;
+  case Tok::Plus: Op = BinaryOperator::Add; return 9;
+  case Tok::Minus: Op = BinaryOperator::Sub; return 9;
+  case Tok::LessLess: Op = BinaryOperator::Shl; return 8;
+  case Tok::GreaterGreater: Op = BinaryOperator::Shr; return 8;
+  case Tok::Less: Op = BinaryOperator::LT; return 7;
+  case Tok::Greater: Op = BinaryOperator::GT; return 7;
+  case Tok::LessEqual: Op = BinaryOperator::LE; return 7;
+  case Tok::GreaterEqual: Op = BinaryOperator::GE; return 7;
+  case Tok::EqualEqual: Op = BinaryOperator::EQ; return 6;
+  case Tok::ExclaimEqual: Op = BinaryOperator::NE; return 6;
+  case Tok::Amp: Op = BinaryOperator::And; return 5;
+  case Tok::Caret: Op = BinaryOperator::Xor; return 4;
+  case Tok::Pipe: Op = BinaryOperator::Or; return 3;
+  case Tok::AmpAmp: Op = BinaryOperator::LAnd; return 2;
+  case Tok::PipePipe: Op = BinaryOperator::LOr; return 1;
+  default: return -1;
+  }
+}
+
+const Expr *Parser::parseBinaryRHS(const Expr *LHS, int MinPrec) {
+  for (;;) {
+    BinaryOperator::Opcode Op;
+    int Prec = binaryPrecedence(cur().Kind, Op);
+    if (Prec < MinPrec)
+      return LHS;
+    SourceLoc Loc = cur().Loc;
+    advance();
+    const Expr *RHS = parseCast();
+    BinaryOperator::Opcode NextOp;
+    int NextPrec = binaryPrecedence(cur().Kind, NextOp);
+    if (NextPrec > Prec)
+      RHS = parseBinaryRHS(RHS, Prec + 1);
+    LHS = makeBinary(Loc, Op, LHS, RHS);
+  }
+}
+
+const Expr *Parser::parseCast() {
+  if (cur().is(Tok::LParen) && isStartOfTypeName()) {
+    SourceLoc Loc = cur().Loc;
+    advance(); // (
+    const Type *Ty = parseTypeName();
+    expect(Tok::RParen, "after cast type");
+    // `(type){...}` compound literals: parse the init list as the operand.
+    const Expr *Sub =
+        cur().is(Tok::LBrace) ? parseInitializer() : parseCast();
+    if (!Ty)
+      return Sub;
+    return Ctx.create<CastExpr>(Loc, Ty, Sub);
+  }
+  return parseUnary();
+}
+
+const Expr *Parser::parseUnary() {
+  SourceLoc Loc = cur().Loc;
+  UnaryOperator::Opcode Op;
+  switch (cur().Kind) {
+  case Tok::Star: Op = UnaryOperator::Deref; break;
+  case Tok::Amp: Op = UnaryOperator::AddrOf; break;
+  case Tok::Plus: Op = UnaryOperator::Plus; break;
+  case Tok::Minus: Op = UnaryOperator::Minus; break;
+  case Tok::Tilde: Op = UnaryOperator::Not; break;
+  case Tok::Exclaim: Op = UnaryOperator::LNot; break;
+  case Tok::PlusPlus: Op = UnaryOperator::PreInc; break;
+  case Tok::MinusMinus: Op = UnaryOperator::PreDec; break;
+  case Tok::KwSizeof: {
+    advance();
+    if (cur().is(Tok::LParen) && isStartOfTypeName()) {
+      advance();
+      const Type *Ty = parseTypeName();
+      expect(Tok::RParen, "after sizeof type");
+      return Ctx.create<SizeofExpr>(
+          Loc, Ty, Ctx.types().builtin(BuiltinType::ULong));
+    }
+    const Expr *Sub = parseUnary();
+    return Ctx.create<SizeofExpr>(Loc, Sub,
+                                  Ctx.types().builtin(BuiltinType::ULong));
+  }
+  default:
+    return parsePostfix(parsePrimary());
+  }
+  advance();
+  const Expr *Sub = parseCast();
+  const Type *Ty;
+  switch (Op) {
+  case UnaryOperator::Deref: {
+    const Type *SubTy = decay(Sub->type());
+    const auto *PT = dyn_cast_or_null<PointerType>(SubTy);
+    Ty = PT ? PT->pointee() : Ctx.types().intTy();
+    break;
+  }
+  case UnaryOperator::AddrOf:
+    Ty = Sub->type() ? Ctx.types().pointerTo(Sub->type())
+                     : Ctx.types().pointerTo(Ctx.types().intTy());
+    break;
+  case UnaryOperator::LNot:
+    Ty = Ctx.types().intTy();
+    break;
+  default:
+    Ty = Sub->type();
+    break;
+  }
+  return Ctx.create<UnaryOperator>(Loc, Op, Sub, Ty);
+}
+
+const Expr *Parser::parsePostfix(const Expr *Base) {
+  for (;;) {
+    SourceLoc Loc = cur().Loc;
+    switch (cur().Kind) {
+    case Tok::LBracket: {
+      advance();
+      const Expr *Index = parseExpression();
+      expect(Tok::RBracket, "after subscript");
+      const Type *BaseTy = decay(Base->type());
+      const Type *Ty = BaseTy && BaseTy->pointeeOrElement()
+                           ? BaseTy->pointeeOrElement()
+                           : Ctx.types().intTy();
+      Base = Ctx.create<ArraySubscriptExpr>(Loc, Base, Index, Ty);
+      continue;
+    }
+    case Tok::LParen: {
+      advance();
+      std::vector<const Expr *> Args;
+      if (cur().isNot(Tok::RParen)) {
+        do {
+          Args.push_back(parseAssignment());
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RParen, "after call arguments");
+      const Type *RetTy = Ctx.types().intTy();
+      const Type *CalleeTy = Base->type();
+      if (const auto *PT = dyn_cast_or_null<PointerType>(CalleeTy))
+        CalleeTy = PT->pointee();
+      if (const auto *FT = dyn_cast_or_null<FunctionType>(CalleeTy))
+        RetTy = FT->returnType();
+      Base = Ctx.create<CallExpr>(Loc, Base, Ctx.allocateArray(Args), RetTy);
+      continue;
+    }
+    case Tok::Dot:
+    case Tok::Arrow: {
+      bool IsArrow = cur().is(Tok::Arrow);
+      advance();
+      std::string_view Member;
+      if (cur().is(Tok::Identifier) ||
+          (Holes && cur().Kind >= Tok::KwAuto && cur().Kind <= Tok::KwBool)) {
+        Member = Ctx.intern(cur().Text);
+        advance();
+      } else {
+        error("expected member name");
+      }
+      const Type *BaseTy = Base->type();
+      if (IsArrow && BaseTy)
+        BaseTy = BaseTy->pointeeOrElement();
+      const Type *Ty = Ctx.types().intTy();
+      if (const auto *RT = dyn_cast_or_null<RecordType>(BaseTy))
+        if (const RecordType::Field *F = RT->findField(std::string(Member)))
+          Ty = F->Ty;
+      Base = Ctx.create<MemberExpr>(Loc, Base, Member, IsArrow, Ty);
+      continue;
+    }
+    case Tok::PlusPlus:
+      advance();
+      Base = Ctx.create<UnaryOperator>(Loc, UnaryOperator::PostInc, Base,
+                                       Base->type());
+      continue;
+    case Tok::MinusMinus:
+      advance();
+      Base = Ctx.create<UnaryOperator>(Loc, UnaryOperator::PostDec, Base,
+                                       Base->type());
+      continue;
+    default:
+      return Base;
+    }
+  }
+}
+
+const Expr *Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case Tok::IntLiteral: {
+    unsigned long long V =
+        std::strtoull(std::string(cur().Text).c_str(), nullptr, 0);
+    advance();
+    return Ctx.create<IntegerLiteral>(Loc, V, Ctx.types().intTy());
+  }
+  case Tok::FloatLiteral: {
+    double V = std::strtod(std::string(cur().Text).c_str(), nullptr);
+    advance();
+    return Ctx.create<FloatLiteral>(Loc, V, Ctx.types().doubleTy());
+  }
+  case Tok::CharLiteral: {
+    std::string_view T = cur().Text;
+    advance();
+    int V = 0;
+    if (T.size() >= 3)
+      V = T[1] == '\\' && T.size() >= 4
+              ? (T[2] == 'n'   ? '\n'
+                 : T[2] == 't' ? '\t'
+                 : T[2] == '0' ? '\0'
+                 : T[2] == 'r' ? '\r'
+                               : T[2])
+              : (unsigned char)T[1];
+    return Ctx.create<CharLiteral>(Loc, V, Ctx.types().intTy());
+  }
+  case Tok::StringLiteral: {
+    std::string_view T = cur().Text;
+    advance();
+    // Adjacent string literals concatenate.
+    std::string Value(T.substr(1, T.size() >= 2 ? T.size() - 2 : 0));
+    while (cur().is(Tok::StringLiteral)) {
+      std::string_view N = cur().Text;
+      Value.append(N.substr(1, N.size() >= 2 ? N.size() - 2 : 0));
+      advance();
+    }
+    return Ctx.create<StringLiteral>(Loc, Ctx.intern(Value),
+                                     Ctx.types().charPtrTy());
+  }
+  case Tok::Identifier: {
+    std::string_view Name = cur().Text;
+    advance();
+    if (Holes) {
+      if (const PatternHoles::Hole *H = Holes->find(Name))
+        return Ctx.create<HoleExpr>(Loc, Ctx.intern(Name), H->Kind,
+                                    H->DeclaredTy);
+    }
+    if (Decl *D = lookup(Name)) {
+      const Type *Ty = Ctx.types().intTy();
+      if (const auto *VD = dyn_cast<VarDecl>(D))
+        Ty = VD->type();
+      else if (const auto *FD = dyn_cast<FunctionDecl>(D))
+        Ty = FD->type();
+      else if (isa<EnumConstantDecl>(D))
+        Ty = Ctx.types().intTy();
+      return Ctx.create<DeclRefExpr>(Loc, D, Ty);
+    }
+    // Unknown identifier. In pattern mode this is a named wildcard that
+    // matches by spelling; in regular mode emulate implicit declaration
+    // (classic C) with a warning.
+    std::string_view Interned = Ctx.intern(Name);
+    Decl *D;
+    if (cur().is(Tok::LParen)) {
+      // A function known from another translation unit in the same context.
+      if (FunctionDecl *Known = Ctx.findFunction(Name)) {
+        if (!Scopes.empty())
+          Scopes.front()[std::string(Name)] = Known;
+        return Ctx.create<DeclRefExpr>(Loc, Known, Known->type());
+      }
+      const FunctionType *FT =
+          Ctx.types().functionTy(Ctx.types().intTy(), {}, true);
+      auto *FD = Ctx.create<FunctionDecl>(Loc, Interned, FT,
+                                          std::span<VarDecl *const>(), false,
+                                          FileID);
+      if (!Holes) {
+        Diags.warning(Loc, formatString("implicit declaration of function "
+                                        "'%.*s'",
+                                        (int)Name.size(), Name.data()));
+        Ctx.functions().push_back(FD);
+      }
+      D = FD;
+      if (!Scopes.empty())
+        Scopes.front()[std::string(Name)] = D;
+      return Ctx.create<DeclRefExpr>(Loc, D, FD->type());
+    }
+    auto *VD = Ctx.create<VarDecl>(Loc, Interned, Ctx.types().intTy(),
+                                   VarDecl::Global);
+    if (!Holes)
+      Diags.warning(Loc, formatString("use of undeclared identifier '%.*s'",
+                                      (int)Name.size(), Name.data()));
+    if (!Scopes.empty())
+      Scopes.front()[std::string(Name)] = VD;
+    return Ctx.create<DeclRefExpr>(Loc, VD, VD->type());
+  }
+  case Tok::LParen: {
+    advance();
+    const Expr *E = parseExpression();
+    expect(Tok::RParen, "to close parenthesised expression");
+    return E;
+  }
+  default:
+    error(formatString("expected an expression, got %s",
+                       tokenName(cur().Kind)));
+    advance();
+    return Ctx.create<IntegerLiteral>(Loc, 0, Ctx.types().intTy());
+  }
+}
+
+const Expr *Parser::parseInitializer() {
+  if (cur().is(Tok::LBrace)) {
+    SourceLoc Loc = cur().Loc;
+    advance();
+    std::vector<const Expr *> Inits;
+    while (cur().isNot(Tok::RBrace) && cur().isNot(Tok::Eof)) {
+      // Designators (.field = / [i] =) are skipped, the value is kept.
+      if (cur().is(Tok::Dot)) {
+        advance();
+        if (cur().is(Tok::Identifier))
+          advance();
+        accept(Tok::Equal);
+      } else if (cur().is(Tok::LBracket)) {
+        advance();
+        parseConditional();
+        expect(Tok::RBracket, "in designator");
+        accept(Tok::Equal);
+      }
+      Inits.push_back(parseInitializer());
+      if (!accept(Tok::Comma))
+        break;
+    }
+    expect(Tok::RBrace, "to close initializer list");
+    return Ctx.create<InitListExpr>(Loc, Ctx.allocateArray(Inits), nullptr);
+  }
+  return parseAssignment();
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern-mode entry points
+//===----------------------------------------------------------------------===//
+
+const Expr *Parser::parsePatternExpr(const PatternHoles &PatternHoleMap) {
+  Holes = &PatternHoleMap;
+  pushScope();
+  unsigned Before = Diags.errorCount();
+  const Expr *E = parseExpression();
+  bool Clean = Diags.errorCount() == Before && cur().is(Tok::Eof);
+  popScope();
+  Holes = nullptr;
+  return Clean ? E : nullptr;
+}
+
+const Type *Parser::parseTypeOnly() {
+  pushScope();
+  unsigned Before = Diags.errorCount();
+  const Type *Ty = parseTypeName();
+  bool Clean = Diags.errorCount() == Before && cur().is(Tok::Eof);
+  popScope();
+  return Clean ? Ty : nullptr;
+}
+
+const Stmt *Parser::parsePatternStmt(const PatternHoles &PatternHoleMap) {
+  Holes = &PatternHoleMap;
+  pushScope();
+  unsigned Before = Diags.errorCount();
+  const Stmt *S = parseStatement();
+  bool Clean = Diags.errorCount() == Before && cur().is(Tok::Eof);
+  popScope();
+  Holes = nullptr;
+  return Clean ? S : nullptr;
+}

@@ -1,0 +1,170 @@
+//===- cfront/Parser.h - C parser -------------------------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the C subset, with enough semantic analysis
+/// to type every expression (metal's typed holes need expression types —
+/// Table 1). The same parser, switched into *pattern mode*, parses metal
+/// pattern bodies: declared hole variables become HoleExpr nodes and unknown
+/// identifiers become named wildcards that match by spelling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CFRONT_PARSER_H
+#define MC_CFRONT_PARSER_H
+
+#include "cfront/ASTContext.h"
+#include "cfront/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// Hole-variable declarations handed to the parser in pattern mode.
+struct PatternHoles {
+  struct Hole {
+    HoleExpr::HoleKind Kind;
+    const Type *DeclaredTy; ///< Only for HoleExpr::CType holes.
+  };
+  std::map<std::string, Hole, std::less<>> Holes;
+
+  const Hole *find(std::string_view Name) const {
+    auto It = Holes.find(Name);
+    return It == Holes.end() ? nullptr : &It->second;
+  }
+};
+
+/// Parses one preprocessed buffer into an ASTContext.
+class Parser {
+public:
+  Parser(ASTContext &Ctx, const SourceManager &SM, DiagnosticEngine &Diags,
+         unsigned FileID);
+
+  /// Parses the whole buffer as a translation unit, appending declarations
+  /// to the context. Returns false when errors were reported.
+  bool parseTranslationUnit();
+
+  /// Pattern-mode entry: parses the buffer as a single expression. Returns
+  /// null on error. \p Holes maps hole variable names.
+  const Expr *parsePatternExpr(const PatternHoles &Holes);
+
+  /// Pattern-mode entry: parses the buffer as a single statement.
+  const Stmt *parsePatternStmt(const PatternHoles &Holes);
+
+  /// Parses the whole buffer as a C type-name (metal hole declarations).
+  /// Returns null unless the buffer is exactly one type-name.
+  const Type *parseTypeOnly();
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+  const Token &cur() const { return Toks[Idx]; }
+  const Token &peek(unsigned Ahead = 1) const {
+    size_t I = Idx + Ahead;
+    return Toks[I < Toks.size() ? I : Toks.size() - 1];
+  }
+  void advance() {
+    if (Idx + 1 < Toks.size())
+      ++Idx;
+  }
+  bool accept(Tok K) {
+    if (cur().is(K)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool expect(Tok K, const char *Context);
+  void error(const std::string &Msg);
+  void skipTo(Tok K1, Tok K2 = Tok::Eof);
+
+  //===--------------------------------------------------------------------===//
+  // Scopes and lookup
+  //===--------------------------------------------------------------------===//
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  void declare(std::string_view Name, Decl *D);
+  Decl *lookup(std::string_view Name) const;
+  bool isTypeName(std::string_view Name) const;
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+  struct DeclSpec {
+    const Type *BaseTy = nullptr;
+    bool IsTypedef = false;
+    bool IsStatic = false;
+    bool IsExtern = false;
+    bool Valid = false;
+  };
+  /// True when the current token can begin a declaration.
+  bool startsDeclaration() const;
+  DeclSpec parseDeclSpecifiers();
+  const Type *parseStructOrUnion();
+  const Type *parseEnum();
+  /// Parses a declarator over \p Base; returns the final type and the
+  /// declared name ("" for abstract declarators).
+  const Type *parseDeclarator(const Type *Base, std::string_view &Name,
+                              std::vector<VarDecl *> *ParamsOut);
+  const Type *parseDeclaratorSuffix(const Type *Base,
+                                    std::vector<VarDecl *> *ParamsOut);
+  /// Parses a type-name (for casts and sizeof).
+  const Type *parseTypeName();
+  /// Parses one external declaration (function def/proto, globals, typedef).
+  void parseExternalDeclaration();
+  /// Parses a local declaration into \p Decls.
+  void parseLocalDeclaration(std::vector<VarDecl *> &Decls);
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+  const Stmt *parseStatement();
+  const CompoundStmt *parseCompound();
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+  const Expr *parseExpression(); // includes comma
+  const Expr *parseAssignment();
+  const Expr *parseConditional();
+  const Expr *parseBinaryRHS(const Expr *LHS, int MinPrec);
+  const Expr *parseCast();
+  const Expr *parseUnary();
+  const Expr *parsePostfix(const Expr *Base);
+  const Expr *parsePrimary();
+  const Expr *parseInitializer();
+
+  /// Returns true when the parenthesised construct at '(' is a type-name.
+  bool isStartOfTypeName() const;
+
+  //===--------------------------------------------------------------------===//
+  // Type computation helpers
+  //===--------------------------------------------------------------------===//
+  const Type *usualArithmetic(const Type *A, const Type *B) const;
+  const Type *decay(const Type *T) const;
+  const Expr *makeBinary(SourceLoc Loc, BinaryOperator::Opcode Op,
+                         const Expr *LHS, const Expr *RHS);
+
+  ASTContext &Ctx;
+  const SourceManager &SM;
+  DiagnosticEngine &Diags;
+  unsigned FileID;
+  std::vector<Token> Toks;
+  size_t Idx = 0;
+
+  std::vector<std::map<std::string, Decl *, std::less<>>> Scopes;
+  const PatternHoles *Holes = nullptr; ///< Non-null in pattern mode.
+  unsigned AnonCounter = 0;
+  unsigned ErrorsBefore = 0;
+};
+
+} // namespace mc
+
+#endif // MC_CFRONT_PARSER_H

@@ -1,0 +1,618 @@
+//===- cfront/Preprocessor.cpp - Textual C preprocessor --------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Preprocessor.h"
+
+#include "cfront/Lexer.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+#include <set>
+
+using namespace mc;
+
+namespace {
+
+/// Scans C-ish text and yields identifier ranges, skipping string/char
+/// literals and comments.
+class IdentScanner {
+public:
+  explicit IdentScanner(std::string_view Text) : Text(Text) {}
+
+  /// Advances to the next identifier; returns false at end of text. Text
+  /// between identifiers is appended to \p Passthrough.
+  bool next(std::string &Passthrough, std::string_view &Ident) {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isalpha((unsigned char)C) || C == '_') {
+        unsigned Start = Pos;
+        while (Pos < Text.size() && (std::isalnum((unsigned char)Text[Pos]) ||
+                                     Text[Pos] == '_'))
+          ++Pos;
+        Ident = Text.substr(Start, Pos - Start);
+        return true;
+      }
+      if (std::isdigit((unsigned char)C)) {
+        // Copy whole numeric token so `0x1f` does not surface `x1f`.
+        while (Pos < Text.size() && (std::isalnum((unsigned char)Text[Pos]) ||
+                                     Text[Pos] == '.' || Text[Pos] == '_'))
+          Passthrough += Text[Pos++];
+        continue;
+      }
+      if (C == '"' || C == '\'') {
+        char Quote = C;
+        Passthrough += Text[Pos++];
+        while (Pos < Text.size() && Text[Pos] != Quote) {
+          if (Text[Pos] == '\\' && Pos + 1 < Text.size())
+            Passthrough += Text[Pos++];
+          Passthrough += Text[Pos++];
+        }
+        if (Pos < Text.size())
+          Passthrough += Text[Pos++];
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+        Passthrough.append(Text.substr(Pos));
+        Pos = Text.size();
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '*') {
+        unsigned Start = Pos;
+        Pos += 2;
+        while (Pos + 1 < Text.size() &&
+               !(Text[Pos] == '*' && Text[Pos + 1] == '/'))
+          ++Pos;
+        Pos = Pos + 1 < Text.size() ? Pos + 2 : Text.size();
+        Passthrough.append(Text.substr(Start, Pos - Start));
+        continue;
+      }
+      Passthrough += Text[Pos++];
+    }
+    return false;
+  }
+
+  unsigned pos() const { return Pos; }
+  void setPos(unsigned P) { Pos = P; }
+  std::string_view text() const { return Text; }
+
+private:
+  std::string_view Text;
+  unsigned Pos = 0;
+};
+
+/// Splits a function-like macro's argument list starting at the character
+/// after '('. Returns the position just past the closing ')' or npos.
+size_t splitMacroArgs(std::string_view Text, size_t Pos,
+                      std::vector<std::string> &Args) {
+  int Depth = 1;
+  std::string Cur;
+  bool Any = false;
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (C == '(')
+      ++Depth;
+    else if (C == ')') {
+      --Depth;
+      if (Depth == 0) {
+        if (Any || !trim(Cur).empty())
+          Args.push_back(std::string(trim(Cur)));
+        return Pos + 1;
+      }
+    } else if (C == ',' && Depth == 1) {
+      Args.push_back(std::string(trim(Cur)));
+      Cur.clear();
+      Any = true;
+      ++Pos;
+      continue;
+    } else if (C == '"' || C == '\'') {
+      char Quote = C;
+      Cur += Text[Pos++];
+      while (Pos < Text.size() && Text[Pos] != Quote) {
+        if (Text[Pos] == '\\' && Pos + 1 < Text.size())
+          Cur += Text[Pos++];
+        Cur += Text[Pos++];
+      }
+      if (Pos < Text.size())
+        Cur += Text[Pos];
+      ++Pos;
+      continue;
+    }
+    Cur += C;
+    ++Pos;
+  }
+  return std::string_view::npos;
+}
+
+/// Escapes \p Arg as a C string literal body (the # operator).
+std::string stringizeArg(const std::string &Arg) {
+  std::string Out = "\"";
+  for (char C : Arg) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Substitutes macro parameters in \p Body with the matching argument text,
+/// handling the # (stringize) and ## (token paste) operators.
+std::string substituteParams(const MacroDef &M,
+                             const std::vector<std::string> &Args) {
+  std::string Out;
+  IdentScanner Scan(M.Body);
+  std::string_view Ident;
+  auto ArgFor = [&](std::string_view Name, std::string &Value) {
+    for (size_t I = 0; I != M.Params.size(); ++I)
+      if (Name == M.Params[I]) {
+        Value = I < Args.size() ? Args[I] : "";
+        return true;
+      }
+    if (M.Variadic && Name == "__VA_ARGS__") {
+      Value.clear();
+      for (size_t I = M.Params.size(); I < Args.size(); ++I) {
+        if (I != M.Params.size())
+          Value += ", ";
+        Value += Args[I];
+      }
+      return true;
+    }
+    return false;
+  };
+  while (Scan.next(Out, Ident)) {
+    // `# param` stringizes the argument.
+    std::string_view Trailing = trim(Out);
+    bool Stringize = !Trailing.empty() && Trailing.back() == '#' &&
+                     (Trailing.size() < 2 || Trailing[Trailing.size() - 2] != '#');
+    std::string Value;
+    if (!ArgFor(Ident, Value)) {
+      Out.append(Ident);
+      continue;
+    }
+    if (Stringize) {
+      // Drop the '#' (and any blanks after it) from the output.
+      size_t Hash = Out.rfind('#');
+      Out.erase(Hash);
+      Out += stringizeArg(std::string(trim(Value)));
+      continue;
+    }
+    Out += Value;
+  }
+  // `a ## b` pastes adjacent tokens: remove the operator and surrounding
+  // whitespace after substitution.
+  std::string Pasted;
+  for (size_t I = 0; I < Out.size();) {
+    if (Out[I] == '#' && I + 1 < Out.size() && Out[I + 1] == '#') {
+      while (!Pasted.empty() && (Pasted.back() == ' ' || Pasted.back() == '\t'))
+        Pasted.pop_back();
+      I += 2;
+      while (I < Out.size() && (Out[I] == ' ' || Out[I] == '\t'))
+        ++I;
+      continue;
+    }
+    Pasted += Out[I++];
+  }
+  return Pasted;
+}
+
+/// Tiny recursive-descent evaluator for #if constant expressions.
+class CondEvaluator {
+public:
+  CondEvaluator(const std::vector<Token> &Toks) : Toks(Toks) {}
+
+  long long eval() { return parseTernary(); }
+  bool hadError() const { return Error; }
+
+private:
+  const Token &cur() const { return Toks[Idx < Toks.size() ? Idx : Toks.size() - 1]; }
+  void advance() {
+    if (Idx < Toks.size())
+      ++Idx;
+  }
+  bool accept(Tok K) {
+    if (cur().is(K)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  long long parsePrimary() {
+    if (cur().is(Tok::IntLiteral)) {
+      long long V = std::strtoll(std::string(cur().Text).c_str(), nullptr, 0);
+      advance();
+      return V;
+    }
+    if (cur().is(Tok::CharLiteral)) {
+      std::string_view T = cur().Text;
+      advance();
+      return T.size() >= 3 ? (long long)(unsigned char)T[1] : 0;
+    }
+    if (cur().is(Tok::Identifier) || (cur().Kind >= Tok::KwAuto &&
+                                      cur().Kind <= Tok::KwBool)) {
+      advance(); // Undefined identifiers evaluate to 0.
+      return 0;
+    }
+    if (accept(Tok::LParen)) {
+      long long V = parseTernary();
+      if (!accept(Tok::RParen))
+        Error = true;
+      return V;
+    }
+    if (accept(Tok::Exclaim))
+      return !parsePrimary();
+    if (accept(Tok::Minus))
+      return -parsePrimary();
+    if (accept(Tok::Plus))
+      return parsePrimary();
+    if (accept(Tok::Tilde))
+      return ~parsePrimary();
+    Error = true;
+    advance();
+    return 0;
+  }
+
+  long long parseBinary(int MinPrec) {
+    long long LHS = parsePrimary();
+    for (;;) {
+      int Prec;
+      Tok K = cur().Kind;
+      switch (K) {
+      case Tok::Star: case Tok::Slash: case Tok::Percent: Prec = 10; break;
+      case Tok::Plus: case Tok::Minus: Prec = 9; break;
+      case Tok::LessLess: case Tok::GreaterGreater: Prec = 8; break;
+      case Tok::Less: case Tok::Greater: case Tok::LessEqual:
+      case Tok::GreaterEqual: Prec = 7; break;
+      case Tok::EqualEqual: case Tok::ExclaimEqual: Prec = 6; break;
+      case Tok::Amp: Prec = 5; break;
+      case Tok::Caret: Prec = 4; break;
+      case Tok::Pipe: Prec = 3; break;
+      case Tok::AmpAmp: Prec = 2; break;
+      case Tok::PipePipe: Prec = 1; break;
+      default: return LHS;
+      }
+      if (Prec < MinPrec)
+        return LHS;
+      advance();
+      long long RHS = parseBinary(Prec + 1);
+      switch (K) {
+      case Tok::Star: LHS = LHS * RHS; break;
+      case Tok::Slash: LHS = RHS ? LHS / RHS : 0; break;
+      case Tok::Percent: LHS = RHS ? LHS % RHS : 0; break;
+      case Tok::Plus: LHS = LHS + RHS; break;
+      case Tok::Minus: LHS = LHS - RHS; break;
+      case Tok::LessLess: LHS = LHS << (RHS & 63); break;
+      case Tok::GreaterGreater: LHS = LHS >> (RHS & 63); break;
+      case Tok::Less: LHS = LHS < RHS; break;
+      case Tok::Greater: LHS = LHS > RHS; break;
+      case Tok::LessEqual: LHS = LHS <= RHS; break;
+      case Tok::GreaterEqual: LHS = LHS >= RHS; break;
+      case Tok::EqualEqual: LHS = LHS == RHS; break;
+      case Tok::ExclaimEqual: LHS = LHS != RHS; break;
+      case Tok::Amp: LHS = LHS & RHS; break;
+      case Tok::Caret: LHS = LHS ^ RHS; break;
+      case Tok::Pipe: LHS = LHS | RHS; break;
+      case Tok::AmpAmp: LHS = LHS && RHS; break;
+      case Tok::PipePipe: LHS = LHS || RHS; break;
+      default: break;
+      }
+    }
+  }
+
+  long long parseTernary() {
+    long long Cond = parseBinary(1);
+    if (accept(Tok::Question)) {
+      long long T = parseTernary();
+      if (!accept(Tok::Colon))
+        Error = true;
+      long long F = parseTernary();
+      return Cond ? T : F;
+    }
+    return Cond;
+  }
+
+  const std::vector<Token> &Toks;
+  size_t Idx = 0;
+  bool Error = false;
+};
+
+} // namespace
+
+bool Preprocessor::conditionsActive() const {
+  for (const CondState &CS : CondStack)
+    if (!CS.ThisActive || !CS.ParentActive)
+      return false;
+  return true;
+}
+
+std::string Preprocessor::expandMacros(std::string_view Line, unsigned Depth) {
+  if (Depth > 32) {
+    Diags.warning(SourceLoc(), "macro expansion depth limit reached");
+    return std::string(Line);
+  }
+  std::string Out;
+  IdentScanner Scan(Line);
+  std::string_view Ident;
+  while (Scan.next(Out, Ident)) {
+    auto It = Macros.find(std::string(Ident));
+    if (It == Macros.end()) {
+      Out.append(Ident);
+      continue;
+    }
+    const MacroDef &M = It->second;
+    if (!M.FunctionLike) {
+      Out += expandMacros(M.Body, Depth + 1);
+      continue;
+    }
+    // Function-like: require '(' (possibly after spaces).
+    std::string_view Rest = Scan.text().substr(Scan.pos());
+    size_t Skip = 0;
+    while (Skip < Rest.size() && (Rest[Skip] == ' ' || Rest[Skip] == '\t'))
+      ++Skip;
+    if (Skip >= Rest.size() || Rest[Skip] != '(') {
+      Out.append(Ident);
+      continue;
+    }
+    std::vector<std::string> Args;
+    size_t After = splitMacroArgs(Scan.text(), Scan.pos() + Skip + 1, Args);
+    if (After == std::string_view::npos) {
+      Out.append(Ident);
+      continue;
+    }
+    Scan.setPos(After);
+    // Expand each argument before substitution (approximation of C99).
+    for (std::string &A : Args)
+      A = expandMacros(A, Depth + 1);
+    Out += expandMacros(substituteParams(M, Args), Depth + 1);
+  }
+  return Out;
+}
+
+long long Preprocessor::evalCondition(std::string_view Expr, unsigned FileID,
+                                      unsigned Offset) {
+  // Replace defined(X) / defined X before macro expansion.
+  std::string Pre;
+  IdentScanner Scan(Expr);
+  std::string_view Ident;
+  while (Scan.next(Pre, Ident)) {
+    if (Ident != "defined") {
+      Pre.append(Ident);
+      continue;
+    }
+    std::string_view Rest = Scan.text().substr(Scan.pos());
+    size_t P = 0;
+    while (P < Rest.size() && std::isspace((unsigned char)Rest[P]))
+      ++P;
+    bool Paren = P < Rest.size() && Rest[P] == '(';
+    if (Paren)
+      ++P;
+    while (P < Rest.size() && std::isspace((unsigned char)Rest[P]))
+      ++P;
+    size_t NameStart = P;
+    while (P < Rest.size() &&
+           (std::isalnum((unsigned char)Rest[P]) || Rest[P] == '_'))
+      ++P;
+    std::string Name(Rest.substr(NameStart, P - NameStart));
+    if (Paren) {
+      while (P < Rest.size() && std::isspace((unsigned char)Rest[P]))
+        ++P;
+      if (P < Rest.size() && Rest[P] == ')')
+        ++P;
+    }
+    Scan.setPos(Scan.pos() + P);
+    Pre += isDefined(Name) ? "1" : "0";
+  }
+  std::string Expanded = expandMacros(Pre, 0);
+  unsigned TempID = SM.addBuffer("<pp-expr>", Expanded);
+  Lexer Lex(SM, TempID, nullptr);
+  std::vector<Token> Toks = Lex.lexAll();
+  CondEvaluator Eval(Toks);
+  long long V = Eval.eval();
+  if (Eval.hadError())
+    Diags.warning(SourceLoc(FileID, Offset),
+                  "could not fully evaluate #if expression");
+  return V;
+}
+
+void Preprocessor::handleDirective(std::string_view Line, unsigned FileID,
+                                   unsigned Offset, std::string &Out,
+                                   unsigned Depth) {
+  std::string_view Body = trim(Line);
+  assert(!Body.empty() && Body[0] == '#');
+  Body = trim(Body.substr(1));
+  size_t NameEnd = 0;
+  while (NameEnd < Body.size() && std::isalpha((unsigned char)Body[NameEnd]))
+    ++NameEnd;
+  std::string_view Name = Body.substr(0, NameEnd);
+  std::string_view Rest = trim(Body.substr(NameEnd));
+  SourceLoc Loc(FileID, Offset);
+
+  if (Name == "ifdef" || Name == "ifndef") {
+    bool Defined = isDefined(std::string(Rest.substr(0, Rest.find_first_of(" \t"))));
+    bool Active = Name == "ifdef" ? Defined : !Defined;
+    CondStack.push_back({conditionsActive(), Active, Active});
+    return;
+  }
+  if (Name == "if") {
+    bool Parent = conditionsActive();
+    bool Active = Parent && evalCondition(Rest, FileID, Offset) != 0;
+    CondStack.push_back({Parent, Active, Active});
+    return;
+  }
+  if (Name == "elif") {
+    if (CondStack.empty()) {
+      Diags.error(Loc, "#elif without #if");
+      return;
+    }
+    CondState &CS = CondStack.back();
+    if (CS.TakenAnyBranch) {
+      CS.ThisActive = false;
+    } else {
+      CS.ThisActive = CS.ParentActive && evalCondition(Rest, FileID, Offset) != 0;
+      CS.TakenAnyBranch |= CS.ThisActive;
+    }
+    return;
+  }
+  if (Name == "else") {
+    if (CondStack.empty()) {
+      Diags.error(Loc, "#else without #if");
+      return;
+    }
+    CondState &CS = CondStack.back();
+    CS.ThisActive = CS.ParentActive && !CS.TakenAnyBranch;
+    CS.TakenAnyBranch = true;
+    return;
+  }
+  if (Name == "endif") {
+    if (CondStack.empty())
+      Diags.error(Loc, "#endif without #if");
+    else
+      CondStack.pop_back();
+    return;
+  }
+
+  if (!conditionsActive())
+    return;
+
+  if (Name == "define") {
+    size_t P = 0;
+    while (P < Rest.size() &&
+           (std::isalnum((unsigned char)Rest[P]) || Rest[P] == '_'))
+      ++P;
+    std::string MacroName(Rest.substr(0, P));
+    if (MacroName.empty()) {
+      Diags.error(Loc, "#define needs a macro name");
+      return;
+    }
+    MacroDef M;
+    if (P < Rest.size() && Rest[P] == '(') {
+      M.FunctionLike = true;
+      ++P;
+      std::string Param;
+      while (P < Rest.size() && Rest[P] != ')') {
+        if (Rest[P] == ',') {
+          M.Params.push_back(std::string(trim(Param)));
+          Param.clear();
+        } else {
+          Param += Rest[P];
+        }
+        ++P;
+      }
+      std::string_view Trimmed = trim(Param);
+      if (Trimmed == "...")
+        M.Variadic = true;
+      else if (!Trimmed.empty())
+        M.Params.push_back(std::string(Trimmed));
+      if (P < Rest.size())
+        ++P; // ')'
+    }
+    M.Body = std::string(trim(Rest.substr(P)));
+    Macros[MacroName] = std::move(M);
+    return;
+  }
+  if (Name == "undef") {
+    Macros.erase(std::string(trim(Rest)));
+    return;
+  }
+  if (Name == "include") {
+    if (Depth > 64) {
+      Diags.error(Loc, "#include nested too deeply");
+      return;
+    }
+    if (Rest.size() < 2) {
+      Diags.error(Loc, "malformed #include");
+      return;
+    }
+    char Close = Rest[0] == '<' ? '>' : '"';
+    size_t End = Rest.find(Close, 1);
+    if (Rest[0] != '"' && Rest[0] != '<') {
+      Diags.error(Loc, "malformed #include");
+      return;
+    }
+    if (End == std::string_view::npos) {
+      Diags.error(Loc, "malformed #include");
+      return;
+    }
+    std::string File(Rest.substr(1, End - 1));
+    unsigned IncID = 0;
+    for (const std::string &Dir : IncludeDirs) {
+      IncID = SM.addFile(Dir + "/" + File);
+      if (IncID)
+        break;
+    }
+    if (!IncID)
+      IncID = SM.addFile(File);
+    if (!IncID) {
+      Diags.error(Loc, "cannot open include file '" + File + "'");
+      return;
+    }
+    processBuffer(IncID, Out, Depth + 1);
+    return;
+  }
+  if (Name == "pragma" || Name == "error" || Name == "warning" ||
+      Name == "line") {
+    if (Name == "error")
+      Diags.error(Loc, "#error " + std::string(Rest));
+    return;
+  }
+  Diags.warning(Loc, "unknown preprocessor directive #" + std::string(Name));
+}
+
+void Preprocessor::processBuffer(unsigned FileID, std::string &Out,
+                                 unsigned Depth) {
+  std::string_view Text = SM.bufferText(FileID);
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    if (Pos == Text.size())
+      break;
+    size_t LineStart = Pos;
+    // Gather one logical line (honouring backslash continuations).
+    std::string Logical;
+    for (;;) {
+      size_t Nl = Text.find('\n', Pos);
+      if (Nl == std::string_view::npos)
+        Nl = Text.size();
+      std::string_view Phys = Text.substr(Pos, Nl - Pos);
+      Pos = Nl < Text.size() ? Nl + 1 : Text.size();
+      if (!Phys.empty() && Phys.back() == '\\') {
+        Logical.append(Phys.substr(0, Phys.size() - 1));
+        Out += '\n'; // Keep the physical line count stable.
+        if (Pos >= Text.size())
+          break;
+        continue;
+      }
+      Logical.append(Phys);
+      break;
+    }
+    std::string_view Trimmed = trim(Logical);
+    if (!Trimmed.empty() && Trimmed[0] == '#') {
+      handleDirective(Logical, FileID, LineStart, Out, Depth);
+      Out += '\n';
+      continue;
+    }
+    if (conditionsActive())
+      Out += expandMacros(Logical, 0);
+    Out += '\n';
+  }
+}
+
+std::string Preprocessor::preprocess(unsigned FileID) {
+  std::string Out;
+  processBuffer(FileID, Out, 0);
+  if (!CondStack.empty()) {
+    Diags.error(SourceLoc(FileID, 0), "unterminated #if/#ifdef");
+    CondStack.clear();
+  }
+  return Out;
+}
+
+unsigned Preprocessor::preprocessBuffer(const std::string &Name,
+                                        std::string Text) {
+  unsigned RawID = SM.addBuffer(Name + " (raw)", std::move(Text));
+  std::string Expanded = preprocess(RawID);
+  return SM.addBuffer(Name, std::move(Expanded));
+}

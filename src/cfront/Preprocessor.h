@@ -1,0 +1,91 @@
+//===- cfront/Preprocessor.h - Textual C preprocessor -----------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A textual C preprocessor: object- and function-like macros, #include with
+/// search paths, #if/#ifdef conditionals with a constant-expression
+/// evaluator. The paper's pass 1 "compiles each file in isolation"
+/// (Section 6); this is the front half of that pass. Output is a single
+/// preprocessed buffer per translation unit; inactive lines become blank
+/// lines so that line numbers survive when no #include fires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CFRONT_PREPROCESSOR_H
+#define MC_CFRONT_PREPROCESSOR_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// A macro definition.
+struct MacroDef {
+  bool FunctionLike = false;
+  std::vector<std::string> Params;
+  bool Variadic = false;
+  std::string Body;
+};
+
+/// Preprocesses one translation unit at a time. Macro state persists across
+/// calls so tests can predefine macros (like -D on a command line).
+class Preprocessor {
+public:
+  Preprocessor(SourceManager &SM, DiagnosticEngine &Diags)
+      : SM(SM), Diags(Diags) {}
+
+  /// Adds a directory searched by #include "..." and <...>.
+  void addIncludeDir(std::string Dir) { IncludeDirs.push_back(std::move(Dir)); }
+
+  /// Predefines an object-like macro (command-line -D equivalent).
+  void define(const std::string &Name, const std::string &Body) {
+    Macros[Name] = MacroDef{false, {}, false, Body};
+  }
+
+  bool isDefined(const std::string &Name) const {
+    return Macros.count(Name) != 0;
+  }
+
+  /// Preprocesses the registered buffer \p FileID and returns the expanded
+  /// text.
+  std::string preprocess(unsigned FileID);
+
+  /// Convenience: registers \p Text as \p Name, preprocesses it, registers
+  /// the result as "<Name>" and returns the new file id.
+  unsigned preprocessBuffer(const std::string &Name, std::string Text);
+
+private:
+  struct CondState {
+    bool ParentActive;
+    bool ThisActive;
+    bool TakenAnyBranch;
+  };
+
+  void processBuffer(unsigned FileID, std::string &Out, unsigned Depth);
+  void handleDirective(std::string_view Line, unsigned FileID, unsigned Offset,
+                       std::string &Out, unsigned Depth);
+  bool conditionsActive() const;
+  /// Expands macros in \p Line (which may span multiple physical lines when a
+  /// function-like invocation does).
+  std::string expandMacros(std::string_view Line, unsigned Depth);
+  /// Evaluates a #if expression over macro-expanded text.
+  long long evalCondition(std::string_view Expr, unsigned FileID,
+                          unsigned Offset);
+
+  SourceManager &SM;
+  DiagnosticEngine &Diags;
+  std::vector<std::string> IncludeDirs;
+  std::map<std::string, MacroDef> Macros;
+  std::vector<CondState> CondStack;
+};
+
+} // namespace mc
+
+#endif // MC_CFRONT_PREPROCESSOR_H

@@ -1,0 +1,47 @@
+//===- cfront/Serialize.h - AST binary serialization ------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization of a parsed translation unit (a ".mast" image).
+/// Reproduces xgcc's two-pass architecture (Section 6): pass 1 compiles each
+/// file in isolation and emits ASTs — "typically four or five times larger
+/// than the text representation" — and pass 2 reads the emitted files back
+/// and reassembles ASTs before building CFGs and the call graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CFRONT_SERIALIZE_H
+#define MC_CFRONT_SERIALIZE_H
+
+#include <string>
+
+namespace mc {
+
+class ASTContext;
+class SourceManager;
+
+/// Serializes every top-level declaration of \p Ctx into a byte image.
+/// When \p SM is given, the image carries the source buffers too, so that
+/// pass 2 can decode locations into file/line (this is what makes the
+/// paper's emitted ASTs "four or five times larger than the text").
+std::string writeMast(const ASTContext &Ctx, const SourceManager *SM = nullptr);
+
+/// Deserializes \p Image into \p Ctx (which should be fresh). Returns false
+/// when the image is malformed; \p ErrorOut receives a reason. When \p SM
+/// is given, embedded source buffers are registered there and every decoded
+/// location is remapped accordingly.
+bool readMast(const std::string &Image, ASTContext &Ctx, std::string *ErrorOut,
+              SourceManager *SM = nullptr);
+
+/// Writes \p Image to \p Path. Returns false on I/O failure.
+bool writeFileBytes(const std::string &Path, const std::string &Image);
+
+/// Reads \p Path fully. Returns false on I/O failure.
+bool readFileBytes(const std::string &Path, std::string &ImageOut);
+
+} // namespace mc
+
+#endif // MC_CFRONT_SERIALIZE_H

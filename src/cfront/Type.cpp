@@ -1,0 +1,287 @@
+//===- cfront/Type.cpp - C type system ------------------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Type.h"
+
+#include <map>
+#include <vector>
+
+using namespace mc;
+
+bool Type::isScalar() const {
+  if (const auto *BT = dyn_cast<BuiltinType>(this))
+    return BT->builtin() != BuiltinType::Void;
+  return kind() == TK_Enum;
+}
+
+bool Type::isInteger() const {
+  if (const auto *BT = dyn_cast<BuiltinType>(this))
+    return BT->builtin() != BuiltinType::Void && !BT->isFloatingBuiltin();
+  return kind() == TK_Enum;
+}
+
+bool Type::isFloating() const {
+  const auto *BT = dyn_cast<BuiltinType>(this);
+  return BT && BT->isFloatingBuiltin();
+}
+
+bool Type::isVoid() const {
+  const auto *BT = dyn_cast<BuiltinType>(this);
+  return BT && BT->builtin() == BuiltinType::Void;
+}
+
+const Type *Type::pointeeOrElement() const {
+  if (const auto *PT = dyn_cast<PointerType>(this))
+    return PT->pointee();
+  if (const auto *AT = dyn_cast<ArrayType>(this))
+    return AT->element();
+  return nullptr;
+}
+
+std::string Type::str() const {
+  switch (kind()) {
+  case TK_Builtin: {
+    switch (cast<BuiltinType>(this)->builtin()) {
+    case BuiltinType::Void:
+      return "void";
+    case BuiltinType::Bool:
+      return "_Bool";
+    case BuiltinType::Char:
+      return "char";
+    case BuiltinType::SChar:
+      return "signed char";
+    case BuiltinType::UChar:
+      return "unsigned char";
+    case BuiltinType::Short:
+      return "short";
+    case BuiltinType::UShort:
+      return "unsigned short";
+    case BuiltinType::Int:
+      return "int";
+    case BuiltinType::UInt:
+      return "unsigned int";
+    case BuiltinType::Long:
+      return "long";
+    case BuiltinType::ULong:
+      return "unsigned long";
+    case BuiltinType::LongLong:
+      return "long long";
+    case BuiltinType::ULongLong:
+      return "unsigned long long";
+    case BuiltinType::Float:
+      return "float";
+    case BuiltinType::Double:
+      return "double";
+    case BuiltinType::LongDouble:
+      return "long double";
+    }
+    return "<builtin>";
+  }
+  case TK_Pointer:
+    return cast<PointerType>(this)->pointee()->str() + " *";
+  case TK_Array:
+    return cast<ArrayType>(this)->element()->str() + " []";
+  case TK_Function: {
+    const auto *FT = cast<FunctionType>(this);
+    std::string S = FT->returnType()->str() + " (";
+    for (size_t I = 0; I != FT->params().size(); ++I) {
+      if (I)
+        S += ", ";
+      S += FT->params()[I]->str();
+    }
+    if (FT->isVariadic())
+      S += FT->params().empty() ? "..." : ", ...";
+    S += ")";
+    return S;
+  }
+  case TK_Record: {
+    const auto *RT = cast<RecordType>(this);
+    return std::string(RT->isUnion() ? "union " : "struct ") + RT->tag();
+  }
+  case TK_Enum:
+    return "enum " + cast<EnumType>(this)->tag();
+  }
+  return "<type>";
+}
+
+namespace {
+/// Deletes a Type through its concrete class (Type's destructor is
+/// non-virtual and protected by design).
+struct TypeDeleter {
+  void operator()(Type *T) const {
+    switch (T->kind()) {
+    case Type::TK_Builtin:
+      delete static_cast<BuiltinType *>(T);
+      break;
+    case Type::TK_Pointer:
+      delete static_cast<PointerType *>(T);
+      break;
+    case Type::TK_Array:
+      delete static_cast<ArrayType *>(T);
+      break;
+    case Type::TK_Function:
+      delete static_cast<FunctionType *>(T);
+      break;
+    case Type::TK_Record:
+      delete static_cast<RecordType *>(T);
+      break;
+    case Type::TK_Enum:
+      delete static_cast<EnumType *>(T);
+      break;
+    }
+  }
+};
+} // namespace
+
+struct TypeContext::Impl {
+  std::vector<Type *> Owned;
+  std::map<const Type *, const PointerType *> Pointers;
+  std::map<std::pair<const Type *, unsigned>, const ArrayType *> Arrays;
+  std::map<std::string, RecordType *> Records;
+  std::map<std::string, EnumType *> Enums;
+  std::vector<const FunctionType *> Functions;
+
+  template <typename T> T *own(T *Ty) {
+    Owned.push_back(Ty);
+    return Ty;
+  }
+
+  ~Impl() {
+    for (Type *T : Owned)
+      TypeDeleter()(T);
+  }
+};
+
+TypeContext::TypeContext() : I(new Impl) {
+  for (int B = 0; B <= BuiltinType::LongDouble; ++B)
+    Builtins[B] = I->own(new BuiltinType(BuiltinType::Builtin(B)));
+}
+
+TypeContext::~TypeContext() { delete I; }
+
+const PointerType *TypeContext::pointerTo(const Type *Pointee) {
+  auto It = I->Pointers.find(Pointee);
+  if (It != I->Pointers.end())
+    return It->second;
+  const PointerType *PT = I->own(new PointerType(Pointee));
+  I->Pointers[Pointee] = PT;
+  return PT;
+}
+
+const ArrayType *TypeContext::arrayOf(const Type *Element, unsigned Size) {
+  auto Key = std::make_pair(Element, Size);
+  auto It = I->Arrays.find(Key);
+  if (It != I->Arrays.end())
+    return It->second;
+  const ArrayType *AT = I->own(new ArrayType(Element, Size));
+  I->Arrays[Key] = AT;
+  return AT;
+}
+
+const FunctionType *TypeContext::functionTy(const Type *Return,
+                                            std::vector<const Type *> Params,
+                                            bool Variadic) {
+  for (const FunctionType *FT : I->Functions)
+    if (FT->returnType() == Return && FT->params() == Params &&
+        FT->isVariadic() == Variadic)
+      return FT;
+  const FunctionType *FT =
+      I->own(new FunctionType(Return, std::move(Params), Variadic));
+  I->Functions.push_back(FT);
+  return FT;
+}
+
+RecordType *TypeContext::record(const std::string &Tag, bool Union) {
+  auto It = I->Records.find(Tag);
+  if (It != I->Records.end())
+    return It->second;
+  RecordType *RT = I->own(new RecordType(Tag, Union));
+  I->Records[Tag] = RT;
+  return RT;
+}
+
+RecordType *TypeContext::findRecord(const std::string &Tag) {
+  auto It = I->Records.find(Tag);
+  return It == I->Records.end() ? nullptr : It->second;
+}
+
+EnumType *TypeContext::enumTy(const std::string &Tag) {
+  auto It = I->Enums.find(Tag);
+  if (It != I->Enums.end())
+    return It->second;
+  EnumType *ET = I->own(new EnumType(Tag));
+  I->Enums[Tag] = ET;
+  return ET;
+}
+
+
+/// Structural type equality across type contexts: builtins by kind,
+/// records/enums by tag, compounds recursively.
+static bool typesEquivalent(const Type *A, const Type *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Type::TK_Builtin:
+    return cast<BuiltinType>(A)->builtin() == cast<BuiltinType>(B)->builtin();
+  case Type::TK_Pointer:
+    return typesEquivalent(cast<PointerType>(A)->pointee(),
+                           cast<PointerType>(B)->pointee());
+  case Type::TK_Array:
+    return cast<ArrayType>(A)->size() == cast<ArrayType>(B)->size() &&
+           typesEquivalent(cast<ArrayType>(A)->element(),
+                           cast<ArrayType>(B)->element());
+  case Type::TK_Function: {
+    const auto *FA = cast<FunctionType>(A);
+    const auto *FB = cast<FunctionType>(B);
+    if (FA->isVariadic() != FB->isVariadic() ||
+        FA->params().size() != FB->params().size() ||
+        !typesEquivalent(FA->returnType(), FB->returnType()))
+      return false;
+    for (size_t I = 0; I != FA->params().size(); ++I)
+      if (!typesEquivalent(FA->params()[I], FB->params()[I]))
+        return false;
+    return true;
+  }
+  case Type::TK_Record: {
+    const auto *RA = cast<RecordType>(A);
+    const auto *RB = cast<RecordType>(B);
+    return RA->tag() == RB->tag() && RA->isUnion() == RB->isUnion();
+  }
+  case Type::TK_Enum:
+    return cast<EnumType>(A)->tag() == cast<EnumType>(B)->tag();
+  }
+  return false;
+}
+
+bool mc::typesCompatible(const Type *To, const Type *From) {
+  if (!To || !From)
+    return false;
+  if (typesEquivalent(To, From))
+    return true;
+  // Integer types inter-convert freely for hole-filling purposes (the paper's
+  // matcher is type-loose: `decl int x` matches any int-ish expression), and
+  // so do floating types.
+  if (To->isInteger() && From->isInteger())
+    return true;
+  if (To->isFloating() && From->isFloating())
+    return true;
+  // Pointers: void* is a wildcard on either side; otherwise the pointees
+  // must be structurally equivalent. Arrays decay to pointers.
+  const auto *ToP = dyn_cast<PointerType>(To);
+  if (!ToP)
+    return false;
+  const Type *FromPointee = nullptr;
+  if (const auto *FromP = dyn_cast<PointerType>(From))
+    FromPointee = FromP->pointee();
+  else if (const auto *FromA = dyn_cast<ArrayType>(From))
+    FromPointee = FromA->element();
+  if (!FromPointee)
+    return false;
+  return ToP->pointee()->isVoid() || FromPointee->isVoid() ||
+         typesEquivalent(ToP->pointee(), FromPointee);
+}

@@ -1,0 +1,257 @@
+//===- cfront/Type.h - C type system ---------------------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types for the C subset the front end understands. Types are uniqued by a
+/// TypeContext, so pointer equality is type equality for structural types.
+/// The metal pattern matcher only needs coarse queries (is this a pointer? a
+/// scalar? compatible with a named C type? — Table 1 of the paper), which
+/// this hierarchy answers directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CFRONT_TYPE_H
+#define MC_CFRONT_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+class TypeContext;
+
+/// Base of the type hierarchy. Instances are created and uniqued by
+/// TypeContext and live in its arena.
+class Type {
+public:
+  enum TypeKind {
+    TK_Builtin,
+    TK_Pointer,
+    TK_Array,
+    TK_Function,
+    TK_Record,
+    TK_Enum,
+  };
+
+  TypeKind kind() const { return Kind; }
+
+  /// True for integer, character, boolean, enum and floating types.
+  bool isScalar() const;
+  /// True for integer-ish types (includes enums and chars).
+  bool isInteger() const;
+  bool isFloating() const;
+  bool isPointer() const { return Kind == TK_Pointer; }
+  bool isArray() const { return Kind == TK_Array; }
+  bool isFunction() const { return Kind == TK_Function; }
+  bool isRecord() const { return Kind == TK_Record; }
+  bool isVoid() const;
+
+  /// For pointers and arrays, the pointee/element type; null otherwise.
+  const Type *pointeeOrElement() const;
+
+  /// Renders the type in C syntax (e.g. "int *", "struct foo").
+  std::string str() const;
+
+protected:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+  ~Type() = default;
+
+private:
+  const TypeKind Kind;
+};
+
+/// Builtin arithmetic and void types.
+class BuiltinType : public Type {
+public:
+  enum Builtin {
+    Void,
+    Bool,
+    Char,
+    SChar,
+    UChar,
+    Short,
+    UShort,
+    Int,
+    UInt,
+    Long,
+    ULong,
+    LongLong,
+    ULongLong,
+    Float,
+    Double,
+    LongDouble,
+  };
+
+  Builtin builtin() const { return B; }
+  bool isUnsigned() const {
+    return B == Bool || B == UChar || B == UShort || B == UInt || B == ULong ||
+           B == ULongLong;
+  }
+  bool isFloatingBuiltin() const {
+    return B == Float || B == Double || B == LongDouble;
+  }
+
+  static bool classof(const Type *T) { return T->kind() == TK_Builtin; }
+
+private:
+  friend class TypeContext;
+  explicit BuiltinType(Builtin B) : Type(TK_Builtin), B(B) {}
+  Builtin B;
+};
+
+/// T*
+class PointerType : public Type {
+public:
+  const Type *pointee() const { return Pointee; }
+
+  static bool classof(const Type *T) { return T->kind() == TK_Pointer; }
+
+private:
+  friend class TypeContext;
+  explicit PointerType(const Type *Pointee)
+      : Type(TK_Pointer), Pointee(Pointee) {}
+  const Type *Pointee;
+};
+
+/// T[N] (N == 0 means unsized).
+class ArrayType : public Type {
+public:
+  const Type *element() const { return Element; }
+  unsigned size() const { return Size; }
+
+  static bool classof(const Type *T) { return T->kind() == TK_Array; }
+
+private:
+  friend class TypeContext;
+  ArrayType(const Type *Element, unsigned Size)
+      : Type(TK_Array), Element(Element), Size(Size) {}
+  const Type *Element;
+  unsigned Size;
+};
+
+/// Return/parameter signature. Not uniqued by structure across variadic
+/// flags; TypeContext handles that.
+class FunctionType : public Type {
+public:
+  const Type *returnType() const { return Return; }
+  const std::vector<const Type *> &params() const { return Params; }
+  bool isVariadic() const { return Variadic; }
+
+  static bool classof(const Type *T) { return T->kind() == TK_Function; }
+
+private:
+  friend class TypeContext;
+  FunctionType(const Type *Return, std::vector<const Type *> Params,
+               bool Variadic)
+      : Type(TK_Function), Return(Return), Params(std::move(Params)),
+        Variadic(Variadic) {}
+  const Type *Return;
+  std::vector<const Type *> Params;
+  bool Variadic;
+};
+
+/// struct/union. Identified by tag name; fields may be completed after
+/// creation (forward declarations).
+class RecordType : public Type {
+public:
+  struct Field {
+    std::string Name;
+    const Type *Ty;
+  };
+
+  const std::string &tag() const { return Tag; }
+  bool isUnion() const { return Union; }
+  bool isComplete() const { return Complete; }
+  const std::vector<Field> &fields() const { return Fields; }
+
+  /// Returns the field named \p Name or null.
+  const Field *findField(const std::string &Name) const {
+    for (const Field &F : Fields)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+
+  /// Completes a forward-declared record.
+  void setFields(std::vector<Field> Fs) {
+    Fields = std::move(Fs);
+    Complete = true;
+  }
+
+  static bool classof(const Type *T) { return T->kind() == TK_Record; }
+
+private:
+  friend class TypeContext;
+  RecordType(std::string Tag, bool Union)
+      : Type(TK_Record), Tag(std::move(Tag)), Union(Union) {}
+  std::string Tag;
+  bool Union;
+  bool Complete = false;
+  std::vector<Field> Fields;
+};
+
+/// enum tag { ... }. Enumerator values live in the declaration; the type
+/// itself behaves like int.
+class EnumType : public Type {
+public:
+  const std::string &tag() const { return Tag; }
+
+  static bool classof(const Type *T) { return T->kind() == TK_Enum; }
+
+private:
+  friend class TypeContext;
+  explicit EnumType(std::string Tag) : Type(TK_Enum), Tag(std::move(Tag)) {}
+  std::string Tag;
+};
+
+/// Creates and uniques types. One per ASTContext.
+class TypeContext {
+public:
+  TypeContext();
+  ~TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const BuiltinType *builtin(BuiltinType::Builtin B) const {
+    return Builtins[B];
+  }
+  const BuiltinType *voidTy() const { return builtin(BuiltinType::Void); }
+  const BuiltinType *intTy() const { return builtin(BuiltinType::Int); }
+  const BuiltinType *charTy() const { return builtin(BuiltinType::Char); }
+  const BuiltinType *doubleTy() const { return builtin(BuiltinType::Double); }
+  const PointerType *charPtrTy() { return pointerTo(charTy()); }
+
+  const PointerType *pointerTo(const Type *Pointee);
+  const ArrayType *arrayOf(const Type *Element, unsigned Size);
+  const FunctionType *functionTy(const Type *Return,
+                                 std::vector<const Type *> Params,
+                                 bool Variadic);
+
+  /// Returns the record with tag \p Tag, creating an incomplete one if
+  /// needed. Tags for anonymous records are synthesised by the parser.
+  RecordType *record(const std::string &Tag, bool Union);
+  /// Looks up an existing record without creating one.
+  RecordType *findRecord(const std::string &Tag);
+
+  EnumType *enumTy(const std::string &Tag);
+
+private:
+  struct Impl;
+  Impl *I;
+  const BuiltinType *Builtins[BuiltinType::LongDouble + 1];
+};
+
+/// True when an expression of type \p From can fill a hole declared with C
+/// type \p To (Table 1, "Any C type" row). We use a pragmatic notion of
+/// compatibility: identical canonical types, or integer-to-integer.
+bool typesCompatible(const Type *To, const Type *From);
+
+} // namespace mc
+
+#endif // MC_CFRONT_TYPE_H

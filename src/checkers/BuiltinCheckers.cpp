@@ -1,0 +1,221 @@
+//===- checkers/BuiltinCheckers.cpp - The stock checker suite ----------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkers/BuiltinCheckers.h"
+
+using namespace mc;
+
+namespace {
+
+/// Figure 1: flags when freed pointers are dereferenced or double-freed.
+/// Extended past the figure with array-subscript dereferences (`v[i]` is a
+/// dereference of v) and the `free()` spelling.
+const char FreeChecker[] = R"metal(
+sm free_checker;
+state decl any_pointer v;
+decl any_scalar idx;
+
+start:
+  { kfree(v) } ==> v.freed
+| { free(v) } ==> v.freed
+;
+
+v.freed:
+  { *v } ==> v.stop, { err("using %s after free!", mc_identifier(v)); }
+| { v[idx] } ==> v.stop, { err("using %s after free!", mc_identifier(v)); }
+| { kfree(v) } ==> v.stop, { err("double free of %s!", mc_identifier(v)); }
+| { free(v) } ==> v.stop, { err("double free of %s!", mc_identifier(v)); }
+;
+)metal";
+
+/// Figure 3: warns when locks are released without being acquired, double
+/// acquired, or not released at all. trylock returns 1 on acquisition.
+const char LockChecker[] = R"metal(
+sm lock_checker;
+state decl any_pointer l;
+
+start:
+  { trylock(l) } ==> { true = l.locked, false = l.stop }
+| { lock(l) } ==> l.locked
+| { unlock(l) } ==> l.stop, { err("releasing unacquired lock %s!", mc_identifier(l)); }
+;
+
+l.locked:
+  { lock(l) } ==> l.stop, { err("double acquire of lock %s!", mc_identifier(l)); }
+| { trylock(l) } ==> l.stop, { err("re-acquiring held lock %s!", mc_identifier(l)); }
+| { unlock(l) } ==> l.stop
+| $end_of_path$ ==> l.stop, { err("lock %s never released!", mc_identifier(l)); }
+;
+)metal";
+
+/// Unchecked-allocation / NULL dereference checker.
+const char NullChecker[] = R"metal(
+sm null_checker;
+state decl any_pointer v;
+decl any_arguments args;
+
+start:
+  { v = kmalloc(args) } ==> v.unchecked
+| { v = malloc(args) } ==> v.unchecked
+;
+
+v.unchecked:
+  { *v } ==> v.stop, { err("dereferencing %s, which may be NULL (allocation unchecked)", mc_identifier(v)); }
+| { v == 0 } ==> { true = v.null, false = v.stop }
+| { v != 0 } ==> { true = v.stop, false = v.null }
+| { !v } ==> { true = v.null, false = v.stop }
+| { (v) } && ${ mc_is_branch_condition() } ==> { true = v.stop, false = v.null }
+;
+
+v.null:
+  { *v } ==> v.stop, { err("dereference of NULL pointer %s", mc_identifier(v)); }
+;
+)metal";
+
+/// Interrupt disable/enable balance: a purely global-state checker.
+const char IntrChecker[] = R"metal(
+sm intr_checker;
+
+start:
+  { cli() } ==> disabled
+| { sti() } ==> start, { err("enabling interrupts that are not disabled"); }
+;
+
+disabled:
+  { cli() } ==> disabled, { err("double disable of interrupts"); }
+| { sti() } ==> start
+| $end_of_path$ ==> disabled, { err("exiting with interrupts disabled!"); }
+;
+)metal";
+
+/// User-pointer taint: dereferencing a user-supplied pointer without
+/// copyin() is an exploitable hole, so errors carry the SECURITY class.
+const char UserPointerChecker[] = R"metal(
+sm user_pointer_checker;
+state decl any_pointer v;
+decl any_arguments args;
+
+start:
+  { v = get_user_ptr(args) } ==> v.tainted, { path_annotate("SECURITY"); }
+;
+
+v.tainted:
+  { *v } ==> v.stop, { err("dereferencing user pointer %s without copyin", mc_identifier(v)); }
+| { copyin(v, args) } ==> v.stop
+| { copyin(v) } ==> v.stop
+;
+)metal";
+
+/// Untrusted-integer range checker (the security-checker family of [1]):
+/// an integer read from the user must be bounds-checked before indexing
+/// memory or sizing a copy.
+const char RangeChecker[] = R"metal(
+sm range_checker;
+state decl any_scalar n;
+decl any_pointer base;
+decl any_expr bound;
+decl any_arguments args;
+
+start:
+  { n = get_user_int(args) } ==> n.unchecked, { path_annotate("SECURITY"); }
+;
+
+n.unchecked:
+  { base[n] } ==> n.stop, { err("user-controlled index %s used without a bounds check", mc_identifier(n)); }
+| { memcpy_user(base, bound, n) } ==> n.stop, { err("user-controlled length %s used without a bounds check", mc_identifier(n)); }
+| { n < bound } ==> { true = n.stop, false = n.unchecked }
+| { n <= bound } ==> { true = n.stop, false = n.unchecked }
+| { n > bound } ==> { true = n.unchecked, false = n.stop }
+| { n >= bound } ==> { true = n.unchecked, false = n.stop }
+;
+)metal";
+
+/// The Section 3.2 extension example: recursive locks handled by storing
+/// the lock depth in the instance's data value. "Whenever a lock operation
+/// or an unlock operation occurs, the resulting transition could either
+/// increment or decrement the lock depth... If this depth ever went below 0
+/// or exceeded a small constant, the extension would report an incorrect
+/// lock pairing."
+const char RecursiveLockChecker[] = R"metal(
+sm rlock_checker;
+state decl any_pointer l;
+
+start:
+  { rlock(l) } ==> l.held, { data_set(1); }
+| { runlock(l) } ==> l.stop, { err("releasing unheld recursive lock %s", mc_identifier(l)); }
+;
+
+l.held:
+  { rlock(l) } && ${ mc_data_ge(l, 8) } ==> l.stop, { err("recursive lock %s depth exceeds 8", mc_identifier(l)); }
+| { rlock(l) } ==> l.held, { data_inc(); }
+| { runlock(l) } && ${ mc_data_ge(l, 2) } ==> l.held, { data_dec(); }
+| { runlock(l) } ==> l.stop
+| $end_of_path$ ==> l.stop, { err("recursive lock %s still held at exit", mc_identifier(l)); }
+;
+)metal";
+
+/// The path-kill composition extension: flags calls to panic-like functions
+/// so that subsequent analyses do not report errors on dominated paths.
+const char PathKillChecker[] = R"metal(
+sm path_kill;
+decl any_arguments args;
+
+start:
+  { panic(args) } ==> start, { annotate("PATHKILL"); kill_path(); }
+| { BUG(args) } ==> start, { annotate("PATHKILL"); kill_path(); }
+| { assert_fail(args) } ==> start, { annotate("PATHKILL"); kill_path(); }
+;
+)metal";
+
+struct NamedSource {
+  const char *Name;
+  const char *Source;
+};
+
+const NamedSource Builtins[] = {
+    {"free", FreeChecker},
+    {"lock", LockChecker},
+    {"null", NullChecker},
+    {"intr", IntrChecker},
+    {"user_pointer", UserPointerChecker},
+    {"range", RangeChecker},
+    {"rlock", RecursiveLockChecker},
+    {"path_kill", PathKillChecker},
+};
+
+} // namespace
+
+const char *mc::builtinCheckerSource(const std::string &Name) {
+  for (const NamedSource &NS : Builtins)
+    if (Name == NS.Name)
+      return NS.Source;
+  return "";
+}
+
+std::vector<std::string> mc::builtinCheckerNames() {
+  std::vector<std::string> Names;
+  for (const NamedSource &NS : Builtins)
+    Names.push_back(NS.Name);
+  return Names;
+}
+
+std::unique_ptr<MetalChecker>
+mc::compileMetalChecker(const std::string &Source, const std::string &BufName,
+                        SourceManager &SM, DiagnosticEngine &Diags) {
+  std::unique_ptr<CheckerSpec> Spec = parseMetal(Source, BufName, SM, Diags);
+  if (!Spec)
+    return nullptr;
+  return std::make_unique<MetalChecker>(std::move(Spec));
+}
+
+std::unique_ptr<MetalChecker>
+mc::makeBuiltinChecker(const std::string &Name, SourceManager &SM,
+                       DiagnosticEngine &Diags) {
+  const char *Source = builtinCheckerSource(Name);
+  if (!*Source)
+    return nullptr;
+  return compileMetalChecker(Source, "<builtin:" + Name + ">", SM, Diags);
+}

@@ -1,0 +1,53 @@
+//===- checkers/BuiltinCheckers.h - The stock checker suite -----*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stock checkers shipped with the system — the paper's running
+/// examples plus representatives of each checker family it describes:
+///
+///   free          — use-after-free / double-free (Figure 1)
+///   lock          — lost/double lock, missing release (Figure 3)
+///   null          — unchecked allocation and NULL dereference
+///   intr          — interrupt disable/enable balance (global state)
+///   user_pointer  — SECURITY-annotated user-pointer taint
+///   path_kill     — panic/BUG annotator (checker composition)
+///
+/// Each metal source is available as text (the Figure 1 / Figure 3 benches
+/// print them) and as a compiled checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CHECKERS_BUILTINCHECKERS_H
+#define MC_CHECKERS_BUILTINCHECKERS_H
+
+#include "metal/MetalChecker.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// The metal source text of a named builtin checker ("" when unknown).
+const char *builtinCheckerSource(const std::string &Name);
+
+/// Names of all builtin metal checkers.
+std::vector<std::string> builtinCheckerNames();
+
+/// Compiles the named builtin checker; null (with diagnostics) on failure.
+std::unique_ptr<MetalChecker> makeBuiltinChecker(const std::string &Name,
+                                                 SourceManager &SM,
+                                                 DiagnosticEngine &Diags);
+
+/// Compiles arbitrary metal text into a checker.
+std::unique_ptr<MetalChecker> compileMetalChecker(const std::string &Source,
+                                                  const std::string &BufName,
+                                                  SourceManager &SM,
+                                                  DiagnosticEngine &Diags);
+
+} // namespace mc
+
+#endif // MC_CHECKERS_BUILTINCHECKERS_H

@@ -1,0 +1,310 @@
+//===- checkers/NativeCheckers.cpp - C++-API checkers ------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkers/NativeCheckers.h"
+
+#include "cfront/ASTPrinter.h"
+#include "metal/Pattern.h" // stripCasts
+#include "report/ReportManager.h"
+#include "support/StringUtils.h"
+
+using namespace mc;
+
+namespace {
+
+/// The first l-value-shaped argument of \p CE, stripped of casts.
+const Expr *firstPointerArg(const CallExpr *CE) {
+  for (const Expr *Arg : CE->args()) {
+    const Expr *Stripped = stripCasts(Arg);
+    if (Stripped && isLValueShape(Stripped))
+      return Stripped;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// NativeFreeChecker
+//===----------------------------------------------------------------------===//
+
+NativeFreeChecker::NativeFreeChecker() {
+  internState("start"); // initial global state
+  Freed = internState("freed");
+}
+
+void NativeFreeChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
+  // `kfree(v)` / `free(v)`: first free attaches state; second is an error.
+  if (const auto *CE = dyn_cast<CallExpr>(Point)) {
+    std::string_view Callee = CE->calleeName();
+    if ((Callee == "kfree" || Callee == "free") && CE->numArgs() == 1) {
+      const Expr *Arg = stripCasts(CE->arg(0));
+      if (!Arg)
+        return;
+      std::string Key = exprKey(Arg);
+      if (VarState *VS = ACtx.state().findByKey(Key)) {
+        if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
+          ACtx.reportError(
+              formatString("double free of %s!", Key.c_str()), VS);
+          ACtx.transition(*VS, StateStop);
+        }
+        return;
+      }
+      ACtx.createInstance(Arg, Freed);
+      return;
+    }
+    return;
+  }
+  // `*v`: dereference of a freed pointer.
+  if (const auto *UO = dyn_cast<UnaryOperator>(Point)) {
+    if (UO->opcode() != UnaryOperator::Deref)
+      return;
+    const Expr *Sub = stripCasts(UO->sub());
+    if (!Sub)
+      return;
+    if (VarState *VS = ACtx.state().findByKey(exprKey(Sub))) {
+      if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
+        ACtx.reportError(
+            formatString("using %s after free!", VS->TreeKey.c_str()), VS);
+        ACtx.transition(*VS, StateStop);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// FlowInsensitiveFreeChecker
+//===----------------------------------------------------------------------===//
+
+FlowInsensitiveFreeChecker::FlowInsensitiveFreeChecker(
+    std::vector<std::string> FreeFnsIn)
+    : FreeFns(std::move(FreeFnsIn)) {
+  internState("start");
+  Freed = internState("freed");
+}
+
+void FlowInsensitiveFreeChecker::checkPoint(const Stmt *Point,
+                                            AnalysisContext &ACtx) {
+  if (const auto *CE = dyn_cast<CallExpr>(Point)) {
+    std::string Callee(CE->calleeName());
+    for (const std::string &Fn : FreeFns) {
+      if (Callee != Fn)
+        continue;
+      const Expr *Arg = firstPointerArg(CE);
+      if (!Arg)
+        return;
+      std::string Key = exprKey(Arg);
+      if (VarState *VS = ACtx.state().findByKey(Key)) {
+        if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
+          ACtx.reportError(formatString("double free of %s (via %s)",
+                                        Key.c_str(), Callee.c_str()),
+                           VS, /*GroupKey=*/VS->Data);
+          ACtx.countViolation(VS->Data);
+          ACtx.transition(*VS, StateStop);
+        }
+        return;
+      }
+      VarState &VS = ACtx.createInstance(Arg, Freed);
+      VS.Data = Callee; // remember the rule (freeing function) for ranking
+      return;
+    }
+    // Any other use of a "freed" pointer as an argument is a violation.
+    for (const Expr *Arg : CE->args()) {
+      const Expr *Stripped = stripCasts(Arg);
+      if (!Stripped || !isLValueShape(Stripped))
+        continue;
+      if (VarState *VS = ACtx.state().findByKey(exprKey(Stripped))) {
+        if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
+          ACtx.reportError(
+              formatString("%s used after being freed by %s",
+                           VS->TreeKey.c_str(), VS->Data.c_str()),
+              VS, /*GroupKey=*/VS->Data);
+          ACtx.countViolation(VS->Data);
+          ACtx.transition(*VS, StateStop);
+        }
+      }
+    }
+    return;
+  }
+  if (const auto *UO = dyn_cast<UnaryOperator>(Point)) {
+    if (UO->opcode() != UnaryOperator::Deref)
+      return;
+    const Expr *Sub = stripCasts(UO->sub());
+    if (!Sub)
+      return;
+    if (VarState *VS = ACtx.state().findByKey(exprKey(Sub))) {
+      if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
+        ACtx.reportError(formatString("%s dereferenced after being freed by %s",
+                                      VS->TreeKey.c_str(), VS->Data.c_str()),
+                         VS, /*GroupKey=*/VS->Data);
+        ACtx.countViolation(VS->Data);
+        ACtx.transition(*VS, StateStop);
+      }
+    }
+  }
+}
+
+void FlowInsensitiveFreeChecker::checkEndOfPath(VarState *VS,
+                                                AnalysisContext &ACtx) {
+  // A pointer that was never touched again is a successful check of the
+  // freeing function's rule.
+  if (VS && VS->Value == Freed)
+    ACtx.countExample(VS->Data);
+}
+
+//===----------------------------------------------------------------------===//
+// IntraLockChecker
+//===----------------------------------------------------------------------===//
+
+IntraLockChecker::IntraLockChecker() {
+  internState("start");
+  Locked = internState("locked");
+}
+
+void IntraLockChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
+  const auto *CE = dyn_cast<CallExpr>(Point);
+  if (!CE)
+    return;
+  std::string_view Callee = CE->calleeName();
+  bool IsLock = Callee == "lock" || Callee == "down";
+  bool IsUnlock = Callee == "unlock" || Callee == "up";
+  if (!IsLock && !IsUnlock)
+    return;
+  const Expr *Arg = firstPointerArg(CE);
+  if (!Arg)
+    return;
+  std::string Fn(ACtx.currentFunction() ? ACtx.currentFunction()->name()
+                                        : std::string_view());
+  std::string Key = exprKey(Arg);
+  VarState *VS = ACtx.state().findByKey(Key);
+  if (IsLock) {
+    if (!VS) {
+      ACtx.createInstance(Arg, Locked);
+      return;
+    }
+    if (!ACtx.justCreated(*VS)) {
+      ACtx.reportError(
+          formatString("double acquire of %s", Key.c_str()), VS, Fn);
+      ACtx.countViolation(Fn);
+      ACtx.transition(*VS, StateStop);
+    }
+    return;
+  }
+  // Unlock.
+  if (VS && !ACtx.justCreated(*VS)) {
+    ACtx.countExample(Fn); // a correctly balanced pair
+    ACtx.transition(*VS, StateStop);
+    return;
+  }
+  ACtx.reportError(formatString("releasing unheld %s", Key.c_str()), nullptr,
+                   Fn);
+  ACtx.countViolation(Fn);
+}
+
+void IntraLockChecker::checkEndOfPath(VarState *VS, AnalysisContext &ACtx) {
+  if (!VS || VS->Value != Locked)
+    return;
+  std::string Fn(ACtx.currentFunction() ? ACtx.currentFunction()->name()
+                                        : std::string_view());
+  ACtx.reportError(
+      formatString("%s never released", VS->TreeKey.c_str()), VS, Fn);
+  ACtx.countViolation(Fn);
+}
+
+//===----------------------------------------------------------------------===//
+// PairInferenceChecker
+//===----------------------------------------------------------------------===//
+
+PairInferenceChecker::PairInferenceChecker() {
+  internState("start");
+  Opened = internState("opened");
+  // Callees that take pointer arguments everywhere and would drown the
+  // statistics.
+  IgnoredCallees = {"printf", "printk", "memset", "memcpy"};
+}
+
+void PairInferenceChecker::checkPoint(const Stmt *Point,
+                                      AnalysisContext &ACtx) {
+  const auto *CE = dyn_cast<CallExpr>(Point);
+  if (!CE)
+    return;
+  std::string Callee(CE->calleeName());
+  if (Callee.empty() || IgnoredCallees.count(Callee))
+    return;
+  const Expr *Arg = firstPointerArg(CE);
+  if (!Arg)
+    return;
+  std::string Key = exprKey(Arg);
+
+  if (CurMode == Mode::Learn) {
+    if (VarState *VS = ACtx.state().findByKey(Key)) {
+      if (!ACtx.justCreated(*VS) && VS->Data != Callee)
+        ++PairAfter[VS->Data][Callee];
+      return;
+    }
+    VarState &VS = ACtx.createInstance(Arg, Opened);
+    VS.Data = Callee;
+    ++Opens[Callee];
+    return;
+  }
+
+  // Check mode: only inferred openers start tracking; the inferred closer
+  // ends it; anything else is neutral.
+  if (VarState *VS = ACtx.state().findByKey(Key)) {
+    auto RuleIt = Rules.find(VS->Data);
+    if (RuleIt != Rules.end() && RuleIt->second == Callee &&
+        !ACtx.justCreated(*VS)) {
+      ACtx.countExample(VS->Data + "->" + Callee);
+      ACtx.transition(*VS, StateStop);
+    }
+    return;
+  }
+  if (Rules.count(Callee)) {
+    VarState &VS = ACtx.createInstance(Arg, Opened);
+    VS.Data = Callee;
+  }
+}
+
+void PairInferenceChecker::checkEndOfPath(VarState *VS,
+                                          AnalysisContext &ACtx) {
+  if (!VS || VS->Value != Opened)
+    return;
+  if (CurMode == Mode::Learn)
+    return;
+  auto RuleIt = Rules.find(VS->Data);
+  if (RuleIt == Rules.end())
+    return;
+  std::string RuleKey = VS->Data + "->" + RuleIt->second;
+  ACtx.reportError(formatString("missing %s after %s(%s)",
+                                RuleIt->second.c_str(), VS->Data.c_str(),
+                                VS->TreeKey.c_str()),
+                   VS, RuleKey);
+  ACtx.countViolation(RuleKey);
+}
+
+const std::map<std::string, std::string> &
+PairInferenceChecker::inferRules(double MinZ) {
+  Rules.clear();
+  for (const auto &[Opener, Closers] : PairAfter) {
+    const std::string *Best = nullptr;
+    unsigned BestCount = 0;
+    for (const auto &[Closer, Count] : Closers) {
+      if (Count > BestCount) {
+        Best = &Closer;
+        BestCount = Count;
+      }
+    }
+    if (!Best)
+      continue;
+    unsigned Total = Opens.count(Opener) ? Opens.at(Opener) : BestCount;
+    if (Total < BestCount)
+      Total = BestCount;
+    double Z = zStatistic(Total, BestCount);
+    if (Z >= MinZ)
+      Rules[Opener] = *Best;
+  }
+  return Rules;
+}

@@ -1,0 +1,118 @@
+//===- checkers/NativeCheckers.h - C++-API checkers -------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checkers written directly against the Checker C++ API — the paper's
+/// "general-purpose code" escape hatch taken all the way:
+///
+/// - NativeFreeChecker: the Figure 1 checker hand-written in C++ (the
+///   quickstart example uses it to show the native API).
+/// - FlowInsensitiveFreeChecker: the Section 9 baseline — a list of
+///   "freeing" functions, some of which only free conditionally, checked
+///   without path sensitivity; statistical ranking must rescue it.
+/// - PairInferenceChecker: "bugs as deviant behaviour" — learns which
+///   function pairs (a, b) must be paired from the code itself, then checks
+///   the inferred rules, ranking by z-statistic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CHECKERS_NATIVECHECKERS_H
+#define MC_CHECKERS_NATIVECHECKERS_H
+
+#include "metal/Checker.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// The free checker written against the native API.
+class NativeFreeChecker : public Checker {
+public:
+  NativeFreeChecker();
+
+  std::string_view name() const override { return "native_free"; }
+  void checkPoint(const Stmt *Point, AnalysisContext &ACtx) override;
+
+private:
+  int Freed;
+};
+
+/// Section 9's flow-insensitive free checker: every function in \p FreeFns
+/// is assumed to free its first pointer argument unconditionally. Counts
+/// examples (pointer never touched again) and violations per freeing
+/// function so z-statistic ranking can demote unreliable rules.
+class FlowInsensitiveFreeChecker : public Checker {
+public:
+  explicit FlowInsensitiveFreeChecker(std::vector<std::string> FreeFns);
+
+  std::string_view name() const override { return "fi_free"; }
+  void checkPoint(const Stmt *Point, AnalysisContext &ACtx) override;
+  void checkEndOfPath(VarState *VS, AnalysisContext &ACtx) override;
+
+private:
+  std::vector<std::string> FreeFns;
+  int Freed;
+};
+
+/// Section 9's "Ranking code" experiment: a purely intraprocedural lock
+/// checker. Wrapper functions that always acquire (or always release)
+/// produce systematic mismatches; counting each function's balanced pairs
+/// (examples) vs mismatches (violations) under the function's name as the
+/// rule key lets z-ranking separate real bugs from wrapper noise.
+class IntraLockChecker : public Checker {
+public:
+  IntraLockChecker();
+
+  std::string_view name() const override { return "intra_lock"; }
+  void checkPoint(const Stmt *Point, AnalysisContext &ACtx) override;
+  void checkEndOfPath(VarState *VS, AnalysisContext &ACtx) override;
+
+private:
+  int Locked;
+};
+
+/// Deviant-behaviour pair inference. Run once in Learn mode over the whole
+/// source base, call inferRules(), then run again in Check mode.
+class PairInferenceChecker : public Checker {
+public:
+  enum class Mode { Learn, Check };
+
+  PairInferenceChecker();
+
+  std::string_view name() const override { return "pair_inference"; }
+  void checkPoint(const Stmt *Point, AnalysisContext &ACtx) override;
+  void checkEndOfPath(VarState *VS, AnalysisContext &ACtx) override;
+
+  void setMode(Mode M) { CurMode = M; }
+  Mode mode() const { return CurMode; }
+
+  /// After learning: keeps pairs whose co-occurrence z-statistic is at
+  /// least \p MinZ. Returns the inferred (opener -> closer) rules.
+  const std::map<std::string, std::string> &
+  inferRules(double MinZ = 1.0);
+
+  /// Raw learned counts (opener -> closer -> count).
+  const std::map<std::string, std::map<std::string, unsigned>> &
+  pairCounts() const {
+    return PairAfter;
+  }
+  const std::map<std::string, unsigned> &openCounts() const { return Opens; }
+
+private:
+  Mode CurMode = Mode::Learn;
+  int Opened;
+  std::map<std::string, std::map<std::string, unsigned>> PairAfter;
+  std::map<std::string, unsigned> Opens;
+  std::map<std::string, std::string> Rules;
+  std::set<std::string> IgnoredCallees;
+};
+
+} // namespace mc
+
+#endif // MC_CHECKERS_NATIVECHECKERS_H

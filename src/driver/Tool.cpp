@@ -1,0 +1,97 @@
+//===- driver/Tool.cpp - End-to-end xgcc facade ------------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Tool.h"
+
+#include "support/RawOstream.h"
+
+using namespace mc;
+
+XgccTool::XgccTool()
+    : Diags(SM, &errs()), PP(std::make_unique<Preprocessor>(SM, Diags)) {}
+
+XgccTool::~XgccTool() = default;
+
+bool XgccTool::addSource(const std::string &Name, const std::string &Text) {
+  assert(!Finalized && "cannot add sources after finalize()");
+  unsigned FileID = PP->preprocessBuffer(Name, Text);
+  Parser P(Ctx, SM, Diags, FileID);
+  return P.parseTranslationUnit();
+}
+
+bool XgccTool::addSourceFile(const std::string &Path) {
+  unsigned RawID = SM.addFile(Path);
+  if (!RawID) {
+    Diags.error(SourceLoc(), "cannot open source file '" + Path + "'");
+    return false;
+  }
+  std::string Text(SM.bufferText(RawID));
+  return addSource(Path, Text);
+}
+
+bool XgccTool::addMastFile(const std::string &Path) {
+  assert(!Finalized && "cannot add sources after finalize()");
+  std::string Image;
+  if (!readFileBytes(Path, Image)) {
+    Diags.error(SourceLoc(), "cannot open AST image '" + Path + "'");
+    return false;
+  }
+  std::string Error;
+  if (!readMast(Image, Ctx, &Error, &SM)) {
+    Diags.error(SourceLoc(), "malformed AST image '" + Path + "': " + Error);
+    return false;
+  }
+  return true;
+}
+
+bool XgccTool::emitMast(const std::string &Path) const {
+  return writeFileBytes(Path, writeMast(Ctx, &SM));
+}
+
+void XgccTool::finalize() {
+  if (Finalized)
+    return;
+  CG.build(Ctx);
+  Finalized = true;
+}
+
+bool XgccTool::addMetalChecker(const std::string &Source,
+                               const std::string &Name) {
+  std::unique_ptr<MetalChecker> C = compileMetalChecker(Source, Name, SM, Diags);
+  if (!C)
+    return false;
+  Checkers.push_back(std::move(C));
+  return true;
+}
+
+bool XgccTool::addBuiltinChecker(const std::string &Name) {
+  std::unique_ptr<MetalChecker> C = makeBuiltinChecker(Name, SM, Diags);
+  if (!C)
+    return false;
+  Checkers.push_back(std::move(C));
+  return true;
+}
+
+void XgccTool::run(const EngineOptions &Opts) {
+  finalize();
+  Eng = std::make_unique<Engine>(Ctx, SM, CG, Reports, Opts);
+  for (std::unique_ptr<Checker> &C : Checkers)
+    Eng->run(*C);
+}
+
+void XgccTool::runChecker(Checker &C, const EngineOptions &Opts) {
+  finalize();
+  // Reuse the engine when the options match so AST annotations persist
+  // across composed checkers.
+  if (!Eng || !(Eng->options() == Opts))
+    Eng = std::make_unique<Engine>(Ctx, SM, CG, Reports, Opts);
+  Eng->run(C);
+}
+
+const EngineStats &XgccTool::stats() const {
+  static EngineStats Empty;
+  return Eng ? Eng->stats() : Empty;
+}

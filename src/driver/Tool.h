@@ -1,0 +1,111 @@
+//===- driver/Tool.h - End-to-end xgcc facade -------------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole pipeline behind one object: preprocess + parse C sources (or
+/// load serialized .mast images — the paper's two-pass architecture), build
+/// the call graph and CFGs, compile metal checkers, execute them with the
+/// engine, and rank the resulting reports. Examples, tests and benches all
+/// drive the system through this facade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_DRIVER_TOOL_H
+#define MC_DRIVER_TOOL_H
+
+#include "cfg/CallGraph.h"
+#include "cfront/Parser.h"
+#include "cfront/Preprocessor.h"
+#include "cfront/Serialize.h"
+#include "checkers/BuiltinCheckers.h"
+#include "engine/Engine.h"
+#include "report/History.h"
+#include "report/ReportManager.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// One-stop pipeline driver.
+class XgccTool {
+public:
+  XgccTool();
+  ~XgccTool();
+  XgccTool(const XgccTool &) = delete;
+  XgccTool &operator=(const XgccTool &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Inputs (pass 1)
+  //===--------------------------------------------------------------------===//
+
+  /// Preprocesses and parses \p Text as translation unit \p Name. Returns
+  /// false when the parse reported errors.
+  bool addSource(const std::string &Name, const std::string &Text);
+  /// Reads, preprocesses and parses a file from disk.
+  bool addSourceFile(const std::string &Path);
+  /// Loads a serialized AST image produced by emitMast().
+  bool addMastFile(const std::string &Path);
+  /// Serializes everything parsed so far (the paper's pass-1 output).
+  bool emitMast(const std::string &Path) const;
+
+  Preprocessor &preprocessor() { return *PP; }
+
+  /// Builds the call graph and CFGs. Called automatically by run().
+  void finalize();
+  bool finalized() const { return Finalized; }
+
+  //===--------------------------------------------------------------------===//
+  // Checkers
+  //===--------------------------------------------------------------------===//
+
+  void addChecker(std::unique_ptr<Checker> C) {
+    Checkers.push_back(std::move(C));
+  }
+  /// Compiles metal source text into a checker. False on parse errors.
+  bool addMetalChecker(const std::string &Source, const std::string &Name);
+  /// Adds one of the stock checkers by name (see builtinCheckerNames()).
+  bool addBuiltinChecker(const std::string &Name);
+  std::vector<std::unique_ptr<Checker>> &checkers() { return Checkers; }
+
+  //===--------------------------------------------------------------------===//
+  // Execution
+  //===--------------------------------------------------------------------===//
+
+  /// Runs every added checker over the whole source base.
+  void run(const EngineOptions &Opts = EngineOptions());
+
+  /// Runs one checker without disturbing the added list.
+  void runChecker(Checker &C, const EngineOptions &Opts = EngineOptions());
+
+  //===--------------------------------------------------------------------===//
+  // Results and plumbing access
+  //===--------------------------------------------------------------------===//
+
+  ReportManager &reports() { return Reports; }
+  const EngineStats &stats() const;
+  Engine *engine() { return Eng.get(); }
+  ASTContext &context() { return Ctx; }
+  SourceManager &sourceManager() { return SM; }
+  DiagnosticEngine &diags() { return Diags; }
+  const CallGraph &callGraph() const { return CG; }
+
+private:
+  SourceManager SM;
+  DiagnosticEngine Diags;
+  ASTContext Ctx;
+  std::unique_ptr<Preprocessor> PP;
+  CallGraph CG;
+  ReportManager Reports;
+  std::vector<std::unique_ptr<Checker>> Checkers;
+  std::unique_ptr<Engine> Eng;
+  bool Finalized = false;
+};
+
+} // namespace mc
+
+#endif // MC_DRIVER_TOOL_H

@@ -1,0 +1,269 @@
+//===- driver/xgcc_main.cpp - The xgcc command-line tool ---------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage:
+//   xgcc --emit-ast OUT.mast FILE.c...         pass 1: parse and emit ASTs
+//   xgcc [options] FILE.c|FILE.mast...         pass 2: analyze
+//
+// Options:
+//   --checker NAME       add a builtin checker (repeatable; default: all)
+//   --metal FILE         add a checker written in metal (repeatable)
+//   --rank MODE          generic | statistical | combined  (default generic)
+//   --format MODE        text | json                       (default text)
+//   --groups             also print reports grouped by analysis fact
+//   --history FILE       suppress reports recorded in FILE
+//   --update-history F   write surviving report keys to F
+//   --no-cache           disable block-level caching
+//   --no-summaries       disable function summaries
+//   --no-fpp             disable false path pruning
+//   --intraprocedural    do not follow calls
+//   --stats              print engine work counters
+//   --list-checkers      list builtin checkers and exit
+//   -I DIR               add an include directory
+//   -D NAME[=VALUE]      predefine a macro
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Tool.h"
+#include "support/RawOstream.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace mc;
+
+namespace {
+
+void printUsage() {
+  outs() << "usage: xgcc [options] file.c|file.mast ...\n"
+         << "       xgcc --emit-ast out.mast file.c ...\n"
+         << "Run 'xgcc --help' for the option list.\n";
+}
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  XgccTool Tool;
+  EngineOptions Opts;
+  std::vector<std::string> CheckerNames;
+  std::vector<std::string> MetalFiles;
+  std::vector<std::string> Inputs;
+  std::string EmitPath;
+  std::string HistoryPath, UpdateHistoryPath;
+  RankPolicy Policy = RankPolicy::Generic;
+  bool Json = false;
+  bool ShowGroups = false;
+  bool ShowStats = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--help") {
+      printUsage();
+      return 0;
+    }
+    if (Arg == "--list-checkers") {
+      for (const std::string &Name : builtinCheckerNames())
+        outs() << Name << '\n';
+      return 0;
+    }
+    if (Arg == "--emit-ast") {
+      if (const char *V = Next())
+        EmitPath = V;
+      continue;
+    }
+    if (Arg == "--checker") {
+      if (const char *V = Next())
+        CheckerNames.push_back(V);
+      continue;
+    }
+    if (Arg == "--metal") {
+      if (const char *V = Next())
+        MetalFiles.push_back(V);
+      continue;
+    }
+    if (Arg == "--rank") {
+      const char *V = Next();
+      if (V && !std::strcmp(V, "statistical"))
+        Policy = RankPolicy::Statistical;
+      else if (V && !std::strcmp(V, "combined"))
+        Policy = RankPolicy::Combined;
+      continue;
+    }
+    if (Arg == "--format") {
+      const char *V = Next();
+      Json = V && !std::strcmp(V, "json");
+      continue;
+    }
+    if (Arg == "--history") {
+      if (const char *V = Next())
+        HistoryPath = V;
+      continue;
+    }
+    if (Arg == "--update-history") {
+      if (const char *V = Next())
+        UpdateHistoryPath = V;
+      continue;
+    }
+    if (Arg == "--no-cache") {
+      Opts.EnableBlockCache = false;
+      Opts.MaxPathsPerFunction = 1u << 16;
+      continue;
+    }
+    if (Arg == "--no-summaries") {
+      Opts.EnableFunctionSummaries = false;
+      continue;
+    }
+    if (Arg == "--no-fpp") {
+      Opts.EnableFalsePathPruning = false;
+      continue;
+    }
+    if (Arg == "--intraprocedural") {
+      Opts.Interprocedural = false;
+      continue;
+    }
+    if (Arg == "--stats") {
+      ShowStats = true;
+      continue;
+    }
+    if (Arg == "--groups") {
+      ShowGroups = true;
+      continue;
+    }
+    if (Arg == "-I") {
+      if (const char *V = Next())
+        Tool.preprocessor().addIncludeDir(V);
+      continue;
+    }
+    if (Arg.size() > 2 && Arg.compare(0, 2, "-I") == 0) {
+      Tool.preprocessor().addIncludeDir(Arg.substr(2));
+      continue;
+    }
+    if (Arg == "-D" || (Arg.size() > 2 && Arg.compare(0, 2, "-D") == 0)) {
+      std::string Def = Arg == "-D" ? (Next() ? Argv[I] : "") : Arg.substr(2);
+      size_t Eq = Def.find('=');
+      if (Eq == std::string::npos)
+        Tool.preprocessor().define(Def, "1");
+      else
+        Tool.preprocessor().define(Def.substr(0, Eq), Def.substr(Eq + 1));
+      continue;
+    }
+    if (!Arg.empty() && Arg[0] == '-') {
+      errs() << "xgcc: unknown option '" << Arg << "'\n";
+      printUsage();
+      return 2;
+    }
+    Inputs.push_back(Arg);
+  }
+
+  if (Inputs.empty()) {
+    printUsage();
+    return 2;
+  }
+
+  // Pass 1: parse inputs (or reload AST images).
+  bool ParseOk = true;
+  for (const std::string &Path : Inputs) {
+    if (endsWith(Path, ".mast"))
+      ParseOk &= Tool.addMastFile(Path);
+    else
+      ParseOk &= Tool.addSourceFile(Path);
+  }
+  if (!ParseOk)
+    errs() << "xgcc: continuing despite parse errors\n";
+
+  if (!EmitPath.empty()) {
+    if (!Tool.emitMast(EmitPath)) {
+      errs() << "xgcc: cannot write '" << EmitPath << "'\n";
+      return 1;
+    }
+    outs() << "wrote AST image to " << EmitPath << '\n';
+    return 0;
+  }
+
+  // Checker selection: default to the full builtin suite (path_kill first,
+  // so its annotations gate the others).
+  if (CheckerNames.empty() && MetalFiles.empty())
+    CheckerNames = builtinCheckerNames();
+  // path_kill composes with everything: run it first if requested.
+  std::stable_sort(CheckerNames.begin(), CheckerNames.end(),
+                   [](const std::string &A, const std::string &B) {
+                     return (A == "path_kill") > (B == "path_kill");
+                   });
+  for (const std::string &Name : CheckerNames) {
+    if (!Tool.addBuiltinChecker(Name)) {
+      errs() << "xgcc: unknown builtin checker '" << Name << "'\n";
+      return 2;
+    }
+  }
+  for (const std::string &Path : MetalFiles) {
+    std::string Text;
+    if (!readFileBytes(Path, Text)) {
+      errs() << "xgcc: cannot open metal file '" << Path << "'\n";
+      return 2;
+    }
+    if (!Tool.addMetalChecker(Text, Path)) {
+      errs() << "xgcc: errors in metal checker '" << Path << "'\n";
+      return 2;
+    }
+  }
+
+  Tool.run(Opts);
+
+  // History-based suppression (Section 8).
+  HistoryFile History;
+  if (!HistoryPath.empty()) {
+    History.load(HistoryPath);
+    unsigned Dropped = History.apply(Tool.reports());
+    if (Dropped)
+      outs() << "suppressed " << Dropped << " report(s) from history\n";
+  }
+  if (!UpdateHistoryPath.empty()) {
+    HistoryFile Updated;
+    for (const ErrorReport &R : Tool.reports().reports())
+      Updated.markKey(historyKey(R));
+    Updated.save(UpdateHistoryPath);
+  }
+
+  if (Json) {
+    Tool.reports().printJson(outs(), Policy);
+  } else {
+    Tool.reports().print(outs(), Policy);
+    outs() << Tool.reports().size() << " report(s)\n";
+  }
+
+  if (ShowGroups && !Json) {
+    // Section 9: "group all errors that are computed from a common analysis
+    // fact" so a wrong fact can be suppressed wholesale.
+    outs() << "---- groups (by analysis fact) ----\n";
+    for (const auto &[Key, Members] : Tool.reports().grouped()) {
+      outs() << (Key.empty() ? std::string("<ungrouped>") : Key) << ": "
+             << Members.size() << " report(s)";
+      if (!Key.empty())
+        outs().printf(" (z=%.2f)", Tool.reports().ruleZ(Key));
+      outs() << '\n';
+    }
+  }
+
+  if (ShowStats) {
+    const EngineStats &S = Tool.stats();
+    outs() << "points=" << S.PointsVisited << " blocks=" << S.BlocksVisited
+           << " paths=" << S.PathsExplored << " cache-hits="
+           << S.BlockCacheHits << " fn-hits=" << S.FunctionCacheHits
+           << " fn-analyses=" << S.FunctionAnalyses << " pruned="
+           << S.PathsPruned << " kills=" << S.KillsApplied << " synonyms="
+           << S.SynonymsCreated << '\n';
+  }
+  return 0;
+}

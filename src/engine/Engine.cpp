@@ -1,0 +1,1248 @@
+//===- engine/Engine.cpp - The xgcc analysis engine --------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "cfront/ASTPrinter.h"
+#include "metal/Pattern.h" // stripCasts
+
+#include <algorithm>
+
+using namespace mc;
+
+//===----------------------------------------------------------------------===//
+// Internal structures
+//===----------------------------------------------------------------------===//
+
+/// One program point within a block's flattened, execution-ordered list.
+struct Engine::PointInfo {
+  const Stmt *Point;
+  const Stmt *TopStmt;
+  bool InCondition;
+};
+
+/// Path-private analysis state: the extension's sm_instance plus the
+/// supporting analyses' state. Copied at splits, dropped on backtrack.
+struct Engine::PathState {
+  SMInstance SMI;
+  ValueTracker VT;
+  std::vector<PathSpecificEffect> PendingEffects; ///< At a branch condition.
+  std::vector<PathSpecificEffect> PendingForks;   ///< Elsewhere: fork.
+  std::string PathAnnotation;
+  bool Killed = false;
+};
+
+/// Traversal context for one function activation.
+struct Engine::FrameCtx {
+  const FunctionDecl *Fn = nullptr;
+  const CFG *G = nullptr;
+  FunctionSummaries *FS = nullptr;
+  std::vector<BacktraceEntry> Backtrace;
+  std::vector<PathState> *ExitStates = nullptr;
+  std::set<std::string> *ExitKeys = nullptr;
+  std::set<const FunctionDecl *> *CallStack = nullptr;
+  unsigned Depth = 0;
+  uint64_t PathsThisFunction = 0;
+  bool PathLimitReached = false;
+};
+
+/// What refine saved so restore can rebuild the caller's state (Table 2).
+struct Engine::RestoreInfo {
+  struct SavedInstance {
+    VarState VS;
+    bool PassedToCallee = false;
+  };
+  std::vector<SavedInstance> Saved;
+  struct ArgPair {
+    const Expr *Actual = nullptr;      ///< Stripped actual argument.
+    const Expr *ActualInner = nullptr; ///< a when the actual is &a.
+    bool AddrOf = false;
+    const Expr *FormalRef = nullptr;   ///< DeclRef to the formal.
+    const Expr *FormalDeref = nullptr; ///< *formal (for the &a row).
+  };
+  std::vector<ArgPair> Args;
+  unsigned CallerFileID = 0;
+};
+
+namespace {
+
+/// Severity order of path annotations; smaller is stronger.
+int annotationRank(const std::string &A) {
+  if (A == "SECURITY")
+    return 0;
+  if (A == "ERROR")
+    return 1;
+  if (A.empty())
+    return 2;
+  return 3; // MINOR and anything else
+}
+
+/// True when \p E references a declaration with function-local storage that
+/// satisfies \p Pred.
+bool referencesLocalDecl(const Expr *E,
+                         const std::function<bool(const VarDecl *)> &Pred) {
+  if (!E)
+    return false;
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(E))
+    if (const auto *VD = dyn_cast<VarDecl>(DRE->decl()))
+      if (Pred(VD))
+        return true;
+  bool Found = false;
+  forEachChild(E, [&](const Expr *Child) {
+    if (!Found && referencesLocalDecl(Child, Pred))
+      Found = true;
+  });
+  return Found;
+}
+
+/// True when \p E mentions any declaration in \p Scope.
+bool referencesAnyOf(const Expr *E, const std::set<const VarDecl *> &Scope) {
+  return referencesLocalDecl(
+      E, [&](const VarDecl *VD) { return Scope.count(VD) != 0; });
+}
+
+/// Collects every VarDecl declared by statements under \p S.
+void collectLocalDecls(const Stmt *S, std::set<const VarDecl *> &Out) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::SK_Decl:
+    for (VarDecl *VD : cast<DeclStmt>(S)->decls())
+      Out.insert(VD);
+    return;
+  case Stmt::SK_Compound:
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+      collectLocalDecls(Sub, Out);
+    return;
+  case Stmt::SK_If:
+    collectLocalDecls(cast<IfStmt>(S)->thenStmt(), Out);
+    collectLocalDecls(cast<IfStmt>(S)->elseStmt(), Out);
+    return;
+  case Stmt::SK_While:
+    collectLocalDecls(cast<WhileStmt>(S)->body(), Out);
+    return;
+  case Stmt::SK_Do:
+    collectLocalDecls(cast<DoStmt>(S)->body(), Out);
+    return;
+  case Stmt::SK_For:
+    collectLocalDecls(cast<ForStmt>(S)->init(), Out);
+    collectLocalDecls(cast<ForStmt>(S)->body(), Out);
+    return;
+  case Stmt::SK_Switch:
+    collectLocalDecls(cast<SwitchStmt>(S)->body(), Out);
+    return;
+  case Stmt::SK_Case:
+    collectLocalDecls(cast<CaseStmt>(S)->sub(), Out);
+    return;
+  case Stmt::SK_Default:
+    collectLocalDecls(cast<DefaultStmt>(S)->sub(), Out);
+    return;
+  case Stmt::SK_Label:
+    collectLocalDecls(cast<LabelStmt>(S)->sub(), Out);
+    return;
+  default:
+    return;
+  }
+}
+
+/// The file-static decls mentioned by \p E.
+void collectFileStatics(const Expr *E, std::vector<const VarDecl *> &Out) {
+  if (!E)
+    return;
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(E))
+    if (const auto *VD = dyn_cast<VarDecl>(DRE->decl()))
+      if (VD->storage() == VarDecl::FileStatic)
+        Out.push_back(VD);
+  forEachChild(E, [&](const Expr *Child) { collectFileStatics(Child, Out); });
+}
+
+/// True when \p E references a non-parameter local (these trees never enter
+/// suffix/function summaries).
+bool isLocalTree(const Expr *E) {
+  return referencesLocalDecl(
+      E, [](const VarDecl *VD) { return VD->storage() == VarDecl::Local; });
+}
+
+/// Serialized identity of an exit state, for dedup.
+std::string exitStateKey(const SMInstance &SMI, const std::string &Annotation) {
+  std::vector<StateTuple> Tuples = tuplesOf(SMI);
+  std::sort(Tuples.begin(), Tuples.end());
+  std::string Key = std::to_string(SMI.GState) + "|" + Annotation;
+  for (const StateTuple &T : Tuples) {
+    Key += ';';
+    Key += T.TreeKey;
+    Key += ':';
+    Key += std::to_string(T.Value);
+    Key += ':';
+    Key += T.Data;
+  }
+  return Key;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Expression substitution (Table 2 retargeting)
+//===----------------------------------------------------------------------===//
+
+/// Rebuilds \p E with every subexpression equivalent to \p From replaced by
+/// \p To. Returns \p E itself when nothing changed.
+static const Expr *substituteExpr(ASTContext &Ctx, const Expr *E,
+                                  const Expr *From, const Expr *To) {
+  if (!E)
+    return E;
+  if (exprEquivalent(E, From))
+    return To;
+  switch (E->kind()) {
+  case Stmt::SK_Unary: {
+    const auto *UO = cast<UnaryOperator>(E);
+    const Expr *Sub = substituteExpr(Ctx, UO->sub(), From, To);
+    if (Sub == UO->sub())
+      return E;
+    return Ctx.create<UnaryOperator>(E->loc(), UO->opcode(), Sub, E->type());
+  }
+  case Stmt::SK_Binary: {
+    const auto *BO = cast<BinaryOperator>(E);
+    const Expr *L = substituteExpr(Ctx, BO->lhs(), From, To);
+    const Expr *R = substituteExpr(Ctx, BO->rhs(), From, To);
+    if (L == BO->lhs() && R == BO->rhs())
+      return E;
+    return Ctx.create<BinaryOperator>(E->loc(), BO->opcode(), L, R, E->type());
+  }
+  case Stmt::SK_ArraySubscript: {
+    const auto *AS = cast<ArraySubscriptExpr>(E);
+    const Expr *Base = substituteExpr(Ctx, AS->base(), From, To);
+    const Expr *Index = substituteExpr(Ctx, AS->index(), From, To);
+    if (Base == AS->base() && Index == AS->index())
+      return E;
+    return Ctx.create<ArraySubscriptExpr>(E->loc(), Base, Index, E->type());
+  }
+  case Stmt::SK_Member: {
+    const auto *ME = cast<MemberExpr>(E);
+    const Expr *Base = substituteExpr(Ctx, ME->base(), From, To);
+    if (Base == ME->base())
+      return E;
+    return Ctx.create<MemberExpr>(E->loc(), Base, ME->member(), ME->isArrow(),
+                                  E->type());
+  }
+  case Stmt::SK_Cast: {
+    const auto *CE = cast<CastExpr>(E);
+    const Expr *Sub = substituteExpr(Ctx, CE->sub(), From, To);
+    if (Sub == CE->sub())
+      return E;
+    return Ctx.create<CastExpr>(E->loc(), E->type(), Sub);
+  }
+  default:
+    return E;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisContext implementation
+//===----------------------------------------------------------------------===//
+
+class Engine::ACtxImpl : public AnalysisContext {
+public:
+  ACtxImpl(Engine &E, PathState &PS, const FunctionDecl *Fn, unsigned Depth,
+           const PointInfo *PI, const Expr *BranchCond = nullptr)
+      : E(E), PS(PS), Fn(Fn), Depth(Depth), PI(PI), BranchCond(BranchCond) {}
+
+  SMInstance &state() override { return PS.SMI; }
+
+  VarState &createInstance(const Expr *Tree, int Value) override {
+    MatchedFlag = true;
+    VarState VS;
+    VS.Tree = stripCasts(Tree);
+    VS.TreeKey = exprKey(VS.Tree);
+    VS.Value = Value;
+    VS.CreatedAt = PI ? PI->TopStmt : nullptr;
+    VS.OriginLoc = PI && PI->Point ? PI->Point->loc() : VS.Tree->loc();
+    PS.SMI.ActiveVars.push_back(std::move(VS));
+    return PS.SMI.ActiveVars.back();
+  }
+
+  void transition(VarState &VS, int Value) override {
+    MatchedFlag = true;
+    if (VS.SynonymGroup != 0) {
+      unsigned Group = VS.SynonymGroup;
+      for (VarState &Other : PS.SMI.ActiveVars)
+        if (Other.SynonymGroup == Group)
+          Other.Value = Value;
+      return;
+    }
+    VS.Value = Value;
+  }
+
+  bool justCreated(const VarState &VS) const override {
+    return PI && VS.CreatedAt && VS.CreatedAt == PI->TopStmt;
+  }
+
+  void pathSpecific(const PathSpecificEffect &Effect) override {
+    MatchedFlag = true;
+    if (PI && PI->InCondition)
+      PS.PendingEffects.push_back(Effect);
+    else
+      PS.PendingForks.push_back(Effect);
+  }
+
+  void markTransition() override { MatchedFlag = true; }
+
+  void reportError(std::string Message, const VarState *Instance,
+                   std::string GroupKey) override {
+    ErrorReport R;
+    R.CheckerName = std::string(E.CurChecker->name());
+    R.Message = std::move(Message);
+    SourceLoc Loc;
+    if (PI && PI->Point)
+      Loc = PI->Point->loc();
+    else if (Instance && Instance->OriginLoc.isValid())
+      Loc = Instance->OriginLoc;
+    else if (Fn)
+      Loc = Fn->loc();
+    R.ErrorLoc = Loc;
+    FullLoc Full = E.SM.decode(Loc);
+    R.File = std::string(Full.Filename);
+    R.Line = Full.Line;
+    R.FunctionName = Fn ? std::string(Fn->name()) : "";
+    if (Instance) {
+      R.VariableName = Instance->TreeKey;
+      R.Conditionals = Instance->CondsCrossed;
+      R.IndirectionDepth = Instance->IndirectionDepth;
+      R.Interprocedural = Instance->Interprocedural;
+      if (Instance->OriginLoc.isValid() &&
+          Instance->OriginLoc.fileID() == Loc.fileID()) {
+        unsigned L0 = E.SM.lineNumber(Instance->OriginLoc);
+        R.DistanceLines = Full.Line > L0 ? Full.Line - L0 : L0 - Full.Line;
+      }
+    } else {
+      R.Interprocedural = Depth > 0;
+    }
+    R.CallChainLength = Depth;
+    R.Annotation = PS.PathAnnotation;
+    R.GroupKey = GroupKey;
+    R.RuleKey = GroupKey;
+    E.Reports.add(std::move(R));
+  }
+
+  void countExample(const std::string &RuleKey) override {
+    E.Reports.countExample(RuleKey);
+  }
+  void countViolation(const std::string &RuleKey) override {
+    E.Reports.countViolation(RuleKey);
+  }
+
+  void annotatePath(const std::string &Tag) override {
+    if (annotationRank(Tag) < annotationRank(PS.PathAnnotation))
+      PS.PathAnnotation = Tag;
+    else if (PS.PathAnnotation.empty())
+      PS.PathAnnotation = Tag;
+  }
+
+  void annotate(const Stmt *Node, const std::string &Key,
+                const std::string &Value) override {
+    E.Annotations[Node][Key] = Value;
+  }
+  const std::string *annotation(const Stmt *Node,
+                                const std::string &Key) const override {
+    auto NodeIt = E.Annotations.find(Node);
+    if (NodeIt == E.Annotations.end())
+      return nullptr;
+    auto It = NodeIt->second.find(Key);
+    return It == NodeIt->second.end() ? nullptr : &It->second;
+  }
+
+  void killPath() override { PS.Killed = true; }
+
+  const FunctionDecl *currentFunction() const override { return Fn; }
+  const Stmt *currentTopStmt() const override {
+    return PI ? PI->TopStmt : nullptr;
+  }
+  bool atBranchCondition() const override { return PI && PI->InCondition; }
+  const Expr *branchCondition() const override { return BranchCond; }
+  const SourceManager &sourceManager() const override { return E.SM; }
+
+  bool matched() const { return MatchedFlag; }
+
+private:
+  Engine &E;
+  PathState &PS;
+  const FunctionDecl *Fn;
+  unsigned Depth;
+  const PointInfo *PI;
+  const Expr *BranchCond;
+  bool MatchedFlag = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+Engine::Engine(ASTContext &Ctx, const SourceManager &SM, const CallGraph &CG,
+               ReportManager &Reports, EngineOptions Opts)
+    : Ctx(Ctx), SM(SM), CG(CG), Reports(Reports), Opts(Opts) {}
+
+Engine::~Engine() = default;
+
+const BlockSummary *Engine::blockSummary(const FunctionDecl *Fn,
+                                         const BasicBlock *B) const {
+  auto It = Summaries.find(Fn);
+  if (It == Summaries.end())
+    return nullptr;
+  return const_cast<FunctionSummaries &>(It->second).find(B);
+}
+
+const std::string *Engine::annotation(const Stmt *Node,
+                                      const std::string &Key) const {
+  auto NodeIt = Annotations.find(Node);
+  if (NodeIt == Annotations.end())
+    return nullptr;
+  auto It = NodeIt->second.find(Key);
+  return It == NodeIt->second.end() ? nullptr : &It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Point lists
+//===----------------------------------------------------------------------===//
+
+static void appendExprPoints(const Expr *E, const Stmt *Top, bool InCond,
+                             std::vector<Engine::PointInfo> &Out);
+
+const std::vector<Engine::PointInfo> &Engine::pointsOf(const BasicBlock *B) {
+  auto It = PointCache.find(B);
+  if (It != PointCache.end())
+    return It->second;
+  std::vector<PointInfo> Points;
+  for (const Stmt *S : B->stmts()) {
+    bool IsCond = B->condition() == S;
+    if (const auto *E = dyn_cast<Expr>(S)) {
+      appendExprPoints(E, S, IsCond, Points);
+      continue;
+    }
+    if (const auto *DS = dyn_cast<DeclStmt>(S)) {
+      for (const VarDecl *VD : DS->decls())
+        if (VD->init())
+          appendExprPoints(VD->init(), S, false, Points);
+      Points.push_back(PointInfo{S, S, false});
+      continue;
+    }
+    if (const auto *RS = dyn_cast<ReturnStmt>(S)) {
+      if (RS->value())
+        appendExprPoints(RS->value(), S, false, Points);
+      Points.push_back(PointInfo{S, S, false});
+      continue;
+    }
+    Points.push_back(PointInfo{S, S, false});
+  }
+  return PointCache[B] = std::move(Points);
+}
+
+static void appendExprPoints(const Expr *E, const Stmt *Top, bool InCond,
+                             std::vector<Engine::PointInfo> &Out) {
+  forEachPointExecutionOrder(E, [&](const Expr *Point) {
+    Out.push_back(Engine::PointInfo{Point, Top, InCond});
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Transparent analyses (Section 8)
+//===----------------------------------------------------------------------===//
+
+void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
+                              const Stmt *TopStmt, bool Compound) {
+  const Expr *LHSStripped = stripCasts(LHS);
+  if (!LHSStripped)
+    return;
+
+  // Killing variables and expressions: when a variable is defined, any
+  // object whose tree uses it loses its state.
+  if (Opts.EnableAutoKill && CurChecker->enableAutoKill()) {
+    // Instances attached at this very statement (e.g. `v = kmalloc(...)`
+    // patterns) survive their own defining assignment.
+    if (const auto *DRE = dyn_cast<DeclRefExpr>(LHSStripped)) {
+      const Decl *D = DRE->decl();
+      for (VarState &VS : PS.SMI.ActiveVars) {
+        if (VS.live() && VS.CreatedAt != TopStmt &&
+            exprReferencesDecl(VS.Tree, D)) {
+          VS.Value = StateStop;
+          ++Stats.KillsApplied;
+        }
+      }
+    } else {
+      std::string Key = exprKey(LHSStripped);
+      for (VarState &VS : PS.SMI.ActiveVars) {
+        if (VS.live() && VS.CreatedAt != TopStmt && VS.TreeKey == Key) {
+          VS.Value = StateStop;
+          ++Stats.KillsApplied;
+        }
+      }
+    }
+    PS.SMI.sweepStopped();
+  }
+
+  // Synonyms: `q = p` mirrors p's state onto q.
+  if (!Compound && RHS && Opts.EnableSynonyms &&
+      CurChecker->enableSynonyms() && isLValueShape(LHSStripped)) {
+    const Expr *Src = stripCasts(RHS);
+    if (Src && isLValueShape(Src)) {
+      if (VarState *SrcVS = PS.SMI.findByKey(exprKey(Src))) {
+        if (SrcVS->SynonymGroup == 0)
+          SrcVS->SynonymGroup = ++SynonymGroupCounter;
+        VarState Clone = *SrcVS;
+        Clone.Tree = LHSStripped;
+        Clone.TreeKey = exprKey(LHSStripped);
+        Clone.CreatedAt = TopStmt;
+        Clone.IndirectionDepth = SrcVS->IndirectionDepth + 1;
+        PS.SMI.ActiveVars.push_back(std::move(Clone));
+        ++Stats.SynonymsCreated;
+      }
+    }
+  }
+
+  // False-path pruning's value tracking.
+  if (Opts.EnableFalsePathPruning) {
+    if (Compound)
+      PS.VT.havoc(LHSStripped);
+    else
+      PS.VT.assign(LHSStripped, RHS);
+  }
+}
+
+void Engine::handlePoint(FrameCtx &Frame, const BasicBlock *B, PathState &PS,
+                         const PointInfo &PI, bool &Matched) {
+  ++Stats.PointsVisited;
+  // The no-transition-at-the-creating-statement rule (Section 3.2) only
+  // covers the creating occurrence: once the analysis moves to a different
+  // statement the mark is cleared, so a loop revisiting the statement can
+  // trigger transitions normally.
+  for (VarState &VS : PS.SMI.ActiveVars)
+    if (VS.CreatedAt && VS.CreatedAt != PI.TopStmt)
+      VS.CreatedAt = nullptr;
+  ACtxImpl ACtx(*this, PS, Frame.Fn, Frame.Depth, &PI, B->condition());
+  CurChecker->checkPoint(PI.Point, ACtx);
+  Matched = ACtx.matched();
+  PS.SMI.sweepStopped();
+  // Composition: a point flagged PATHKILL by an earlier checker (the panic
+  // annotator) stops the traversal of the current path.
+  if (const std::string *Kill = annotation(PI.Point, "PATHKILL")) {
+    (void)Kill;
+    PS.Killed = true;
+  }
+
+  if (const auto *BO = dyn_cast<BinaryOperator>(PI.Point)) {
+    if (BO->isAssignment())
+      handleAssignment(PS, BO->lhs(), BO->rhs(), PI.TopStmt,
+                       BO->isCompoundAssignment());
+  } else if (const auto *UO = dyn_cast<UnaryOperator>(PI.Point)) {
+    if (UO->isIncrementDecrement())
+      handleAssignment(PS, UO->sub(), nullptr, PI.TopStmt, /*Compound=*/true);
+  } else if (const auto *DS = dyn_cast<DeclStmt>(PI.Point)) {
+    for (const VarDecl *VD : DS->decls()) {
+      if (!VD->init())
+        continue;
+      auto RefIt = DeclRefCache.find(VD);
+      const Expr *Ref;
+      if (RefIt != DeclRefCache.end()) {
+        Ref = RefIt->second;
+      } else {
+        Ref = Ctx.create<DeclRefExpr>(VD->loc(), VD, VD->type());
+        DeclRefCache[VD] = Ref;
+      }
+      handleAssignment(PS, Ref, VD->init(), PI.TopStmt, false);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Traversal
+//===----------------------------------------------------------------------===//
+
+void Engine::traverseBlock(FrameCtx &Frame, const BasicBlock *B,
+                           PathState PS) {
+  if (Frame.PathLimitReached)
+    return;
+  if (Frame.Backtrace.size() >= Opts.MaxPathLength) {
+    // Without caching, loops would unroll forever; cut the path here.
+    ++Stats.PathLimitHits;
+    ++Stats.PathsExplored;
+    return;
+  }
+  ++Stats.BlocksVisited;
+  BlockSummary &Sum = Frame.FS->of(B);
+  std::vector<StateTuple> Entry = tuplesOf(PS.SMI);
+
+  if (Opts.EnableBlockCache) {
+    bool AllCached = true;
+    for (const StateTuple &T : Entry)
+      if (!Sum.Reached.count(T)) {
+        AllCached = false;
+        break;
+      }
+    if (AllCached) {
+      // The whole state has been explored from this block: abort the path
+      // (cache_misses, Section 5.2), relaxing suffix summaries on the way.
+      ++Stats.BlockCacheHits;
+      Frame.Backtrace.push_back(BacktraceEntry{B, Entry});
+      relaxSuffixSummaries(Frame.Backtrace, *Frame.FS,
+                           [&](const std::string &Key) {
+                             auto It = Frame.FS->LocalKeys.find(Key);
+                             return It == Frame.FS->LocalKeys.end() ||
+                                    !It->second;
+                           });
+      Frame.Backtrace.pop_back();
+      ++Stats.PathsExplored;
+      if (++Frame.PathsThisFunction > Opts.MaxPathsPerFunction) {
+        Frame.PathLimitReached = true;
+        ++Stats.PathLimitHits;
+      }
+      return;
+    }
+    // Partial hit: drop instances whose tuple is already cached; only the
+    // remaining (new) tuples are carried through the block.
+    std::erase_if(PS.SMI.ActiveVars, [&](const VarState &VS) {
+      if (!VS.live() || VS.Inactive)
+        return false;
+      return Sum.Reached.count(
+                 StateTuple{PS.SMI.GState, VS.TreeKey, VS.Value, VS.Data}) != 0;
+    });
+    Entry = tuplesOf(PS.SMI);
+  }
+
+  for (const StateTuple &T : Entry)
+    Sum.Reached.insert(T);
+  // Record tree locality for the summary filters.
+  for (const VarState &VS : PS.SMI.ActiveVars)
+    if (VS.live() && !Frame.FS->LocalKeys.count(VS.TreeKey))
+      Frame.FS->LocalKeys[VS.TreeKey] = isLocalTree(VS.Tree);
+
+  Frame.Backtrace.push_back(BacktraceEntry{B, Entry});
+  processPoints(Frame, B, Entry, 0, std::move(PS));
+  Frame.Backtrace.pop_back();
+}
+
+void Engine::processPoints(FrameCtx &Frame, const BasicBlock *B,
+                           const std::vector<StateTuple> &EntrySnapshot,
+                           size_t Idx, PathState PS) {
+  const std::vector<PointInfo> &Points = pointsOf(B);
+  for (size_t I = Idx; I < Points.size(); ++I) {
+    if (PS.Killed)
+      break;
+    const PointInfo &PI = Points[I];
+    bool Matched = false;
+    handlePoint(Frame, B, PS, PI, Matched);
+
+    // A path-specific transition away from a branch condition forks the
+    // analysis: both outcomes are possible.
+    if (!PS.PendingForks.empty()) {
+      PathSpecificEffect Eff = PS.PendingForks.front();
+      PS.PendingForks.erase(PS.PendingForks.begin());
+      for (bool Branch : {true, false}) {
+        PathState Copy = PS;
+        int Value = Branch ? Eff.TrueValue : Eff.FalseValue;
+        if (VarState *VS = Copy.SMI.findByKey(Eff.TreeKey)) {
+          VS->Value = Value;
+          Copy.SMI.sweepStopped();
+        } else if (Value != StateStop && Eff.Tree) {
+          ACtxImpl ACtx(*this, Copy, Frame.Fn, Frame.Depth, &PI);
+          ACtx.createInstance(Eff.Tree, Value);
+        }
+        processPoints(Frame, B, EntrySnapshot, I + 1, std::move(Copy));
+      }
+      return;
+    }
+
+    // Interprocedural: follow calls the checker did not match.
+    if (Opts.Interprocedural && !Matched) {
+      if (const auto *CE = dyn_cast<CallExpr>(PI.Point)) {
+        if (const auto *DRE = dyn_cast<DeclRefExpr>(CE->callee())) {
+          if (const auto *Callee = dyn_cast<FunctionDecl>(DRE->decl())) {
+            if (CG.cfg(Callee) && Frame.Depth + 1 < Opts.MaxCallDepth) {
+              followCall(Frame, B, EntrySnapshot, I + 1, std::move(PS), CE,
+                         Callee);
+              return;
+            }
+          }
+        }
+      }
+    }
+  }
+  if (PS.Killed) {
+    // Path-kill composition: stop traversing this path quietly.
+    ++Stats.PathsExplored;
+    if (++Frame.PathsThisFunction > Opts.MaxPathsPerFunction) {
+      Frame.PathLimitReached = true;
+      ++Stats.PathLimitHits;
+    }
+    return;
+  }
+  finishBlock(Frame, B, EntrySnapshot, std::move(PS));
+}
+
+void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
+                         const std::vector<StateTuple> &EntrySnapshot,
+                         PathState PS) {
+  BlockSummary &Sum = Frame.FS->of(B);
+  int GEntry = EntrySnapshot.empty() ? PS.SMI.GState
+                                     : EntrySnapshot.front().GState;
+  int GExit = PS.SMI.GState;
+
+  // Compute this traversal's transition and add edges (Section 5.2).
+  std::vector<SummaryEdge> Inserted;
+  auto Insert = [&](SummaryEdge E) {
+    if (!Sum.Edges.count(E)) {
+      Sum.addEdge(E);
+      Inserted.push_back(E);
+    }
+  };
+  // The global-only edge (relax uses it to match add-edge start states).
+  Insert(SummaryEdge{StateTuple{GEntry, {}, StateStop, {}},
+                     StateTuple{GExit, {}, StateStop, {}}, nullptr});
+
+  std::map<std::string, const VarState *> ExitByKey;
+  for (const VarState &VS : PS.SMI.ActiveVars)
+    if (VS.live() && !VS.Inactive)
+      ExitByKey[VS.TreeKey] = &VS;
+
+  std::set<std::string> EntryKeys;
+  for (const StateTuple &T : EntrySnapshot) {
+    if (T.isPlaceholder())
+      continue;
+    EntryKeys.insert(T.TreeKey);
+    auto It = ExitByKey.find(T.TreeKey);
+    if (It != ExitByKey.end()) {
+      const VarState *VS = It->second;
+      Insert(SummaryEdge{T,
+                         StateTuple{GExit, VS->TreeKey, VS->Value, VS->Data},
+                         VS->Tree});
+    } else {
+      // The object was killed/stopped within the block.
+      Insert(SummaryEdge{T, StateTuple{GExit, T.TreeKey, StateStop, {}},
+                         nullptr});
+    }
+  }
+  for (const auto &[Key, VS] : ExitByKey) {
+    if (EntryKeys.count(Key))
+      continue;
+    if (!Frame.FS->LocalKeys.count(Key))
+      Frame.FS->LocalKeys[Key] = isLocalTree(VS->Tree);
+    Insert(SummaryEdge{StateTuple{GEntry, Key, StateUnknown, {}},
+                       StateTuple{GExit, Key, VS->Value, VS->Data}, VS->Tree});
+  }
+
+  auto KeepTree = [&](const std::string &Key) {
+    auto It = Frame.FS->LocalKeys.find(Key);
+    return It == Frame.FS->LocalKeys.end() || !It->second;
+  };
+  auto NotePathEnd = [&] {
+    ++Stats.PathsExplored;
+    if (++Frame.PathsThisFunction > Opts.MaxPathsPerFunction) {
+      Frame.PathLimitReached = true;
+      ++Stats.PathLimitHits;
+    }
+  };
+
+  if (B == Frame.G->exit()) {
+    // ep's suffix summary equals its block summary (minus stop-enders).
+    for (const SummaryEdge &E : Sum.Edges) {
+      if (E.To.Value == StateStop && !E.To.isPlaceholder())
+        continue;
+      if (!E.To.isPlaceholder() && !KeepTree(E.To.TreeKey))
+        continue;
+      Sum.addSuffixEdge(E);
+    }
+    relaxSuffixSummaries(Frame.Backtrace, *Frame.FS, KeepTree);
+    std::string Key = exitStateKey(PS.SMI, PS.PathAnnotation);
+    if (Frame.ExitKeys->insert(Key).second)
+      Frame.ExitStates->push_back(PS);
+    NotePathEnd();
+    return;
+  }
+
+  const std::vector<CFGEdge> &Succs = B->succs();
+  if (Succs.empty()) {
+    relaxSuffixSummaries(Frame.Backtrace, *Frame.FS, KeepTree);
+    NotePathEnd();
+    return;
+  }
+
+  // Decide edge feasibility (false path pruning, Section 8).
+  std::vector<std::pair<const CFGEdge *, PathState>> Feasible;
+  bool UseFPP = Opts.EnableFalsePathPruning && B->condition();
+  Tri CondValue = Tri::Unknown;
+  if (UseFPP)
+    CondValue = PS.VT.evaluate(B->condition());
+
+  for (const CFGEdge &Edge : Succs) {
+    if (UseFPP) {
+      if (Edge.Kind == CFGEdge::True && CondValue == Tri::False) {
+        ++Stats.PathsPruned;
+        continue;
+      }
+      if (Edge.Kind == CFGEdge::False && CondValue == Tri::True) {
+        ++Stats.PathsPruned;
+        continue;
+      }
+      if (Edge.Kind == CFGEdge::Case && Edge.CaseValue &&
+          PS.VT.compareEq(B->condition(), Edge.CaseValue) == Tri::False) {
+        ++Stats.PathsPruned;
+        continue;
+      }
+    }
+    PathState Copy = PS;
+    if (UseFPP) {
+      bool Ok = true;
+      if (Edge.Kind == CFGEdge::True)
+        Ok = Copy.VT.assume(B->condition(), true);
+      else if (Edge.Kind == CFGEdge::False)
+        Ok = Copy.VT.assume(B->condition(), false);
+      else if (Edge.Kind == CFGEdge::Case && Edge.CaseValue) {
+        Ok = Copy.VT.assumeEq(B->condition(), Edge.CaseValue, true);
+      } else if (Edge.Kind == CFGEdge::Default) {
+        // The default arm excludes every case label.
+        for (const CFGEdge &Other : Succs)
+          if (Ok && Other.Kind == CFGEdge::Case && Other.CaseValue)
+            Ok = Copy.VT.assumeEq(B->condition(), Other.CaseValue, false);
+      }
+      if (!Ok) {
+        ++Stats.PathsPruned;
+        continue;
+      }
+    }
+    // Apply path-specific transitions for the taken branch (Section 3.2).
+    if (Edge.Kind == CFGEdge::True || Edge.Kind == CFGEdge::False) {
+      bool Taken = Edge.Kind == CFGEdge::True;
+      for (const PathSpecificEffect &Eff : Copy.PendingEffects) {
+        int Value = Taken ? Eff.TrueValue : Eff.FalseValue;
+        if (VarState *VS = Copy.SMI.findByKey(Eff.TreeKey)) {
+          VS->Value = Value;
+        } else if (Value != StateStop && Eff.Tree) {
+          VarState NewVS;
+          NewVS.Tree = Eff.Tree;
+          NewVS.TreeKey = Eff.TreeKey;
+          NewVS.Value = Value;
+          NewVS.OriginLoc = Eff.Tree->loc();
+          Copy.SMI.ActiveVars.push_back(std::move(NewVS));
+        }
+      }
+      Copy.SMI.sweepStopped();
+    }
+    Copy.PendingEffects.clear();
+    Feasible.emplace_back(&Edge, std::move(Copy));
+  }
+
+  if (Feasible.empty()) {
+    // Every successor is infeasible: the paper removes block summary entries
+    // inserted while analysing the pruned path (Section 8, step 6).
+    for (const SummaryEdge &E : Inserted)
+      Sum.Edges.erase(E);
+    NotePathEnd();
+    return;
+  }
+
+  // Splitting at a conditional counts toward every live instance's
+  // "conditionals crossed" ranking input.
+  if (Feasible.size() > 1) {
+    for (auto &[Edge, State] : Feasible)
+      for (VarState &VS : State.SMI.ActiveVars)
+        if (VS.live())
+          ++VS.CondsCrossed;
+  }
+
+  for (auto &[Edge, State] : Feasible)
+    traverseBlock(Frame, Edge->To, std::move(State));
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural analysis (Section 6)
+//===----------------------------------------------------------------------===//
+
+const std::set<const VarDecl *> &Engine::localsOf(const FunctionDecl *Fn) {
+  auto It = FnLocalsCache.find(Fn);
+  if (It != FnLocalsCache.end())
+    return It->second;
+  std::set<const VarDecl *> Locals;
+  for (VarDecl *P : Fn->params())
+    Locals.insert(P);
+  collectLocalDecls(Fn->body(), Locals);
+  return FnLocalsCache[Fn] = std::move(Locals);
+}
+
+Engine::PathState Engine::refine(const PathState &PS, const CallExpr *CE,
+                                 const FunctionDecl *Caller,
+                                 const FunctionDecl *Callee, RestoreInfo &RI) {
+  PathState Out;
+  Out.SMI.GState = PS.SMI.GState;
+  Out.PathAnnotation = PS.PathAnnotation;
+  const std::set<const VarDecl *> &CallerScope = localsOf(Caller);
+
+  // Build the actual/formal pairs.
+  for (unsigned I = 0; I < CE->numArgs() && I < Callee->numParams(); ++I) {
+    VarDecl *Formal = Callee->param(I);
+    if (Formal->name().empty())
+      continue;
+    RestoreInfo::ArgPair AP;
+    AP.Actual = stripCasts(CE->arg(I));
+    if (const auto *UO = dyn_cast<UnaryOperator>(AP.Actual)) {
+      if (UO->opcode() == UnaryOperator::AddrOf) {
+        AP.AddrOf = true;
+        AP.ActualInner = stripCasts(UO->sub());
+      }
+    }
+    auto RefIt = DeclRefCache.find(Formal);
+    const Expr *FormalRef;
+    if (RefIt != DeclRefCache.end()) {
+      FormalRef = RefIt->second;
+    } else {
+      FormalRef = Ctx.create<DeclRefExpr>(Formal->loc(), Formal,
+                                          Formal->type());
+      DeclRefCache[Formal] = FormalRef;
+    }
+    AP.FormalRef = FormalRef;
+    const Type *DerefTy =
+        Formal->type() ? Formal->type()->pointeeOrElement() : nullptr;
+    AP.FormalDeref = Ctx.create<UnaryOperator>(
+        Formal->loc(), UnaryOperator::Deref, FormalRef,
+        DerefTy ? DerefTy : FormalRef->type());
+    RI.Args.push_back(AP);
+  }
+
+  for (const VarState &VS : PS.SMI.ActiveVars) {
+    if (!VS.live())
+      continue;
+    if (VS.Inactive || !referencesAnyOf(VS.Tree, CallerScope)) {
+      // Globals and file-statics pass across the boundary; file-statics are
+      // temporarily inactivated while the analysis is in another file.
+      VarState Clone = VS;
+      std::vector<const VarDecl *> Statics;
+      collectFileStatics(Clone.Tree, Statics);
+      bool Inactive = false;
+      for (const VarDecl *SD : Statics)
+        if (SD->loc().fileID() != Callee->fileID())
+          Inactive = true;
+      Clone.Inactive = Inactive;
+      Out.SMI.ActiveVars.push_back(std::move(Clone));
+      continue;
+    }
+    // Caller-scope tree: try to retarget it through an argument (Table 2).
+    const Expr *Sub = VS.Tree;
+    for (const RestoreInfo::ArgPair &AP : RI.Args) {
+      if (AP.AddrOf && AP.ActualInner)
+        Sub = substituteExpr(Ctx, Sub, AP.ActualInner, AP.FormalDeref);
+      else
+        Sub = substituteExpr(Ctx, Sub, AP.Actual, AP.FormalRef);
+    }
+    if (Sub != VS.Tree && !referencesAnyOf(Sub, CallerScope)) {
+      VarState Clone = VS;
+      Clone.Tree = Sub;
+      Clone.TreeKey = exprKey(Sub);
+      Clone.Interprocedural = true;
+      Clone.CreatedAt = nullptr;
+      Out.SMI.ActiveVars.push_back(std::move(Clone));
+      RI.Saved.push_back(RestoreInfo::SavedInstance{VS, true});
+    } else {
+      // Local state not visible to the callee: saved and restored later.
+      RI.Saved.push_back(RestoreInfo::SavedInstance{VS, false});
+    }
+  }
+  return Out;
+}
+
+Engine::PathState Engine::restore(const PathState &CallerPS, SMInstance ExitSM,
+                                  const RestoreInfo &RI,
+                                  const FunctionDecl *Callee) {
+  PathState Out;
+  Out.VT = CallerPS.VT;
+  Out.PathAnnotation = CallerPS.PathAnnotation;
+  Out.SMI.GState = ExitSM.GState;
+
+  bool ByRef = CurChecker->restoreArgsByReference();
+
+  // Under by-value semantics, state attached to the formal itself or to a
+  // dot-field chain of it lives in the callee's copy and must not flow back
+  // (Table 2 rows 1 and 3, "state (xa) unchanged (by value)"). Indirected
+  // shapes (*xf, xf->field, the &xa row) name caller memory and always
+  // restore.
+  auto ValueRooted = [&](const Expr *Tree) {
+    for (;;) {
+      for (const RestoreInfo::ArgPair &AP : RI.Args)
+        if (!AP.AddrOf && exprEquivalent(Tree, AP.FormalRef))
+          return true;
+      const auto *ME = dyn_cast<MemberExpr>(Tree);
+      if (!ME || ME->isArrow())
+        return false;
+      Tree = ME->base();
+    }
+  };
+
+  for (VarState &VS : ExitSM.ActiveVars) {
+    if (!VS.live())
+      continue;
+    if (!ByRef && ValueRooted(VS.Tree))
+      continue;
+    // Retarget callee-scope trees back into the caller (Table 2 restore).
+    const Expr *Tree = VS.Tree;
+    for (const RestoreInfo::ArgPair &AP : RI.Args) {
+      if (AP.AddrOf && AP.ActualInner)
+        Tree = substituteExpr(Ctx, Tree, AP.FormalDeref, AP.ActualInner);
+      Tree = substituteExpr(Ctx, Tree, AP.FormalRef,
+                            AP.AddrOf && AP.ActualInner ? AP.ActualInner
+                                                        : AP.Actual);
+    }
+    if (referencesAnyOf(Tree, localsOf(Callee))) {
+      // The object permanently leaves scope with the callee: $end_of_path$.
+      ACtxImpl ACtx(*this, Out, Callee, 0, nullptr);
+      CurChecker->checkEndOfPath(&VS, ACtx);
+      continue;
+    }
+    VarState Clone = VS;
+    Clone.Tree = Tree;
+    Clone.TreeKey = exprKey(Tree);
+    // File-statics reactivate when the analysis returns to their file.
+    std::vector<const VarDecl *> Statics;
+    collectFileStatics(Tree, Statics);
+    Clone.Inactive = false;
+    for (const VarDecl *SD : Statics)
+      if (SD->loc().fileID() != RI.CallerFileID)
+        Clone.Inactive = true;
+    Out.SMI.ActiveVars.push_back(std::move(Clone));
+  }
+
+  for (const RestoreInfo::SavedInstance &Saved : RI.Saved) {
+    if (Saved.PassedToCallee) {
+      if (ByRef)
+        continue; // The callee's view came back (or the object stopped).
+      // By-value: the caller's state is unchanged by the call.
+      std::erase_if(Out.SMI.ActiveVars, [&](const VarState &VS) {
+        return VS.TreeKey == Saved.VS.TreeKey;
+      });
+      Out.SMI.ActiveVars.push_back(Saved.VS);
+      continue;
+    }
+    Out.SMI.ActiveVars.push_back(Saved.VS);
+  }
+  return Out;
+}
+
+std::vector<SMInstance> Engine::replaySummary(const FunctionDecl *Callee,
+                                              const SMInstance &Refined,
+                                              bool PartialOk) {
+  FunctionSummaries &FS = Summaries[Callee];
+  const CFG *G = CG.cfg(Callee);
+  const BlockSummary &EntrySum = FS.entrySummary(*G);
+  const std::set<SummaryEdge> &Edges = EntrySum.SuffixEdges;
+
+  // Collect the applicable edges for the current state.
+  struct Applicable {
+    const SummaryEdge *E;
+    const VarState *Source; ///< Incoming instance (null for add edges).
+  };
+  std::map<std::string, std::vector<Applicable>> PerTree;
+  std::vector<int> GlobalExits;
+  std::vector<const VarState *> Unmatched; ///< Kept verbatim (PartialOk).
+
+  for (const SummaryEdge &E : Edges)
+    if (E.isGlobalOnly() && E.From.GState == Refined.GState)
+      GlobalExits.push_back(E.To.GState);
+  if (GlobalExits.empty())
+    GlobalExits.push_back(Refined.GState);
+
+  for (const VarState &VS : Refined.ActiveVars) {
+    if (!VS.live())
+      continue;
+    if (VS.Inactive) {
+      Unmatched.push_back(&VS); // Invisible to the callee; persists.
+      continue;
+    }
+    StateTuple T{Refined.GState, VS.TreeKey, VS.Value, VS.Data};
+    bool Any = false;
+    for (const SummaryEdge &E : Edges) {
+      if (E.isAdd() || E.From != T)
+        continue;
+      PerTree[VS.TreeKey].push_back(Applicable{&E, &VS});
+      Any = true;
+    }
+    if (!Any) {
+      if (PartialOk)
+        Unmatched.push_back(&VS); // Recursion: assume unchanged.
+      // Otherwise the instance stopped on every path through the callee.
+    }
+  }
+  // Add edges that can fire: trees the caller knows nothing about.
+  for (const SummaryEdge &E : Edges) {
+    if (!E.isAdd() || E.From.GState != Refined.GState)
+      continue;
+    if (Refined.findByKey(E.From.TreeKey))
+      continue;
+    PerTree[E.From.TreeKey].push_back(Applicable{&E, nullptr});
+  }
+
+  // Partition into disjoint exit states (Section 6.3, step 5): one exit
+  // sm_instance per combination index; same-tree alternatives land in
+  // different partitions.
+  size_t NumParts = 1;
+  for (const auto &[Key, List] : PerTree)
+    NumParts = std::max(NumParts, List.size());
+
+  std::vector<SMInstance> Out;
+  std::set<std::string> Dedup;
+  for (int GExit : GlobalExits) {
+    for (size_t Part = 0; Part != NumParts; ++Part) {
+      SMInstance SMI;
+      SMI.GState = GExit;
+      for (const VarState *VS : Unmatched)
+        SMI.ActiveVars.push_back(*VS);
+      for (const auto &[Key, List] : PerTree) {
+        const Applicable &A = List[Part % List.size()];
+        // Edges are per-function paths: only those consistent with this
+        // exit global state apply.
+        if (A.E->To.GState != GExit && GlobalExits.size() > 1)
+          continue;
+        if (A.E->To.Value == StateStop)
+          continue;
+        VarState VS;
+        if (A.Source) {
+          VS = *A.Source;
+        } else {
+          VS.Interprocedural = true;
+          VS.OriginLoc = A.E->ToTree ? A.E->ToTree->loc() : SourceLoc();
+        }
+        VS.Tree = A.E->ToTree;
+        if (!VS.Tree) {
+          // No materialized tree survived; fall back to the source tree.
+          if (!A.Source)
+            continue;
+          VS.Tree = A.Source->Tree;
+        }
+        VS.TreeKey = A.E->To.TreeKey;
+        VS.Value = A.E->To.Value;
+        VS.Data = A.E->To.Data;
+        VS.CreatedAt = nullptr;
+        SMI.ActiveVars.push_back(std::move(VS));
+      }
+      std::string Key = exitStateKey(SMI, {});
+      if (Dedup.insert(Key).second)
+        Out.push_back(std::move(SMI));
+    }
+  }
+  return Out;
+}
+
+void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
+                        const std::vector<StateTuple> &EntrySnapshot,
+                        size_t NextIdx, PathState PS, const CallExpr *CE,
+                        const FunctionDecl *Callee) {
+  RestoreInfo RI;
+  RI.CallerFileID = Frame.Fn->fileID();
+  PathState Refined = refine(PS, CE, Frame.Fn, Callee, RI);
+
+  bool OnStack = Frame.CallStack->count(Callee) != 0;
+  const CFG *CalleeCFG = CG.cfg(Callee);
+  FunctionSummaries &CalleeFS = Summaries[Callee];
+
+  std::vector<PathState> CalleeExits;
+  bool Replayed = false;
+
+  if (Opts.EnableFunctionSummaries) {
+    const std::set<StateTuple> &EntryTuples = CalleeFS.entryTuples(*CalleeCFG);
+    bool AllIn = !EntryTuples.empty();
+    for (const StateTuple &T : tuplesOf(Refined.SMI))
+      if (!EntryTuples.count(T)) {
+        AllIn = false;
+        break;
+      }
+    if (AllIn || OnStack) {
+      ++Stats.FunctionCacheHits;
+      for (SMInstance &SMI : replaySummary(Callee, Refined.SMI, OnStack)) {
+        PathState E;
+        E.SMI = std::move(SMI);
+        E.PathAnnotation = Refined.PathAnnotation;
+        CalleeExits.push_back(std::move(E));
+      }
+      Replayed = true;
+    }
+  } else if (OnStack) {
+    // Without summaries, recursion is broken by passing state through
+    // unchanged.
+    CalleeExits.push_back(Refined);
+    Replayed = true;
+  }
+
+  if (!Replayed) {
+    ++Stats.CallsFollowed;
+    std::set<const FunctionDecl *> NewStack = *Frame.CallStack;
+    NewStack.insert(Callee);
+    CalleeExits =
+        analyzeFunction(Callee, Refined, std::move(NewStack), Frame.Depth + 1);
+  }
+
+  if (CalleeExits.empty()) {
+    // The callee never returns in this state (killed paths / path limits):
+    // the caller's path ends here.
+    ++Stats.PathsExplored;
+    return;
+  }
+  for (PathState &ExitPS : CalleeExits) {
+    PathState Cont = restore(PS, std::move(ExitPS.SMI), RI, Callee);
+    if (annotationRank(ExitPS.PathAnnotation) <
+        annotationRank(Cont.PathAnnotation))
+      Cont.PathAnnotation = ExitPS.PathAnnotation;
+    processPoints(Frame, B, EntrySnapshot, NextIdx, std::move(Cont));
+  }
+}
+
+std::vector<Engine::PathState>
+Engine::analyzeFunction(const FunctionDecl *Fn, PathState PS,
+                        std::set<const FunctionDecl *> Stack, unsigned Depth) {
+  ++Stats.FunctionAnalyses;
+  const CFG *G = CG.cfg(Fn);
+  assert(G && "analyzeFunction requires a CFG");
+  std::vector<PathState> Exits;
+  std::set<std::string> ExitKeys;
+  FrameCtx Frame;
+  Frame.Fn = Fn;
+  Frame.G = G;
+  // With function summaries disabled (ablation), block summaries must not
+  // persist across activations: a second identical call would abort inside
+  // the callee without producing the memoized exit states.
+  FunctionSummaries LocalFS;
+  Frame.FS = Opts.EnableFunctionSummaries ? &Summaries[Fn] : &LocalFS;
+  Frame.ExitStates = &Exits;
+  Frame.ExitKeys = &ExitKeys;
+  Frame.CallStack = &Stack;
+  Frame.Depth = Depth;
+  traverseBlock(Frame, G->entry(), std::move(PS));
+  return Exits;
+}
+
+void Engine::endOfPath(PathState &PS, const FunctionDecl *Root) {
+  // Instances die with the program; the program itself terminates.
+  for (VarState &VS : PS.SMI.ActiveVars) {
+    if (!VS.live())
+      continue;
+    ACtxImpl ACtx(*this, PS, Root, 0, nullptr);
+    CurChecker->checkEndOfPath(&VS, ACtx);
+  }
+  ACtxImpl ACtx(*this, PS, Root, 0, nullptr);
+  CurChecker->checkEndOfPath(nullptr, ACtx);
+}
+
+void Engine::analyzeRoot(Checker &C, const FunctionDecl *Root) {
+  CurChecker = &C;
+  if (!CG.cfg(Root))
+    return;
+  PathState PS;
+  PS.SMI.GState = C.initialGlobalState();
+  std::set<const FunctionDecl *> Stack{Root};
+  std::vector<PathState> Exits = analyzeFunction(Root, std::move(PS), Stack, 0);
+  for (PathState &E : Exits)
+    endOfPath(E, Root);
+}
+
+void Engine::run(Checker &C) {
+  CurChecker = &C;
+  Summaries.clear();
+  for (const FunctionDecl *Root : CG.roots())
+    analyzeRoot(C, Root);
+}

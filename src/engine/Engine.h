@@ -1,0 +1,163 @@
+//===- engine/Engine.h - The xgcc analysis engine ---------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis engine of Sections 5 and 6: a depth-first, one-execution-
+/// path-at-a-time traversal of the supergraph that executes a checker at
+/// every program point; block-level state caching; suffix and function
+/// summaries with the relax pass; context-sensitive, top-down
+/// interprocedural analysis with refine/restore at call boundaries
+/// (Table 2); and the transparent supporting analyses of Section 8 (killing
+/// redefined variables, synonyms, false-path pruning).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_ENGINE_ENGINE_H
+#define MC_ENGINE_ENGINE_H
+
+#include "cfg/CallGraph.h"
+#include "engine/Summaries.h"
+#include "fpp/ValueTracker.h"
+#include "metal/Checker.h"
+#include "report/ReportManager.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace mc {
+
+/// Engine feature toggles; the benches flip these to measure each
+/// mechanism's contribution.
+struct EngineOptions {
+  bool EnableBlockCache = true;       ///< Section 5.2 block summaries.
+  bool EnableFunctionSummaries = true; ///< Section 6.2 function summaries.
+  bool EnableFalsePathPruning = true; ///< Section 8 FPP.
+  bool EnableAutoKill = true;         ///< Section 8 killing (AND checker knob).
+  bool EnableSynonyms = true;         ///< Section 8 synonyms (AND checker knob).
+  bool Interprocedural = true;        ///< Follow calls at all.
+  /// Safety valves for cache-off configurations: a function analysis stops
+  /// exploring after this many completed paths, and a single path aborts
+  /// after this many blocks (without caching, loops never converge).
+  uint64_t MaxPathsPerFunction = 1u << 20;
+  unsigned MaxPathLength = 4096;
+  unsigned MaxCallDepth = 64;
+
+  friend bool operator==(const EngineOptions &,
+                         const EngineOptions &) = default;
+};
+
+/// Work counters; the scaling benches report these.
+struct EngineStats {
+  uint64_t PointsVisited = 0;
+  uint64_t BlocksVisited = 0;
+  uint64_t PathsExplored = 0;
+  uint64_t BlockCacheHits = 0;
+  uint64_t FunctionCacheHits = 0;
+  uint64_t FunctionAnalyses = 0;
+  uint64_t CallsFollowed = 0;
+  uint64_t PathsPruned = 0;
+  uint64_t KillsApplied = 0;
+  uint64_t SynonymsCreated = 0;
+  uint64_t PathLimitHits = 0;
+};
+
+/// The xgcc engine. One Engine runs one or more checkers over one source
+/// base; AST annotations persist across checkers (composition).
+class Engine {
+public:
+  Engine(ASTContext &Ctx, const SourceManager &SM, const CallGraph &CG,
+         ReportManager &Reports, EngineOptions Opts = EngineOptions());
+  ~Engine();
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Applies \p C to the whole source base: a top-down DFS from every
+  /// callgraph root (Section 6, step 3).
+  void run(Checker &C);
+
+  /// Applies \p C starting from a single root.
+  void analyzeRoot(Checker &C, const FunctionDecl *Root);
+
+  const EngineStats &stats() const { return Stats; }
+  void resetStats() { Stats = EngineStats(); }
+
+  const EngineOptions &options() const { return Opts; }
+
+  /// Block summary of \p B for the last checker run (Figure 5 output).
+  const BlockSummary *blockSummary(const FunctionDecl *Fn,
+                                   const BasicBlock *B) const;
+
+  /// AST annotations written by checker composition.
+  const std::string *annotation(const Stmt *Node,
+                                const std::string &Key) const;
+
+  /// Internal point descriptor (public so implementation helpers can name
+  /// it; not part of the stable API).
+  struct PointInfo;
+
+private:
+  class ACtxImpl;
+  friend class ACtxImpl;
+  struct PathState;
+  struct FrameCtx;
+  struct RestoreInfo;
+
+  const std::vector<PointInfo> &pointsOf(const BasicBlock *B);
+
+  void traverseBlock(FrameCtx &Frame, const BasicBlock *B, PathState PS);
+  void processPoints(FrameCtx &Frame, const BasicBlock *B,
+                     const std::vector<StateTuple> &EntrySnapshot, size_t Idx,
+                     PathState PS);
+  void finishBlock(FrameCtx &Frame, const BasicBlock *B,
+                   const std::vector<StateTuple> &EntrySnapshot, PathState PS);
+  void followCall(FrameCtx &Frame, const BasicBlock *B,
+                  const std::vector<StateTuple> &EntrySnapshot, size_t NextIdx,
+                  PathState PS, const CallExpr *CE, const FunctionDecl *Callee);
+  std::vector<PathState> analyzeFunction(const FunctionDecl *Fn, PathState PS,
+                                         std::set<const FunctionDecl *> Stack,
+                                         unsigned Depth);
+  std::vector<SMInstance> replaySummary(const FunctionDecl *Callee,
+                                        const SMInstance &Refined,
+                                        bool PartialOk);
+
+  /// Section 8 transparent analyses at an assignment-shaped point.
+  void handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
+                        const Stmt *TopStmt, bool Compound);
+  void handlePoint(FrameCtx &Frame, const BasicBlock *B, PathState &PS,
+                   const PointInfo &PI, bool &Matched);
+
+  /// Table 2 refine/restore.
+  PathState refine(const PathState &PS, const CallExpr *CE,
+                   const FunctionDecl *Caller, const FunctionDecl *Callee,
+                   RestoreInfo &RI);
+  PathState restore(const PathState &CallerPS, SMInstance ExitSM,
+                    const RestoreInfo &RI, const FunctionDecl *Callee);
+
+  void endOfPath(PathState &PS, const FunctionDecl *Root);
+
+  ASTContext &Ctx;
+  const SourceManager &SM;
+  const CallGraph &CG;
+  ReportManager &Reports;
+  EngineOptions Opts;
+  EngineStats Stats;
+
+  Checker *CurChecker = nullptr;
+  std::map<const FunctionDecl *, FunctionSummaries> Summaries;
+  std::map<const BasicBlock *, std::vector<PointInfo>> PointCache;
+  std::map<const Stmt *, std::map<std::string, std::string>> Annotations;
+  /// Synthesized DeclRefExprs for formals and declared locals.
+  std::map<const VarDecl *, const Expr *> DeclRefCache;
+  /// Params + block-scope locals per function (scope tests for Table 2).
+  std::map<const FunctionDecl *, std::set<const VarDecl *>> FnLocalsCache;
+  const std::set<const VarDecl *> &localsOf(const FunctionDecl *Fn);
+  unsigned SynonymGroupCounter = 0;
+};
+
+} // namespace mc
+
+#endif // MC_ENGINE_ENGINE_H

@@ -1,0 +1,64 @@
+//===- engine/Summaries.cpp - Block/suffix/function summaries ----------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Summaries.h"
+
+using namespace mc;
+
+void mc::relaxSuffixSummaries(
+    const std::vector<BacktraceEntry> &Backtrace, FunctionSummaries &FS,
+    const std::function<bool(const std::string &)> &KeepTree) {
+  if (Backtrace.size() < 2)
+    return;
+  for (size_t I = Backtrace.size() - 1; I-- > 0;) {
+    BlockSummary &Prev = FS.of(Backtrace[I].Block);
+    const BlockSummary &Next = FS.of(Backtrace[I + 1].Block);
+    bool Grew = false;
+    for (const SummaryEdge &E : Next.SuffixEdges) {
+      // Suffix summaries intentionally omit edges that end in stop, and
+      // never record local variables (Figure 5).
+      if (E.To.Value == StateStop && !E.To.isPlaceholder())
+        continue;
+      if (!E.To.isPlaceholder() && !KeepTree(E.To.TreeKey))
+        continue;
+      if (E.isAdd()) {
+        // An add edge's start "matches" any global-only edge of the previous
+        // block whose end has the same global value (Section 6.2).
+        for (const SummaryEdge &P : Prev.Edges) {
+          if (!P.isGlobalOnly() || P.To.GState != E.From.GState)
+            continue;
+          SummaryEdge NewE{
+              StateTuple{P.From.GState, E.From.TreeKey, StateUnknown, {}},
+              E.To, E.ToTree};
+          if (Prev.SuffixEdges.insert(NewE).second) {
+            if (NewE.ToTree)
+              Prev.Trees[NewE.To.TreeKey] = NewE.ToTree;
+            Grew = true;
+          }
+        }
+        continue;
+      }
+      // A transition suffix edge chains with any block edge (transition or
+      // add) whose end tuple equals its start tuple.
+      for (const SummaryEdge &P : Prev.Edges) {
+        if (P.To != E.From)
+          continue;
+        SummaryEdge NewE{P.From, E.To, E.ToTree};
+        if (!NewE.From.isPlaceholder() && !KeepTree(NewE.From.TreeKey) &&
+            !NewE.isAdd())
+          continue;
+        if (Prev.SuffixEdges.insert(NewE).second) {
+          if (NewE.ToTree)
+            Prev.Trees[NewE.To.TreeKey] = NewE.ToTree;
+          Grew = true;
+        }
+      }
+    }
+    // "The algorithm stops when ... no new edges are propagated."
+    if (!Grew)
+      break;
+  }
+}

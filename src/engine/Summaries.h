@@ -1,0 +1,125 @@
+//===- engine/Summaries.h - Block/suffix/function summaries -----*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic-programming caches of Sections 5.2 and 6.2. Each basic block
+/// accumulates a *block summary*: the set of state tuples that reached it
+/// (the cache consulted by cache_misses) plus the transition and add edges
+/// describing how the block transforms each tuple. The backwards `relax`
+/// pass chains block summaries into *suffix summaries* (edges from a block
+/// to the function exit); the entry block's suffix summary is the function
+/// summary replayed at interprocedural cache hits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_ENGINE_SUMMARIES_H
+#define MC_ENGINE_SUMMARIES_H
+
+#include "cfg/CFG.h"
+#include "metal/State.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace mc {
+
+/// A transition or add edge. Add edges have From.Value == StateUnknown:
+/// "the edge only applies when we know nothing about t at the entry"
+/// (Section 5.2).
+struct SummaryEdge {
+  StateTuple From;
+  StateTuple To;
+  /// The tree of the To tuple, needed to materialize instances at replay.
+  const Expr *ToTree = nullptr;
+
+  bool isAdd() const { return From.Value == StateUnknown; }
+  /// Global-only edges relate placeholder tuples; relax uses them to match
+  /// the initial state of add edges.
+  bool isGlobalOnly() const { return From.isPlaceholder(); }
+
+  bool operator<(const SummaryEdge &RHS) const {
+    if (From != RHS.From)
+      return From < RHS.From;
+    return To < RHS.To;
+  }
+  bool operator==(const SummaryEdge &RHS) const {
+    return From == RHS.From && To == RHS.To;
+  }
+};
+
+/// Per-block cache + effect edges + suffix edges.
+struct BlockSummary {
+  /// Tuples that have reached this block (the cache_misses cache).
+  std::set<StateTuple> Reached;
+  /// How the block transforms each entering tuple (includes identity and
+  /// the global-only edge).
+  std::set<SummaryEdge> Edges;
+  /// Edges from this block's entry to the function exit.
+  std::set<SummaryEdge> SuffixEdges;
+
+  /// ToTree lookup for replay (keyed by tree key).
+  std::map<std::string, const Expr *> Trees;
+
+  void addEdge(const SummaryEdge &E) {
+    Edges.insert(E);
+    if (E.ToTree)
+      Trees[E.To.TreeKey] = E.ToTree;
+  }
+  void addSuffixEdge(const SummaryEdge &E) {
+    SuffixEdges.insert(E);
+    if (E.ToTree)
+      Trees[E.To.TreeKey] = E.ToTree;
+  }
+};
+
+/// Summary store for one (checker, function) pair.
+class FunctionSummaries {
+public:
+  BlockSummary &of(const BasicBlock *B) { return Blocks[B]; }
+  const BlockSummary *find(const BasicBlock *B) const {
+    auto It = Blocks.find(B);
+    return It == Blocks.end() ? nullptr : &It->second;
+  }
+
+  /// The entry block's Reached set records every tuple that entered the
+  /// function; the interprocedural cache hit test checks against it.
+  const std::set<StateTuple> &entryTuples(const CFG &G) {
+    return of(G.entry()).Reached;
+  }
+  /// The function summary: the entry block's suffix edges.
+  const std::set<SummaryEdge> &functionEdges(const CFG &G) {
+    return of(G.entry()).SuffixEdges;
+  }
+  const BlockSummary &entrySummary(const CFG &G) { return of(G.entry()); }
+
+  /// Records whether a tree key denotes a function-local object (local keys
+  /// never enter suffix/function summaries — Figure 5's note about q).
+  std::map<std::string, bool> LocalKeys;
+
+private:
+  std::map<const BasicBlock *, BlockSummary> Blocks;
+};
+
+/// One backtrace element: a block and the tuples the current path carried
+/// into it.
+struct BacktraceEntry {
+  const BasicBlock *Block;
+  std::vector<StateTuple> EntryTuples;
+};
+
+/// The relax pass of Figure 6: walks the backtrace backwards, combining
+/// each block's summary edges with the suffix edges of the subsequent
+/// block. Suffix edges ending in stop are omitted, as are edges whose tree
+/// fails \p KeepTree (local variables never escape — Figure 5's note on q).
+void relaxSuffixSummaries(
+    const std::vector<BacktraceEntry> &Backtrace, FunctionSummaries &FS,
+    const std::function<bool(const std::string &)> &KeepTree);
+
+} // namespace mc
+
+#endif // MC_ENGINE_SUMMARIES_H

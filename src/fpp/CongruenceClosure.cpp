@@ -1,0 +1,249 @@
+//===- fpp/CongruenceClosure.cpp - Congruence closure over terms -------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fpp/CongruenceClosure.h"
+
+#include <cassert>
+
+using namespace mc;
+
+TermId CongruenceClosure::fresh() {
+  Nodes.push_back(Node{});
+  Nodes.back().Parent = Nodes.size() - 1;
+  return Nodes.size() - 1;
+}
+
+TermId CongruenceClosure::constant(long long V) {
+  auto It = Constants.find(V);
+  if (It != Constants.end())
+    return It->second;
+  TermId T = fresh();
+  Nodes[T].Const = V;
+  Constants[V] = T;
+  return T;
+}
+
+TermId CongruenceClosure::variable(const std::string &Name) {
+  auto It = Variables.find(Name);
+  if (It != Variables.end())
+    return It->second;
+  TermId T = fresh();
+  Variables[Name] = T;
+  return T;
+}
+
+TermId CongruenceClosure::apply(const std::string &Op, TermId A, TermId B) {
+  TermId RA = find(A), RB = find(B);
+  std::string Sig = Op + "(" + std::to_string(RA) + "," + std::to_string(RB) + ")";
+  auto It = AppSignatures.find(Sig);
+  if (It != AppSignatures.end())
+    return It->second;
+  TermId T = fresh();
+  Node &N = Nodes[T];
+  N.IsApp = true;
+  N.Op = Op;
+  N.Arg0 = RA;
+  N.Arg1 = RB;
+  AppSignatures[Sig] = T;
+  Nodes[RA].Uses.push_back(T);
+  Nodes[RB].Uses.push_back(T);
+  return T;
+}
+
+TermId CongruenceClosure::find(TermId A) const {
+  while (A && Nodes[A].Parent != A)
+    A = Nodes[A].Parent;
+  return A;
+}
+
+TermId CongruenceClosure::findMutable(TermId A) {
+  TermId Root = find(A);
+  // Path compression.
+  while (A && Nodes[A].Parent != Root) {
+    TermId Next = Nodes[A].Parent;
+    Nodes[A].Parent = Root;
+    A = Next;
+  }
+  return Root;
+}
+
+std::optional<long long> CongruenceClosure::constantOf(TermId A) const {
+  return A ? Nodes[find(A)].Const : std::nullopt;
+}
+
+bool CongruenceClosure::unionClasses(TermId A, TermId B) {
+  TermId RA = findMutable(A), RB = findMutable(B);
+  if (RA == RB)
+    return true;
+  // Constant conflicts are contradictions.
+  if (Nodes[RA].Const && Nodes[RB].Const &&
+      *Nodes[RA].Const != *Nodes[RB].Const) {
+    Contradiction = true;
+    return false;
+  }
+  // Disequality violations.
+  for (auto &[X, Y] : Diseqs) {
+    TermId FX = find(X), FY = find(Y);
+    if ((FX == RA && FY == RB) || (FX == RB && FY == RA)) {
+      Contradiction = true;
+      return false;
+    }
+  }
+  if (Nodes[RA].Rank < Nodes[RB].Rank)
+    std::swap(RA, RB);
+  Nodes[RB].Parent = RA;
+  if (Nodes[RA].Rank == Nodes[RB].Rank)
+    ++Nodes[RA].Rank;
+  if (!Nodes[RA].Const)
+    Nodes[RA].Const = Nodes[RB].Const;
+  // Move uses for congruence propagation.
+  std::vector<TermId> Moved = std::move(Nodes[RB].Uses);
+  Nodes[RB].Uses.clear();
+  for (TermId U : Moved)
+    Nodes[RA].Uses.push_back(U);
+  if (!recongruence(RA))
+    return false;
+  return checkOrderConsistency();
+}
+
+bool CongruenceClosure::recongruence(TermId MergedRep) {
+  // Any two application terms whose signatures now coincide must be merged.
+  std::vector<TermId> Uses = Nodes[MergedRep].Uses;
+  for (TermId U : Uses) {
+    const Node &NU = Nodes[U];
+    if (!NU.IsApp)
+      continue;
+    std::string Sig = NU.Op + "(" + std::to_string(find(NU.Arg0)) + "," +
+                      std::to_string(find(NU.Arg1)) + ")";
+    auto It = AppSignatures.find(Sig);
+    if (It == AppSignatures.end()) {
+      AppSignatures[Sig] = U;
+      continue;
+    }
+    if (find(It->second) != find(U))
+      if (!unionClasses(It->second, U))
+        return false;
+  }
+  return true;
+}
+
+bool CongruenceClosure::merge(TermId A, TermId B) {
+  if (!A || !B)
+    return true;
+  if (!unionClasses(A, B))
+    return false;
+  return !Contradiction;
+}
+
+bool CongruenceClosure::addDisequal(TermId A, TermId B) {
+  if (!A || !B)
+    return true;
+  TermId RA = find(A), RB = find(B);
+  if (RA == RB) {
+    Contradiction = true;
+    return false;
+  }
+  Diseqs.insert({RA, RB});
+  return true;
+}
+
+bool CongruenceClosure::orderedPath(TermId A, TermId B, bool NeedStrict) const {
+  // DFS over ordering edges with rep canonicalization. Constants contribute
+  // implicit edges via comparison at the endpoints only (handled by less()).
+  TermId Target = find(B);
+  std::vector<std::pair<TermId, bool>> Stack{{find(A), false}};
+  std::set<std::pair<TermId, bool>> Seen;
+  while (!Stack.empty()) {
+    auto [At, Strict] = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert({At, Strict}).second)
+      continue;
+    for (const auto &[X, Y, EdgeStrict] : Orders) {
+      if (find(X) != At)
+        continue;
+      bool NewStrict = Strict || EdgeStrict;
+      TermId Next = find(Y);
+      if (Next == Target && (NewStrict || !NeedStrict))
+        return true;
+      Stack.push_back({Next, NewStrict});
+    }
+  }
+  return false;
+}
+
+bool CongruenceClosure::checkOrderConsistency() {
+  // A strict cycle (x < ... < x) is a contradiction.
+  std::set<TermId> Reps;
+  for (const auto &[X, Y, Strict] : Orders) {
+    Reps.insert(find(X));
+    Reps.insert(find(Y));
+  }
+  for (TermId R : Reps) {
+    if (orderedPath(R, R, /*NeedStrict=*/true)) {
+      Contradiction = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CongruenceClosure::addLess(TermId A, TermId B, bool Strict) {
+  if (!A || !B)
+    return true;
+  TermId RA = find(A), RB = find(B);
+  if (RA == RB && Strict) {
+    Contradiction = true;
+    return false;
+  }
+  auto CA = Nodes[RA].Const, CB = Nodes[RB].Const;
+  if (CA && CB) {
+    bool Holds = Strict ? *CA < *CB : *CA <= *CB;
+    if (!Holds) {
+      Contradiction = true;
+      return false;
+    }
+    return true;
+  }
+  Orders.insert({RA, RB, Strict});
+  return checkOrderConsistency();
+}
+
+Tri CongruenceClosure::equal(TermId A, TermId B) const {
+  if (!A || !B)
+    return Tri::Unknown;
+  TermId RA = find(A), RB = find(B);
+  if (RA == RB)
+    return Tri::True;
+  auto CA = Nodes[RA].Const, CB = Nodes[RB].Const;
+  if (CA && CB)
+    return *CA == *CB ? Tri::True : Tri::False;
+  for (auto &[X, Y] : Diseqs) {
+    TermId FX = find(X), FY = find(Y);
+    if ((FX == RA && FY == RB) || (FX == RB && FY == RA))
+      return Tri::False;
+  }
+  // A strict ordering either way implies disequality.
+  if (orderedPath(RA, RB, true) || orderedPath(RB, RA, true))
+    return Tri::False;
+  return Tri::Unknown;
+}
+
+Tri CongruenceClosure::less(TermId A, TermId B, bool Strict) const {
+  if (!A || !B)
+    return Tri::Unknown;
+  TermId RA = find(A), RB = find(B);
+  auto CA = Nodes[RA].Const, CB = Nodes[RB].Const;
+  if (CA && CB)
+    return (Strict ? *CA < *CB : *CA <= *CB) ? Tri::True : Tri::False;
+  if (RA == RB)
+    return Strict ? Tri::False : Tri::True;
+  if (orderedPath(RA, RB, Strict))
+    return Tri::True;
+  // B <= A refutes A < B; B < A refutes A <= B.
+  if (orderedPath(RB, RA, !Strict))
+    return Tri::False;
+  return Tri::Unknown;
+}

@@ -1,0 +1,101 @@
+//===- fpp/CongruenceClosure.h - Congruence closure over terms --*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Congruence closure in the Downey-Sethi-Tarjan style (the paper cites [8])
+/// over a small term language: constants, versioned variables, and binary
+/// applications. Tracks equalities (union-find with congruence propagation),
+/// disequalities, and strict/non-strict orderings between classes, deriving
+/// "as many equalities and non-equalities as possible" (Section 8, step 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_FPP_CONGRUENCECLOSURE_H
+#define MC_FPP_CONGRUENCECLOSURE_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// Three-valued logic for branch evaluation.
+enum class Tri { False, True, Unknown };
+
+/// A term id; 0 is invalid.
+using TermId = unsigned;
+
+/// Union-find with congruence propagation plus ordering relations.
+/// Copyable: the engine snapshots it at path splits.
+class CongruenceClosure {
+public:
+  /// Returns the term for integer constant \p V.
+  TermId constant(long long V);
+  /// Returns the term for a named variable version (e.g. "x#3").
+  TermId variable(const std::string &Name);
+  /// Returns the hash-consed application term Op(A, B).
+  TermId apply(const std::string &Op, TermId A, TermId B);
+
+  /// Asserts A == B. Returns false on contradiction (two distinct constants
+  /// merged, or a recorded disequality/strict ordering violated).
+  bool merge(TermId A, TermId B);
+  /// Asserts A != B. Returns false when A and B are already equal.
+  bool addDisequal(TermId A, TermId B);
+  /// Asserts A < B (\p Strict) or A <= B. Returns false on contradiction.
+  bool addLess(TermId A, TermId B, bool Strict);
+
+  /// Queries. All respect derived facts (constants, transitivity).
+  Tri equal(TermId A, TermId B) const;
+  Tri less(TermId A, TermId B, bool Strict) const;
+
+  /// The constant value of A's class, if known.
+  std::optional<long long> constantOf(TermId A) const;
+
+  /// Representative of A's class.
+  TermId find(TermId A) const;
+
+  bool contradictory() const { return Contradiction; }
+
+private:
+  struct Node {
+    TermId Parent = 0;
+    unsigned Rank = 0;
+    std::optional<long long> Const;
+    /// Application terms that mention this class (congruence worklist).
+    std::vector<TermId> Uses;
+    /// For application terms: the signature pieces.
+    bool IsApp = false;
+    std::string Op;
+    TermId Arg0 = 0, Arg1 = 0;
+  };
+
+  TermId fresh();
+  TermId findMutable(TermId A);
+  bool unionClasses(TermId A, TermId B);
+  /// Re-canonicalizes application signatures after a union.
+  bool recongruence(TermId MergedRep);
+  /// True when an ordering path A -> B exists using recorded edges;
+  /// \p NeedStrict requires at least one strict edge on the path.
+  bool orderedPath(TermId A, TermId B, bool NeedStrict) const;
+  bool checkOrderConsistency();
+
+  std::vector<Node> Nodes{1}; // index 0 unused
+  std::map<long long, TermId> Constants;
+  std::map<std::string, TermId> Variables;
+  std::map<std::string, TermId> AppSignatures;
+  /// Disequalities between class reps (kept canonical lazily).
+  std::set<std::pair<TermId, TermId>> Diseqs;
+  /// Ordering edges rep->rep; bool = strict.
+  std::set<std::tuple<TermId, TermId, bool>> Orders;
+  bool Contradiction = false;
+};
+
+} // namespace mc
+
+#endif // MC_FPP_CONGRUENCECLOSURE_H

@@ -1,0 +1,81 @@
+//===- fpp/ValueTracker.h - Path-sensitive value tracking -------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The false-path-pruning analysis of Section 8: tracks assignments and
+/// comparisons along the current path, renaming variables at each assignment
+/// so definitions are not confused, evaluates expressions from known values,
+/// places =/==/!= related variables into congruence classes, and evaluates
+/// branch conditions to prune infeasible paths. Deliberately imprecise —
+/// "most paths are executable and most data dependencies are simple."
+///
+/// Copyable: the engine forks it at path splits and reverts on backtrack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_FPP_VALUETRACKER_H
+#define MC_FPP_VALUETRACKER_H
+
+#include "cfront/AST.h"
+#include "fpp/CongruenceClosure.h"
+
+#include <map>
+
+namespace mc {
+
+/// Tracks variable values along one execution path.
+class ValueTracker {
+public:
+  /// Records the assignment `LHS = RHS` (or a DeclStmt initializer). Only
+  /// plain variable LHSes are tracked; anything else havocs conservatively.
+  void assign(const Expr *LHS, const Expr *RHS);
+
+  /// Forgets everything known about the variable in \p LHS (compound
+  /// assignments, ++/--, address-taken escapes).
+  void havoc(const Expr *LHS);
+
+  /// Assumes the branch condition \p Cond has outcome \p IsTrue. Returns
+  /// false when the assumption contradicts known facts (the edge is
+  /// infeasible).
+  bool assume(const Expr *Cond, bool IsTrue);
+
+  /// Evaluates \p Cond under the current facts.
+  Tri evaluate(const Expr *Cond) const;
+
+  /// Evaluates A == B (switch-case edges compare the controlling expression
+  /// against a case label).
+  Tri compareEq(const Expr *A, const Expr *B) const;
+  /// Assumes A == B (or A != B when \p IsTrue is false). Returns false on
+  /// contradiction.
+  bool assumeEq(const Expr *A, const Expr *B, bool IsTrue);
+
+  /// The known constant value of \p E, if any.
+  std::optional<long long> constantValue(const Expr *E) const;
+
+private:
+  /// Maps an expression to a term; 0 when untrackable.
+  TermId termOf(const Expr *E) const;
+  TermId currentVar(const Decl *D) const;
+  TermId freshVersion(const Decl *D);
+
+  /// Decomposes a comparison; returns false when not a comparison shape.
+  struct Comparison {
+    TermId L = 0, R = 0;
+    BinaryOperator::Opcode Op = BinaryOperator::EQ;
+  };
+  bool decompose(const Expr *Cond, Comparison &C) const;
+  bool assumeComparison(const Comparison &C, bool IsTrue);
+  Tri evalComparison(const Comparison &C) const;
+
+  // Mutable from logically-const term construction (hash-consing grows the
+  // closure without changing observable facts).
+  mutable CongruenceClosure CC;
+  std::map<const Decl *, unsigned> Versions;
+};
+
+} // namespace mc
+
+#endif // MC_FPP_VALUETRACKER_H

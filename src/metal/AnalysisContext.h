@@ -1,0 +1,130 @@
+//===- metal/AnalysisContext.h - Engine services for checkers ---*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface the engine presents to an executing checker — the paper's
+/// "xgcc internal interface" that C code actions use (Section 3.2). It
+/// exposes the current sm_instance for inspection/mutation and the services
+/// actions rely on: error reporting, statistical counters, AST annotations
+/// (checker composition), path kills, and path-specific transitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_METAL_ANALYSISCONTEXT_H
+#define MC_METAL_ANALYSISCONTEXT_H
+
+#include "metal/State.h"
+
+#include <string>
+
+namespace mc {
+
+class FunctionDecl;
+class SourceManager;
+
+/// A path-specific effect requested at a branch condition (Section 3.2):
+/// when the engine follows the true (false) edge it sets the state attached
+/// to TreeKey to TrueValue (FalseValue), creating the instance if needed and
+/// deleting it when the value is StateStop.
+struct PathSpecificEffect {
+  const Expr *Tree = nullptr;
+  std::string TreeKey;
+  int TrueValue = StateStop;
+  int FalseValue = StateStop;
+};
+
+/// Engine services available to a checker at a program point.
+class AnalysisContext {
+public:
+  virtual ~AnalysisContext() = default;
+
+  //===--------------------------------------------------------------------===//
+  // State access
+  //===--------------------------------------------------------------------===//
+
+  /// The extension's current state; checkers may mutate it directly.
+  /// Mutations are private to the current path (the engine copies state at
+  /// splits and reverts on backtrack).
+  virtual SMInstance &state() = 0;
+
+  /// Creates a variable-specific instance attached to \p Tree with state
+  /// \p Value, recording the creation point so the new instance cannot
+  /// trigger a transition at the statement that created it.
+  virtual VarState &createInstance(const Expr *Tree, int Value) = 0;
+
+  /// Sets the state value of \p VS; StateStop deletes the instance (and is
+  /// mirrored to its synonyms).
+  virtual void transition(VarState &VS, int Value) = 0;
+
+  /// True when \p VS was created at the current statement (such instances
+  /// must not trigger transitions here — Section 3.2).
+  virtual bool justCreated(const VarState &VS) const = 0;
+
+  /// Registers a path-specific effect; only meaningful while the current
+  /// point sits inside a branch condition (see atBranchCondition()). When it
+  /// does not, the engine forks the state instead, exploring both outcomes.
+  virtual void pathSpecific(const PathSpecificEffect &Effect) = 0;
+
+  /// Records that a transition executed at the current point. Calls matched
+  /// by the extension are not treated as callsites (Figure 5's note about
+  /// kfree), so the engine will not follow a call the checker matched.
+  virtual void markTransition() = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Reporting and ranking inputs
+  //===--------------------------------------------------------------------===//
+
+  /// Emits a rule-violation report anchored at the current point.
+  /// \p GroupKey groups errors computed from a common analysis fact
+  /// (Section 9); empty means ungrouped.
+  virtual void reportError(std::string Message, const VarState *Instance,
+                           std::string GroupKey = std::string()) = 0;
+
+  /// Statistical ranking counters (Section 9): a successful check of rule
+  /// \p RuleKey.
+  virtual void countExample(const std::string &RuleKey) = 0;
+  /// A violation of rule \p RuleKey.
+  virtual void countViolation(const std::string &RuleKey) = 0;
+
+  /// Attaches ranking annotations (SECURITY / ERROR / MINOR) to everything
+  /// reported on the current path from here on.
+  virtual void annotatePath(const std::string &Tag) = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Composition (Section 3.2) and traversal control
+  //===--------------------------------------------------------------------===//
+
+  /// Annotates an AST node for later checkers (composition).
+  virtual void annotate(const Stmt *Node, const std::string &Key,
+                        const std::string &Value) = 0;
+  /// Reads an annotation left by an earlier checker; null when absent.
+  virtual const std::string *annotation(const Stmt *Node,
+                                        const std::string &Key) const = 0;
+
+  /// Stops traversing the current path (the path-kill composition idiom:
+  /// paths dominated by panic() report nothing).
+  virtual void killPath() = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Environment
+  //===--------------------------------------------------------------------===//
+
+  /// The function being analysed.
+  virtual const FunctionDecl *currentFunction() const = 0;
+  /// The top-level statement tree containing the current point.
+  virtual const Stmt *currentTopStmt() const = 0;
+  /// True when the current point is inside the controlling expression of a
+  /// conditional branch.
+  virtual bool atBranchCondition() const = 0;
+  /// The controlling expression of the current block's branch, or null.
+  virtual const Expr *branchCondition() const = 0;
+  /// Source manager for location rendering inside messages.
+  virtual const SourceManager &sourceManager() const = 0;
+};
+
+} // namespace mc
+
+#endif // MC_METAL_ANALYSISCONTEXT_H

@@ -1,0 +1,49 @@
+//===- metal/Checker.cpp - The checker (extension) interface -----------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metal/Checker.h"
+
+using namespace mc;
+
+Checker::~Checker() = default;
+
+void Checker::checkEndOfPath(VarState *, AnalysisContext &) {}
+
+int Checker::internState(std::string_view Name) {
+  if (Name == "stop")
+    return StateStop;
+  auto It = StateIds.find(Name);
+  if (It != StateIds.end())
+    return It->second;
+  if (StateNames.empty())
+    StateNames.push_back("stop"); // reserve index 0
+  int Id = StateNames.size();
+  StateNames.push_back(std::string(Name));
+  StateIds.emplace(std::string(Name), Id);
+  return Id;
+}
+
+int Checker::stateId(std::string_view Name) const {
+  if (Name == "stop")
+    return StateStop;
+  auto It = StateIds.find(Name);
+  return It == StateIds.end() ? StateStop : It->second;
+}
+
+std::string Checker::stateName(int Id) const {
+  if (Id == StateStop)
+    return "stop";
+  if (Id == StateUnknown)
+    return "unknown";
+  if (Id > 0 && size_t(Id) < StateNames.size())
+    return StateNames[Id];
+  return "<state" + std::to_string(Id) + ">";
+}
+
+int Checker::initialGlobalState() const {
+  // The first interned state is the initial one by convention.
+  return StateNames.size() > 1 ? 1 : StateStop;
+}

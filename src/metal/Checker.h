@@ -1,0 +1,82 @@
+//===- metal/Checker.h - The checker (extension) interface ------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extension interface the engine executes. Checkers come in two
+/// flavours with identical standing: MetalChecker interprets a parsed metal
+/// program (Sections 2-4), and native checkers subclass Checker directly
+/// (the "C code" escape hatch taken to its logical end). The engine requires
+/// only determinism and per-instance independence (Section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_METAL_CHECKER_H
+#define MC_METAL_CHECKER_H
+
+#include "metal/AnalysisContext.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// Base class for all checkers.
+class Checker {
+public:
+  virtual ~Checker();
+
+  /// The checker's name (the `sm <name>;` header in metal).
+  virtual std::string_view name() const = 0;
+
+  /// Called at every program point (expression node or statement tree) in
+  /// execution order. The checker inspects/mutates state through \p ACtx.
+  /// MUST be deterministic: the same point in the same state tuple must
+  /// always produce the same transformation (Section 5.1).
+  virtual void checkPoint(const Stmt *Point, AnalysisContext &ACtx) = 0;
+
+  /// Called when an instance permanently leaves scope or a root path ends —
+  /// the `$end_of_path$` pattern (Section 3.2). \p VS is null for
+  /// program-termination (whole-path) end.
+  virtual void checkEndOfPath(VarState *VS, AnalysisContext &ACtx);
+
+  //===--------------------------------------------------------------------===//
+  // Engine behaviour knobs (Section 8 analyses run "transparently unless a
+  // checker requests otherwise"; Table 2 lets the extension writer pick
+  // by-value vs by-reference restore).
+  //===--------------------------------------------------------------------===//
+
+  /// Kill instances whose tree mentions a redefined variable.
+  virtual bool enableAutoKill() const { return true; }
+  /// Mirror state across assignment synonyms.
+  virtual bool enableSynonyms() const { return true; }
+  /// Restore argument state from the callee on return (by-reference rows of
+  /// Table 2); false keeps the caller's state unchanged (by-value).
+  virtual bool restoreArgsByReference() const { return true; }
+
+  //===--------------------------------------------------------------------===//
+  // State-name interning
+  //===--------------------------------------------------------------------===//
+
+  /// Interns \p Name, returning its id (>0). "stop" is StateStop.
+  int internState(std::string_view Name);
+  /// Id for an already-interned name; StateStop when unknown.
+  int stateId(std::string_view Name) const;
+  /// Printable name of \p Id ("stop", "unknown" for the reserved values).
+  std::string stateName(int Id) const;
+
+  /// The global state the analysis starts in (the first state the checker
+  /// interned, by convention "start").
+  virtual int initialGlobalState() const;
+
+private:
+  std::vector<std::string> StateNames; ///< Index 0 unused ("stop").
+  std::map<std::string, int, std::less<>> StateIds;
+};
+
+} // namespace mc
+
+#endif // MC_METAL_CHECKER_H

@@ -1,0 +1,653 @@
+//===- metal/MetalParser.cpp - The metal language frontend -------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metal/MetalParser.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace mc;
+
+namespace {
+
+/// Character-level scanner for the metal surface syntax. Pattern bodies and
+/// action bodies are captured raw (brace-balanced) and handed to the C
+/// parser / action parser.
+class MetalScanner {
+public:
+  MetalScanner(const std::string &Text, unsigned FileID,
+               DiagnosticEngine &Diags)
+      : Text(Text), FileID(FileID), Diags(Diags) {}
+
+  void skipWs() {
+    for (;;) {
+      while (Pos < Text.size() && std::isspace((unsigned char)Text[Pos]))
+        ++Pos;
+      if (Pos + 1 < Text.size() && Text[Pos] == '/' && Text[Pos + 1] == '/') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      if (Pos + 1 < Text.size() && Text[Pos] == '/' && Text[Pos + 1] == '*') {
+        Pos += 2;
+        while (Pos + 1 < Text.size() &&
+               !(Text[Pos] == '*' && Text[Pos + 1] == '/'))
+          ++Pos;
+        Pos = Pos + 1 < Text.size() ? Pos + 2 : Text.size();
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos >= Text.size();
+  }
+
+  char peek() {
+    skipWs();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view W) {
+    skipWs();
+    if (Text.compare(Pos, W.size(), W) != 0)
+      return false;
+    size_t After = Pos + W.size();
+    if (After < Text.size() &&
+        (std::isalnum((unsigned char)Text[After]) || Text[After] == '_'))
+      return false;
+    Pos = After;
+    return true;
+  }
+
+  bool consumeSeq(std::string_view S) {
+    skipWs();
+    if (Text.compare(Pos, S.size(), S) != 0)
+      return false;
+    Pos += S.size();
+    return true;
+  }
+
+  std::string ident() {
+    skipWs();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum((unsigned char)Text[Pos]) || Text[Pos] == '_'))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  /// Captures brace-balanced text; assumes the current char is '{'.
+  std::string captureBraces() {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != '{') {
+      error("expected '{'");
+      return {};
+    }
+    ++Pos;
+    size_t Start = Pos;
+    int Depth = 1;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"' || C == '\'') {
+        char Quote = C;
+        ++Pos;
+        while (Pos < Text.size() && Text[Pos] != Quote) {
+          if (Text[Pos] == '\\')
+            ++Pos;
+          ++Pos;
+        }
+        ++Pos;
+        continue;
+      }
+      if (C == '{')
+        ++Depth;
+      else if (C == '}') {
+        --Depth;
+        if (Depth == 0) {
+          std::string Inner = Text.substr(Start, Pos - Start);
+          ++Pos;
+          return Inner;
+        }
+      }
+      ++Pos;
+    }
+    error("unterminated '{'");
+    return {};
+  }
+
+  /// Captures raw text up to (not including) the next top-level ';'.
+  std::string captureToSemi() {
+    skipWs();
+    size_t Start = Pos;
+    while (Pos < Text.size() && Text[Pos] != ';')
+      ++Pos;
+    std::string S = Text.substr(Start, Pos - Start);
+    if (Pos < Text.size())
+      ++Pos; // ';'
+    return S;
+  }
+
+  std::string stringLit() {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != '"') {
+      error("expected string literal");
+      return {};
+    }
+    ++Pos;
+    std::string Out;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\\' && Pos + 1 < Text.size()) {
+        ++Pos;
+        switch (Text[Pos]) {
+        case 'n': Out += '\n'; break;
+        case 't': Out += '\t'; break;
+        default: Out += Text[Pos]; break;
+        }
+        ++Pos;
+        continue;
+      }
+      Out += Text[Pos++];
+    }
+    if (Pos < Text.size())
+      ++Pos;
+    return Out;
+  }
+
+  void error(const std::string &Msg) {
+    Diags.error(SourceLoc(FileID, Pos), "metal: " + Msg);
+  }
+
+  unsigned pos() const { return Pos; }
+  void setPos(unsigned P) { Pos = P; }
+  const std::string &text() const { return Text; }
+
+private:
+  const std::string &Text;
+  unsigned FileID;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+class MetalParserImpl {
+public:
+  MetalParserImpl(const std::string &Text, unsigned FileID, SourceManager &SM,
+                  DiagnosticEngine &Diags)
+      : Scan(Text, FileID, Diags), SM(SM), Diags(Diags) {}
+
+  std::unique_ptr<CheckerSpec> run() {
+    Spec = std::make_unique<CheckerSpec>();
+    if (!Scan.consumeWord("sm")) {
+      Scan.error("a checker starts with 'sm <name>;'");
+      return nullptr;
+    }
+    Spec->Name = Scan.ident();
+    if (Spec->Name.empty()) {
+      Scan.error("missing checker name");
+      return nullptr;
+    }
+    Scan.consume(';');
+
+    // Hole declarations.
+    for (;;) {
+      if (Scan.consumeWord("state")) {
+        if (!Scan.consumeWord("decl")) {
+          Scan.error("expected 'decl' after 'state'");
+          return nullptr;
+        }
+        if (!parseHoleDecl(/*IsStateVar=*/true))
+          return nullptr;
+        continue;
+      }
+      if (Scan.consumeWord("decl")) {
+        if (!parseHoleDecl(/*IsStateVar=*/false))
+          return nullptr;
+        continue;
+      }
+      break;
+    }
+
+    // State blocks.
+    while (!Scan.atEnd())
+      if (!parseStateBlock())
+        return nullptr;
+    if (Spec->Blocks.empty()) {
+      Scan.error("checker has no state blocks");
+      return nullptr;
+    }
+    return std::move(Spec);
+  }
+
+private:
+  /// Parses `['state'] decl <type> <name> ;`.
+  bool parseHoleDecl(bool IsStateVar) {
+    std::string Raw = Scan.captureToSemi();
+    // The declared name is the last identifier; everything before it is the
+    // (meta) type. Leading '*' on the name belongs to the type.
+    std::string_view Trimmed = trim(Raw);
+    size_t NameStart = Trimmed.size();
+    while (NameStart > 0 && (std::isalnum((unsigned char)Trimmed[NameStart - 1]) ||
+                             Trimmed[NameStart - 1] == '_'))
+      --NameStart;
+    std::string Name(Trimmed.substr(NameStart));
+    std::string TypeText(trim(Trimmed.substr(0, NameStart)));
+    if (Name.empty() || TypeText.empty()) {
+      Scan.error("malformed hole declaration");
+      return false;
+    }
+
+    PatternHoles::Hole H{HoleExpr::AnyExpr, nullptr};
+    std::string Norm;
+    for (char C : TypeText)
+      Norm += C == ' ' || C == '\t' ? '_' : C;
+    if (Norm == "any_pointer") {
+      H.Kind = HoleExpr::AnyPointer;
+    } else if (Norm == "any_expr") {
+      H.Kind = HoleExpr::AnyExpr;
+    } else if (Norm == "any_scalar") {
+      H.Kind = HoleExpr::AnyScalar;
+    } else if (Norm == "any_arguments") {
+      H.Kind = HoleExpr::AnyArguments;
+    } else if (Norm == "any_fn_call") {
+      H.Kind = HoleExpr::AnyFnCall;
+    } else {
+      unsigned FID = SM.addBuffer("<metal-type>", TypeText);
+      Parser P(Spec->patternContext(), SM, Diags, FID);
+      const Type *Ty = P.parseTypeOnly();
+      if (!Ty) {
+        Scan.error("cannot parse hole type '" + TypeText + "'");
+        return false;
+      }
+      H.Kind = HoleExpr::CType;
+      H.DeclaredTy = Ty;
+    }
+    Spec->Holes.Holes[Name] = H;
+    if (IsStateVar) {
+      if (!Spec->StateVarName.empty()) {
+        Scan.error("only one 'state decl' variable is supported");
+        return false;
+      }
+      Spec->StateVarName = Name;
+    }
+    return true;
+  }
+
+  /// Compiles one `{ ... }` base pattern via the C parser.
+  std::unique_ptr<Pattern> compileBase(const std::string &Body) {
+    // Try expression first, then statement; use scratch diagnostics so the
+    // expected failures stay silent.
+    {
+      unsigned FID = SM.addBuffer("<metal-pattern>", Body);
+      DiagnosticEngine Scratch(SM);
+      Parser P(Spec->patternContext(), SM, Scratch, FID);
+      if (const Expr *E = P.parsePatternExpr(Spec->Holes))
+        return Pattern::makeBase(E);
+    }
+    {
+      std::string StmtBody = Body;
+      if (StmtBody.find(';') == std::string::npos)
+        StmtBody += ';';
+      unsigned FID = SM.addBuffer("<metal-pattern>", StmtBody);
+      DiagnosticEngine Scratch(SM);
+      Parser P(Spec->patternContext(), SM, Scratch, FID);
+      if (const Stmt *S = P.parsePatternStmt(Spec->Holes))
+        return Pattern::makeBase(S);
+    }
+    Scan.error("cannot parse pattern '{" + Body + "}'");
+    return nullptr;
+  }
+
+  /// Parses a callout body: `name(args)` or the degenerate `0` / `1`.
+  std::unique_ptr<Pattern> compileCallout(const std::string &Body) {
+    std::string_view Trimmed = trim(Body);
+    if (Trimmed == "0")
+      return Pattern::makeCallout("mc_false", {});
+    if (Trimmed == "1")
+      return Pattern::makeCallout("mc_true", {});
+    MetalScanner Inner{Body, 0, Diags};
+    std::string Name = Inner.ident();
+    if (Name.empty()) {
+      Scan.error("malformed callout '${" + Body + "}'");
+      return nullptr;
+    }
+    std::vector<CalloutArg> Args;
+    // Reuse the outer arg parser on the inner text by temporary swap — the
+    // callout body is tiny, so re-scan it inline.
+    std::string Rest = Body;
+    size_t ParenPos = Rest.find('(');
+    if (ParenPos == std::string::npos)
+      return Pattern::makeCallout(Name, {});
+    // Parse args with a dedicated scanner.
+    if (!parseCalloutArgs(Rest.substr(ParenPos), Args))
+      return nullptr;
+    return Pattern::makeCallout(Name, std::move(Args));
+  }
+
+  bool parseCalloutArgs(const std::string &Text,
+                        std::vector<CalloutArg> &Args) {
+    MetalScanner S{Text, 0, Diags};
+    if (!S.consume('('))
+      return true;
+    if (S.consume(')'))
+      return true;
+    do {
+      CalloutArg Arg;
+      char C = S.peek();
+      if (C == '"') {
+        Arg.Kind = CalloutArg::String;
+        Arg.Text = S.stringLit();
+      } else if (std::isdigit((unsigned char)C) || C == '-') {
+        std::string Num;
+        if (S.consume('-'))
+          Num += '-';
+        for (;;) {
+          char D = S.peek();
+          if (!std::isdigit((unsigned char)D))
+            break;
+          Num += D;
+          S.consume(D);
+        }
+        Arg.Kind = CalloutArg::Int;
+        Arg.IntValue = std::strtoll(Num.c_str(), nullptr, 10);
+      } else {
+        Arg.Kind = CalloutArg::Hole;
+        Arg.Text = S.ident();
+        if (Arg.Text.empty()) {
+          Scan.error("malformed callout argument");
+          return false;
+        }
+      }
+      Args.push_back(std::move(Arg));
+    } while (S.consume(','));
+    return true;
+  }
+
+  /// patexpr := pat (('&&' | '||') pat)*   (left associative)
+  std::unique_ptr<Pattern> parsePatternExpr() {
+    std::unique_ptr<Pattern> LHS = parsePatternAtom();
+    if (!LHS)
+      return nullptr;
+    for (;;) {
+      bool IsAnd;
+      if (Scan.consumeSeq("&&"))
+        IsAnd = true;
+      else if (Scan.consumeSeq("||"))
+        IsAnd = false;
+      else
+        return LHS;
+      std::unique_ptr<Pattern> RHS = parsePatternAtom();
+      if (!RHS)
+        return nullptr;
+      LHS = IsAnd ? Pattern::makeAnd(std::move(LHS), std::move(RHS))
+                  : Pattern::makeOr(std::move(LHS), std::move(RHS));
+    }
+  }
+
+  std::unique_ptr<Pattern> parsePatternAtom() {
+    if (Scan.peek() == '$') {
+      Scan.consume('$');
+      if (Scan.peek() == '{')
+        return compileCallout(Scan.captureBraces());
+      std::string Word = Scan.ident();
+      if (Word == "end_of_path") {
+        Scan.consume('$');
+        return Pattern::makeEndOfPath();
+      }
+      Scan.error("unknown $-pattern '$" + Word + "'");
+      return nullptr;
+    }
+    if (Scan.peek() == '{')
+      return compileBase(Scan.captureBraces());
+    Scan.error("expected a pattern");
+    return nullptr;
+  }
+
+  bool parseDestAtom(MetalDest &D) {
+    std::string First = Scan.ident();
+    if (First.empty()) {
+      Scan.error("expected a destination state");
+      return false;
+    }
+    if (Scan.consume('.')) {
+      std::string Second = Scan.ident();
+      if (First != Spec->StateVarName) {
+        Scan.error("unknown state variable '" + First + "'");
+        return false;
+      }
+      D.State = Second;
+      D.IsVarState = true;
+      return true;
+    }
+    D.State = First;
+    D.IsVarState = false;
+    return true;
+  }
+
+  bool parseDest(MetalTransition &T) {
+    if (Scan.peek() == '{') {
+      // Path-specific: { true = dest, false = dest }
+      Scan.consume('{');
+      T.PathSpecific = true;
+      bool SawTrue = false, SawFalse = false;
+      do {
+        std::string Which = Scan.ident();
+        if (!Scan.consume('=')) {
+          Scan.error("expected '=' in path-specific destination");
+          return false;
+        }
+        MetalDest D;
+        if (!parseDestAtom(D))
+          return false;
+        if (Which == "true") {
+          T.TrueDest = D;
+          SawTrue = true;
+        } else if (Which == "false") {
+          T.FalseDest = D;
+          SawFalse = true;
+        } else {
+          Scan.error("expected 'true' or 'false', got '" + Which + "'");
+          return false;
+        }
+      } while (Scan.consume(','));
+      if (!Scan.consume('}')) {
+        Scan.error("expected '}' after path-specific destination");
+        return false;
+      }
+      if (!SawTrue || !SawFalse) {
+        Scan.error("path-specific destination needs both true= and false=");
+        return false;
+      }
+      return true;
+    }
+    return parseDestAtom(T.Normal);
+  }
+
+  bool parseActions(std::vector<MetalAction> &Actions) {
+    std::string Body = Scan.captureBraces();
+    MetalScanner S{Body, 0, Diags};
+    while (!S.atEnd()) {
+      MetalAction A;
+      A.Fn = S.ident();
+      if (A.Fn.empty()) {
+        Scan.error("malformed action");
+        return false;
+      }
+      // Capture the balanced-paren argument text verbatim (whitespace and
+      // string contents preserved), then parse it.
+      std::string Rest;
+      if (S.peek() == '(') {
+        const std::string &Raw = S.text();
+        size_t P = S.pos(); // at '('
+        int Depth = 0;
+        size_t Start = P;
+        while (P < Raw.size()) {
+          char C = Raw[P];
+          if (C == '"' || C == '\'') {
+            char Quote = C;
+            ++P;
+            while (P < Raw.size() && Raw[P] != Quote) {
+              if (Raw[P] == '\\')
+                ++P;
+              ++P;
+            }
+            ++P;
+            continue;
+          }
+          if (C == '(')
+            ++Depth;
+          else if (C == ')') {
+            --Depth;
+            if (Depth == 0) {
+              ++P;
+              break;
+            }
+          }
+          ++P;
+        }
+        Rest = Raw.substr(Start, P - Start);
+        S.setPos(P);
+      }
+      if (!parseCalloutArgsForAction(Rest, A.Args))
+        return false;
+      S.consume(';');
+      Actions.push_back(std::move(A));
+    }
+    return true;
+  }
+
+  bool parseCalloutArgsForAction(const std::string &Text,
+                                 std::vector<CalloutArg> &Args) {
+    MetalScanner S{Text, 0, Diags};
+    if (!S.consume('('))
+      return true;
+    if (S.consume(')'))
+      return true;
+    do {
+      CalloutArg Arg;
+      char C = S.peek();
+      if (C == '"') {
+        Arg.Kind = CalloutArg::String;
+        Arg.Text = S.stringLit();
+      } else if (std::isdigit((unsigned char)C) || C == '-') {
+        std::string Num;
+        if (S.consume('-'))
+          Num += '-';
+        for (;;) {
+          char D = S.peek();
+          if (!std::isdigit((unsigned char)D))
+            break;
+          Num += D;
+          S.consume(D);
+        }
+        Arg.Kind = CalloutArg::Int;
+        Arg.IntValue = std::strtoll(Num.c_str(), nullptr, 10);
+      } else {
+        std::string Id = S.ident();
+        if (Id.empty()) {
+          Scan.error("malformed action argument");
+          return false;
+        }
+        if (S.peek() == '(') {
+          // Helper call like mc_identifier(v) — unwrap to the hole name.
+          S.consume('(');
+          std::string Inner = S.ident();
+          S.consume(')');
+          Arg.Kind = CalloutArg::Hole;
+          Arg.Text = Inner.empty() ? Id : Inner;
+        } else {
+          Arg.Kind = CalloutArg::Hole;
+          Arg.Text = Id;
+        }
+      }
+      Args.push_back(std::move(Arg));
+    } while (S.consume(','));
+    return true;
+  }
+
+  bool parseStateBlock() {
+    MetalStateBlock Block;
+    std::string First = Scan.ident();
+    if (First.empty()) {
+      Scan.error("expected a state name");
+      return false;
+    }
+    if (Scan.consume('.')) {
+      std::string Second = Scan.ident();
+      if (First != Spec->StateVarName) {
+        Scan.error("unknown state variable '" + First + "'");
+        return false;
+      }
+      Block.IsVarState = true;
+      Block.StateName = Second;
+    } else {
+      Block.StateName = First;
+    }
+    if (!Scan.consume(':')) {
+      Scan.error("expected ':' after state name");
+      return false;
+    }
+    do {
+      MetalTransition T;
+      T.Pat = parsePatternExpr();
+      if (!T.Pat)
+        return false;
+      if (!Scan.consumeSeq("==>")) {
+        Scan.error("expected '==>' after pattern");
+        return false;
+      }
+      if (!parseDest(T))
+        return false;
+      if (Scan.consume(',')) {
+        if (!parseActions(T.Actions))
+          return false;
+      }
+      Block.Transitions.push_back(std::move(T));
+    } while (Scan.consume('|'));
+    if (!Scan.consume(';')) {
+      Scan.error("expected ';' to close state block");
+      return false;
+    }
+    Spec->Blocks.push_back(std::move(Block));
+    return true;
+  }
+
+  MetalScanner Scan;
+  SourceManager &SM;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<CheckerSpec> Spec;
+};
+
+} // namespace
+
+std::unique_ptr<CheckerSpec> mc::parseMetal(const std::string &Text,
+                                            const std::string &BufferName,
+                                            SourceManager &SM,
+                                            DiagnosticEngine &Diags) {
+  unsigned FileID = SM.addBuffer(BufferName, Text);
+  MetalParserImpl P(Text, FileID, SM, Diags);
+  std::unique_ptr<CheckerSpec> Spec = P.run();
+  if (Spec) {
+    unsigned Lines = 1;
+    for (char C : Text)
+      if (C == '\n')
+        ++Lines;
+    Spec->SourceLines = Lines;
+  }
+  return Spec;
+}

@@ -1,0 +1,105 @@
+//===- metal/MetalParser.h - The metal language frontend --------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the metal checker language (Sections 2-4). The concrete
+/// grammar mirrors the paper's Figure 1/Figure 3 syntax:
+///
+///   sm free_checker;
+///   state decl any_pointer v;
+///   decl any_fn_call fn;
+///
+///   start:
+///     { kfree(v) } ==> v.freed
+///   ;
+///
+///   v.freed:
+///     { *v } ==> v.stop, { err("using %s after free!", mc_identifier(v)); }
+///   | { kfree(v) } ==> v.stop, { err("double free of %s!", mc_identifier(v)); }
+///   ;
+///
+/// Patterns are bracketed fragments of extended C, composable with && and ||
+/// and with callouts `${ fn(args) }`. Destinations may be path-specific:
+/// `==> { true = v.locked, false = v.stop }`. `$end_of_path$` is accepted as
+/// a pattern. Actions are a sequence of calls: err/warn/note, set_global,
+/// count_example/count_violation, annotate, path_annotate, kill_path,
+/// data_set/data_inc/data_dec, and group.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_METAL_METALPARSER_H
+#define MC_METAL_METALPARSER_H
+
+#include "cfront/ASTContext.h"
+#include "cfront/Parser.h"
+#include "metal/Pattern.h"
+#include "support/SourceManager.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// One interpreted action call.
+struct MetalAction {
+  std::string Fn;
+  std::vector<CalloutArg> Args;
+};
+
+/// A transition destination: either a global state or `var.state`.
+struct MetalDest {
+  std::string State;
+  bool IsVarState = false;
+};
+
+/// One parsed transition rule.
+struct MetalTransition {
+  std::unique_ptr<Pattern> Pat;
+  MetalDest Normal;
+  bool PathSpecific = false;
+  MetalDest TrueDest, FalseDest;
+  std::vector<MetalAction> Actions;
+};
+
+/// All transitions out of one state value.
+struct MetalStateBlock {
+  bool IsVarState = false;
+  std::string StateName; ///< Without the leading "v.".
+  std::vector<MetalTransition> Transitions;
+};
+
+/// A parsed metal program. Owns the ASTContext holding pattern trees.
+class CheckerSpec {
+public:
+  std::string Name;
+  PatternHoles Holes;
+  std::string StateVarName; ///< The `state decl` variable; "" when absent.
+  std::vector<MetalStateBlock> Blocks;
+
+  /// Context owning the pattern ASTs and their types.
+  ASTContext &patternContext() { return *PatternCtx; }
+
+  CheckerSpec() : PatternCtx(std::make_unique<ASTContext>()) {}
+
+  /// Rough size of the checker source, for the "checkers are 10-200 lines"
+  /// statistic.
+  unsigned SourceLines = 0;
+
+private:
+  std::unique_ptr<ASTContext> PatternCtx;
+};
+
+/// Parses metal source text. Diagnostics go to \p Diags (locations refer to
+/// a buffer registered in \p SM under \p BufferName).
+std::unique_ptr<CheckerSpec> parseMetal(const std::string &Text,
+                                        const std::string &BufferName,
+                                        SourceManager &SM,
+                                        DiagnosticEngine &Diags);
+
+} // namespace mc
+
+#endif // MC_METAL_METALPARSER_H

@@ -1,0 +1,41 @@
+//===- metal/State.cpp - Extension state model -------------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metal/State.h"
+
+using namespace mc;
+
+std::vector<StateTuple> mc::tuplesOf(const SMInstance &SM) {
+  std::vector<StateTuple> Tuples;
+  for (const VarState &VS : SM.ActiveVars) {
+    if (!VS.live() || VS.Inactive)
+      continue;
+    Tuples.push_back(StateTuple{SM.GState, VS.TreeKey, VS.Value, VS.Data});
+  }
+  if (Tuples.empty())
+    Tuples.push_back(StateTuple{SM.GState, std::string(), StateStop,
+                                std::string()});
+  return Tuples;
+}
+
+std::string mc::tupleStr(const StateTuple &T,
+                         const std::function<std::string(int)> &StateName,
+                         std::string_view VarName) {
+  std::string Out = "(";
+  Out += StateName(T.GState);
+  Out += ", ";
+  if (T.isPlaceholder()) {
+    Out += "<>";
+  } else {
+    Out.append(VarName);
+    Out += ':';
+    Out += T.TreeKey;
+    Out += "->";
+    Out += T.Value == StateUnknown ? "unknown" : StateName(T.Value);
+  }
+  Out += ')';
+  return Out;
+}

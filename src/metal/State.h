@@ -1,0 +1,123 @@
+//===- metal/State.h - Extension state model --------------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extension state model of Sections 3 and 5.1. An extension's state is
+/// an `SMInstance`: one global state value plus a list of variable-specific
+/// instances (`VarState`), each attaching a state value and an arbitrary
+/// data value to a program tree. Viewed from the engine, the state is a set
+/// of state tuples `(gstate, v : tree -> value)`; `StateTuple` is that
+/// canonical, comparable form used by block summaries and caches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_METAL_STATE_H
+#define MC_METAL_STATE_H
+
+#include "cfront/AST.h"
+#include "cfront/ASTUtils.h"
+
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// State values are small integers interned per checker.
+/// Two values are reserved for every checker.
+enum ReservedState : int {
+  /// The sink state: an instance transitioned here is deleted (Section 2.1).
+  StateStop = 0,
+  /// The "know nothing about this tree" marker used as the source of add
+  /// edges (Section 5.2). Never stored in a live instance.
+  StateUnknown = -1,
+};
+
+/// A variable-specific instance: one state machine's variable component.
+struct VarState {
+  /// The program object carrying the state — "can be any tree in the code".
+  const Expr *Tree = nullptr;
+  /// Canonical identity of Tree (exprKey); equivalence across path copies.
+  std::string TreeKey;
+  /// Interned state value (> 0 for live states).
+  int Value = StateStop;
+  /// Extension-managed data value, value-semantics bytes (the paper's
+  /// "C structure of arbitrary size"); participates in tuple identity.
+  std::string Data;
+  /// Creation point: an instance cannot trigger a transition at the
+  /// statement that created it (Section 3.2).
+  const Stmt *CreatedAt = nullptr;
+  /// Synonym group id; instances in one group mirror transitions
+  /// (Section 8, "Synonyms"). 0 = no group.
+  unsigned SynonymGroup = 0;
+  /// Length of the assignment chain that produced this instance (degree of
+  /// indirection, used by ranking criterion 3).
+  unsigned IndirectionDepth = 0;
+  /// File-scope variables are temporarily inactivated while the analysis is
+  /// in another file (Section 6.1).
+  bool Inactive = false;
+  /// Where the property being tracked started (for ranking's distance).
+  SourceLoc OriginLoc;
+  /// The analysis fact that started tracking (e.g. the freeing function's
+  /// name); errors sharing a fact are grouped for ranking (Section 9).
+  /// Metadata only: not part of tuple identity.
+  std::string FactKey;
+  /// Set when the instance crossed a function boundary (ranking criterion 4).
+  bool Interprocedural = false;
+  /// Number of conditionals traversed while this instance was live.
+  unsigned CondsCrossed = 0;
+
+  bool live() const { return Value != StateStop; }
+};
+
+/// An extension's full state: the paper's `sm_instance` structure.
+struct SMInstance {
+  int GState = 0;
+  std::string GData;
+  std::vector<VarState> ActiveVars;
+
+  /// Removes stopped instances.
+  void sweepStopped() {
+    std::erase_if(ActiveVars, [](const VarState &VS) { return !VS.live(); });
+  }
+
+  /// Finds the live instance attached to a tree equivalent to \p Key.
+  VarState *findByKey(const std::string &Key) {
+    for (VarState &VS : ActiveVars)
+      if (VS.live() && VS.TreeKey == Key)
+        return &VS;
+    return nullptr;
+  }
+  const VarState *findByKey(const std::string &Key) const {
+    return const_cast<SMInstance *>(this)->findByKey(Key);
+  }
+};
+
+/// One comparable state tuple `(gstate, v : tree -> value)` (Section 5.2).
+/// The placeholder tuple `(gstate, <>)` has an empty TreeKey.
+struct StateTuple {
+  int GState = 0;
+  std::string TreeKey; ///< Empty = the placeholder "<>".
+  int Value = StateStop;
+  std::string Data;
+
+  bool isPlaceholder() const { return TreeKey.empty(); }
+
+  auto operator<=>(const StateTuple &) const = default;
+};
+
+/// Decomposes \p SM into its set of state tuples. When there are no live
+/// variable-specific instances the set is the single placeholder tuple, so
+/// the state always contains at least one tuple (Section 5.3).
+std::vector<StateTuple> tuplesOf(const SMInstance &SM);
+
+/// Renders a tuple in the paper's notation, e.g. "(start, v:p->freed)".
+std::string tupleStr(const StateTuple &T,
+                     const std::function<std::string(int)> &StateName,
+                     std::string_view VarName = "v");
+
+} // namespace mc
+
+#endif // MC_METAL_STATE_H

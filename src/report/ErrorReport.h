@@ -1,0 +1,76 @@
+//===- report/ErrorReport.h - Rule-violation reports ------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A rule violation found by a checker, carrying every input the ranking
+/// machinery of Section 9 consumes: distance, conditionals crossed, degree
+/// of indirection, local-vs-interprocedural, severity annotations, the
+/// grouping fact, and the statistical rule the violation counts against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_REPORT_ERRORREPORT_H
+#define MC_REPORT_ERRORREPORT_H
+
+#include "support/SourceManager.h"
+
+#include <string>
+
+namespace mc {
+
+/// One reported rule violation.
+struct ErrorReport {
+  std::string CheckerName;
+  std::string Message;
+
+  /// Presentation coordinates.
+  std::string File;
+  unsigned Line = 0;
+  std::string FunctionName;
+  /// The program object involved (tree key), "" when none.
+  std::string VariableName;
+
+  /// Ranking criterion 1: distance in lines between the error statement and
+  /// the statement where the checker started tracking the property.
+  unsigned DistanceLines = 0;
+  /// Ranking criterion 2: conditionals crossed while the property was live
+  /// (each weighted as ten lines of distance).
+  unsigned Conditionals = 0;
+  /// Ranking criterion 3: length of the synonym assignment chain.
+  unsigned IndirectionDepth = 0;
+  /// Ranking criterion 4: true when the property crossed a function
+  /// boundary; CallChainLength orders interprocedural errors.
+  bool Interprocedural = false;
+  unsigned CallChainLength = 0;
+
+  /// Severity annotation: "SECURITY" > "ERROR" > "" > "MINOR" (Section 9).
+  std::string Annotation;
+  /// Errors computed from a common analysis fact share a group key.
+  std::string GroupKey;
+  /// The statistical rule this violation counts against ("" = none).
+  std::string RuleKey;
+
+  /// Raw location for dedup (same checker+point+message reported once).
+  SourceLoc ErrorLoc;
+
+  /// Severity class index (0 = most severe) used for stratification.
+  int severityClass() const {
+    if (Annotation == "SECURITY")
+      return 0;
+    if (Annotation == "ERROR")
+      return 1;
+    if (Annotation == "MINOR")
+      return 3;
+    return 2;
+  }
+
+  /// The combined distance score of criteria 1+2 (conditionals weighted 10x).
+  unsigned distanceScore() const { return DistanceLines + 10 * Conditionals; }
+};
+
+} // namespace mc
+
+#endif // MC_REPORT_ERRORREPORT_H

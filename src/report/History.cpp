@@ -1,0 +1,45 @@
+//===- report/History.cpp - Cross-version suppression ------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/History.h"
+
+#include <cstdio>
+
+using namespace mc;
+
+bool HistoryFile::load(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::string Contents;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Contents.append(Buf, N);
+  std::fclose(F);
+  size_t Start = 0;
+  while (Start < Contents.size()) {
+    size_t End = Contents.find('\n', Start);
+    if (End == std::string::npos)
+      End = Contents.size();
+    if (End > Start)
+      Keys.insert(Contents.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return true;
+}
+
+bool HistoryFile::save(const std::string &Path) const {
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  for (const std::string &Key : Keys) {
+    std::fwrite(Key.data(), 1, Key.size(), F);
+    std::fputc('\n', F);
+  }
+  std::fclose(F);
+  return true;
+}

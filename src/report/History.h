@@ -1,0 +1,54 @@
+//===- report/History.h - Cross-version suppression -------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "History" suppression of Section 8: remember false positives from
+/// past versions and suppress them in future versions. Reports are matched
+/// by file name, function name, variable names and the error message —
+/// fields that are relatively invariant under edits, unlike line numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_REPORT_HISTORY_H
+#define MC_REPORT_HISTORY_H
+
+#include "report/ReportManager.h"
+
+#include <set>
+#include <string>
+
+namespace mc {
+
+/// A persistent set of suppressed report keys.
+class HistoryFile {
+public:
+  /// Loads \p Path; missing files yield an empty history.
+  bool load(const std::string &Path);
+  /// Writes the current set to \p Path.
+  bool save(const std::string &Path) const;
+
+  /// Marks \p R as a known false positive.
+  void markFalsePositive(const ErrorReport &R) {
+    Keys.insert(historyKey(R));
+  }
+  void markKey(std::string Key) { Keys.insert(std::move(Key)); }
+
+  bool contains(const ErrorReport &R) const {
+    return Keys.count(historyKey(R)) != 0;
+  }
+  const std::set<std::string> &keys() const { return Keys; }
+  size_t size() const { return Keys.size(); }
+
+  /// Removes all suppressed reports from \p RM; returns the count removed.
+  unsigned apply(ReportManager &RM) const { return RM.suppress(Keys); }
+
+private:
+  std::set<std::string> Keys;
+};
+
+} // namespace mc
+
+#endif // MC_REPORT_HISTORY_H

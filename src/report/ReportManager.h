@@ -1,0 +1,99 @@
+//===- report/ReportManager.h - Collection and ranking ----------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects error reports and statistical counters and produces ranked
+/// output (Section 9): severity stratification, the generic criteria
+/// (distance, #conditionals, indirection, local-vs-interprocedural),
+/// annotation classes, grouping by common analysis fact, and z-statistic
+/// ranking of rules for both deviant-behaviour inference and false-positive
+/// demotion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_REPORT_REPORTMANAGER_H
+#define MC_REPORT_REPORTMANAGER_H
+
+#include "report/ErrorReport.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace mc {
+
+class raw_ostream;
+
+/// Counters for one statistical rule.
+struct RuleStats {
+  unsigned Examples = 0;       ///< e: times the rule was followed.
+  unsigned Counterexamples = 0; ///< c: times it was violated.
+
+  unsigned total() const { return Examples + Counterexamples; }
+};
+
+/// The z-statistic for proportions with null hypothesis p0:
+/// z(n, e) = (e/n - p0) / sqrt(p0 (1 - p0) / n).
+/// The paper uses p0 = 0.5 ("a rule is obeyed or violated at random").
+double zStatistic(unsigned N, unsigned E, double P0 = 0.5);
+
+/// Ranking policies for ranked().
+enum class RankPolicy {
+  Generic,     ///< Severity class, locality, then distance score.
+  Statistical, ///< Severity class, then descending rule z-statistic.
+  Combined,    ///< Statistical tie-broken by the generic criteria.
+};
+
+/// Collects and ranks reports.
+class ReportManager {
+public:
+  /// Adds \p R, deduplicating identical (checker, location, message) triples
+  /// and keeping the report with the smaller distance score.
+  void add(ErrorReport R);
+
+  void countExample(const std::string &RuleKey) { ++Rules[RuleKey].Examples; }
+  void countViolation(const std::string &RuleKey) {
+    ++Rules[RuleKey].Counterexamples;
+  }
+
+  const std::vector<ErrorReport> &reports() const { return Reports; }
+  size_t size() const { return Reports.size(); }
+  void clear();
+
+  const std::map<std::string, RuleStats> &rules() const { return Rules; }
+  /// z-statistic of \p RuleKey (0 when the rule has no events).
+  double ruleZ(const std::string &RuleKey) const;
+
+  /// Returns indices into reports() in rank order under \p Policy.
+  std::vector<size_t> ranked(RankPolicy Policy) const;
+
+  /// Groups report indices by GroupKey (Section 9: "group all errors that
+  /// are computed from a common analysis fact").
+  std::map<std::string, std::vector<size_t>> grouped() const;
+
+  /// Drops every report whose history key is in \p Suppressed (cross-version
+  /// false-positive suppression, Section 8). Returns how many were dropped.
+  unsigned suppress(const std::set<std::string> &Suppressed);
+
+  /// Pretty-prints the ranked reports.
+  void print(raw_ostream &OS, RankPolicy Policy) const;
+
+  /// Emits the ranked reports as a JSON array (machine-readable output for
+  /// downstream tooling).
+  void printJson(raw_ostream &OS, RankPolicy Policy) const;
+
+private:
+  std::vector<ErrorReport> Reports;
+  std::map<std::string, RuleStats> Rules;
+};
+
+/// The history key of a report: fields that are "relatively invariant under
+/// edits" — file, function, variable names, and the message (Section 8).
+std::string historyKey(const ErrorReport &R);
+
+} // namespace mc
+
+#endif // MC_REPORT_REPORTMANAGER_H

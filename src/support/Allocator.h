@@ -1,0 +1,105 @@
+//===- support/Allocator.h - Bump-pointer arena allocation -----*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena. AST nodes, CFG blocks and engine edges are allocated
+/// here and freed wholesale when the owning context dies, which matches how
+/// the paper's engine retains every function's AST for the whole analysis
+/// (Section 6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_ALLOCATOR_H
+#define MC_SUPPORT_ALLOCATOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace mc {
+
+/// Arena allocator that hands out naturally-aligned chunks from large slabs.
+/// Objects allocated here must be trivially destructible or have their
+/// destructors managed by the caller; the arena never runs destructors.
+class BumpPtrAllocator {
+public:
+  BumpPtrAllocator() = default;
+  BumpPtrAllocator(const BumpPtrAllocator &) = delete;
+  BumpPtrAllocator &operator=(const BumpPtrAllocator &) = delete;
+  BumpPtrAllocator(BumpPtrAllocator &&Other) noexcept
+      : Slabs(std::move(Other.Slabs)), Cur(Other.Cur), End(Other.End),
+        BytesAllocated(Other.BytesAllocated) {
+    Other.Slabs.clear();
+    Other.Cur = Other.End = nullptr;
+    Other.BytesAllocated = 0;
+  }
+  ~BumpPtrAllocator() { reset(); }
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t)) {
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+    uintptr_t Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+      growSlab(Size + Align);
+      P = reinterpret_cast<uintptr_t>(Cur);
+      Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+    }
+    Cur = reinterpret_cast<char *>(Aligned + Size);
+    BytesAllocated += Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Constructs a \p T in the arena.
+  template <typename T, typename... Args> T *create(Args &&...A) {
+    return new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(A)...);
+  }
+
+  /// Copies \p N objects of \p T into the arena and returns the new base.
+  template <typename T> T *copyArray(const T *Src, size_t N) {
+    if (N == 0)
+      return nullptr;
+    T *Dst = static_cast<T *>(allocate(sizeof(T) * N, alignof(T)));
+    for (size_t I = 0; I != N; ++I)
+      new (Dst + I) T(Src[I]);
+    return Dst;
+  }
+
+  /// Frees every slab. All objects allocated from this arena die.
+  void reset() {
+    for (char *S : Slabs)
+      std::free(S);
+    Slabs.clear();
+    Cur = End = nullptr;
+    BytesAllocated = 0;
+  }
+
+  /// Total bytes handed out (excludes slab slack).
+  size_t bytesAllocated() const { return BytesAllocated; }
+
+private:
+  void growSlab(size_t MinSize) {
+    size_t SlabSize = SlabBytes;
+    if (MinSize > SlabSize)
+      SlabSize = MinSize;
+    char *S = static_cast<char *>(std::malloc(SlabSize));
+    Slabs.push_back(S);
+    Cur = S;
+    End = S + SlabSize;
+  }
+
+  static constexpr size_t SlabBytes = 1 << 16;
+  std::vector<char *> Slabs;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t BytesAllocated = 0;
+};
+
+} // namespace mc
+
+#endif // MC_SUPPORT_ALLOCATOR_H

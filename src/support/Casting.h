@@ -1,0 +1,66 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ----------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled, opt-in RTTI in the LLVM style. A class hierarchy participates
+/// by exposing a `static bool classof(const Base *)` on each subclass; the
+/// `isa<>`, `cast<>` and `dyn_cast<>` templates then provide checked
+/// downcasting without compiler RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_CASTING_H
+#define MC_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace mc {
+
+/// Returns true if \p Val is an instance of type \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Returns true if \p Val is non-null and an instance of \p To.
+template <typename To, typename From> bool isa_and_nonnull(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Checked downcast; asserts that the dynamic type matches.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that returns null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that also tolerates a null input.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace mc
+
+#endif // MC_SUPPORT_CASTING_H

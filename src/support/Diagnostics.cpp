@@ -1,0 +1,40 @@
+//===- support/Diagnostics.cpp - Frontend diagnostics --------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/RawOstream.h"
+
+using namespace mc;
+
+void DiagnosticEngine::report(DiagKind Kind, SourceLoc Loc,
+                              std::string Message) {
+  Diags.push_back(Diagnostic{Kind, Loc, std::move(Message)});
+  if (Kind == DiagKind::Error)
+    ++NumErrors;
+  if (Echo)
+    *Echo << format(Diags.back()) << '\n';
+}
+
+std::string DiagnosticEngine::format(const Diagnostic &D) const {
+  const char *KindStr = D.Kind == DiagKind::Error     ? "error"
+                        : D.Kind == DiagKind::Warning ? "warning"
+                                                      : "note";
+  std::string Out;
+  if (D.Loc.isValid()) {
+    FullLoc Full = SM.decode(D.Loc);
+    Out.append(Full.Filename);
+    Out += ':';
+    Out += std::to_string(Full.Line);
+    Out += ':';
+    Out += std::to_string(Full.Col);
+    Out += ": ";
+  }
+  Out += KindStr;
+  Out += ": ";
+  Out += D.Message;
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===- support/Diagnostics.h - Frontend diagnostics ------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic sink used by the C front end and the metal parser. Distinct
+/// from checker *error reports* (report/ErrorReport.h): these are problems in
+/// the input we are asked to parse, not bugs found by an analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_DIAGNOSTICS_H
+#define MC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceManager.h"
+
+#include <string>
+#include <vector>
+
+namespace mc {
+
+class raw_ostream;
+
+/// Severity of a frontend diagnostic.
+enum class DiagKind { Note, Warning, Error };
+
+/// A single recorded diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics; optionally echoes them to a stream as they arrive.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(const SourceManager &SM, raw_ostream *Echo = nullptr)
+      : SM(SM), Echo(Echo) {}
+
+  void report(DiagKind Kind, SourceLoc Loc, std::string Message);
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Note, Loc, std::move(Message));
+  }
+
+  unsigned errorCount() const { return NumErrors; }
+  bool hasErrors() const { return NumErrors != 0; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders \p D as "file:line:col: error: message".
+  std::string format(const Diagnostic &D) const;
+
+  const SourceManager &sourceManager() const { return SM; }
+
+private:
+  const SourceManager &SM;
+  raw_ostream *Echo;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace mc
+
+#endif // MC_SUPPORT_DIAGNOSTICS_H

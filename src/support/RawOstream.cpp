@@ -1,0 +1,78 @@
+//===- support/RawOstream.cpp - Lightweight output streams ---------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RawOstream.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+using namespace mc;
+
+raw_ostream::~raw_ostream() = default;
+
+raw_ostream &raw_ostream::operator<<(long long N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%lld", N);
+  write(Buf, Len);
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(unsigned long long N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%llu", N);
+  write(Buf, Len);
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(double D) {
+  char Buf[40];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  write(Buf, Len);
+  return *this;
+}
+
+raw_ostream &raw_ostream::padToColumn(std::string_view S, unsigned Width) {
+  *this << S;
+  for (size_t I = S.size(); I < Width; ++I)
+    *this << ' ';
+  return *this;
+}
+
+raw_ostream &raw_ostream::printf(const char *Fmt, ...) {
+  char Stack[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(Stack, sizeof(Stack), Fmt, Args);
+  va_end(Args);
+  if (Needed < int(sizeof(Stack))) {
+    write(Stack, Needed);
+  } else {
+    std::string Big(Needed + 1, '\0');
+    std::vsnprintf(Big.data(), Big.size(), Fmt, Copy);
+    write(Big.data(), Needed);
+  }
+  va_end(Copy);
+  return *this;
+}
+
+void raw_fd_ostream::write(const char *Ptr, size_t Size) {
+  std::fwrite(Ptr, 1, Size, static_cast<FILE *>(File));
+}
+
+void raw_fd_ostream::flush() { std::fflush(static_cast<FILE *>(File)); }
+
+raw_ostream &mc::outs() {
+  static raw_fd_ostream Stream(stdout);
+  return Stream;
+}
+
+raw_ostream &mc::errs() {
+  static raw_fd_ostream Stream(stderr);
+  return Stream;
+}

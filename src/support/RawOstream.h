@@ -1,0 +1,101 @@
+//===- support/RawOstream.h - Lightweight output streams -------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal raw_ostream in the LLVM style so that library code never touches
+/// <iostream> (which injects static constructors). Provides buffered FILE*-
+/// backed streams (`outs()`, `errs()`) and an adaptor that appends to a
+/// std::string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_RAWOSTREAM_H
+#define MC_SUPPORT_RAWOSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mc {
+
+/// Abstract byte sink with formatted-output operators.
+class raw_ostream {
+public:
+  virtual ~raw_ostream();
+
+  raw_ostream &operator<<(std::string_view S) {
+    write(S.data(), S.size());
+    return *this;
+  }
+  raw_ostream &operator<<(const char *S) {
+    return *this << std::string_view(S);
+  }
+  raw_ostream &operator<<(const std::string &S) {
+    return *this << std::string_view(S);
+  }
+  raw_ostream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  raw_ostream &operator<<(long long N);
+  raw_ostream &operator<<(unsigned long long N);
+  raw_ostream &operator<<(int N) { return *this << (long long)N; }
+  raw_ostream &operator<<(unsigned N) { return *this << (unsigned long long)N; }
+  raw_ostream &operator<<(long N) { return *this << (long long)N; }
+  raw_ostream &operator<<(unsigned long N) {
+    return *this << (unsigned long long)N;
+  }
+  raw_ostream &operator<<(double D);
+  raw_ostream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+
+  /// Writes \p Size raw bytes.
+  virtual void write(const char *Ptr, size_t Size) = 0;
+
+  /// Flushes any buffered output (no-op by default).
+  virtual void flush() {}
+
+  /// Writes \p S left-justified in a field of \p Width characters.
+  raw_ostream &padToColumn(std::string_view S, unsigned Width);
+
+  /// printf-style formatted append.
+  raw_ostream &printf(const char *Fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+};
+
+/// Stream that appends to a caller-owned std::string.
+class raw_string_ostream : public raw_ostream {
+public:
+  explicit raw_string_ostream(std::string &Buf) : Buf(Buf) {}
+  void write(const char *Ptr, size_t Size) override {
+    Buf.append(Ptr, Size);
+  }
+  const std::string &str() const { return Buf; }
+
+private:
+  std::string &Buf;
+};
+
+/// Stream over a stdio FILE handle. Does not own the handle.
+class raw_fd_ostream : public raw_ostream {
+public:
+  explicit raw_fd_ostream(void *File) : File(File) {}
+  void write(const char *Ptr, size_t Size) override;
+  void flush() override;
+
+private:
+  void *File;
+};
+
+/// Standard output stream (line-buffered by the C runtime).
+raw_ostream &outs();
+
+/// Standard error stream.
+raw_ostream &errs();
+
+} // namespace mc
+
+#endif // MC_SUPPORT_RAWOSTREAM_H

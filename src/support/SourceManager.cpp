@@ -1,0 +1,66 @@
+//===- support/SourceManager.cpp - Source buffers and locations ----------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace mc;
+
+unsigned SourceManager::addBuffer(std::string Name, std::string Contents) {
+  Files.push_back(FileEntry{std::move(Name), std::move(Contents), {}});
+  return Files.size();
+}
+
+unsigned SourceManager::addFile(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return 0;
+  std::string Contents;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Contents.append(Buf, N);
+  std::fclose(F);
+  return addBuffer(Path, std::move(Contents));
+}
+
+const SourceManager::FileEntry *SourceManager::entry(unsigned FileID) const {
+  if (FileID == 0 || FileID > Files.size())
+    return nullptr;
+  return &Files[FileID - 1];
+}
+
+std::string_view SourceManager::bufferText(unsigned FileID) const {
+  const FileEntry *E = entry(FileID);
+  assert(E && "bad file id");
+  return E->Contents;
+}
+
+std::string_view SourceManager::bufferName(unsigned FileID) const {
+  const FileEntry *E = entry(FileID);
+  assert(E && "bad file id");
+  return E->Name;
+}
+
+FullLoc SourceManager::decode(SourceLoc Loc) const {
+  const FileEntry *E = entry(Loc.fileID());
+  if (!E)
+    return FullLoc{};
+  if (E->LineStarts.empty()) {
+    E->LineStarts.push_back(0);
+    for (unsigned I = 0, Sz = E->Contents.size(); I != Sz; ++I)
+      if (E->Contents[I] == '\n')
+        E->LineStarts.push_back(I + 1);
+  }
+  unsigned Off = std::min<unsigned>(Loc.offset(), E->Contents.size());
+  auto It = std::upper_bound(E->LineStarts.begin(), E->LineStarts.end(), Off);
+  unsigned Line = It - E->LineStarts.begin();
+  unsigned Col = Off - E->LineStarts[Line - 1] + 1;
+  return FullLoc{E->Name, Line, Col};
+}

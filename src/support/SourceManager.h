@@ -1,0 +1,94 @@
+//===- support/SourceManager.h - Source buffers and locations --*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns source buffers and maps byte offsets back to file/line/column. Every
+/// token and AST node carries a SourceLoc; error reports and the ranking
+/// machinery (Section 9 of the paper: the "distance" criterion) need line
+/// numbers, and the history suppressor needs file/function names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_SOURCEMANAGER_H
+#define MC_SUPPORT_SOURCEMANAGER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mc {
+
+/// Compact location: a file id plus a byte offset into that file's buffer.
+/// The invalid location is (0, 0); file ids start at 1.
+class SourceLoc {
+public:
+  SourceLoc() = default;
+  SourceLoc(unsigned FileID, unsigned Offset)
+      : FileID(FileID), Offset(Offset) {}
+
+  bool isValid() const { return FileID != 0; }
+  unsigned fileID() const { return FileID; }
+  unsigned offset() const { return Offset; }
+
+  bool operator==(const SourceLoc &RHS) const {
+    return FileID == RHS.FileID && Offset == RHS.Offset;
+  }
+  bool operator!=(const SourceLoc &RHS) const { return !(*this == RHS); }
+
+private:
+  unsigned FileID = 0;
+  unsigned Offset = 0;
+};
+
+/// A decoded location, for presentation.
+struct FullLoc {
+  std::string_view Filename;
+  unsigned Line = 0; ///< 1-based; 0 when the location is invalid.
+  unsigned Col = 0;  ///< 1-based.
+};
+
+/// Registry of source buffers. Buffers are immutable once added, so
+/// string_views into them stay valid for the manager's lifetime.
+class SourceManager {
+public:
+  /// Adds a buffer under \p Name; returns its file id (>= 1).
+  unsigned addBuffer(std::string Name, std::string Contents);
+
+  /// Reads \p Path from disk and registers it. Returns 0 on failure.
+  unsigned addFile(const std::string &Path);
+
+  /// Returns the text of file \p FileID.
+  std::string_view bufferText(unsigned FileID) const;
+
+  /// Returns the registered name of file \p FileID.
+  std::string_view bufferName(unsigned FileID) const;
+
+  /// Number of registered buffers.
+  unsigned numBuffers() const { return Files.size(); }
+
+  /// Decodes \p Loc into file/line/column. Invalid locations decode to a
+  /// FullLoc with Line == 0.
+  FullLoc decode(SourceLoc Loc) const;
+
+  /// Returns the 1-based line number for \p Loc (0 when invalid).
+  unsigned lineNumber(SourceLoc Loc) const { return decode(Loc).Line; }
+
+private:
+  struct FileEntry {
+    std::string Name;
+    std::string Contents;
+    /// Byte offsets of each line start, built lazily.
+    mutable std::vector<unsigned> LineStarts;
+  };
+  const FileEntry *entry(unsigned FileID) const;
+
+  std::vector<FileEntry> Files;
+};
+
+} // namespace mc
+
+#endif // MC_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,72 @@
+//===- support/StringUtils.cpp - Small string helpers --------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace mc;
+
+std::string mc::formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  char Stack[256];
+  int Needed = std::vsnprintf(Stack, sizeof(Stack), Fmt, Args);
+  if (Needed < int(sizeof(Stack))) {
+    va_end(Copy);
+    return std::string(Stack, Needed);
+  }
+  std::string Big(Needed, '\0');
+  std::vsnprintf(Big.data(), Needed + 1, Fmt, Copy);
+  va_end(Copy);
+  return Big;
+}
+
+std::string mc::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Out = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Out;
+}
+
+uint64_t mc::hashBytes(const void *Data, size_t Size, uint64_t Seed) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::vector<std::string_view> mc::splitString(std::string_view S, char Sep,
+                                              bool KeepEmpty) {
+  std::vector<std::string_view> Out;
+  size_t Start = 0;
+  while (Start <= S.size()) {
+    size_t End = S.find(Sep, Start);
+    if (End == std::string_view::npos)
+      End = S.size();
+    std::string_view Piece = S.substr(Start, End - Start);
+    if (KeepEmpty || !Piece.empty())
+      Out.push_back(Piece);
+    if (End == S.size())
+      break;
+    Start = End + 1;
+  }
+  return Out;
+}
+
+std::string_view mc::trim(std::string_view S) {
+  size_t B = 0, E = S.size();
+  while (B < E && (S[B] == ' ' || S[B] == '\t' || S[B] == '\n' || S[B] == '\r'))
+    ++B;
+  while (E > B && (S[E - 1] == ' ' || S[E - 1] == '\t' || S[E - 1] == '\n' ||
+                   S[E - 1] == '\r'))
+    --E;
+  return S.substr(B, E - B);
+}

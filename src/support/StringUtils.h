@@ -1,0 +1,59 @@
+//===- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style std::string formatting plus hashing helpers shared by the
+/// engine's state-tuple keys and the pattern matcher.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_STRINGUTILS_H
+#define MC_SUPPORT_STRINGUTILS_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mc {
+
+/// Returns a printf-formatted std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavour of formatString.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+/// FNV-1a over a byte range; the stable hash used for summary keys.
+uint64_t hashBytes(const void *Data, size_t Size, uint64_t Seed = 1469598103934665603ull);
+
+/// Hash of a string view.
+inline uint64_t hashString(std::string_view S, uint64_t Seed = 1469598103934665603ull) {
+  return hashBytes(S.data(), S.size(), Seed);
+}
+
+/// Combines two hashes (asymmetric, so argument order matters).
+inline uint64_t hashCombine(uint64_t A, uint64_t B) {
+  uint64_t Seed = A * 1099511628211ull + 0x9e3779b97f4a7c15ull;
+  return hashBytes(&B, sizeof(B), Seed);
+}
+
+/// Splits \p S on \p Sep, dropping empty pieces when \p KeepEmpty is false.
+std::vector<std::string_view> splitString(std::string_view S, char Sep,
+                                          bool KeepEmpty = false);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view S);
+
+/// True when \p S starts with \p Prefix.
+inline bool startsWith(std::string_view S, std::string_view Prefix) {
+  return S.substr(0, Prefix.size()) == Prefix;
+}
+
+} // namespace mc
+
+#endif // MC_SUPPORT_STRINGUTILS_H

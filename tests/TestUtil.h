@@ -1,0 +1,69 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_TESTS_TESTUTIL_H
+#define MC_TESTS_TESTUTIL_H
+
+#include "driver/Tool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mc::test {
+
+/// Parses \p Source and runs the named builtin checker, returning the
+/// report messages in rank order.
+inline std::vector<std::string>
+runBuiltin(const std::string &CheckerName, const std::string &Source,
+           const EngineOptions &Opts = EngineOptions()) {
+  XgccTool Tool;
+  EXPECT_TRUE(Tool.addSource("test.c", Source));
+  EXPECT_TRUE(Tool.addBuiltinChecker(CheckerName));
+  Tool.run(Opts);
+  std::vector<std::string> Messages;
+  for (size_t I : Tool.reports().ranked(RankPolicy::Generic))
+    Messages.push_back(Tool.reports().reports()[I].Message);
+  return Messages;
+}
+
+/// Runs the named checker and returns the reports themselves (rank order).
+inline std::vector<ErrorReport>
+runBuiltinReports(const std::string &CheckerName, const std::string &Source,
+                  const EngineOptions &Opts = EngineOptions()) {
+  XgccTool Tool;
+  EXPECT_TRUE(Tool.addSource("test.c", Source));
+  EXPECT_TRUE(Tool.addBuiltinChecker(CheckerName));
+  Tool.run(Opts);
+  std::vector<ErrorReport> Out;
+  for (size_t I : Tool.reports().ranked(RankPolicy::Generic))
+    Out.push_back(Tool.reports().reports()[I]);
+  return Out;
+}
+
+/// True when any message contains \p Needle.
+inline bool anyContains(const std::vector<std::string> &Messages,
+                        const std::string &Needle) {
+  return std::any_of(Messages.begin(), Messages.end(),
+                     [&](const std::string &M) {
+                       return M.find(Needle) != std::string::npos;
+                     });
+}
+
+/// Parses a single source into a fresh tool (finalized).
+inline std::unique_ptr<XgccTool> parseTool(const std::string &Source) {
+  auto Tool = std::make_unique<XgccTool>();
+  EXPECT_TRUE(Tool->addSource("test.c", Source));
+  Tool->finalize();
+  return Tool;
+}
+
+} // namespace mc::test
+
+#endif // MC_TESTS_TESTUTIL_H

@@ -1,0 +1,262 @@
+//===- tests/cfg_test.cpp - CFG and call graph tests -------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CallGraph.h"
+#include "cfront/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mc;
+
+namespace {
+
+struct CFGLab {
+  SourceManager SM;
+  DiagnosticEngine Diags{SM};
+  ASTContext Ctx;
+  CallGraph CG;
+
+  explicit CFGLab(const std::string &Source) {
+    unsigned ID = SM.addBuffer("t.c", Source);
+    Parser P(Ctx, SM, Diags, ID);
+    EXPECT_TRUE(P.parseTranslationUnit());
+    CG.build(Ctx);
+  }
+
+  const CFG *cfg(const char *Name) {
+    return CG.cfg(Ctx.findFunction(Name));
+  }
+};
+
+/// Counts blocks reachable from entry.
+unsigned reachableBlocks(const CFG *G) {
+  std::set<const BasicBlock *> Seen;
+  std::vector<const BasicBlock *> Stack{G->entry()};
+  while (!Stack.empty()) {
+    const BasicBlock *B = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(B).second)
+      continue;
+    for (const CFGEdge &E : B->succs())
+      Stack.push_back(E.To);
+  }
+  return Seen.size();
+}
+
+/// True when the exit block is reachable from entry.
+bool exitReachable(const CFG *G) {
+  std::set<const BasicBlock *> Seen;
+  std::vector<const BasicBlock *> Stack{G->entry()};
+  while (!Stack.empty()) {
+    const BasicBlock *B = Stack.back();
+    Stack.pop_back();
+    if (B == G->exit())
+      return true;
+    if (!Seen.insert(B).second)
+      continue;
+    for (const CFGEdge &E : B->succs())
+      Stack.push_back(E.To);
+  }
+  return false;
+}
+
+TEST(CFG, StraightLine) {
+  CFGLab L("int f(int x) { x++; x--; return x; }");
+  const CFG *G = L.cfg("f");
+  ASSERT_NE(G, nullptr);
+  EXPECT_TRUE(exitReachable(G));
+  EXPECT_EQ(G->entry()->blockKind(), BasicBlock::Entry);
+  EXPECT_EQ(G->exit()->blockKind(), BasicBlock::Exit);
+}
+
+TEST(CFG, IfProducesLabelledEdges) {
+  CFGLab L("int f(int x) { if (x) x = 1; else x = 2; return x; }");
+  const CFG *G = L.cfg("f");
+  const BasicBlock *CondB = nullptr;
+  for (const auto &B : G->blocks())
+    if (B->condition())
+      CondB = B.get();
+  ASSERT_NE(CondB, nullptr);
+  ASSERT_EQ(CondB->succs().size(), 2u);
+  EXPECT_EQ(CondB->succs()[0].Kind, CFGEdge::True);
+  EXPECT_EQ(CondB->succs()[1].Kind, CFGEdge::False);
+  // The condition tree is also the block's last statement (a program point).
+  EXPECT_EQ(CondB->stmts().back(), static_cast<const Stmt *>(CondB->condition()));
+}
+
+TEST(CFG, WhileLoopHasBackEdge) {
+  CFGLab L("int f(int n) { while (n) n--; return n; }");
+  const CFG *G = L.cfg("f");
+  // Find the header (the block with a condition) and check a path from its
+  // True successor leads back to it.
+  const BasicBlock *Header = nullptr;
+  for (const auto &B : G->blocks())
+    if (B->condition())
+      Header = B.get();
+  ASSERT_NE(Header, nullptr);
+  const BasicBlock *Body = Header->succs()[0].To;
+  bool Back = false;
+  std::set<const BasicBlock *> Seen;
+  std::vector<const BasicBlock *> Stack{Body};
+  while (!Stack.empty()) {
+    const BasicBlock *B = Stack.back();
+    Stack.pop_back();
+    if (B == Header) {
+      Back = true;
+      break;
+    }
+    if (!Seen.insert(B).second)
+      continue;
+    for (const CFGEdge &E : B->succs())
+      Stack.push_back(E.To);
+  }
+  EXPECT_TRUE(Back);
+}
+
+TEST(CFG, ForLoopStructure) {
+  CFGLab L("int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }");
+  EXPECT_TRUE(exitReachable(L.cfg("f")));
+}
+
+TEST(CFG, DoWhileExecutesBodyFirst) {
+  CFGLab L("int f(int n) { do { n--; } while (n); return n; }");
+  const CFG *G = L.cfg("f");
+  // Entry's successor chain must reach the body before any condition block.
+  const BasicBlock *First = G->entry()->succs()[0].To;
+  while (First->stmts().empty() && First->succs().size() == 1)
+    First = First->succs()[0].To;
+  EXPECT_EQ(First->condition(), nullptr);
+  EXPECT_TRUE(exitReachable(G));
+}
+
+TEST(CFG, SwitchEdgesCarryCaseValues) {
+  CFGLab L("int f(int n) { switch (n) { case 1: return 10; case 2: return 20; default: return 0; } }");
+  const CFG *G = L.cfg("f");
+  const BasicBlock *Head = nullptr;
+  for (const auto &B : G->blocks())
+    if (B->condition())
+      Head = B.get();
+  ASSERT_NE(Head, nullptr);
+  unsigned Cases = 0, Defaults = 0;
+  for (const CFGEdge &E : Head->succs()) {
+    if (E.Kind == CFGEdge::Case) {
+      ++Cases;
+      EXPECT_NE(E.CaseValue, nullptr);
+    }
+    if (E.Kind == CFGEdge::Default)
+      ++Defaults;
+  }
+  EXPECT_EQ(Cases, 2u);
+  EXPECT_EQ(Defaults, 1u);
+}
+
+TEST(CFG, SwitchWithoutDefaultGetsDefaultEdge) {
+  CFGLab L("int f(int n) { switch (n) { case 1: return 1; } return 0; }");
+  const CFG *G = L.cfg("f");
+  const BasicBlock *Head = nullptr;
+  for (const auto &B : G->blocks())
+    if (B->condition())
+      Head = B.get();
+  ASSERT_NE(Head, nullptr);
+  bool HasDefault = false;
+  for (const CFGEdge &E : Head->succs())
+    HasDefault |= E.Kind == CFGEdge::Default;
+  EXPECT_TRUE(HasDefault);
+}
+
+TEST(CFG, SwitchFallthrough) {
+  CFGLab L("int f(int n) { int s = 0; switch (n) { case 1: s = 1; case 2: s += 2; break; } return s; }");
+  EXPECT_TRUE(exitReachable(L.cfg("f")));
+}
+
+TEST(CFG, BreakAndContinueTargets) {
+  CFGLab L("int f(int n) { while (n) { if (n == 5) break; if (n == 3) continue; n--; } return n; }");
+  EXPECT_TRUE(exitReachable(L.cfg("f")));
+}
+
+TEST(CFG, GotoForwardAndBackward) {
+  CFGLab L("int f(int n) {\n"
+           "again: n--;\n"
+           "  if (n > 0) goto again;\n"
+           "  goto out;\n"
+           "out: return n;\n"
+           "}");
+  EXPECT_TRUE(exitReachable(L.cfg("f")));
+}
+
+TEST(CFG, UnreachableCodeGetsBlocksButNoPreds) {
+  CFGLab L("int f(void) { return 1; f(); return 2; }");
+  const CFG *G = L.cfg("f");
+  EXPECT_TRUE(exitReachable(G));
+  // The function has more blocks than are reachable.
+  EXPECT_LT(reachableBlocks(G), G->numBlocks());
+}
+
+TEST(CFG, CallSiteSplitting) {
+  CFGLab L("int callee(int x) { return x; }\n"
+           "int caller(int x) { x = callee(x); return x + callee(1); }");
+  const CFG *G = L.cfg("caller");
+  unsigned CallSites = 0;
+  for (const auto &B : G->blocks())
+    if (B->blockKind() == BasicBlock::CallSite)
+      ++CallSites;
+  EXPECT_EQ(CallSites, 2u);
+}
+
+TEST(CFG, UndefinedCalleesAreNotCallSites) {
+  CFGLab L("void kfree(void *p);\nint f(int *p) { kfree(p); return 0; }");
+  const CFG *G = L.cfg("f");
+  for (const auto &B : G->blocks())
+    EXPECT_NE(B->blockKind(), BasicBlock::CallSite);
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraph, RootsAreUncalledFunctions) {
+  CFGLab L("static int a(void) { return 1; }\n"
+           "static int b(void) { return a(); }\n"
+           "int main_fn(void) { return b(); }");
+  ASSERT_EQ(L.CG.roots().size(), 1u);
+  EXPECT_EQ(L.CG.roots()[0]->name(), "main_fn");
+}
+
+TEST(CallGraph, RecursiveChainBrokenArbitrarily) {
+  CFGLab L("int odd(int n);\n"
+           "int even(int n) { return n == 0 ? 1 : odd(n - 1); }\n"
+           "int odd(int n) { return n == 0 ? 0 : even(n - 1); }");
+  // Mutually recursive with no external caller: one becomes a root.
+  ASSERT_EQ(L.CG.roots().size(), 1u);
+}
+
+TEST(CallGraph, SelfRecursionIsARoot) {
+  CFGLab L("int fact(int n) { return n ? n * fact(n - 1) : 1; }");
+  ASSERT_EQ(L.CG.roots().size(), 1u);
+  EXPECT_EQ(L.CG.roots()[0]->name(), "fact");
+}
+
+TEST(CallGraph, CalleesRecorded) {
+  CFGLab L("void x(void) {}\nvoid y(void) {}\n"
+           "void top(void) { x(); y(); x(); }");
+  const CallGraph::Node *N = L.CG.node(L.Ctx.findFunction("top"));
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->Callees.size(), 2u); // deduplicated
+}
+
+TEST(CallGraph, MultipleRoots) {
+  CFGLab L("int r1(void) { return 1; }\nint r2(void) { return 2; }");
+  EXPECT_EQ(L.CG.roots().size(), 2u);
+}
+
+TEST(CallGraph, UndefinedFunctionsHaveNoCFG) {
+  CFGLab L("void ext(int);\nint f(void) { ext(1); return 0; }");
+  EXPECT_EQ(L.CG.cfg(L.Ctx.findFunction("ext")), nullptr);
+  EXPECT_FALSE(L.CG.isFollowable(L.Ctx.findFunction("ext")));
+  EXPECT_TRUE(L.CG.isFollowable(L.Ctx.findFunction("f")));
+}
+
+} // namespace

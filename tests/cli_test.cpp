@@ -1,0 +1,217 @@
+//===- tests/cli_test.cpp - xgcc command-line tool tests -----------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the installed `xgcc` binary end to end: pass 1 (--emit-ast),
+// pass 2 over the image, checker selection, ranking flags, history files,
+// and the engine ablation switches. The binary path is injected by CMake.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#ifndef MC_XGCC_BINARY
+#define MC_XGCC_BINARY "xgcc"
+#endif
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Output;
+};
+
+RunResult runXgcc(const std::string &Args) {
+  std::string Cmd = std::string(MC_XGCC_BINARY) + " " + Args + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  RunResult R;
+  if (!Pipe)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    R.Output.append(Buf, N);
+  int Status = pclose(Pipe);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string writeTemp(const std::string &Name, const std::string &Text) {
+  std::string Path = ::testing::TempDir() + "/" + Name;
+  FILE *F = fopen(Path.c_str(), "w");
+  EXPECT_NE(F, nullptr);
+  fputs(Text.c_str(), F);
+  fclose(F);
+  return Path;
+}
+
+const char *BuggySource = "void kfree(void *p);\n"
+                          "int f(int *p) { kfree(p); return *p; }\n";
+
+TEST(Cli, ListCheckers) {
+  RunResult R = runXgcc("--list-checkers");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("free"), std::string::npos);
+  EXPECT_NE(R.Output.find("lock"), std::string::npos);
+  EXPECT_NE(R.Output.find("path_kill"), std::string::npos);
+}
+
+TEST(Cli, NoInputsPrintsUsage) {
+  RunResult R = runXgcc("");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionRejected) {
+  RunResult R = runXgcc("--frobnicate x.c");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeSourceFindsBug) {
+  std::string Src = writeTemp("cli_buggy.c", BuggySource);
+  RunResult R = runXgcc("--checker free " + Src);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("using p after free!"), std::string::npos);
+  EXPECT_NE(R.Output.find("1 report(s)"), std::string::npos);
+  remove(Src.c_str());
+}
+
+TEST(Cli, TwoPassPipeline) {
+  std::string Src = writeTemp("cli_pass1.c", BuggySource);
+  std::string Mast = ::testing::TempDir() + "/cli_pass1.mast";
+  RunResult Emit = runXgcc("--emit-ast " + Mast + " " + Src);
+  EXPECT_EQ(Emit.ExitCode, 0);
+  EXPECT_NE(Emit.Output.find("wrote AST image"), std::string::npos);
+
+  RunResult Analyze = runXgcc("--checker free " + Mast);
+  EXPECT_EQ(Analyze.ExitCode, 0);
+  EXPECT_NE(Analyze.Output.find("using p after free!"), std::string::npos);
+  remove(Src.c_str());
+  remove(Mast.c_str());
+}
+
+TEST(Cli, StatsFlag) {
+  std::string Src = writeTemp("cli_stats.c", BuggySource);
+  RunResult R = runXgcc("--checker free --stats " + Src);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("points="), std::string::npos);
+  EXPECT_NE(R.Output.find("paths="), std::string::npos);
+  remove(Src.c_str());
+}
+
+TEST(Cli, MetalCheckerFromFile) {
+  std::string Src = writeTemp("cli_gets.c", "char *gets(char *b);\n"
+                                            "void f(char *b) { gets(b); }\n");
+  std::string Metal = writeTemp(
+      "cli_no_gets.metal",
+      "sm no_gets;\n"
+      "decl any_fn_call fn;\ndecl any_arguments args;\n"
+      "start: { fn(args) } && ${ mc_is_call_to(fn, \"gets\") } ==> start, "
+      "{ err(\"never use gets()\"); };\n");
+  RunResult R = runXgcc("--metal " + Metal + " " + Src);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("never use gets()"), std::string::npos);
+  remove(Src.c_str());
+  remove(Metal.c_str());
+}
+
+TEST(Cli, HistoryRoundTrip) {
+  std::string Src = writeTemp("cli_hist.c", BuggySource);
+  std::string Hist = ::testing::TempDir() + "/cli_hist.txt";
+  remove(Hist.c_str());
+  // First run records; second run suppresses.
+  RunResult First =
+      runXgcc("--checker free --update-history " + Hist + " " + Src);
+  EXPECT_NE(First.Output.find("1 report(s)"), std::string::npos);
+  RunResult Second = runXgcc("--checker free --history " + Hist + " " + Src);
+  EXPECT_NE(Second.Output.find("suppressed 1 report(s)"), std::string::npos);
+  EXPECT_NE(Second.Output.find("0 report(s)"), std::string::npos);
+  remove(Src.c_str());
+  remove(Hist.c_str());
+}
+
+TEST(Cli, RankingFlag) {
+  std::string Src = writeTemp("cli_rank.c", BuggySource);
+  RunResult R = runXgcc("--checker free --rank statistical " + Src);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("using p after free!"), std::string::npos);
+  remove(Src.c_str());
+}
+
+TEST(Cli, AblationSwitchesStillFindTheBug) {
+  std::string Src = writeTemp("cli_ablate.c", BuggySource);
+  for (const char *Flag :
+       {"--no-cache", "--no-summaries", "--no-fpp", "--intraprocedural"}) {
+    RunResult R = runXgcc(std::string("--checker free ") + Flag + " " + Src);
+    EXPECT_EQ(R.ExitCode, 0) << Flag;
+    EXPECT_NE(R.Output.find("using p after free!"), std::string::npos) << Flag;
+  }
+  remove(Src.c_str());
+}
+
+TEST(Cli, DefineAndIncludeFlags) {
+  std::string Dir = ::testing::TempDir();
+  std::string Header = writeTemp("cli_defs.h", "void kfree(void *p);\n");
+  std::string Src = writeTemp("cli_pp.c", "#include \"cli_defs.h\"\n"
+                                          "int f(int *p) {\n"
+                                          "#ifdef ENABLE_BUG\n"
+                                          "  kfree(p);\n"
+                                          "#endif\n"
+                                          "  return *p;\n"
+                                          "}\n");
+  RunResult Without = runXgcc("--checker free -I" + Dir + " " + Src);
+  EXPECT_NE(Without.Output.find("0 report(s)"), std::string::npos);
+  RunResult With =
+      runXgcc("--checker free -I" + Dir + " -DENABLE_BUG " + Src);
+  EXPECT_NE(With.Output.find("1 report(s)"), std::string::npos);
+  remove(Header.c_str());
+  remove(Src.c_str());
+}
+
+TEST(Cli, DefaultRunsWholeSuite) {
+  std::string Src = writeTemp("cli_suite.c", BuggySource);
+  RunResult R = runXgcc(Src);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("free_checker"), std::string::npos);
+  remove(Src.c_str());
+}
+
+} // namespace
+
+namespace {
+
+TEST(Cli, JsonOutput) {
+  std::string Src = writeTemp("cli_json.c", BuggySource);
+  RunResult R = runXgcc("--checker free --format json " + Src);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("\"checker\": \"free_checker\""), std::string::npos);
+  EXPECT_NE(R.Output.find("\"message\": \"using p after free!\""),
+            std::string::npos);
+  EXPECT_NE(R.Output.find("\"rank\": 1"), std::string::npos);
+  remove(Src.c_str());
+}
+
+} // namespace
+
+namespace {
+
+TEST(Cli, GroupsOutput) {
+  std::string Src = writeTemp("cli_groups.c",
+                              "void kfree(void *p);\n"
+                              "int a(int *p) { kfree(p); return *p; }\n"
+                              "int b(int *p) { kfree(p); return *p; }\n");
+  RunResult R = runXgcc("--checker free --groups " + Src);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("groups (by analysis fact)"), std::string::npos);
+  EXPECT_NE(R.Output.find("kfree: 2 report(s)"), std::string::npos);
+  remove(Src.c_str());
+}
+
+} // namespace

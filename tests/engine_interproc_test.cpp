@@ -1,0 +1,332 @@
+//===- tests/engine_interproc_test.cpp - Interprocedural engine tests ---------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 6: refine/restore (Table 2), function summaries, top-down
+// traversal, recursion, file-scope inactivation, and the Figure 2 trace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mc;
+using namespace mc::test;
+
+namespace {
+
+const char *FreeDecls = "void kfree(void *p);\n";
+
+/// The paper's Figure 2 program, verbatim structure.
+const char *Figure2 = R"c(
+void kfree(void *p);
+int contrived(int *p, int *w, int x) {
+  int *q;
+
+  if (x) {
+    kfree(w);
+    q = p;
+    p = 0;
+  }
+  if (!x)
+    return *w;
+  return *q;
+}
+int contrived_caller(int *w, int x, int *p) {
+  kfree(p);
+  contrived(p, w, x);
+  return *w;
+}
+)c";
+
+TEST(EngineInterproc, Figure2FindsExactlyTheTwoErrors) {
+  auto Reports = runBuiltinReports("free", Figure2);
+  ASSERT_EQ(Reports.size(), 2u);
+  // Ranking criterion 4: the local error in contrived_caller outranks the
+  // interprocedural one.
+  EXPECT_EQ(Reports[0].Message, "using w after free!");
+  EXPECT_EQ(Reports[0].FunctionName, "contrived_caller");
+  EXPECT_FALSE(Reports[0].Interprocedural);
+  EXPECT_EQ(Reports[1].Message, "using q after free!");
+  EXPECT_EQ(Reports[1].FunctionName, "contrived");
+  EXPECT_TRUE(Reports[1].Interprocedural);
+}
+
+TEST(EngineInterproc, Figure2WithoutFPPReportsAFalsePositive) {
+  // Step 8 of the walkthrough: without pruning, the path x-true then
+  // !x-true reaches `return *w` with w freed — a false positive.
+  EngineOptions NoFPP;
+  NoFPP.EnableFalsePathPruning = false;
+  auto Msgs = runBuiltin("free", Figure2, NoFPP);
+  EXPECT_EQ(Msgs.size(), 3u);
+  EXPECT_TRUE(anyContains(Msgs, "using w after free!"));
+}
+
+//===----------------------------------------------------------------------===//
+// Table 2 rows
+//===----------------------------------------------------------------------===//
+
+TEST(Table2, PlainArgumentCarriesStateIn) {
+  auto Msgs = runBuiltin("free", std::string(FreeDecls) +
+                                     "int use(int *x) { return *x; }\n"
+                                     "int top(int *a) { kfree(a); return use(a); }");
+  ASSERT_EQ(Msgs.size(), 1u);
+  EXPECT_EQ(Msgs[0], "using x after free!");
+}
+
+TEST(Table2, StateComesBackToCaller) {
+  auto Msgs = runBuiltin("free", std::string(FreeDecls) +
+                                     "void release(int *x) { kfree(x); }\n"
+                                     "int top(int *a) { release(a); return *a; }");
+  ASSERT_EQ(Msgs.size(), 1u);
+  EXPECT_EQ(Msgs[0], "using a after free!");
+}
+
+TEST(Table2, AddressOfArgument) {
+  // &xa / xf row: state(*xf) = state(xa)... and back.
+  auto Msgs = runBuiltin("free", std::string(FreeDecls) +
+                                     "void release(int **x) { kfree(*x); }\n"
+                                     "int top(int *a) { release(&a); return *a; }");
+  ASSERT_EQ(Msgs.size(), 1u);
+  EXPECT_EQ(Msgs[0], "using a after free!");
+}
+
+TEST(Table2, FieldOfStructPointerArgument) {
+  // xa->field row.
+  auto Msgs = runBuiltin("free", "void kfree(void *p);\n"
+                                 "struct box { int *v; };\n"
+                                 "void release(struct box *b) { kfree(b->v); }\n"
+                                 "int top(struct box *b) { release(b); return *b->v; }");
+  ASSERT_EQ(Msgs.size(), 1u);
+  EXPECT_EQ(Msgs[0], "using b->v after free!");
+}
+
+TEST(Table2, DerefOfArgument) {
+  // *xa row.
+  auto Msgs = runBuiltin("free", std::string(FreeDecls) +
+                                     "void release(int **x) { kfree(*x); }\n"
+                                     "int top(int **pp) { release(pp); return **pp; }");
+  ASSERT_EQ(Msgs.size(), 1u);
+}
+
+TEST(Table2, CallerLocalsSavedAcrossCall) {
+  // State on a local not passed to the callee survives the call untouched.
+  auto Msgs = runBuiltin("free", std::string(FreeDecls) +
+                                     "void nop(int x) { x++; }\n"
+                                     "int top(int *a) {\n"
+                                     "  kfree(a);\n"
+                                     "  nop(1);\n"
+                                     "  return *a;\n"
+                                     "}");
+  ASSERT_EQ(Msgs.size(), 1u);
+  EXPECT_EQ(Msgs[0], "using a after free!");
+}
+
+TEST(Table2, GlobalsPassThroughCalls) {
+  auto Msgs = runBuiltin("free", std::string(FreeDecls) +
+                                     "int *gp;\n"
+                                     "void use_global(void) { *gp = 1; }\n"
+                                     "void top(void) { kfree(gp); use_global(); }");
+  ASSERT_EQ(Msgs.size(), 1u);
+  EXPECT_EQ(Msgs[0], "using gp after free!");
+}
+
+TEST(Table2, CalleeLocalsDieAtReturn) {
+  // A lock acquired on a callee-local dies with the callee: $end_of_path$.
+  auto Msgs = runBuiltin("lock", "int trylock(int *l); void lock(int *l); void unlock(int *l);\n"
+                                 "void leak(void) { int mylock; lock(&mylock); }\n"
+                                 "int top(void) { leak(); return 0; }");
+  ASSERT_EQ(Msgs.size(), 1u);
+  EXPECT_TRUE(Msgs[0].find("never released") != std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Function summaries (Section 6.2)
+//===----------------------------------------------------------------------===//
+
+TEST(Summaries, SecondCallInSameStateHitsTheCache) {
+  std::string Source = std::string(FreeDecls) +
+                       "int use(int *x) { return *x; }\n"
+                       "int top(int *a, int *b) {\n"
+                       "  use(a);\n"
+                       "  use(b);\n" // same (placeholder) state: cache hit
+                       "  return 0;\n"
+                       "}";
+  XgccTool T;
+  ASSERT_TRUE(T.addSource("t.c", Source));
+  ASSERT_TRUE(T.addBuiltinChecker("free"));
+  T.run(EngineOptions());
+  EXPECT_GE(T.stats().FunctionCacheHits, 1u);
+}
+
+TEST(Summaries, ReplayReproducesCalleeEffects) {
+  // Two callers pass freed pointers to the same callee; the second call is
+  // replayed from the summary and must still transport the state back.
+  std::string Source = std::string(FreeDecls) +
+                       "void release(int *x) { kfree(x); }\n"
+                       "int top(int *a, int *b) {\n"
+                       "  release(a);\n"
+                       "  release(b);\n"
+                       "  return *a + *b;\n"
+                       "}";
+  auto Msgs = runBuiltin("free", Source);
+  ASSERT_EQ(Msgs.size(), 2u);
+  EXPECT_TRUE(anyContains(Msgs, "using a after free!"));
+  EXPECT_TRUE(anyContains(Msgs, "using b after free!"));
+}
+
+/// Summaries on and off must produce identical report sets.
+class SummaryEquivalenceTest : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(SummaryEquivalenceTest, SameReports) {
+  std::string Source = std::string(FreeDecls) + GetParam();
+  EngineOptions On;
+  EngineOptions Off;
+  Off.EnableFunctionSummaries = false;
+  auto MsgsOn = runBuiltin("free", Source, On);
+  auto MsgsOff = runBuiltin("free", Source, Off);
+  std::sort(MsgsOn.begin(), MsgsOn.end());
+  std::sort(MsgsOff.begin(), MsgsOff.end());
+  EXPECT_EQ(MsgsOn, MsgsOff);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, SummaryEquivalenceTest,
+    ::testing::Values(
+        "void release(int *x) { kfree(x); }\n"
+        "int top(int *a, int *b) { release(a); release(b); return *a + *b; }",
+        "int mid(int *x, int c) { if (c) kfree(x); return 0; }\n"
+        "int top(int *a, int c) { mid(a, c); return *a; }",
+        "void sink(int *x) { kfree(x); kfree(x); }\n"
+        "void top(int *a) { sink(a); }",
+        "int depth3(int *x) { kfree(x); return 0; }\n"
+        "int depth2(int *x) { return depth3(x); }\n"
+        "int depth1(int *x) { return depth2(x); }\n"
+        "int top(int *a) { depth1(a); return *a; }"));
+
+TEST(Summaries, ConditionalFreeGivesTwoExitStates) {
+  // The callee's summary must expose both exit states (freed / untouched).
+  auto Msgs = runBuiltin("free", std::string(FreeDecls) +
+                                     "void maybe(int *x, int c) { if (c) kfree(x); }\n"
+                                     "int a_caller(int *p) { maybe(p, 0); return *p; }\n"
+                                     "int b_caller(int *p) { maybe(p, 1); return *p; }");
+  // Both callers invoke maybe in the same entry state; at least one report
+  // must appear for each caller's dereference along the freeing exit state.
+  EXPECT_EQ(Msgs.size(), 2u);
+}
+
+TEST(Summaries, DoubleFreeAcrossFunctions) {
+  auto Msgs = runBuiltin("free", std::string(FreeDecls) +
+                                     "void release(int *x) { kfree(x); }\n"
+                                     "void top(int *a) { release(a); release(a); }");
+  ASSERT_EQ(Msgs.size(), 1u);
+  EXPECT_TRUE(Msgs[0].find("double free") != std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Recursion (Section 7: handled unsoundly but terminating)
+//===----------------------------------------------------------------------===//
+
+TEST(Recursion, SelfRecursionTerminates) {
+  auto Msgs = runBuiltin("free", std::string(FreeDecls) +
+                                     "int rec(int *p, int n) {\n"
+                                     "  if (n == 0) { kfree(p); return 0; }\n"
+                                     "  return rec(p, n - 1);\n"
+                                     "}\n"
+                                     "int top(int *a) { rec(a, 3); return *a; }");
+  // Termination is the requirement; the unsound recursion summary may or
+  // may not transport the state.
+  SUCCEED();
+  (void)Msgs;
+}
+
+TEST(Recursion, MutualRecursionTerminates) {
+  auto Msgs = runBuiltin("free", std::string(FreeDecls) +
+                                     "int pong(int *p, int n);\n"
+                                     "int ping(int *p, int n) { return n ? pong(p, n - 1) : 0; }\n"
+                                     "int pong(int *p, int n) { return n ? ping(p, n - 1) : 0; }\n"
+                                     "int top(int *a) { ping(a, 9); kfree(a); return *a; }");
+  EXPECT_EQ(Msgs.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// File-scope variables (Section 6.1)
+//===----------------------------------------------------------------------===//
+
+TEST(FileScope, StaticInactiveInOtherFile) {
+  // sp is file-static in a.c; while analysing b.c's helper it must be
+  // inactive (no report from inside other_file_use), but reactivates on
+  // return.
+  XgccTool T;
+  ASSERT_TRUE(T.addSource("a.c", "void kfree(void *p);\n"
+                                 "void other_file_use(void);\n"
+                                 "static int *sp;\n"
+                                 "int top(void) {\n"
+                                 "  kfree(sp);\n"
+                                 "  other_file_use();\n"
+                                 "  return *sp;\n"
+                                 "}"));
+  ASSERT_TRUE(T.addSource("b.c", "int *sp_alias;\n"
+                                 "void other_file_use(void) { sp_alias = 0; }"));
+  ASSERT_TRUE(T.addBuiltinChecker("free"));
+  T.run(EngineOptions());
+  ASSERT_EQ(T.reports().size(), 1u);
+  EXPECT_EQ(T.reports().reports()[0].FunctionName, "top");
+}
+
+TEST(FileScope, StaticActiveInSameFile) {
+  auto Msgs = runBuiltin("free", std::string(FreeDecls) +
+                                     "static int *sp;\n"
+                                     "int helper(void) { return *sp; }\n"
+                                     "int top(void) { kfree(sp); return helper(); }");
+  ASSERT_EQ(Msgs.size(), 1u);
+  EXPECT_EQ(Msgs[0], "using sp after free!");
+}
+
+//===----------------------------------------------------------------------===//
+// Top-down: functions analysed only in reachable states
+//===----------------------------------------------------------------------===//
+
+TEST(TopDown, CalleeOnlyAnalyzedInReachingStates) {
+  // leaf is only ever called with untracked pointers: a single analysis.
+  std::string Source = std::string(FreeDecls) +
+                       "int leaf(int *x) { return *x; }\n"
+                       "int t1(int *a) { return leaf(a); }\n"
+                       "int t2(int *b) { return leaf(b); }\n";
+  XgccTool T;
+  ASSERT_TRUE(T.addSource("t.c", Source));
+  ASSERT_TRUE(T.addBuiltinChecker("free"));
+  T.run(EngineOptions());
+  // t1, t2 roots; leaf analysed once, replayed once.
+  EXPECT_GE(T.stats().FunctionCacheHits, 1u);
+  EXPECT_TRUE(T.reports().size() == 0u);
+}
+
+TEST(TopDown, CallMatchedByCheckerIsNotFollowed) {
+  // If the extension matches the call itself, xgcc does not also follow it
+  // (the kfree note under Figure 5). Define kfree with a body: the match
+  // must win over following.
+  auto Msgs = runBuiltin("free",
+                         "void kfree(void *p) { /* body exists */ }\n"
+                         "int top(int *a) { kfree(a); return *a; }");
+  ASSERT_EQ(Msgs.size(), 1u);
+}
+
+TEST(TopDown, DepthLimitStopsFollowing) {
+  EngineOptions Opts;
+  Opts.MaxCallDepth = 2;
+  auto Msgs = runBuiltin("free",
+                         std::string(FreeDecls) +
+                             "int d3(int *x) { kfree(x); return 0; }\n"
+                             "int d2(int *x) { return d3(x); }\n"
+                             "int d1(int *x) { return d2(x); }\n"
+                             "int top(int *a) { d1(a); return *a; }",
+                         Opts);
+  // d3 is beyond the depth limit: the free is missed (documented
+  // approximation), but the analysis terminates cleanly.
+  EXPECT_TRUE(Msgs.empty());
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+//===- tests/metal_test.cpp - Metal language tests ----------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkers/BuiltinCheckers.h"
+
+#include <gtest/gtest.h>
+
+using namespace mc;
+
+namespace {
+
+std::unique_ptr<CheckerSpec> parseSpec(const std::string &Text,
+                                       unsigned *Errors = nullptr) {
+  static SourceManager SM; // pattern trees reference SM buffers
+  DiagnosticEngine Diags(SM);
+  auto Spec = parseMetal(Text, "<test>", SM, Diags);
+  if (Errors)
+    *Errors = Diags.errorCount();
+  return Spec;
+}
+
+TEST(MetalParser, ParsesFigure1FreeChecker) {
+  auto Spec = parseSpec(builtinCheckerSource("free"));
+  ASSERT_NE(Spec, nullptr);
+  EXPECT_EQ(Spec->Name, "free_checker");
+  EXPECT_EQ(Spec->StateVarName, "v");
+  // start + v.freed
+  ASSERT_EQ(Spec->Blocks.size(), 2u);
+  EXPECT_FALSE(Spec->Blocks[0].IsVarState);
+  EXPECT_EQ(Spec->Blocks[0].StateName, "start");
+  EXPECT_TRUE(Spec->Blocks[1].IsVarState);
+  EXPECT_EQ(Spec->Blocks[1].StateName, "freed");
+  // Figure 1's two rules plus the free() aliases and the subscript-deref
+  // extension.
+  EXPECT_EQ(Spec->Blocks[1].Transitions.size(), 4u);
+}
+
+TEST(MetalParser, ParsesFigure3LockChecker) {
+  auto Spec = parseSpec(builtinCheckerSource("lock"));
+  ASSERT_NE(Spec, nullptr);
+  EXPECT_EQ(Spec->StateVarName, "l");
+  // The trylock transition is path-specific.
+  const MetalTransition &Try = Spec->Blocks[0].Transitions[0];
+  EXPECT_TRUE(Try.PathSpecific);
+  EXPECT_EQ(Try.TrueDest.State, "locked");
+  EXPECT_TRUE(Try.TrueDest.IsVarState);
+  EXPECT_EQ(Try.FalseDest.State, "stop");
+}
+
+TEST(MetalParser, EndOfPathPattern) {
+  auto Spec = parseSpec(builtinCheckerSource("lock"));
+  ASSERT_NE(Spec, nullptr);
+  bool Found = false;
+  for (const MetalTransition &T : Spec->Blocks[1].Transitions)
+    Found |= T.Pat->mentionsEndOfPath();
+  EXPECT_TRUE(Found);
+}
+
+TEST(MetalParser, ActionsParsed) {
+  auto Spec = parseSpec(builtinCheckerSource("free"));
+  ASSERT_NE(Spec, nullptr);
+  const MetalTransition &Deref = Spec->Blocks[1].Transitions[0];
+  ASSERT_EQ(Deref.Actions.size(), 1u);
+  EXPECT_EQ(Deref.Actions[0].Fn, "err");
+  ASSERT_EQ(Deref.Actions[0].Args.size(), 2u);
+  EXPECT_EQ(Deref.Actions[0].Args[0].Kind, CalloutArg::String);
+  EXPECT_EQ(Deref.Actions[0].Args[0].Text, "using %s after free!");
+  // mc_identifier(v) unwraps to the hole v.
+  EXPECT_EQ(Deref.Actions[0].Args[1].Kind, CalloutArg::Hole);
+  EXPECT_EQ(Deref.Actions[0].Args[1].Text, "v");
+}
+
+TEST(MetalParser, MetaTypeSpellings) {
+  // Underscore and space forms both work ("any pointer" in the paper).
+  auto Spec = parseSpec("sm t;\nstate decl any pointer v;\n"
+                        "start: { *v } ==> v.stop;\n");
+  ASSERT_NE(Spec, nullptr);
+  EXPECT_EQ(Spec->Holes.find("v")->Kind, HoleExpr::AnyPointer);
+
+  auto Spec2 = parseSpec("sm t;\nstate decl any_expr e;\n"
+                         "start: { (e) } ==> stop;\n");
+  ASSERT_NE(Spec2, nullptr);
+  EXPECT_EQ(Spec2->Holes.find("e")->Kind, HoleExpr::AnyExpr);
+}
+
+TEST(MetalParser, CTypeHoles) {
+  auto Spec = parseSpec("sm t;\nstate decl char *s;\n"
+                        "start: { puts(s) } ==> s.seen;\ns.seen: { (s) } ==> s.stop;\n");
+  ASSERT_NE(Spec, nullptr);
+  const PatternHoles::Hole *H = Spec->Holes.find("s");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->Kind, HoleExpr::CType);
+  ASSERT_NE(H->DeclaredTy, nullptr);
+  EXPECT_TRUE(H->DeclaredTy->isPointer());
+}
+
+TEST(MetalParser, CalloutsInPatterns) {
+  auto Spec = parseSpec(
+      "sm t;\ndecl any_fn_call fn;\ndecl any_arguments args;\n"
+      "start: { fn(args) } && ${ mc_is_call_to(fn, \"gets\") } ==> start, "
+      "{ err(\"never use gets()\"); };\n");
+  ASSERT_NE(Spec, nullptr);
+  EXPECT_EQ(Spec->Blocks[0].Transitions[0].Pat->patKind(), Pattern::And);
+}
+
+TEST(MetalParser, DegenerateCallouts) {
+  auto Spec = parseSpec("sm t;\nstart: ${1} ==> start | ${0} ==> start;\n");
+  ASSERT_NE(Spec, nullptr);
+  EXPECT_EQ(Spec->Blocks[0].Transitions.size(), 2u);
+}
+
+TEST(MetalParser, CommentsAllowed) {
+  auto Spec = parseSpec("// header comment\nsm t; /* block */\n"
+                        "state decl any_pointer v;\n"
+                        "start: { *v } ==> v.stop; // trailing\n");
+  ASSERT_NE(Spec, nullptr);
+}
+
+TEST(MetalParser, ErrorsReported) {
+  unsigned Errors = 0;
+  EXPECT_EQ(parseSpec("not metal at all", &Errors), nullptr);
+  EXPECT_GT(Errors, 0u);
+
+  Errors = 0;
+  EXPECT_EQ(parseSpec("sm t;\nstart: { x } ==> ;\n", &Errors), nullptr);
+  EXPECT_GT(Errors, 0u);
+
+  Errors = 0;
+  EXPECT_EQ(parseSpec("sm t;\nstate decl any_pointer v;\n"
+                      "start: { *v } ==> w.freed;\n",
+                      &Errors),
+            nullptr)
+      << "unknown state variable must be rejected";
+  EXPECT_GT(Errors, 0u);
+
+  Errors = 0;
+  EXPECT_EQ(parseSpec("sm t;\nstate decl any_pointer a;\n"
+                      "state decl any_pointer b;\nstart: {*a} ==> a.stop;\n",
+                      &Errors),
+            nullptr)
+      << "two state variables are not supported";
+}
+
+TEST(MetalParser, SourceLinesCounted) {
+  auto Spec = parseSpec(builtinCheckerSource("free"));
+  ASSERT_NE(Spec, nullptr);
+  // "extensions are small — usually between 10 and 200 lines"
+  EXPECT_GE(Spec->SourceLines, 10u);
+  EXPECT_LE(Spec->SourceLines, 200u);
+}
+
+TEST(MetalChecker, CompilesAllBuiltins) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  for (const std::string &Name : builtinCheckerNames()) {
+    auto C = makeBuiltinChecker(Name, SM, Diags);
+    ASSERT_NE(C, nullptr) << Name;
+    EXPECT_EQ(Diags.errorCount(), 0u) << Name;
+    EXPECT_FALSE(C->describe().empty());
+  }
+}
+
+TEST(MetalChecker, StateInterning) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  auto C = makeBuiltinChecker("free", SM, Diags);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->stateId("stop"), StateStop);
+  int Freed = C->stateId("freed");
+  EXPECT_GT(Freed, 0);
+  EXPECT_EQ(C->stateName(Freed), "freed");
+  EXPECT_EQ(C->stateName(StateUnknown), "unknown");
+  // The initial state is the first block's name.
+  EXPECT_EQ(C->stateName(C->initialGlobalState()), "start");
+}
+
+TEST(MetalChecker, DescribeMentionsStructure) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  auto C = makeBuiltinChecker("lock", SM, Diags);
+  ASSERT_NE(C, nullptr);
+  std::string D = C->describe();
+  EXPECT_NE(D.find("sm lock_checker"), std::string::npos);
+  EXPECT_NE(D.find("state variable: l"), std::string::npos);
+  EXPECT_NE(D.find("true=l.locked"), std::string::npos);
+}
+
+} // namespace

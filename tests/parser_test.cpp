@@ -1,0 +1,326 @@
+//===- tests/parser_test.cpp - C parser tests --------------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/ASTPrinter.h"
+#include "cfront/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mc;
+
+namespace {
+
+/// Shared parse fixture: keeps the context and source manager alive.
+struct Parsed {
+  SourceManager SM;
+  DiagnosticEngine Diags{SM};
+  ASTContext Ctx;
+  bool Ok = false;
+
+  explicit Parsed(const std::string &Text) {
+    unsigned ID = SM.addBuffer("t.c", Text);
+    Parser P(Ctx, SM, Diags, ID);
+    Ok = P.parseTranslationUnit();
+  }
+
+  FunctionDecl *fn(const char *Name) { return Ctx.findFunction(Name); }
+};
+
+TEST(Parser, FunctionDefinitionAndParams) {
+  Parsed P("int add(int a, int b) { return a + b; }");
+  ASSERT_TRUE(P.Ok);
+  FunctionDecl *F = P.fn("add");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isDefined());
+  ASSERT_EQ(F->numParams(), 2u);
+  EXPECT_EQ(F->param(0)->name(), "a");
+  EXPECT_TRUE(F->returnType()->isInteger());
+}
+
+TEST(Parser, PrototypeThenDefinitionMerge) {
+  Parsed P("int f(int x);\nint f(int x) { return x; }");
+  ASSERT_TRUE(P.Ok);
+  FunctionDecl *F = P.fn("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isDefined());
+  // Only one FunctionDecl exists.
+  unsigned Count = 0;
+  for (const FunctionDecl *FD : P.Ctx.functions())
+    if (FD->name() == "f")
+      ++Count;
+  EXPECT_EQ(Count, 1u);
+}
+
+TEST(Parser, PointerAndArrayDeclarators) {
+  Parsed P("int *p; int a[3]; int m[2][4]; char **argv;");
+  ASSERT_TRUE(P.Ok);
+  const auto &Top = P.Ctx.topLevelDecls();
+  ASSERT_EQ(Top.size(), 4u);
+  EXPECT_TRUE(cast<VarDecl>(Top[0])->type()->isPointer());
+  const auto *Arr = cast<ArrayType>(cast<VarDecl>(Top[1])->type());
+  EXPECT_EQ(Arr->size(), 3u);
+  const auto *Mat = cast<ArrayType>(cast<VarDecl>(Top[2])->type());
+  EXPECT_EQ(Mat->size(), 2u);
+  EXPECT_EQ(cast<ArrayType>(Mat->element())->size(), 4u);
+  const auto *PP = cast<PointerType>(cast<VarDecl>(Top[3])->type());
+  EXPECT_TRUE(PP->pointee()->isPointer());
+}
+
+TEST(Parser, FunctionPointerDeclarator) {
+  Parsed P("int (*handler)(int, char *);");
+  ASSERT_TRUE(P.Ok);
+  const auto *VD = cast<VarDecl>(P.Ctx.topLevelDecls()[0]);
+  const auto *PT = dyn_cast<PointerType>(VD->type());
+  ASSERT_NE(PT, nullptr);
+  const auto *FT = dyn_cast<FunctionType>(PT->pointee());
+  ASSERT_NE(FT, nullptr);
+  EXPECT_EQ(FT->params().size(), 2u);
+}
+
+TEST(Parser, StructDefinitionAndMemberTypes) {
+  Parsed P("struct buf { int len; char *data; struct buf *next; };\n"
+           "int use(struct buf *b) { return b->len + b->data[0]; }");
+  ASSERT_TRUE(P.Ok);
+  RecordType *RT = P.Ctx.types().findRecord("buf");
+  ASSERT_NE(RT, nullptr);
+  EXPECT_TRUE(RT->isComplete());
+  ASSERT_EQ(RT->fields().size(), 3u);
+  EXPECT_EQ(RT->findField("next")->Ty->pointeeOrElement(), RT);
+}
+
+TEST(Parser, UnionAndBitfields) {
+  Parsed P("union u { int i; char c; };\nstruct flags { int a : 2; int b : 3; };");
+  ASSERT_TRUE(P.Ok);
+  RecordType *U = P.Ctx.types().findRecord("u");
+  ASSERT_NE(U, nullptr);
+  EXPECT_TRUE(U->isUnion());
+  RecordType *F = P.Ctx.types().findRecord("flags");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->fields().size(), 2u);
+}
+
+TEST(Parser, EnumValuesExplicitAndImplicit) {
+  Parsed P("enum color { RED, GREEN = 5, BLUE };\nint x = BLUE;");
+  ASSERT_TRUE(P.Ok);
+  const EnumDecl *ED = nullptr;
+  for (const Decl *D : P.Ctx.topLevelDecls())
+    if (const auto *E = dyn_cast<EnumDecl>(D))
+      ED = E;
+  ASSERT_NE(ED, nullptr);
+  ASSERT_EQ(ED->constants().size(), 3u);
+  EXPECT_EQ(ED->constants()[0]->value(), 0);
+  EXPECT_EQ(ED->constants()[1]->value(), 5);
+  EXPECT_EQ(ED->constants()[2]->value(), 6);
+}
+
+TEST(Parser, TypedefParsing) {
+  Parsed P("typedef unsigned long size_t;\ntypedef struct node { int v; } node_t;\n"
+           "size_t n; node_t *head;");
+  ASSERT_TRUE(P.Ok);
+  const auto &Top = P.Ctx.topLevelDecls();
+  // size_t typedef, node RecordDecl, node_t typedef, n, head
+  const VarDecl *N = nullptr, *Head = nullptr;
+  for (const Decl *D : Top) {
+    if (const auto *VD = dyn_cast<VarDecl>(D)) {
+      if (VD->name() == "n")
+        N = VD;
+      if (VD->name() == "head")
+        Head = VD;
+    }
+  }
+  ASSERT_NE(N, nullptr);
+  EXPECT_TRUE(N->type()->isInteger());
+  ASSERT_NE(Head, nullptr);
+  EXPECT_TRUE(Head->type()->isPointer());
+  EXPECT_TRUE(Head->type()->pointeeOrElement()->isRecord());
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  Parsed P("int f(int a, int b, int c) { return a + b * c - a / b; }");
+  ASSERT_TRUE(P.Ok);
+  const auto *Body = P.fn("f")->body();
+  const auto *Ret = cast<ReturnStmt>(Body->body()[0]);
+  EXPECT_EQ(printExpr(Ret->value()), "(a + (b * c)) - (a / b)");
+}
+
+TEST(Parser, AssignmentIsRightAssociative) {
+  Parsed P("int f(int a, int b) { a = b = 1; return a; }");
+  ASSERT_TRUE(P.Ok);
+  const auto *Assign =
+      cast<BinaryOperator>(P.fn("f")->body()->body()[0]);
+  EXPECT_EQ(Assign->opcode(), BinaryOperator::Assign);
+  EXPECT_EQ(printExpr(Assign), "a = (b = 1)");
+}
+
+TEST(Parser, UnaryAndPostfixChains) {
+  Parsed P("int f(int *p, int i) { return *p + p[i] + -i + !i + ~i + i++; }");
+  ASSERT_TRUE(P.Ok);
+}
+
+TEST(Parser, TernaryAndComma) {
+  Parsed P("int f(int a, int b) { return a ? b : (a, b); }");
+  ASSERT_TRUE(P.Ok);
+  const auto *Ret = cast<ReturnStmt>(P.fn("f")->body()->body()[0]);
+  EXPECT_TRUE(isa<ConditionalExpr>(Ret->value()));
+}
+
+TEST(Parser, CastVsParenExpr) {
+  Parsed P("typedef int myint;\n"
+           "int f(char c, int x) { return (myint)c + (x) * 2; }");
+  ASSERT_TRUE(P.Ok);
+  const auto *Ret = cast<ReturnStmt>(P.fn("f")->body()->body()[0]);
+  const auto *Add = cast<BinaryOperator>(Ret->value());
+  EXPECT_TRUE(isa<CastExpr>(Add->lhs()));
+}
+
+TEST(Parser, SizeofBothForms) {
+  Parsed P("int f(int x) { return sizeof(int) + sizeof x; }");
+  ASSERT_TRUE(P.Ok);
+  const auto *Ret = cast<ReturnStmt>(P.fn("f")->body()->body()[0]);
+  const auto *Add = cast<BinaryOperator>(Ret->value());
+  EXPECT_NE(cast<SizeofExpr>(Add->lhs())->argType(), nullptr);
+  EXPECT_NE(cast<SizeofExpr>(Add->rhs())->argExpr(), nullptr);
+}
+
+TEST(Parser, StringLiteralConcatenation) {
+  Parsed P("char *s = \"ab\" \"cd\";");
+  ASSERT_TRUE(P.Ok);
+  const auto *VD = cast<VarDecl>(P.Ctx.topLevelDecls()[0]);
+  EXPECT_EQ(cast<StringLiteral>(VD->init())->value(), "abcd");
+}
+
+TEST(Parser, ControlFlowStatements) {
+  Parsed P("int f(int n) {\n"
+           "  int s = 0;\n"
+           "  for (int i = 0; i < n; i++) s += i;\n"
+           "  while (n > 0) { n--; if (n == 3) continue; }\n"
+           "  do { s++; } while (s < 10);\n"
+           "  switch (n) { case 0: s = 1; break; case 1: case 2: s = 2; break; default: s = 3; }\n"
+           "  goto out;\n"
+           "out: return s;\n"
+           "}");
+  ASSERT_TRUE(P.Ok);
+}
+
+TEST(Parser, LocalDeclWithInitializerList) {
+  Parsed P("int f(void) { int a[3] = {1, 2, 3}; struct { int x, y; } p = {4, 5}; return a[0]; }");
+  ASSERT_TRUE(P.Ok);
+}
+
+TEST(Parser, DesignatedInitializersSkipped) {
+  Parsed P("struct pt { int x, y; };\nstruct pt p = { .x = 1, .y = 2 };\n"
+           "int a[4] = { [2] = 7 };");
+  ASSERT_TRUE(P.Ok);
+}
+
+TEST(Parser, ImplicitFunctionDeclarationWarns) {
+  Parsed P("int f(void) { return mystery(42); }");
+  EXPECT_TRUE(P.Ok); // Warnings, not errors.
+  bool SawWarning = false;
+  for (const Diagnostic &D : P.Diags.all())
+    if (D.Kind == DiagKind::Warning &&
+        D.Message.find("implicit declaration") != std::string::npos)
+      SawWarning = true;
+  EXPECT_TRUE(SawWarning);
+  EXPECT_NE(P.fn("mystery"), nullptr);
+}
+
+TEST(Parser, ErrorRecoveryContinuesParsing) {
+  Parsed P("int f( { return 1; }\nint g(void) { return 2; }");
+  EXPECT_FALSE(P.Ok);
+  // g must still be visible despite the error in f.
+  EXPECT_NE(P.fn("g"), nullptr);
+}
+
+TEST(Parser, StaticFunctionsAreFileStatic) {
+  Parsed P("static int helper(void) { return 1; }\nint api(void) { return helper(); }");
+  ASSERT_TRUE(P.Ok);
+  EXPECT_TRUE(P.fn("helper")->isFileStatic());
+  EXPECT_FALSE(P.fn("api")->isFileStatic());
+}
+
+TEST(Parser, GlobalStorageClasses) {
+  Parsed P("int global_v;\nstatic int file_v;\n"
+           "int f(void) { int local_v = 0; return global_v + file_v + local_v; }");
+  ASSERT_TRUE(P.Ok);
+  const VarDecl *G = nullptr, *S = nullptr;
+  for (const Decl *D : P.Ctx.topLevelDecls())
+    if (const auto *VD = dyn_cast<VarDecl>(D)) {
+      if (VD->name() == "global_v")
+        G = VD;
+      if (VD->name() == "file_v")
+        S = VD;
+    }
+  ASSERT_NE(G, nullptr);
+  EXPECT_EQ(G->storage(), VarDecl::Global);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->storage(), VarDecl::FileStatic);
+}
+
+TEST(Parser, MemberExpressionTypes) {
+  Parsed P("struct s { int n; char *name; };\n"
+           "char g(struct s *p, struct s v) { return p->name[0] + v.n; }");
+  ASSERT_TRUE(P.Ok);
+}
+
+TEST(Parser, TypeOfDereference) {
+  Parsed P("int f(int **pp) { return **pp; }");
+  ASSERT_TRUE(P.Ok);
+  const auto *Ret = cast<ReturnStmt>(P.fn("f")->body()->body()[0]);
+  EXPECT_TRUE(Ret->value()->type()->isInteger());
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern-mode parsing
+//===----------------------------------------------------------------------===//
+
+TEST(PatternParse, HoleBecomesHoleExpr) {
+  Parsed P(""); // context only
+  PatternHoles Holes;
+  Holes.Holes["v"] = {HoleExpr::AnyPointer, nullptr};
+  unsigned ID = P.SM.addBuffer("pat", "kfree(v)");
+  Parser Pat(P.Ctx, P.SM, P.Diags, ID);
+  const Expr *E = Pat.parsePatternExpr(Holes);
+  ASSERT_NE(E, nullptr);
+  const auto *CE = cast<CallExpr>(E);
+  EXPECT_EQ(CE->calleeName(), "kfree");
+  ASSERT_EQ(CE->numArgs(), 1u);
+  const auto *H = cast<HoleExpr>(CE->arg(0));
+  EXPECT_EQ(H->holeName(), "v");
+  EXPECT_EQ(H->holeKind(), HoleExpr::AnyPointer);
+}
+
+TEST(PatternParse, UnknownIdentifiersAreNamedWildcards) {
+  Parsed P("");
+  PatternHoles Holes;
+  unsigned ID = P.SM.addBuffer("pat", "spin_lock(x)");
+  Parser Pat(P.Ctx, P.SM, P.Diags, ID);
+  const Expr *E = Pat.parsePatternExpr(Holes);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(P.Diags.errorCount(), 0u); // No "undeclared" errors in patterns.
+}
+
+TEST(PatternParse, StatementPattern) {
+  Parsed P("");
+  PatternHoles Holes;
+  Holes.Holes["x"] = {HoleExpr::AnyExpr, nullptr};
+  unsigned ID = P.SM.addBuffer("pat", "return x;");
+  Parser Pat(P.Ctx, P.SM, P.Diags, ID);
+  const Stmt *S = Pat.parsePatternStmt(Holes);
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(isa<ReturnStmt>(S));
+}
+
+TEST(PatternParse, TypeOnly) {
+  Parsed P("struct sk_buff { int len; };");
+  unsigned ID = P.SM.addBuffer("ty", "struct sk_buff *");
+  Parser Pat(P.Ctx, P.SM, P.Diags, ID);
+  const Type *Ty = Pat.parseTypeOnly();
+  ASSERT_NE(Ty, nullptr);
+  EXPECT_TRUE(Ty->isPointer());
+}
+
+} // namespace

@@ -1,0 +1,296 @@
+//===- tests/pattern_test.cpp - Metal pattern matching tests ------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers Table 1 (hole types and what they match), repeated-hole
+// equivalence, logical connectives, and callouts (Section 4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/ASTPrinter.h"
+#include "cfront/ASTUtils.h"
+#include "cfront/Parser.h"
+#include "metal/Pattern.h"
+
+#include <gtest/gtest.h>
+
+using namespace mc;
+
+namespace {
+
+/// Parses a pattern and a target expression in separate contexts (as in
+/// production: patterns live in the checker, targets in the source base) and
+/// reports whether the pattern matches the target's root.
+class PatternLab {
+public:
+  const Expr *parseTarget(const std::string &Text) {
+    std::string Name = "t" + std::to_string(Counter++);
+    std::string Src =
+        "struct buf { int len; char *data; };\n"
+        "int x; int y; double d; int *ip; char *cp; void *vp;\n"
+        "struct buf *bp; int arr[4];\n"
+        "int rand(void); int foo(int a, int b); void kfree(void *p);\n"
+        "int " + Name + "(void) { return (int)(" + Text + "); }";
+    unsigned ID = SM.addBuffer("t.c", Src);
+    Parser P(TargetCtx, SM, TargetDiags, ID);
+    EXPECT_TRUE(P.parseTranslationUnit()) << Text;
+    const auto *Ret =
+        cast<ReturnStmt>(TargetCtx.findFunction(Name)->body()->body()[0]);
+    // Strip the outer (int) cast we added for type safety.
+    return cast<CastExpr>(Ret->value())->sub();
+  }
+
+  const Expr *parsePattern(const std::string &Text, const PatternHoles &Holes) {
+    unsigned ID = SM.addBuffer("pat", Text);
+    Parser P(PatternCtx, SM, PatternDiags, ID);
+    return P.parsePatternExpr(Holes);
+  }
+
+  bool matches(const std::string &PatternText, const PatternHoles &Holes,
+               const std::string &TargetText, Bindings *BOut = nullptr) {
+    const Expr *Pat = parsePattern(PatternText, Holes);
+    EXPECT_NE(Pat, nullptr) << PatternText;
+    if (!Pat)
+      return false;
+    const Expr *Target = parseTarget(TargetText);
+    Bindings B;
+    bool Result = unifyPattern(Pat, Target, B);
+    if (BOut)
+      *BOut = B;
+    return Result;
+  }
+
+  SourceManager SM;
+  DiagnosticEngine TargetDiags{SM};
+  DiagnosticEngine PatternDiags{SM};
+  ASTContext TargetCtx;
+  ASTContext PatternCtx;
+  unsigned Counter = 0;
+};
+
+PatternHoles holes(std::initializer_list<std::pair<const char *, HoleExpr::HoleKind>> Hs) {
+  PatternHoles Out;
+  for (auto &[Name, Kind] : Hs)
+    Out.Holes[Name] = {Kind, nullptr};
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Basic syntactic matching
+//===----------------------------------------------------------------------===//
+
+TEST(Pattern, LiteralCallMatches) {
+  PatternLab L;
+  EXPECT_TRUE(L.matches("rand()", {}, "rand()"));
+  EXPECT_FALSE(L.matches("rand()", {}, "foo(1, 2)"));
+}
+
+TEST(Pattern, SpacingDoesNotMatter) {
+  PatternLab L;
+  // "Because we match ASTs, spaces and other lexical artifacts do not
+  // interfere with matching."
+  EXPECT_TRUE(L.matches("foo( x , y )", {}, "foo(x,y)"));
+}
+
+TEST(Pattern, ArgumentArityMustAgree) {
+  PatternLab L;
+  EXPECT_FALSE(L.matches("foo(x)", {}, "foo(x, y)"));
+}
+
+//===----------------------------------------------------------------------===//
+// Table 1: hole types
+//===----------------------------------------------------------------------===//
+
+TEST(Pattern, AnyPointerMatchesPointersOfAnyType) {
+  PatternLab L;
+  auto H = holes({{"v", HoleExpr::AnyPointer}});
+  EXPECT_TRUE(L.matches("kfree(v)", H, "kfree(ip)"));
+  EXPECT_TRUE(L.matches("kfree(v)", H, "kfree(cp)"));
+  EXPECT_TRUE(L.matches("kfree(v)", H, "kfree(vp)"));
+  EXPECT_TRUE(L.matches("kfree(v)", H, "kfree(bp)"));
+  EXPECT_TRUE(L.matches("kfree(v)", H, "kfree(arr)")); // arrays decay
+  EXPECT_FALSE(L.matches("kfree(v)", H, "kfree(x)"));  // int is not a pointer
+}
+
+TEST(Pattern, AnyScalarMatchesScalars) {
+  PatternLab L;
+  auto H = holes({{"s", HoleExpr::AnyScalar}});
+  EXPECT_TRUE(L.matches("foo(s, y)", H, "foo(x, y)"));
+  EXPECT_TRUE(L.matches("foo(s, y)", H, "foo((int)d, y)"));
+  EXPECT_FALSE(L.matches("foo(s, y)", H, "foo(ip, y)" ) &&
+               true); // pointer is not a scalar — see below
+}
+
+TEST(Pattern, AnyScalarRejectsPointer) {
+  PatternLab L;
+  auto H = holes({{"s", HoleExpr::AnyScalar}});
+  EXPECT_FALSE(L.matches("foo(s, y)", H, "foo(ip, y)"));
+}
+
+TEST(Pattern, AnyExprMatchesEverything) {
+  PatternLab L;
+  auto H = holes({{"e", HoleExpr::AnyExpr}});
+  EXPECT_TRUE(L.matches("foo(e, y)", H, "foo(x + y * 2, y)"));
+  EXPECT_TRUE(L.matches("foo(e, y)", H, "foo(bp, y)"));
+}
+
+TEST(Pattern, AnyFnCallInCalleePosition) {
+  PatternLab L;
+  auto H = holes({{"fn", HoleExpr::AnyFnCall}, {"args", HoleExpr::AnyArguments}});
+  Bindings B;
+  EXPECT_TRUE(L.matches("fn(args)", H, "foo(x, y)", &B));
+  // fn binds to the whole call so callouts can inspect it.
+  ASSERT_TRUE(B.count("fn"));
+  EXPECT_TRUE(isa<CallExpr>(B.at("fn")));
+}
+
+TEST(Pattern, AnyFnCallStandalone) {
+  PatternLab L;
+  auto H = holes({{"fn", HoleExpr::AnyFnCall}});
+  EXPECT_TRUE(L.matches("fn", H, "rand()"));
+  EXPECT_FALSE(L.matches("fn", H, "x"));
+}
+
+TEST(Pattern, AnyArgumentsSwallowsArgumentList) {
+  PatternLab L;
+  auto H = holes({{"args", HoleExpr::AnyArguments}});
+  EXPECT_TRUE(L.matches("foo(args)", H, "foo(x, y)"));
+  EXPECT_TRUE(L.matches("foo(args)", H, "foo(x)"));
+  EXPECT_TRUE(L.matches("foo(args)", H, "foo()"));
+  // Fixed prefix + args tail.
+  auto H2 = holes({{"args", HoleExpr::AnyArguments}});
+  EXPECT_TRUE(L.matches("foo(x, args)", H2, "foo(x, y)"));
+  EXPECT_FALSE(L.matches("foo(y, args)", H2, "foo(x, y)"));
+}
+
+TEST(Pattern, CTypedHole) {
+  PatternLab L;
+  PatternHoles H;
+  // Parse "char *" into the pattern context.
+  SourceManager &SM = L.SM;
+  unsigned ID = SM.addBuffer("ty", "char *");
+  Parser TP(L.PatternCtx, SM, L.PatternDiags, ID);
+  const Type *CharPtr = TP.parseTypeOnly();
+  ASSERT_NE(CharPtr, nullptr);
+  H.Holes["c"] = {HoleExpr::CType, CharPtr};
+  EXPECT_TRUE(L.matches("kfree(c)", H, "kfree(cp)"));
+  EXPECT_FALSE(L.matches("kfree(c)", H, "kfree(ip)"));
+}
+
+//===----------------------------------------------------------------------===//
+// Repeated holes and binding
+//===----------------------------------------------------------------------===//
+
+TEST(Pattern, RepeatedHolesRequireEquivalentTrees) {
+  PatternLab L;
+  auto H = holes({{"a", HoleExpr::AnyExpr}});
+  // "{foo(x,x)} matches foo(0,0) and foo(a[i],a[i]), but not foo(0,1)."
+  EXPECT_TRUE(L.matches("foo(a, a)", H, "foo(0, 0)"));
+  EXPECT_TRUE(L.matches("foo(a, a)", H, "foo(arr[x], arr[x])"));
+  EXPECT_FALSE(L.matches("foo(a, a)", H, "foo(0, 1)"));
+}
+
+TEST(Pattern, BindingStripsCasts) {
+  PatternLab L;
+  auto H = holes({{"v", HoleExpr::AnyPointer}});
+  Bindings B;
+  ASSERT_TRUE(L.matches("kfree(v)", H, "kfree((void *)ip)", &B));
+  EXPECT_EQ(printExpr(B.at("v")), "ip");
+}
+
+TEST(Pattern, DerefPattern) {
+  PatternLab L;
+  auto H = holes({{"v", HoleExpr::AnyPointer}});
+  Bindings B;
+  EXPECT_TRUE(L.matches("*v", H, "*ip", &B));
+  EXPECT_EQ(printExpr(B.at("v")), "ip");
+  EXPECT_FALSE(L.matches("*v", H, "x + 1"));
+}
+
+TEST(Pattern, AssignmentPattern) {
+  PatternLab L;
+  auto H = holes({{"v", HoleExpr::AnyPointer},
+                  {"args", HoleExpr::AnyArguments}});
+  Bindings B;
+  EXPECT_TRUE(L.matches("v = foo(args)", H, "ip = foo(1, 2)", &B));
+  EXPECT_EQ(printExpr(B.at("v")), "ip");
+}
+
+//===----------------------------------------------------------------------===//
+// Connectives and callouts
+//===----------------------------------------------------------------------===//
+
+TEST(Pattern, OrTriesAlternatives) {
+  PatternLab L;
+  auto P1 = Pattern::makeBase(L.parsePattern("rand()", {}));
+  auto P2 = Pattern::makeBase(L.parsePattern("foo(x, y)", {}));
+  auto Or = Pattern::makeOr(std::move(P1), std::move(P2));
+  Bindings B;
+  CalloutEnv Env;
+  EXPECT_TRUE(Or->match(L.parseTarget("foo(x, y)"), B, Env));
+  EXPECT_TRUE(Or->match(L.parseTarget("rand()"), B, Env));
+  EXPECT_FALSE(Or->match(L.parseTarget("x"), B, Env));
+}
+
+TEST(Pattern, AndSharesBindings) {
+  PatternLab L;
+  auto H = holes({{"fn", HoleExpr::AnyFnCall}, {"args", HoleExpr::AnyArguments}});
+  auto Base = Pattern::makeBase(L.parsePattern("fn(args)", H));
+  std::vector<CalloutArg> Args;
+  Args.push_back(CalloutArg{CalloutArg::Hole, "fn", 0});
+  Args.push_back(CalloutArg{CalloutArg::String, "rand", 0});
+  auto Callout = Pattern::makeCallout("mc_is_call_to", std::move(Args));
+  auto And = Pattern::makeAnd(std::move(Base), std::move(Callout));
+  Bindings B;
+  CalloutEnv Env;
+  EXPECT_TRUE(And->match(L.parseTarget("rand()"), B, Env));
+  Bindings B2;
+  EXPECT_FALSE(And->match(L.parseTarget("foo(1, 2)"), B2, Env));
+}
+
+TEST(Pattern, DegenerateCallouts) {
+  PatternLab L;
+  auto TruePat = Pattern::makeCallout("mc_true", {});
+  auto FalsePat = Pattern::makeCallout("mc_false", {});
+  Bindings B;
+  CalloutEnv Env;
+  EXPECT_TRUE(TruePat->match(L.parseTarget("x"), B, Env));
+  EXPECT_FALSE(FalsePat->match(L.parseTarget("x"), B, Env));
+}
+
+TEST(Pattern, NullConstantCallout) {
+  PatternLab L;
+  auto H = holes({{"e", HoleExpr::AnyExpr}});
+  auto Base = Pattern::makeBase(L.parsePattern("foo(e, y)", H));
+  std::vector<CalloutArg> Args{CalloutArg{CalloutArg::Hole, "e", 0}};
+  auto Callout = Pattern::makeCallout("mc_is_null_constant", std::move(Args));
+  auto And = Pattern::makeAnd(std::move(Base), std::move(Callout));
+  Bindings B;
+  CalloutEnv Env;
+  EXPECT_TRUE(And->match(L.parseTarget("foo(0, y)"), B, Env));
+  Bindings B2;
+  EXPECT_FALSE(And->match(L.parseTarget("foo(1, y)"), B2, Env));
+}
+
+TEST(Pattern, UnknownCalloutNeverMatches) {
+  auto P = Pattern::makeCallout("mc_no_such_callout", {});
+  Bindings B;
+  CalloutEnv Env;
+  EXPECT_FALSE(P->match(nullptr, B, Env));
+}
+
+TEST(Pattern, EndOfPathNeverMatchesPoints) {
+  PatternLab L;
+  auto P = Pattern::makeEndOfPath();
+  EXPECT_TRUE(P->mentionsEndOfPath());
+  Bindings B;
+  CalloutEnv Env;
+  EXPECT_FALSE(P->match(L.parseTarget("x"), B, Env));
+  auto Or = Pattern::makeOr(Pattern::makeEndOfPath(),
+                            Pattern::makeCallout("mc_true", {}));
+  EXPECT_TRUE(Or->mentionsEndOfPath());
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+//===- tests/preprocessor_test.cpp - Preprocessor tests ----------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Preprocessor.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace mc;
+
+namespace {
+
+/// Preprocesses \p Text and returns the output with collapsed whitespace so
+/// tests are layout-insensitive.
+std::string ppCollapsed(const std::string &Text,
+                        unsigned *ErrorsOut = nullptr) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  Preprocessor PP(SM, Diags);
+  unsigned ID = PP.preprocessBuffer("t.c", Text);
+  if (ErrorsOut)
+    *ErrorsOut = Diags.errorCount();
+  std::string Out;
+  for (std::string_view Piece : splitString(SM.bufferText(ID), '\n')) {
+    std::string_view Trimmed = trim(Piece);
+    if (Trimmed.empty())
+      continue;
+    if (!Out.empty())
+      Out += ' ';
+    Out += Trimmed;
+  }
+  // Squeeze interior runs of blanks: macro substitution preserves layout.
+  std::string Squeezed;
+  for (char C : Out)
+    if (C != ' ' || Squeezed.empty() || Squeezed.back() != ' ')
+      Squeezed += C;
+  return Squeezed;
+}
+
+TEST(Preprocessor, ObjectMacroExpansion) {
+  EXPECT_EQ(ppCollapsed("#define N 10\nint a[N];"), "int a[10];");
+}
+
+TEST(Preprocessor, MacroInsideStringNotExpanded) {
+  EXPECT_EQ(ppCollapsed("#define N 10\nchar *s = \"N\";"),
+            "char *s = \"N\";");
+}
+
+TEST(Preprocessor, FunctionLikeMacro) {
+  EXPECT_EQ(ppCollapsed("#define SQ(x) ((x)*(x))\nint y = SQ(a+1);"),
+            "int y = ((a+1)*(a+1));");
+}
+
+TEST(Preprocessor, FunctionMacroWithoutParensIsNotExpanded) {
+  EXPECT_EQ(ppCollapsed("#define F(x) x\nint F;"), "int F;");
+}
+
+TEST(Preprocessor, NestedMacros) {
+  EXPECT_EQ(ppCollapsed("#define A B\n#define B 3\nint x = A;"), "int x = 3;");
+}
+
+TEST(Preprocessor, MultiArgMacroAndCommaInParens) {
+  EXPECT_EQ(
+      ppCollapsed("#define MAX(a,b) ((a)>(b)?(a):(b))\nint m = MAX(f(1,2), 3);"),
+      "int m = ((f(1,2))>(3)?(f(1,2)):(3));");
+}
+
+TEST(Preprocessor, VariadicMacro) {
+  EXPECT_EQ(ppCollapsed("#define LOG(...) printf(__VA_ARGS__)\nLOG(\"%d\", x);"),
+            "printf(\"%d\", x);");
+}
+
+TEST(Preprocessor, UndefStopsExpansion) {
+  EXPECT_EQ(ppCollapsed("#define N 1\n#undef N\nint x = N;"), "int x = N;");
+}
+
+TEST(Preprocessor, IfdefSelectsBranch) {
+  EXPECT_EQ(ppCollapsed("#define ON 1\n#ifdef ON\nint a;\n#else\nint b;\n#endif"),
+            "int a;");
+  EXPECT_EQ(ppCollapsed("#ifdef OFF\nint a;\n#else\nint b;\n#endif"), "int b;");
+}
+
+TEST(Preprocessor, IfndefAndNesting) {
+  const char *Text = "#ifndef X\n"
+                     "#ifdef Y\nint a;\n#else\nint b;\n#endif\n"
+                     "#else\nint c;\n#endif";
+  EXPECT_EQ(ppCollapsed(Text), "int b;");
+}
+
+TEST(Preprocessor, IfArithmeticAndDefined) {
+  EXPECT_EQ(ppCollapsed("#define V 3\n#if V > 2 && defined(V)\nint a;\n#endif"),
+            "int a;");
+  EXPECT_EQ(ppCollapsed("#if 1 + 1 == 3\nint a;\n#else\nint b;\n#endif"),
+            "int b;");
+}
+
+TEST(Preprocessor, ElifChains) {
+  const char *Text = "#define V 2\n"
+                     "#if V == 1\nint a;\n"
+                     "#elif V == 2\nint b;\n"
+                     "#elif V == 3\nint c;\n"
+                     "#else\nint d;\n#endif";
+  EXPECT_EQ(ppCollapsed(Text), "int b;");
+}
+
+TEST(Preprocessor, TernaryInCondition) {
+  EXPECT_EQ(ppCollapsed("#if 1 ? 0 : 1\nint a;\n#else\nint b;\n#endif"),
+            "int b;");
+}
+
+TEST(Preprocessor, LineContinuation) {
+  EXPECT_EQ(ppCollapsed("#define LONG a + \\\n  b\nint x = LONG;"),
+            "int x = a + b;");
+}
+
+TEST(Preprocessor, UnterminatedIfIsAnError) {
+  unsigned Errors = 0;
+  ppCollapsed("#ifdef X\nint a;", &Errors);
+  EXPECT_GT(Errors, 0u);
+}
+
+TEST(Preprocessor, ElseWithoutIfIsAnError) {
+  unsigned Errors = 0;
+  ppCollapsed("#else\n", &Errors);
+  EXPECT_GT(Errors, 0u);
+}
+
+TEST(Preprocessor, ErrorDirectiveReports) {
+  unsigned Errors = 0;
+  ppCollapsed("#error doom\n", &Errors);
+  EXPECT_GT(Errors, 0u);
+}
+
+TEST(Preprocessor, InactiveBlocksSuppressDirectives) {
+  unsigned Errors = 0;
+  // The #error inside the dead branch must not fire.
+  EXPECT_EQ(ppCollapsed("#if 0\n#error nope\n#endif\nint x;", &Errors),
+            "int x;");
+  EXPECT_EQ(Errors, 0u);
+}
+
+TEST(Preprocessor, PredefinedMacros) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  Preprocessor PP(SM, Diags);
+  PP.define("MODE", "7");
+  unsigned ID = PP.preprocessBuffer("t.c", "int m = MODE;");
+  EXPECT_NE(SM.bufferText(ID).find("int m = 7;"), std::string::npos);
+  EXPECT_TRUE(PP.isDefined("MODE"));
+}
+
+TEST(Preprocessor, IncludeSplicesFile) {
+  // Write a temp header, include it by absolute path.
+  std::string Dir = ::testing::TempDir();
+  std::string Header = Dir + "/mc_pp_test.h";
+  FILE *F = fopen(Header.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  fputs("int from_header;\n", F);
+  fclose(F);
+
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  Preprocessor PP(SM, Diags);
+  PP.addIncludeDir(Dir);
+  unsigned ID = PP.preprocessBuffer(
+      "t.c", "#include \"mc_pp_test.h\"\nint after;\n");
+  std::string_view Out = SM.bufferText(ID);
+  EXPECT_NE(Out.find("int from_header;"), std::string_view::npos);
+  EXPECT_NE(Out.find("int after;"), std::string_view::npos);
+  EXPECT_EQ(Diags.errorCount(), 0u);
+  remove(Header.c_str());
+}
+
+TEST(Preprocessor, MissingIncludeIsAnError) {
+  unsigned Errors = 0;
+  ppCollapsed("#include \"no/such/file.h\"\n", &Errors);
+  EXPECT_GT(Errors, 0u);
+}
+
+TEST(Preprocessor, IncludeGuardIdiom) {
+  std::string Dir = ::testing::TempDir();
+  std::string Header = Dir + "/mc_guarded.h";
+  FILE *F = fopen(Header.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  fputs("#ifndef GUARD_H\n#define GUARD_H\nint once;\n#endif\n", F);
+  fclose(F);
+
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  Preprocessor PP(SM, Diags);
+  PP.addIncludeDir(Dir);
+  unsigned ID = PP.preprocessBuffer(
+      "t.c", "#include \"mc_guarded.h\"\n#include \"mc_guarded.h\"\n");
+  std::string_view Out = SM.bufferText(ID);
+  size_t First = Out.find("int once;");
+  ASSERT_NE(First, std::string_view::npos);
+  EXPECT_EQ(Out.find("int once;", First + 1), std::string_view::npos);
+  remove(Header.c_str());
+}
+
+} // namespace
+
+namespace {
+
+TEST(Preprocessor, StringizeOperator) {
+  EXPECT_EQ(ppCollapsed("#define STR(x) #x\nchar *s = STR(hello world);"),
+            "char *s = \"hello world\";");
+  EXPECT_EQ(ppCollapsed("#define STR(x) #x\nchar *s = STR(a + b);"),
+            "char *s = \"a + b\";");
+}
+
+TEST(Preprocessor, StringizeEscapesQuotes) {
+  EXPECT_EQ(ppCollapsed("#define STR(x) #x\nchar *s = STR(say \"hi\");"),
+            "char *s = \"say \\\"hi\\\"\";");
+}
+
+TEST(Preprocessor, PasteOperator) {
+  EXPECT_EQ(ppCollapsed("#define GLUE(a, b) a ## b\nint GLUE(var, 3) = 1;"),
+            "int var3 = 1;");
+  EXPECT_EQ(ppCollapsed("#define FIELD(n) s.field_ ## n\nint x = FIELD(two);"),
+            "int x = s.field_two;");
+}
+
+TEST(Preprocessor, PasteBuildsCheckableCalls) {
+  // The kernel idiom: lock function names built by pasting.
+  EXPECT_EQ(ppCollapsed("#define LOCKFN(k) k ## _lock\nLOCKFN(spin)(l);"),
+            "spin_lock(l);");
+}
+
+} // namespace

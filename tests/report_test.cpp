@@ -1,0 +1,319 @@
+//===- tests/report_test.cpp - Reporting and ranking tests --------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 9: the z-statistic, the generic ranking criteria, severity
+// classes, grouping, and the Section 8 history suppression.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/History.h"
+#include "report/ReportManager.h"
+#include "support/RawOstream.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace mc;
+
+namespace {
+
+ErrorReport mkReport(const std::string &Msg, unsigned Line = 1) {
+  ErrorReport R;
+  R.CheckerName = "test";
+  R.Message = Msg;
+  R.File = "f.c";
+  R.Line = Line;
+  R.FunctionName = "fn";
+  R.ErrorLoc = SourceLoc(1, Line * 100);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// z-statistic
+//===----------------------------------------------------------------------===//
+
+TEST(ZStatistic, MatchesFormula) {
+  // z(n, e) = (e/n - p0) / sqrt(p0 (1-p0) / n), p0 = 0.5
+  EXPECT_DOUBLE_EQ(zStatistic(100, 50), 0.0);
+  EXPECT_NEAR(zStatistic(100, 90), (0.9 - 0.5) / std::sqrt(0.25 / 100), 1e-9);
+  EXPECT_GT(zStatistic(100, 99), zStatistic(10, 9));
+  EXPECT_LT(zStatistic(100, 10), 0.0);
+  EXPECT_EQ(zStatistic(0, 0), 0.0);
+}
+
+TEST(ZStatistic, MoreEvidenceMeansHigherConfidence) {
+  // Same proportion, more events: higher z.
+  EXPECT_GT(zStatistic(1000, 900), zStatistic(10, 9));
+}
+
+//===----------------------------------------------------------------------===//
+// Dedup + collection
+//===----------------------------------------------------------------------===//
+
+TEST(ReportManager, DeduplicatesSameSiteSameMessage) {
+  ReportManager RM;
+  ErrorReport A = mkReport("boom", 5);
+  A.DistanceLines = 20;
+  ErrorReport B = mkReport("boom", 5);
+  B.DistanceLines = 3; // easier to inspect: kept
+  RM.add(A);
+  RM.add(B);
+  ASSERT_EQ(RM.size(), 1u);
+  EXPECT_EQ(RM.reports()[0].DistanceLines, 3u);
+}
+
+TEST(ReportManager, DifferentSitesKept) {
+  ReportManager RM;
+  RM.add(mkReport("boom", 5));
+  RM.add(mkReport("boom", 6));
+  EXPECT_EQ(RM.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Generic ranking criteria
+//===----------------------------------------------------------------------===//
+
+TEST(Ranking, DistanceOrdersReports) {
+  ReportManager RM;
+  ErrorReport Far = mkReport("far", 1);
+  Far.DistanceLines = 200;
+  ErrorReport Near = mkReport("near", 2);
+  Near.DistanceLines = 3;
+  RM.add(Far);
+  RM.add(Near);
+  auto Order = RM.ranked(RankPolicy::Generic);
+  EXPECT_EQ(RM.reports()[Order[0]].Message, "near");
+}
+
+TEST(Ranking, ConditionalsWeighTenLines) {
+  ReportManager RM;
+  ErrorReport A = mkReport("a", 1);
+  A.DistanceLines = 25; // score 25
+  ErrorReport B = mkReport("b", 2);
+  B.DistanceLines = 1;
+  B.Conditionals = 3; // score 31
+  RM.add(A);
+  RM.add(B);
+  auto Order = RM.ranked(RankPolicy::Generic);
+  EXPECT_EQ(RM.reports()[Order[0]].Message, "a");
+}
+
+TEST(Ranking, DirectBeatsSynonymMediated) {
+  ReportManager RM;
+  ErrorReport Syn = mkReport("via synonym", 1);
+  Syn.IndirectionDepth = 2;
+  ErrorReport Direct = mkReport("direct", 2);
+  Direct.DistanceLines = 500; // even a long direct error outranks synonyms
+  RM.add(Syn);
+  RM.add(Direct);
+  auto Order = RM.ranked(RankPolicy::Generic);
+  EXPECT_EQ(RM.reports()[Order[0]].Message, "direct");
+}
+
+TEST(Ranking, LocalBeatsInterprocedural) {
+  ReportManager RM;
+  ErrorReport Global = mkReport("global", 1);
+  Global.Interprocedural = true;
+  Global.CallChainLength = 1;
+  ErrorReport Local = mkReport("local", 2);
+  Local.DistanceLines = 400;
+  RM.add(Global);
+  RM.add(Local);
+  auto Order = RM.ranked(RankPolicy::Generic);
+  EXPECT_EQ(RM.reports()[Order[0]].Message, "local");
+}
+
+TEST(Ranking, InterproceduralOrderedByCallChain) {
+  ReportManager RM;
+  ErrorReport Deep = mkReport("deep", 1);
+  Deep.Interprocedural = true;
+  Deep.CallChainLength = 5;
+  ErrorReport Shallow = mkReport("shallow", 2);
+  Shallow.Interprocedural = true;
+  Shallow.CallChainLength = 1;
+  RM.add(Deep);
+  RM.add(Shallow);
+  auto Order = RM.ranked(RankPolicy::Generic);
+  EXPECT_EQ(RM.reports()[Order[0]].Message, "shallow");
+}
+
+TEST(Ranking, SeverityClassesStratifyEverything) {
+  ReportManager RM;
+  ErrorReport Minor = mkReport("minor", 1);
+  Minor.Annotation = "MINOR";
+  ErrorReport Plain = mkReport("plain", 2);
+  Plain.Interprocedural = true; // even interprocedural beats MINOR
+  Plain.CallChainLength = 9;
+  ErrorReport Sec = mkReport("security", 3);
+  Sec.Annotation = "SECURITY";
+  Sec.DistanceLines = 999;
+  ErrorReport Err = mkReport("error-path", 4);
+  Err.Annotation = "ERROR";
+  RM.add(Minor);
+  RM.add(Plain);
+  RM.add(Sec);
+  RM.add(Err);
+  auto Order = RM.ranked(RankPolicy::Generic);
+  EXPECT_EQ(RM.reports()[Order[0]].Message, "security");
+  EXPECT_EQ(RM.reports()[Order[1]].Message, "error-path");
+  EXPECT_EQ(RM.reports()[Order[2]].Message, "plain");
+  EXPECT_EQ(RM.reports()[Order[3]].Message, "minor");
+}
+
+//===----------------------------------------------------------------------===//
+// Statistical ranking
+//===----------------------------------------------------------------------===//
+
+TEST(Ranking, StatisticalPutsReliableRulesFirst) {
+  // The Section 9 anecdote: a freeing function obeyed 99% of the time vs a
+  // "freeing" function that errors half the time (analysis mistake).
+  ReportManager RM;
+  for (int I = 0; I < 99; ++I)
+    RM.countExample("good_free");
+  RM.countViolation("good_free");
+  for (int I = 0; I < 50; ++I) {
+    RM.countExample("bogus_free");
+    RM.countViolation("bogus_free");
+  }
+  ErrorReport Real = mkReport("real bug", 1);
+  Real.RuleKey = "good_free";
+  ErrorReport Noise = mkReport("noise", 2);
+  Noise.RuleKey = "bogus_free";
+  RM.add(Noise);
+  RM.add(Real);
+  auto Order = RM.ranked(RankPolicy::Statistical);
+  EXPECT_EQ(RM.reports()[Order[0]].Message, "real bug");
+  EXPECT_GT(RM.ruleZ("good_free"), RM.ruleZ("bogus_free"));
+}
+
+TEST(Ranking, CombinedBreaksTiesGenerically) {
+  ReportManager RM;
+  RM.countExample("rule");
+  ErrorReport A = mkReport("far", 1);
+  A.RuleKey = "rule";
+  A.DistanceLines = 100;
+  ErrorReport B = mkReport("near", 2);
+  B.RuleKey = "rule";
+  B.DistanceLines = 2;
+  RM.add(A);
+  RM.add(B);
+  auto Order = RM.ranked(RankPolicy::Combined);
+  EXPECT_EQ(RM.reports()[Order[0]].Message, "near");
+}
+
+//===----------------------------------------------------------------------===//
+// Grouping
+//===----------------------------------------------------------------------===//
+
+TEST(Grouping, ByCommonAnalysisFact) {
+  ReportManager RM;
+  ErrorReport A = mkReport("a", 1);
+  A.GroupKey = "kfree";
+  ErrorReport B = mkReport("b", 2);
+  B.GroupKey = "kfree";
+  ErrorReport C = mkReport("c", 3);
+  C.GroupKey = "put_page";
+  RM.add(A);
+  RM.add(B);
+  RM.add(C);
+  auto Groups = RM.grouped();
+  ASSERT_EQ(Groups.size(), 2u);
+  EXPECT_EQ(Groups["kfree"].size(), 2u);
+  EXPECT_EQ(Groups["put_page"].size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// History suppression
+//===----------------------------------------------------------------------===//
+
+TEST(History, SuppressesByInvariantFields) {
+  ReportManager RM;
+  ErrorReport Old = mkReport("stale warning", 10);
+  ErrorReport New = mkReport("fresh bug", 20);
+  RM.add(Old);
+  RM.add(New);
+
+  HistoryFile H;
+  // Line numbers change between versions: the key must not include them.
+  ErrorReport Moved = Old;
+  Moved.Line = 99;
+  Moved.ErrorLoc = SourceLoc(1, 12345);
+  H.markFalsePositive(Moved);
+  EXPECT_TRUE(H.contains(Old));
+
+  EXPECT_EQ(H.apply(RM), 1u);
+  ASSERT_EQ(RM.size(), 1u);
+  EXPECT_EQ(RM.reports()[0].Message, "fresh bug");
+}
+
+TEST(History, SaveAndLoadRoundtrip) {
+  HistoryFile H;
+  H.markFalsePositive(mkReport("one", 1));
+  H.markFalsePositive(mkReport("two", 2));
+  std::string Path = ::testing::TempDir() + "/mc_history_test.txt";
+  ASSERT_TRUE(H.save(Path));
+
+  HistoryFile Loaded;
+  ASSERT_TRUE(Loaded.load(Path));
+  EXPECT_EQ(Loaded.size(), 2u);
+  EXPECT_TRUE(Loaded.contains(mkReport("one", 1)));
+  EXPECT_FALSE(Loaded.contains(mkReport("three", 3)));
+  remove(Path.c_str());
+}
+
+TEST(History, MissingFileIsEmpty) {
+  HistoryFile H;
+  EXPECT_FALSE(H.load("/no/such/history/file"));
+  EXPECT_EQ(H.size(), 0u);
+}
+
+TEST(Printing, RankedOutputFormat) {
+  ReportManager RM;
+  ErrorReport R = mkReport("lock never released", 42);
+  R.Annotation = "ERROR";
+  R.RuleKey = "lock";
+  RM.countExample("lock");
+  RM.add(R);
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  RM.print(OS, RankPolicy::Statistical);
+  EXPECT_NE(Buf.find("[1] <ERROR> f.c:42: in fn: [test] lock never released"),
+            std::string::npos);
+  EXPECT_NE(Buf.find("rule lock"), std::string::npos);
+}
+
+} // namespace
+
+namespace {
+
+TEST(Printing, JsonOutputWellFormed) {
+  ReportManager RM;
+  ErrorReport R = mkReport("say \"hi\"\n", 3);
+  R.Annotation = "SECURITY";
+  R.RuleKey = "rule\\key";
+  RM.countExample("rule\\key");
+  RM.add(R);
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  RM.printJson(OS, RankPolicy::Generic);
+  // Escapes applied; fields present.
+  EXPECT_NE(Buf.find("\"message\": \"say \\\"hi\\\"\\n\""), std::string::npos);
+  EXPECT_NE(Buf.find("\"rule\": \"rule\\\\key\""), std::string::npos);
+  EXPECT_NE(Buf.find("\"class\": \"SECURITY\""), std::string::npos);
+  EXPECT_EQ(Buf.front(), '[');
+  EXPECT_EQ(Buf[Buf.size() - 2], ']');
+}
+
+TEST(Printing, JsonEmptyIsEmptyArray) {
+  ReportManager RM;
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  RM.printJson(OS, RankPolicy::Generic);
+  EXPECT_EQ(Buf, "[\n]\n");
+}
+
+} // namespace

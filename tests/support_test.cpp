@@ -1,0 +1,204 @@
+//===- tests/support_test.cpp - Support library tests ------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Allocator.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/RawOstream.h"
+#include "support/SourceManager.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace mc;
+
+//===----------------------------------------------------------------------===//
+// BumpPtrAllocator
+//===----------------------------------------------------------------------===//
+
+TEST(Allocator, AlignmentRespected) {
+  BumpPtrAllocator A;
+  for (size_t Align : {1u, 2u, 4u, 8u, 16u}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u);
+  }
+}
+
+TEST(Allocator, LargeAllocationsGetTheirOwnSlab) {
+  BumpPtrAllocator A;
+  void *P = A.allocate(1 << 20);
+  ASSERT_NE(P, nullptr);
+  // The arena remains usable afterwards.
+  void *Q = A.allocate(16);
+  ASSERT_NE(Q, nullptr);
+  EXPECT_GE(A.bytesAllocated(), size_t(1 << 20) + 16);
+}
+
+TEST(Allocator, CreateConstructsObjects) {
+  BumpPtrAllocator A;
+  struct Pair {
+    int X, Y;
+  };
+  Pair *P = A.create<Pair>(Pair{1, 2});
+  EXPECT_EQ(P->X, 1);
+  EXPECT_EQ(P->Y, 2);
+}
+
+TEST(Allocator, CopyArrayCopiesContents) {
+  BumpPtrAllocator A;
+  int Src[] = {1, 2, 3, 4};
+  int *Dst = A.copyArray(Src, 4);
+  EXPECT_EQ(Dst[0], 1);
+  EXPECT_EQ(Dst[3], 4);
+  EXPECT_NE(Dst, Src);
+  EXPECT_EQ(A.copyArray(Src, 0), nullptr);
+}
+
+TEST(Allocator, ResetReleasesEverything) {
+  BumpPtrAllocator A;
+  A.allocate(1000);
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_NE(A.allocate(8), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct Base {
+  enum Kind { K_A, K_B } TheKind;
+  explicit Base(Kind K) : TheKind(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(K_A) {}
+  static bool classof(const Base *B) { return B->TheKind == K_A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(K_B) {}
+  static bool classof(const Base *B) { return B->TheKind == K_B; }
+};
+} // namespace
+
+TEST(Casting, IsaAndDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+}
+
+TEST(Casting, NullTolerantVariants) {
+  Base *Null = nullptr;
+  EXPECT_FALSE(isa_and_nonnull<DerivedA>(Null));
+  EXPECT_EQ(dyn_cast_or_null<DerivedA>(Null), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtils, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 42, "x"), "42-x");
+  // Long outputs exceed the stack buffer path.
+  std::string Long(500, 'a');
+  EXPECT_EQ(formatString("%s", Long.c_str()).size(), 500u);
+}
+
+TEST(StringUtils, SplitString) {
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "c");
+  auto WithEmpty = splitString("a,b,,c", ',', /*KeepEmpty=*/true);
+  EXPECT_EQ(WithEmpty.size(), 4u);
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(StringUtils, HashingIsStableAndSpreads) {
+  EXPECT_EQ(hashString("abc"), hashString("abc"));
+  EXPECT_NE(hashString("abc"), hashString("abd"));
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+//===----------------------------------------------------------------------===//
+// SourceManager
+//===----------------------------------------------------------------------===//
+
+TEST(SourceManager, LineAndColumnDecoding) {
+  SourceManager SM;
+  unsigned ID = SM.addBuffer("f.c", "ab\ncd\n\nxyz");
+  FullLoc L1 = SM.decode(SourceLoc(ID, 0));
+  EXPECT_EQ(L1.Line, 1u);
+  EXPECT_EQ(L1.Col, 1u);
+  FullLoc L2 = SM.decode(SourceLoc(ID, 4)); // 'd'
+  EXPECT_EQ(L2.Line, 2u);
+  EXPECT_EQ(L2.Col, 2u);
+  FullLoc L4 = SM.decode(SourceLoc(ID, 7)); // 'x'
+  EXPECT_EQ(L4.Line, 4u);
+  EXPECT_EQ(L4.Filename, "f.c");
+}
+
+TEST(SourceManager, InvalidLocationDecodesEmpty) {
+  SourceManager SM;
+  FullLoc L = SM.decode(SourceLoc());
+  EXPECT_EQ(L.Line, 0u);
+}
+
+TEST(SourceManager, MultipleBuffersKeepIdentity) {
+  SourceManager SM;
+  unsigned A = SM.addBuffer("a.c", "aaa");
+  unsigned B = SM.addBuffer("b.c", "bbb");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SM.bufferText(A), "aaa");
+  EXPECT_EQ(SM.bufferName(B), "b.c");
+  EXPECT_EQ(SM.numBuffers(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, CountsAndFormats) {
+  SourceManager SM;
+  unsigned ID = SM.addBuffer("t.c", "hello\nworld\n");
+  DiagnosticEngine Diags(SM);
+  Diags.warning(SourceLoc(ID, 6), "odd");
+  Diags.error(SourceLoc(ID, 0), "bad");
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(Diags.all().size(), 2u);
+  EXPECT_EQ(Diags.format(Diags.all()[0]), "t.c:2:1: warning: odd");
+  EXPECT_EQ(Diags.format(Diags.all()[1]), "t.c:1:1: error: bad");
+}
+
+//===----------------------------------------------------------------------===//
+// raw_ostream
+//===----------------------------------------------------------------------===//
+
+TEST(RawOstream, FormatsScalarsIntoStrings) {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  OS << "x=" << 42 << ' ' << -7ll << ' ' << 3.5 << ' ' << true;
+  EXPECT_EQ(Buf, "x=42 -7 3.5 true");
+}
+
+TEST(RawOstream, PrintfAndPadding) {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  OS.printf("%04d", 7);
+  OS.padToColumn("ab", 5);
+  OS << '|';
+  EXPECT_EQ(Buf, "0007ab   |");
+}

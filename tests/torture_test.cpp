@@ -1,0 +1,245 @@
+//===- tests/torture_test.cpp - Front-end and engine torture -------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Realistic systems-C shapes pushed through the whole pipeline at once, and
+// control-flow corner cases interacting with checker state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mc;
+using namespace mc::test;
+
+namespace {
+
+TEST(Torture, KernelishTranslationUnitParses) {
+  const char *Source = R"c(
+/* A slab of kernel-flavoured C exercising most of the grammar. */
+#define MAX_DEVS 16
+#define ARRAY_SIZE(a) (sizeof(a) / sizeof((a)[0]))
+
+typedef unsigned long size_t;
+typedef int (*irq_handler_t)(int irq, void *ctx);
+
+struct list_head { struct list_head *next, *prev; };
+
+enum dev_state { DEV_OFF, DEV_PROBING = 5, DEV_READY };
+
+struct device {
+  int id;
+  enum dev_state state;
+  struct list_head node;
+  union { int irq; void *cookie; } u;
+  unsigned flags : 4;
+  unsigned dma : 1;
+  char name[32];
+};
+
+static struct device devices[MAX_DEVS];
+static int ndevices;
+int dev_count(void);
+
+static int default_handler(int irq, void *ctx) {
+  struct device *dev = (struct device *)ctx;
+  return dev->id + irq;
+}
+
+irq_handler_t handlers[MAX_DEVS] = { default_handler };
+
+int register_device(struct device *dev, irq_handler_t fn) {
+  int i;
+  if (!dev || ndevices >= MAX_DEVS)
+    return -1;
+  for (i = 0; i < ndevices; i++) {
+    if (devices[i].id == dev->id)
+      goto duplicate;
+  }
+  devices[ndevices] = *dev;
+  handlers[ndevices] = fn ? fn : default_handler;
+  ndevices++;
+  return 0;
+duplicate:
+  return -2;
+}
+
+int dispatch(int irq) {
+  int i, handled = 0;
+  for (i = 0; i < ndevices; i++) {
+    switch (devices[i].state) {
+    case DEV_READY:
+      handled += handlers[i](irq, (void *)&devices[i]);
+      break;
+    case DEV_PROBING:
+      devices[i].state = devices[i].u.irq == irq ? DEV_READY : DEV_PROBING;
+      /* fallthrough */
+    default:
+      continue;
+    }
+  }
+  do {
+    irq >>= 1;
+  } while (irq > 0);
+  return handled ? handled : -1;
+}
+
+size_t footprint(void) {
+  return ARRAY_SIZE(devices) * sizeof(struct device) + sizeof handlers;
+}
+)c";
+  XgccTool Tool;
+  EXPECT_TRUE(Tool.addSource("kernel.c", Source));
+  EXPECT_FALSE(Tool.diags().hasErrors());
+  Tool.finalize();
+  // Every defined function gets a CFG.
+  for (const FunctionDecl *FD : Tool.context().functions()) {
+    if (FD->isDefined()) {
+      EXPECT_NE(Tool.callGraph().cfg(FD), nullptr) << FD->name();
+    }
+  }
+  // And the whole suite runs without tipping over.
+  XgccTool Again;
+  ASSERT_TRUE(Again.addSource("kernel.c", Source));
+  for (const std::string &Name : builtinCheckerNames())
+    Again.addBuiltinChecker(Name);
+  Again.run(EngineOptions());
+}
+
+TEST(Torture, PreprocessorSelfReferenceTerminates) {
+  // `#define x x` must not hang (expansion depth guard).
+  XgccTool Tool;
+  EXPECT_TRUE(Tool.addSource("t.c", "#define x x\nint x;\nint f(void) { return x; }"));
+}
+
+TEST(Torture, MutuallyRecursiveMacrosTerminate) {
+  XgccTool Tool;
+  (void)Tool.addSource("t.c", "#define A B\n#define B A\nint A;\n");
+  // Termination is the assertion; diagnostics may warn about depth.
+}
+
+TEST(Torture, GotoLoopWithCheckerState) {
+  // A goto-formed loop must converge via block caching.
+  auto Msgs = runBuiltin("free", "void kfree(void *p);\n"
+                                 "int f(int *p, int n) {\n"
+                                 "again:\n"
+                                 "  n--;\n"
+                                 "  if (n > 0)\n"
+                                 "    goto again;\n"
+                                 "  kfree(p);\n"
+                                 "  return *p;\n"
+                                 "}");
+  ASSERT_EQ(Msgs.size(), 1u);
+}
+
+TEST(Torture, SwitchFallthroughCarriesState) {
+  auto Msgs = runBuiltin("free", "void kfree(void *p);\n"
+                                 "int f(int *p, int c) {\n"
+                                 "  switch (c) {\n"
+                                 "  case 1:\n"
+                                 "    kfree(p);\n"
+                                 "    /* fallthrough */\n"
+                                 "  case 2:\n"
+                                 "    return *p;\n" // bug via fallthrough
+                                 "  }\n"
+                                 "  return 0;\n"
+                                 "}");
+  ASSERT_EQ(Msgs.size(), 1u);
+}
+
+TEST(Torture, SwitchDefaultExcludesCaseValues) {
+  // Constant switch head: the default arm is infeasible when a case covers
+  // the value.
+  auto Msgs = runBuiltin("free", "void kfree(void *p);\n"
+                                 "int f(int *p) {\n"
+                                 "  int mode = 1;\n"
+                                 "  switch (mode) {\n"
+                                 "  case 1:\n"
+                                 "    return 0;\n"
+                                 "  default:\n"
+                                 "    kfree(p);\n"
+                                 "    return *p;\n" // infeasible arm
+                                 "  }\n"
+                                 "}");
+  EXPECT_TRUE(Msgs.empty());
+}
+
+TEST(Torture, DoWhileWithState) {
+  auto Msgs = runBuiltin("lock", "void lock(int *l); void unlock(int *l);\n"
+                                 "int f(int *l, int n) {\n"
+                                 "  do {\n"
+                                 "    lock(l);\n"
+                                 "    unlock(l);\n"
+                                 "  } while (n--);\n"
+                                 "  return 0;\n"
+                                 "}");
+  EXPECT_TRUE(Msgs.empty());
+}
+
+TEST(Torture, ConditionalExpressionPoints) {
+  // Points inside ?: are visited; the free fires in the middle of one.
+  auto Msgs = runBuiltin("free", "void kfree(void *p);\n"
+                                 "int g(int v);\n"
+                                 "int f(int *p, int c) {\n"
+                                 "  int r;\n"
+                                 "  r = c ? g(1) : g(2);\n"
+                                 "  kfree(p);\n"
+                                 "  return r + *p;\n"
+                                 "}");
+  ASSERT_EQ(Msgs.size(), 1u);
+}
+
+TEST(Torture, CommaAndCompoundAssignPoints) {
+  auto Msgs = runBuiltin("free", "void kfree(void *p);\n"
+                                 "int f(int *p, int a, int b) {\n"
+                                 "  a += b, b -= a;\n"
+                                 "  kfree(p);\n"
+                                 "  a++;\n"
+                                 "  return *p;\n"
+                                 "}");
+  ASSERT_EQ(Msgs.size(), 1u);
+}
+
+TEST(Torture, DeeplyNestedBlocks) {
+  std::string Source = "void kfree(void *p);\nint f(int *p, int c) {\n";
+  for (int I = 0; I < 24; ++I)
+    Source += "  if (c > " + std::to_string(I) + ") {\n";
+  Source += "    kfree(p);\n";
+  for (int I = 0; I < 24; ++I)
+    Source += "  }\n";
+  Source += "  return *p;\n}\n";
+  auto Msgs = runBuiltin("free", Source);
+  ASSERT_EQ(Msgs.size(), 1u);
+}
+
+TEST(Torture, ManyFunctionsManyCheckers) {
+  std::string Source = "void kfree(void *p);\n";
+  for (int I = 0; I < 100; ++I)
+    Source += "int f" + std::to_string(I) +
+              "(int *p) { kfree(p); return *p; }\n";
+  XgccTool Tool;
+  ASSERT_TRUE(Tool.addSource("many.c", Source));
+  for (const std::string &Name : builtinCheckerNames())
+    Tool.addBuiltinChecker(Name);
+  Tool.run(EngineOptions());
+  EXPECT_EQ(Tool.reports().size(), 100u);
+}
+
+TEST(Torture, StringAndCharEdgeCases) {
+  XgccTool Tool;
+  EXPECT_TRUE(Tool.addSource(
+      "t.c", "char *s = \"tab\\t nl\\n quote\\\" zero\\0\";\n"
+             "char c1 = 'a'; char c2 = '\\n'; char c3 = '\\\\';\n"
+             "char *cat = \"one\" \"two\" \"three\";\n"));
+}
+
+TEST(Torture, EmptyFunctionAndVoidReturns) {
+  auto Msgs = runBuiltin("free", "void nop(void) { }\n"
+                                 "void ret(void) { return; }\n"
+                                 "int f(void) { nop(); ret(); return 0; }");
+  EXPECT_TRUE(Msgs.empty());
+}
+
+} // namespace
