@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/bench_corpus.dir/corpus.cpp.o.d"
+  "bench_corpus"
+  "bench_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

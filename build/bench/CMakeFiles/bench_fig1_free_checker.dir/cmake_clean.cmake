@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_free_checker.dir/fig1_free_checker.cpp.o"
+  "CMakeFiles/bench_fig1_free_checker.dir/fig1_free_checker.cpp.o.d"
+  "bench_fig1_free_checker"
+  "bench_fig1_free_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_free_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

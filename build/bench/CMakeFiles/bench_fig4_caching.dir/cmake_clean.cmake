@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_caching.dir/fig4_caching.cpp.o"
+  "CMakeFiles/bench_fig4_caching.dir/fig4_caching.cpp.o.d"
+  "bench_fig4_caching"
+  "bench_fig4_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpp_suppression.dir/fpp_suppression.cpp.o"
+  "CMakeFiles/bench_fpp_suppression.dir/fpp_suppression.cpp.o.d"
+  "bench_fpp_suppression"
+  "bench_fpp_suppression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpp_suppression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ranking.cpp" "bench/CMakeFiles/bench_ranking.dir/ranking.cpp.o" "gcc" "bench/CMakeFiles/bench_ranking.dir/ranking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/mc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/mc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpp/CMakeFiles/mc_fpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkers/CMakeFiles/mc_checkers.dir/DependInfo.cmake"
+  "/root/repo/build/src/metal/CMakeFiles/mc_metal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/mc_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/mc_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

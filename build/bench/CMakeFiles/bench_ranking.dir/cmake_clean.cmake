@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ranking.dir/ranking.cpp.o"
+  "CMakeFiles/bench_ranking.dir/ranking.cpp.o.d"
+  "bench_ranking"
+  "bench_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_holes.dir/table1_holes.cpp.o"
+  "CMakeFiles/bench_table1_holes.dir/table1_holes.cpp.o.d"
+  "bench_table1_holes"
+  "bench_table1_holes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_holes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

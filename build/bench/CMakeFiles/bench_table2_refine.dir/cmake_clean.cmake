@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_refine.dir/table2_refine.cpp.o"
+  "CMakeFiles/bench_table2_refine.dir/table2_refine.cpp.o.d"
+  "bench_table2_refine"
+  "bench_table2_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

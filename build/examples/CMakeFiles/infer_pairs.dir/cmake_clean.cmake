@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_pairs.dir/infer_pairs.cpp.o"
+  "CMakeFiles/infer_pairs.dir/infer_pairs.cpp.o.d"
+  "infer_pairs"
+  "infer_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_audit.dir/lock_audit.cpp.o"
+  "CMakeFiles/lock_audit.dir/lock_audit.cpp.o.d"
+  "lock_audit"
+  "lock_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_pass.dir/two_pass.cpp.o"
+  "CMakeFiles/two_pass.dir/two_pass.cpp.o.d"
+  "two_pass"
+  "two_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

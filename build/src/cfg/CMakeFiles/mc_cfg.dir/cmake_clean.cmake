@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_cfg.dir/CFGBuilder.cpp.o"
+  "CMakeFiles/mc_cfg.dir/CFGBuilder.cpp.o.d"
+  "CMakeFiles/mc_cfg.dir/CallGraph.cpp.o"
+  "CMakeFiles/mc_cfg.dir/CallGraph.cpp.o.d"
+  "libmc_cfg.a"
+  "libmc_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfront/ASTPrinter.cpp" "src/cfront/CMakeFiles/mc_cfront.dir/ASTPrinter.cpp.o" "gcc" "src/cfront/CMakeFiles/mc_cfront.dir/ASTPrinter.cpp.o.d"
+  "/root/repo/src/cfront/ASTUtils.cpp" "src/cfront/CMakeFiles/mc_cfront.dir/ASTUtils.cpp.o" "gcc" "src/cfront/CMakeFiles/mc_cfront.dir/ASTUtils.cpp.o.d"
+  "/root/repo/src/cfront/Lexer.cpp" "src/cfront/CMakeFiles/mc_cfront.dir/Lexer.cpp.o" "gcc" "src/cfront/CMakeFiles/mc_cfront.dir/Lexer.cpp.o.d"
+  "/root/repo/src/cfront/Parser.cpp" "src/cfront/CMakeFiles/mc_cfront.dir/Parser.cpp.o" "gcc" "src/cfront/CMakeFiles/mc_cfront.dir/Parser.cpp.o.d"
+  "/root/repo/src/cfront/Preprocessor.cpp" "src/cfront/CMakeFiles/mc_cfront.dir/Preprocessor.cpp.o" "gcc" "src/cfront/CMakeFiles/mc_cfront.dir/Preprocessor.cpp.o.d"
+  "/root/repo/src/cfront/Serialize.cpp" "src/cfront/CMakeFiles/mc_cfront.dir/Serialize.cpp.o" "gcc" "src/cfront/CMakeFiles/mc_cfront.dir/Serialize.cpp.o.d"
+  "/root/repo/src/cfront/Type.cpp" "src/cfront/CMakeFiles/mc_cfront.dir/Type.cpp.o" "gcc" "src/cfront/CMakeFiles/mc_cfront.dir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

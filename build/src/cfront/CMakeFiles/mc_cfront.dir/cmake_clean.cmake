@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_cfront.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/mc_cfront.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/mc_cfront.dir/ASTUtils.cpp.o"
+  "CMakeFiles/mc_cfront.dir/ASTUtils.cpp.o.d"
+  "CMakeFiles/mc_cfront.dir/Lexer.cpp.o"
+  "CMakeFiles/mc_cfront.dir/Lexer.cpp.o.d"
+  "CMakeFiles/mc_cfront.dir/Parser.cpp.o"
+  "CMakeFiles/mc_cfront.dir/Parser.cpp.o.d"
+  "CMakeFiles/mc_cfront.dir/Preprocessor.cpp.o"
+  "CMakeFiles/mc_cfront.dir/Preprocessor.cpp.o.d"
+  "CMakeFiles/mc_cfront.dir/Serialize.cpp.o"
+  "CMakeFiles/mc_cfront.dir/Serialize.cpp.o.d"
+  "CMakeFiles/mc_cfront.dir/Type.cpp.o"
+  "CMakeFiles/mc_cfront.dir/Type.cpp.o.d"
+  "libmc_cfront.a"
+  "libmc_cfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_cfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_checkers.dir/BuiltinCheckers.cpp.o"
+  "CMakeFiles/mc_checkers.dir/BuiltinCheckers.cpp.o.d"
+  "CMakeFiles/mc_checkers.dir/NativeCheckers.cpp.o"
+  "CMakeFiles/mc_checkers.dir/NativeCheckers.cpp.o.d"
+  "libmc_checkers.a"
+  "libmc_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

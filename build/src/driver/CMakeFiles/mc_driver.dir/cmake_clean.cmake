@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_driver.dir/Tool.cpp.o"
+  "CMakeFiles/mc_driver.dir/Tool.cpp.o.d"
+  "libmc_driver.a"
+  "libmc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

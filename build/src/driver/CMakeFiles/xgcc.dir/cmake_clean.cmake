@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgcc.dir/xgcc_main.cpp.o"
+  "CMakeFiles/xgcc.dir/xgcc_main.cpp.o.d"
+  "xgcc"
+  "xgcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

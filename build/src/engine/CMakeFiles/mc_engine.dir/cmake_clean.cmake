@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_engine.dir/Engine.cpp.o"
+  "CMakeFiles/mc_engine.dir/Engine.cpp.o.d"
+  "CMakeFiles/mc_engine.dir/Summaries.cpp.o"
+  "CMakeFiles/mc_engine.dir/Summaries.cpp.o.d"
+  "libmc_engine.a"
+  "libmc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpp/CongruenceClosure.cpp" "src/fpp/CMakeFiles/mc_fpp.dir/CongruenceClosure.cpp.o" "gcc" "src/fpp/CMakeFiles/mc_fpp.dir/CongruenceClosure.cpp.o.d"
+  "/root/repo/src/fpp/ValueTracker.cpp" "src/fpp/CMakeFiles/mc_fpp.dir/ValueTracker.cpp.o" "gcc" "src/fpp/CMakeFiles/mc_fpp.dir/ValueTracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metal/CMakeFiles/mc_metal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/mc_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

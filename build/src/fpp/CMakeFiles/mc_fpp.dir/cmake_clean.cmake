@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_fpp.dir/CongruenceClosure.cpp.o"
+  "CMakeFiles/mc_fpp.dir/CongruenceClosure.cpp.o.d"
+  "CMakeFiles/mc_fpp.dir/ValueTracker.cpp.o"
+  "CMakeFiles/mc_fpp.dir/ValueTracker.cpp.o.d"
+  "libmc_fpp.a"
+  "libmc_fpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_fpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

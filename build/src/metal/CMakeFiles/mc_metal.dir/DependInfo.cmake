@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metal/Checker.cpp" "src/metal/CMakeFiles/mc_metal.dir/Checker.cpp.o" "gcc" "src/metal/CMakeFiles/mc_metal.dir/Checker.cpp.o.d"
+  "/root/repo/src/metal/MetalChecker.cpp" "src/metal/CMakeFiles/mc_metal.dir/MetalChecker.cpp.o" "gcc" "src/metal/CMakeFiles/mc_metal.dir/MetalChecker.cpp.o.d"
+  "/root/repo/src/metal/MetalParser.cpp" "src/metal/CMakeFiles/mc_metal.dir/MetalParser.cpp.o" "gcc" "src/metal/CMakeFiles/mc_metal.dir/MetalParser.cpp.o.d"
+  "/root/repo/src/metal/Pattern.cpp" "src/metal/CMakeFiles/mc_metal.dir/Pattern.cpp.o" "gcc" "src/metal/CMakeFiles/mc_metal.dir/Pattern.cpp.o.d"
+  "/root/repo/src/metal/State.cpp" "src/metal/CMakeFiles/mc_metal.dir/State.cpp.o" "gcc" "src/metal/CMakeFiles/mc_metal.dir/State.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfront/CMakeFiles/mc_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_metal.dir/Checker.cpp.o"
+  "CMakeFiles/mc_metal.dir/Checker.cpp.o.d"
+  "CMakeFiles/mc_metal.dir/MetalChecker.cpp.o"
+  "CMakeFiles/mc_metal.dir/MetalChecker.cpp.o.d"
+  "CMakeFiles/mc_metal.dir/MetalParser.cpp.o"
+  "CMakeFiles/mc_metal.dir/MetalParser.cpp.o.d"
+  "CMakeFiles/mc_metal.dir/Pattern.cpp.o"
+  "CMakeFiles/mc_metal.dir/Pattern.cpp.o.d"
+  "CMakeFiles/mc_metal.dir/State.cpp.o"
+  "CMakeFiles/mc_metal.dir/State.cpp.o.d"
+  "libmc_metal.a"
+  "libmc_metal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_metal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/History.cpp" "src/report/CMakeFiles/mc_report.dir/History.cpp.o" "gcc" "src/report/CMakeFiles/mc_report.dir/History.cpp.o.d"
+  "/root/repo/src/report/ReportManager.cpp" "src/report/CMakeFiles/mc_report.dir/ReportManager.cpp.o" "gcc" "src/report/CMakeFiles/mc_report.dir/ReportManager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

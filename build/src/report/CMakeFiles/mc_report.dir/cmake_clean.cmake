@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_report.dir/History.cpp.o"
+  "CMakeFiles/mc_report.dir/History.cpp.o.d"
+  "CMakeFiles/mc_report.dir/ReportManager.cpp.o"
+  "CMakeFiles/mc_report.dir/ReportManager.cpp.o.d"
+  "libmc_report.a"
+  "libmc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/mc_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/mc_support.dir/RawOstream.cpp.o"
+  "CMakeFiles/mc_support.dir/RawOstream.cpp.o.d"
+  "CMakeFiles/mc_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/mc_support.dir/SourceManager.cpp.o.d"
+  "CMakeFiles/mc_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/mc_support.dir/StringUtils.cpp.o.d"
+  "libmc_support.a"
+  "libmc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

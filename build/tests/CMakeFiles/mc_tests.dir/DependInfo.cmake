@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/astutils_test.cpp" "tests/CMakeFiles/mc_tests.dir/astutils_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/astutils_test.cpp.o.d"
+  "/root/repo/tests/cfg_test.cpp" "tests/CMakeFiles/mc_tests.dir/cfg_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/cfg_test.cpp.o.d"
+  "/root/repo/tests/checkers_test.cpp" "tests/CMakeFiles/mc_tests.dir/checkers_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/checkers_test.cpp.o.d"
+  "/root/repo/tests/cli_test.cpp" "tests/CMakeFiles/mc_tests.dir/cli_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/cli_test.cpp.o.d"
+  "/root/repo/tests/engine_interproc_test.cpp" "tests/CMakeFiles/mc_tests.dir/engine_interproc_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/engine_interproc_test.cpp.o.d"
+  "/root/repo/tests/engine_intra_test.cpp" "tests/CMakeFiles/mc_tests.dir/engine_intra_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/engine_intra_test.cpp.o.d"
+  "/root/repo/tests/engine_replay_test.cpp" "tests/CMakeFiles/mc_tests.dir/engine_replay_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/engine_replay_test.cpp.o.d"
+  "/root/repo/tests/fpp_test.cpp" "tests/CMakeFiles/mc_tests.dir/fpp_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/fpp_test.cpp.o.d"
+  "/root/repo/tests/lexer_test.cpp" "tests/CMakeFiles/mc_tests.dir/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/metal_interpreter_test.cpp" "tests/CMakeFiles/mc_tests.dir/metal_interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/metal_interpreter_test.cpp.o.d"
+  "/root/repo/tests/metal_test.cpp" "tests/CMakeFiles/mc_tests.dir/metal_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/metal_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/mc_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/pattern_test.cpp" "tests/CMakeFiles/mc_tests.dir/pattern_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/pattern_test.cpp.o.d"
+  "/root/repo/tests/preprocessor_test.cpp" "tests/CMakeFiles/mc_tests.dir/preprocessor_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/preprocessor_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/mc_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/range_test.cpp" "tests/CMakeFiles/mc_tests.dir/range_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/range_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/mc_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/rlock_test.cpp" "tests/CMakeFiles/mc_tests.dir/rlock_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/rlock_test.cpp.o.d"
+  "/root/repo/tests/serialize_robustness_test.cpp" "tests/CMakeFiles/mc_tests.dir/serialize_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/serialize_robustness_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/mc_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/summaries_test.cpp" "tests/CMakeFiles/mc_tests.dir/summaries_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/summaries_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/mc_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/tool_test.cpp" "tests/CMakeFiles/mc_tests.dir/tool_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/tool_test.cpp.o.d"
+  "/root/repo/tests/torture_test.cpp" "tests/CMakeFiles/mc_tests.dir/torture_test.cpp.o" "gcc" "tests/CMakeFiles/mc_tests.dir/torture_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/mc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/mc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpp/CMakeFiles/mc_fpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkers/CMakeFiles/mc_checkers.dir/DependInfo.cmake"
+  "/root/repo/build/src/metal/CMakeFiles/mc_metal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/mc_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/mc_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
