@@ -95,6 +95,37 @@ inline std::string callChainCorpus(unsigned Depth, unsigned Callers) {
   return S;
 }
 
+/// A corpus built for sharded analysis: \p Roots root functions, each with
+/// a *private* callee cone (its own call chain of \p ChainDepth levels
+/// ending in a free, plus a private diamond worker). Because no callee is
+/// shared between roots, per-worker function-summary caches see exactly the
+/// work a serial run would, so engine counters — not just reports — are
+/// invariant across every sharding. Odd-numbered roots carry a seeded
+/// use-after-free.
+inline std::string parallelCorpus(unsigned Roots, unsigned Diamonds,
+                                  unsigned ChainDepth) {
+  std::string S = "void kfree(void *p);\n";
+  for (unsigned R = 0; R < Roots; ++R) {
+    std::string Tag = std::to_string(R);
+    S += "int r" + Tag + "_level0(int *x) { kfree(x); return 0; }\n";
+    for (unsigned I = 1; I <= ChainDepth; ++I)
+      S += "int r" + Tag + "_level" + std::to_string(I) +
+           "(int *x) { return r" + Tag + "_level" + std::to_string(I - 1) +
+           "(x); }\n";
+    S += diamondFunction("r" + Tag + "_worker", Diamonds, false);
+    S += "int root" + Tag + "(int *p, int c) {\n  int acc = 0;\n";
+    S += "  acc += r" + Tag + "_worker(p";
+    for (unsigned I = 0; I < Diamonds; ++I)
+      S += ", c";
+    S += ");\n";
+    S += "  r" + Tag + "_level" + std::to_string(ChainDepth) + "(p);\n";
+    if (R % 2 == 1)
+      S += "  acc += *p;\n"; // seeded use-after-free
+    S += "  return acc;\n}\n";
+  }
+  return S;
+}
+
 /// The mini-kernel: a mixed corpus of lock, allocation and free usage with
 /// a configurable seeded-bug rate. Returns the source and fills ground
 /// truth (the number of each seeded bug class).

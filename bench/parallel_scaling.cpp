@@ -1,0 +1,124 @@
+//===- bench/parallel_scaling.cpp - Sharded-analysis scaling -----------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the sharded run mode (EngineOptions::Jobs): wall-clock speedup of
+// root-function analysis at 1/2/4/8 workers over a corpus of independent
+// root cones, while *strictly* verifying that every job count renders
+// byte-identical report output and identical merged work counters. The
+// determinism checks are hard failures at any worker count; the >= 2.5x
+// speedup gate at 4 workers is enforced only when the machine actually has
+// 4 hardware threads to give.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadGen.h"
+#include "driver/Tool.h"
+#include "support/RawOstream.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+using namespace mc;
+using namespace mc::bench;
+
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point A,
+               std::chrono::steady_clock::time_point B) {
+  return std::chrono::duration<double>(B - A).count();
+}
+
+struct RunResult {
+  double ParseSecs = 0;
+  double AnalyzeSecs = 0;
+  std::string Rendered;
+  EngineStats Stats;
+  size_t Reports = 0;
+};
+
+RunResult runAt(const std::string &Source, unsigned Jobs) {
+  RunResult RR;
+  EngineOptions Opts;
+  Opts.Jobs = Jobs;
+
+  XgccTool Tool;
+  auto T0 = std::chrono::steady_clock::now();
+  if (!Tool.addSource("parallel_corpus.c", Source)) {
+    errs() << "parse error\n";
+    return RR;
+  }
+  auto T1 = std::chrono::steady_clock::now();
+  Tool.addBuiltinChecker("free");
+  Tool.addBuiltinChecker("lock");
+  Tool.run(Opts);
+  auto T2 = std::chrono::steady_clock::now();
+
+  RR.ParseSecs = seconds(T0, T1);
+  RR.AnalyzeSecs = seconds(T1, T2);
+  raw_string_ostream OS(RR.Rendered);
+  Tool.reports().print(OS, RankPolicy::Generic);
+  RR.Stats = Tool.stats();
+  RR.Reports = Tool.reports().size();
+  return RR;
+}
+
+} // namespace
+
+int main() {
+  raw_ostream &OS = outs();
+  const unsigned HW = ThreadPool::hardwareThreads();
+  OS << "==== Sharded-analysis scaling (EngineOptions::Jobs) ====\n";
+  OS << "hardware threads: " << HW << "\n\n";
+
+  // Independent root cones: no callee shared between roots, so per-worker
+  // summary caches do exactly the serial run's work and even the counters
+  // must agree across shardings.
+  const unsigned Roots = 64, Diamonds = 12, ChainDepth = 12;
+  std::string Source = parallelCorpus(Roots, Diamonds, ChainDepth);
+  unsigned Lines = 0;
+  for (char C : Source)
+    Lines += C == '\n';
+  OS << "corpus: " << Roots << " roots, " << Lines << " lines, "
+     << Roots / 2 << " seeded use-after-free\n\n";
+
+  RunResult Base = runAt(Source, 1);
+  OS.printf("jobs=1: parse %.3fs analyze %.3fs, %zu report(s)  [baseline]\n",
+            Base.ParseSecs, Base.AnalyzeSecs, Base.Reports);
+
+  bool Ok = Base.Reports == Roots / 2;
+  double SpeedupAt4 = 0;
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    RunResult RR = runAt(Source, Jobs);
+    double Speedup = RR.AnalyzeSecs > 0 ? Base.AnalyzeSecs / RR.AnalyzeSecs : 0;
+    bool SameOutput = RR.Rendered == Base.Rendered;
+    bool SameStats = RR.Stats == Base.Stats;
+    OS.printf("jobs=%u: parse %.3fs analyze %.3fs, %zu report(s), "
+              "speedup %.2fx, output %s, counters %s\n",
+              Jobs, RR.ParseSecs, RR.AnalyzeSecs, RR.Reports, Speedup,
+              SameOutput ? "identical" : "DIFFERS",
+              SameStats ? "identical" : "DIFFER");
+    Ok &= SameOutput && SameStats;
+    if (Jobs == 4)
+      SpeedupAt4 = Speedup;
+  }
+
+  OS << '\n';
+  if (HW >= 4) {
+    bool Fast = SpeedupAt4 >= 2.5;
+    OS.printf("speedup gate (>= 2.50x at 4 workers): %.2fx %s\n", SpeedupAt4,
+              Fast ? "PASS" : "FAIL");
+    Ok &= Fast;
+  } else {
+    OS.printf("speedup gate skipped: only %u hardware thread(s); measured "
+              "%.2fx at 4 workers\n",
+              HW, SpeedupAt4);
+  }
+
+  OS << (Ok ? "DETERMINISM HOLDS ACROSS ALL JOB COUNTS\n" : "MISMATCH\n");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+//===- cfront/ASTContext.cpp - AST ownership and interning ---------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/ASTContext.h"
+
+using namespace mc;
+
+thread_local BumpPtrAllocator *ASTContext::ThreadArena = nullptr;
+
+ASTContext::ParallelArenaScope::ParallelArenaScope(ASTContext &Ctx)
+    : Ctx(Ctx), Prev(ThreadArena) {
+  ThreadArena = &Arena;
+}
+
+ASTContext::ParallelArenaScope::~ParallelArenaScope() {
+  ThreadArena = Prev;
+  std::lock_guard<std::mutex> Lock(Ctx.ArenasMu);
+  Ctx.DonatedArenas.push_back(std::move(Arena));
+}

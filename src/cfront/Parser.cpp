@@ -47,6 +47,22 @@ void Parser::declare(std::string_view Name, Decl *D) {
   Scopes.back()[std::string(Name)] = D;
 }
 
+void Parser::addTopLevel(Decl *D) {
+  (TopLevelSink ? *TopLevelSink : Ctx.topLevelDecls()).push_back(D);
+}
+
+void Parser::noteFunction(FunctionDecl *FD, bool IsExplicitDecl) {
+  if (FnSink) {
+    FnSink->push_back(FD);
+    if (IsExplicitDecl)
+      TopLevelSink->push_back(FD);
+    return;
+  }
+  Ctx.functions().push_back(FD);
+  if (IsExplicitDecl)
+    Ctx.topLevelDecls().push_back(FD);
+}
+
 Decl *Parser::lookup(std::string_view Name) const {
   for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
     auto Found = It->find(Name);
@@ -257,9 +273,8 @@ const Type *Parser::parseStructOrUnion() {
     expect(Tok::Semi, "after struct field");
   }
   expect(Tok::RBrace, "to close struct/union");
-  RT->setFields(std::move(Fields));
-  Ctx.topLevelDecls().push_back(
-      Ctx.create<RecordDecl>(Loc, Ctx.intern(Tag), RT));
+  Ctx.types().completeRecord(RT, std::move(Fields));
+  addTopLevel(Ctx.create<RecordDecl>(Loc, Ctx.intern(Tag), RT));
   return RT;
 }
 
@@ -302,8 +317,8 @@ const Type *Parser::parseEnum() {
       break;
   }
   expect(Tok::RBrace, "to close enum");
-  Ctx.topLevelDecls().push_back(Ctx.create<EnumDecl>(
-      Loc, Ctx.intern(Tag), ET, Ctx.allocateArray(Constants)));
+  addTopLevel(Ctx.create<EnumDecl>(Loc, Ctx.intern(Tag), ET,
+                                   Ctx.allocateArray(Constants)));
   return ET;
 }
 
@@ -433,40 +448,54 @@ void Parser::parseExternalDeclaration() {
     if (DS.IsTypedef) {
       auto *TD = Ctx.create<TypedefDecl>(cur().Loc, Name, Ty);
       declare(Name, TD);
-      Ctx.topLevelDecls().push_back(TD);
+      addTopLevel(TD);
       First = false;
       continue;
     }
 
     if (Ty->isFunction()) {
       const auto *FT = cast<FunctionType>(Ty);
-      FunctionDecl *FD = Ctx.findFunction(Name);
-      if (!FD) {
-        FD = Ctx.create<FunctionDecl>(cur().Loc, Name, FT,
-                                      Ctx.allocateArray(Params), DS.IsStatic,
-                                      FileID);
-        Ctx.functions().push_back(FD);
-        Ctx.topLevelDecls().push_back(FD);
-        declare(Name, FD);
-      } else {
-        if (!FD->isDefined())
+      // Find-or-create and the declaration merge must be atomic: parallel
+      // parse workers share one FunctionDecl per name across units.
+      FunctionDecl *FD;
+      bool Created = false;
+      bool Redefined = false;
+      {
+        auto Lock = Ctx.functionLock();
+        FD = Ctx.findFunctionLocked(Name);
+        if (!FD) {
+          FD = Ctx.create<FunctionDecl>(cur().Loc, Name, FT,
+                                        Ctx.allocateArray(Params), DS.IsStatic,
+                                        FileID);
+          Ctx.indexFunctionLocked(FD);
+          Created = true;
+        } else if (!FD->isDefined()) {
           FD->setParams(Ctx.allocateArray(Params));
-        // Re-declaration in a later translation unit: make it visible.
-        declare(Name, FD);
+        }
+        if (First && cur().is(Tok::LBrace)) {
+          Redefined = FD->isDefined();
+          FD->setFileID(FileID);
+          FD->setParams(Ctx.allocateArray(Params));
+        }
       }
+      if (Created)
+        noteFunction(FD, /*IsExplicitDecl=*/true);
+      // (Re-)declaration in a later translation unit: make it visible.
+      declare(Name, FD);
       if (First && cur().is(Tok::LBrace)) {
-        if (FD->isDefined())
+        if (Redefined)
           error(formatString("redefinition of function '%.*s'",
                              (int)Name.size(), Name.data()));
-        FD->setFileID(FileID);
-        FD->setParams(Ctx.allocateArray(Params));
         pushScope();
         for (VarDecl *P : FD->params())
           if (!P->name().empty())
             declare(P->name(), P);
         const CompoundStmt *Body = parseCompound();
         popScope();
-        FD->setBody(Body);
+        {
+          auto Lock = Ctx.functionLock();
+          FD->setBody(Body);
+        }
         return; // Function definitions take the whole declaration.
       }
       First = false;
@@ -479,7 +508,7 @@ void Parser::parseExternalDeclaration() {
     if (accept(Tok::Equal))
       VD->setInit(parseInitializer());
     declare(Name, VD);
-    Ctx.topLevelDecls().push_back(VD);
+    addTopLevel(VD);
     First = false;
   } while (accept(Tok::Comma));
   expect(Tok::Semi, "after declaration");
@@ -1035,22 +1064,33 @@ const Expr *Parser::parsePrimary() {
     std::string_view Interned = Ctx.intern(Name);
     Decl *D;
     if (cur().is(Tok::LParen)) {
-      // A function known from another translation unit in the same context.
-      if (FunctionDecl *Known = Ctx.findFunction(Name)) {
-        if (!Scopes.empty())
-          Scopes.front()[std::string(Name)] = Known;
-        return Ctx.create<DeclRefExpr>(Loc, Known, Known->type());
+      FunctionDecl *FD;
+      bool Known;
+      {
+        auto Lock = Ctx.functionLock();
+        FD = Ctx.findFunctionLocked(Name);
+        Known = FD != nullptr;
+        if (!FD) {
+          const FunctionType *FT =
+              Ctx.types().functionTy(Ctx.types().intTy(), {}, true);
+          FD = Ctx.create<FunctionDecl>(Loc, Interned, FT,
+                                        std::span<VarDecl *const>(), false,
+                                        FileID);
+          if (!Holes)
+            Ctx.indexFunctionLocked(FD);
+        }
       }
-      const FunctionType *FT =
-          Ctx.types().functionTy(Ctx.types().intTy(), {}, true);
-      auto *FD = Ctx.create<FunctionDecl>(Loc, Interned, FT,
-                                          std::span<VarDecl *const>(), false,
-                                          FileID);
+      if (Known) {
+        // A function known from another translation unit in the same context.
+        if (!Scopes.empty())
+          Scopes.front()[std::string(Name)] = FD;
+        return Ctx.create<DeclRefExpr>(Loc, FD, FD->type());
+      }
       if (!Holes) {
         Diags.warning(Loc, formatString("implicit declaration of function "
                                         "'%.*s'",
                                         (int)Name.size(), Name.data()));
-        Ctx.functions().push_back(FD);
+        noteFunction(FD, /*IsExplicitDecl=*/false);
       }
       D = FD;
       if (!Scopes.empty())

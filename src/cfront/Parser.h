@@ -50,6 +50,18 @@ public:
   /// to the context. Returns false when errors were reported.
   bool parseTranslationUnit();
 
+  /// Parallel pass 1: append this unit's newly created top-level decls and
+  /// functions to these vectors instead of the shared context. The driver
+  /// splices the sinks into the ASTContext in input order once every unit
+  /// has parsed, which keeps declaration order deterministic regardless of
+  /// worker interleaving. Function *identity* is still shared through the
+  /// context's locked name registry.
+  void redirectTopLevel(std::vector<Decl *> &TopLevel,
+                        std::vector<FunctionDecl *> &Fns) {
+    TopLevelSink = &TopLevel;
+    FnSink = &Fns;
+  }
+
   /// Pattern-mode entry: parses the buffer as a single expression. Returns
   /// null on error. \p Holes maps hole variable names.
   const Expr *parsePatternExpr(const PatternHoles &Holes);
@@ -93,6 +105,12 @@ private:
   void declare(std::string_view Name, Decl *D);
   Decl *lookup(std::string_view Name) const;
   bool isTypeName(std::string_view Name) const;
+
+  /// Records a top-level declaration (into the sink when redirected).
+  void addTopLevel(Decl *D);
+  /// Records a newly created function; explicit declarations also appear in
+  /// the top-level list, implicit ones only in the function list.
+  void noteFunction(FunctionDecl *FD, bool IsExplicitDecl);
 
   //===--------------------------------------------------------------------===//
   // Declarations
@@ -160,6 +178,8 @@ private:
   size_t Idx = 0;
 
   std::vector<std::map<std::string, Decl *, std::less<>>> Scopes;
+  std::vector<Decl *> *TopLevelSink = nullptr;       ///< Parallel parse.
+  std::vector<FunctionDecl *> *FnSink = nullptr;     ///< Parallel parse.
   const PatternHoles *Holes = nullptr; ///< Non-null in pattern mode.
   unsigned AnonCounter = 0;
   unsigned ErrorsBefore = 0;

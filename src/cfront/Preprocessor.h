@@ -41,6 +41,15 @@ public:
   Preprocessor(SourceManager &SM, DiagnosticEngine &Diags)
       : SM(SM), Diags(Diags) {}
 
+  /// Snapshot clone: copies the include path and the macro table as they
+  /// stand, reporting into \p Diags instead of the base's engine. Parallel
+  /// pass 1 gives each translation unit one clone so -D/-I state is shared
+  /// while per-TU macro definitions stay isolated ("compiles each file in
+  /// isolation", Section 6).
+  Preprocessor(const Preprocessor &Base, DiagnosticEngine &Diags)
+      : SM(Base.SM), Diags(Diags), IncludeDirs(Base.IncludeDirs),
+        Macros(Base.Macros) {}
+
   /// Adds a directory searched by #include "..." and <...>.
   void addIncludeDir(std::string Dir) { IncludeDirs.push_back(std::move(Dir)); }
 

@@ -6,6 +6,8 @@
 
 #include "cfront/Type.h"
 
+#include <mutex>
+
 #include <map>
 #include <vector>
 
@@ -137,6 +139,9 @@ struct TypeDeleter {
 } // namespace
 
 struct TypeContext::Impl {
+  // Uniquing must be atomic: parallel parse workers create types
+  // concurrently.
+  std::mutex Mu;
   std::vector<Type *> Owned;
   std::map<const Type *, const PointerType *> Pointers;
   std::map<std::pair<const Type *, unsigned>, const ArrayType *> Arrays;
@@ -163,6 +168,7 @@ TypeContext::TypeContext() : I(new Impl) {
 TypeContext::~TypeContext() { delete I; }
 
 const PointerType *TypeContext::pointerTo(const Type *Pointee) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
   auto It = I->Pointers.find(Pointee);
   if (It != I->Pointers.end())
     return It->second;
@@ -172,6 +178,7 @@ const PointerType *TypeContext::pointerTo(const Type *Pointee) {
 }
 
 const ArrayType *TypeContext::arrayOf(const Type *Element, unsigned Size) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
   auto Key = std::make_pair(Element, Size);
   auto It = I->Arrays.find(Key);
   if (It != I->Arrays.end())
@@ -184,6 +191,7 @@ const ArrayType *TypeContext::arrayOf(const Type *Element, unsigned Size) {
 const FunctionType *TypeContext::functionTy(const Type *Return,
                                             std::vector<const Type *> Params,
                                             bool Variadic) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
   for (const FunctionType *FT : I->Functions)
     if (FT->returnType() == Return && FT->params() == Params &&
         FT->isVariadic() == Variadic)
@@ -195,6 +203,7 @@ const FunctionType *TypeContext::functionTy(const Type *Return,
 }
 
 RecordType *TypeContext::record(const std::string &Tag, bool Union) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
   auto It = I->Records.find(Tag);
   if (It != I->Records.end())
     return It->second;
@@ -204,17 +213,27 @@ RecordType *TypeContext::record(const std::string &Tag, bool Union) {
 }
 
 RecordType *TypeContext::findRecord(const std::string &Tag) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
   auto It = I->Records.find(Tag);
   return It == I->Records.end() ? nullptr : It->second;
 }
 
 EnumType *TypeContext::enumTy(const std::string &Tag) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
   auto It = I->Enums.find(Tag);
   if (It != I->Enums.end())
     return It->second;
   EnumType *ET = I->own(new EnumType(Tag));
   I->Enums[Tag] = ET;
   return ET;
+}
+
+void TypeContext::completeRecord(RecordType *RT,
+                                 std::vector<RecordType::Field> Fields) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  if (RT->isComplete())
+    return; // First completion wins; the record is immutable afterwards.
+  RT->setFields(std::move(Fields));
 }
 
 

@@ -157,7 +157,9 @@ private:
 };
 
 /// struct/union. Identified by tag name; fields may be completed after
-/// creation (forward declarations).
+/// creation (forward declarations). Under parallel parse, complete records
+/// through TypeContext::completeRecord — tags are uniqued across translation
+/// units, so two workers may race to complete the same record.
 class RecordType : public Type {
 public:
   struct Field {
@@ -240,6 +242,13 @@ public:
   RecordType *findRecord(const std::string &Tag);
 
   EnumType *enumTy(const std::string &Tag);
+
+  /// Completes \p RT with \p Fields under the context lock. The first
+  /// completion wins and the record is immutable afterwards, so concurrent
+  /// readers (member-access type resolution in other parse workers) never
+  /// observe a change. Duplicate same-tag definitions across TUs are the
+  /// normal C header pattern and carry identical fields.
+  void completeRecord(RecordType *RT, std::vector<RecordType::Field> Fields);
 
 private:
   struct Impl;

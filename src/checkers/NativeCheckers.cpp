@@ -241,13 +241,18 @@ void PairInferenceChecker::checkPoint(const Stmt *Point,
 
   if (CurMode == Mode::Learn) {
     if (VarState *VS = ACtx.state().findByKey(Key)) {
-      if (!ACtx.justCreated(*VS) && VS->Data != Callee)
+      if (!ACtx.justCreated(*VS) && VS->Data != Callee) {
+        std::lock_guard<std::mutex> Lock(LearnMu);
         ++PairAfter[VS->Data][Callee];
+      }
       return;
     }
     VarState &VS = ACtx.createInstance(Arg, Opened);
     VS.Data = Callee;
-    ++Opens[Callee];
+    {
+      std::lock_guard<std::mutex> Lock(LearnMu);
+      ++Opens[Callee];
+    }
     return;
   }
 

@@ -25,6 +25,7 @@
 #include "metal/Checker.h"
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -107,6 +108,9 @@ public:
 private:
   Mode CurMode = Mode::Learn;
   int Opened;
+  /// Learn-mode counting mutates these from checkPoint, which sharded runs
+  /// call from several worker threads at once.
+  std::mutex LearnMu;
   std::map<std::string, std::map<std::string, unsigned>> PairAfter;
   std::map<std::string, unsigned> Opens;
   std::map<std::string, std::string> Rules;

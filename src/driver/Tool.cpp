@@ -7,6 +7,9 @@
 #include "driver/Tool.h"
 
 #include "support/RawOstream.h"
+#include "support/ThreadPool.h"
+
+#include <deque>
 
 using namespace mc;
 
@@ -30,6 +33,93 @@ bool XgccTool::addSourceFile(const std::string &Path) {
   }
   std::string Text(SM.bufferText(RawID));
   return addSource(Path, Text);
+}
+
+namespace {
+/// Effective worker count for an options struct: Jobs, with 0 meaning one
+/// per hardware thread.
+unsigned effectiveJobs(const EngineOptions &Opts) {
+  unsigned W = Opts.Jobs ? Opts.Jobs : ThreadPool::hardwareThreads();
+  return W ? W : 1;
+}
+} // namespace
+
+bool XgccTool::addSourceFiles(const std::vector<std::string> &Paths,
+                              unsigned Jobs) {
+  assert(!Finalized && "cannot add sources after finalize()");
+  unsigned W = Jobs ? Jobs : ThreadPool::hardwareThreads();
+
+  // Per-TU pass-1 state. Diagnostics go to a private engine and are
+  // replayed in input order at the end, so the stream the user sees does
+  // not depend on worker interleaving.
+  struct TUState {
+    std::string Path;
+    unsigned RawID = 0;
+    unsigned FileID = 0;
+    std::string Expanded;
+    std::unique_ptr<DiagnosticEngine> TUDiags;
+    std::vector<Decl *> TopLevel;
+    std::vector<FunctionDecl *> Fns;
+    bool ParseOk = false;
+  };
+  std::deque<TUState> TUs;
+
+  // Stage 1 (serial): register raw buffers in input order so file ids are
+  // deterministic.
+  for (const std::string &Path : Paths) {
+    TUs.emplace_back();
+    TUState &TU = TUs.back();
+    TU.Path = Path;
+    TU.TUDiags = std::make_unique<DiagnosticEngine>(SM);
+    TU.RawID = SM.addFile(Path);
+  }
+
+  ThreadPool Pool(W);
+
+  // Stage 2 (parallel): preprocess each unit against a snapshot of the
+  // shared -D/-I state — pass 1 "compiles each file in isolation".
+  Pool.parallelFor(TUs.size(), [&](size_t I) {
+    TUState &TU = TUs[I];
+    if (!TU.RawID)
+      return;
+    Preprocessor TP(*PP, *TU.TUDiags);
+    TU.Expanded = TP.preprocess(TU.RawID);
+  });
+
+  // Stage 3 (serial): register the expanded buffers in input order.
+  for (TUState &TU : TUs)
+    if (TU.RawID)
+      TU.FileID = SM.addBuffer(TU.Path, std::move(TU.Expanded));
+
+  // Stage 4 (parallel): parse into per-TU sinks and thread-local arenas.
+  Pool.parallelFor(TUs.size(), [&](size_t I) {
+    TUState &TU = TUs[I];
+    if (!TU.RawID)
+      return;
+    ASTContext::ParallelArenaScope Scope(Ctx);
+    Parser P(Ctx, SM, *TU.TUDiags, TU.FileID);
+    P.redirectTopLevel(TU.TopLevel, TU.Fns);
+    TU.ParseOk = P.parseTranslationUnit();
+  });
+
+  // Stage 5 (serial): splice declarations into the context and replay
+  // diagnostics, both in input order.
+  bool Ok = true;
+  for (TUState &TU : TUs) {
+    if (!TU.RawID) {
+      Diags.error(SourceLoc(), "cannot open source file '" + TU.Path + "'");
+      Ok = false;
+      continue;
+    }
+    for (Decl *D : TU.TopLevel)
+      Ctx.topLevelDecls().push_back(D);
+    for (FunctionDecl *FD : TU.Fns)
+      Ctx.functions().push_back(FD);
+    for (const Diagnostic &D : TU.TUDiags->all())
+      Diags.report(D.Kind, D.Loc, D.Message);
+    Ok &= TU.ParseOk;
+  }
+  return Ok;
 }
 
 bool XgccTool::addMastFile(const std::string &Path) {
@@ -75,8 +165,80 @@ bool XgccTool::addBuiltinChecker(const std::string &Name) {
   return true;
 }
 
+void XgccTool::accumulateEngineStats() {
+  if (Eng)
+    Accumulated.merge(Eng->stats());
+}
+
+void XgccTool::runSharded(Checker &C, const EngineOptions &Opts,
+                          unsigned Workers) {
+  const std::vector<const FunctionDecl *> &Roots = CG.roots();
+  const size_t NR = Roots.size();
+  if (Workers > NR)
+    Workers = unsigned(NR);
+
+  // One report buffer per root: replaying them in root order afterwards
+  // reproduces the exact add() sequence of a serial run, so dedup and
+  // ranking see the same history and the rendered output is byte-identical
+  // for every worker count.
+  std::vector<ReportManager> Buffers(NR);
+  std::vector<EngineStats> WorkerStats(Workers);
+  std::vector<Engine::AnnotationMap> WorkerAnnots(Workers);
+  {
+    ThreadPool Pool(Workers);
+    for (unsigned WI = 0; WI < Workers; ++WI) {
+      Pool.async([&, WI] {
+        const size_t Lo = NR * WI / Workers;
+        const size_t Hi = NR * (WI + 1) / Workers;
+        if (Lo == Hi)
+          return;
+        // Private arena, private engine: block/function summary caches,
+        // annotations and path budgets are all per worker. Workers share
+        // only the immutable AST, CFGs and call graph.
+        ASTContext::ParallelArenaScope Scope(Ctx);
+        Engine E(Ctx, SM, CG, Reports, Opts);
+        E.seedAnnotations(ShardedAnnotations);
+        E.beginChecker(C);
+        for (size_t I = Lo; I < Hi; ++I) {
+          E.setReports(Buffers[I]);
+          E.analyzeRoot(C, Roots[I]);
+        }
+        WorkerStats[WI] = E.stats();
+        WorkerAnnots[WI] = E.annotations();
+      });
+    }
+    Pool.wait();
+  }
+  for (const EngineStats &S : WorkerStats)
+    Accumulated.merge(S);
+  for (const ReportManager &B : Buffers)
+    Reports.merge(B);
+  // Merge worker annotations in shard order: shards are ascending root
+  // ranges, so overwrite-in-order reproduces the serial run's
+  // last-root-wins value for any key written by several roots.
+  for (Engine::AnnotationMap &WA : WorkerAnnots)
+    for (auto &[Node, KV] : WA)
+      for (auto &[Key, Value] : KV)
+        ShardedAnnotations[Node][Key] = Value;
+}
+
 void XgccTool::run(const EngineOptions &Opts) {
   finalize();
+  unsigned W = effectiveJobs(Opts);
+  if (W > 1 && CG.roots().size() > 1) {
+    // Sharded mode never reuses the serial engine; bank its counters. A
+    // run() starts from a fresh engine serially, so composition state
+    // resets here too.
+    accumulateEngineStats();
+    Eng.reset();
+    ShardedAnnotations.clear();
+    LastShardedOpts = Opts;
+    HasShardedState = true;
+    for (std::unique_ptr<Checker> &C : Checkers)
+      runSharded(*C, Opts, W);
+    return;
+  }
+  accumulateEngineStats();
   Eng = std::make_unique<Engine>(Ctx, SM, CG, Reports, Opts);
   for (std::unique_ptr<Checker> &C : Checkers)
     Eng->run(*C);
@@ -84,14 +246,31 @@ void XgccTool::run(const EngineOptions &Opts) {
 
 void XgccTool::runChecker(Checker &C, const EngineOptions &Opts) {
   finalize();
+  unsigned W = effectiveJobs(Opts);
+  if (W > 1 && CG.roots().size() > 1) {
+    accumulateEngineStats();
+    Eng.reset();
+    // Mirror the serial engine-reuse rule: annotations persist across
+    // runChecker calls with matching options, reset otherwise.
+    if (!HasShardedState || !(LastShardedOpts == Opts))
+      ShardedAnnotations.clear();
+    LastShardedOpts = Opts;
+    HasShardedState = true;
+    runSharded(C, Opts, W);
+    return;
+  }
   // Reuse the engine when the options match so AST annotations persist
   // across composed checkers.
-  if (!Eng || !(Eng->options() == Opts))
+  if (!Eng || !(Eng->options() == Opts)) {
+    accumulateEngineStats();
     Eng = std::make_unique<Engine>(Ctx, SM, CG, Reports, Opts);
+  }
   Eng->run(C);
 }
 
 const EngineStats &XgccTool::stats() const {
-  static EngineStats Empty;
-  return Eng ? Eng->stats() : Empty;
+  StatsScratch = Accumulated;
+  if (Eng)
+    StatsScratch.merge(Eng->stats());
+  return StatsScratch;
 }

@@ -48,6 +48,14 @@ public:
   bool addSource(const std::string &Name, const std::string &Text);
   /// Reads, preprocesses and parses a file from disk.
   bool addSourceFile(const std::string &Path);
+  /// Batch pass 1: preprocesses and parses \p Paths with \p Jobs worker
+  /// threads (0 = one per hardware thread). Each translation unit gets a
+  /// snapshot of the preprocessor's -D/-I state and a private parser/arena;
+  /// results are spliced into the context in input order, so file ids,
+  /// declaration order and diagnostics are identical for every job count
+  /// (including 1). Returns false when any unit failed.
+  bool addSourceFiles(const std::vector<std::string> &Paths,
+                      unsigned Jobs = 0);
   /// Loads a serialized AST image produced by emitMast().
   bool addMastFile(const std::string &Path);
   /// Serializes everything parsed so far (the paper's pass-1 output).
@@ -76,7 +84,11 @@ public:
   // Execution
   //===--------------------------------------------------------------------===//
 
-  /// Runs every added checker over the whole source base.
+  /// Runs every added checker over the whole source base. With
+  /// Opts.Jobs != 1 the callgraph roots are sharded across per-worker
+  /// engines and the per-root report buffers are merged back in root order,
+  /// so the output is byte-identical to a serial run (see docs/INTERNALS.md
+  /// "Threading model").
   void run(const EngineOptions &Opts = EngineOptions());
 
   /// Runs one checker without disturbing the added list.
@@ -87,6 +99,9 @@ public:
   //===--------------------------------------------------------------------===//
 
   ReportManager &reports() { return Reports; }
+  /// Work counters accumulated over every run()/runChecker() call on this
+  /// tool, including runs whose engine has since been replaced and sharded
+  /// runs whose worker engines are long gone.
   const EngineStats &stats() const;
   Engine *engine() { return Eng.get(); }
   ASTContext &context() { return Ctx; }
@@ -95,6 +110,14 @@ public:
   const CallGraph &callGraph() const { return CG; }
 
 private:
+  /// Folds the live serial engine's counters into Accumulated (called
+  /// before the engine is replaced or a sharded run bypasses it).
+  void accumulateEngineStats();
+  /// Sharded run of one checker: block-partitions the callgraph roots over
+  /// \p Workers private engines, then merges per-root report buffers and
+  /// worker stats deterministically.
+  void runSharded(Checker &C, const EngineOptions &Opts, unsigned Workers);
+
   SourceManager SM;
   DiagnosticEngine Diags;
   ASTContext Ctx;
@@ -103,6 +126,16 @@ private:
   ReportManager Reports;
   std::vector<std::unique_ptr<Checker>> Checkers;
   std::unique_ptr<Engine> Eng;
+  /// Composition state carried across sharded checker runs: the merged
+  /// worker annotations, seeding the next checker's worker engines. Mirrors
+  /// the serial engine-reuse rule — reset whenever the options change.
+  Engine::AnnotationMap ShardedAnnotations;
+  EngineOptions LastShardedOpts;
+  bool HasShardedState = false;
+  /// Counters from retired engines and sharded workers; stats() returns
+  /// this plus the live engine's counters.
+  EngineStats Accumulated;
+  mutable EngineStats StatsScratch;
   bool Finalized = false;
 };
 

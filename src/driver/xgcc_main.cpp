@@ -16,6 +16,10 @@
 //   --groups             also print reports grouped by analysis fact
 //   --history FILE       suppress reports recorded in FILE
 //   --update-history F   write surviving report keys to F
+//   --jobs N             analyze with N worker threads (default: one per
+//                        hardware thread; 1 = serial). Reports are merged
+//                        deterministically: output is byte-identical for
+//                        every N.
 //   --no-cache           disable block-level caching
 //   --no-summaries       disable function summaries
 //   --no-fpp             disable false path pruning
@@ -29,6 +33,7 @@
 
 #include "driver/Tool.h"
 #include "support/RawOstream.h"
+#include "support/ThreadPool.h"
 
 #include <cstring>
 #include <string>
@@ -54,6 +59,9 @@ bool endsWith(const std::string &S, const char *Suffix) {
 int main(int Argc, char **Argv) {
   XgccTool Tool;
   EngineOptions Opts;
+  // The library default is serial; the command-line tool defaults to one
+  // worker per hardware thread (0 = auto).
+  Opts.Jobs = 0;
   std::vector<std::string> CheckerNames;
   std::vector<std::string> MetalFiles;
   std::vector<std::string> Inputs;
@@ -116,6 +124,11 @@ int main(int Argc, char **Argv) {
         UpdateHistoryPath = V;
       continue;
     }
+    if (Arg == "--jobs") {
+      if (const char *V = Next())
+        Opts.Jobs = unsigned(std::strtoul(V, nullptr, 10));
+      continue;
+    }
     if (Arg == "--no-cache") {
       Opts.EnableBlockCache = false;
       Opts.MaxPathsPerFunction = 1u << 16;
@@ -172,14 +185,26 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  // Pass 1: parse inputs (or reload AST images).
+  // Pass 1: parse inputs (or reload AST images). Consecutive C sources are
+  // batched through the parallel front end; .mast images load serially at
+  // their position so declaration order still follows the command line.
   bool ParseOk = true;
+  std::vector<std::string> Batch;
+  auto FlushBatch = [&] {
+    if (Batch.empty())
+      return;
+    ParseOk &= Tool.addSourceFiles(Batch, Opts.Jobs);
+    Batch.clear();
+  };
   for (const std::string &Path : Inputs) {
-    if (endsWith(Path, ".mast"))
+    if (endsWith(Path, ".mast")) {
+      FlushBatch();
       ParseOk &= Tool.addMastFile(Path);
-    else
-      ParseOk &= Tool.addSourceFile(Path);
+    } else {
+      Batch.push_back(Path);
+    }
   }
+  FlushBatch();
   if (!ParseOk)
     errs() << "xgcc: continuing despite parse errors\n";
 

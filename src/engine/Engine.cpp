@@ -324,14 +324,14 @@ public:
     R.Annotation = PS.PathAnnotation;
     R.GroupKey = GroupKey;
     R.RuleKey = GroupKey;
-    E.Reports.add(std::move(R));
+    E.Reports->add(std::move(R));
   }
 
   void countExample(const std::string &RuleKey) override {
-    E.Reports.countExample(RuleKey);
+    E.Reports->countExample(RuleKey);
   }
   void countViolation(const std::string &RuleKey) override {
-    E.Reports.countViolation(RuleKey);
+    E.Reports->countViolation(RuleKey);
   }
 
   void annotatePath(const std::string &Tag) override {
@@ -382,7 +382,7 @@ private:
 
 Engine::Engine(ASTContext &Ctx, const SourceManager &SM, const CallGraph &CG,
                ReportManager &Reports, EngineOptions Opts)
-    : Ctx(Ctx), SM(SM), CG(CG), Reports(Reports), Opts(Opts) {}
+    : Ctx(Ctx), SM(SM), CG(CG), Reports(&Reports), Opts(Opts) {}
 
 Engine::~Engine() = default;
 
@@ -1240,9 +1240,13 @@ void Engine::analyzeRoot(Checker &C, const FunctionDecl *Root) {
     endOfPath(E, Root);
 }
 
-void Engine::run(Checker &C) {
+void Engine::beginChecker(Checker &C) {
   CurChecker = &C;
   Summaries.clear();
+}
+
+void Engine::run(Checker &C) {
+  beginChecker(C);
   for (const FunctionDecl *Root : CG.roots())
     analyzeRoot(C, Root);
 }

@@ -45,6 +45,11 @@ struct EngineOptions {
   uint64_t MaxPathsPerFunction = 1u << 20;
   unsigned MaxPathLength = 4096;
   unsigned MaxCallDepth = 64;
+  /// Worker threads for root-function analysis and pass-1 parsing. 1 = the
+  /// classic serial engine; 0 = one per hardware thread. Each worker owns a
+  /// private Engine (caches, stats, report buffer); workers share only the
+  /// immutable AST/CFG/call graph. See docs/INTERNALS.md "Threading model".
+  unsigned Jobs = 1;
 
   friend bool operator==(const EngineOptions &,
                          const EngineOptions &) = default;
@@ -63,6 +68,25 @@ struct EngineStats {
   uint64_t KillsApplied = 0;
   uint64_t SynonymsCreated = 0;
   uint64_t PathLimitHits = 0;
+
+  /// Adds \p O's counters into this one. Used to fold per-worker engine
+  /// stats into one tool-level total; summation is order-free, so the merged
+  /// counters do not depend on worker interleaving.
+  void merge(const EngineStats &O) {
+    PointsVisited += O.PointsVisited;
+    BlocksVisited += O.BlocksVisited;
+    PathsExplored += O.PathsExplored;
+    BlockCacheHits += O.BlockCacheHits;
+    FunctionCacheHits += O.FunctionCacheHits;
+    FunctionAnalyses += O.FunctionAnalyses;
+    CallsFollowed += O.CallsFollowed;
+    PathsPruned += O.PathsPruned;
+    KillsApplied += O.KillsApplied;
+    SynonymsCreated += O.SynonymsCreated;
+    PathLimitHits += O.PathLimitHits;
+  }
+
+  friend bool operator==(const EngineStats &, const EngineStats &) = default;
 };
 
 /// The xgcc engine. One Engine runs one or more checkers over one source
@@ -79,8 +103,18 @@ public:
   /// callgraph root (Section 6, step 3).
   void run(Checker &C);
 
+  /// Prepares the engine for a fresh run of \p C (clears function summaries;
+  /// a new checker invalidates them). Sharded runs call this once per
+  /// worker-engine, then drive analyzeRoot per assigned root.
+  void beginChecker(Checker &C);
+
   /// Applies \p C starting from a single root.
   void analyzeRoot(Checker &C, const FunctionDecl *Root);
+
+  /// Redirects reports produced from now on into \p R. Sharded runs point
+  /// each worker-engine at a private per-root buffer so the merge can replay
+  /// reports in the deterministic serial order.
+  void setReports(ReportManager &R) { Reports = &R; }
 
   const EngineStats &stats() const { return Stats; }
   void resetStats() { Stats = EngineStats(); }
@@ -94,6 +128,16 @@ public:
   /// AST annotations written by checker composition.
   const std::string *annotation(const Stmt *Node,
                                 const std::string &Key) const;
+
+  /// The full annotation store (checker composition state).
+  using AnnotationMap =
+      std::map<const Stmt *, std::map<std::string, std::string>>;
+  const AnnotationMap &annotations() const { return Annotations; }
+  /// Replaces the annotation store. Sharded runs harvest every worker's
+  /// annotations at the per-checker barrier and seed the next checker's
+  /// worker engines with the merged map, so composition (e.g. path_kill's
+  /// PATHKILL marks) survives engine-per-worker isolation.
+  void seedAnnotations(AnnotationMap A) { Annotations = std::move(A); }
 
   /// Internal point descriptor (public so implementation helpers can name
   /// it; not part of the stable API).
@@ -142,14 +186,14 @@ private:
   ASTContext &Ctx;
   const SourceManager &SM;
   const CallGraph &CG;
-  ReportManager &Reports;
+  ReportManager *Reports;
   EngineOptions Opts;
   EngineStats Stats;
 
   Checker *CurChecker = nullptr;
   std::map<const FunctionDecl *, FunctionSummaries> Summaries;
   std::map<const BasicBlock *, std::vector<PointInfo>> PointCache;
-  std::map<const Stmt *, std::map<std::string, std::string>> Annotations;
+  AnnotationMap Annotations;
   /// Synthesized DeclRefExprs for formals and declared locals.
   std::map<const VarDecl *, const Expr *> DeclRefCache;
   /// Params + block-scope locals per function (scope tests for Table 2).

@@ -15,6 +15,7 @@ void Checker::checkEndOfPath(VarState *, AnalysisContext &) {}
 int Checker::internState(std::string_view Name) {
   if (Name == "stop")
     return StateStop;
+  std::lock_guard<std::mutex> Lock(StateMu);
   auto It = StateIds.find(Name);
   if (It != StateIds.end())
     return It->second;
@@ -29,6 +30,7 @@ int Checker::internState(std::string_view Name) {
 int Checker::stateId(std::string_view Name) const {
   if (Name == "stop")
     return StateStop;
+  std::lock_guard<std::mutex> Lock(StateMu);
   auto It = StateIds.find(Name);
   return It == StateIds.end() ? StateStop : It->second;
 }
@@ -38,6 +40,7 @@ std::string Checker::stateName(int Id) const {
     return "stop";
   if (Id == StateUnknown)
     return "unknown";
+  std::lock_guard<std::mutex> Lock(StateMu);
   if (Id > 0 && size_t(Id) < StateNames.size())
     return StateNames[Id];
   return "<state" + std::to_string(Id) + ">";
@@ -45,5 +48,6 @@ std::string Checker::stateName(int Id) const {
 
 int Checker::initialGlobalState() const {
   // The first interned state is the initial one by convention.
+  std::lock_guard<std::mutex> Lock(StateMu);
   return StateNames.size() > 1 ? 1 : StateStop;
 }

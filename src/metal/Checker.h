@@ -19,6 +19,7 @@
 #include "metal/AnalysisContext.h"
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,9 @@ public:
   virtual int initialGlobalState() const;
 
 private:
+  /// One checker instance is shared by every worker-engine in a sharded run;
+  /// interning at analysis time (e.g. metal set_global) must be synchronized.
+  mutable std::mutex StateMu;
   std::vector<std::string> StateNames; ///< Index 0 unused ("stop").
   std::map<std::string, int, std::less<>> StateIds;
 };

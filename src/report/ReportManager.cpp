@@ -41,6 +41,16 @@ void ReportManager::clear() {
   Rules.clear();
 }
 
+void ReportManager::merge(const ReportManager &O) {
+  for (const ErrorReport &R : O.Reports)
+    add(R);
+  for (const auto &[Key, RS] : O.Rules) {
+    RuleStats &Dst = Rules[Key];
+    Dst.Examples += RS.Examples;
+    Dst.Counterexamples += RS.Counterexamples;
+  }
+}
+
 double ReportManager::ruleZ(const std::string &RuleKey) const {
   auto It = Rules.find(RuleKey);
   if (It == Rules.end())

@@ -63,6 +63,12 @@ public:
   size_t size() const { return Reports.size(); }
   void clear();
 
+  /// Folds \p O into this manager: replays every report through add() (so
+  /// dedup picks the same winners a serial run would have) and sums the rule
+  /// counters. Sharded runs merge per-worker buffers in root order, which
+  /// reproduces the serial add() sequence exactly.
+  void merge(const ReportManager &O);
+
   const std::map<std::string, RuleStats> &rules() const { return Rules; }
   /// z-statistic of \p RuleKey (0 when the rule has no events).
   double ruleZ(const std::string &RuleKey) const;

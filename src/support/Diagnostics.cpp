@@ -12,6 +12,7 @@ using namespace mc;
 
 void DiagnosticEngine::report(DiagKind Kind, SourceLoc Loc,
                               std::string Message) {
+  std::lock_guard<std::mutex> Lock(Mu);
   Diags.push_back(Diagnostic{Kind, Loc, std::move(Message)});
   if (Kind == DiagKind::Error)
     ++NumErrors;

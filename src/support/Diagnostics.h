@@ -16,6 +16,8 @@
 
 #include "support/SourceManager.h"
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,10 @@ struct Diagnostic {
 };
 
 /// Collects diagnostics; optionally echoes them to a stream as they arrive.
+/// report() is internally synchronized (parallel pass-1 batches normally give
+/// each translation unit a private engine and replay serially, but shared
+/// sinks must not corrupt state either); all() is only safe to read once the
+/// producing threads have been joined.
 class DiagnosticEngine {
 public:
   explicit DiagnosticEngine(const SourceManager &SM, raw_ostream *Echo = nullptr)
@@ -62,8 +68,9 @@ public:
 private:
   const SourceManager &SM;
   raw_ostream *Echo;
-  std::vector<Diagnostic> Diags;
-  unsigned NumErrors = 0;
+  std::vector<Diagnostic> Diags; ///< Guarded by Mu.
+  std::atomic<unsigned> NumErrors{0};
+  std::mutex Mu;
 };
 
 } // namespace mc

@@ -13,6 +13,7 @@
 using namespace mc;
 
 unsigned SourceManager::addBuffer(std::string Name, std::string Contents) {
+  std::lock_guard<std::mutex> Lock(Mu);
   Files.push_back(FileEntry{std::move(Name), std::move(Contents), {}});
   return Files.size();
 }
@@ -31,6 +32,7 @@ unsigned SourceManager::addFile(const std::string &Path) {
 }
 
 const SourceManager::FileEntry *SourceManager::entry(unsigned FileID) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   if (FileID == 0 || FileID > Files.size())
     return nullptr;
   return &Files[FileID - 1];
@@ -52,11 +54,15 @@ FullLoc SourceManager::decode(SourceLoc Loc) const {
   const FileEntry *E = entry(Loc.fileID());
   if (!E)
     return FullLoc{};
-  if (E->LineStarts.empty()) {
-    E->LineStarts.push_back(0);
-    for (unsigned I = 0, Sz = E->Contents.size(); I != Sz; ++I)
-      if (E->Contents[I] == '\n')
-        E->LineStarts.push_back(I + 1);
+  {
+    // Build the line table lazily; Mu also orders concurrent decoders.
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (E->LineStarts.empty()) {
+      E->LineStarts.push_back(0);
+      for (unsigned I = 0, Sz = E->Contents.size(); I != Sz; ++I)
+        if (E->Contents[I] == '\n')
+          E->LineStarts.push_back(I + 1);
+    }
   }
   unsigned Off = std::min<unsigned>(Loc.offset(), E->Contents.size());
   auto It = std::upper_bound(E->LineStarts.begin(), E->LineStarts.end(), Off);

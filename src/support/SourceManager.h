@@ -16,6 +16,8 @@
 #define MC_SUPPORT_SOURCEMANAGER_H
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,7 +54,10 @@ struct FullLoc {
 };
 
 /// Registry of source buffers. Buffers are immutable once added, so
-/// string_views into them stay valid for the manager's lifetime.
+/// string_views into them stay valid for the manager's lifetime. Adding and
+/// decoding are internally synchronized: parallel pass-1 workers register
+/// include buffers and parallel engine workers decode report locations
+/// concurrently (entries live in a deque, so they never move).
 class SourceManager {
 public:
   /// Adds a buffer under \p Name; returns its file id (>= 1).
@@ -68,7 +73,10 @@ public:
   std::string_view bufferName(unsigned FileID) const;
 
   /// Number of registered buffers.
-  unsigned numBuffers() const { return Files.size(); }
+  unsigned numBuffers() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return unsigned(Files.size());
+  }
 
   /// Decodes \p Loc into file/line/column. Invalid locations decode to a
   /// FullLoc with Line == 0.
@@ -81,12 +89,15 @@ private:
   struct FileEntry {
     std::string Name;
     std::string Contents;
-    /// Byte offsets of each line start, built lazily.
+    /// Byte offsets of each line start, built lazily under Mu.
     mutable std::vector<unsigned> LineStarts;
   };
   const FileEntry *entry(unsigned FileID) const;
 
-  std::vector<FileEntry> Files;
+  /// Deque: growing never moves existing entries, so views handed out stay
+  /// valid while other threads add buffers.
+  std::deque<FileEntry> Files;
+  mutable std::mutex Mu;
 };
 
 } // namespace mc

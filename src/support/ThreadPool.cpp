@@ -1,0 +1,101 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool -------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+using namespace mc;
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned WorkerCount) {
+  if (WorkerCount == 0)
+    WorkerCount = hardwareThreads();
+  Workers.reserve(WorkerCount);
+  for (unsigned I = 0; I != WorkerCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::async(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkAvailable.wait(Lock, [this] { return Stop || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stop requested and everything already ran.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++Active;
+    }
+#if defined(__cpp_exceptions)
+    try {
+      Task();
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+#else
+    Task();
+#endif
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --Active;
+      if (Queue.empty() && Active == 0)
+        AllIdle.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  AllIdle.wait(Lock, [this] { return Queue.empty() && Active == 0; });
+#if defined(__cpp_exceptions)
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr;
+    std::rethrow_exception(E);
+  }
+#endif
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  auto Next = std::make_shared<std::atomic<size_t>>(0);
+  size_t Spawn = std::min<size_t>(N, Workers.size());
+  for (size_t W = 0; W != Spawn; ++W)
+    async([Next, N, &Fn] {
+      for (size_t I = (*Next)++; I < N; I = (*Next)++)
+        Fn(I);
+    });
+  wait();
+}

@@ -1,0 +1,72 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed set of worker threads draining a task queue. The parallel run
+/// modes (sharded root-function analysis, batched pass-1 parsing) queue
+/// closures here; wait() is the merge barrier that makes their results safe
+/// to splice back into shared structures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_THREADPOOL_H
+#define MC_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mc {
+
+/// Fixed worker count, FIFO task queue, reusable across wait() barriers.
+class ThreadPool {
+public:
+  /// \p Workers == 0 picks hardwareThreads().
+  explicit ThreadPool(unsigned Workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Queues \p Task for execution on some worker.
+  void async(std::function<void()> Task);
+
+  /// Blocks until the queue is drained and every worker is idle. In builds
+  /// with exceptions enabled, rethrows the first exception a task escaped
+  /// with (the library builds with -fno-exceptions, but host programs
+  /// embedding it may not).
+  void wait();
+
+  unsigned workerCount() const { return unsigned(Workers.size()); }
+
+  /// Runs Fn(0..N-1) across the pool and waits. Indices are claimed
+  /// dynamically so uneven per-index costs balance.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static unsigned hardwareThreads();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue; ///< Guarded by Mu.
+  std::mutex Mu;
+  std::condition_variable WorkAvailable; ///< Workers sleep here.
+  std::condition_variable AllIdle;       ///< wait() sleeps here.
+  unsigned Active = 0;                   ///< Tasks in flight; guarded by Mu.
+  bool Stop = false;                     ///< Guarded by Mu.
+#if defined(__cpp_exceptions)
+  std::exception_ptr FirstError; ///< Guarded by Mu.
+#endif
+};
+
+} // namespace mc
+
+#endif // MC_SUPPORT_THREADPOOL_H
