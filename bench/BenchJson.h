@@ -1,0 +1,145 @@
+//===- bench/BenchJson.h - Machine-readable bench result lines ---*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every bench binary prints, next to its human-readable report, one (or a
+/// few) single-line JSON records prefixed with "BENCH_JSON " so trajectory
+/// tooling can grep them out of the output:
+///
+///   BENCH_JSON {"bench":"corpus","wall_ms":412.8,"stmts_per_s":91244.0,...}
+///
+/// The shared schema: "bench" (name), "wall_ms", "stmts_per_s" (program
+/// points visited per second; 0 when the bench runs no engine), the engine
+/// cache + dispatch-index counters, and "ok" (the bench's own pass/fail
+/// verdict). Benches append extra fields as needed.
+///
+/// The header also hosts the --smoke convention: every bench accepts the
+/// flag and shrinks to a tiny corpus / skips its heavyweight sections so the
+/// bench-smoke ctest label can execute each binary in a few seconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_BENCH_BENCHJSON_H
+#define MC_BENCH_BENCHJSON_H
+
+#include "engine/Engine.h"
+#include "support/RawOstream.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace mc::bench {
+
+/// Builder for one BENCH_JSON line. Field order is insertion order; keys are
+/// assumed not to need escaping (they are string literals in the benches).
+class BenchJson {
+public:
+  explicit BenchJson(std::string_view Bench) { str("bench", Bench); }
+
+  BenchJson &str(std::string_view Key, std::string_view V) {
+    beginField(Key);
+    Buf += '"';
+    for (char C : V) {
+      if (C == '"' || C == '\\')
+        Buf += '\\';
+      Buf += C;
+    }
+    Buf += '"';
+    return *this;
+  }
+
+  /// Doubles print with three decimals — enough for milliseconds and rates.
+  BenchJson &num(std::string_view Key, double V) {
+    char Tmp[64];
+    std::snprintf(Tmp, sizeof(Tmp), "%.3f", V);
+    beginField(Key);
+    Buf += Tmp;
+    return *this;
+  }
+
+  BenchJson &count(std::string_view Key, uint64_t V) {
+    beginField(Key);
+    Buf += std::to_string(V);
+    return *this;
+  }
+
+  BenchJson &flag(std::string_view Key, bool V) {
+    beginField(Key);
+    Buf += V ? "true" : "false";
+    return *this;
+  }
+
+  /// The shared counter block: cache and dispatch-index work counters.
+  BenchJson &engine(const EngineStats &S) {
+    count("points", S.PointsVisited);
+    count("blocks", S.BlocksVisited);
+    count("paths", S.PathsExplored);
+    count("cache_hits", S.BlockCacheHits);
+    count("fn_hits", S.FunctionCacheHits);
+    count("pruned", S.PathsPruned);
+    count("index_lookups", S.IndexPointLookups);
+    count("index_tried", S.IndexCandidatesTried);
+    count("index_skipped", S.IndexTransitionsSkipped);
+    count("index_blocks_skipped", S.IndexBlocksSkipped);
+    return *this;
+  }
+
+  void emit(raw_ostream &OS) const { OS << "BENCH_JSON {" << Buf << "}\n"; }
+
+private:
+  void beginField(std::string_view Key) {
+    if (!Buf.empty())
+      Buf += ',';
+    Buf += '"';
+    Buf += Key;
+    Buf += "\":";
+  }
+
+  std::string Buf;
+};
+
+/// Stopwatch for the wall_ms field.
+class BenchTimer {
+public:
+  BenchTimer() : Start(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  }
+  double seconds() const { return ms() / 1000.0; }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Program points per second, guarding the zero-duration corner.
+inline double stmtsPerSec(uint64_t Points, double Seconds) {
+  return double(Points) / (Seconds > 0 ? Seconds : 1e-9);
+}
+
+/// Detects --smoke and strips it from argv so leftover arguments can still
+/// be forwarded (e.g. to google-benchmark's Initialize).
+inline bool smokeMode(int &argc, char **argv) {
+  bool Smoke = false;
+  int W = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (std::string_view(argv[I]) == "--smoke") {
+      Smoke = true;
+      continue;
+    }
+    argv[W++] = argv[I];
+  }
+  argc = W;
+  return Smoke;
+}
+
+} // namespace mc::bench
+
+#endif // MC_BENCH_BENCHJSON_H

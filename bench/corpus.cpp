@@ -13,11 +13,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "WorkloadGen.h"
 #include "driver/Tool.h"
 #include "support/RawOstream.h"
 
 #include <chrono>
+#include <vector>
 
 using namespace mc;
 using namespace mc::bench;
@@ -31,11 +33,13 @@ double seconds(std::chrono::steady_clock::time_point A,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  const bool Smoke = smokeMode(argc, argv);
+  BenchTimer Timer;
   raw_ostream &OS = outs();
   OS << "==== Whole-suite run over the generated mini-kernel ====\n\n";
 
-  const unsigned Functions = 600;
+  const unsigned Functions = Smoke ? 120 : 600;
   MiniKernel MK = miniKernel(Functions, /*Seed=*/42, /*BugPercent=*/20);
   OS << "corpus: " << MK.Functions << " functions, " << MK.Lines
      << " lines; seeded bugs: " << MK.SeededUseAfterFree << " use-after-free, "
@@ -119,7 +123,10 @@ int main() {
   OS << "\n==== Scale sweep (full suite of 3 checkers) ====\n";
   OS << "functions |   lines | seeded | found | analyze time | throughput\n";
   bool ScaleOk = true;
-  for (unsigned N : {600u, 2400u, 9600u}) {
+  const std::vector<unsigned> Sweep =
+      Smoke ? std::vector<unsigned>{120u}
+            : std::vector<unsigned>{600u, 2400u, 9600u};
+  for (unsigned N : Sweep) {
     MiniKernel Big = miniKernel(N, 42);
     XgccTool T;
     T.addSource("mk.c", Big.Source);
@@ -145,5 +152,12 @@ int main() {
   OS << '\n'
      << (Ok ? "ALL SEEDED BUGS FOUND, ZERO FALSE POSITIVES, PASSES AGREE\n"
             : "MISMATCH\n");
+
+  BenchJson("corpus")
+      .num("wall_ms", Timer.ms())
+      .num("stmts_per_s", stmtsPerSec(S.PointsVisited, Analyze))
+      .engine(S)
+      .flag("ok", Ok)
+      .emit(OS);
   return Ok ? 0 : 1;
 }

@@ -11,10 +11,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "driver/Tool.h"
 #include "support/RawOstream.h"
 
 using namespace mc;
+using namespace mc::bench;
 
 namespace {
 
@@ -39,7 +41,9 @@ int contrived_caller(int *w, int x, int *p) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  (void)smokeMode(argc, argv); // already tiny; flag accepted for uniformity
+  BenchTimer Timer;
   raw_ostream &OS = outs();
   OS << "==== Figure 2 / Section 2.2: the free checker walkthrough ====\n\n";
   OS << Figure2 << '\n';
@@ -80,5 +84,12 @@ int main() {
 
   bool Ok = TwoErrors && QError && WError && S.PathsPruned >= 2;
   OS << '\n' << (Ok ? "FIGURE 2 TRACE REPRODUCED\n" : "MISMATCH\n");
+
+  BenchJson("fig2_trace")
+      .num("wall_ms", Timer.ms())
+      .num("stmts_per_s", stmtsPerSec(S.PointsVisited, Timer.seconds()))
+      .engine(S)
+      .flag("ok", Ok)
+      .emit(OS);
   return Ok ? 0 : 1;
 }

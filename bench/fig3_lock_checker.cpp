@@ -10,12 +10,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "driver/Tool.h"
 #include "support/RawOstream.h"
 
 using namespace mc;
+using namespace mc::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  (void)smokeMode(argc, argv); // already tiny; flag accepted for uniformity
+  BenchTimer Timer;
   raw_ostream &OS = outs();
   OS << "==== Figure 3: the lock checker, in metal ====\n";
   OS << builtinCheckerSource("lock") << '\n';
@@ -66,5 +70,13 @@ int trylock_both_paths_ok(int *l) {
      << (CleanTry ? "no false positive" : "FALSE POSITIVE") << '\n';
   bool Ok = R1 && R2 && R3 && CleanTry;
   OS << '\n' << (Ok ? "FIGURE 3 REPRODUCED\n" : "MISMATCH\n");
+
+  const EngineStats &S = Tool.stats();
+  BenchJson("fig3_lock_checker")
+      .num("wall_ms", Timer.ms())
+      .num("stmts_per_s", stmtsPerSec(S.PointsVisited, Timer.seconds()))
+      .engine(S)
+      .flag("ok", Ok)
+      .emit(OS);
   return Ok ? 0 : 1;
 }

@@ -13,10 +13,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "driver/Tool.h"
 #include "support/RawOstream.h"
 
 using namespace mc;
+using namespace mc::bench;
 
 namespace {
 
@@ -46,7 +48,9 @@ std::string edgeStr(const SummaryEdge &E, const Checker &C) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  (void)smokeMode(argc, argv); // already tiny; flag accepted for uniformity
+  BenchTimer Timer;
   raw_ostream &OS = outs();
   OS << "==== Figure 5: block and suffix summaries for Figure 2 ====\n\n";
 
@@ -106,5 +110,13 @@ int main() {
 
   bool Ok = !SuffixMentionsQ && !SuffixEndsInStop && SawP && SawW;
   OS << '\n' << (Ok ? "FIGURE 5 REPRODUCED\n" : "MISMATCH\n");
+
+  const EngineStats &S = Tool.stats();
+  BenchJson("fig5_summaries")
+      .num("wall_ms", Timer.ms())
+      .num("stmts_per_s", stmtsPerSec(S.PointsVisited, Timer.seconds()))
+      .engine(S)
+      .flag("ok", Ok)
+      .emit(OS);
   return Ok ? 0 : 1;
 }

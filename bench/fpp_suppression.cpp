@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "WorkloadGen.h"
 #include "driver/Tool.h"
 #include "report/History.h"
@@ -53,7 +54,8 @@ struct Counts {
   unsigned False = 0;
 };
 
-Counts run(const std::string &Source, bool Kill, bool Synonyms, bool FPP) {
+Counts run(const std::string &Source, bool Kill, bool Synonyms, bool FPP,
+           EngineStats &Agg) {
   XgccTool Tool;
   Tool.addSource("w.c", Source);
   Tool.addBuiltinChecker("free");
@@ -62,6 +64,7 @@ Counts run(const std::string &Source, bool Kill, bool Synonyms, bool FPP) {
   Opts.EnableSynonyms = Synonyms;
   Opts.EnableFalsePathPruning = FPP;
   Tool.run(Opts);
+  Agg.merge(Tool.stats());
   Counts C;
   for (const ErrorReport &R : Tool.reports().reports()) {
     bool IsTrue = R.FunctionName.find("real_case") == 0 ||
@@ -73,7 +76,10 @@ Counts run(const std::string &Source, bool Kill, bool Synonyms, bool FPP) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  (void)smokeMode(argc, argv); // workload is small; flag accepted uniformly
+  BenchTimer Timer;
+  EngineStats Agg;
   raw_ostream &OS = outs();
   const unsigned Groups = 25;
   std::string Source = workload(Groups);
@@ -99,7 +105,7 @@ int main() {
   Counts Baseline{};
   bool Shape = true;
   for (const Config &C : Configs) {
-    Counts R = run(Source, C.Kill, C.Syn, C.FPP);
+    Counts R = run(Source, C.Kill, C.Syn, C.FPP, Agg);
     OS.padToColumn(C.Name, 27);
     OS.printf("| %9u | %15u\n", R.True, R.False);
     if (std::string(C.Name) == "all suppression on") {
@@ -134,8 +140,17 @@ int main() {
        << Dropped << ", new: " << V2.reports().size() << '\n';
     Shape &= V2.reports().size() == 1 &&
              V2.reports().reports()[0].FunctionName == "brand_new";
+    Agg.merge(V1.stats());
+    Agg.merge(V2.stats());
   }
 
   OS << '\n' << (Shape ? "SECTION 8 SHAPE REPRODUCED\n" : "MISMATCH\n");
+
+  BenchJson("fpp_suppression")
+      .num("wall_ms", Timer.ms())
+      .num("stmts_per_s", stmtsPerSec(Agg.PointsVisited, Timer.seconds()))
+      .engine(Agg)
+      .flag("ok", Shape)
+      .emit(OS);
   return Shape ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "WorkloadGen.h"
 #include "driver/Tool.h"
 #include "support/RawOstream.h"
@@ -62,11 +63,14 @@ BENCHMARK(BM_TrackedInstances)->RangeMultiplier(2)->Range(1, 32)
 } // namespace
 
 int main(int argc, char **argv) {
+  const bool Smoke = smokeMode(argc, argv);
+  BenchTimer Timer;
   raw_ostream &OS = outs();
   OS << "==== Section 5.2: independence => linear scaling in instances ====\n";
   OS << "instances | blocks visited | points visited\n";
   OS << "----------+----------------+---------------\n";
   uint64_t Blocks1 = 0, Blocks32 = 0;
+  EngineStats Agg;
   for (unsigned N : {1u, 2u, 4u, 8u, 16u, 32u}) {
     EngineStats S = measure(N);
     OS.printf("%9u | %14llu | %14llu\n", N,
@@ -76,6 +80,7 @@ int main(int argc, char **argv) {
       Blocks1 = S.BlocksVisited;
     if (N == 32)
       Blocks32 = S.BlocksVisited;
+    Agg.merge(S);
   }
   // 32x the instances must cost far less than 32x the block traversals
   // (they ride the same paths); allow generous slack for the extra tuples.
@@ -84,7 +89,16 @@ int main(int argc, char **argv) {
                 : "UNEXPECTED SHAPE\n");
   OS << '\n';
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  BenchJson("independence")
+      .num("wall_ms", Timer.ms())
+      .num("stmts_per_s", stmtsPerSec(Agg.PointsVisited, Timer.seconds()))
+      .engine(Agg)
+      .flag("ok", Linear)
+      .emit(OS);
+
+  if (!Smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return Linear ? 0 : 1;
 }

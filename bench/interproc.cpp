@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "WorkloadGen.h"
 #include "driver/Tool.h"
 #include "support/RawOstream.h"
@@ -56,16 +57,21 @@ BENCHMARK(BM_CallChainSummaries)->RangeMultiplier(2)->Range(8, 64)
 } // namespace
 
 int main(int argc, char **argv) {
+  const bool Smoke = smokeMode(argc, argv);
+  BenchTimer Timer;
   raw_ostream &OS = outs();
   OS << "==== Section 6: function summaries vs re-analysis ====\n";
   OS << "(N callers of one depth-12 utility chain; every root has a bug)\n\n";
   OS << "callers | fn analyses (summaries) | fn analyses (re-analysis) | "
         "summary hits\n";
   bool Shape = true;
+  EngineStats Agg;
   for (unsigned Callers : {2u, 4u, 8u, 16u}) {
     unsigned RepOn = 0, RepOff = 0;
     EngineStats On = measure(12, Callers, true, &RepOn);
     EngineStats Off = measure(12, Callers, false, &RepOff);
+    Agg.merge(On);
+    Agg.merge(Off);
     OS.printf("%7u | %23llu | %25llu | %12llu\n", Callers,
               (unsigned long long)On.FunctionAnalyses,
               (unsigned long long)Off.FunctionAnalyses,
@@ -95,10 +101,20 @@ int main(int argc, char **argv) {
        << "x (for 2 distinct incoming states), reports: "
        << Tool.reports().size() << " (expect 1)\n";
     Shape &= Tool.reports().size() == 1;
+    Agg.merge(Tool.stats());
   }
   OS << '\n';
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  BenchJson("interproc")
+      .num("wall_ms", Timer.ms())
+      .num("stmts_per_s", stmtsPerSec(Agg.PointsVisited, Timer.seconds()))
+      .engine(Agg)
+      .flag("ok", Shape)
+      .emit(OS);
+
+  if (!Smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return Shape ? 0 : 1;
 }

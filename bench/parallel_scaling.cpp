@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "WorkloadGen.h"
 #include "driver/Tool.h"
 #include "support/RawOstream.h"
@@ -69,7 +70,9 @@ RunResult runAt(const std::string &Source, unsigned Jobs) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  const bool Smoke = smokeMode(argc, argv);
+  BenchTimer Timer;
   raw_ostream &OS = outs();
   const unsigned HW = ThreadPool::hardwareThreads();
   OS << "==== Sharded-analysis scaling (EngineOptions::Jobs) ====\n";
@@ -78,7 +81,8 @@ int main() {
   // Independent root cones: no callee shared between roots, so per-worker
   // summary caches do exactly the serial run's work and even the counters
   // must agree across shardings.
-  const unsigned Roots = 64, Diamonds = 12, ChainDepth = 12;
+  const unsigned Roots = Smoke ? 16 : 64, Diamonds = Smoke ? 6 : 12,
+                 ChainDepth = Smoke ? 6 : 12;
   std::string Source = parallelCorpus(Roots, Diamonds, ChainDepth);
   unsigned Lines = 0;
   for (char C : Source)
@@ -108,7 +112,10 @@ int main() {
   }
 
   OS << '\n';
-  if (HW >= 4) {
+  if (Smoke) {
+    OS.printf("speedup gate skipped (--smoke); measured %.2fx at 4 workers\n",
+              SpeedupAt4);
+  } else if (HW >= 4) {
     bool Fast = SpeedupAt4 >= 2.5;
     OS.printf("speedup gate (>= 2.50x at 4 workers): %.2fx %s\n", SpeedupAt4,
               Fast ? "PASS" : "FAIL");
@@ -120,5 +127,14 @@ int main() {
   }
 
   OS << (Ok ? "DETERMINISM HOLDS ACROSS ALL JOB COUNTS\n" : "MISMATCH\n");
+
+  BenchJson("parallel_scaling")
+      .num("wall_ms", Timer.ms())
+      .num("stmts_per_s",
+           stmtsPerSec(Base.Stats.PointsVisited, Base.AnalyzeSecs))
+      .num("speedup_at_4", SpeedupAt4)
+      .engine(Base.Stats)
+      .flag("ok", Ok)
+      .emit(OS);
   return Ok ? 0 : 1;
 }

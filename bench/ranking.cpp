@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "WorkloadGen.h"
 #include "checkers/NativeCheckers.h"
 #include "driver/Tool.h"
@@ -54,7 +55,9 @@ std::string corpus(unsigned GoodUses, unsigned GoodBugs, unsigned CondUses) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  (void)smokeMode(argc, argv); // workload is small; flag accepted uniformly
+  BenchTimer Timer;
   raw_ostream &OS = outs();
   const unsigned GoodUses = 40, GoodBugs = 3, CondUses = 30;
   std::string Source = corpus(GoodUses, GoodBugs, CondUses);
@@ -181,5 +184,13 @@ int main() {
                "the list\n"
              : "UNEXPECTED lock-wrapper ranking\n");
 
+  EngineStats Agg = Tool.stats();
+  Agg.merge(LockTool.stats());
+  BenchJson("ranking")
+      .num("wall_ms", Timer.ms())
+      .num("stmts_per_s", stmtsPerSec(Agg.PointsVisited, Timer.seconds()))
+      .engine(Agg)
+      .flag("ok", Shape && LockShape)
+      .emit(OS);
   return Shape && LockShape ? 0 : 1;
 }

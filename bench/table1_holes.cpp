@@ -10,11 +10,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "cfront/Parser.h"
 #include "metal/Pattern.h"
 #include "support/RawOstream.h"
 
 using namespace mc;
+using namespace mc::bench;
 
 namespace {
 
@@ -48,7 +50,9 @@ const Row Rows[] = {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  (void)smokeMode(argc, argv); // already tiny; flag accepted for uniformity
+  BenchTimer Timer;
   raw_ostream &OS = outs();
   OS << "==== Table 1: hole types and what they match ====\n\n";
 
@@ -130,5 +134,12 @@ int main() {
   OS << "\n(any expr matches every column; any pointer matches the pointer\n"
         " and array columns; the C-typed hole matches only char *.)\n";
   OS << (TableHolds ? "\nTABLE 1 REPRODUCED\n" : "\nMISMATCH\n");
+
+  BenchJson("table1_holes")
+      .num("wall_ms", Timer.ms())
+      .num("stmts_per_s", 0)
+      .engine(EngineStats())
+      .flag("ok", TableHolds)
+      .emit(OS);
   return TableHolds ? 0 : 1;
 }

@@ -11,10 +11,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "driver/Tool.h"
 #include "support/RawOstream.h"
 
 using namespace mc;
+using namespace mc::bench;
 
 namespace {
 
@@ -58,7 +60,10 @@ const RowCase Rows[] = {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  (void)smokeMode(argc, argv); // already tiny; flag accepted for uniformity
+  BenchTimer Timer;
+  EngineStats Agg;
   raw_ostream &OS = outs();
   OS << "==== Table 2: refine/restore across call boundaries ====\n\n";
   OS.padToColumn("row", 40);
@@ -81,6 +86,7 @@ int main() {
     OS.padToColumn(Row.Row, 40);
     OS << (Found ? "state transported (bug found)" : "MISSED") << '\n';
     AllOk &= Found;
+    Agg.merge(Tool.stats());
   }
 
   // The by-value restore policy: with restoreArgsByReference() == false the
@@ -104,8 +110,16 @@ int main() {
     OS << (NoReport ? "caller state preserved (no report)" : "UNEXPECTED")
        << '\n';
     AllOk &= NoReport;
+    Agg.merge(Tool.stats());
   }
 
   OS << '\n' << (AllOk ? "TABLE 2 REPRODUCED\n" : "MISMATCH\n");
+
+  BenchJson("table2_refine")
+      .num("wall_ms", Timer.ms())
+      .num("stmts_per_s", stmtsPerSec(Agg.PointsVisited, Timer.seconds()))
+      .engine(Agg)
+      .flag("ok", AllOk)
+      .emit(OS);
   return AllOk ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include "cfront/Lexer.h"
 
 #include "support/Diagnostics.h"
+#include "support/Interner.h"
 
 #include <cctype>
 #include <map>
@@ -107,9 +108,8 @@ Token Lexer::lexIdentifier() {
     ++Pos;
   Token T = makeToken(Tok::Identifier, Start);
   T.Kind = keywordKind(T.Text);
-  if (T.Kind != Tok::Identifier) {
-    // Reset to Identifier text but keyword kind — Text already right.
-  }
+  if (T.Kind == Tok::Identifier)
+    T.Text = Interner::global().internText(T.Text);
   return T;
 }
 

@@ -25,6 +25,20 @@ const Expr *firstPointerArg(const CallExpr *CE) {
   return nullptr;
 }
 
+/// Filtered discriminator over statement kinds; \p Callees restricts calls
+/// to the named functions (empty + AnyCallee admits every call).
+PatternDiscriminator triggerFor(std::initializer_list<Stmt::StmtKind> Kinds,
+                                std::vector<std::string> Callees,
+                                bool AnyCallee = false) {
+  PatternDiscriminator D;
+  D.Kind = PatternDiscriminator::Filtered;
+  for (Stmt::StmtKind K : Kinds)
+    D.KindMask |= uint64_t(1) << K;
+  D.AnyCallee = AnyCallee;
+  D.Callees = std::move(Callees);
+  return D;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -34,6 +48,9 @@ const Expr *firstPointerArg(const CallExpr *CE) {
 NativeFreeChecker::NativeFreeChecker() {
   internState("start"); // initial global state
   Freed = internState("freed");
+  Triggers.addTrigger(triggerFor({Stmt::SK_Call}, {"kfree", "free"}));
+  Triggers.addTrigger(triggerFor({Stmt::SK_Unary}, {}));
+  Triggers.seal();
 }
 
 void NativeFreeChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
@@ -84,6 +101,10 @@ FlowInsensitiveFreeChecker::FlowInsensitiveFreeChecker(
     : FreeFns(std::move(FreeFnsIn)) {
   internState("start");
   Freed = internState("freed");
+  // Any call can free or use a tracked pointer; dereferences are uses.
+  Triggers.addTrigger(
+      triggerFor({Stmt::SK_Call, Stmt::SK_Unary}, {}, /*AnyCallee=*/true));
+  Triggers.seal();
 }
 
 void FlowInsensitiveFreeChecker::checkPoint(const Stmt *Point,
@@ -162,6 +183,9 @@ void FlowInsensitiveFreeChecker::checkEndOfPath(VarState *VS,
 IntraLockChecker::IntraLockChecker() {
   internState("start");
   Locked = internState("locked");
+  Triggers.addTrigger(
+      triggerFor({Stmt::SK_Call}, {"lock", "down", "unlock", "up"}));
+  Triggers.seal();
 }
 
 void IntraLockChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
@@ -224,6 +248,8 @@ PairInferenceChecker::PairInferenceChecker() {
   // Callees that take pointer arguments everywhere and would drown the
   // statistics.
   IgnoredCallees = {"printf", "printk", "memset", "memcpy"};
+  Triggers.addTrigger(triggerFor({Stmt::SK_Call}, {}, /*AnyCallee=*/true));
+  Triggers.seal();
 }
 
 void PairInferenceChecker::checkPoint(const Stmt *Point,

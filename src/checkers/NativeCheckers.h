@@ -23,6 +23,7 @@
 #define MC_CHECKERS_NATIVECHECKERS_H
 
 #include "metal/Checker.h"
+#include "metal/DispatchIndex.h"
 
 #include <map>
 #include <mutex>
@@ -39,9 +40,12 @@ public:
 
   std::string_view name() const override { return "native_free"; }
   void checkPoint(const Stmt *Point, AnalysisContext &ACtx) override;
+  const DispatchIndex *dispatchIndex() const override { return &Triggers; }
 
 private:
   int Freed;
+  /// Trigger set for block skipping: kfree/free calls and unary operators.
+  DispatchIndex Triggers;
 };
 
 /// Section 9's flow-insensitive free checker: every function in \p FreeFns
@@ -55,10 +59,13 @@ public:
   std::string_view name() const override { return "fi_free"; }
   void checkPoint(const Stmt *Point, AnalysisContext &ACtx) override;
   void checkEndOfPath(VarState *VS, AnalysisContext &ACtx) override;
+  const DispatchIndex *dispatchIndex() const override { return &Triggers; }
 
 private:
   std::vector<std::string> FreeFns;
   int Freed;
+  /// Any call (argument uses are violations) plus unary operators.
+  DispatchIndex Triggers;
 };
 
 /// Section 9's "Ranking code" experiment: a purely intraprocedural lock
@@ -73,9 +80,12 @@ public:
   std::string_view name() const override { return "intra_lock"; }
   void checkPoint(const Stmt *Point, AnalysisContext &ACtx) override;
   void checkEndOfPath(VarState *VS, AnalysisContext &ACtx) override;
+  const DispatchIndex *dispatchIndex() const override { return &Triggers; }
 
 private:
   int Locked;
+  /// Calls to the lock/unlock vocabulary only.
+  DispatchIndex Triggers;
 };
 
 /// Deviant-behaviour pair inference. Run once in Learn mode over the whole
@@ -105,9 +115,13 @@ public:
   }
   const std::map<std::string, unsigned> &openCounts() const { return Opens; }
 
+  const DispatchIndex *dispatchIndex() const override { return &Triggers; }
+
 private:
   Mode CurMode = Mode::Learn;
   int Opened;
+  /// Every named call is interesting in both modes.
+  DispatchIndex Triggers;
   /// Learn-mode counting mutates these from checkPoint, which sharded runs
   /// call from several worker threads at once.
   std::mutex LearnMu;

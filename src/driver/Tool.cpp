@@ -148,21 +148,31 @@ void XgccTool::finalize() {
   Finalized = true;
 }
 
+bool XgccTool::addChecker(std::unique_ptr<Checker> C) {
+  for (const std::unique_ptr<Checker> &Existing : Checkers)
+    if (Existing->name() == C->name()) {
+      Diags.warning(SourceLoc(), "duplicate checker '" +
+                                     std::string(C->name()) +
+                                     "' ignored (already registered)");
+      return false;
+    }
+  Checkers.push_back(std::move(C));
+  return true;
+}
+
 bool XgccTool::addMetalChecker(const std::string &Source,
                                const std::string &Name) {
   std::unique_ptr<MetalChecker> C = compileMetalChecker(Source, Name, SM, Diags);
   if (!C)
     return false;
-  Checkers.push_back(std::move(C));
-  return true;
+  return addChecker(std::move(C));
 }
 
 bool XgccTool::addBuiltinChecker(const std::string &Name) {
   std::unique_ptr<MetalChecker> C = makeBuiltinChecker(Name, SM, Diags);
   if (!C)
     return false;
-  Checkers.push_back(std::move(C));
-  return true;
+  return addChecker(std::move(C));
 }
 
 void XgccTool::accumulateEngineStats() {

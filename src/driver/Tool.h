@@ -71,9 +71,10 @@ public:
   // Checkers
   //===--------------------------------------------------------------------===//
 
-  void addChecker(std::unique_ptr<Checker> C) {
-    Checkers.push_back(std::move(C));
-  }
+  /// Registers \p C. A checker whose name is already registered (e.g. the
+  /// same --metal file given twice) is dropped with a warning; returns
+  /// whether \p C was added.
+  bool addChecker(std::unique_ptr<Checker> C);
   /// Compiles metal source text into a checker. False on parse errors.
   bool addMetalChecker(const std::string &Source, const std::string &Name);
   /// Adds one of the stock checkers by name (see builtinCheckerNames()).

@@ -21,6 +21,9 @@
 //                        deterministically: output is byte-identical for
 //                        every N.
 //   --no-cache           disable block-level caching
+//   --no-dispatch-index  disable the compiled pattern-dispatch index (try
+//                        every transition at every statement, as the paper
+//                        describes it)
 //   --no-summaries       disable function summaries
 //   --no-fpp             disable false path pruning
 //   --intraprocedural    do not follow calls
@@ -132,6 +135,10 @@ int main(int Argc, char **Argv) {
     if (Arg == "--no-cache") {
       Opts.EnableBlockCache = false;
       Opts.MaxPathsPerFunction = 1u << 16;
+      continue;
+    }
+    if (Arg == "--no-dispatch-index") {
+      Opts.EnableDispatchIndex = false;
       continue;
     }
     if (Arg == "--no-summaries") {
@@ -288,7 +295,10 @@ int main(int Argc, char **Argv) {
            << S.BlockCacheHits << " fn-hits=" << S.FunctionCacheHits
            << " fn-analyses=" << S.FunctionAnalyses << " pruned="
            << S.PathsPruned << " kills=" << S.KillsApplied << " synonyms="
-           << S.SynonymsCreated << '\n';
+           << S.SynonymsCreated << " index-lookups=" << S.IndexPointLookups
+           << " index-tried=" << S.IndexCandidatesTried
+           << " index-skipped=" << S.IndexTransitionsSkipped
+           << " index-blocks-skipped=" << S.IndexBlocksSkipped << '\n';
   }
   return 0;
 }

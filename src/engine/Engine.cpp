@@ -7,6 +7,7 @@
 #include "engine/Engine.h"
 
 #include "cfront/ASTPrinter.h"
+#include "metal/DispatchIndex.h"
 #include "metal/Pattern.h" // stripCasts
 
 #include <algorithm>
@@ -99,13 +100,15 @@ bool referencesLocalDecl(const Expr *E,
 }
 
 /// True when \p E mentions any declaration in \p Scope.
-bool referencesAnyOf(const Expr *E, const std::set<const VarDecl *> &Scope) {
+bool referencesAnyOf(const Expr *E,
+                     const std::unordered_set<const VarDecl *> &Scope) {
   return referencesLocalDecl(
       E, [&](const VarDecl *VD) { return Scope.count(VD) != 0; });
 }
 
 /// Collects every VarDecl declared by statements under \p S.
-void collectLocalDecls(const Stmt *S, std::set<const VarDecl *> &Out) {
+void collectLocalDecls(const Stmt *S,
+                       std::unordered_set<const VarDecl *> &Out) {
   if (!S)
     return;
   switch (S->kind()) {
@@ -356,6 +359,15 @@ public:
 
   void killPath() override { PS.Killed = true; }
 
+  bool dispatchIndexEnabled() const override {
+    return E.Opts.EnableDispatchIndex;
+  }
+  void noteDispatchLookup(uint64_t Total, uint64_t Tried) override {
+    ++E.Stats.IndexPointLookups;
+    E.Stats.IndexCandidatesTried += Tried;
+    E.Stats.IndexTransitionsSkipped += Total > Tried ? Total - Tried : 0;
+  }
+
   const FunctionDecl *currentFunction() const override { return Fn; }
   const Stmt *currentTopStmt() const override {
     return PI ? PI->TopStmt : nullptr;
@@ -446,6 +458,28 @@ static void appendExprPoints(const Expr *E, const Stmt *Top, bool InCond,
   });
 }
 
+bool Engine::blockMayFire(const BasicBlock *B) {
+  if (MemoChecker != CurChecker) {
+    // The memo answers "can CurChecker's transitions fire here"; a new
+    // checker invalidates every cached answer.
+    DispatchBlockMemo.clear();
+    MemoChecker = CurChecker;
+  }
+  auto It = DispatchBlockMemo.find(B);
+  if (It != DispatchBlockMemo.end())
+    return It->second;
+  bool May = true;
+  if (const DispatchIndex *Idx = CurChecker->dispatchIndex()) {
+    May = false;
+    for (const PointInfo &PI : pointsOf(B))
+      if (Idx->mayMatch(PI.Point)) {
+        May = true;
+        break;
+      }
+  }
+  return DispatchBlockMemo[B] = May;
+}
+
 //===----------------------------------------------------------------------===//
 // Transparent analyses (Section 8)
 //===----------------------------------------------------------------------===//
@@ -520,10 +554,19 @@ void Engine::handlePoint(FrameCtx &Frame, const BasicBlock *B, PathState &PS,
   for (VarState &VS : PS.SMI.ActiveVars)
     if (VS.CreatedAt && VS.CreatedAt != PI.TopStmt)
       VS.CreatedAt = nullptr;
-  ACtxImpl ACtx(*this, PS, Frame.Fn, Frame.Depth, &PI, B->condition());
-  CurChecker->checkPoint(PI.Point, ACtx);
-  Matched = ACtx.matched();
-  PS.SMI.sweepStopped();
+  // Per-block dispatch memo: when no point of this block can fire any of the
+  // checker's transitions, skip the checker entirely. Everything the engine
+  // does around the checker (auto-kill, synonyms, FPP, PATHKILL, call
+  // following) still runs — Matched=false is exactly what the naive loop
+  // would have produced.
+  if (Opts.EnableDispatchIndex && !blockMayFire(B)) {
+    Matched = false;
+  } else {
+    ACtxImpl ACtx(*this, PS, Frame.Fn, Frame.Depth, &PI, B->condition());
+    CurChecker->checkPoint(PI.Point, ACtx);
+    Matched = ACtx.matched();
+    PS.SMI.sweepStopped();
+  }
   // Composition: a point flagged PATHKILL by an earlier checker (the panic
   // annotator) stops the traversal of the current path.
   if (const std::string *Kill = annotation(PI.Point, "PATHKILL")) {
@@ -570,6 +613,8 @@ void Engine::traverseBlock(FrameCtx &Frame, const BasicBlock *B,
     return;
   }
   ++Stats.BlocksVisited;
+  if (Opts.EnableDispatchIndex && !blockMayFire(B))
+    ++Stats.IndexBlocksSkipped;
   BlockSummary &Sum = Frame.FS->of(B);
   std::vector<StateTuple> Entry = tuplesOf(PS.SMI);
 
@@ -858,11 +903,12 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
 // Interprocedural analysis (Section 6)
 //===----------------------------------------------------------------------===//
 
-const std::set<const VarDecl *> &Engine::localsOf(const FunctionDecl *Fn) {
+const std::unordered_set<const VarDecl *> &
+Engine::localsOf(const FunctionDecl *Fn) {
   auto It = FnLocalsCache.find(Fn);
   if (It != FnLocalsCache.end())
     return It->second;
-  std::set<const VarDecl *> Locals;
+  std::unordered_set<const VarDecl *> Locals;
   for (VarDecl *P : Fn->params())
     Locals.insert(P);
   collectLocalDecls(Fn->body(), Locals);
@@ -875,7 +921,7 @@ Engine::PathState Engine::refine(const PathState &PS, const CallExpr *CE,
   PathState Out;
   Out.SMI.GState = PS.SMI.GState;
   Out.PathAnnotation = PS.PathAnnotation;
-  const std::set<const VarDecl *> &CallerScope = localsOf(Caller);
+  const std::unordered_set<const VarDecl *> &CallerScope = localsOf(Caller);
 
   // Build the actual/formal pairs.
   for (unsigned I = 0; I < CE->numArgs() && I < Callee->numParams(); ++I) {
@@ -1243,6 +1289,10 @@ void Engine::analyzeRoot(Checker &C, const FunctionDecl *Root) {
 void Engine::beginChecker(Checker &C) {
   CurChecker = &C;
   Summaries.clear();
+  // Drop the dispatch memo unconditionally: a fresh Checker may reuse a
+  // destroyed one's address, which the pointer guard alone would miss.
+  DispatchBlockMemo.clear();
+  MemoChecker = &C;
 }
 
 void Engine::run(Checker &C) {

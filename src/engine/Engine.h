@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace mc {
 
@@ -39,6 +41,9 @@ struct EngineOptions {
   bool EnableAutoKill = true;         ///< Section 8 killing (AND checker knob).
   bool EnableSynonyms = true;         ///< Section 8 synonyms (AND checker knob).
   bool Interprocedural = true;        ///< Follow calls at all.
+  /// Compiled pattern-dispatch index + per-block applicable-transition memo
+  /// (--no-dispatch-index falls back to trying every transition everywhere).
+  bool EnableDispatchIndex = true;
   /// Safety valves for cache-off configurations: a function analysis stops
   /// exploring after this many completed paths, and a single path aborts
   /// after this many blocks (without caching, loops never converge).
@@ -68,6 +73,13 @@ struct EngineStats {
   uint64_t KillsApplied = 0;
   uint64_t SynonymsCreated = 0;
   uint64_t PathLimitHits = 0;
+  /// Dispatch-index telemetry: consultations, candidates that ran full
+  /// matching, transitions skipped without matching, and whole blocks whose
+  /// checker dispatch was skipped via the per-block memo.
+  uint64_t IndexPointLookups = 0;
+  uint64_t IndexCandidatesTried = 0;
+  uint64_t IndexTransitionsSkipped = 0;
+  uint64_t IndexBlocksSkipped = 0;
 
   /// Adds \p O's counters into this one. Used to fold per-worker engine
   /// stats into one tool-level total; summation is order-free, so the merged
@@ -84,6 +96,10 @@ struct EngineStats {
     KillsApplied += O.KillsApplied;
     SynonymsCreated += O.SynonymsCreated;
     PathLimitHits += O.PathLimitHits;
+    IndexPointLookups += O.IndexPointLookups;
+    IndexCandidatesTried += O.IndexCandidatesTried;
+    IndexTransitionsSkipped += O.IndexTransitionsSkipped;
+    IndexBlocksSkipped += O.IndexBlocksSkipped;
   }
 
   friend bool operator==(const EngineStats &, const EngineStats &) = default;
@@ -192,13 +208,24 @@ private:
 
   Checker *CurChecker = nullptr;
   std::map<const FunctionDecl *, FunctionSummaries> Summaries;
-  std::map<const BasicBlock *, std::vector<PointInfo>> PointCache;
+  // The three lookup caches below are never iterated (single-key probes
+  // only), so hashed containers are safe: no engine decision, and hence no
+  // report byte, depends on their order. Annotations stays a std::map — the
+  // sharded merge and composition tests iterate it in address order.
+  std::unordered_map<const BasicBlock *, std::vector<PointInfo>> PointCache;
   AnnotationMap Annotations;
   /// Synthesized DeclRefExprs for formals and declared locals.
-  std::map<const VarDecl *, const Expr *> DeclRefCache;
+  std::unordered_map<const VarDecl *, const Expr *> DeclRefCache;
   /// Params + block-scope locals per function (scope tests for Table 2).
-  std::map<const FunctionDecl *, std::set<const VarDecl *>> FnLocalsCache;
-  const std::set<const VarDecl *> &localsOf(const FunctionDecl *Fn);
+  std::unordered_map<const FunctionDecl *, std::unordered_set<const VarDecl *>>
+      FnLocalsCache;
+  const std::unordered_set<const VarDecl *> &localsOf(const FunctionDecl *Fn);
+  /// Per-block dispatch memo for CurChecker: false = no point in the block
+  /// can fire any of the checker's transitions, so checkPoint is skipped for
+  /// the whole block on every path through it. Engine-private (per worker).
+  std::unordered_map<const BasicBlock *, bool> DispatchBlockMemo;
+  const Checker *MemoChecker = nullptr;
+  bool blockMayFire(const BasicBlock *B);
   unsigned SynonymGroupCounter = 0;
 };
 

@@ -18,6 +18,7 @@
 
 #include "metal/State.h"
 
+#include <cstdint>
 #include <string>
 
 namespace mc {
@@ -107,6 +108,20 @@ public:
   /// Stops traversing the current path (the path-kill composition idiom:
   /// paths dominated by panic() report nothing).
   virtual void killPath() = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Dispatch-index services
+  //===--------------------------------------------------------------------===//
+
+  /// Whether the checker may consult its compiled dispatch index here
+  /// (EngineOptions::EnableDispatchIndex; --no-dispatch-index forces the
+  /// naive try-every-transition loop). Defaulted so tests' mock contexts
+  /// need not care.
+  virtual bool dispatchIndexEnabled() const { return true; }
+
+  /// Telemetry: one index consultation narrowed \p Total point-matchable
+  /// transitions down to \p Tried candidates.
+  virtual void noteDispatchLookup(uint64_t /*Total*/, uint64_t /*Tried*/) {}
 
   //===--------------------------------------------------------------------===//
   // Environment

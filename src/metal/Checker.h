@@ -25,6 +25,8 @@
 
 namespace mc {
 
+class DispatchIndex;
+
 /// Base class for all checkers.
 class Checker {
 public:
@@ -43,6 +45,14 @@ public:
   /// the `$end_of_path$` pattern (Section 3.2). \p VS is null for
   /// program-termination (whole-path) end.
   virtual void checkEndOfPath(VarState *VS, AnalysisContext &ACtx);
+
+  /// The checker's compiled pattern-dispatch index, or null when it has
+  /// declared no syntactic triggers. The engine uses it to skip blocks none
+  /// of whose points could fire a transition; soundness contract: if
+  /// mayMatch() rejects every point of a block, checkPoint() must be a no-op
+  /// throughout the block. Must be immutable once analysis starts (the
+  /// instance is shared across worker engines).
+  virtual const DispatchIndex *dispatchIndex() const { return nullptr; }
 
   //===--------------------------------------------------------------------===//
   // Engine behaviour knobs (Section 8 analyses run "transparently unless a

@@ -1,0 +1,258 @@
+//===- metal/DispatchIndex.cpp - Compiled pattern dispatch -------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metal/DispatchIndex.h"
+
+#include "metal/Pattern.h"
+#include "support/Interner.h"
+
+#include <algorithm>
+
+using namespace mc;
+
+static_assert(Stmt::lastExpr < 64, "StmtKind must fit a 64-bit kind mask");
+
+static uint64_t kindBit(unsigned K) { return uint64_t(1) << K; }
+static const uint64_t CallBit = kindBit(Stmt::SK_Call);
+
+uint64_t PatternDiscriminator::anyExprMask() {
+  uint64_t M = 0;
+  for (unsigned K = Stmt::firstExpr; K <= unsigned(Stmt::lastExpr); ++K)
+    M |= kindBit(K);
+  return M;
+}
+
+/// Discriminator of a base (code-fragment) pattern rooted at \p Tree,
+/// derived from the unification rules in Pattern.cpp:
+///  - unifyStmt demands expression targets for expression patterns, and
+///    equal root kinds otherwise — no cast-stripping happens at the root;
+///  - an unbound root hole accepts per holeAccepts(); a pre-bound one (the
+///    state variable) is compared against the *cast-stripped* target, so an
+///    `any fn call` hole can also meet the call behind a cast;
+///  - a call pattern whose callee is a plain identifier only unifies with
+///    calls whose callee is an identically-spelled identifier.
+static PatternDiscriminator ofBase(const Stmt *Tree) {
+  if (!Tree)
+    return PatternDiscriminator::never();
+  PatternDiscriminator D;
+  D.Kind = PatternDiscriminator::Filtered;
+  if (const auto *H = dyn_cast<HoleExpr>(Tree)) {
+    switch (H->holeKind()) {
+    case HoleExpr::AnyArguments:
+      // Only legal inside an argument list; a stray one matches nothing.
+      return PatternDiscriminator::never();
+    case HoleExpr::AnyFnCall:
+      D.KindMask = CallBit | kindBit(Stmt::SK_Cast);
+      D.AnyCallee = true;
+      return D;
+    default:
+      D.KindMask = PatternDiscriminator::anyExprMask();
+      D.AnyCallee = true;
+      return D;
+    }
+  }
+  if (const auto *C = dyn_cast<CallExpr>(Tree)) {
+    D.KindMask = CallBit;
+    if (const auto *DR = dyn_cast<DeclRefExpr>(C->callee()))
+      D.Callees.emplace_back(DR->name());
+    else
+      D.AnyCallee = true;
+    return D;
+  }
+  D.KindMask = kindBit(Tree->kind());
+  return D;
+}
+
+PatternDiscriminator
+PatternDiscriminator::unite(const PatternDiscriminator &L,
+                            const PatternDiscriminator &R) {
+  if (L.Kind == AlwaysTry || R.Kind == AlwaysTry)
+    return always();
+  if (L.Kind == Never)
+    return R;
+  if (R.Kind == Never)
+    return L;
+  PatternDiscriminator D;
+  D.Kind = Filtered;
+  D.KindMask = L.KindMask | R.KindMask;
+  bool LCall = (L.KindMask & CallBit) != 0;
+  bool RCall = (R.KindMask & CallBit) != 0;
+  D.AnyCallee = (LCall && L.AnyCallee) || (RCall && R.AnyCallee);
+  if ((D.KindMask & CallBit) && !D.AnyCallee) {
+    if (LCall)
+      D.Callees = L.Callees;
+    if (RCall)
+      D.Callees.insert(D.Callees.end(), R.Callees.begin(), R.Callees.end());
+    std::sort(D.Callees.begin(), D.Callees.end());
+    D.Callees.erase(std::unique(D.Callees.begin(), D.Callees.end()),
+                    D.Callees.end());
+  }
+  return D;
+}
+
+PatternDiscriminator
+PatternDiscriminator::intersect(const PatternDiscriminator &L,
+                                const PatternDiscriminator &R) {
+  if (L.Kind == Never || R.Kind == Never)
+    return never();
+  if (L.Kind == AlwaysTry)
+    return R;
+  if (R.Kind == AlwaysTry)
+    return L;
+  PatternDiscriminator D;
+  D.Kind = Filtered;
+  D.KindMask = L.KindMask & R.KindMask;
+  if (!D.KindMask)
+    return never();
+  if (D.KindMask & CallBit) {
+    if (L.AnyCallee && R.AnyCallee) {
+      D.AnyCallee = true;
+    } else if (L.AnyCallee) {
+      D.Callees = R.Callees;
+    } else if (R.AnyCallee) {
+      D.Callees = L.Callees;
+    } else {
+      for (const std::string &N : L.Callees)
+        if (std::find(R.Callees.begin(), R.Callees.end(), N) != R.Callees.end())
+          D.Callees.push_back(N);
+      if (D.Callees.empty()) {
+        // Both sides name callees but agree on none: no call can satisfy
+        // the conjunction, though other kinds in the mask still might.
+        D.KindMask &= ~CallBit;
+        if (!D.KindMask)
+          return never();
+      }
+    }
+  }
+  return D;
+}
+
+PatternDiscriminator PatternDiscriminator::of(const Pattern &P) {
+  switch (P.patKind()) {
+  case Pattern::Base:
+    return ofBase(P.baseTree());
+  case Pattern::And:
+    return intersect(of(*P.lhs()), of(*P.rhs()));
+  case Pattern::Or:
+    return unite(of(*P.lhs()), of(*P.rhs()));
+  case Pattern::Callout:
+    // Callouts are opaque predicates (and the registry is mutable), so even
+    // ${0} gets no syntactic filter.
+    return always();
+  case Pattern::EndOfPath:
+    // Matches only at path end, which the engine handles separately;
+    // unmatchable at program points.
+    return never();
+  }
+  return always();
+}
+
+void DispatchIndex::add(uint32_t Block, uint32_t Trans, const Pattern &P) {
+  ++Total;
+  Ref R = makeRef(Block, Trans);
+  PatternDiscriminator D = PatternDiscriminator::of(P);
+  switch (D.Kind) {
+  case PatternDiscriminator::Never:
+    return;
+  case PatternDiscriminator::AlwaysTry:
+    AlwaysTry.push_back(R);
+    return;
+  case PatternDiscriminator::Filtered:
+    break;
+  }
+  for (unsigned K = 0; K <= unsigned(Stmt::lastExpr); ++K) {
+    if (!(D.KindMask & kindBit(K)))
+      continue;
+    if (K == Stmt::SK_Call && !D.AnyCallee) {
+      for (const std::string &Name : D.Callees)
+        ByCalleeId[Interner::global().intern(Name)].push_back(R);
+      continue;
+    }
+    ByKind[K].push_back(R);
+  }
+}
+
+void DispatchIndex::addTrigger(const PatternDiscriminator &D) {
+  switch (D.Kind) {
+  case PatternDiscriminator::Never:
+    return;
+  case PatternDiscriminator::AlwaysTry:
+    TriggerAlways = true;
+    return;
+  case PatternDiscriminator::Filtered:
+    break;
+  }
+  uint64_t M = D.KindMask;
+  if (M & CallBit) {
+    if (D.AnyCallee) {
+      TriggerAnyCallee = true;
+    } else {
+      for (const std::string &Name : D.Callees)
+        TriggerCalleeIds.push_back(Interner::global().intern(Name));
+      // Keep the call bit out of the mask: calls are admitted through the
+      // callee-id check, not wholesale.
+      M &= ~CallBit;
+    }
+  }
+  TriggerKindMask |= M;
+}
+
+void DispatchIndex::seal() {
+  auto SortUnique = [](std::vector<uint32_t> &V) {
+    std::sort(V.begin(), V.end());
+    V.erase(std::unique(V.begin(), V.end()), V.end());
+  };
+  SortUnique(AlwaysTry);
+  for (auto &KV : ByKind)
+    SortUnique(KV.second);
+  for (auto &KV : ByCalleeId)
+    SortUnique(KV.second);
+  SortUnique(TriggerCalleeIds);
+}
+
+void DispatchIndex::lookup(const Stmt *Point, CandidateList &Out) const {
+  Out.clear();
+  unsigned K = Point->kind();
+  auto ItK = ByKind.find(K);
+  if (ItK != ByKind.end())
+    Out.insert(Out.end(), ItK->second.begin(), ItK->second.end());
+  if (K == Stmt::SK_Call && !ByCalleeId.empty()) {
+    std::string_view Callee = cast<CallExpr>(Point)->calleeName();
+    if (!Callee.empty())
+      if (uint32_t Id = Interner::global().lookup(Callee)) {
+        auto ItC = ByCalleeId.find(Id);
+        if (ItC != ByCalleeId.end())
+          Out.insert(Out.end(), ItC->second.begin(), ItC->second.end());
+      }
+  }
+  Out.insert(Out.end(), AlwaysTry.begin(), AlwaysTry.end());
+  // The buckets are disjoint and individually sorted; merging up to three of
+  // them still needs one sort to restore global declaration order.
+  if (Out.size() > 1)
+    std::sort(Out.begin(), Out.end());
+}
+
+bool DispatchIndex::mayMatch(const Stmt *Point) const {
+  if (!AlwaysTry.empty() || TriggerAlways)
+    return true;
+  unsigned K = Point->kind();
+  if (TriggerKindMask & kindBit(K))
+    return true;
+  if (ByKind.find(K) != ByKind.end())
+    return true;
+  if (K == Stmt::SK_Call) {
+    std::string_view Callee = cast<CallExpr>(Point)->calleeName();
+    if (!Callee.empty())
+      if (uint32_t Id = Interner::global().lookup(Callee)) {
+        if (ByCalleeId.find(Id) != ByCalleeId.end())
+          return true;
+        if (std::binary_search(TriggerCalleeIds.begin(),
+                               TriggerCalleeIds.end(), Id))
+          return true;
+      }
+  }
+  return false;
+}

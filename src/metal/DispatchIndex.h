@@ -1,0 +1,133 @@
+//===- metal/DispatchIndex.h - Compiled pattern dispatch --------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Syntactic pre-filtering for transition patterns. At checker-registration
+/// time each transition's pattern is analyzed into a discriminator — the set
+/// of root statement kinds it could unify with, plus (for call points) the
+/// admissible callee names — and filed into a (stmt kind, interned callee)
+/// index. At a program point the engine then tries full structural matching
+/// only on the transitions the index yields, instead of every transition of
+/// every state block. Patterns with no syntactic handle (callout-only
+/// patterns, holes that accept any expression combined under ||) land in a
+/// small always-try bucket so matching semantics are unchanged.
+///
+/// Soundness contract: if the discriminator excludes a (pattern, point)
+/// pair, Pattern::match is guaranteed to return false for it. The index may
+/// over-approximate (yield candidates that fail full matching) but never
+/// under-approximate. Candidates come back in declaration order — ascending
+/// (state block, transition) — so the planned-transition order, and hence
+/// every report, is byte-identical with the index on or off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_METAL_DISPATCHINDEX_H
+#define MC_METAL_DISPATCHINDEX_H
+
+#include "cfront/AST.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mc {
+
+class Pattern;
+
+/// What a pattern's root can syntactically accept; computed bottom-up over
+/// the &&/||/callout structure (see PatternDiscriminator::of).
+struct PatternDiscriminator {
+  enum Shape {
+    Never,     ///< Matches no point (e.g. a stray `any args` hole).
+    AlwaysTry, ///< No syntactic filter; full matching must always run.
+    Filtered,  ///< KindMask (plus callee names at call points) applies.
+  };
+
+  Shape Kind = AlwaysTry;
+  /// One bit per Stmt::StmtKind the root could unify with (Filtered only).
+  uint64_t KindMask = 0;
+  /// When KindMask includes SK_Call: true if any callee is admissible.
+  bool AnyCallee = false;
+  /// When KindMask includes SK_Call and !AnyCallee: admissible callee names.
+  std::vector<std::string> Callees;
+
+  static PatternDiscriminator never() { return {Never, 0, false, {}}; }
+  static PatternDiscriminator always() { return {AlwaysTry, 0, false, {}}; }
+
+  /// Every-expression-kind mask (what an untyped hole accepts).
+  static uint64_t anyExprMask();
+
+  /// Analyzes \p P. Conservative: only shapes provably implied by the
+  /// unification rules in Pattern.cpp are used to filter.
+  static PatternDiscriminator of(const Pattern &P);
+
+  /// D1 || D2 and D1 && D2 under the soundness ordering Never < Filtered <
+  /// AlwaysTry.
+  static PatternDiscriminator unite(const PatternDiscriminator &L,
+                                    const PatternDiscriminator &R);
+  static PatternDiscriminator intersect(const PatternDiscriminator &L,
+                                        const PatternDiscriminator &R);
+};
+
+/// Immutable-after-seal dispatch table. Built once in a checker's
+/// constructor and then only read, so one instance is safely shared by every
+/// worker engine in a sharded run.
+class DispatchIndex {
+public:
+  /// Packed transition reference: (state-block index << 16) | transition
+  /// index. Packing makes "sorted refs" mean "declaration order".
+  using Ref = uint32_t;
+  static constexpr Ref makeRef(uint32_t Block, uint32_t Trans) {
+    return (Block << 16) | Trans;
+  }
+  static constexpr uint32_t blockOf(Ref R) { return R >> 16; }
+  static constexpr uint32_t transOf(Ref R) { return R & 0xffff; }
+
+  using CandidateList = std::vector<Ref>;
+
+  /// Files transition (\p Block, \p Trans) under \p P's discriminator.
+  void add(uint32_t Block, uint32_t Trans, const Pattern &P);
+
+  /// Files a pre-computed discriminator with a synthetic ref. Used by native
+  /// checkers, which keep their own dispatch but declare trigger sets so the
+  /// engine's per-block memo (mayMatch) can skip dead blocks for them too.
+  void addTrigger(const PatternDiscriminator &D);
+
+  /// Sorts candidate lists into declaration order. Call once, after the last
+  /// add(); the index is immutable (and shareable across threads) after.
+  void seal();
+
+  /// Fills \p Out with every transition that could match \p Point, in
+  /// ascending Ref order.
+  void lookup(const Stmt *Point, CandidateList &Out) const;
+
+  /// Conservative: could *any* registered transition or trigger match
+  /// \p Point?
+  bool mayMatch(const Stmt *Point) const;
+
+  /// Number of transitions filed via add() (always-try ones included).
+  size_t transitionCount() const { return Total; }
+  /// Transitions with no syntactic filter.
+  size_t alwaysTryCount() const { return AlwaysTry.size(); }
+
+private:
+  std::vector<Ref> AlwaysTry;
+  /// Non-call kinds, and SK_Call for any-callee patterns.
+  std::unordered_map<uint32_t, std::vector<Ref>> ByKind;
+  /// SK_Call with a specific callee, keyed by interned name id.
+  std::unordered_map<uint32_t, std::vector<Ref>> ByCalleeId;
+  size_t Total = 0;
+  /// addTrigger() state: feeds mayMatch() only, yields no candidates.
+  bool TriggerAlways = false;
+  uint64_t TriggerKindMask = 0;
+  bool TriggerAnyCallee = false;
+  std::vector<uint32_t> TriggerCalleeIds;
+};
+
+} // namespace mc
+
+#endif // MC_METAL_DISPATCHINDEX_H

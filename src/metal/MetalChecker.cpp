@@ -41,6 +41,20 @@ MetalChecker::MetalChecker(std::unique_ptr<CheckerSpec> SpecIn)
   }
   if (InitialState == StateStop && !Spec->Blocks.empty())
     InitialState = internState("start");
+
+  // Compile the dispatch index: every point-matchable transition is filed
+  // under its pattern's discriminator. $end_of_path$-mentioning transitions
+  // never match at points (checkEndOfPath owns them), so they are left out
+  // entirely. Immutable from here on.
+  for (size_t BI = 0; BI != Blocks.size(); ++BI)
+    for (size_t TI = 0; TI != Blocks[BI].Transitions.size(); ++TI) {
+      const MetalTransition &T = *Blocks[BI].Transitions[TI].T;
+      if (T.Pat->mentionsEndOfPath())
+        continue;
+      Index.add(uint32_t(BI), uint32_t(TI), *T.Pat);
+      ++PointTransitions;
+    }
+  Index.seal();
 }
 
 std::string MetalChecker::resolveArgText(const CalloutArg &Arg,
@@ -193,6 +207,22 @@ void MetalChecker::execute(const CompiledTransition &CT, const Stmt *Point,
 void MetalChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
   SMInstance &SM = ACtx.state();
 
+  // Dispatch: with the index enabled, only transitions whose discriminator
+  // admits this point's (kind, callee) run full structural matching. The
+  // candidate list is sorted by packed (block, transition) ref, i.e. exactly
+  // declaration order, so the plan below is identical to the naive loop's.
+  // Per-thread buffers: one MetalChecker serves all worker engines.
+  static thread_local DispatchIndex::CandidateList Cands;
+  static thread_local std::vector<uint32_t> TryList;
+  const bool UseIndex = ACtx.dispatchIndexEnabled();
+  size_t Cursor = 0;
+  if (UseIndex) {
+    Index.lookup(Point, Cands);
+    ACtx.noteDispatchLookup(PointTransitions, Cands.size());
+    if (Cands.empty())
+      return;
+  }
+
   // Plan first, then apply: transitions must not observe each other's
   // effects within one point (the independence requirement).
   struct Planned {
@@ -202,13 +232,25 @@ void MetalChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
   };
   std::vector<Planned> Plan;
 
-  for (const CompiledBlock &CB : Blocks) {
+  for (size_t BI = 0; BI != Blocks.size(); ++BI) {
+    const CompiledBlock &CB = Blocks[BI];
+    TryList.clear();
+    if (UseIndex) {
+      while (Cursor != Cands.size() &&
+             DispatchIndex::blockOf(Cands[Cursor]) == BI)
+        TryList.push_back(DispatchIndex::transOf(Cands[Cursor++]));
+    } else {
+      for (uint32_t TI = 0; TI != CB.Transitions.size(); ++TI)
+        if (!CB.Transitions[TI].T->Pat->mentionsEndOfPath())
+          TryList.push_back(TI);
+    }
+    if (TryList.empty())
+      continue;
     if (!CB.IsVarState) {
       if (CB.StateValue != SM.GState)
         continue;
-      for (const CompiledTransition &CT : CB.Transitions) {
-        if (CT.T->Pat->mentionsEndOfPath())
-          continue;
+      for (uint32_t TI : TryList) {
+        const CompiledTransition &CT = CB.Transitions[TI];
         Bindings B;
         CalloutEnv Env{Point, &B, &ACtx, nullptr};
         if (CT.T->Pat->match(Point, B, Env))
@@ -221,9 +263,8 @@ void MetalChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
         continue;
       if (ACtx.justCreated(VS))
         continue; // No transition at the creating statement (Section 3.2).
-      for (const CompiledTransition &CT : CB.Transitions) {
-        if (CT.T->Pat->mentionsEndOfPath())
-          continue;
+      for (uint32_t TI : TryList) {
+        const CompiledTransition &CT = CB.Transitions[TI];
         Bindings B;
         if (!Spec->StateVarName.empty())
           B.emplace(Spec->StateVarName, VS.Tree);

@@ -17,6 +17,7 @@
 #define MC_METAL_METALCHECKER_H
 
 #include "metal/Checker.h"
+#include "metal/DispatchIndex.h"
 #include "metal/MetalParser.h"
 
 namespace mc {
@@ -29,6 +30,7 @@ public:
   std::string_view name() const override { return Spec->Name; }
   void checkPoint(const Stmt *Point, AnalysisContext &ACtx) override;
   void checkEndOfPath(VarState *VS, AnalysisContext &ACtx) override;
+  const DispatchIndex *dispatchIndex() const override { return &Index; }
 
   const CheckerSpec &spec() const { return *Spec; }
 
@@ -57,6 +59,10 @@ private:
   std::unique_ptr<CheckerSpec> Spec;
   std::vector<CompiledBlock> Blocks;
   int InitialState = StateStop;
+  /// Built in the constructor, read-only afterwards (shared across workers).
+  DispatchIndex Index;
+  /// Number of transitions matchable at points (i.e. not $end_of_path$).
+  size_t PointTransitions = 0;
 };
 
 } // namespace mc

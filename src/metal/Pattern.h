@@ -93,6 +93,9 @@ public:
 
   PatKind patKind() const { return Kind; }
   const Stmt *baseTree() const { return Tree; }
+  const Pattern *lhs() const { return LHS.get(); }
+  const Pattern *rhs() const { return RHS.get(); }
+  const std::string &calloutName() const { return CalloutName; }
 
   /// True when this pattern (or any disjunct of it) is `$end_of_path$`.
   bool mentionsEndOfPath() const;

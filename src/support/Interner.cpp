@@ -1,0 +1,53 @@
+//===- support/Interner.cpp - Identifier interning ---------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interner.h"
+
+#include <mutex>
+
+using namespace mc;
+
+Interner &Interner::global() {
+  static Interner *I = new Interner();
+  return *I;
+}
+
+uint32_t Interner::intern(std::string_view S) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(Mu);
+    auto It = Ids.find(S);
+    if (It != Ids.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(Mu);
+  auto It = Ids.find(S);
+  if (It != Ids.end())
+    return It->second;
+  Texts.emplace_back(S);
+  uint32_t Id = uint32_t(Texts.size());
+  Ids.emplace(std::string_view(Texts.back()), Id);
+  return Id;
+}
+
+std::string_view Interner::internText(std::string_view S) {
+  return text(intern(S));
+}
+
+uint32_t Interner::lookup(std::string_view S) const {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
+  auto It = Ids.find(S);
+  return It == Ids.end() ? 0 : It->second;
+}
+
+std::string_view Interner::text(uint32_t Id) const {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
+  return Texts[Id - 1];
+}
+
+size_t Interner::size() const {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
+  return Texts.size();
+}

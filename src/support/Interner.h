@@ -1,0 +1,62 @@
+//===- support/Interner.h - Identifier interning ----------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide identifier table shared by the lexer and the pattern
+/// dispatch index. Every distinct identifier spelling gets a dense id (> 0)
+/// and one stable copy of its text; equal identifiers lexed from different
+/// buffers therefore share storage, and the dispatch index can key callee
+/// sets by integer id instead of re-hashing names at every call point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_INTERNER_H
+#define MC_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace mc {
+
+/// Thread-safe append-only string table. Reads (the analysis hot path) take
+/// a shared lock; inserts (lexing) upgrade to an exclusive one on a miss.
+class Interner {
+public:
+  /// The table shared by every lexer and dispatch index in the process.
+  static Interner &global();
+
+  /// Interns \p S, returning its id (> 0). Idempotent.
+  uint32_t intern(std::string_view S);
+
+  /// Interns \p S and returns the stable copy of its text (the lexer swaps
+  /// identifier token text to this so tokens outlive their buffers' reuse
+  /// and equal spellings alias one allocation).
+  std::string_view internText(std::string_view S);
+
+  /// Id of an already-interned string; 0 when it was never interned.
+  uint32_t lookup(std::string_view S) const;
+
+  /// The stable text of id \p Id (which must have come from intern()).
+  std::string_view text(uint32_t Id) const;
+
+  /// Number of distinct strings interned so far.
+  size_t size() const;
+
+private:
+  mutable std::shared_mutex Mu;
+  /// Stable storage: deque never moves elements on growth.
+  std::deque<std::string> Texts;
+  /// Keys view into Texts entries; ids are 1-based indices into Texts.
+  std::unordered_map<std::string_view, uint32_t> Ids;
+};
+
+} // namespace mc
+
+#endif // MC_SUPPORT_INTERNER_H
