@@ -87,6 +87,11 @@ public:
     count("index_tried", S.IndexCandidatesTried);
     count("index_skipped", S.IndexTransitionsSkipped);
     count("index_blocks_skipped", S.IndexBlocksSkipped);
+    count("deadline_hits", S.DeadlineHits);
+    count("state_limit_hits", S.StateLimitHits);
+    count("roots_degraded", S.RootsDegraded);
+    count("roots_quarantined", S.RootsQuarantined);
+    count("degradation_retries", S.DegradationRetries);
     return *this;
   }
 

@@ -329,9 +329,17 @@ bool Preprocessor::conditionsActive() const {
   return true;
 }
 
-std::string Preprocessor::expandMacros(std::string_view Line, unsigned Depth) {
+std::string Preprocessor::expandMacros(std::string_view Line, unsigned Depth,
+                                       SourceLoc Loc,
+                                       std::string_view MacroName) {
   if (Depth > 32) {
-    Diags.warning(SourceLoc(), "macro expansion depth limit reached");
+    // Recoverable error (likely a self-referential macro — this expander has
+    // no blue paint): name the macro and the source line, keep the text
+    // unexpanded, and let parsing continue.
+    std::string Msg = "macro expansion depth limit reached";
+    if (!MacroName.empty())
+      Msg += " while expanding '" + std::string(MacroName) + "'";
+    Diags.error(Loc, Msg);
     return std::string(Line);
   }
   std::string Out;
@@ -345,7 +353,7 @@ std::string Preprocessor::expandMacros(std::string_view Line, unsigned Depth) {
     }
     const MacroDef &M = It->second;
     if (!M.FunctionLike) {
-      Out += expandMacros(M.Body, Depth + 1);
+      Out += expandMacros(M.Body, Depth + 1, Loc, Ident);
       continue;
     }
     // Function-like: require '(' (possibly after spaces).
@@ -366,8 +374,8 @@ std::string Preprocessor::expandMacros(std::string_view Line, unsigned Depth) {
     Scan.setPos(After);
     // Expand each argument before substitution (approximation of C99).
     for (std::string &A : Args)
-      A = expandMacros(A, Depth + 1);
-    Out += expandMacros(substituteParams(M, Args), Depth + 1);
+      A = expandMacros(A, Depth + 1, Loc, Ident);
+    Out += expandMacros(substituteParams(M, Args), Depth + 1, Loc, Ident);
   }
   return Out;
 }
@@ -406,7 +414,7 @@ long long Preprocessor::evalCondition(std::string_view Expr, unsigned FileID,
     Scan.setPos(Scan.pos() + P);
     Pre += isDefined(Name) ? "1" : "0";
   }
-  std::string Expanded = expandMacros(Pre, 0);
+  std::string Expanded = expandMacros(Pre, 0, SourceLoc(FileID, Offset));
   unsigned TempID = SM.addBuffer("<pp-expr>", Expanded);
   Lexer Lex(SM, TempID, nullptr);
   std::vector<Token> Toks = Lex.lexAll();
@@ -595,7 +603,8 @@ void Preprocessor::processBuffer(unsigned FileID, std::string &Out,
       continue;
     }
     if (conditionsActive())
-      Out += expandMacros(Logical, 0);
+      Out += expandMacros(Logical, 0,
+                          SourceLoc(FileID, unsigned(LineStart)));
     Out += '\n';
   }
 }

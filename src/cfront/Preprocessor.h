@@ -82,8 +82,12 @@ private:
                        std::string &Out, unsigned Depth);
   bool conditionsActive() const;
   /// Expands macros in \p Line (which may span multiple physical lines when a
-  /// function-like invocation does).
-  std::string expandMacros(std::string_view Line, unsigned Depth);
+  /// function-like invocation does). \p Loc is where the expansion started
+  /// (for the depth-limit diagnostic) and \p MacroName the macro being
+  /// rescanned, if any.
+  std::string expandMacros(std::string_view Line, unsigned Depth,
+                           SourceLoc Loc = SourceLoc(),
+                           std::string_view MacroName = {});
   /// Evaluates a #if expression over macro-expanded text.
   long long evalCondition(std::string_view Expr, unsigned FileID,
                           unsigned Offset);

@@ -1,0 +1,71 @@
+//===- checkers/FaultInjector.cpp - Hostile checker for testing --------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkers/FaultInjector.h"
+
+#include "metal/Pattern.h" // stripCasts
+
+#include <chrono>
+#include <thread>
+
+using namespace mc;
+
+FaultInjectorChecker::FaultInjectorChecker(Mode M, std::string TriggerFn,
+                                           unsigned SleepMs,
+                                           unsigned GrowthPerHit)
+    : M(M), TriggerFn(std::move(TriggerFn)), SleepMs(SleepMs),
+      GrowthPerHit(GrowthPerHit) {
+  internState("start"); // initial global state
+  Grown = internState("grown");
+  PatternDiscriminator D;
+  D.Kind = PatternDiscriminator::Filtered;
+  D.KindMask |= uint64_t(1) << Stmt::SK_Call;
+  D.Callees = {"bad_call", this->TriggerFn};
+  Triggers.addTrigger(D);
+  Triggers.seal();
+}
+
+void FaultInjectorChecker::checkPoint(const Stmt *Point,
+                                      AnalysisContext &ACtx) {
+  const auto *CE = dyn_cast<CallExpr>(Point);
+  if (!CE)
+    return;
+  std::string_view Callee = CE->calleeName();
+  if (Callee == "bad_call") {
+    // The well-behaved rule: deterministic reports the containment tests
+    // compare against a fault-free baseline.
+    ACtx.markTransition();
+    ACtx.reportError("call of bad_call", nullptr, "bad_call");
+    return;
+  }
+  if (Callee != TriggerFn)
+    return;
+  ACtx.markTransition();
+  switch (M) {
+  case Mode::None:
+    break;
+  case Mode::Fault:
+    ACtx.raiseFault("injected checker fault");
+    break;
+  case Mode::StateGrowth: {
+    if (CE->numArgs() < 1)
+      break;
+    const Expr *Tree = stripCasts(CE->arg(0));
+    if (!Tree)
+      break;
+    // Every instance carries distinct Data, so no block-cache tuple ever
+    // repeats and the state monotonically grows until the valve trips.
+    for (unsigned I = 0; I != GrowthPerHit; ++I) {
+      VarState &VS = ACtx.createInstance(Tree, Grown);
+      VS.Data = std::to_string(I);
+    }
+    break;
+  }
+  case Mode::SlowCallout:
+    std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+    break;
+  }
+}

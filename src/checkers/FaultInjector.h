@@ -1,0 +1,56 @@
+//===- checkers/FaultInjector.h - Hostile checker for testing ---*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately hostile checker driving the fault-containment test suite
+/// and bench (not registered as a builtin). It behaves like a normal
+/// reporting checker — flagging every call of `bad_call` — until it sees a
+/// call of the configured trigger function, where it misbehaves in the
+/// configured way: raising a checker fault, growing per-path state without
+/// bound, or sleeping inside the callout to blow wall-clock deadlines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_CHECKERS_FAULTINJECTOR_H
+#define MC_CHECKERS_FAULTINJECTOR_H
+
+#include "metal/Checker.h"
+#include "metal/DispatchIndex.h"
+
+#include <string>
+
+namespace mc {
+
+class FaultInjectorChecker : public Checker {
+public:
+  enum class Mode {
+    None,        ///< Well-behaved: only the bad_call reporting rule.
+    Fault,       ///< raiseFault() at the trigger (a checker bug).
+    StateGrowth, ///< Push GrowthPerHit distinct instances at the trigger.
+    SlowCallout, ///< sleep_for(SleepMs) at the trigger (a hung callout).
+  };
+
+  explicit FaultInjectorChecker(Mode M = Mode::None,
+                                std::string TriggerFn = "inject_fault",
+                                unsigned SleepMs = 100,
+                                unsigned GrowthPerHit = 1u << 17);
+
+  std::string_view name() const override { return "fault_injector"; }
+  void checkPoint(const Stmt *Point, AnalysisContext &ACtx) override;
+  const DispatchIndex *dispatchIndex() const override { return &Triggers; }
+
+private:
+  Mode M;
+  std::string TriggerFn;
+  unsigned SleepMs;
+  unsigned GrowthPerHit;
+  int Grown;
+  DispatchIndex Triggers;
+};
+
+} // namespace mc
+
+#endif // MC_CHECKERS_FAULTINJECTOR_H

@@ -103,11 +103,21 @@ bool XgccTool::addSourceFiles(const std::vector<std::string> &Paths,
   });
 
   // Stage 5 (serial): splice declarations into the context and replay
-  // diagnostics, both in input order.
+  // diagnostics, both in input order. Under --keep-going a unit that failed
+  // to parse is dropped whole (its diagnostics still replay): the parsed
+  // units are analyzed instead of the run dying with nothing.
   bool Ok = true;
   for (TUState &TU : TUs) {
     if (!TU.RawID) {
       Diags.error(SourceLoc(), "cannot open source file '" + TU.Path + "'");
+      Ok = false;
+      continue;
+    }
+    if (!TU.ParseOk && KeepGoing) {
+      for (const Diagnostic &D : TU.TUDiags->all())
+        Diags.report(D.Kind, D.Loc, D.Message);
+      Diags.warning(SourceLoc(), "skipping '" + TU.Path +
+                                     "': parse errors (--keep-going)");
       Ok = false;
       continue;
     }
@@ -180,6 +190,71 @@ void XgccTool::accumulateEngineStats() {
     Accumulated.merge(Eng->stats());
 }
 
+XgccTool::RootRecord
+XgccTool::containAbortedRoot(Checker &C, const FunctionDecl *Root,
+                             const EngineOptions &BaseOpts, Engine &Host,
+                             ReportManager &Target, EngineStats &ExtraStats,
+                             const RootOutcome &First) {
+  RootRecord Rec;
+  Rec.Aborted = true;
+  Rec.Reason = First.Reason;
+  // A checker fault is a checker bug, not a cost problem: a cheaper retry
+  // would re-execute the same fault. Quarantine immediately.
+  if (First.Kind == RootAbortKind::CheckerFault) {
+    Rec.Quarantined = true;
+    return Rec;
+  }
+  for (unsigned Stage = 1; Stage <= kDegradationStages; ++Stage) {
+    Engine Sac(Ctx, SM, CG, Target, degradedOptions(BaseOpts, Stage));
+    Sac.seedAnnotations(Host.annotations());
+    Sac.beginChecker(C);
+    RootOutcome O = Sac.analyzeRoot(C, Root);
+    ExtraStats.merge(Sac.stats());
+    ++Rec.Retries;
+    if (!O.aborted()) {
+      Host.seedAnnotations(Sac.annotations());
+      Rec.Stage = Stage;
+      return Rec;
+    }
+    if (O.Kind == RootAbortKind::CheckerFault) {
+      Rec.Reason = O.Reason;
+      break;
+    }
+  }
+  Rec.Quarantined = true;
+  return Rec;
+}
+
+void XgccTool::noteRootOutcome(Checker &C, const FunctionDecl *Root,
+                               const RootRecord &Rec) {
+  RootIncident Inc;
+  Inc.Root = std::string(Root->name());
+  Inc.Checker = std::string(C.name());
+  Inc.Quarantined = Rec.Quarantined;
+  Inc.Stage = Rec.Stage;
+  Inc.Reason = Rec.Reason;
+  Reports.noteIncident(std::move(Inc));
+  if (Rec.Quarantined)
+    ++Accumulated.RootsQuarantined;
+  else
+    ++Accumulated.RootsDegraded;
+  Accumulated.DegradationRetries += Rec.Retries;
+}
+
+void XgccTool::runContainedSerial(Checker &C) {
+  Eng->beginChecker(C);
+  for (const FunctionDecl *Root : CG.roots()) {
+    RootOutcome O = Eng->analyzeRoot(C, Root);
+    if (!O.aborted())
+      continue;
+    EngineStats Extra;
+    RootRecord Rec =
+        containAbortedRoot(C, Root, Eng->options(), *Eng, Reports, Extra, O);
+    Accumulated.merge(Extra);
+    noteRootOutcome(C, Root, Rec);
+  }
+}
+
 void XgccTool::runSharded(Checker &C, const EngineOptions &Opts,
                           unsigned Workers) {
   const std::vector<const FunctionDecl *> &Roots = CG.roots();
@@ -192,7 +267,9 @@ void XgccTool::runSharded(Checker &C, const EngineOptions &Opts,
   // ranking see the same history and the rendered output is byte-identical
   // for every worker count.
   std::vector<ReportManager> Buffers(NR);
+  std::vector<RootRecord> Records(NR);
   std::vector<EngineStats> WorkerStats(Workers);
+  std::vector<EngineStats> LadderStats(Workers);
   std::vector<Engine::AnnotationMap> WorkerAnnots(Workers);
   {
     ThreadPool Pool(Workers);
@@ -211,7 +288,13 @@ void XgccTool::runSharded(Checker &C, const EngineOptions &Opts,
         E.beginChecker(C);
         for (size_t I = Lo; I < Hi; ++I) {
           E.setReports(Buffers[I]);
-          E.analyzeRoot(C, Roots[I]);
+          RootOutcome O = E.analyzeRoot(C, Roots[I]);
+          // Workers write disjoint Records/Buffers slots, so the ladder is
+          // as parallel as the analysis; outcomes are recorded after the
+          // barrier in root order.
+          if (O.aborted())
+            Records[I] = containAbortedRoot(C, Roots[I], Opts, E, Buffers[I],
+                                            LadderStats[WI], O);
         }
         WorkerStats[WI] = E.stats();
         WorkerAnnots[WI] = E.annotations();
@@ -221,8 +304,13 @@ void XgccTool::runSharded(Checker &C, const EngineOptions &Opts,
   }
   for (const EngineStats &S : WorkerStats)
     Accumulated.merge(S);
+  for (const EngineStats &S : LadderStats)
+    Accumulated.merge(S);
   for (const ReportManager &B : Buffers)
     Reports.merge(B);
+  for (size_t I = 0; I < NR; ++I)
+    if (Records[I].Aborted)
+      noteRootOutcome(C, Roots[I], Records[I]);
   // Merge worker annotations in shard order: shards are ascending root
   // ranges, so overwrite-in-order reproduces the serial run's
   // last-root-wins value for any key written by several roots.
@@ -251,7 +339,7 @@ void XgccTool::run(const EngineOptions &Opts) {
   accumulateEngineStats();
   Eng = std::make_unique<Engine>(Ctx, SM, CG, Reports, Opts);
   for (std::unique_ptr<Checker> &C : Checkers)
-    Eng->run(*C);
+    runContainedSerial(*C);
 }
 
 void XgccTool::runChecker(Checker &C, const EngineOptions &Opts) {
@@ -275,7 +363,7 @@ void XgccTool::runChecker(Checker &C, const EngineOptions &Opts) {
     accumulateEngineStats();
     Eng = std::make_unique<Engine>(Ctx, SM, CG, Reports, Opts);
   }
-  Eng->run(C);
+  runContainedSerial(C);
 }
 
 const EngineStats &XgccTool::stats() const {

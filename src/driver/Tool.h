@@ -95,6 +95,12 @@ public:
   /// Runs one checker without disturbing the added list.
   void runChecker(Checker &C, const EngineOptions &Opts = EngineOptions());
 
+  /// Keep-going mode (--keep-going): a translation unit that fails to parse
+  /// is dropped with a diagnostic instead of being spliced in partially, and
+  /// the units that parsed are still analyzed.
+  void setKeepGoing(bool KG) { KeepGoing = KG; }
+  bool keepGoing() const { return KeepGoing; }
+
   //===--------------------------------------------------------------------===//
   // Results and plumbing access
   //===--------------------------------------------------------------------===//
@@ -119,6 +125,32 @@ private:
   /// worker stats deterministically.
   void runSharded(Checker &C, const EngineOptions &Opts, unsigned Workers);
 
+  /// What fault containment did about one aborted root.
+  struct RootRecord {
+    bool Aborted = false;
+    bool Quarantined = false;
+    unsigned Stage = 0;   ///< Ladder stage that succeeded (degraded only).
+    unsigned Retries = 0; ///< Ladder stages attempted.
+    std::string Reason;   ///< The triggering abort's reason.
+  };
+  /// Serial run of one checker with the fault boundary and degradation
+  /// ladder around every root.
+  void runContainedSerial(Checker &C);
+  /// Walks the degradation ladder for a root whose analysis aborted:
+  /// sacrificial engines with progressively cheaper options write into
+  /// \p Target (analyzeRoot flushes only on success, so a failed stage
+  /// leaves it untouched). \p Host adopts the successful stage's annotations
+  /// so composition keeps working. A checker fault quarantines immediately —
+  /// retrying cheaper would re-execute the same bug.
+  RootRecord containAbortedRoot(Checker &C, const FunctionDecl *Root,
+                                const EngineOptions &BaseOpts, Engine &Host,
+                                ReportManager &Target, EngineStats &ExtraStats,
+                                const RootOutcome &First);
+  /// Records \p Rec as a RootIncident (deterministic: callers invoke this in
+  /// serial root order at any job count) and bumps the outcome counters.
+  void noteRootOutcome(Checker &C, const FunctionDecl *Root,
+                       const RootRecord &Rec);
+
   SourceManager SM;
   DiagnosticEngine Diags;
   ASTContext Ctx;
@@ -138,6 +170,7 @@ private:
   EngineStats Accumulated;
   mutable EngineStats StatsScratch;
   bool Finalized = false;
+  bool KeepGoing = false;
 };
 
 } // namespace mc

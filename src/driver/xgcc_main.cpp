@@ -27,6 +27,15 @@
 //   --no-summaries       disable function summaries
 //   --no-fpp             disable false path pruning
 //   --intraprocedural    do not follow calls
+//   --deadline-ms N      wall-clock budget per root function; a root that
+//                        blows it is retried down the degradation ladder
+//                        (0 = unlimited, the default)
+//   --keep-going         drop translation units that fail to parse (with a
+//                        diagnostic) and analyze the rest
+//   --fail-on MODE       error | degraded | never  (default never): exit
+//                        nonzero when roots were quarantined or parsing
+//                        failed (error), additionally when any root was
+//                        degraded (degraded), or always exit 0 (never)
 //   --stats              print engine work counters
 //   --list-checkers      list builtin checkers and exit
 //   -I DIR               add an include directory
@@ -74,6 +83,7 @@ int main(int Argc, char **Argv) {
   bool Json = false;
   bool ShowGroups = false;
   bool ShowStats = false;
+  std::string FailOn = "never";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -151,6 +161,27 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--intraprocedural") {
       Opts.Interprocedural = false;
+      continue;
+    }
+    if (Arg == "--deadline-ms" || Arg.compare(0, 14, "--deadline-ms=") == 0) {
+      const char *V = Arg == "--deadline-ms" ? Next() : Arg.c_str() + 14;
+      if (V)
+        Opts.RootDeadlineMs = std::strtoull(V, nullptr, 10);
+      continue;
+    }
+    if (Arg == "--keep-going") {
+      Tool.setKeepGoing(true);
+      continue;
+    }
+    if (Arg == "--fail-on" || Arg.compare(0, 10, "--fail-on=") == 0) {
+      const char *V = Arg == "--fail-on" ? Next() : Arg.c_str() + 10;
+      if (!V || (std::strcmp(V, "error") && std::strcmp(V, "degraded") &&
+                 std::strcmp(V, "never"))) {
+        errs() << "xgcc: --fail-on expects error|degraded|never\n";
+        printUsage();
+        return 2;
+      }
+      FailOn = V;
       continue;
     }
     if (Arg == "--stats") {
@@ -298,7 +329,21 @@ int main(int Argc, char **Argv) {
            << S.SynonymsCreated << " index-lookups=" << S.IndexPointLookups
            << " index-tried=" << S.IndexCandidatesTried
            << " index-skipped=" << S.IndexTransitionsSkipped
-           << " index-blocks-skipped=" << S.IndexBlocksSkipped << '\n';
+           << " index-blocks-skipped=" << S.IndexBlocksSkipped
+           << " deadline-hits=" << S.DeadlineHits
+           << " state-limit-hits=" << S.StateLimitHits
+           << " roots-degraded=" << S.RootsDegraded
+           << " roots-quarantined=" << S.RootsQuarantined
+           << " degradation-retries=" << S.DegradationRetries << '\n';
+  }
+
+  // Exit policy: the default "never" keeps the classic always-0 behavior so
+  // partial results never look like tool crashes to build drivers.
+  if (FailOn != "never") {
+    if (Tool.reports().anyQuarantined() || !ParseOk)
+      return 1;
+    if (FailOn == "degraded" && Tool.reports().anyDegraded())
+      return 1;
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "cfront/ASTPrinter.h"
 #include "metal/DispatchIndex.h"
 #include "metal/Pattern.h" // stripCasts
+#include "support/Deadline.h"
 
 #include <algorithm>
 
@@ -346,7 +347,20 @@ public:
 
   void annotate(const Stmt *Node, const std::string &Key,
                 const std::string &Value) override {
-    E.Annotations[Node][Key] = Value;
+    // Journal the previous value so an aborted root can restore it: an
+    // aborted root must leave no trace in composition state, or later
+    // checkers would see annotations from a path set that never "happened".
+    auto &KV = E.Annotations[Node];
+    auto It = KV.find(Key);
+    AnnotUndo Undo;
+    Undo.Node = Node;
+    Undo.Key = Key;
+    if (It != KV.end()) {
+      Undo.HadOld = true;
+      Undo.Old = It->second;
+    }
+    E.AnnotJournal.push_back(std::move(Undo));
+    KV[Key] = Value;
   }
   const std::string *annotation(const Stmt *Node,
                                 const std::string &Key) const override {
@@ -358,6 +372,14 @@ public:
   }
 
   void killPath() override { PS.Killed = true; }
+
+  void raiseFault(const std::string &Reason) override {
+    if (E.AbortKind == RootAbortKind::None) {
+      E.AbortKind = RootAbortKind::CheckerFault;
+      E.AbortReason = Reason;
+    }
+    PS.Killed = true;
+  }
 
   bool dispatchIndexEnabled() const override {
     return E.Opts.EnableDispatchIndex;
@@ -566,6 +588,18 @@ void Engine::handlePoint(FrameCtx &Frame, const BasicBlock *B, PathState &PS,
     CurChecker->checkPoint(PI.Point, ACtx);
     Matched = ACtx.matched();
     PS.SMI.sweepStopped();
+    // Runaway-state valve: a checker growing per-path state without bound
+    // (every instance distinct, so the block cache can never converge) is a
+    // checker bug; abort the root rather than exhausting memory.
+    if (Opts.MaxActiveStates &&
+        PS.SMI.ActiveVars.size() > Opts.MaxActiveStates &&
+        AbortKind == RootAbortKind::None) {
+      AbortKind = RootAbortKind::StateLimit;
+      AbortReason = "active-state limit of " +
+                    std::to_string(Opts.MaxActiveStates) + " exceeded";
+      ++Stats.StateLimitHits;
+      PS.Killed = true;
+    }
   }
   // Composition: a point flagged PATHKILL by an earlier checker (the panic
   // annotator) stops the traversal of the current path.
@@ -604,7 +638,7 @@ void Engine::handlePoint(FrameCtx &Frame, const BasicBlock *B, PathState &PS,
 
 void Engine::traverseBlock(FrameCtx &Frame, const BasicBlock *B,
                            PathState PS) {
-  if (Frame.PathLimitReached)
+  if (Frame.PathLimitReached || rootAborted())
     return;
   if (Frame.Backtrace.size() >= Opts.MaxPathLength) {
     // Without caching, loops would unroll forever; cut the path here.
@@ -672,6 +706,8 @@ void Engine::processPoints(FrameCtx &Frame, const BasicBlock *B,
                            size_t Idx, PathState PS) {
   const std::vector<PointInfo> &Points = pointsOf(B);
   for (size_t I = Idx; I < Points.size(); ++I) {
+    if (AbortKind != RootAbortKind::None)
+      return; // Aborting the root: skip even the quiet path-end bookkeeping.
     if (PS.Killed)
       break;
     const PointInfo &PI = Points[I];
@@ -713,6 +749,8 @@ void Engine::processPoints(FrameCtx &Frame, const BasicBlock *B,
       }
     }
   }
+  if (AbortKind != RootAbortKind::None)
+    return;
   if (PS.Killed) {
     // Path-kill composition: stop traversing this path quietly.
     ++Stats.PathsExplored;
@@ -1254,6 +1292,8 @@ Engine::analyzeFunction(const FunctionDecl *Fn, PathState PS,
   // the callee without producing the memoized exit states.
   FunctionSummaries LocalFS;
   Frame.FS = Opts.EnableFunctionSummaries ? &Summaries[Fn] : &LocalFS;
+  if (Opts.EnableFunctionSummaries)
+    TouchedThisRoot.push_back(Fn);
   Frame.ExitStates = &Exits;
   Frame.ExitKeys = &ExitKeys;
   Frame.CallStack = &Stack;
@@ -1274,16 +1314,97 @@ void Engine::endOfPath(PathState &PS, const FunctionDecl *Root) {
   CurChecker->checkEndOfPath(nullptr, ACtx);
 }
 
-void Engine::analyzeRoot(Checker &C, const FunctionDecl *Root) {
+bool Engine::rootAborted() {
+  if (AbortKind != RootAbortKind::None)
+    return true;
+  if (DeadlineArmed && DeadlineExpired.load(std::memory_order_relaxed)) {
+    AbortKind = RootAbortKind::Deadline;
+    AbortReason =
+        "deadline of " + std::to_string(Opts.RootDeadlineMs) + "ms exceeded";
+    ++Stats.DeadlineHits;
+    return true;
+  }
+  if (Opts.RootPathBudget &&
+      Stats.PathsExplored - RootPathsBase > Opts.RootPathBudget) {
+    AbortKind = RootAbortKind::PathBudget;
+    AbortReason = "root path budget of " +
+                  std::to_string(Opts.RootPathBudget) + " paths exceeded";
+    return true;
+  }
+  return false;
+}
+
+void Engine::rollbackRoot() {
+  // Summaries touched by the aborted traversal are incomplete (some suffix
+  // edges were never relaxed); a later root replaying one would silently
+  // drop reports. Valid pre-existing summaries of touched functions go too —
+  // re-deriving them is just work, never a behavior change.
+  for (const FunctionDecl *Fn : TouchedThisRoot)
+    Summaries.erase(Fn);
+  // Undo annotation writes in reverse so the earliest previous value wins.
+  for (auto It = AnnotJournal.rbegin(); It != AnnotJournal.rend(); ++It) {
+    auto NodeIt = Annotations.find(It->Node);
+    if (NodeIt == Annotations.end())
+      continue;
+    if (It->HadOld)
+      NodeIt->second[It->Key] = It->Old;
+    else
+      NodeIt->second.erase(It->Key);
+    if (NodeIt->second.empty())
+      Annotations.erase(NodeIt);
+  }
+  AnnotJournal.clear();
+  TouchedThisRoot.clear();
+}
+
+RootOutcome Engine::analyzeRoot(Checker &C, const FunctionDecl *Root) {
   CurChecker = &C;
+  RootOutcome Out;
   if (!CG.cfg(Root))
-    return;
-  PathState PS;
-  PS.SMI.GState = C.initialGlobalState();
-  std::set<const FunctionDecl *> Stack{Root};
-  std::vector<PathState> Exits = analyzeFunction(Root, std::move(PS), Stack, 0);
-  for (PathState &E : Exits)
-    endOfPath(E, Root);
+    return Out;
+
+  // Fault boundary. Reports buffer into a scratch manager and are flushed
+  // only on success — merge() replays add(), so dedup/ranking behave exactly
+  // as if the reports had been added directly (this is the same replay the
+  // sharded per-root buffers rely on). Side effects on shared state
+  // (summaries, annotations) are journaled for rollback.
+  AbortKind = RootAbortKind::None;
+  AbortReason.clear();
+  RootPathsBase = Stats.PathsExplored;
+  AnnotJournal.clear();
+  TouchedThisRoot.clear();
+  ReportManager Scratch;
+  ReportManager *Target = Reports;
+  Reports = &Scratch;
+  DeadlineExpired.store(false, std::memory_order_relaxed);
+  DeadlineArmed = Opts.RootDeadlineMs != 0;
+  {
+    DeadlineScope Guard(DeadlineExpired, Opts.RootDeadlineMs);
+    PathState PS;
+    PS.SMI.GState = C.initialGlobalState();
+    std::set<const FunctionDecl *> Stack{Root};
+    std::vector<PathState> Exits =
+        analyzeFunction(Root, std::move(PS), Stack, 0);
+    for (PathState &E : Exits) {
+      if (AbortKind != RootAbortKind::None)
+        break;
+      endOfPath(E, Root);
+    }
+  }
+  DeadlineArmed = false;
+  Reports = Target;
+  if (AbortKind == RootAbortKind::None) {
+    Reports->merge(Scratch);
+    AnnotJournal.clear();
+    TouchedThisRoot.clear();
+  } else {
+    Out.Kind = AbortKind;
+    Out.Reason = AbortReason;
+    rollbackRoot();
+    AbortKind = RootAbortKind::None;
+    AbortReason.clear();
+  }
+  return Out;
 }
 
 void Engine::beginChecker(Checker &C) {
@@ -1297,6 +1418,28 @@ void Engine::beginChecker(Checker &C) {
 
 void Engine::run(Checker &C) {
   beginChecker(C);
+  // Raw mode: outcomes are dropped (an aborted root is simply skipped).
+  // XgccTool::run layers the degradation ladder and incident records on top.
   for (const FunctionDecl *Root : CG.roots())
     analyzeRoot(C, Root);
+}
+
+EngineOptions mc::degradedOptions(const EngineOptions &Base, unsigned Stage) {
+  EngineOptions O = Base;
+  // Stage 1: stop following calls — the usual budget blower.
+  O.Interprocedural = false;
+  if (Stage >= 2) {
+    // Stage 2: also halve the path budgets.
+    O.MaxPathsPerFunction = std::max<uint64_t>(Base.MaxPathsPerFunction / 2, 1);
+    if (Base.RootPathBudget)
+      O.RootPathBudget = std::max<uint64_t>(Base.RootPathBudget / 2, 1);
+  }
+  if (Stage >= 3) {
+    // Stage 3: intraprocedural skim. Truncate (soft valves) instead of
+    // aborting (RootPathBudget off) so the stage always yields a result.
+    O.MaxPathsPerFunction = std::min<uint64_t>(O.MaxPathsPerFunction, 256);
+    O.MaxPathLength = std::min(O.MaxPathLength, 1024u);
+    O.RootPathBudget = 0;
+  }
+  return O;
 }

@@ -24,6 +24,7 @@
 #include "metal/Checker.h"
 #include "report/ReportManager.h"
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -50,6 +51,17 @@ struct EngineOptions {
   uint64_t MaxPathsPerFunction = 1u << 20;
   unsigned MaxPathLength = 4096;
   unsigned MaxCallDepth = 64;
+  /// Fault-containment valves. Unlike the truncating valves above (which
+  /// quietly stop exploring and keep the partial result), these abort the
+  /// whole root: its buffered reports are discarded and the driver walks the
+  /// degradation ladder (see degradedOptions). RootDeadlineMs is wall-clock
+  /// per root, checked cooperatively at block granularity via an atomic flag
+  /// (0 = no deadline). RootPathBudget is a hard cap on paths explored per
+  /// root across all frames (0 = unlimited). MaxActiveStates aborts when a
+  /// runaway checker grows per-path state without bound.
+  uint64_t RootDeadlineMs = 0;
+  uint64_t RootPathBudget = 0;
+  uint64_t MaxActiveStates = 1u << 16;
   /// Worker threads for root-function analysis and pass-1 parsing. 1 = the
   /// classic serial engine; 0 = one per hardware thread. Each worker owns a
   /// private Engine (caches, stats, report buffer); workers share only the
@@ -80,6 +92,14 @@ struct EngineStats {
   uint64_t IndexCandidatesTried = 0;
   uint64_t IndexTransitionsSkipped = 0;
   uint64_t IndexBlocksSkipped = 0;
+  /// Fault-containment telemetry: hard aborts (deadline / state valve) seen
+  /// by this engine, and the driver-level outcome counters (roots that ended
+  /// degraded or quarantined, and how many ladder retries ran).
+  uint64_t DeadlineHits = 0;
+  uint64_t StateLimitHits = 0;
+  uint64_t RootsDegraded = 0;
+  uint64_t RootsQuarantined = 0;
+  uint64_t DegradationRetries = 0;
 
   /// Adds \p O's counters into this one. Used to fold per-worker engine
   /// stats into one tool-level total; summation is order-free, so the merged
@@ -100,10 +120,45 @@ struct EngineStats {
     IndexCandidatesTried += O.IndexCandidatesTried;
     IndexTransitionsSkipped += O.IndexTransitionsSkipped;
     IndexBlocksSkipped += O.IndexBlocksSkipped;
+    DeadlineHits += O.DeadlineHits;
+    StateLimitHits += O.StateLimitHits;
+    RootsDegraded += O.RootsDegraded;
+    RootsQuarantined += O.RootsQuarantined;
+    DegradationRetries += O.DegradationRetries;
   }
 
   friend bool operator==(const EngineStats &, const EngineStats &) = default;
 };
+
+/// Why analyzeRoot abandoned a root. The library builds with
+/// -fno-exceptions, so faults are cooperative: the engine's budget valves
+/// and AnalysisContext::raiseFault set an abort latch that the traversal
+/// polls at block granularity.
+enum class RootAbortKind {
+  None,         ///< Root completed (possibly truncated by the soft valves).
+  Deadline,     ///< EngineOptions::RootDeadlineMs elapsed.
+  PathBudget,   ///< EngineOptions::RootPathBudget exceeded.
+  StateLimit,   ///< EngineOptions::MaxActiveStates exceeded.
+  CheckerFault, ///< The checker raised a fault via raiseFault().
+};
+
+/// Outcome of one analyzeRoot() call. On abort the root's buffered reports
+/// were discarded and its summary/annotation side effects rolled back, so
+/// the caller can retry with cheaper options or quarantine the root.
+struct RootOutcome {
+  RootAbortKind Kind = RootAbortKind::None;
+  std::string Reason;
+  bool aborted() const { return Kind != RootAbortKind::None; }
+};
+
+/// The degradation ladder: a root that blows a budget is retried with
+/// progressively cheaper options. Stage 1 turns interprocedural analysis
+/// off; stage 2 also halves the path budgets; stage 3 is an
+/// intraprocedural-only skim that truncates instead of aborting, so it
+/// always terminates with some result (unless the checker itself faults or
+/// the deadline fires even on the skim).
+constexpr unsigned kDegradationStages = 3;
+EngineOptions degradedOptions(const EngineOptions &Base, unsigned Stage);
 
 /// The xgcc engine. One Engine runs one or more checkers over one source
 /// base; AST annotations persist across checkers (composition).
@@ -124,8 +179,11 @@ public:
   /// worker-engine, then drive analyzeRoot per assigned root.
   void beginChecker(Checker &C);
 
-  /// Applies \p C starting from a single root.
-  void analyzeRoot(Checker &C, const FunctionDecl *Root);
+  /// Applies \p C starting from a single root. Acts as the fault boundary:
+  /// reports buffer into a scratch manager flushed only on success, and on
+  /// abort the root's summary and annotation side effects are rolled back,
+  /// so an aborted root leaves the engine exactly as if it had been skipped.
+  RootOutcome analyzeRoot(Checker &C, const FunctionDecl *Root);
 
   /// Redirects reports produced from now on into \p R. Sharded runs point
   /// each worker-engine at a private per-root buffer so the merge can replay
@@ -199,6 +257,14 @@ private:
 
   void endOfPath(PathState &PS, const FunctionDecl *Root);
 
+  /// Latches the abort kind if a hard budget (deadline, root path budget)
+  /// tripped; returns whether the current root is aborting. Cheap enough for
+  /// the per-block hot path: two flag compares and a counter compare.
+  bool rootAborted();
+  /// Undoes the aborted root's side effects (touched summaries, annotation
+  /// journal) so later roots behave as if it never ran.
+  void rollbackRoot();
+
   ASTContext &Ctx;
   const SourceManager &SM;
   const CallGraph &CG;
@@ -227,6 +293,24 @@ private:
   const Checker *MemoChecker = nullptr;
   bool blockMayFire(const BasicBlock *B);
   unsigned SynonymGroupCounter = 0;
+
+  /// Per-root fault-containment state (reset by analyzeRoot).
+  RootAbortKind AbortKind = RootAbortKind::None;
+  std::string AbortReason;
+  uint64_t RootPathsBase = 0;      ///< Stats.PathsExplored at root entry.
+  std::atomic<bool> DeadlineExpired{false};
+  bool DeadlineArmed = false;
+  /// Functions whose shared summaries were touched during the current root;
+  /// erased on abort (a partially-relaxed summary must not be replayed).
+  std::vector<const FunctionDecl *> TouchedThisRoot;
+  /// Undo log for annotation writes during the current root.
+  struct AnnotUndo {
+    const Stmt *Node;
+    std::string Key;
+    bool HadOld = false;
+    std::string Old;
+  };
+  std::vector<AnnotUndo> AnnotJournal;
 };
 
 } // namespace mc

@@ -109,6 +109,14 @@ public:
   /// paths dominated by panic() report nothing).
   virtual void killPath() = 0;
 
+  /// Signals an unrecoverable checker fault. The library builds with
+  /// -fno-exceptions, so a checker that detects it has gone wrong (corrupt
+  /// state, impossible invariant) raises the fault cooperatively: the engine
+  /// abandons the current root, discards its partial reports, and quarantines
+  /// it — the fault never crosses the root boundary. Defaulted to a no-op so
+  /// tests' mock contexts need not care.
+  virtual void raiseFault(const std::string & /*Reason*/) {}
+
   //===--------------------------------------------------------------------===//
   // Dispatch-index services
   //===--------------------------------------------------------------------===//

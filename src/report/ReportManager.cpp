@@ -39,6 +39,7 @@ void ReportManager::add(ErrorReport R) {
 void ReportManager::clear() {
   Reports.clear();
   Rules.clear();
+  Incidents.clear();
 }
 
 void ReportManager::merge(const ReportManager &O) {
@@ -49,6 +50,18 @@ void ReportManager::merge(const ReportManager &O) {
     Dst.Examples += RS.Examples;
     Dst.Counterexamples += RS.Counterexamples;
   }
+  for (const RootIncident &I : O.Incidents)
+    Incidents.push_back(I);
+}
+
+bool ReportManager::anyQuarantined() const {
+  return std::any_of(Incidents.begin(), Incidents.end(),
+                     [](const RootIncident &I) { return I.Quarantined; });
+}
+
+bool ReportManager::anyDegraded() const {
+  return std::any_of(Incidents.begin(), Incidents.end(),
+                     [](const RootIncident &I) { return !I.Quarantined; });
 }
 
 double ReportManager::ruleZ(const std::string &RuleKey) const {
@@ -190,6 +203,26 @@ void ReportManager::printJson(raw_ostream &OS, RankPolicy Policy) const {
     OS << '\n';
   }
   OS << "]\n";
+  if (Incidents.empty())
+    return;
+  OS << "{\"analysis_incomplete\": [";
+  for (size_t I = 0; I != Incidents.size(); ++I) {
+    const RootIncident &Inc = Incidents[I];
+    if (I)
+      OS << ", ";
+    OS << "{\"root\": ";
+    jsonEscape(OS, Inc.Root);
+    OS << ", \"checker\": ";
+    jsonEscape(OS, Inc.Checker);
+    OS << ", \"outcome\": \""
+       << (Inc.Quarantined ? "quarantined" : "degraded") << '"';
+    if (!Inc.Quarantined)
+      OS << ", \"stage\": " << Inc.Stage;
+    OS << ", \"reason\": ";
+    jsonEscape(OS, Inc.Reason);
+    OS << '}';
+  }
+  OS << "]}\n";
 }
 
 void ReportManager::print(raw_ostream &OS, RankPolicy Policy) const {
@@ -206,5 +239,19 @@ void ReportManager::print(raw_ostream &OS, RankPolicy Policy) const {
     if (!R.RuleKey.empty())
       OS.printf(" {rule %s z=%.2f}", R.RuleKey.c_str(), ruleZ(R.RuleKey));
     OS << '\n';
+  }
+  if (Incidents.empty())
+    return;
+  size_t Quarantined = 0;
+  for (const RootIncident &I : Incidents)
+    Quarantined += I.Quarantined;
+  OS << "analysis incomplete: " << Quarantined << " root(s) quarantined, "
+     << (Incidents.size() - Quarantined) << " root(s) degraded\n";
+  for (const RootIncident &I : Incidents) {
+    OS << "  " << (I.Quarantined ? "quarantined " : "degraded ") << I.Root
+       << " [" << I.Checker << ']';
+    if (!I.Quarantined)
+      OS << " (stage " << I.Stage << ')';
+    OS << ": " << I.Reason << '\n';
   }
 }

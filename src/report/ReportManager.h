@@ -47,6 +47,19 @@ enum class RankPolicy {
   Combined,    ///< Statistical tie-broken by the generic criteria.
 };
 
+/// One root x checker that fault containment degraded or quarantined.
+/// Incidents ride with the report stream so partial results are explicit:
+/// print() appends an "analysis incomplete" trailer when any exist.
+struct RootIncident {
+  std::string Root;        ///< Root function name.
+  std::string Checker;     ///< Checker that was running.
+  bool Quarantined = false; ///< false = degraded (a cheaper stage succeeded).
+  unsigned Stage = 0;      ///< Ladder stage that produced the result (1-3).
+  std::string Reason;      ///< First abort reason (deadline, fault, ...).
+
+  friend bool operator==(const RootIncident &, const RootIncident &) = default;
+};
+
 /// Collects and ranks reports.
 class ReportManager {
 public:
@@ -69,6 +82,13 @@ public:
   /// reproduces the serial add() sequence exactly.
   void merge(const ReportManager &O);
 
+  /// Records a fault-containment incident. The driver notes incidents in
+  /// serial root order at any job count, so the trailer is deterministic.
+  void noteIncident(RootIncident I) { Incidents.push_back(std::move(I)); }
+  const std::vector<RootIncident> &incidents() const { return Incidents; }
+  bool anyQuarantined() const;
+  bool anyDegraded() const;
+
   const std::map<std::string, RuleStats> &rules() const { return Rules; }
   /// z-statistic of \p RuleKey (0 when the rule has no events).
   double ruleZ(const std::string &RuleKey) const;
@@ -84,16 +104,20 @@ public:
   /// false-positive suppression, Section 8). Returns how many were dropped.
   unsigned suppress(const std::set<std::string> &Suppressed);
 
-  /// Pretty-prints the ranked reports.
+  /// Pretty-prints the ranked reports, followed by the "analysis incomplete"
+  /// trailer when any root was degraded or quarantined (output stays
+  /// byte-identical to a fault-free run when there are no incidents).
   void print(raw_ostream &OS, RankPolicy Policy) const;
 
   /// Emits the ranked reports as a JSON array (machine-readable output for
-  /// downstream tooling).
+  /// downstream tooling), followed by an {"analysis_incomplete": ...} object
+  /// on its own line when any incidents exist.
   void printJson(raw_ostream &OS, RankPolicy Policy) const;
 
 private:
   std::vector<ErrorReport> Reports;
   std::map<std::string, RuleStats> Rules;
+  std::vector<RootIncident> Incidents;
 };
 
 /// The history key of a report: fields that are "relatively invariant under

@@ -1,0 +1,86 @@
+//===- support/Deadline.cpp - Wall-clock deadline watchdog -------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Deadline.h"
+
+#include <algorithm>
+
+using namespace mc;
+
+DeadlineWatchdog &DeadlineWatchdog::instance() {
+  static DeadlineWatchdog W;
+  return W;
+}
+
+DeadlineWatchdog::~DeadlineWatchdog() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  CV.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+}
+
+uint64_t DeadlineWatchdog::arm(std::atomic<bool> &Flag, uint64_t Ms) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Started) {
+    Worker = std::thread([this] { loop(); });
+    Started = true;
+  }
+  uint64_t Token = NextToken++;
+  auto When =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+  Entries.push_back(Entry{Token, When, &Flag});
+  // Only wake the worker when this deadline beats its current wake target;
+  // a later (or equal) one is picked up when the worker next recomputes.
+  if (When < WakeTarget) {
+    ++Generation;
+    CV.notify_all();
+  }
+  return Token;
+}
+
+void DeadlineWatchdog::disarm(uint64_t Token) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::erase_if(Entries, [&](const Entry &E) { return E.Token == Token; });
+  // No wakeup: the worker may sleep toward a removed entry's deadline, but
+  // waking spuriously then is cheaper than signalling every disarm now.
+}
+
+void DeadlineWatchdog::loop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    if (Stopping)
+      return;
+    uint64_t Gen = Generation;
+    auto Woken = [&] { return Stopping || Generation != Gen; };
+    if (Entries.empty()) {
+      WakeTarget = std::chrono::steady_clock::time_point::max();
+      CV.wait(Lock, Woken);
+      continue;
+    }
+    auto Earliest =
+        std::min_element(Entries.begin(), Entries.end(),
+                         [](const Entry &A, const Entry &B) {
+                           return A.When < B.When;
+                         })
+            ->When;
+    WakeTarget = Earliest;
+    CV.wait_until(Lock, Earliest, Woken);
+    if (Stopping)
+      return;
+    if (Generation != Gen)
+      continue; // an earlier deadline arrived: recompute the wake target
+    auto Now = std::chrono::steady_clock::now();
+    std::erase_if(Entries, [&](const Entry &E) {
+      if (E.When > Now)
+        return false;
+      E.Flag->store(true, std::memory_order_relaxed);
+      return true;
+    });
+  }
+}

@@ -1,0 +1,95 @@
+//===- support/Deadline.h - Wall-clock deadline watchdog ---------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide watchdog that flips an atomic flag when a wall-clock
+/// deadline elapses. The analysis hot path never reads a clock: it polls the
+/// flag (relaxed load, branch-predictable) at block granularity, and the
+/// single watchdog thread does all the timekeeping. Used by the engine's
+/// per-root deadline valve (EngineOptions::RootDeadlineMs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_DEADLINE_H
+#define MC_SUPPORT_DEADLINE_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mc {
+
+/// Lazily-started singleton watchdog. Thread-safe: any number of threads may
+/// hold armed deadlines concurrently (one per in-flight root).
+class DeadlineWatchdog {
+public:
+  static DeadlineWatchdog &instance();
+
+  /// Arms \p Flag to be stored `true` once \p Ms milliseconds elapse.
+  /// Returns a token for disarm(). \p Flag must stay alive until disarmed.
+  uint64_t arm(std::atomic<bool> &Flag, uint64_t Ms);
+
+  /// Cancels an armed deadline. After disarm() returns the watchdog will
+  /// never touch the flag again (the removal synchronizes with the worker
+  /// under the watchdog mutex), so the caller may destroy it.
+  void disarm(uint64_t Token);
+
+  ~DeadlineWatchdog();
+
+private:
+  DeadlineWatchdog() = default;
+  void loop();
+
+  struct Entry {
+    uint64_t Token;
+    std::chrono::steady_clock::time_point When;
+    std::atomic<bool> *Flag;
+  };
+
+  std::mutex Mu;
+  std::condition_variable CV;
+  std::vector<Entry> Entries;
+  uint64_t NextToken = 1;
+  /// When the worker's current sleep ends (max() = waiting indefinitely).
+  /// arm() only signals when the new deadline beats this — the steady state
+  /// of uniform per-root deadlines never wakes the worker, which is what
+  /// keeps arm/disarm off the analysis critical path.
+  std::chrono::steady_clock::time_point WakeTarget =
+      std::chrono::steady_clock::time_point::max();
+  /// Bumped when the worker must recompute its wake target early.
+  uint64_t Generation = 0;
+  bool Started = false;
+  bool Stopping = false;
+  std::thread Worker;
+};
+
+/// RAII guard arming one deadline for the current scope. Ms == 0 means "no
+/// deadline" and the guard is a no-op (the common, fault-free configuration
+/// pays nothing).
+class DeadlineScope {
+public:
+  DeadlineScope(std::atomic<bool> &Flag, uint64_t Ms) {
+    if (Ms)
+      Token = DeadlineWatchdog::instance().arm(Flag, Ms);
+  }
+  ~DeadlineScope() {
+    if (Token)
+      DeadlineWatchdog::instance().disarm(Token);
+  }
+  DeadlineScope(const DeadlineScope &) = delete;
+  DeadlineScope &operator=(const DeadlineScope &) = delete;
+
+private:
+  uint64_t Token = 0;
+};
+
+} // namespace mc
+
+#endif // MC_SUPPORT_DEADLINE_H

@@ -60,8 +60,8 @@ void ThreadPool::workerLoop() {
       Task();
     } catch (...) {
       std::lock_guard<std::mutex> Lock(Mu);
-      if (!FirstError)
-        FirstError = std::current_exception();
+      Errors.push_back(std::current_exception());
+      ++FailedTasks;
     }
 #else
     Task();
@@ -79,12 +79,19 @@ void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mu);
   AllIdle.wait(Lock, [this] { return Queue.empty() && Active == 0; });
 #if defined(__cpp_exceptions)
-  if (FirstError) {
-    std::exception_ptr E = FirstError;
-    FirstError = nullptr;
+  // Every failed task was recorded (and counted in FailedTasks, which
+  // survives the rethrow); propagate the earliest failure to the caller.
+  if (!Errors.empty()) {
+    std::exception_ptr E = Errors.front();
+    Errors.clear();
     std::rethrow_exception(E);
   }
 #endif
+}
+
+size_t ThreadPool::failedTasks() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return FailedTasks;
 }
 
 void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {

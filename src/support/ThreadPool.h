@@ -40,8 +40,13 @@ public:
   /// Blocks until the queue is drained and every worker is idle. In builds
   /// with exceptions enabled, rethrows the first exception a task escaped
   /// with (the library builds with -fno-exceptions, but host programs
-  /// embedding it may not).
+  /// embedding it may not). Every escaped exception — not just the first —
+  /// is counted in failedTasks() so callers can tell one fault from many.
   void wait();
+
+  /// Cumulative number of tasks that escaped with an exception over the
+  /// pool's lifetime. Always 0 in -fno-exceptions builds.
+  size_t failedTasks() const;
 
   unsigned workerCount() const { return unsigned(Workers.size()); }
 
@@ -57,13 +62,14 @@ private:
 
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Queue; ///< Guarded by Mu.
-  std::mutex Mu;
+  mutable std::mutex Mu;
   std::condition_variable WorkAvailable; ///< Workers sleep here.
   std::condition_variable AllIdle;       ///< wait() sleeps here.
   unsigned Active = 0;                   ///< Tasks in flight; guarded by Mu.
   bool Stop = false;                     ///< Guarded by Mu.
+  size_t FailedTasks = 0;                ///< Guarded by Mu.
 #if defined(__cpp_exceptions)
-  std::exception_ptr FirstError; ///< Guarded by Mu.
+  std::vector<std::exception_ptr> Errors; ///< Guarded by Mu.
 #endif
 };
 

@@ -230,4 +230,33 @@ TEST(Preprocessor, PasteBuildsCheckableCalls) {
             "spin_lock(l);");
 }
 
+TEST(Preprocessor, RecursiveMacroReportsLocatedError) {
+  // A self-referential macro hits the expansion depth limit. That must be a
+  // recoverable *error* (not a silent warning) carrying the real source
+  // location of the line being expanded and naming the offending macro, and
+  // the rest of the unit must still preprocess.
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  Preprocessor PP(SM, Diags);
+  unsigned ID =
+      PP.preprocessBuffer("loop.c", "#define LOOP LOOP+1\n"
+                                    "int x = LOOP;\n"
+                                    "int y = 2;\n");
+  EXPECT_GE(Diags.errorCount(), 1u);
+  bool Found = false;
+  for (const Diagnostic &D : Diags.all()) {
+    if (D.Message.find("macro expansion depth limit") == std::string::npos)
+      continue;
+    Found = true;
+    EXPECT_EQ(D.Kind, DiagKind::Error);
+    EXPECT_NE(D.Message.find("'LOOP'"), std::string::npos) << D.Message;
+    ASSERT_TRUE(D.Loc.isValid());
+    EXPECT_EQ(SM.lineNumber(D.Loc), 2u);
+  }
+  EXPECT_TRUE(Found);
+  // Recovery: the following line survives untouched.
+  EXPECT_NE(std::string(SM.bufferText(ID)).find("int y = 2;"),
+            std::string::npos);
+}
+
 } // namespace

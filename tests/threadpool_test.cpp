@@ -87,3 +87,19 @@ TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
   ThreadPool Pool(0);
   EXPECT_EQ(Pool.workerCount(), ThreadPool::hardwareThreads());
 }
+
+TEST(ThreadPoolTest, NoFailuresMeansZeroFailedTasks) {
+  // failedTasks() counts worker tasks that died with an exception; in this
+  // build (and any -fno-exceptions build) it must stay 0 and wait() must
+  // still act as a clean barrier afterwards.
+  ThreadPool Pool(3);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 40; ++I)
+    Pool.async([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 40);
+  EXPECT_EQ(Pool.failedTasks(), 0u);
+  Pool.async([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Pool.failedTasks(), 0u);
+}
