@@ -75,25 +75,36 @@ public:
     return *this;
   }
 
-  /// The shared counter block: cache and dispatch-index work counters.
-  BenchJson &engine(const EngineStats &S) {
-    count("points", S.PointsVisited);
-    count("blocks", S.BlocksVisited);
-    count("paths", S.PathsExplored);
-    count("cache_hits", S.BlockCacheHits);
-    count("fn_hits", S.FunctionCacheHits);
-    count("pruned", S.PathsPruned);
-    count("index_lookups", S.IndexPointLookups);
-    count("index_tried", S.IndexCandidatesTried);
-    count("index_skipped", S.IndexTransitionsSkipped);
-    count("index_blocks_skipped", S.IndexBlocksSkipped);
-    count("deadline_hits", S.DeadlineHits);
-    count("state_limit_hits", S.StateLimitHits);
-    count("roots_degraded", S.RootsDegraded);
-    count("roots_quarantined", S.RootsQuarantined);
-    count("degradation_retries", S.DegradationRetries);
+  /// The shared counter block, in manifest schema: the historical flat keys
+  /// (the BenchKey column of MC_ENGINE_METRICS, in the historical order)
+  /// plus the full dotted-name snapshot nested under "metrics" — the same
+  /// map --stats-json carries, so bench output and run manifests can be
+  /// joined by one consumer.
+  BenchJson &engine(const MetricsSnapshot &M) {
+#define MC_METRIC_BENCH(Field, DottedName, StatsKey, BenchKey)                 \
+  if (*BenchKey)                                                               \
+    count(BenchKey, M.value(DottedName));
+    MC_ENGINE_METRICS(MC_METRIC_BENCH)
+#undef MC_METRIC_BENCH
+    beginField("metrics");
+    Buf += '{';
+    bool First = true;
+    for (const auto &[Name, Value] : M) {
+      if (!First)
+        Buf += ',';
+      First = false;
+      Buf += '"';
+      Buf += Name;
+      Buf += "\":";
+      Buf += std::to_string(Value);
+    }
+    Buf += '}';
     return *this;
   }
+
+  /// Legacy-typed convenience: EngineStats is a snapshot view, so route it
+  /// through the snapshot emitter.
+  BenchJson &engine(const EngineStats &S) { return engine(S.toMetrics()); }
 
   void emit(raw_ostream &OS) const { OS << "BENCH_JSON {" << Buf << "}\n"; }
 

@@ -106,7 +106,7 @@ RunResult runSuite(const std::string &Source,
   for (size_t K = 0; K != CheckerSrcs.size(); ++K)
     Tool.addMetalChecker(CheckerSrcs[K], "rules" + std::to_string(K));
   EngineOptions Opts;
-  Opts.RootDeadlineMs = DeadlineMs;
+  Opts.Reporting.RootDeadlineMs = DeadlineMs;
   BenchTimer T;
   Tool.run(Opts);
   Res.AnalyzeSecs = T.seconds();

@@ -70,7 +70,7 @@ int main(int argc, char **argv) {
   OS << "diamonds | uncached paths | cached paths\n";
   OS << "---------+----------------+-------------\n";
   bool Shape = true;
-  EngineStats Agg;
+  MetricsSnapshot Agg;
   const std::vector<unsigned> Depths =
       Smoke ? std::vector<unsigned>{4u, 8u}
             : std::vector<unsigned>{4u, 8u, 12u, 16u};
@@ -83,8 +83,8 @@ int main(int argc, char **argv) {
               (unsigned long long)On.PathsExplored);
     Shape &= Off.PathsExplored >= (1ull << D); // exponential
     Shape &= On.PathsExplored <= 4ull * D + 8; // linear-ish
-    Agg.merge(On);
-    Agg.merge(Off);
+    Agg.merge(On.toMetrics());
+    Agg.merge(Off.toMetrics());
   }
   OS << (Shape ? "shape: uncached grows exponentially, cached stays linear\n"
                : "UNEXPECTED SHAPE\n");
@@ -92,7 +92,7 @@ int main(int argc, char **argv) {
 
   BenchJson("fig4_caching")
       .num("wall_ms", Timer.ms())
-      .num("stmts_per_s", stmtsPerSec(Agg.PointsVisited, Timer.seconds()))
+      .num("stmts_per_s", stmtsPerSec(Agg.value("engine.points.visited"), Timer.seconds()))
       .engine(Agg)
       .flag("ok", Shape)
       .emit(OS);

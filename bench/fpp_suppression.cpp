@@ -55,7 +55,7 @@ struct Counts {
 };
 
 Counts run(const std::string &Source, bool Kill, bool Synonyms, bool FPP,
-           EngineStats &Agg) {
+           MetricsSnapshot &Agg) {
   XgccTool Tool;
   Tool.addSource("w.c", Source);
   Tool.addBuiltinChecker("free");
@@ -64,7 +64,7 @@ Counts run(const std::string &Source, bool Kill, bool Synonyms, bool FPP,
   Opts.EnableSynonyms = Synonyms;
   Opts.EnableFalsePathPruning = FPP;
   Tool.run(Opts);
-  Agg.merge(Tool.stats());
+  Agg.merge(Tool.metrics());
   Counts C;
   for (const ErrorReport &R : Tool.reports().reports()) {
     bool IsTrue = R.FunctionName.find("real_case") == 0 ||
@@ -79,7 +79,7 @@ Counts run(const std::string &Source, bool Kill, bool Synonyms, bool FPP,
 int main(int argc, char **argv) {
   (void)smokeMode(argc, argv); // workload is small; flag accepted uniformly
   BenchTimer Timer;
-  EngineStats Agg;
+  MetricsSnapshot Agg;
   raw_ostream &OS = outs();
   const unsigned Groups = 25;
   std::string Source = workload(Groups);
@@ -140,15 +140,15 @@ int main(int argc, char **argv) {
        << Dropped << ", new: " << V2.reports().size() << '\n';
     Shape &= V2.reports().size() == 1 &&
              V2.reports().reports()[0].FunctionName == "brand_new";
-    Agg.merge(V1.stats());
-    Agg.merge(V2.stats());
+    Agg.merge(V1.metrics());
+    Agg.merge(V2.metrics());
   }
 
   OS << '\n' << (Shape ? "SECTION 8 SHAPE REPRODUCED\n" : "MISMATCH\n");
 
   BenchJson("fpp_suppression")
       .num("wall_ms", Timer.ms())
-      .num("stmts_per_s", stmtsPerSec(Agg.PointsVisited, Timer.seconds()))
+      .num("stmts_per_s", stmtsPerSec(Agg.value("engine.points.visited"), Timer.seconds()))
       .engine(Agg)
       .flag("ok", Shape)
       .emit(OS);

@@ -70,7 +70,7 @@ int main(int argc, char **argv) {
   OS << "instances | blocks visited | points visited\n";
   OS << "----------+----------------+---------------\n";
   uint64_t Blocks1 = 0, Blocks32 = 0;
-  EngineStats Agg;
+  MetricsSnapshot Agg;
   for (unsigned N : {1u, 2u, 4u, 8u, 16u, 32u}) {
     EngineStats S = measure(N);
     OS.printf("%9u | %14llu | %14llu\n", N,
@@ -80,7 +80,7 @@ int main(int argc, char **argv) {
       Blocks1 = S.BlocksVisited;
     if (N == 32)
       Blocks32 = S.BlocksVisited;
-    Agg.merge(S);
+    Agg.merge(S.toMetrics());
   }
   // 32x the instances must cost far less than 32x the block traversals
   // (they ride the same paths); allow generous slack for the extra tuples.
@@ -91,7 +91,7 @@ int main(int argc, char **argv) {
 
   BenchJson("independence")
       .num("wall_ms", Timer.ms())
-      .num("stmts_per_s", stmtsPerSec(Agg.PointsVisited, Timer.seconds()))
+      .num("stmts_per_s", stmtsPerSec(Agg.value("engine.points.visited"), Timer.seconds()))
       .engine(Agg)
       .flag("ok", Linear)
       .emit(OS);

@@ -65,13 +65,13 @@ int main(int argc, char **argv) {
   OS << "callers | fn analyses (summaries) | fn analyses (re-analysis) | "
         "summary hits\n";
   bool Shape = true;
-  EngineStats Agg;
+  MetricsSnapshot Agg;
   for (unsigned Callers : {2u, 4u, 8u, 16u}) {
     unsigned RepOn = 0, RepOff = 0;
     EngineStats On = measure(12, Callers, true, &RepOn);
     EngineStats Off = measure(12, Callers, false, &RepOff);
-    Agg.merge(On);
-    Agg.merge(Off);
+    Agg.merge(On.toMetrics());
+    Agg.merge(Off.toMetrics());
     OS.printf("%7u | %23llu | %25llu | %12llu\n", Callers,
               (unsigned long long)On.FunctionAnalyses,
               (unsigned long long)Off.FunctionAnalyses,
@@ -101,13 +101,14 @@ int main(int argc, char **argv) {
        << "x (for 2 distinct incoming states), reports: "
        << Tool.reports().size() << " (expect 1)\n";
     Shape &= Tool.reports().size() == 1;
-    Agg.merge(Tool.stats());
+    Agg.merge(Tool.metrics());
   }
   OS << '\n';
 
   BenchJson("interproc")
       .num("wall_ms", Timer.ms())
-      .num("stmts_per_s", stmtsPerSec(Agg.PointsVisited, Timer.seconds()))
+      .num("stmts_per_s",
+           stmtsPerSec(Agg.value("engine.points.visited"), Timer.seconds()))
       .engine(Agg)
       .flag("ok", Shape)
       .emit(OS);

@@ -184,11 +184,12 @@ int main(int argc, char **argv) {
                "the list\n"
              : "UNEXPECTED lock-wrapper ranking\n");
 
-  EngineStats Agg = Tool.stats();
-  Agg.merge(LockTool.stats());
+  MetricsSnapshot Agg = Tool.metrics();
+  Agg.merge(LockTool.metrics());
   BenchJson("ranking")
       .num("wall_ms", Timer.ms())
-      .num("stmts_per_s", stmtsPerSec(Agg.PointsVisited, Timer.seconds()))
+      .num("stmts_per_s",
+           stmtsPerSec(Agg.value("engine.points.visited"), Timer.seconds()))
       .engine(Agg)
       .flag("ok", Shape && LockShape)
       .emit(OS);

@@ -63,7 +63,7 @@ const RowCase Rows[] = {
 int main(int argc, char **argv) {
   (void)smokeMode(argc, argv); // already tiny; flag accepted for uniformity
   BenchTimer Timer;
-  EngineStats Agg;
+  MetricsSnapshot Agg;
   raw_ostream &OS = outs();
   OS << "==== Table 2: refine/restore across call boundaries ====\n\n";
   OS.padToColumn("row", 40);
@@ -86,7 +86,7 @@ int main(int argc, char **argv) {
     OS.padToColumn(Row.Row, 40);
     OS << (Found ? "state transported (bug found)" : "MISSED") << '\n';
     AllOk &= Found;
-    Agg.merge(Tool.stats());
+    Agg.merge(Tool.metrics());
   }
 
   // The by-value restore policy: with restoreArgsByReference() == false the
@@ -110,14 +110,14 @@ int main(int argc, char **argv) {
     OS << (NoReport ? "caller state preserved (no report)" : "UNEXPECTED")
        << '\n';
     AllOk &= NoReport;
-    Agg.merge(Tool.stats());
+    Agg.merge(Tool.metrics());
   }
 
   OS << '\n' << (AllOk ? "TABLE 2 REPRODUCED\n" : "MISMATCH\n");
 
   BenchJson("table2_refine")
       .num("wall_ms", Timer.ms())
-      .num("stmts_per_s", stmtsPerSec(Agg.PointsVisited, Timer.seconds()))
+      .num("stmts_per_s", stmtsPerSec(Agg.value("engine.points.visited"), Timer.seconds()))
       .engine(Agg)
       .flag("ok", AllOk)
       .emit(OS);

@@ -44,6 +44,9 @@ void FaultInjectorChecker::checkPoint(const Stmt *Point,
   if (Callee != TriggerFn)
     return;
   ACtx.markTransition();
+  // Custom checker metric: how often the sabotage actually triggered (the
+  // observability tests read it back out of the run manifest).
+  ACtx.countMetric("checker.fault_injector.injections");
   switch (M) {
   case Mode::None:
     break;

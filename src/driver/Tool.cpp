@@ -8,6 +8,7 @@
 
 #include "support/RawOstream.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <deque>
 
@@ -187,13 +188,13 @@ bool XgccTool::addBuiltinChecker(const std::string &Name) {
 
 void XgccTool::accumulateEngineStats() {
   if (Eng)
-    Accumulated.merge(Eng->stats());
+    Accumulated.merge(Eng->metrics().snapshot());
 }
 
 XgccTool::RootRecord
 XgccTool::containAbortedRoot(Checker &C, const FunctionDecl *Root,
                              const EngineOptions &BaseOpts, Engine &Host,
-                             ReportManager &Target, EngineStats &ExtraStats,
+                             ReportManager &Target, MetricsSnapshot &ExtraStats,
                              const RootOutcome &First) {
   RootRecord Rec;
   Rec.Aborted = true;
@@ -205,11 +206,11 @@ XgccTool::containAbortedRoot(Checker &C, const FunctionDecl *Root,
     return Rec;
   }
   for (unsigned Stage = 1; Stage <= kDegradationStages; ++Stage) {
-    Engine Sac(Ctx, SM, CG, Target, degradedOptions(BaseOpts, Stage));
+    Engine Sac(Ctx, SM, CG, Target, degradedOptions(BaseOpts, Stage), Trace);
     Sac.seedAnnotations(Host.annotations());
     Sac.beginChecker(C);
     RootOutcome O = Sac.analyzeRoot(C, Root);
-    ExtraStats.merge(Sac.stats());
+    ExtraStats.merge(Sac.metrics().snapshot());
     ++Rec.Retries;
     if (!O.aborted()) {
       Host.seedAnnotations(Sac.annotations());
@@ -235,10 +236,10 @@ void XgccTool::noteRootOutcome(Checker &C, const FunctionDecl *Root,
   Inc.Reason = Rec.Reason;
   Reports.noteIncident(std::move(Inc));
   if (Rec.Quarantined)
-    ++Accumulated.RootsQuarantined;
+    Accumulated.add("ladder.roots.quarantined", 1);
   else
-    ++Accumulated.RootsDegraded;
-  Accumulated.DegradationRetries += Rec.Retries;
+    Accumulated.add("ladder.roots.degraded", 1);
+  Accumulated.add("ladder.retries", Rec.Retries);
 }
 
 void XgccTool::runContainedSerial(Checker &C) {
@@ -247,7 +248,7 @@ void XgccTool::runContainedSerial(Checker &C) {
     RootOutcome O = Eng->analyzeRoot(C, Root);
     if (!O.aborted())
       continue;
-    EngineStats Extra;
+    MetricsSnapshot Extra;
     RootRecord Rec =
         containAbortedRoot(C, Root, Eng->options(), *Eng, Reports, Extra, O);
     Accumulated.merge(Extra);
@@ -268,8 +269,8 @@ void XgccTool::runSharded(Checker &C, const EngineOptions &Opts,
   // for every worker count.
   std::vector<ReportManager> Buffers(NR);
   std::vector<RootRecord> Records(NR);
-  std::vector<EngineStats> WorkerStats(Workers);
-  std::vector<EngineStats> LadderStats(Workers);
+  std::vector<MetricsSnapshot> WorkerStats(Workers);
+  std::vector<MetricsSnapshot> LadderStats(Workers);
   std::vector<Engine::AnnotationMap> WorkerAnnots(Workers);
   {
     ThreadPool Pool(Workers);
@@ -283,7 +284,7 @@ void XgccTool::runSharded(Checker &C, const EngineOptions &Opts,
         // annotations and path budgets are all per worker. Workers share
         // only the immutable AST, CFGs and call graph.
         ASTContext::ParallelArenaScope Scope(Ctx);
-        Engine E(Ctx, SM, CG, Reports, Opts);
+        Engine E(Ctx, SM, CG, Reports, Opts, Trace);
         E.seedAnnotations(ShardedAnnotations);
         E.beginChecker(C);
         for (size_t I = Lo; I < Hi; ++I) {
@@ -296,15 +297,15 @@ void XgccTool::runSharded(Checker &C, const EngineOptions &Opts,
             Records[I] = containAbortedRoot(C, Roots[I], Opts, E, Buffers[I],
                                             LadderStats[WI], O);
         }
-        WorkerStats[WI] = E.stats();
+        WorkerStats[WI] = E.metrics().snapshot();
         WorkerAnnots[WI] = E.annotations();
       });
     }
     Pool.wait();
   }
-  for (const EngineStats &S : WorkerStats)
+  for (const MetricsSnapshot &S : WorkerStats)
     Accumulated.merge(S);
-  for (const EngineStats &S : LadderStats)
+  for (const MetricsSnapshot &S : LadderStats)
     Accumulated.merge(S);
   for (const ReportManager &B : Buffers)
     Reports.merge(B);
@@ -322,6 +323,12 @@ void XgccTool::runSharded(Checker &C, const EngineOptions &Opts,
 
 void XgccTool::run(const EngineOptions &Opts) {
   finalize();
+  // Lane 0 is the tool's own lane; the args are job-agnostic so the merged
+  // stream stays byte-identical at any --jobs.
+  TraceBuffer *Buf = Trace ? Trace->openBuffer(0) : nullptr;
+  TraceSpan RunSpan(Buf, "run");
+  RunSpan.arg("checkers", std::to_string(Checkers.size()));
+  RunSpan.arg("roots", std::to_string(CG.roots().size()));
   unsigned W = effectiveJobs(Opts);
   if (W > 1 && CG.roots().size() > 1) {
     // Sharded mode never reuses the serial engine; bank its counters. A
@@ -332,18 +339,27 @@ void XgccTool::run(const EngineOptions &Opts) {
     ShardedAnnotations.clear();
     LastShardedOpts = Opts;
     HasShardedState = true;
-    for (std::unique_ptr<Checker> &C : Checkers)
+    for (std::unique_ptr<Checker> &C : Checkers) {
+      TraceSpan CkSpan(Buf, "checker");
+      CkSpan.arg("name", C->name());
       runSharded(*C, Opts, W);
+    }
     return;
   }
   accumulateEngineStats();
-  Eng = std::make_unique<Engine>(Ctx, SM, CG, Reports, Opts);
-  for (std::unique_ptr<Checker> &C : Checkers)
+  Eng = std::make_unique<Engine>(Ctx, SM, CG, Reports, Opts, Trace);
+  for (std::unique_ptr<Checker> &C : Checkers) {
+    TraceSpan CkSpan(Buf, "checker");
+    CkSpan.arg("name", C->name());
     runContainedSerial(*C);
+  }
 }
 
 void XgccTool::runChecker(Checker &C, const EngineOptions &Opts) {
   finalize();
+  TraceBuffer *Buf = Trace ? Trace->openBuffer(0) : nullptr;
+  TraceSpan CkSpan(Buf, "checker");
+  CkSpan.arg("name", C.name());
   unsigned W = effectiveJobs(Opts);
   if (W > 1 && CG.roots().size() > 1) {
     accumulateEngineStats();
@@ -361,14 +377,28 @@ void XgccTool::runChecker(Checker &C, const EngineOptions &Opts) {
   // across composed checkers.
   if (!Eng || !(Eng->options() == Opts)) {
     accumulateEngineStats();
-    Eng = std::make_unique<Engine>(Ctx, SM, CG, Reports, Opts);
+    Eng = std::make_unique<Engine>(Ctx, SM, CG, Reports, Opts, Trace);
   }
   runContainedSerial(C);
 }
 
-const EngineStats &XgccTool::stats() const {
-  StatsScratch = Accumulated;
+EngineStats XgccTool::stats() const {
+  return EngineStats::fromMetrics(metrics());
+}
+
+MetricsSnapshot XgccTool::metrics() const {
+  MetricsSnapshot M = Accumulated;
   if (Eng)
-    StatsScratch.merge(Eng->stats());
-  return StatsScratch;
+    M.merge(Eng->metrics().snapshot());
+  return M;
+}
+
+RunManifest XgccTool::manifest(const EngineOptions &Opts, bool ParseOk) const {
+  RunManifest M;
+  M.Options = Opts;
+  M.Metrics = metrics();
+  M.Incidents = Reports.incidents();
+  M.ReportCount = Reports.size();
+  M.ParseOk = ParseOk;
+  return M;
 }

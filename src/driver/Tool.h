@@ -22,6 +22,7 @@
 #include "cfront/Serialize.h"
 #include "checkers/BuiltinCheckers.h"
 #include "engine/Engine.h"
+#include "engine/RunManifest.h"
 #include "report/History.h"
 #include "report/ReportManager.h"
 
@@ -30,6 +31,8 @@
 #include <vector>
 
 namespace mc {
+
+class TraceCollector;
 
 /// One-stop pipeline driver.
 class XgccTool {
@@ -108,8 +111,18 @@ public:
   ReportManager &reports() { return Reports; }
   /// Work counters accumulated over every run()/runChecker() call on this
   /// tool, including runs whose engine has since been replaced and sharded
-  /// runs whose worker engines are long gone.
-  const EngineStats &stats() const;
+  /// runs whose worker engines are long gone. A legacy view over metrics().
+  EngineStats stats() const;
+  /// The full metrics snapshot (dotted names): everything stats() carries
+  /// plus per-checker attribution and checker-registered custom counters.
+  MetricsSnapshot metrics() const;
+  /// The unified run manifest for this tool's accumulated work: effective
+  /// options, metrics snapshot, incident stream, report count.
+  RunManifest manifest(const EngineOptions &Opts, bool ParseOk = true) const;
+  /// Attaches a trace collector; every engine this tool constructs from now
+  /// on records spans into it. Pass null to detach. The collector must
+  /// outlive the runs it observes.
+  void setTrace(TraceCollector *T) { Trace = T; }
   Engine *engine() { return Eng.get(); }
   ASTContext &context() { return Ctx; }
   SourceManager &sourceManager() { return SM; }
@@ -144,7 +157,8 @@ private:
   /// retrying cheaper would re-execute the same bug.
   RootRecord containAbortedRoot(Checker &C, const FunctionDecl *Root,
                                 const EngineOptions &BaseOpts, Engine &Host,
-                                ReportManager &Target, EngineStats &ExtraStats,
+                                ReportManager &Target,
+                                MetricsSnapshot &ExtraStats,
                                 const RootOutcome &First);
   /// Records \p Rec as a RootIncident (deterministic: callers invoke this in
   /// serial root order at any job count) and bumps the outcome counters.
@@ -165,10 +179,12 @@ private:
   Engine::AnnotationMap ShardedAnnotations;
   EngineOptions LastShardedOpts;
   bool HasShardedState = false;
-  /// Counters from retired engines and sharded workers; stats() returns
-  /// this plus the live engine's counters.
-  EngineStats Accumulated;
-  mutable EngineStats StatsScratch;
+  /// Counters from retired engines and sharded workers; metrics() returns
+  /// this plus the live engine's snapshot.
+  MetricsSnapshot Accumulated;
+  /// Optional trace collector, threaded into every engine (serial, worker,
+  /// and sacrificial-ladder) this tool builds. Not owned.
+  TraceCollector *Trace = nullptr;
   bool Finalized = false;
   bool KeepGoing = false;
 };

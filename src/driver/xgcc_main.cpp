@@ -27,16 +27,27 @@
 //   --no-summaries       disable function summaries
 //   --no-fpp             disable false path pruning
 //   --intraprocedural    do not follow calls
+//   --keep-going         drop translation units that fail to parse (with a
+//                        diagnostic) and analyze the rest
+//
+// Reporting & robustness (one block, one parse path; every flag accepts
+// both "--flag V" and "--flag=V" and lands in EngineOptions::Reporting):
+//   --stats              print the engine work-counter line
+//   --stats-json FILE    write the run manifest (mc.run-manifest.v1):
+//                        effective options, full metrics snapshot, incident
+//                        stream, report count ("-" = stdout)
+//   --trace-out FILE     record hierarchical spans and write Chrome
+//                        trace-event JSON (load in chrome://tracing)
+//   --profile[=N]        print the top-N checkers by callout time
+//                        (default N=5) with per-checker attribution
 //   --deadline-ms N      wall-clock budget per root function; a root that
 //                        blows it is retried down the degradation ladder
 //                        (0 = unlimited, the default)
-//   --keep-going         drop translation units that fail to parse (with a
-//                        diagnostic) and analyze the rest
 //   --fail-on MODE       error | degraded | never  (default never): exit
 //                        nonzero when roots were quarantined or parsing
 //                        failed (error), additionally when any root was
 //                        degraded (degraded), or always exit 0 (never)
-//   --stats              print engine work counters
+//
 //   --list-checkers      list builtin checkers and exit
 //   -I DIR               add an include directory
 //   -D NAME[=VALUE]      predefine a macro
@@ -46,6 +57,7 @@
 #include "driver/Tool.h"
 #include "support/RawOstream.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cstring>
 #include <string>
@@ -82,13 +94,26 @@ int main(int Argc, char **Argv) {
   RankPolicy Policy = RankPolicy::Generic;
   bool Json = false;
   bool ShowGroups = false;
-  bool ShowStats = false;
-  std::string FailOn = "never";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
       return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    // The one parse path for value-carrying reporting flags: accepts both
+    // "--flag V" and "--flag=V"; *V is null when the value is missing.
+    auto FlagValue = [&](const char *Name, const char **V) -> bool {
+      size_t N = std::strlen(Name);
+      if (Arg == Name) {
+        *V = Next();
+        return true;
+      }
+      if (Arg.size() > N + 1 && Arg.compare(0, N, Name) == 0 &&
+          Arg[N] == '=') {
+        *V = Arg.c_str() + N + 1;
+        return true;
+      }
+      return false;
     };
     if (Arg == "--help") {
       printUsage();
@@ -163,30 +188,40 @@ int main(int Argc, char **Argv) {
       Opts.Interprocedural = false;
       continue;
     }
-    if (Arg == "--deadline-ms" || Arg.compare(0, 14, "--deadline-ms=") == 0) {
-      const char *V = Arg == "--deadline-ms" ? Next() : Arg.c_str() + 14;
-      if (V)
-        Opts.RootDeadlineMs = std::strtoull(V, nullptr, 10);
-      continue;
-    }
     if (Arg == "--keep-going") {
       Tool.setKeepGoing(true);
       continue;
     }
-    if (Arg == "--fail-on" || Arg.compare(0, 10, "--fail-on=") == 0) {
-      const char *V = Arg == "--fail-on" ? Next() : Arg.c_str() + 10;
-      if (!V || (std::strcmp(V, "error") && std::strcmp(V, "degraded") &&
-                 std::strcmp(V, "never"))) {
-        errs() << "xgcc: --fail-on expects error|degraded|never\n";
-        printUsage();
-        return 2;
+    // Reporting & robustness block — every flag routes into
+    // EngineOptions::Reporting so the run manifest records exactly what the
+    // user asked for.
+    {
+      const char *V = nullptr;
+      bool Handled = true;
+      if (Arg == "--stats")
+        Opts.Reporting.ShowStats = true;
+      else if (Arg == "--profile")
+        Opts.Reporting.ProfileTopN = 5;
+      else if (Arg.compare(0, 10, "--profile=") == 0)
+        Opts.Reporting.ProfileTopN =
+            unsigned(std::strtoul(Arg.c_str() + 10, nullptr, 10));
+      else if (FlagValue("--stats-json", &V))
+        Opts.Reporting.StatsJsonPath = V ? V : "";
+      else if (FlagValue("--trace-out", &V))
+        Opts.Reporting.TraceOutPath = V ? V : "";
+      else if (FlagValue("--deadline-ms", &V))
+        Opts.Reporting.RootDeadlineMs = V ? std::strtoull(V, nullptr, 10) : 0;
+      else if (FlagValue("--fail-on", &V)) {
+        if (!V || !parseFailPolicy(V, Opts.Reporting.FailOn)) {
+          errs() << "xgcc: --fail-on expects error|degraded|never\n";
+          printUsage();
+          return 2;
+        }
+      } else {
+        Handled = false;
       }
-      FailOn = V;
-      continue;
-    }
-    if (Arg == "--stats") {
-      ShowStats = true;
-      continue;
+      if (Handled)
+        continue;
     }
     if (Arg == "--groups") {
       ShowGroups = true;
@@ -282,6 +317,12 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Observability: the collector is attached even when tracing is off — a
+  // disabled collector hands the engines null buffers, which is exactly the
+  // "compiled in but disabled" path the overhead bench gates.
+  TraceCollector Trace(!Opts.Reporting.TraceOutPath.empty());
+  Tool.setTrace(&Trace);
+
   Tool.run(Opts);
 
   // History-based suppression (Section 8).
@@ -319,30 +360,44 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (ShowStats) {
-    const EngineStats &S = Tool.stats();
-    outs() << "points=" << S.PointsVisited << " blocks=" << S.BlocksVisited
-           << " paths=" << S.PathsExplored << " cache-hits="
-           << S.BlockCacheHits << " fn-hits=" << S.FunctionCacheHits
-           << " fn-analyses=" << S.FunctionAnalyses << " pruned="
-           << S.PathsPruned << " kills=" << S.KillsApplied << " synonyms="
-           << S.SynonymsCreated << " index-lookups=" << S.IndexPointLookups
-           << " index-tried=" << S.IndexCandidatesTried
-           << " index-skipped=" << S.IndexTransitionsSkipped
-           << " index-blocks-skipped=" << S.IndexBlocksSkipped
-           << " deadline-hits=" << S.DeadlineHits
-           << " state-limit-hits=" << S.StateLimitHits
-           << " roots-degraded=" << S.RootsDegraded
-           << " roots-quarantined=" << S.RootsQuarantined
-           << " degradation-retries=" << S.DegradationRetries << '\n';
+  if (Opts.Reporting.ProfileTopN)
+    formatProfileText(Tool.metrics(), Opts.Reporting.ProfileTopN, outs());
+
+  if (Opts.Reporting.ShowStats)
+    formatStatsText(Tool.metrics(), outs());
+
+  if (!Opts.Reporting.StatsJsonPath.empty()) {
+    RunManifest Manifest = Tool.manifest(Opts, ParseOk);
+    if (Opts.Reporting.StatsJsonPath == "-") {
+      Manifest.writeJson(outs());
+    } else {
+      std::string Buf;
+      raw_string_ostream OS(Buf);
+      Manifest.writeJson(OS);
+      OS.flush();
+      if (!writeFileBytes(Opts.Reporting.StatsJsonPath, Buf))
+        errs() << "xgcc: cannot write '" << Opts.Reporting.StatsJsonPath
+               << "'\n";
+    }
+  }
+
+  if (!Opts.Reporting.TraceOutPath.empty()) {
+    std::string Buf;
+    raw_string_ostream OS(Buf);
+    Trace.exportChromeJson(OS);
+    OS.flush();
+    if (!writeFileBytes(Opts.Reporting.TraceOutPath, Buf))
+      errs() << "xgcc: cannot write '" << Opts.Reporting.TraceOutPath
+             << "'\n";
   }
 
   // Exit policy: the default "never" keeps the classic always-0 behavior so
   // partial results never look like tool crashes to build drivers.
-  if (FailOn != "never") {
+  if (Opts.Reporting.FailOn != FailPolicy::Never) {
     if (Tool.reports().anyQuarantined() || !ParseOk)
       return 1;
-    if (FailOn == "degraded" && Tool.reports().anyDegraded())
+    if (Opts.Reporting.FailOn == FailPolicy::Degraded &&
+        Tool.reports().anyDegraded())
       return 1;
   }
   return 0;

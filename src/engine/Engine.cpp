@@ -10,6 +10,7 @@
 #include "metal/DispatchIndex.h"
 #include "metal/Pattern.h" // stripCasts
 #include "support/Deadline.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -258,6 +259,8 @@ public:
 
   VarState &createInstance(const Expr *Tree, int Value) override {
     MatchedFlag = true;
+    if (E.CkC.States)
+      bump(E.CkC.States);
     VarState VS;
     VS.Tree = stripCasts(Tree);
     VS.TreeKey = exprKey(VS.Tree);
@@ -328,6 +331,8 @@ public:
     R.Annotation = PS.PathAnnotation;
     R.GroupKey = GroupKey;
     R.RuleKey = GroupKey;
+    if (E.CkC.Reports)
+      bump(E.CkC.Reports);
     E.Reports->add(std::move(R));
   }
 
@@ -377,6 +382,8 @@ public:
     if (E.AbortKind == RootAbortKind::None) {
       E.AbortKind = RootAbortKind::CheckerFault;
       E.AbortReason = Reason;
+      if (E.CkC.Faults)
+        bump(E.CkC.Faults);
     }
     PS.Killed = true;
   }
@@ -385,9 +392,15 @@ public:
     return E.Opts.EnableDispatchIndex;
   }
   void noteDispatchLookup(uint64_t Total, uint64_t Tried) override {
-    ++E.Stats.IndexPointLookups;
-    E.Stats.IndexCandidatesTried += Tried;
-    E.Stats.IndexTransitionsSkipped += Total > Tried ? Total - Tried : 0;
+    bump(E.Ctr.IndexPointLookups);
+    bump(E.Ctr.IndexCandidatesTried, Tried);
+    bump(E.Ctr.IndexTransitionsSkipped, Total > Tried ? Total - Tried : 0);
+    if (E.CkC.Tried)
+      bump(E.CkC.Tried, Tried);
+  }
+
+  void countMetric(std::string_view DottedName, uint64_t Delta) override {
+    E.Metrics.add(DottedName, Delta);
   }
 
   const FunctionDecl *currentFunction() const override { return Fn; }
@@ -414,11 +427,90 @@ private:
 // Engine
 //===----------------------------------------------------------------------===//
 
+const char *mc::failPolicyName(FailPolicy P) {
+  switch (P) {
+  case FailPolicy::Never:
+    return "never";
+  case FailPolicy::Error:
+    return "error";
+  case FailPolicy::Degraded:
+    return "degraded";
+  }
+  return "never";
+}
+
+bool mc::parseFailPolicy(std::string_view Spelling, FailPolicy &Out) {
+  if (Spelling == "never")
+    Out = FailPolicy::Never;
+  else if (Spelling == "error")
+    Out = FailPolicy::Error;
+  else if (Spelling == "degraded")
+    Out = FailPolicy::Degraded;
+  else
+    return false;
+  return true;
+}
+
+EngineStats EngineStats::fromMetrics(const MetricsSnapshot &M) {
+  EngineStats S;
+#define MC_METRIC_READ(Field, DottedName, StatsKey, BenchKey)                  \
+  S.Field = M.value(DottedName);
+  MC_ENGINE_METRICS(MC_METRIC_READ)
+#undef MC_METRIC_READ
+  return S;
+}
+
+MetricsSnapshot EngineStats::toMetrics() const {
+  MetricsSnapshot M;
+#define MC_METRIC_WRITE(Field, DottedName, StatsKey, BenchKey)                 \
+  M.add(DottedName, Field);
+  MC_ENGINE_METRICS(MC_METRIC_WRITE)
+#undef MC_METRIC_WRITE
+  return M;
+}
+
 Engine::Engine(ASTContext &Ctx, const SourceManager &SM, const CallGraph &CG,
-               ReportManager &Reports, EngineOptions Opts)
-    : Ctx(Ctx), SM(SM), CG(CG), Reports(&Reports), Opts(Opts) {}
+               ReportManager &Reports, EngineOptions Opts,
+               TraceCollector *Trace)
+    : Ctx(Ctx), SM(SM), CG(CG), Reports(&Reports), Opts(Opts), Trace(Trace) {
+#define MC_METRIC_INIT(Field, DottedName, StatsKey, BenchKey)                  \
+  Ctr.Field = Metrics.counter(DottedName);
+  MC_ENGINE_METRICS(MC_METRIC_INIT)
+#undef MC_METRIC_INIT
+  ProfileTiming = this->Opts.Reporting.ProfileTopN > 0;
+}
 
 Engine::~Engine() = default;
+
+EngineStats Engine::stats() const {
+  return EngineStats::fromMetrics(Metrics.snapshot());
+}
+
+void Engine::refreshCheckerCells(const Checker &Ck) {
+  if (CellsChecker == &Ck)
+    return;
+  CellsChecker = &Ck;
+  std::string Base = "checker.";
+  Base += Ck.name();
+  CkC.Tried = Metrics.counter(Base + ".transitions.tried");
+  CkC.Fired = Metrics.counter(Base + ".transitions.fired");
+  CkC.States = Metrics.counter(Base + ".states.created");
+  CkC.Faults = Metrics.counter(Base + ".faults");
+  CkC.Reports = Metrics.counter(Base + ".reports");
+  CkC.CalloutNs = Metrics.counter(Base + ".callout_ns");
+}
+
+uint64_t Engine::laneOf(const FunctionDecl *Root) {
+  // Lane 0 is the tool; root N in call-graph root order gets lane 1+N, which
+  // is the same at any --jobs count (the root list is shared and immutable).
+  if (RootLanes.empty()) {
+    uint64_t Lane = 1;
+    for (const FunctionDecl *R : CG.roots())
+      RootLanes[R] = Lane++;
+  }
+  auto It = RootLanes.find(Root);
+  return It != RootLanes.end() ? It->second : 0;
+}
 
 const BlockSummary *Engine::blockSummary(const FunctionDecl *Fn,
                                          const BasicBlock *B) const {
@@ -523,7 +615,7 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
         if (VS.live() && VS.CreatedAt != TopStmt &&
             exprReferencesDecl(VS.Tree, D)) {
           VS.Value = StateStop;
-          ++Stats.KillsApplied;
+          bump(Ctr.KillsApplied);
         }
       }
     } else {
@@ -531,7 +623,7 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
       for (VarState &VS : PS.SMI.ActiveVars) {
         if (VS.live() && VS.CreatedAt != TopStmt && VS.TreeKey == Key) {
           VS.Value = StateStop;
-          ++Stats.KillsApplied;
+          bump(Ctr.KillsApplied);
         }
       }
     }
@@ -552,7 +644,7 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
         Clone.CreatedAt = TopStmt;
         Clone.IndirectionDepth = SrcVS->IndirectionDepth + 1;
         PS.SMI.ActiveVars.push_back(std::move(Clone));
-        ++Stats.SynonymsCreated;
+        bump(Ctr.SynonymsCreated);
       }
     }
   }
@@ -568,7 +660,7 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
 
 void Engine::handlePoint(FrameCtx &Frame, const BasicBlock *B, PathState &PS,
                          const PointInfo &PI, bool &Matched) {
-  ++Stats.PointsVisited;
+  bump(Ctr.PointsVisited);
   // The no-transition-at-the-creating-statement rule (Section 3.2) only
   // covers the creating occurrence: once the analysis moves to a different
   // statement the mark is cleared, so a loop revisiting the statement can
@@ -585,8 +677,15 @@ void Engine::handlePoint(FrameCtx &Frame, const BasicBlock *B, PathState &PS,
     Matched = false;
   } else {
     ACtxImpl ACtx(*this, PS, Frame.Fn, Frame.Depth, &PI, B->condition());
-    CurChecker->checkPoint(PI.Point, ACtx);
+    {
+      // Callout wall-clock attribution only under --profile: the timer is a
+      // no-op (no clock reads) when profiling is off.
+      ScopedTimerNs CalloutTimer(ProfileTiming ? CkC.CalloutNs : nullptr);
+      CurChecker->checkPoint(PI.Point, ACtx);
+    }
     Matched = ACtx.matched();
+    if (Matched && CkC.Fired)
+      bump(CkC.Fired);
     PS.SMI.sweepStopped();
     // Runaway-state valve: a checker growing per-path state without bound
     // (every instance distinct, so the block cache can never converge) is a
@@ -597,7 +696,7 @@ void Engine::handlePoint(FrameCtx &Frame, const BasicBlock *B, PathState &PS,
       AbortKind = RootAbortKind::StateLimit;
       AbortReason = "active-state limit of " +
                     std::to_string(Opts.MaxActiveStates) + " exceeded";
-      ++Stats.StateLimitHits;
+      bump(Ctr.StateLimitHits);
       PS.Killed = true;
     }
   }
@@ -642,13 +741,13 @@ void Engine::traverseBlock(FrameCtx &Frame, const BasicBlock *B,
     return;
   if (Frame.Backtrace.size() >= Opts.MaxPathLength) {
     // Without caching, loops would unroll forever; cut the path here.
-    ++Stats.PathLimitHits;
-    ++Stats.PathsExplored;
+    bump(Ctr.PathLimitHits);
+    bump(Ctr.PathsExplored);
     return;
   }
-  ++Stats.BlocksVisited;
+  bump(Ctr.BlocksVisited);
   if (Opts.EnableDispatchIndex && !blockMayFire(B))
-    ++Stats.IndexBlocksSkipped;
+    bump(Ctr.IndexBlocksSkipped);
   BlockSummary &Sum = Frame.FS->of(B);
   std::vector<StateTuple> Entry = tuplesOf(PS.SMI);
 
@@ -662,7 +761,7 @@ void Engine::traverseBlock(FrameCtx &Frame, const BasicBlock *B,
     if (AllCached) {
       // The whole state has been explored from this block: abort the path
       // (cache_misses, Section 5.2), relaxing suffix summaries on the way.
-      ++Stats.BlockCacheHits;
+      bump(Ctr.BlockCacheHits);
       Frame.Backtrace.push_back(BacktraceEntry{B, Entry});
       relaxSuffixSummaries(Frame.Backtrace, *Frame.FS,
                            [&](const std::string &Key) {
@@ -671,10 +770,10 @@ void Engine::traverseBlock(FrameCtx &Frame, const BasicBlock *B,
                                     !It->second;
                            });
       Frame.Backtrace.pop_back();
-      ++Stats.PathsExplored;
+      bump(Ctr.PathsExplored);
       if (++Frame.PathsThisFunction > Opts.MaxPathsPerFunction) {
         Frame.PathLimitReached = true;
-        ++Stats.PathLimitHits;
+        bump(Ctr.PathLimitHits);
       }
       return;
     }
@@ -753,10 +852,10 @@ void Engine::processPoints(FrameCtx &Frame, const BasicBlock *B,
     return;
   if (PS.Killed) {
     // Path-kill composition: stop traversing this path quietly.
-    ++Stats.PathsExplored;
+    bump(Ctr.PathsExplored);
     if (++Frame.PathsThisFunction > Opts.MaxPathsPerFunction) {
       Frame.PathLimitReached = true;
-      ++Stats.PathLimitHits;
+      bump(Ctr.PathLimitHits);
     }
     return;
   }
@@ -819,10 +918,10 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
     return It == Frame.FS->LocalKeys.end() || !It->second;
   };
   auto NotePathEnd = [&] {
-    ++Stats.PathsExplored;
+    bump(Ctr.PathsExplored);
     if (++Frame.PathsThisFunction > Opts.MaxPathsPerFunction) {
       Frame.PathLimitReached = true;
-      ++Stats.PathLimitHits;
+      bump(Ctr.PathLimitHits);
     }
   };
 
@@ -860,16 +959,16 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
   for (const CFGEdge &Edge : Succs) {
     if (UseFPP) {
       if (Edge.Kind == CFGEdge::True && CondValue == Tri::False) {
-        ++Stats.PathsPruned;
+        bump(Ctr.PathsPruned);
         continue;
       }
       if (Edge.Kind == CFGEdge::False && CondValue == Tri::True) {
-        ++Stats.PathsPruned;
+        bump(Ctr.PathsPruned);
         continue;
       }
       if (Edge.Kind == CFGEdge::Case && Edge.CaseValue &&
           PS.VT.compareEq(B->condition(), Edge.CaseValue) == Tri::False) {
-        ++Stats.PathsPruned;
+        bump(Ctr.PathsPruned);
         continue;
       }
     }
@@ -889,7 +988,7 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
             Ok = Copy.VT.assumeEq(B->condition(), Other.CaseValue, false);
       }
       if (!Ok) {
-        ++Stats.PathsPruned;
+        bump(Ctr.PathsPruned);
         continue;
       }
     }
@@ -1237,7 +1336,7 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
         break;
       }
     if (AllIn || OnStack) {
-      ++Stats.FunctionCacheHits;
+      bump(Ctr.FunctionCacheHits);
       for (SMInstance &SMI : replaySummary(Callee, Refined.SMI, OnStack)) {
         PathState E;
         E.SMI = std::move(SMI);
@@ -1254,7 +1353,7 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
   }
 
   if (!Replayed) {
-    ++Stats.CallsFollowed;
+    bump(Ctr.CallsFollowed);
     std::set<const FunctionDecl *> NewStack = *Frame.CallStack;
     NewStack.insert(Callee);
     CalleeExits =
@@ -1264,7 +1363,7 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
   if (CalleeExits.empty()) {
     // The callee never returns in this state (killed paths / path limits):
     // the caller's path ends here.
-    ++Stats.PathsExplored;
+    bump(Ctr.PathsExplored);
     return;
   }
   for (PathState &ExitPS : CalleeExits) {
@@ -1279,7 +1378,7 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
 std::vector<Engine::PathState>
 Engine::analyzeFunction(const FunctionDecl *Fn, PathState PS,
                         std::set<const FunctionDecl *> Stack, unsigned Depth) {
-  ++Stats.FunctionAnalyses;
+  bump(Ctr.FunctionAnalyses);
   const CFG *G = CG.cfg(Fn);
   assert(G && "analyzeFunction requires a CFG");
   std::vector<PathState> Exits;
@@ -1319,13 +1418,15 @@ bool Engine::rootAborted() {
     return true;
   if (DeadlineArmed && DeadlineExpired.load(std::memory_order_relaxed)) {
     AbortKind = RootAbortKind::Deadline;
-    AbortReason =
-        "deadline of " + std::to_string(Opts.RootDeadlineMs) + "ms exceeded";
-    ++Stats.DeadlineHits;
+    AbortReason = "deadline of " +
+                  std::to_string(Opts.Reporting.RootDeadlineMs) +
+                  "ms exceeded";
+    bump(Ctr.DeadlineHits);
     return true;
   }
   if (Opts.RootPathBudget &&
-      Stats.PathsExplored - RootPathsBase > Opts.RootPathBudget) {
+      Ctr.PathsExplored->load(std::memory_order_relaxed) - RootPathsBase >
+          Opts.RootPathBudget) {
     AbortKind = RootAbortKind::PathBudget;
     AbortReason = "root path budget of " +
                   std::to_string(Opts.RootPathBudget) + " paths exceeded";
@@ -1357,11 +1458,38 @@ void Engine::rollbackRoot() {
   TouchedThisRoot.clear();
 }
 
+/// The span-arg spelling of a root outcome (job-agnostic).
+static const char *rootAbortKindName(RootAbortKind K) {
+  switch (K) {
+  case RootAbortKind::None:
+    return "ok";
+  case RootAbortKind::Deadline:
+    return "deadline";
+  case RootAbortKind::PathBudget:
+    return "path-budget";
+  case RootAbortKind::StateLimit:
+    return "state-limit";
+  case RootAbortKind::CheckerFault:
+    return "checker-fault";
+  }
+  return "ok";
+}
+
 RootOutcome Engine::analyzeRoot(Checker &C, const FunctionDecl *Root) {
   CurChecker = &C;
+  refreshCheckerCells(C);
   RootOutcome Out;
   if (!CG.cfg(Root))
     return Out;
+  bump(Ctr.RootsAnalyzed);
+
+  // One trace buffer per analysis attempt, on the root's lane: buffers on a
+  // lane open in attempt order (ladder retries are sequential), so the
+  // merged stream is identical at any --jobs count.
+  TraceBuffer *Buf = Trace ? Trace->openBuffer(laneOf(Root)) : nullptr;
+  TraceSpan RootSpan(Buf, "root");
+  RootSpan.arg("root", Root->name());
+  RootSpan.arg("checker", C.name());
 
   // Fault boundary. Reports buffer into a scratch manager and are flushed
   // only on success — merge() replays add(), so dedup/ranking behave exactly
@@ -1370,25 +1498,31 @@ RootOutcome Engine::analyzeRoot(Checker &C, const FunctionDecl *Root) {
   // (summaries, annotations) are journaled for rollback.
   AbortKind = RootAbortKind::None;
   AbortReason.clear();
-  RootPathsBase = Stats.PathsExplored;
+  RootPathsBase = Ctr.PathsExplored->load(std::memory_order_relaxed);
   AnnotJournal.clear();
   TouchedThisRoot.clear();
   ReportManager Scratch;
   ReportManager *Target = Reports;
   Reports = &Scratch;
   DeadlineExpired.store(false, std::memory_order_relaxed);
-  DeadlineArmed = Opts.RootDeadlineMs != 0;
+  DeadlineArmed = Opts.Reporting.RootDeadlineMs != 0;
   {
-    DeadlineScope Guard(DeadlineExpired, Opts.RootDeadlineMs);
+    DeadlineScope Guard(DeadlineExpired, Opts.Reporting.RootDeadlineMs);
     PathState PS;
     PS.SMI.GState = C.initialGlobalState();
     std::set<const FunctionDecl *> Stack{Root};
-    std::vector<PathState> Exits =
-        analyzeFunction(Root, std::move(PS), Stack, 0);
-    for (PathState &E : Exits) {
-      if (AbortKind != RootAbortKind::None)
-        break;
-      endOfPath(E, Root);
+    std::vector<PathState> Exits;
+    {
+      TraceSpan TraverseSpan(Buf, "traverse");
+      Exits = analyzeFunction(Root, std::move(PS), Stack, 0);
+    }
+    {
+      TraceSpan EndSpan(Buf, "end-of-path");
+      for (PathState &E : Exits) {
+        if (AbortKind != RootAbortKind::None)
+          break;
+        endOfPath(E, Root);
+      }
     }
   }
   DeadlineArmed = false;
@@ -1404,14 +1538,19 @@ RootOutcome Engine::analyzeRoot(Checker &C, const FunctionDecl *Root) {
     AbortKind = RootAbortKind::None;
     AbortReason.clear();
   }
+  RootSpan.arg("outcome", rootAbortKindName(Out.Kind));
   return Out;
 }
 
 void Engine::beginChecker(Checker &C) {
   CurChecker = &C;
+  // Force cell re-registration: a fresh Checker may reuse a destroyed one's
+  // address, which the pointer guard alone would miss.
+  CellsChecker = nullptr;
+  refreshCheckerCells(C);
   Summaries.clear();
-  // Drop the dispatch memo unconditionally: a fresh Checker may reuse a
-  // destroyed one's address, which the pointer guard alone would miss.
+  // Drop the dispatch memo unconditionally, for the same address-reuse
+  // reason.
   DispatchBlockMemo.clear();
   MemoChecker = &C;
 }

@@ -23,6 +23,7 @@
 #include "fpp/ValueTracker.h"
 #include "metal/Checker.h"
 #include "report/ReportManager.h"
+#include "support/Metrics.h"
 
 #include <atomic>
 #include <cstdint>
@@ -32,6 +33,52 @@
 #include <unordered_set>
 
 namespace mc {
+
+class TraceCollector;
+class TraceBuffer;
+
+/// Exit-code policy for runs with incidents (--fail-on).
+enum class FailPolicy {
+  Never,    ///< Always exit 0; partial results never look like crashes.
+  Error,    ///< Nonzero when any root was quarantined or parsing failed.
+  Degraded, ///< Error policy, plus nonzero when any root was degraded.
+};
+
+/// The CLI spelling of \p P ("never"/"error"/"degraded").
+const char *failPolicyName(FailPolicy P);
+/// Parses a CLI spelling; returns false (leaving \p Out untouched) on an
+/// unknown value.
+bool parseFailPolicy(std::string_view Spelling, FailPolicy &Out);
+
+/// The reporting/robustness option block: everything that shapes *what the
+/// run reports and how it degrades*, as opposed to the analysis semantics
+/// toggles on EngineOptions itself. The CLI parses --stats, --stats-json,
+/// --trace-out, --profile, --deadline-ms and --fail-on into this one
+/// sub-struct; it is serialized into the run manifest as the "reporting"
+/// object. A pure value (no callbacks, no streams) so EngineOptions stays
+/// comparable and round-trips through the manifest.
+struct ReportingOptions {
+  /// Print the one-line engine counter summary after the reports (--stats).
+  bool ShowStats = false;
+  /// Write the run manifest JSON here; "-" = stdout, "" = off (--stats-json).
+  std::string StatsJsonPath;
+  /// Write a Chrome trace-event JSON file here; "" = off (--trace-out).
+  std::string TraceOutPath;
+  /// Print the top-N per-checker attribution report; 0 = off (--profile).
+  /// Also enables checker-callout wall-clock timing, which is otherwise
+  /// never measured (no clock reads on the default hot path).
+  unsigned ProfileTopN = 0;
+  /// Wall-clock budget per root in milliseconds, checked cooperatively at
+  /// block granularity via an atomic flag; 0 = no deadline (--deadline-ms).
+  /// A root that blows it walks the degradation ladder (see
+  /// degradedOptions).
+  uint64_t RootDeadlineMs = 0;
+  /// Exit-code policy when roots were degraded/quarantined (--fail-on).
+  FailPolicy FailOn = FailPolicy::Never;
+
+  friend bool operator==(const ReportingOptions &,
+                         const ReportingOptions &) = default;
+};
 
 /// Engine feature toggles; the benches flip these to measure each
 /// mechanism's contribution.
@@ -54,14 +101,16 @@ struct EngineOptions {
   /// Fault-containment valves. Unlike the truncating valves above (which
   /// quietly stop exploring and keep the partial result), these abort the
   /// whole root: its buffered reports are discarded and the driver walks the
-  /// degradation ladder (see degradedOptions). RootDeadlineMs is wall-clock
-  /// per root, checked cooperatively at block granularity via an atomic flag
-  /// (0 = no deadline). RootPathBudget is a hard cap on paths explored per
-  /// root across all frames (0 = unlimited). MaxActiveStates aborts when a
-  /// runaway checker grows per-path state without bound.
-  uint64_t RootDeadlineMs = 0;
+  /// degradation ladder (see degradedOptions). RootPathBudget is a hard cap
+  /// on paths explored per root across all frames (0 = unlimited).
+  /// MaxActiveStates aborts when a runaway checker grows per-path state
+  /// without bound. The per-root wall-clock deadline lives on
+  /// Reporting.RootDeadlineMs with the rest of the robustness block.
   uint64_t RootPathBudget = 0;
   uint64_t MaxActiveStates = 1u << 16;
+  /// The reporting/robustness block (--stats/--stats-json/--trace-out/
+  /// --profile/--deadline-ms/--fail-on).
+  ReportingOptions Reporting;
   /// Worker threads for root-function analysis and pass-1 parsing. 1 = the
   /// classic serial engine; 0 = one per hardware thread. Each worker owns a
   /// private Engine (caches, stats, report buffer); workers share only the
@@ -72,7 +121,12 @@ struct EngineOptions {
                          const EngineOptions &) = default;
 };
 
-/// Work counters; the scaling benches report these.
+/// A typed *view* of the engine's well-known counters (see
+/// MC_ENGINE_METRICS in support/Metrics.h for the field ↔ dotted-name
+/// mapping). The live counters moved onto the metrics registry; this struct
+/// survives as a convenient snapshot for benches and tests that read fields
+/// by name. Aggregation happens on MetricsSnapshot (merge-by-name), so the
+/// old hand-written merge() is gone.
 struct EngineStats {
   uint64_t PointsVisited = 0;
   uint64_t BlocksVisited = 0;
@@ -85,6 +139,9 @@ struct EngineStats {
   uint64_t KillsApplied = 0;
   uint64_t SynonymsCreated = 0;
   uint64_t PathLimitHits = 0;
+  /// Roots analyzeRoot() ran to completion or abort (each ladder retry
+  /// counts — it is a fresh analysis attempt).
+  uint64_t RootsAnalyzed = 0;
   /// Dispatch-index telemetry: consultations, candidates that ran full
   /// matching, transitions skipped without matching, and whole blocks whose
   /// checker dispatch was skipped via the per-block memo.
@@ -101,31 +158,12 @@ struct EngineStats {
   uint64_t RootsQuarantined = 0;
   uint64_t DegradationRetries = 0;
 
-  /// Adds \p O's counters into this one. Used to fold per-worker engine
-  /// stats into one tool-level total; summation is order-free, so the merged
-  /// counters do not depend on worker interleaving.
-  void merge(const EngineStats &O) {
-    PointsVisited += O.PointsVisited;
-    BlocksVisited += O.BlocksVisited;
-    PathsExplored += O.PathsExplored;
-    BlockCacheHits += O.BlockCacheHits;
-    FunctionCacheHits += O.FunctionCacheHits;
-    FunctionAnalyses += O.FunctionAnalyses;
-    CallsFollowed += O.CallsFollowed;
-    PathsPruned += O.PathsPruned;
-    KillsApplied += O.KillsApplied;
-    SynonymsCreated += O.SynonymsCreated;
-    PathLimitHits += O.PathLimitHits;
-    IndexPointLookups += O.IndexPointLookups;
-    IndexCandidatesTried += O.IndexCandidatesTried;
-    IndexTransitionsSkipped += O.IndexTransitionsSkipped;
-    IndexBlocksSkipped += O.IndexBlocksSkipped;
-    DeadlineHits += O.DeadlineHits;
-    StateLimitHits += O.StateLimitHits;
-    RootsDegraded += O.RootsDegraded;
-    RootsQuarantined += O.RootsQuarantined;
-    DegradationRetries += O.DegradationRetries;
-  }
+  /// Builds the typed view from a snapshot's dotted names (unknown names are
+  /// ignored; absent names read 0).
+  static EngineStats fromMetrics(const MetricsSnapshot &M);
+  /// The inverse: the well-known counters as a snapshot, for merging into
+  /// tool-level totals alongside registry snapshots.
+  MetricsSnapshot toMetrics() const;
 
   friend bool operator==(const EngineStats &, const EngineStats &) = default;
 };
@@ -136,7 +174,7 @@ struct EngineStats {
 /// polls at block granularity.
 enum class RootAbortKind {
   None,         ///< Root completed (possibly truncated by the soft valves).
-  Deadline,     ///< EngineOptions::RootDeadlineMs elapsed.
+  Deadline,     ///< ReportingOptions::RootDeadlineMs elapsed.
   PathBudget,   ///< EngineOptions::RootPathBudget exceeded.
   StateLimit,   ///< EngineOptions::MaxActiveStates exceeded.
   CheckerFault, ///< The checker raised a fault via raiseFault().
@@ -164,8 +202,14 @@ EngineOptions degradedOptions(const EngineOptions &Base, unsigned Stage);
 /// base; AST annotations persist across checkers (composition).
 class Engine {
 public:
+  /// \p Trace may be null (tracing off) or a shared collector; the engine
+  /// records one buffer per root analysis attempt on the root's lane, so the
+  /// merged stream is deterministic at any --jobs count. The collector is a
+  /// constructor dependency rather than an option: EngineOptions stays a
+  /// pure, comparable value that round-trips through the run manifest.
   Engine(ASTContext &Ctx, const SourceManager &SM, const CallGraph &CG,
-         ReportManager &Reports, EngineOptions Opts = EngineOptions());
+         ReportManager &Reports, EngineOptions Opts = EngineOptions(),
+         TraceCollector *Trace = nullptr);
   ~Engine();
   Engine(const Engine &) = delete;
   Engine &operator=(const Engine &) = delete;
@@ -190,8 +234,14 @@ public:
   /// reports in the deterministic serial order.
   void setReports(ReportManager &R) { Reports = &R; }
 
-  const EngineStats &stats() const { return Stats; }
-  void resetStats() { Stats = EngineStats(); }
+  /// Typed snapshot of the engine's well-known counters (by value — the
+  /// live counters are registry cells now).
+  EngineStats stats() const;
+  /// The engine's live metrics registry: the well-known counters plus
+  /// per-checker attribution and any checker-registered custom counters.
+  /// Snapshot it (metrics().snapshot()) to aggregate across engines.
+  const MetricsRegistry &metrics() const { return Metrics; }
+  void resetStats() { Metrics.reset(); }
 
   const EngineOptions &options() const { return Opts; }
 
@@ -270,7 +320,45 @@ private:
   const CallGraph &CG;
   ReportManager *Reports;
   EngineOptions Opts;
-  EngineStats Stats;
+
+  /// The live counter store. Engine-private on the hot path; increments go
+  /// through cached cell pointers (one relaxed fetch_add each).
+  MetricsRegistry Metrics;
+  /// Cached cells for the well-known counters, one field per
+  /// MC_ENGINE_METRICS row (registered once in the constructor).
+  struct Counters {
+#define MC_METRIC_FIELD(Field, DottedName, StatsKey, BenchKey)                 \
+  std::atomic<uint64_t> *Field = nullptr;
+    MC_ENGINE_METRICS(MC_METRIC_FIELD)
+#undef MC_METRIC_FIELD
+  };
+  Counters Ctr;
+  static void bump(std::atomic<uint64_t> *Cell, uint64_t Delta = 1) {
+    Cell->fetch_add(Delta, std::memory_order_relaxed);
+  }
+  /// Cached per-checker attribution cells (checker.<name>.*), refreshed
+  /// whenever the running checker changes.
+  struct CheckerCells {
+    std::atomic<uint64_t> *Tried = nullptr;
+    std::atomic<uint64_t> *Fired = nullptr;
+    std::atomic<uint64_t> *States = nullptr;
+    std::atomic<uint64_t> *Faults = nullptr;
+    std::atomic<uint64_t> *Reports = nullptr;
+    std::atomic<uint64_t> *CalloutNs = nullptr;
+  };
+  CheckerCells CkC;
+  const Checker *CellsChecker = nullptr;
+  void refreshCheckerCells(const Checker &Ck);
+  /// Time checker callouts only when a profile was requested — no clock
+  /// reads on the default hot path.
+  bool ProfileTiming = false;
+
+  /// Optional span collector (null = tracing off; spans become no-ops).
+  TraceCollector *Trace = nullptr;
+  /// Root → lane for deterministic trace merging (lane 0 is the tool; root
+  /// N in call-graph root order gets lane 1+N). Built lazily on first use.
+  std::map<const FunctionDecl *, uint64_t> RootLanes;
+  uint64_t laneOf(const FunctionDecl *Root);
 
   Checker *CurChecker = nullptr;
   std::map<const FunctionDecl *, FunctionSummaries> Summaries;
@@ -297,7 +385,7 @@ private:
   /// Per-root fault-containment state (reset by analyzeRoot).
   RootAbortKind AbortKind = RootAbortKind::None;
   std::string AbortReason;
-  uint64_t RootPathsBase = 0;      ///< Stats.PathsExplored at root entry.
+  uint64_t RootPathsBase = 0;      ///< paths-explored counter at root entry.
   std::atomic<bool> DeadlineExpired{false};
   bool DeadlineArmed = false;
   /// Functions whose shared summaries were touched during the current root;

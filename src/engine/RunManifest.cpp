@@ -1,0 +1,540 @@
+//===- engine/RunManifest.cpp - The unified run-report schema -------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/RunManifest.h"
+
+#include "support/RawOstream.h"
+
+#include <algorithm>
+
+using namespace mc;
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+static void writeReportingJson(raw_ostream &OS, const ReportingOptions &R,
+                               const char *Indent) {
+  OS << "{\n";
+  OS << Indent << "  \"show_stats\": " << R.ShowStats << ",\n";
+  OS << Indent << "  \"stats_json\": ";
+  writeJsonString(OS, R.StatsJsonPath);
+  OS << ",\n";
+  OS << Indent << "  \"trace_out\": ";
+  writeJsonString(OS, R.TraceOutPath);
+  OS << ",\n";
+  OS << Indent << "  \"profile_top_n\": " << R.ProfileTopN << ",\n";
+  OS << Indent << "  \"deadline_ms\": " << R.RootDeadlineMs << ",\n";
+  OS << Indent << "  \"fail_on\": \"" << failPolicyName(R.FailOn) << "\"\n";
+  OS << Indent << "}";
+}
+
+static void writeOptionsJson(raw_ostream &OS, const EngineOptions &O) {
+  OS << "{\n";
+  OS << "    \"block_cache\": " << O.EnableBlockCache << ",\n";
+  OS << "    \"function_summaries\": " << O.EnableFunctionSummaries << ",\n";
+  OS << "    \"false_path_pruning\": " << O.EnableFalsePathPruning << ",\n";
+  OS << "    \"auto_kill\": " << O.EnableAutoKill << ",\n";
+  OS << "    \"synonyms\": " << O.EnableSynonyms << ",\n";
+  OS << "    \"interprocedural\": " << O.Interprocedural << ",\n";
+  OS << "    \"dispatch_index\": " << O.EnableDispatchIndex << ",\n";
+  OS << "    \"max_paths_per_function\": " << O.MaxPathsPerFunction << ",\n";
+  OS << "    \"max_path_length\": " << O.MaxPathLength << ",\n";
+  OS << "    \"max_call_depth\": " << O.MaxCallDepth << ",\n";
+  OS << "    \"root_path_budget\": " << O.RootPathBudget << ",\n";
+  OS << "    \"max_active_states\": " << O.MaxActiveStates << ",\n";
+  OS << "    \"jobs\": " << O.Jobs << ",\n";
+  OS << "    \"reporting\": ";
+  writeReportingJson(OS, O.Reporting, "    ");
+  OS << "\n  }";
+}
+
+void RunManifest::writeJson(raw_ostream &OS) const {
+  OS << "{\n";
+  OS << "  \"schema\": ";
+  writeJsonString(OS, Schema);
+  OS << ",\n  \"tool\": ";
+  writeJsonString(OS, Tool);
+  OS << ",\n  \"version\": ";
+  writeJsonString(OS, Version);
+  OS << ",\n  \"parse_ok\": " << ParseOk;
+  OS << ",\n  \"report_count\": " << ReportCount;
+  OS << ",\n  \"options\": ";
+  writeOptionsJson(OS, Options);
+  OS << ",\n  \"metrics\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Metrics) {
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << "\n    ";
+    writeJsonString(OS, Name);
+    OS << ": " << Value;
+  }
+  OS << (First ? "},\n" : "\n  },\n");
+  OS << "  \"incidents\": ";
+  renderIncidentsJson(OS, Incidents);
+  OS << "\n}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing (strict subset: objects/arrays/strings/unsigned ints/bools)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ManifestParser {
+public:
+  ManifestParser(std::string_view Text, std::string *Err)
+      : Text(Text), Err(Err) {}
+
+  bool parse(RunManifest &Out) {
+    skipWs();
+    if (!parseManifestObject(Out))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing content after manifest object");
+    return true;
+  }
+
+private:
+  std::string_view Text;
+  std::string *Err;
+  size_t Pos = 0;
+
+  bool fail(const char *Msg) {
+    if (Err) {
+      *Err = Msg;
+      *Err += " at offset ";
+      *Err += std::to_string(Pos);
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool expect(char C) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail("unexpected character");
+    ++Pos;
+    return true;
+  }
+
+  bool peekIs(char C) {
+    skipWs();
+    return Pos < Text.size() && Text[Pos] == C;
+  }
+
+  bool parseString(std::string &Out) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("truncated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"': Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/': Out += '/'; break;
+      case 'n': Out += '\n'; break;
+      case 't': Out += '\t'; break;
+      case 'r': Out += '\r'; break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned V = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            V |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            V |= H - 'A' + 10;
+          else
+            return fail("bad \\u escape");
+        }
+        // The writer only emits \u00XX for control bytes.
+        Out += (char)(V & 0xff);
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    if (Pos >= Text.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool parseUInt(uint64_t &Out) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+      return fail("expected number");
+    Out = 0;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      Out = Out * 10 + (Text[Pos++] - '0');
+    return true;
+  }
+
+  bool parseBool(bool &Out) {
+    skipWs();
+    if (Text.substr(Pos, 4) == "true") {
+      Pos += 4;
+      Out = true;
+      return true;
+    }
+    if (Text.substr(Pos, 5) == "false") {
+      Pos += 5;
+      Out = false;
+      return true;
+    }
+    return fail("expected boolean");
+  }
+
+  /// Skips any value (for unknown keys — forward compatibility).
+  bool skipValue() {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("expected value");
+    char C = Text[Pos];
+    if (C == '"') {
+      std::string Tmp;
+      return parseString(Tmp);
+    }
+    if (C == '{' || C == '[') {
+      char Close = C == '{' ? '}' : ']';
+      ++Pos;
+      skipWs();
+      if (peekIs(Close)) {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        if (C == '{') {
+          std::string Key;
+          if (!parseString(Key) || !expect(':'))
+            return false;
+        }
+        if (!skipValue())
+          return false;
+        skipWs();
+        if (peekIs(',')) {
+          ++Pos;
+          continue;
+        }
+        return expect(Close);
+      }
+    }
+    if (C == 't' || C == 'f') {
+      bool B;
+      return parseBool(B);
+    }
+    if (C == '-' || (C >= '0' && C <= '9')) {
+      if (C == '-')
+        ++Pos;
+      uint64_t N;
+      return parseUInt(N);
+    }
+    return fail("unsupported value");
+  }
+
+  /// Drives `{ "key": <value>, ... }` with a per-key callback.
+  template <typename KeyFn> bool parseObject(KeyFn &&OnKey) {
+    if (!expect('{'))
+      return false;
+    if (peekIs('}')) {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      std::string Key;
+      if (!parseString(Key) || !expect(':'))
+        return false;
+      if (!OnKey(Key))
+        return false;
+      skipWs();
+      if (peekIs(',')) {
+        ++Pos;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  bool parseReporting(ReportingOptions &R) {
+    return parseObject([&](const std::string &Key) {
+      uint64_t N;
+      if (Key == "show_stats")
+        return parseBool(R.ShowStats);
+      if (Key == "stats_json")
+        return parseString(R.StatsJsonPath);
+      if (Key == "trace_out")
+        return parseString(R.TraceOutPath);
+      if (Key == "profile_top_n") {
+        if (!parseUInt(N))
+          return false;
+        R.ProfileTopN = (unsigned)N;
+        return true;
+      }
+      if (Key == "deadline_ms")
+        return parseUInt(R.RootDeadlineMs);
+      if (Key == "fail_on") {
+        std::string S;
+        if (!parseString(S))
+          return false;
+        return parseFailPolicy(S, R.FailOn) || fail("unknown fail_on value");
+      }
+      return skipValue();
+    });
+  }
+
+  bool parseOptions(EngineOptions &O) {
+    return parseObject([&](const std::string &Key) {
+      uint64_t N;
+      if (Key == "block_cache")
+        return parseBool(O.EnableBlockCache);
+      if (Key == "function_summaries")
+        return parseBool(O.EnableFunctionSummaries);
+      if (Key == "false_path_pruning")
+        return parseBool(O.EnableFalsePathPruning);
+      if (Key == "auto_kill")
+        return parseBool(O.EnableAutoKill);
+      if (Key == "synonyms")
+        return parseBool(O.EnableSynonyms);
+      if (Key == "interprocedural")
+        return parseBool(O.Interprocedural);
+      if (Key == "dispatch_index")
+        return parseBool(O.EnableDispatchIndex);
+      if (Key == "max_paths_per_function")
+        return parseUInt(O.MaxPathsPerFunction);
+      if (Key == "max_path_length") {
+        if (!parseUInt(N))
+          return false;
+        O.MaxPathLength = (unsigned)N;
+        return true;
+      }
+      if (Key == "max_call_depth") {
+        if (!parseUInt(N))
+          return false;
+        O.MaxCallDepth = (unsigned)N;
+        return true;
+      }
+      if (Key == "root_path_budget")
+        return parseUInt(O.RootPathBudget);
+      if (Key == "max_active_states")
+        return parseUInt(O.MaxActiveStates);
+      if (Key == "jobs") {
+        if (!parseUInt(N))
+          return false;
+        O.Jobs = (unsigned)N;
+        return true;
+      }
+      if (Key == "reporting")
+        return parseReporting(O.Reporting);
+      return skipValue();
+    });
+  }
+
+  bool parseMetrics(MetricsSnapshot &M) {
+    return parseObject([&](const std::string &Key) {
+      uint64_t N;
+      if (!parseUInt(N))
+        return false;
+      M.add(Key, N);
+      return true;
+    });
+  }
+
+  bool parseIncident(RootIncident &Inc) {
+    return parseObject([&](const std::string &Key) {
+      if (Key == "root")
+        return parseString(Inc.Root);
+      if (Key == "checker")
+        return parseString(Inc.Checker);
+      if (Key == "outcome") {
+        std::string S;
+        if (!parseString(S))
+          return false;
+        Inc.Quarantined = S == "quarantined";
+        return Inc.Quarantined || S == "degraded" ||
+               fail("unknown incident outcome");
+      }
+      if (Key == "stage") {
+        uint64_t N;
+        if (!parseUInt(N))
+          return false;
+        Inc.Stage = (unsigned)N;
+        return true;
+      }
+      if (Key == "reason")
+        return parseString(Inc.Reason);
+      return skipValue();
+    });
+  }
+
+  bool parseIncidents(std::vector<RootIncident> &Out) {
+    if (!expect('['))
+      return false;
+    if (peekIs(']')) {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      RootIncident Inc;
+      if (!parseIncident(Inc))
+        return false;
+      Out.push_back(std::move(Inc));
+      skipWs();
+      if (peekIs(',')) {
+        ++Pos;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  bool parseManifestObject(RunManifest &Out) {
+    return parseObject([&](const std::string &Key) {
+      if (Key == "schema")
+        return parseString(Out.Schema);
+      if (Key == "tool")
+        return parseString(Out.Tool);
+      if (Key == "version")
+        return parseString(Out.Version);
+      if (Key == "parse_ok")
+        return parseBool(Out.ParseOk);
+      if (Key == "report_count")
+        return parseUInt(Out.ReportCount);
+      if (Key == "options")
+        return parseOptions(Out.Options);
+      if (Key == "metrics")
+        return parseMetrics(Out.Metrics);
+      if (Key == "incidents")
+        return parseIncidents(Out.Incidents);
+      return skipValue();
+    });
+  }
+};
+
+} // namespace
+
+bool mc::parseRunManifest(std::string_view Text, RunManifest &Out,
+                          std::string *Err) {
+  ManifestParser P(Text, Err);
+  RunManifest Parsed;
+  // Clear the defaults that accumulate (the rest are overwritten by parse).
+  Parsed.Metrics = MetricsSnapshot();
+  Parsed.Incidents.clear();
+  if (!P.parse(Parsed))
+    return false;
+  Out = std::move(Parsed);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Text views
+//===----------------------------------------------------------------------===//
+
+void mc::formatStatsText(const MetricsSnapshot &M, raw_ostream &OS) {
+  bool First = true;
+#define MC_METRIC_STAT(Field, DottedName, StatsKey, BenchKey)                  \
+  if (*StatsKey) {                                                             \
+    if (!First)                                                                \
+      OS << ' ';                                                               \
+    First = false;                                                             \
+    OS << StatsKey << '=' << M.value(DottedName);                              \
+  }
+  MC_ENGINE_METRICS(MC_METRIC_STAT)
+#undef MC_METRIC_STAT
+  OS << '\n';
+}
+
+void mc::formatProfileText(const MetricsSnapshot &M, unsigned TopN,
+                           raw_ostream &OS) {
+  // Per-checker attribution lives under "checker.<name>.<suffix>". Checker
+  // names may themselves contain dots (metal file paths), so rows are
+  // recovered by matching the known suffixes, not by splitting on '.'.
+  struct Row {
+    std::string Name;
+    uint64_t Tried = 0, Fired = 0, States = 0, Faults = 0, Reports = 0;
+    uint64_t CalloutNs = 0;
+  };
+  static constexpr struct {
+    const char *Suffix;
+    uint64_t Row::*Member;
+  } Suffixes[] = {
+      {".transitions.tried", &Row::Tried},
+      {".transitions.fired", &Row::Fired},
+      {".states.created", &Row::States},
+      {".faults", &Row::Faults},
+      {".reports", &Row::Reports},
+      {".callout_ns", &Row::CalloutNs},
+  };
+
+  std::vector<Row> Rows;
+  auto RowOf = [&](std::string_view Name) -> Row & {
+    for (Row &R : Rows)
+      if (R.Name == Name)
+        return R;
+    Rows.push_back(Row{std::string(Name), 0, 0, 0, 0, 0, 0});
+    return Rows.back();
+  };
+  constexpr std::string_view Prefix = "checker.";
+  for (const auto &[Name, Value] : M) {
+    std::string_view N = Name;
+    if (N.substr(0, Prefix.size()) != Prefix)
+      continue;
+    for (const auto &S : Suffixes) {
+      std::string_view Suf = S.Suffix;
+      if (N.size() <= Prefix.size() + Suf.size() ||
+          N.substr(N.size() - Suf.size()) != Suf)
+        continue;
+      std::string_view Checker =
+          N.substr(Prefix.size(), N.size() - Prefix.size() - Suf.size());
+      RowOf(Checker).*(S.Member) = Value;
+      break;
+    }
+  }
+
+  std::sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
+    if (A.CalloutNs != B.CalloutNs)
+      return A.CalloutNs > B.CalloutNs;
+    if (A.Tried != B.Tried)
+      return A.Tried > B.Tried;
+    return A.Name < B.Name;
+  });
+
+  size_t Shown = std::min<size_t>(TopN, Rows.size());
+  OS << "---- profile: top " << (unsigned long long)Shown << " of "
+     << (unsigned long long)Rows.size() << " checker(s) by callout time ----\n";
+  for (size_t I = 0; I != Shown; ++I) {
+    const Row &R = Rows[I];
+    OS << "  " << (unsigned long long)(I + 1) << ". ";
+    OS.padToColumn(R.Name, 20);
+    OS.printf(" callout_ms=%.3f", (double)R.CalloutNs / 1e6);
+    OS << " tried=" << R.Tried << " fired=" << R.Fired
+       << " states=" << R.States << " reports=" << R.Reports
+       << " faults=" << R.Faults << '\n';
+  }
+}

@@ -1,0 +1,78 @@
+//===- engine/RunManifest.h - The unified run-report schema -----*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run manifest: one machine-readable record of an analysis run that
+/// unifies what used to be three dialects — the --stats counter line, the
+/// BENCH_JSON engine block, and the incomplete-analysis JSON trailer — into
+/// a single schema (`mc.run-manifest.v1`). It carries the effective engine
+/// options, the full metrics snapshot (dotted names), the incident stream,
+/// and the report count. --stats-json writes it, benches embed it, and the
+/// legacy text surfaces are thin formatters over the same snapshot
+/// (formatStatsText is byte-identical to the historical --stats line).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_ENGINE_RUNMANIFEST_H
+#define MC_ENGINE_RUNMANIFEST_H
+
+#include "engine/Engine.h"
+#include "report/ReportManager.h"
+#include "support/Metrics.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mc {
+
+/// The manifest schema identifier; bump on breaking changes.
+inline constexpr const char *kRunManifestSchema = "mc.run-manifest.v1";
+/// The reproduction's version (PR sequence): stamped into every manifest so
+/// trajectory tooling can segment by tool revision.
+inline constexpr const char *kToolVersion = "0.4.0";
+
+/// One analysis run, as a value. Comparable so the schema round-trip
+/// (writeJson → parseRunManifest) can be tested for identity.
+struct RunManifest {
+  std::string Schema = kRunManifestSchema;
+  std::string Tool = "xgcc";
+  std::string Version = kToolVersion;
+  /// Effective engine options (including the Reporting block).
+  EngineOptions Options;
+  /// Full metrics snapshot: well-known counters, per-checker attribution,
+  /// and checker-registered custom counters, all by dotted name.
+  MetricsSnapshot Metrics;
+  /// Degradation/quarantine incidents in serial root order.
+  std::vector<RootIncident> Incidents;
+  uint64_t ReportCount = 0;
+  bool ParseOk = true;
+
+  /// Pretty-printed (2-space indent) JSON; one object, trailing newline.
+  void writeJson(raw_ostream &OS) const;
+
+  friend bool operator==(const RunManifest &, const RunManifest &) = default;
+};
+
+/// Parses writeJson output (a strict JSON subset: objects, arrays, strings,
+/// unsigned integers, booleans) back into \p Out. Unknown keys are skipped,
+/// so newer manifests parse under this reader. Returns false and sets
+/// \p Err (when non-null) on malformed input.
+bool parseRunManifest(std::string_view Text, RunManifest &Out,
+                      std::string *Err = nullptr);
+
+/// The historical --stats line, byte-identical, as a view over the metrics
+/// snapshot (key order and spelling come from MC_ENGINE_METRICS).
+void formatStatsText(const MetricsSnapshot &M, raw_ostream &OS);
+
+/// The --profile report: top-N checkers by callout time (then transitions
+/// tried, then name), from the per-checker attribution counters.
+void formatProfileText(const MetricsSnapshot &M, unsigned TopN,
+                       raw_ostream &OS);
+
+} // namespace mc
+
+#endif // MC_ENGINE_RUNMANIFEST_H

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace mc {
 
@@ -130,6 +131,19 @@ public:
   /// Telemetry: one index consultation narrowed \p Total point-matchable
   /// transitions down to \p Tried candidates.
   virtual void noteDispatchLookup(uint64_t /*Total*/, uint64_t /*Tried*/) {}
+
+  //===--------------------------------------------------------------------===//
+  // Observability services
+  //===--------------------------------------------------------------------===//
+
+  /// Adds \p Delta to the named counter on the engine's metrics registry.
+  /// Checkers use it to publish domain counters into --stats-json/--profile
+  /// output; names should follow the `checker.<name>.<noun>[.<event>]`
+  /// convention (see DESIGN.md "Observability"). Defaulted to a no-op so
+  /// tests' mock contexts need not care, and so counting never changes
+  /// analysis behavior.
+  virtual void countMetric(std::string_view /*DottedName*/,
+                           uint64_t /*Delta*/ = 1) {}
 
   //===--------------------------------------------------------------------===//
   // Environment

@@ -149,10 +149,7 @@ unsigned ReportManager::suppress(const std::set<std::string> &Suppressed) {
   return Before - Reports.size();
 }
 
-namespace {
-
-/// Minimal JSON string escaping.
-void jsonEscape(raw_ostream &OS, const std::string &S) {
+void mc::writeJsonString(raw_ostream &OS, std::string_view S) {
   OS << '"';
   for (char C : S) {
     switch (C) {
@@ -169,6 +166,53 @@ void jsonEscape(raw_ostream &OS, const std::string &S) {
     }
   }
   OS << '"';
+}
+
+void mc::renderIncidentsJson(raw_ostream &OS,
+                             const std::vector<RootIncident> &Incidents) {
+  OS << '[';
+  for (size_t I = 0; I != Incidents.size(); ++I) {
+    const RootIncident &Inc = Incidents[I];
+    if (I)
+      OS << ", ";
+    OS << "{\"root\": ";
+    writeJsonString(OS, Inc.Root);
+    OS << ", \"checker\": ";
+    writeJsonString(OS, Inc.Checker);
+    OS << ", \"outcome\": \""
+       << (Inc.Quarantined ? "quarantined" : "degraded") << '"';
+    if (!Inc.Quarantined)
+      OS << ", \"stage\": " << Inc.Stage;
+    OS << ", \"reason\": ";
+    writeJsonString(OS, Inc.Reason);
+    OS << '}';
+  }
+  OS << ']';
+}
+
+void mc::renderIncidentsText(raw_ostream &OS,
+                             const std::vector<RootIncident> &Incidents) {
+  if (Incidents.empty())
+    return;
+  size_t Quarantined = 0;
+  for (const RootIncident &I : Incidents)
+    Quarantined += I.Quarantined;
+  OS << "analysis incomplete: " << Quarantined << " root(s) quarantined, "
+     << (Incidents.size() - Quarantined) << " root(s) degraded\n";
+  for (const RootIncident &I : Incidents) {
+    OS << "  " << (I.Quarantined ? "quarantined " : "degraded ") << I.Root
+       << " [" << I.Checker << ']';
+    if (!I.Quarantined)
+      OS << " (stage " << I.Stage << ')';
+    OS << ": " << I.Reason << '\n';
+  }
+}
+
+namespace {
+
+/// Local alias so the report array below reads as before.
+void jsonEscape(raw_ostream &OS, const std::string &S) {
+  writeJsonString(OS, S);
 }
 
 } // namespace
@@ -205,24 +249,9 @@ void ReportManager::printJson(raw_ostream &OS, RankPolicy Policy) const {
   OS << "]\n";
   if (Incidents.empty())
     return;
-  OS << "{\"analysis_incomplete\": [";
-  for (size_t I = 0; I != Incidents.size(); ++I) {
-    const RootIncident &Inc = Incidents[I];
-    if (I)
-      OS << ", ";
-    OS << "{\"root\": ";
-    jsonEscape(OS, Inc.Root);
-    OS << ", \"checker\": ";
-    jsonEscape(OS, Inc.Checker);
-    OS << ", \"outcome\": \""
-       << (Inc.Quarantined ? "quarantined" : "degraded") << '"';
-    if (!Inc.Quarantined)
-      OS << ", \"stage\": " << Inc.Stage;
-    OS << ", \"reason\": ";
-    jsonEscape(OS, Inc.Reason);
-    OS << '}';
-  }
-  OS << "]}\n";
+  OS << "{\"analysis_incomplete\": ";
+  renderIncidentsJson(OS, Incidents);
+  OS << "}\n";
 }
 
 void ReportManager::print(raw_ostream &OS, RankPolicy Policy) const {
@@ -240,18 +269,5 @@ void ReportManager::print(raw_ostream &OS, RankPolicy Policy) const {
       OS.printf(" {rule %s z=%.2f}", R.RuleKey.c_str(), ruleZ(R.RuleKey));
     OS << '\n';
   }
-  if (Incidents.empty())
-    return;
-  size_t Quarantined = 0;
-  for (const RootIncident &I : Incidents)
-    Quarantined += I.Quarantined;
-  OS << "analysis incomplete: " << Quarantined << " root(s) quarantined, "
-     << (Incidents.size() - Quarantined) << " root(s) degraded\n";
-  for (const RootIncident &I : Incidents) {
-    OS << "  " << (I.Quarantined ? "quarantined " : "degraded ") << I.Root
-       << " [" << I.Checker << ']';
-    if (!I.Quarantined)
-      OS << " (stage " << I.Stage << ')';
-    OS << ": " << I.Reason << '\n';
-  }
+  renderIncidentsText(OS, Incidents);
 }

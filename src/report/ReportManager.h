@@ -21,6 +21,7 @@
 
 #include <map>
 #include <set>
+#include <string_view>
 #include <vector>
 
 namespace mc {
@@ -123,6 +124,22 @@ private:
 /// The history key of a report: fields that are "relatively invariant under
 /// edits" — file, function, variable names, and the message (Section 8).
 std::string historyKey(const ErrorReport &R);
+
+/// Writes \p S as a JSON string literal (quoted, escaped). Shared by every
+/// JSON surface — reports, the incident trailer, the run manifest — so they
+/// all escape identically.
+void writeJsonString(raw_ostream &OS, std::string_view S);
+
+/// Renders \p Incidents as the JSON array (just the `[...]`) used both by
+/// printJson's {"analysis_incomplete": ...} trailer and by the run
+/// manifest's "incidents" field — one serializer, two views.
+void renderIncidentsJson(raw_ostream &OS,
+                         const std::vector<RootIncident> &Incidents);
+
+/// Renders \p Incidents as print()'s human-readable "analysis incomplete"
+/// trailer. No-op when the list is empty.
+void renderIncidentsText(raw_ostream &OS,
+                         const std::vector<RootIncident> &Incidents);
 
 } // namespace mc
 

@@ -9,7 +9,7 @@
 /// deadline elapses. The analysis hot path never reads a clock: it polls the
 /// flag (relaxed load, branch-predictable) at block granularity, and the
 /// single watchdog thread does all the timekeeping. Used by the engine's
-/// per-root deadline valve (EngineOptions::RootDeadlineMs).
+/// per-root deadline valve (ReportingOptions::RootDeadlineMs).
 ///
 //===----------------------------------------------------------------------===//
 

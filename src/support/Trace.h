@@ -1,0 +1,132 @@
+//===- support/Trace.h - Hierarchical scoped-span tracing -------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scoped-span tracing for the analysis pipeline, exported as Chrome
+/// trace-event JSON (load the `--trace-out` file in chrome://tracing or
+/// https://ui.perfetto.dev). Design constraints, in order:
+///
+///  1. Zero cost when disabled: a disabled collector hands out null buffers
+///     and every TraceSpan on a null buffer is a no-op — no clock reads, no
+///     allocation, no atomics.
+///  2. Deterministic merge: spans are recorded into per-root (not per-thread)
+///     buffers keyed by a *lane* — lane 0 is the tool, lane 1+N is root N in
+///     call-graph root order. Buffers within a lane are ordered by an epoch
+///     assigned at open time; the export sorts by (lane, epoch, sequence), so
+///     the span order is byte-identical at any --jobs count. Only timestamps
+///     vary run to run; exportChromeJson(IncludeTimes=false) zeroes them,
+///     which is what the determinism test byte-compares.
+///  3. Hierarchy: spans nest lexically (RAII); the exporter emits complete
+///     "X" events whose ts/dur nesting reconstructs the tree in the viewer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_TRACE_H
+#define MC_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mc {
+
+class raw_ostream;
+
+/// One recorded span: a named interval with optional string args. Stored
+/// flat; nesting is implicit in the [Start, End) intervals.
+struct TraceEvent {
+  std::string Name;
+  /// Key/value pairs shown in the viewer's detail pane. Must be
+  /// job-agnostic (no shard sizes, no work deltas) to keep the merged
+  /// stream deterministic.
+  std::vector<std::pair<std::string, std::string>> Args;
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  /// Open order within the buffer — the deterministic sort key.
+  uint32_t Seq = 0;
+  /// Nesting depth at open time (0 = top level in this buffer).
+  uint32_t Depth = 0;
+};
+
+/// A single-writer event buffer. One buffer per (lane, epoch): the engine
+/// opens one buffer per root analysis attempt, the tool one per run-level
+/// scope. Never shared across threads — the owning worker writes, the
+/// collector reads only after the parallel barrier.
+class TraceBuffer {
+public:
+  uint64_t lane() const { return Lane; }
+  uint64_t epoch() const { return Epoch; }
+
+private:
+  friend class TraceCollector;
+  friend class TraceSpan;
+  uint64_t Lane = 0;
+  uint64_t Epoch = 0;
+  std::vector<TraceEvent> Events;
+  /// Indices of currently open spans (RAII nesting).
+  std::vector<uint32_t> OpenStack;
+};
+
+/// Owns every buffer; hands them out keyed by lane and merges them in
+/// (lane, epoch) order on export. Thread-safe to open buffers from any
+/// worker; each buffer is then single-writer.
+class TraceCollector {
+public:
+  explicit TraceCollector(bool Enabled) : Enabled(Enabled) {}
+  TraceCollector(const TraceCollector &) = delete;
+  TraceCollector &operator=(const TraceCollector &) = delete;
+
+  bool enabled() const { return Enabled; }
+
+  /// Opens a new buffer on \p Lane, or returns null when disabled (spans on
+  /// a null buffer are no-ops). The buffer's epoch is the count of buffers
+  /// previously opened on that lane, which is deterministic as long as
+  /// opens on one lane happen in a deterministic order (per-root lanes are
+  /// only touched by the one worker that owns the root at a time).
+  TraceBuffer *openBuffer(uint64_t Lane);
+
+  /// Total recorded events across all buffers.
+  size_t eventCount() const;
+
+  /// Writes the merged stream as a Chrome trace-event JSON object. With
+  /// \p IncludeTimes false, every ts/dur is written as 0 so two runs of the
+  /// same analysis produce byte-identical output regardless of --jobs.
+  void exportChromeJson(raw_ostream &OS, bool IncludeTimes = true) const;
+
+private:
+  const bool Enabled;
+  mutable std::mutex Mu;
+  /// Stable storage — openBuffer returns pointers into this deque.
+  std::deque<TraceBuffer> Buffers;
+  std::map<uint64_t, uint64_t> NextEpoch;
+};
+
+/// RAII span: records [construction, destruction) into a buffer. On a null
+/// buffer every member is a no-op, so call sites are unconditional.
+class TraceSpan {
+public:
+  TraceSpan(TraceBuffer *Buf, std::string_view Name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches a key/value arg to the span (viewer detail pane). Values must
+  /// be job-agnostic; see TraceEvent::Args.
+  void arg(std::string_view Key, std::string_view Value);
+
+private:
+  TraceBuffer *Buf;
+  uint32_t Idx = 0;
+};
+
+} // namespace mc
+
+#endif // MC_SUPPORT_TRACE_H

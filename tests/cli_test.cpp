@@ -202,6 +202,95 @@ TEST(Cli, JsonOutput) {
 
 namespace {
 
+std::string readBack(const std::string &Path) {
+  std::string Text;
+  FILE *F = fopen(Path.c_str(), "r");
+  EXPECT_NE(F, nullptr);
+  if (!F)
+    return Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  fclose(F);
+  return Text;
+}
+
+TEST(Cli, StatsJsonWritesRunManifest) {
+  std::string Src = writeTemp("cli_manifest.c", BuggySource);
+  std::string Out = ::testing::TempDir() + "/cli_manifest.json";
+  remove(Out.c_str());
+  RunResult R = runXgcc("--checker free --stats-json " + Out + " " + Src);
+  EXPECT_EQ(R.ExitCode, 0);
+  std::string Json = readBack(Out);
+  EXPECT_EQ(Json.find("{\n  \"schema\": \"mc.run-manifest.v1\""), 0u);
+  EXPECT_NE(Json.find("\"report_count\": 1"), std::string::npos);
+  EXPECT_NE(Json.find("\"engine.points.visited\""), std::string::npos);
+  EXPECT_NE(Json.find("\"incidents\": []"), std::string::npos);
+  // The =VALUE spelling writes to stdout.
+  RunResult Dash = runXgcc("--checker free --stats-json=- " + Src);
+  EXPECT_EQ(Dash.ExitCode, 0);
+  EXPECT_NE(Dash.Output.find("\"schema\": \"mc.run-manifest.v1\""),
+            std::string::npos);
+  remove(Src.c_str());
+  remove(Out.c_str());
+}
+
+TEST(Cli, TraceOutWritesChromeJson) {
+  std::string Src = writeTemp("cli_trace.c", BuggySource);
+  std::string Out = ::testing::TempDir() + "/cli_trace.json";
+  remove(Out.c_str());
+  RunResult R = runXgcc("--checker free --trace-out " + Out + " " + Src);
+  EXPECT_EQ(R.ExitCode, 0);
+  std::string Json = readBack(Out);
+  EXPECT_EQ(Json.compare(0, 16, "{\"traceEvents\":["), 0);
+  EXPECT_NE(Json.find("\"name\":\"run\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"checker\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"root\""), std::string::npos);
+  remove(Src.c_str());
+  remove(Out.c_str());
+}
+
+TEST(Cli, ObservabilityFlagsDoNotPerturbOutput) {
+  std::string Src = writeTemp("cli_obs.c", BuggySource);
+  std::string Trace = ::testing::TempDir() + "/cli_obs_trace.json";
+  for (const char *Jobs : {"1", "4"}) {
+    RunResult Plain =
+        runXgcc(std::string("--checker free --stats --jobs ") + Jobs + " " +
+                Src);
+    RunResult Obs = runXgcc(std::string("--checker free --stats --jobs ") +
+                            Jobs + " --trace-out " + Trace + " " + Src);
+    EXPECT_EQ(Plain.ExitCode, 0);
+    // Reports and the stats line are byte-identical with tracing on.
+    EXPECT_EQ(Plain.Output, Obs.Output) << "jobs=" << Jobs;
+  }
+  remove(Src.c_str());
+  remove(Trace.c_str());
+}
+
+TEST(Cli, ProfileReportsCheckerAttribution) {
+  std::string Src = writeTemp("cli_profile.c", BuggySource);
+  RunResult R = runXgcc("--profile=2 " + Src);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("profile: top 2 of"), std::string::npos);
+  EXPECT_NE(R.Output.find("callout_ms="), std::string::npos);
+  // Bare --profile defaults to top 5.
+  RunResult Bare = runXgcc("--profile " + Src);
+  EXPECT_EQ(Bare.ExitCode, 0);
+  EXPECT_NE(Bare.Output.find("profile: top 5 of"), std::string::npos);
+  remove(Src.c_str());
+}
+
+TEST(Cli, BadFailOnValueRejected) {
+  std::string Src = writeTemp("cli_failon.c", BuggySource);
+  RunResult R = runXgcc("--fail-on sometimes " + Src);
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("--fail-on expects"), std::string::npos);
+  RunResult Eq = runXgcc("--fail-on=never --checker free " + Src);
+  EXPECT_EQ(Eq.ExitCode, 0);
+  remove(Src.c_str());
+}
+
 TEST(Cli, GroupsOutput) {
   std::string Src = writeTemp("cli_groups.c",
                               "void kfree(void *p);\n"

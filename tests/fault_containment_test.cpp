@@ -160,7 +160,7 @@ TEST(FaultContainment, DeadlineDegradesToIntraprocedural) {
                   "  return a;\n"
                   "}\n";
   EngineOptions Opts;
-  Opts.RootDeadlineMs = 20;
+  Opts.Reporting.RootDeadlineMs = 20;
   Snapshot Got = runInjector(S, FaultInjectorChecker::Mode::SlowCallout, Opts,
                              /*SleepMs=*/200);
   ASSERT_EQ(Got.Incidents.size(), 1u);
@@ -246,7 +246,7 @@ TEST(FaultContainment, ArmedValvesChangeNothingWithoutFaults) {
     EngineOptions Plain;
     Plain.Jobs = Jobs;
     EngineOptions Armed = Plain;
-    Armed.RootDeadlineMs = 3600 * 1000;
+    Armed.Reporting.RootDeadlineMs = 3600 * 1000;
     Armed.RootPathBudget = uint64_t(1) << 40;
     Snapshot A = runInjector(Clean, FaultInjectorChecker::Mode::None, Plain);
     Snapshot B = runInjector(Clean, FaultInjectorChecker::Mode::None, Armed);

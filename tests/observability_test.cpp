@@ -1,0 +1,348 @@
+//===- tests/observability_test.cpp - Metrics/trace/manifest tests -----------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The observability contract: the metrics registry is safe to register and
+// bump from concurrent workers; snapshots are deterministic values; the
+// trace merge is byte-identical at every job count; the run manifest
+// round-trips its JSON schema; and the legacy --stats line is a pure
+// formatter over the snapshot.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkers/FaultInjector.h"
+#include "driver/Tool.h"
+#include "engine/RunManifest.h"
+#include "support/Metrics.h"
+#include "support/RawOstream.h"
+#include "support/Trace.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry / MetricsSnapshot
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, RegisterOrGetAndAdd) {
+  MetricsRegistry R;
+  std::atomic<uint64_t> *A = R.counter("a.x");
+  ASSERT_NE(A, nullptr);
+  // Same name, same cell.
+  EXPECT_EQ(R.counter("a.x"), A);
+  A->fetch_add(3, std::memory_order_relaxed);
+  R.add("a.x", 4);
+  EXPECT_EQ(R.value("a.x"), 7u);
+  EXPECT_EQ(R.value("never.registered"), 0u);
+  EXPECT_EQ(R.size(), 1u);
+  R.reset();
+  EXPECT_EQ(R.value("a.x"), 0u);
+  // Reset zeroes cells but keeps registrations (cached pointers stay valid).
+  EXPECT_EQ(R.counter("a.x"), A);
+}
+
+TEST(Metrics, SnapshotIsSortedAndKeepsZeros) {
+  MetricsRegistry R;
+  R.counter("z.last");
+  R.add("m.mid", 5);
+  R.counter("a.first");
+  MetricsSnapshot S = R.snapshot();
+  ASSERT_EQ(S.size(), 3u);
+  std::vector<std::string> Names;
+  for (const auto &[Name, Value] : S)
+    Names.push_back(Name);
+  EXPECT_EQ(Names, (std::vector<std::string>{"a.first", "m.mid", "z.last"}));
+  // Registered-but-zero counters survive into the snapshot: the key set is
+  // the registration set, not the touched set.
+  EXPECT_EQ(S.value("a.first"), 0u);
+  EXPECT_EQ(S.value("m.mid"), 5u);
+}
+
+TEST(Metrics, SnapshotMergeAndEquality) {
+  MetricsSnapshot A, B;
+  A.add("x", 1);
+  A.add("y", 2);
+  B.add("y", 40);
+  B.add("z", 5);
+  A.merge(B);
+  EXPECT_EQ(A.value("x"), 1u);
+  EXPECT_EQ(A.value("y"), 42u);
+  EXPECT_EQ(A.value("z"), 5u);
+  MetricsSnapshot C = A;
+  EXPECT_TRUE(C == A);
+  C.add("x", 1);
+  EXPECT_FALSE(C == A);
+}
+
+TEST(Metrics, ConcurrentRegisterAndBump) {
+  // 8 threads hammer overlapping names: half bump a shared cached cell,
+  // half register-or-get by name. Run under TSan via the parallel label.
+  MetricsRegistry R;
+  std::atomic<uint64_t> *Shared = R.counter("shared.hits");
+  constexpr unsigned Threads = 8, Iters = 2000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T) {
+    Pool.emplace_back([&R, Shared, T] {
+      std::string Mine = "worker." + std::to_string(T % 4) + ".ops";
+      for (unsigned I = 0; I != Iters; ++I) {
+        Shared->fetch_add(1, std::memory_order_relaxed);
+        R.add(Mine, 1);
+      }
+    });
+  }
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(R.value("shared.hits"), uint64_t(Threads) * Iters);
+  uint64_t PerName = 0;
+  for (unsigned N = 0; N != 4; ++N)
+    PerName += R.value("worker." + std::to_string(N) + ".ops");
+  EXPECT_EQ(PerName, uint64_t(Threads) * Iters);
+}
+
+TEST(Metrics, EngineStatsViewRoundTrips) {
+  EngineStats S;
+  S.PointsVisited = 11;
+  S.RootsQuarantined = 2;
+  S.IndexCandidatesTried = 7;
+  EngineStats Back = EngineStats::fromMetrics(S.toMetrics());
+  EXPECT_TRUE(Back == S);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, DisabledCollectorIsInert) {
+  TraceCollector C(/*Enabled=*/false);
+  EXPECT_EQ(C.openBuffer(0), nullptr);
+  {
+    TraceSpan S(nullptr, "anything");
+    S.arg("k", "v");
+  }
+  EXPECT_EQ(C.eventCount(), 0u);
+}
+
+TEST(Trace, SpansNestAndExport) {
+  TraceCollector C(/*Enabled=*/true);
+  TraceBuffer *B = C.openBuffer(3);
+  ASSERT_NE(B, nullptr);
+  {
+    TraceSpan Outer(B, "outer");
+    Outer.arg("who", "test");
+    TraceSpan Inner(B, "inner");
+  }
+  EXPECT_EQ(C.eventCount(), 2u);
+  std::string Json;
+  raw_string_ostream OS(Json);
+  C.exportChromeJson(OS, /*IncludeTimes=*/false);
+  EXPECT_EQ(Json.compare(0, 16, "{\"traceEvents\":["), 0);
+  // Open order is the deterministic sort key: outer precedes inner.
+  EXPECT_LT(Json.find("\"outer\""), Json.find("\"inner\""));
+  EXPECT_NE(Json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(Json.find("\"who\":\"test\""), std::string::npos);
+  // Times are stripped for byte-comparison.
+  EXPECT_NE(Json.find("\"ts\":0.000,\"dur\":0.000"), std::string::npos);
+}
+
+/// N roots calling the injector's reporting rule; analysis is real engine
+/// work, so the trace carries root/traverse/end-of-path spans.
+std::string traceCorpus(unsigned Roots) {
+  std::string S = "int ok(int x);\nvoid bad_call(void *p);\n";
+  for (unsigned I = 0; I != Roots; ++I) {
+    std::string T = std::to_string(I);
+    S += "int fn" + T + "(int *p, int a) {\n"
+         "  a = ok(a + " + T + ");\n"
+         "  bad_call(p);\n"
+         "  return a;\n}\n";
+  }
+  return S;
+}
+
+std::string tracedRun(const std::string &Source, unsigned Jobs,
+                      std::string *Rendered = nullptr) {
+  XgccTool Tool;
+  EXPECT_TRUE(Tool.addSource("t.c", Source));
+  Tool.addChecker(std::make_unique<FaultInjectorChecker>(
+      FaultInjectorChecker::Mode::None));
+  TraceCollector Trace(/*Enabled=*/true);
+  Tool.setTrace(&Trace);
+  EngineOptions Opts;
+  Opts.Jobs = Jobs;
+  Tool.run(Opts);
+  if (Rendered) {
+    raw_string_ostream OS(*Rendered);
+    Tool.reports().print(OS, RankPolicy::Generic);
+  }
+  std::string Json;
+  raw_string_ostream OS(Json);
+  Trace.exportChromeJson(OS, /*IncludeTimes=*/false);
+  return Json;
+}
+
+TEST(Trace, MergeIsByteIdenticalAcrossJobCounts) {
+  std::string Source = traceCorpus(9);
+  std::string Rendered1, Rendered4, Rendered8;
+  std::string T1 = tracedRun(Source, 1, &Rendered1);
+  std::string T4 = tracedRun(Source, 4, &Rendered4);
+  std::string T8 = tracedRun(Source, 8, &Rendered8);
+  EXPECT_FALSE(T1.empty());
+  EXPECT_EQ(T1, T4);
+  EXPECT_EQ(T1, T8);
+  // And tracing never perturbs the reports.
+  EXPECT_EQ(Rendered1, Rendered4);
+  EXPECT_EQ(Rendered1, Rendered8);
+  // Engine spans made it in, attributed to the per-root lanes.
+  EXPECT_NE(T1.find("\"root\""), std::string::npos);
+  EXPECT_NE(T1.find("\"traverse\""), std::string::npos);
+  EXPECT_NE(T1.find("\"outcome\":\"ok\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Run manifest
+//===----------------------------------------------------------------------===//
+
+TEST(RunManifest, JsonRoundTripsIdentically) {
+  RunManifest M;
+  M.Options.Jobs = 4;
+  M.Options.EnableBlockCache = false;
+  M.Options.Reporting.ShowStats = true;
+  M.Options.Reporting.StatsJsonPath = "out \"quoted\".json";
+  M.Options.Reporting.ProfileTopN = 7;
+  M.Options.Reporting.RootDeadlineMs = 250;
+  M.Options.Reporting.FailOn = FailPolicy::Degraded;
+  M.Metrics.add("engine.points.visited", 123);
+  M.Metrics.add("checker.fault_injector.injections", 2);
+  RootIncident Inc;
+  Inc.Root = "fn0";
+  Inc.Checker = "fault_injector";
+  Inc.Quarantined = true;
+  Inc.Reason = "injected checker fault";
+  M.Incidents.push_back(Inc);
+  RootIncident Deg = Inc;
+  Deg.Root = "fn1";
+  Deg.Quarantined = false;
+  Deg.Stage = 2;
+  Deg.Reason = "deadline";
+  M.Incidents.push_back(Deg);
+  M.ReportCount = 5;
+  M.ParseOk = false;
+
+  std::string Json;
+  raw_string_ostream OS(Json);
+  M.writeJson(OS);
+  EXPECT_EQ(Json.find("{\n  \"schema\": \"mc.run-manifest.v1\""), 0u);
+
+  RunManifest Back;
+  std::string Err;
+  ASSERT_TRUE(parseRunManifest(Json, Back, &Err)) << Err;
+  EXPECT_TRUE(Back == M);
+}
+
+TEST(RunManifest, ParserRejectsGarbageAndSkipsUnknownKeys) {
+  RunManifest Out;
+  std::string Err;
+  EXPECT_FALSE(parseRunManifest("not json", Out, &Err));
+  EXPECT_FALSE(Err.empty());
+  // Unknown keys are skipped for forward compatibility.
+  RunManifest M;
+  std::string Json;
+  raw_string_ostream OS(Json);
+  M.writeJson(OS);
+  std::string Extended = Json;
+  size_t Pos = Extended.find("\"schema\"");
+  ASSERT_NE(Pos, std::string::npos);
+  Extended.insert(Pos, "\"future_key\": [1, {\"deep\": true}, \"x\"],\n  ");
+  RunManifest Back;
+  EXPECT_TRUE(parseRunManifest(Extended, Back, &Err)) << Err;
+  EXPECT_TRUE(Back == M);
+}
+
+TEST(RunManifest, ToolManifestReflectsTheRun) {
+  XgccTool Tool;
+  ASSERT_TRUE(Tool.addSource("t.c", traceCorpus(3)));
+  Tool.addChecker(std::make_unique<FaultInjectorChecker>(
+      FaultInjectorChecker::Mode::None));
+  EngineOptions Opts;
+  Opts.Jobs = 1;
+  Tool.run(Opts);
+  RunManifest M = Tool.manifest(Opts);
+  EXPECT_EQ(M.Schema, kRunManifestSchema);
+  EXPECT_EQ(M.ReportCount, Tool.reports().size());
+  EXPECT_GT(M.ReportCount, 0u);
+  EXPECT_GT(M.Metrics.value("engine.points.visited"), 0u);
+  EXPECT_GT(M.Metrics.value("checker.fault_injector.transitions.fired"), 0u);
+  EXPECT_TRUE(M.Options == Opts);
+  std::string Json;
+  raw_string_ostream OS(Json);
+  M.writeJson(OS);
+  RunManifest Back;
+  std::string Err;
+  ASSERT_TRUE(parseRunManifest(Json, Back, &Err)) << Err;
+  EXPECT_TRUE(Back == M);
+}
+
+//===----------------------------------------------------------------------===//
+// Text formatters over the snapshot
+//===----------------------------------------------------------------------===//
+
+TEST(Formatters, StatsLineMatchesHistoricalShape) {
+  MetricsSnapshot M;
+  M.add("engine.points.visited", 9);
+  M.add("index.candidates.tried", 4);
+  std::string Line;
+  raw_string_ostream OS(Line);
+  formatStatsText(M, OS);
+  EXPECT_EQ(Line,
+            "points=9 blocks=0 paths=0 cache-hits=0 fn-hits=0 fn-analyses=0 "
+            "pruned=0 kills=0 synonyms=0 index-lookups=0 index-tried=4 "
+            "index-skipped=0 index-blocks-skipped=0 deadline-hits=0 "
+            "state-limit-hits=0 roots-degraded=0 roots-quarantined=0 "
+            "degradation-retries=0\n");
+}
+
+TEST(Formatters, ProfileRanksByCalloutTime) {
+  MetricsSnapshot M;
+  // Checker names may themselves contain dots — suffix matching must still
+  // recover them.
+  M.add("checker.a.b.callout_ns", 5000000);
+  M.add("checker.a.b.transitions.tried", 10);
+  M.add("checker.fast.callout_ns", 1000);
+  M.add("checker.fast.transitions.tried", 99);
+  M.add("checker.fast.reports", 1);
+  M.add("engine.points.visited", 1); // not a checker metric; ignored
+  std::string Text;
+  raw_string_ostream OS(Text);
+  formatProfileText(M, 5, OS);
+  EXPECT_NE(Text.find("profile: top 2 of 2 checker(s)"), std::string::npos);
+  // a.b has the larger callout time: ranked first.
+  EXPECT_LT(Text.find(" a.b "), Text.find(" fast "));
+  EXPECT_NE(Text.find("callout_ms=5.000"), std::string::npos);
+}
+
+TEST(Formatters, StatsLineEqualsLegacyEngineStatsFields) {
+  // The formatter and the EngineStats view agree: format(toMetrics(S))
+  // renders S's fields.
+  EngineStats S;
+  S.PointsVisited = 1;
+  S.BlocksVisited = 2;
+  S.PathsExplored = 3;
+  S.DegradationRetries = 4;
+  std::string Line;
+  raw_string_ostream OS(Line);
+  formatStatsText(S.toMetrics(), OS);
+  EXPECT_NE(Line.find("points=1 blocks=2 paths=3"), std::string::npos);
+  EXPECT_NE(Line.find("degradation-retries=4\n"), std::string::npos);
+}
+
+} // namespace
