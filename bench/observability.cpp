@@ -93,12 +93,14 @@ struct RunResult {
   std::string StatsLine; ///< formatStatsText output.
   std::string TraceJson; ///< Time-stripped export (Obs::Enabled only).
   size_t TraceEvents = 0;
+  size_t WitnessCount = 0; ///< Manifest witnesses (capture on only).
   bool ManifestOk = false; ///< writeJson -> parse -> == round-trip held.
 };
 
 RunResult runSuite(const std::string &Source,
                    const std::vector<std::string> &CheckerSrcs, Obs Mode,
-                   unsigned Jobs, unsigned ProfileTopN = 0) {
+                   unsigned Jobs, unsigned ProfileTopN = 0,
+                   bool CaptureWitness = false) {
   RunResult Res;
   XgccTool Tool;
   if (!Tool.addSource("obs.c", Source)) {
@@ -113,6 +115,7 @@ RunResult runSuite(const std::string &Source,
   EngineOptions Opts;
   Opts.Jobs = Jobs;
   Opts.Reporting.ProfileTopN = ProfileTopN;
+  Opts.Reporting.CaptureWitness = CaptureWitness;
   BenchTimer T;
   Tool.run(Opts);
   Res.AnalyzeSecs = T.seconds();
@@ -138,6 +141,7 @@ RunResult runSuite(const std::string &Source,
   }
   RunManifest Back;
   Res.ManifestOk = parseRunManifest(Json, Back) && Back == M;
+  Res.WitnessCount = M.Witnesses.size();
   return Res;
 }
 
@@ -239,6 +243,40 @@ int main(int argc, char **argv) {
             ProfileShape ? "well-formed" : "MALFORMED");
   Ok &= Attributed && ProfileShape && Prof.ManifestOk;
 
+  // Part 4: witness capture. Turning it on must not change a byte of the
+  // report list or the stats line (journals ride inside reports, rendered
+  // only by --explain / the manifest), and the journal bookkeeping must stay
+  // cheap. Interleaved best-of, same discipline as Part 1.
+  RunResult WOff, WOn;
+  runSuite(Source, CheckerSrcs, Obs::None, 1, 0, /*CaptureWitness=*/false);
+  runSuite(Source, CheckerSrcs, Obs::None, 1, 0, /*CaptureWitness=*/true);
+  for (unsigned R = 0; R != Repeats; ++R) {
+    keepIfBest(WOff,
+               runSuite(Source, CheckerSrcs, Obs::None, 1, 0, false), R == 0);
+    keepIfBest(WOn,
+               runSuite(Source, CheckerSrcs, Obs::None, 1, 0, true), R == 0);
+  }
+  double WitnessPct =
+      WOff.AnalyzeSecs > 0
+          ? (WOn.AnalyzeSecs - WOff.AnalyzeSecs) / WOff.AnalyzeSecs * 100.0
+          : 0;
+  bool WitnessSame =
+      WOff.Rendered == WOn.Rendered && WOff.StatsLine == WOn.StatsLine;
+  OS.printf("witness capture: %.2f ms off -> %.2f ms on (%+.2f%%), "
+            "%zu witness(es), reports+stats %s\n",
+            WOff.AnalyzeSecs * 1e3, WOn.AnalyzeSecs * 1e3, WitnessPct,
+            WOn.WitnessCount, WitnessSame ? "identical" : "DIFFER");
+  Ok &= WitnessSame && WOn.ManifestOk && WOn.WitnessCount > 0 &&
+        WOff.WitnessCount == 0;
+  if (Smoke) {
+    OS << "witness overhead gate skipped (--smoke)\n";
+  } else {
+    bool Cheap = WitnessPct < 3.0;
+    OS.printf("witness overhead gate (< 3.00%%): %.2f%% %s\n", WitnessPct,
+              Cheap ? "PASS" : "FAIL");
+    Ok &= Cheap;
+  }
+
   OS << '\n'
      << (Ok ? "OBSERVABILITY IS FREE WHEN OFF AND DETERMINISTIC WHEN ON\n"
             : "MISMATCH\n");
@@ -248,6 +286,8 @@ int main(int argc, char **argv) {
       .num("stmts_per_s", stmtsPerSec(On1.Metrics.value("engine.points.visited"),
                                       On1.AnalyzeSecs))
       .num("overhead_pct", OverheadPct)
+      .num("witness_overhead_pct", WitnessPct)
+      .count("witnesses", WOn.WitnessCount)
       .count("trace_events", On1.TraceEvents)
       .engine(On1.Metrics)
       .flag("ok", Ok)

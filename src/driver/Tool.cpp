@@ -400,5 +400,33 @@ RunManifest XgccTool::manifest(const EngineOptions &Opts, bool ParseOk) const {
   M.Incidents = Reports.incidents();
   M.ReportCount = Reports.size();
   M.ParseOk = ParseOk;
+  // Witness paths ride along in ranked order (the same order print() uses),
+  // for reports that captured one. Step locations are decoded here: the
+  // manifest outlives the SourceManager.
+  for (size_t Idx : Reports.ranked(RankPolicy::Generic)) {
+    const ErrorReport &R = Reports.reports()[Idx];
+    if (R.Steps.empty() && R.DroppedSteps == 0)
+      continue;
+    ManifestWitness W;
+    W.Checker = R.CheckerName;
+    W.File = R.File;
+    W.Line = R.Line;
+    W.Message = R.Message;
+    W.DroppedSteps = R.DroppedSteps;
+    W.Steps.reserve(R.Steps.size());
+    for (const WitnessStep &S : R.Steps) {
+      ManifestWitnessStep MS;
+      MS.Kind = witnessKindName(S.K);
+      FullLoc FL = SM.decode(S.Loc);
+      MS.File = std::string(FL.Filename);
+      MS.Line = FL.Line;
+      MS.Depth = S.Depth;
+      MS.Object = S.Object;
+      MS.From = S.From;
+      MS.To = S.To;
+      W.Steps.push_back(std::move(MS));
+    }
+    M.Witnesses.push_back(std::move(W));
+  }
   return M;
 }

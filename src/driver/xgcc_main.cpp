@@ -40,6 +40,10 @@
 //                        trace-event JSON (load in chrome://tracing)
 //   --profile[=N]        print the top-N checkers by callout time
 //                        (default N=5) with per-checker attribution
+//   --explain[=N]        capture witness paths and, after the report list,
+//                        render the top-N ranked reports (default N=3) with
+//                        source-anchored step-by-step provenance traces;
+//                        also embeds the witnesses in the run manifest
 //   --deadline-ms N      wall-clock budget per root function; a root that
 //                        blows it is retried down the degradation ladder
 //                        (0 = unlimited, the default)
@@ -205,7 +209,29 @@ int main(int Argc, char **Argv) {
       else if (Arg.compare(0, 10, "--profile=") == 0)
         Opts.Reporting.ProfileTopN =
             unsigned(std::strtoul(Arg.c_str() + 10, nullptr, 10));
-      else if (FlagValue("--stats-json", &V))
+      else if (Arg == "--explain" || Arg.compare(0, 10, "--explain=") == 0) {
+        // "--explain" alone means top 3; "--explain=N" and "--explain N"
+        // (when the next argument is all digits) set N explicitly.
+        const char *Val = nullptr;
+        if (Arg.size() >= 10)
+          Val = Arg.c_str() + 10;
+        else if (I + 1 < Argc && Argv[I + 1][0] &&
+                 std::strspn(Argv[I + 1], "0123456789") ==
+                     std::strlen(Argv[I + 1]))
+          Val = Argv[++I];
+        unsigned N = 3;
+        if (Val) {
+          char *End = nullptr;
+          N = unsigned(std::strtoul(Val, &End, 10));
+          if (!*Val || *End || N == 0) {
+            errs() << "xgcc: --explain expects a positive report count\n";
+            printUsage();
+            return 2;
+          }
+        }
+        Opts.Reporting.ExplainTopN = N;
+        Opts.Reporting.CaptureWitness = true;
+      } else if (FlagValue("--stats-json", &V))
         Opts.Reporting.StatsJsonPath = V ? V : "";
       else if (FlagValue("--trace-out", &V))
         Opts.Reporting.TraceOutPath = V ? V : "";
@@ -345,6 +371,9 @@ int main(int Argc, char **Argv) {
   } else {
     Tool.reports().print(outs(), Policy);
     outs() << Tool.reports().size() << " report(s)\n";
+    if (Opts.Reporting.ExplainTopN)
+      renderExplainText(outs(), Tool.reports(), Tool.sourceManager(), Policy,
+                        Opts.Reporting.ExplainTopN);
   }
 
   if (ShowGroups && !Json) {
@@ -366,6 +395,11 @@ int main(int Argc, char **Argv) {
   if (Opts.Reporting.ShowStats)
     formatStatsText(Tool.metrics(), outs());
 
+  // A requested artifact that cannot be written is a tool failure: the exit
+  // status must say so even under --fail-on never (which only concerns
+  // analysis outcomes), or build drivers silently lose their manifests.
+  bool ArtifactWriteFailed = false;
+
   if (!Opts.Reporting.StatsJsonPath.empty()) {
     RunManifest Manifest = Tool.manifest(Opts, ParseOk);
     if (Opts.Reporting.StatsJsonPath == "-") {
@@ -375,9 +409,11 @@ int main(int Argc, char **Argv) {
       raw_string_ostream OS(Buf);
       Manifest.writeJson(OS);
       OS.flush();
-      if (!writeFileBytes(Opts.Reporting.StatsJsonPath, Buf))
+      if (!writeFileBytes(Opts.Reporting.StatsJsonPath, Buf)) {
         errs() << "xgcc: cannot write '" << Opts.Reporting.StatsJsonPath
                << "'\n";
+        ArtifactWriteFailed = true;
+      }
     }
   }
 
@@ -386,10 +422,15 @@ int main(int Argc, char **Argv) {
     raw_string_ostream OS(Buf);
     Trace.exportChromeJson(OS);
     OS.flush();
-    if (!writeFileBytes(Opts.Reporting.TraceOutPath, Buf))
+    if (!writeFileBytes(Opts.Reporting.TraceOutPath, Buf)) {
       errs() << "xgcc: cannot write '" << Opts.Reporting.TraceOutPath
              << "'\n";
+      ArtifactWriteFailed = true;
+    }
   }
+
+  if (ArtifactWriteFailed)
+    return 1;
 
   // Exit policy: the default "never" keeps the classic always-0 behavior so
   // partial results never look like tool crashes to build drivers.

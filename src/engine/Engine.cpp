@@ -35,6 +35,9 @@ struct Engine::PathState {
   std::vector<PathSpecificEffect> PendingEffects; ///< At a branch condition.
   std::vector<PathSpecificEffect> PendingForks;   ///< Elsewhere: fork.
   std::string PathAnnotation;
+  /// Witness journal: checker-relevant events on this path, copied into
+  /// reports at emission. Empty (and free to copy) unless WitnessOn.
+  WitnessJournal Witness;
   bool Killed = false;
 };
 
@@ -331,6 +334,23 @@ public:
     R.Annotation = PS.PathAnnotation;
     R.GroupKey = GroupKey;
     R.RuleKey = GroupKey;
+    // Witness-terminal identity, computed whether or not capture is on:
+    // dedup must not depend on a reporting flag. The tracked object plus its
+    // raw origin keeps textually identical reports about different objects
+    // at one site (macro expansions) distinct.
+    if (Instance && Instance->OriginLoc.isValid()) {
+      R.WitnessKey = Instance->TreeKey;
+      R.WitnessKey += '@';
+      R.WitnessKey += std::to_string(Instance->OriginLoc.fileID());
+      R.WitnessKey += ':';
+      R.WitnessKey += std::to_string(Instance->OriginLoc.offset());
+    }
+    if (E.WitnessOn) {
+      R.Steps = PS.Witness.Steps;
+      R.DroppedSteps = PS.Witness.Dropped;
+      if (E.CkC.WitnessSteps)
+        bump(E.CkC.WitnessSteps, R.Steps.size());
+    }
     if (E.CkC.Reports)
       bump(E.CkC.Reports);
     E.Reports->add(std::move(R));
@@ -401,6 +421,21 @@ public:
 
   void countMetric(std::string_view DottedName, uint64_t Delta) override {
     E.Metrics.add(DottedName, Delta);
+  }
+
+  void noteTransition(std::string_view Object, std::string_view From,
+                      std::string_view To) override {
+    if (!E.WitnessOn)
+      return;
+    WitnessStep S;
+    S.K = WitnessStep::Kind::Transition;
+    if (PI && PI->Point)
+      S.Loc = PI->Point->loc();
+    S.Depth = Depth;
+    S.Object = std::string(Object);
+    S.From = std::string(From);
+    S.To = std::string(To);
+    PS.Witness.append(std::move(S));
   }
 
   const FunctionDecl *currentFunction() const override { return Fn; }
@@ -478,6 +513,7 @@ Engine::Engine(ASTContext &Ctx, const SourceManager &SM, const CallGraph &CG,
   MC_ENGINE_METRICS(MC_METRIC_INIT)
 #undef MC_METRIC_INIT
   ProfileTiming = this->Opts.Reporting.ProfileTopN > 0;
+  WitnessOn = this->Opts.Reporting.CaptureWitness;
 }
 
 Engine::~Engine() = default;
@@ -498,6 +534,11 @@ void Engine::refreshCheckerCells(const Checker &Ck) {
   CkC.Faults = Metrics.counter(Base + ".faults");
   CkC.Reports = Metrics.counter(Base + ".reports");
   CkC.CalloutNs = Metrics.counter(Base + ".callout_ns");
+  // Registered only when capture is on: a capture-off run's metrics snapshot
+  // (and hence its manifest) must be byte-identical to one that predates the
+  // witness layer.
+  CkC.WitnessSteps =
+      WitnessOn ? Metrics.counter(Base + ".witness.steps") : nullptr;
 }
 
 uint64_t Engine::laneOf(const FunctionDecl *Root) {
@@ -599,10 +640,23 @@ bool Engine::blockMayFire(const BasicBlock *B) {
 //===----------------------------------------------------------------------===//
 
 void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
-                              const Stmt *TopStmt, bool Compound) {
+                              const Stmt *TopStmt, bool Compound,
+                              unsigned Depth) {
   const Expr *LHSStripped = stripCasts(LHS);
   if (!LHSStripped)
     return;
+  // Witness helper: journal that LHS became an alias of a tracked object.
+  auto NoteRebind = [&](const std::string &To, const std::string &From,
+                        int Value) {
+    WitnessStep S;
+    S.K = WitnessStep::Kind::Rebind;
+    S.Loc = LHSStripped->loc();
+    S.Depth = Depth;
+    S.Object = To;
+    S.From = From;
+    S.To = CurChecker->stateName(Value);
+    PS.Witness.append(std::move(S));
+  };
 
   // Killing variables and expressions: when a variable is defined, any
   // object whose tree uses it loses its state.
@@ -631,6 +685,7 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
   }
 
   // Synonyms: `q = p` mirrors p's state onto q.
+  bool SynonymMade = false;
   if (!Compound && RHS && Opts.EnableSynonyms &&
       CurChecker->enableSynonyms() && isLValueShape(LHSStripped)) {
     const Expr *Src = stripCasts(RHS);
@@ -643,18 +698,33 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
         Clone.TreeKey = exprKey(LHSStripped);
         Clone.CreatedAt = TopStmt;
         Clone.IndirectionDepth = SrcVS->IndirectionDepth + 1;
+        if (WitnessOn)
+          NoteRebind(Clone.TreeKey, SrcVS->TreeKey, Clone.Value);
         PS.SMI.ActiveVars.push_back(std::move(Clone));
         bump(Ctr.SynonymsCreated);
+        SynonymMade = true;
       }
     }
   }
 
   // False-path pruning's value tracking.
   if (Opts.EnableFalsePathPruning) {
-    if (Compound)
+    if (Compound) {
       PS.VT.havoc(LHSStripped);
-    else
+    } else {
       PS.VT.assign(LHSStripped, RHS);
+      // The tracker noticed a clean variable-to-variable rebind. When the
+      // synonym machinery is off (ablation or a checker opting out) this is
+      // the only record that the alias exists; journal it if the source is a
+      // tracked object, so the witness still explains how state reached the
+      // reported name.
+      if (WitnessOn && !SynonymMade) {
+        ValueTracker::RebindNote Note = PS.VT.lastRebind();
+        if (Note.Valid)
+          if (const VarState *SrcVS = PS.SMI.findByKey(Note.FromKey))
+            NoteRebind(exprKey(LHSStripped), SrcVS->TreeKey, SrcVS->Value);
+      }
+    }
   }
 }
 
@@ -710,10 +780,11 @@ void Engine::handlePoint(FrameCtx &Frame, const BasicBlock *B, PathState &PS,
   if (const auto *BO = dyn_cast<BinaryOperator>(PI.Point)) {
     if (BO->isAssignment())
       handleAssignment(PS, BO->lhs(), BO->rhs(), PI.TopStmt,
-                       BO->isCompoundAssignment());
+                       BO->isCompoundAssignment(), Frame.Depth);
   } else if (const auto *UO = dyn_cast<UnaryOperator>(PI.Point)) {
     if (UO->isIncrementDecrement())
-      handleAssignment(PS, UO->sub(), nullptr, PI.TopStmt, /*Compound=*/true);
+      handleAssignment(PS, UO->sub(), nullptr, PI.TopStmt, /*Compound=*/true,
+                       Frame.Depth);
   } else if (const auto *DS = dyn_cast<DeclStmt>(PI.Point)) {
     for (const VarDecl *VD : DS->decls()) {
       if (!VD->init())
@@ -726,7 +797,7 @@ void Engine::handlePoint(FrameCtx &Frame, const BasicBlock *B, PathState &PS,
         Ref = Ctx.create<DeclRefExpr>(VD->loc(), VD, VD->type());
         DeclRefCache[VD] = Ref;
       }
-      handleAssignment(PS, Ref, VD->init(), PI.TopStmt, false);
+      handleAssignment(PS, Ref, VD->init(), PI.TopStmt, false, Frame.Depth);
     }
   }
 }
@@ -822,11 +893,20 @@ void Engine::processPoints(FrameCtx &Frame, const BasicBlock *B,
         PathState Copy = PS;
         int Value = Branch ? Eff.TrueValue : Eff.FalseValue;
         if (VarState *VS = Copy.SMI.findByKey(Eff.TreeKey)) {
+          if (WitnessOn && VS->Value != Value)
+            Copy.Witness.append(WitnessStep{
+                WitnessStep::Kind::Transition, PI.Point->loc(), Frame.Depth,
+                Eff.TreeKey, CurChecker->stateName(VS->Value),
+                CurChecker->stateName(Value)});
           VS->Value = Value;
           Copy.SMI.sweepStopped();
         } else if (Value != StateStop && Eff.Tree) {
           ACtxImpl ACtx(*this, Copy, Frame.Fn, Frame.Depth, &PI);
           ACtx.createInstance(Eff.Tree, Value);
+          if (WitnessOn)
+            Copy.Witness.append(WitnessStep{
+                WitnessStep::Kind::Transition, PI.Point->loc(), Frame.Depth,
+                Eff.TreeKey, "", CurChecker->stateName(Value)});
         }
         processPoints(Frame, B, EntrySnapshot, I + 1, std::move(Copy));
       }
@@ -880,7 +960,7 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
   };
   // The global-only edge (relax uses it to match add-edge start states).
   Insert(SummaryEdge{StateTuple{GEntry, {}, StateStop, {}},
-                     StateTuple{GExit, {}, StateStop, {}}, nullptr});
+                     StateTuple{GExit, {}, StateStop, {}}, nullptr, {}});
 
   std::map<std::string, const VarState *> ExitByKey;
   for (const VarState &VS : PS.SMI.ActiveVars)
@@ -897,11 +977,11 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
       const VarState *VS = It->second;
       Insert(SummaryEdge{T,
                          StateTuple{GExit, VS->TreeKey, VS->Value, VS->Data},
-                         VS->Tree});
+                         VS->Tree, {}});
     } else {
       // The object was killed/stopped within the block.
       Insert(SummaryEdge{T, StateTuple{GExit, T.TreeKey, StateStop, {}},
-                         nullptr});
+                         nullptr, {}});
     }
   }
   for (const auto &[Key, VS] : ExitByKey) {
@@ -910,7 +990,8 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
     if (!Frame.FS->LocalKeys.count(Key))
       Frame.FS->LocalKeys[Key] = isLocalTree(VS->Tree);
     Insert(SummaryEdge{StateTuple{GEntry, Key, StateUnknown, {}},
-                       StateTuple{GExit, Key, VS->Value, VS->Data}, VS->Tree});
+                       StateTuple{GExit, Key, VS->Value, VS->Data}, VS->Tree,
+                       VS->FactKey});
   }
 
   auto KeepTree = [&](const std::string &Key) {
@@ -995,9 +1076,30 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
     // Apply path-specific transitions for the taken branch (Section 3.2).
     if (Edge.Kind == CFGEdge::True || Edge.Kind == CFGEdge::False) {
       bool Taken = Edge.Kind == CFGEdge::True;
+      // Witness: record the branch decision itself, but only while the
+      // checker has live state — mirrors the "conditionals crossed" ranking
+      // input, and keeps journals from filling with pre-tracking control
+      // flow. A condition whose path-specific effect *creates* the first
+      // state still gets the effect's transition step below.
+      if (WitnessOn && B->condition()) {
+        bool Live = PS.SMI.GState != CurChecker->initialGlobalState();
+        for (const VarState &VS : PS.SMI.ActiveVars)
+          if (!Live && VS.live() && !VS.Inactive)
+            Live = true;
+        if (Live)
+          Copy.Witness.append(WitnessStep{
+              WitnessStep::Kind::Branch, B->condition()->loc(), Frame.Depth,
+              printExpr(B->condition()), Taken ? "true" : "false", ""});
+      }
       for (const PathSpecificEffect &Eff : Copy.PendingEffects) {
         int Value = Taken ? Eff.TrueValue : Eff.FalseValue;
         if (VarState *VS = Copy.SMI.findByKey(Eff.TreeKey)) {
+          if (WitnessOn && VS->Value != Value)
+            Copy.Witness.append(WitnessStep{
+                WitnessStep::Kind::Transition,
+                B->condition() ? B->condition()->loc() : SourceLoc(),
+                Frame.Depth, Eff.TreeKey, CurChecker->stateName(VS->Value),
+                CurChecker->stateName(Value)});
           VS->Value = Value;
         } else if (Value != StateStop && Eff.Tree) {
           VarState NewVS;
@@ -1005,6 +1107,11 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
           NewVS.TreeKey = Eff.TreeKey;
           NewVS.Value = Value;
           NewVS.OriginLoc = Eff.Tree->loc();
+          if (WitnessOn)
+            Copy.Witness.append(WitnessStep{
+                WitnessStep::Kind::Transition,
+                B->condition() ? B->condition()->loc() : SourceLoc(),
+                Frame.Depth, Eff.TreeKey, "", CurChecker->stateName(Value)});
           Copy.SMI.ActiveVars.push_back(std::move(NewVS));
         }
       }
@@ -1138,6 +1245,11 @@ Engine::PathState Engine::restore(const PathState &CallerPS, SMInstance ExitSM,
   PathState Out;
   Out.VT = CallerPS.VT;
   Out.PathAnnotation = CallerPS.PathAnnotation;
+  // Scope-leave end-of-path reports below fire with the caller's journal as
+  // their witness (route-invariant: identical whether the exit SMI came from
+  // a summary replay or inline analysis). followCall overwrites the
+  // continuation's journal afterwards.
+  Out.Witness = CallerPS.Witness;
   Out.SMI.GState = ExitSM.GState;
 
   bool ByRef = CurChecker->restoreArgsByReference();
@@ -1288,8 +1400,17 @@ std::vector<SMInstance> Engine::replaySummary(const FunctionDecl *Callee,
         if (A.Source) {
           VS = *A.Source;
         } else {
-          VS.Interprocedural = true;
+          // A callee-created instance surfacing in the caller. Deliberately
+          // NOT marked Interprocedural: the inline route's restore() leaves
+          // callee-created state unmarked (the Figure 2 ranking walkthrough
+          // counts the caller-side use as the *local* error), and whether a
+          // callsite replays a summary or descends inline is a cache-warmth
+          // accident that varies with --jobs — the mark must not depend on
+          // it. refine() marks state the caller passed in, on both routes.
           VS.OriginLoc = A.E->ToTree ? A.E->ToTree->loc() : SourceLoc();
+          // The creation fact recorded with the add edge: replayed instances
+          // must group and rank exactly like their inline-analyzed twins.
+          VS.FactKey = A.E->FactKey;
         }
         VS.Tree = A.E->ToTree;
         if (!VS.Tree) {
@@ -1319,6 +1440,23 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
   RestoreInfo RI;
   RI.CallerFileID = Frame.Fn->fileID();
   PathState Refined = refine(PS, CE, Frame.Fn, Callee, RI);
+
+  // Witness route-invariance: whether this call is answered by a summary
+  // replay (warm cache) or by inline analysis (cold cache) depends on which
+  // roots this worker saw first, i.e. on --jobs. The caller's continuation
+  // witness must not — so it is always rebuilt below as
+  //   caller journal + one summary-application step + the per-object state
+  //   diff between the refined entry and each callee exit,
+  // identical on both routes. The callee's own journal (caller prefix + call
+  // step + callee-internal steps) feeds only reports emitted *inside* the
+  // callee during inline descent. Snapshot the entry states before the
+  // descent mutates them.
+  std::map<std::string, int> WEntryStates;
+  int WEntryG = Refined.SMI.GState;
+  if (WitnessOn)
+    for (const VarState &VS : Refined.SMI.ActiveVars)
+      if (VS.live() && !VS.Inactive)
+        WEntryStates[VS.TreeKey] = VS.Value;
 
   bool OnStack = Frame.CallStack->count(Callee) != 0;
   const CFG *CalleeCFG = CG.cfg(Callee);
@@ -1356,6 +1494,15 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
     bump(Ctr.CallsFollowed);
     std::set<const FunctionDecl *> NewStack = *Frame.CallStack;
     NewStack.insert(Callee);
+    if (WitnessOn) {
+      // Reports emitted inside the callee carry the caller's journal plus
+      // an explicit call step — the call-chain the --explain indentation
+      // renders.
+      Refined.Witness = PS.Witness;
+      Refined.Witness.append(WitnessStep{WitnessStep::Kind::Call, CE->loc(),
+                                         Frame.Depth, "", "",
+                                         std::string(Callee->name())});
+    }
     CalleeExits =
         analyzeFunction(Callee, Refined, std::move(NewStack), Frame.Depth + 1);
   }
@@ -1367,7 +1514,42 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
     return;
   }
   for (PathState &ExitPS : CalleeExits) {
+    // Rebuild the continuation witness route-invariantly (see above): the
+    // diff must be taken before restore() consumes the exit SMI.
+    WitnessJournal ContWitness;
+    if (WitnessOn) {
+      ContWitness = PS.Witness;
+      ContWitness.append(WitnessStep{WitnessStep::Kind::SummaryApply,
+                                     CE->loc(), Frame.Depth, "", "",
+                                     std::string(Callee->name())});
+      std::map<std::string, int> ExitStates;
+      for (const VarState &VS : ExitPS.SMI.ActiveVars)
+        if (VS.live() && !VS.Inactive)
+          ExitStates[VS.TreeKey] = VS.Value;
+      for (const auto &[Key, Value] : ExitStates) {
+        auto It = WEntryStates.find(Key);
+        if (It != WEntryStates.end() && It->second == Value)
+          continue;
+        ContWitness.append(WitnessStep{
+            WitnessStep::Kind::Transition, CE->loc(), Frame.Depth, Key,
+            It != WEntryStates.end() ? CurChecker->stateName(It->second)
+                                     : std::string(),
+            CurChecker->stateName(Value)});
+      }
+      for (const auto &[Key, Value] : WEntryStates)
+        if (!ExitStates.count(Key))
+          ContWitness.append(WitnessStep{
+              WitnessStep::Kind::Transition, CE->loc(), Frame.Depth, Key,
+              CurChecker->stateName(Value), CurChecker->stateName(StateStop)});
+      if (ExitPS.SMI.GState != WEntryG)
+        ContWitness.append(WitnessStep{
+            WitnessStep::Kind::Transition, CE->loc(), Frame.Depth, "",
+            CurChecker->stateName(WEntryG),
+            CurChecker->stateName(ExitPS.SMI.GState)});
+    }
     PathState Cont = restore(PS, std::move(ExitPS.SMI), RI, Callee);
+    if (WitnessOn)
+      Cont.Witness = std::move(ContWitness);
     if (annotationRank(ExitPS.PathAnnotation) <
         annotationRank(Cont.PathAnnotation))
       Cont.PathAnnotation = ExitPS.PathAnnotation;

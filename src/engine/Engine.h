@@ -75,6 +75,13 @@ struct ReportingOptions {
   uint64_t RootDeadlineMs = 0;
   /// Exit-code policy when roots were degraded/quarantined (--fail-on).
   FailPolicy FailOn = FailPolicy::Never;
+  /// Render the top-N ranked reports with their witness paths after the
+  /// report list; 0 = off (--explain[=N], bare --explain means 3).
+  unsigned ExplainTopN = 0;
+  /// Journal witness steps into per-path state and copy them into emitted
+  /// reports (and the manifest's "witnesses" array). --explain turns this
+  /// on; off is free — reports and --stats stay byte-identical.
+  bool CaptureWitness = false;
 
   friend bool operator==(const ReportingOptions &,
                          const ReportingOptions &) = default;
@@ -292,9 +299,10 @@ private:
                                         const SMInstance &Refined,
                                         bool PartialOk);
 
-  /// Section 8 transparent analyses at an assignment-shaped point.
+  /// Section 8 transparent analyses at an assignment-shaped point. \p Depth
+  /// tags witness rebind steps with the call-chain level.
   void handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
-                        const Stmt *TopStmt, bool Compound);
+                        const Stmt *TopStmt, bool Compound, unsigned Depth);
   void handlePoint(FrameCtx &Frame, const BasicBlock *B, PathState &PS,
                    const PointInfo &PI, bool &Matched);
 
@@ -345,6 +353,9 @@ private:
     std::atomic<uint64_t> *Faults = nullptr;
     std::atomic<uint64_t> *Reports = nullptr;
     std::atomic<uint64_t> *CalloutNs = nullptr;
+    /// Witness steps copied into emitted reports; registered only when
+    /// capture is on so a capture-off metrics snapshot is unchanged.
+    std::atomic<uint64_t> *WitnessSteps = nullptr;
   };
   CheckerCells CkC;
   const Checker *CellsChecker = nullptr;
@@ -352,6 +363,10 @@ private:
   /// Time checker callouts only when a profile was requested — no clock
   /// reads on the default hot path.
   bool ProfileTiming = false;
+  /// Witness journaling gate (ReportingOptions::CaptureWitness, cached):
+  /// every capture site tests this one bool, so the disabled path costs a
+  /// predictable branch and nothing else.
+  bool WitnessOn = false;
 
   /// Optional span collector (null = tracing off; spans become no-ops).
   TraceCollector *Trace = nullptr;

@@ -27,6 +27,8 @@ static void writeReportingJson(raw_ostream &OS, const ReportingOptions &R,
   writeJsonString(OS, R.TraceOutPath);
   OS << ",\n";
   OS << Indent << "  \"profile_top_n\": " << R.ProfileTopN << ",\n";
+  OS << Indent << "  \"explain_top_n\": " << R.ExplainTopN << ",\n";
+  OS << Indent << "  \"capture_witness\": " << R.CaptureWitness << ",\n";
   OS << Indent << "  \"deadline_ms\": " << R.RootDeadlineMs << ",\n";
   OS << Indent << "  \"fail_on\": \"" << failPolicyName(R.FailOn) << "\"\n";
   OS << Indent << "}";
@@ -77,7 +79,39 @@ void RunManifest::writeJson(raw_ostream &OS) const {
   OS << (First ? "},\n" : "\n  },\n");
   OS << "  \"incidents\": ";
   renderIncidentsJson(OS, Incidents);
-  OS << "\n}\n";
+  OS << ",\n  \"witnesses\": [";
+  for (size_t WI = 0; WI != Witnesses.size(); ++WI) {
+    const ManifestWitness &W = Witnesses[WI];
+    OS << (WI ? ",\n    {\n" : "\n    {\n");
+    OS << "      \"checker\": ";
+    writeJsonString(OS, W.Checker);
+    OS << ",\n      \"file\": ";
+    writeJsonString(OS, W.File);
+    OS << ",\n      \"line\": " << W.Line;
+    OS << ",\n      \"message\": ";
+    writeJsonString(OS, W.Message);
+    OS << ",\n      \"dropped_steps\": " << W.DroppedSteps;
+    OS << ",\n      \"steps\": [";
+    for (size_t SI = 0; SI != W.Steps.size(); ++SI) {
+      const ManifestWitnessStep &S = W.Steps[SI];
+      OS << (SI ? ",\n        {" : "\n        {");
+      OS << "\"kind\": ";
+      writeJsonString(OS, S.Kind);
+      OS << ", \"file\": ";
+      writeJsonString(OS, S.File);
+      OS << ", \"line\": " << S.Line;
+      OS << ", \"depth\": " << S.Depth;
+      OS << ", \"object\": ";
+      writeJsonString(OS, S.Object);
+      OS << ", \"from\": ";
+      writeJsonString(OS, S.From);
+      OS << ", \"to\": ";
+      writeJsonString(OS, S.To);
+      OS << '}';
+    }
+    OS << (W.Steps.empty() ? "]\n    }" : "\n      ]\n    }");
+  }
+  OS << (Witnesses.empty() ? "]\n}\n" : "\n  ]\n}\n");
 }
 
 //===----------------------------------------------------------------------===//
@@ -297,6 +331,14 @@ private:
         R.ProfileTopN = (unsigned)N;
         return true;
       }
+      if (Key == "explain_top_n") {
+        if (!parseUInt(N))
+          return false;
+        R.ExplainTopN = (unsigned)N;
+        return true;
+      }
+      if (Key == "capture_witness")
+        return parseBool(R.CaptureWitness);
       if (Key == "deadline_ms")
         return parseUInt(R.RootDeadlineMs);
       if (Key == "fail_on") {
@@ -414,6 +456,83 @@ private:
     }
   }
 
+  bool parseWitnessStep(ManifestWitnessStep &S) {
+    return parseObject([&](const std::string &Key) {
+      if (Key == "kind")
+        return parseString(S.Kind);
+      if (Key == "file")
+        return parseString(S.File);
+      if (Key == "line")
+        return parseUInt(S.Line);
+      if (Key == "depth")
+        return parseUInt(S.Depth);
+      if (Key == "object")
+        return parseString(S.Object);
+      if (Key == "from")
+        return parseString(S.From);
+      if (Key == "to")
+        return parseString(S.To);
+      return skipValue();
+    });
+  }
+
+  bool parseWitness(ManifestWitness &W) {
+    return parseObject([&](const std::string &Key) {
+      if (Key == "checker")
+        return parseString(W.Checker);
+      if (Key == "file")
+        return parseString(W.File);
+      if (Key == "line")
+        return parseUInt(W.Line);
+      if (Key == "message")
+        return parseString(W.Message);
+      if (Key == "dropped_steps")
+        return parseUInt(W.DroppedSteps);
+      if (Key == "steps") {
+        if (!expect('['))
+          return false;
+        if (peekIs(']')) {
+          ++Pos;
+          return true;
+        }
+        for (;;) {
+          ManifestWitnessStep S;
+          if (!parseWitnessStep(S))
+            return false;
+          W.Steps.push_back(std::move(S));
+          skipWs();
+          if (peekIs(',')) {
+            ++Pos;
+            continue;
+          }
+          return expect(']');
+        }
+      }
+      return skipValue();
+    });
+  }
+
+  bool parseWitnesses(std::vector<ManifestWitness> &Out) {
+    if (!expect('['))
+      return false;
+    if (peekIs(']')) {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      ManifestWitness W;
+      if (!parseWitness(W))
+        return false;
+      Out.push_back(std::move(W));
+      skipWs();
+      if (peekIs(',')) {
+        ++Pos;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
   bool parseManifestObject(RunManifest &Out) {
     return parseObject([&](const std::string &Key) {
       if (Key == "schema")
@@ -432,6 +551,8 @@ private:
         return parseMetrics(Out.Metrics);
       if (Key == "incidents")
         return parseIncidents(Out.Incidents);
+      if (Key == "witnesses")
+        return parseWitnesses(Out.Witnesses);
       return skipValue();
     });
   }
@@ -446,6 +567,7 @@ bool mc::parseRunManifest(std::string_view Text, RunManifest &Out,
   // Clear the defaults that accumulate (the rest are overwritten by parse).
   Parsed.Metrics = MetricsSnapshot();
   Parsed.Incidents.clear();
+  Parsed.Witnesses.clear();
   if (!P.parse(Parsed))
     return false;
   Out = std::move(Parsed);
@@ -478,6 +600,7 @@ void mc::formatProfileText(const MetricsSnapshot &M, unsigned TopN,
   struct Row {
     std::string Name;
     uint64_t Tried = 0, Fired = 0, States = 0, Faults = 0, Reports = 0;
+    uint64_t Witness = 0;
     uint64_t CalloutNs = 0;
   };
   static constexpr struct {
@@ -489,6 +612,7 @@ void mc::formatProfileText(const MetricsSnapshot &M, unsigned TopN,
       {".states.created", &Row::States},
       {".faults", &Row::Faults},
       {".reports", &Row::Reports},
+      {".witness.steps", &Row::Witness},
       {".callout_ns", &Row::CalloutNs},
   };
 
@@ -497,7 +621,7 @@ void mc::formatProfileText(const MetricsSnapshot &M, unsigned TopN,
     for (Row &R : Rows)
       if (R.Name == Name)
         return R;
-    Rows.push_back(Row{std::string(Name), 0, 0, 0, 0, 0, 0});
+    Rows.push_back(Row{std::string(Name)});
     return Rows.back();
   };
   constexpr std::string_view Prefix = "checker.";
@@ -535,6 +659,6 @@ void mc::formatProfileText(const MetricsSnapshot &M, unsigned TopN,
     OS.printf(" callout_ms=%.3f", (double)R.CalloutNs / 1e6);
     OS << " tried=" << R.Tried << " fired=" << R.Fired
        << " states=" << R.States << " reports=" << R.Reports
-       << " faults=" << R.Faults << '\n';
+       << " faults=" << R.Faults << " witness=" << R.Witness << '\n';
   }
 }

@@ -33,7 +33,39 @@ namespace mc {
 inline constexpr const char *kRunManifestSchema = "mc.run-manifest.v1";
 /// The reproduction's version (PR sequence): stamped into every manifest so
 /// trajectory tooling can segment by tool revision.
-inline constexpr const char *kToolVersion = "0.4.0";
+inline constexpr const char *kToolVersion = "0.5.0";
+
+/// One step of a report's witness path, with its source location already
+/// decoded (manifests outlive the SourceManager that produced them).
+struct ManifestWitnessStep {
+  /// Step kind name ("transition", "branch", "call", "summary", "rebind").
+  std::string Kind;
+  std::string File;
+  uint64_t Line = 0;
+  uint64_t Depth = 0;
+  /// Tracked-object key ("" for the global state / call steps).
+  std::string Object;
+  std::string From;
+  std::string To;
+
+  friend bool operator==(const ManifestWitnessStep &,
+                         const ManifestWitnessStep &) = default;
+};
+
+/// The provenance trace behind one ranked report: the checker-relevant
+/// events the engine journaled along the execution path that emitted it.
+struct ManifestWitness {
+  std::string Checker;
+  std::string File;
+  uint64_t Line = 0;
+  std::string Message;
+  /// Steps beyond the journal cap that were not recorded.
+  uint64_t DroppedSteps = 0;
+  std::vector<ManifestWitnessStep> Steps;
+
+  friend bool operator==(const ManifestWitness &,
+                         const ManifestWitness &) = default;
+};
 
 /// One analysis run, as a value. Comparable so the schema round-trip
 /// (writeJson → parseRunManifest) can be tested for identity.
@@ -48,6 +80,9 @@ struct RunManifest {
   MetricsSnapshot Metrics;
   /// Degradation/quarantine incidents in serial root order.
   std::vector<RootIncident> Incidents;
+  /// Witness paths for ranked reports that carry one, in ranked order.
+  /// Additive: empty when capture is off, and old parsers skip the key.
+  std::vector<ManifestWitness> Witnesses;
   uint64_t ReportCount = 0;
   bool ParseOk = true;
 

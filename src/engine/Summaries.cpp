@@ -32,7 +32,7 @@ void mc::relaxSuffixSummaries(
             continue;
           SummaryEdge NewE{
               StateTuple{P.From.GState, E.From.TreeKey, StateUnknown, {}},
-              E.To, E.ToTree};
+              E.To, E.ToTree, E.FactKey};
           if (Prev.SuffixEdges.insert(NewE).second) {
             if (NewE.ToTree)
               Prev.Trees[NewE.To.TreeKey] = NewE.ToTree;
@@ -46,7 +46,9 @@ void mc::relaxSuffixSummaries(
       for (const SummaryEdge &P : Prev.Edges) {
         if (P.To != E.From)
           continue;
-        SummaryEdge NewE{P.From, E.To, E.ToTree};
+        // When P is an add edge the composition is still an add edge and the
+        // creation fact travels with it; transition edges carry no fact.
+        SummaryEdge NewE{P.From, E.To, E.ToTree, P.FactKey};
         if (!NewE.From.isPlaceholder() && !KeepTree(NewE.From.TreeKey) &&
             !NewE.isAdd())
           continue;

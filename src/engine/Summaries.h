@@ -36,6 +36,11 @@ struct SummaryEdge {
   StateTuple To;
   /// The tree of the To tuple, needed to materialize instances at replay.
   const Expr *ToTree = nullptr;
+  /// For add edges: the analysis fact that started tracking inside the
+  /// callee (VarState::FactKey), so a replayed instance groups and renders
+  /// exactly like its inline-analyzed twin. Metadata, like ToTree: not part
+  /// of edge identity.
+  std::string FactKey;
 
   bool isAdd() const { return From.Value == StateUnknown; }
   /// Global-only edges relate placeholder tuples; relax uses them to match

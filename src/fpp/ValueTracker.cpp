@@ -6,7 +6,8 @@
 
 #include "fpp/ValueTracker.h"
 
-#include "metal/Pattern.h" // stripCasts
+#include "cfront/ASTUtils.h" // exprKey
+#include "metal/Pattern.h"   // stripCasts
 
 using namespace mc;
 
@@ -104,6 +105,7 @@ TermId ValueTracker::termOf(const Expr *E) const {
 }
 
 void ValueTracker::assign(const Expr *LHS, const Expr *RHS) {
+  Rebind = RebindNote{};
   LHS = stripCasts(LHS);
   const auto *DRE = dyn_cast_or_null<DeclRefExpr>(LHS);
   if (!DRE) {
@@ -115,9 +117,17 @@ void ValueTracker::assign(const Expr *LHS, const Expr *RHS) {
   TermId NewVar = freshVersion(DRE->decl());
   if (RHSTerm)
     CC.merge(NewVar, RHSTerm);
+  // Clean variable-to-variable copy: leave a rebind note for the witness
+  // journal. Only plain DeclRef sources count — the note names a source
+  // object the checker might be tracking under its canonical key.
+  if (const Expr *Src = stripCasts(RHS))
+    if (const auto *SrcDRE = dyn_cast<DeclRefExpr>(Src))
+      if (isa<VarDecl>(SrcDRE->decl()))
+        Rebind = RebindNote{exprKey(Src), true};
 }
 
 void ValueTracker::havoc(const Expr *LHS) {
+  Rebind = RebindNote{};
   LHS = stripCasts(LHS);
   if (const auto *DRE = dyn_cast_or_null<DeclRefExpr>(LHS))
     freshVersion(DRE->decl());

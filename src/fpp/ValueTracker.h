@@ -55,6 +55,17 @@ public:
   /// The known constant value of \p E, if any.
   std::optional<long long> constantValue(const Expr *E) const;
 
+  /// Witness-capture hook: when the most recent assign() was a clean plain
+  /// variable-to-variable copy (`x = y`), FromKey holds the canonical key of
+  /// the source variable. Anything else — constants, arithmetic, havocs —
+  /// invalidates the note. The engine consults this to journal synonym
+  /// rebindings the checker layer does not see.
+  struct RebindNote {
+    std::string FromKey;
+    bool Valid = false;
+  };
+  RebindNote lastRebind() const { return Rebind; }
+
 private:
   /// Maps an expression to a term; 0 when untrackable.
   TermId termOf(const Expr *E) const;
@@ -74,6 +85,7 @@ private:
   // closure without changing observable facts).
   mutable CongruenceClosure CC;
   std::map<const Decl *, unsigned> Versions;
+  RebindNote Rebind;
 };
 
 } // namespace mc

@@ -145,6 +145,16 @@ public:
   virtual void countMetric(std::string_view /*DottedName*/,
                            uint64_t /*Delta*/ = 1) {}
 
+  /// Witness capture: records that a state-machine transition fired at the
+  /// current point, for the path journal behind --explain and the manifest's
+  /// witnesses array. \p Object is the tracked object's key ("" for the
+  /// global state), \p From/\p To printable state names ("" From means a
+  /// fresh instance). Defaulted to a no-op: capture is an observability
+  /// concern, disabled-by-default, and must never change analysis behavior.
+  virtual void noteTransition(std::string_view /*Object*/,
+                              std::string_view /*From*/,
+                              std::string_view /*To*/) {}
+
   //===--------------------------------------------------------------------===//
   // Environment
   //===--------------------------------------------------------------------===//

@@ -173,7 +173,12 @@ void MetalChecker::execute(const CompiledTransition &CT, const Stmt *Point,
 
   if (T.Normal.IsVarState) {
     if (Instance) {
+      // Capture identity before transition(): StateStop may sweep the
+      // instance (and its synonyms) out from under us.
+      std::string Obj = Instance->TreeKey;
+      int Old = Instance->Value;
       ACtx.transition(*Instance, CT.DestValue);
+      ACtx.noteTransition(Obj, stateName(Old), stateName(CT.DestValue));
     } else {
       // A creation transition: attach state to the tree the state variable
       // matched — but only when we know nothing about that tree yet (the
@@ -194,12 +199,19 @@ void MetalChecker::execute(const CompiledTransition &CT, const Stmt *Point,
         // it are grouped (e.g. all errors from one freeing function).
         if (const auto *CE = dyn_cast_or_null<CallExpr>(Point))
           New.FactKey = std::string(CE->calleeName());
+        ACtx.noteTransition(New.TreeKey, "", stateName(CT.DestValue));
         runActions(T.Actions, Point, B, &New, ACtx);
         return;
       }
+      // Creation straight to stop: no instance materializes, but the firing
+      // is still the path's terminal fact — journal it so a rule that errs
+      // at the match site does not produce a witness-less report.
+      ACtx.noteTransition(Key, "", stateName(CT.DestValue));
     }
   } else {
+    int Old = ACtx.state().GState;
     ACtx.state().GState = CT.DestValue;
+    ACtx.noteTransition("", stateName(Old), stateName(CT.DestValue));
   }
   runActions(T.Actions, Point, B, Instance, ACtx);
 }

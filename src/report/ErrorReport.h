@@ -15,9 +15,11 @@
 #ifndef MC_REPORT_ERRORREPORT_H
 #define MC_REPORT_ERRORREPORT_H
 
+#include "report/Witness.h"
 #include "support/SourceManager.h"
 
 #include <string>
+#include <vector>
 
 namespace mc {
 
@@ -53,8 +55,23 @@ struct ErrorReport {
   /// The statistical rule this violation counts against ("" = none).
   std::string RuleKey;
 
-  /// Raw location for dedup (same checker+point+message reported once).
+  /// Raw location for dedup (same checker+point+message+witness-terminal
+  /// reported once).
   SourceLoc ErrorLoc;
+
+  /// Terminal-step identity of the witness: the tracked object's key plus
+  /// the raw location where the checker started tracking it. Computed
+  /// whether or not witness capture is on (dedup must not depend on a
+  /// reporting flag): two textually identical reports about *different*
+  /// objects at the same point — e.g. two macro expansions on one line —
+  /// stay distinct. "" when no object was involved.
+  std::string WitnessKey;
+
+  /// The witness path: journal of checker-relevant events on the execution
+  /// path that produced this report. Empty unless capture was enabled.
+  std::vector<WitnessStep> Steps;
+  /// Steps beyond the journal cap that were counted but not kept.
+  uint32_t DroppedSteps = 0;
 
   /// Severity class index (0 = most severe) used for stratification.
   int severityClass() const {

@@ -23,7 +23,8 @@ double mc::zStatistic(unsigned N, unsigned E, double P0) {
 void ReportManager::add(ErrorReport R) {
   for (ErrorReport &Existing : Reports) {
     if (Existing.CheckerName == R.CheckerName &&
-        Existing.ErrorLoc == R.ErrorLoc && Existing.Message == R.Message) {
+        Existing.ErrorLoc == R.ErrorLoc && Existing.Message == R.Message &&
+        Existing.WitnessKey == R.WitnessKey) {
       // Same error rediscovered along another path; keep the easier-to-
       // inspect variant (smaller distance score, fewer synonyms).
       if (R.distanceScore() < Existing.distanceScore() ||

@@ -64,8 +64,10 @@ struct RootIncident {
 /// Collects and ranks reports.
 class ReportManager {
 public:
-  /// Adds \p R, deduplicating identical (checker, location, message) triples
-  /// and keeping the report with the smaller distance score.
+  /// Adds \p R, deduplicating identical (checker, location, message,
+  /// witness-terminal) tuples and keeping the report with the smaller
+  /// distance score. The witness key keeps reports about different objects
+  /// at one textual site (macro expansions) distinct.
   void add(ErrorReport R);
 
   void countExample(const std::string &RuleKey) { ++Rules[RuleKey].Examples; }

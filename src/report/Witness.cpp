@@ -1,0 +1,141 @@
+//===- report/Witness.cpp - Witness rendering --------------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Witness.h"
+
+#include "report/ReportManager.h"
+#include "support/RawOstream.h"
+
+#include <algorithm>
+
+using namespace mc;
+
+const char *mc::witnessKindName(WitnessStep::Kind K) {
+  switch (K) {
+  case WitnessStep::Kind::Transition:
+    return "transition";
+  case WitnessStep::Kind::Branch:
+    return "branch";
+  case WitnessStep::Kind::Call:
+    return "call";
+  case WitnessStep::Kind::SummaryApply:
+    return "summary";
+  case WitnessStep::Kind::Rebind:
+    return "rebind";
+  }
+  return "transition";
+}
+
+bool mc::witnessKindFromName(std::string_view Name, WitnessStep::Kind &K) {
+  if (Name == "transition")
+    K = WitnessStep::Kind::Transition;
+  else if (Name == "branch")
+    K = WitnessStep::Kind::Branch;
+  else if (Name == "call")
+    K = WitnessStep::Kind::Call;
+  else if (Name == "summary")
+    K = WitnessStep::Kind::SummaryApply;
+  else if (Name == "rebind")
+    K = WitnessStep::Kind::Rebind;
+  else
+    return false;
+  return true;
+}
+
+namespace {
+
+/// The annotation that rides on the caret line under the source excerpt.
+std::string stepAnnotation(const WitnessStep &S) {
+  std::string A;
+  switch (S.K) {
+  case WitnessStep::Kind::Transition:
+    if (S.Object.empty())
+      A = "global state: ";
+    else
+      A = "state " + S.Object + ": ";
+    A += S.From.empty() ? std::string("(new)") : S.From;
+    A += " -> ";
+    A += S.To;
+    break;
+  case WitnessStep::Kind::Branch:
+    A = "branch --> " + S.From;
+    break;
+  case WitnessStep::Kind::Call:
+    A = "call " + S.To;
+    break;
+  case WitnessStep::Kind::SummaryApply:
+    A = "apply summary: " + S.To;
+    break;
+  case WitnessStep::Kind::Rebind:
+    A = "synonym " + S.Object + " <- " + S.From + " (state " + S.To + ")";
+    break;
+  }
+  return A;
+}
+
+/// The source line containing byte \p Offset of \p Text, tabs normalized to
+/// single spaces so the caret column stays aligned.
+std::string lineAround(std::string_view Text, size_t Offset) {
+  if (Offset > Text.size())
+    Offset = Text.size();
+  size_t Begin = Text.rfind('\n', Offset == 0 ? 0 : Offset - 1);
+  Begin = (Begin == std::string_view::npos) ? 0 : Begin + 1;
+  size_t End = Text.find('\n', Offset);
+  if (End == std::string_view::npos)
+    End = Text.size();
+  std::string Line(Text.substr(Begin, End - Begin));
+  std::replace(Line.begin(), Line.end(), '\t', ' ');
+  return Line;
+}
+
+void renderStep(raw_ostream &OS, const WitnessStep &S,
+                const SourceManager &SM) {
+  std::string Indent(2 + 2 * size_t(S.Depth), ' ');
+  std::string Annot = stepAnnotation(S);
+  FullLoc Full = SM.decode(S.Loc);
+  if (Full.Line == 0) {
+    // No statement to anchor to (e.g. an end-of-path transition).
+    OS << Indent << "(end of path) " << Annot << '\n';
+    return;
+  }
+  std::string Prefix;
+  {
+    raw_string_ostream PS(Prefix);
+    PS << Indent << Full.Filename << ':' << Full.Line << ": ";
+  }
+  OS << Prefix << lineAround(SM.bufferText(S.Loc.fileID()), S.Loc.offset())
+     << '\n';
+  unsigned Col = Full.Col ? Full.Col - 1 : 0;
+  OS << std::string(Prefix.size() + Col, ' ') << "^ " << Annot << '\n';
+}
+
+} // namespace
+
+void mc::renderExplainText(raw_ostream &OS, const ReportManager &RM,
+                           const SourceManager &SM, RankPolicy Policy,
+                           unsigned TopN) {
+  std::vector<size_t> Order = RM.ranked(Policy);
+  size_t Shown = std::min<size_t>(TopN, Order.size());
+  OS << "---- explain: top " << Shown << " of " << Order.size()
+     << " report(s) ----\n";
+  for (size_t Rank = 0; Rank != Shown; ++Rank) {
+    const ErrorReport &R = RM.reports()[Order[Rank]];
+    OS << '[' << (Rank + 1) << "] ";
+    if (!R.Annotation.empty())
+      OS << '<' << R.Annotation << "> ";
+    OS << R.File << ':' << R.Line << ": in " << R.FunctionName << ": ["
+       << R.CheckerName << "] " << R.Message << '\n';
+    if (R.Steps.empty()) {
+      OS << "  (no witness recorded)\n";
+      continue;
+    }
+    OS << "  witness (" << R.Steps.size() << " step(s)):\n";
+    for (const WitnessStep &S : R.Steps)
+      renderStep(OS, S, SM);
+    if (R.DroppedSteps)
+      OS << "  ... " << R.DroppedSteps << " further step(s) dropped\n";
+  }
+}

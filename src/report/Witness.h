@@ -1,0 +1,101 @@
+//===- report/Witness.h - Per-report provenance traces ----------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The witness path of a report: the journal of checker-relevant events the
+/// DFS engine recorded while driving the state tuple down the execution path
+/// that produced the error. A report's witness is what a human auditor (or
+/// downstream triage tooling) replays to decide whether the path is real —
+/// the unit of inspection is the path, not the point.
+///
+/// The journal lives in the engine's per-path state, is copied into the
+/// ErrorReport at emission, and is rendered by the `--explain` CLI mode with
+/// source-anchored excerpts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_REPORT_WITNESS_H
+#define MC_REPORT_WITNESS_H
+
+#include "support/SourceManager.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mc {
+
+class raw_ostream;
+class ReportManager;
+enum class RankPolicy;
+
+/// One checker-relevant event on the path to an error.
+struct WitnessStep {
+  enum class Kind : uint8_t {
+    Transition,   ///< State machine fired: Object moved From -> To.
+    Branch,       ///< Branch decision: From is "true"/"false", Object is the
+                  ///< controlling condition's text.
+    Call,         ///< Inline descent into callee To at the callsite.
+    SummaryApply, ///< Cached exit summary of callee To applied at the
+                  ///< callsite (the interprocedural shortcut).
+    Rebind,       ///< Synonym created: Object now aliases From (state To).
+  };
+
+  Kind K = Kind::Transition;
+  /// Statement / condition / callsite location; may be invalid (e.g. an
+  /// end-of-path transition has no statement).
+  SourceLoc Loc;
+  /// Call-chain depth at which the event happened (indentation level).
+  unsigned Depth = 0;
+  std::string Object; ///< Tracked object key, condition text, or "".
+  std::string From;   ///< Source state, branch polarity, or alias source.
+  std::string To;     ///< Destination state or callee name.
+
+  friend bool operator==(const WitnessStep &, const WitnessStep &) = default;
+};
+
+/// The per-path journal. Copied at path splits along with the rest of the
+/// path state, dropped on backtrack, and discarded wholesale when fault
+/// containment rolls a root back — witness rollback is free.
+struct WitnessJournal {
+  /// Cap: keep-first, count the rest. Long paths stay bounded and the
+  /// interesting prefix (how the property became live) survives.
+  static constexpr size_t MaxSteps = 128;
+
+  std::vector<WitnessStep> Steps;
+  uint32_t Dropped = 0;
+
+  void append(WitnessStep S) {
+    if (Steps.size() >= MaxSteps) {
+      ++Dropped;
+      return;
+    }
+    Steps.push_back(std::move(S));
+  }
+
+  friend bool operator==(const WitnessJournal &,
+                         const WitnessJournal &) = default;
+};
+
+/// Stable lower-case name of \p K ("transition", "branch", "call",
+/// "summary", "rebind") — the manifest encoding.
+const char *witnessKindName(WitnessStep::Kind K);
+
+/// Inverse of witnessKindName. Returns false on an unknown name.
+bool witnessKindFromName(std::string_view Name, WitnessStep::Kind &K);
+
+/// Renders the top-\p TopN ranked reports with their witness paths as the
+/// `--explain` view: per step a source-anchored excerpt (caret line annotated
+/// with the state change) indented by call-chain depth. Deterministic: reads
+/// only report fields and immutable source buffers.
+void renderExplainText(raw_ostream &OS, const ReportManager &RM,
+                       const SourceManager &SM, RankPolicy Policy,
+                       unsigned TopN);
+
+} // namespace mc
+
+#endif // MC_REPORT_WITNESS_H

@@ -291,6 +291,69 @@ TEST(Cli, BadFailOnValueRejected) {
   remove(Src.c_str());
 }
 
+TEST(Cli, ExplainRendersWitness) {
+  std::string Src = writeTemp("cli_explain.c", BuggySource);
+  // Bare --explain defaults to the top 3 reports.
+  RunResult Bare = runXgcc("--checker free --explain " + Src);
+  EXPECT_EQ(Bare.ExitCode, 0);
+  EXPECT_NE(Bare.Output.find("explain: top 1 of 1 report(s)"),
+            std::string::npos);
+  EXPECT_NE(Bare.Output.find("witness ("), std::string::npos);
+  // Both value spellings parse.
+  RunResult Eq = runXgcc("--checker free --explain=5 " + Src);
+  EXPECT_EQ(Eq.ExitCode, 0);
+  EXPECT_NE(Eq.Output.find("explain: top 1 of 1 report(s)"),
+            std::string::npos);
+  RunResult Sp = runXgcc("--checker free --explain 5 " + Src);
+  EXPECT_EQ(Sp.ExitCode, 0);
+  EXPECT_NE(Sp.Output.find("explain: top 1 of 1 report(s)"),
+            std::string::npos);
+  remove(Src.c_str());
+}
+
+TEST(Cli, BadExplainValueRejected) {
+  std::string Src = writeTemp("cli_explain_bad.c", BuggySource);
+  RunResult Zero = runXgcc("--checker free --explain=0 " + Src);
+  EXPECT_EQ(Zero.ExitCode, 2);
+  EXPECT_NE(Zero.Output.find("--explain expects"), std::string::npos);
+  RunResult Garbage = runXgcc("--checker free --explain=lots " + Src);
+  EXPECT_EQ(Garbage.ExitCode, 2);
+  EXPECT_NE(Garbage.Output.find("--explain expects"), std::string::npos);
+  remove(Src.c_str());
+}
+
+TEST(Cli, ExplainDoesNotPerturbReports) {
+  std::string Src = writeTemp("cli_explain_same.c", BuggySource);
+  RunResult Plain = runXgcc("--checker free " + Src);
+  RunResult Explained = runXgcc("--checker free --explain " + Src);
+  EXPECT_EQ(Plain.ExitCode, 0);
+  EXPECT_EQ(Explained.ExitCode, 0);
+  // The explain section is strictly appended: everything before it is the
+  // byte-identical report list of a capture-off run.
+  size_t Cut = Explained.Output.find("---- explain:");
+  ASSERT_NE(Cut, std::string::npos);
+  EXPECT_EQ(Plain.Output, Explained.Output.substr(0, Cut));
+  remove(Src.c_str());
+}
+
+TEST(Cli, FailedStatsJsonWriteExitsNonzero) {
+  std::string Src = writeTemp("cli_badwrite.c", BuggySource);
+  RunResult R = runXgcc("--checker free --stats-json /nonexistent-dir/x.json " +
+                        Src);
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("cannot write"), std::string::npos);
+  remove(Src.c_str());
+}
+
+TEST(Cli, FailedTraceOutWriteExitsNonzero) {
+  std::string Src = writeTemp("cli_badtrace.c", BuggySource);
+  RunResult R = runXgcc("--checker free --trace-out /nonexistent-dir/t.json " +
+                        Src);
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("cannot write"), std::string::npos);
+  remove(Src.c_str());
+}
+
 TEST(Cli, GroupsOutput) {
   std::string Src = writeTemp("cli_groups.c",
                               "void kfree(void *p);\n"

@@ -73,6 +73,34 @@ TEST(ReportManager, DifferentSitesKept) {
   EXPECT_EQ(RM.size(), 2u);
 }
 
+TEST(ReportManager, DistinctWitnessKeysKeepTextualTwinsApart) {
+  // Two textually identical reports at one site about *different* tracked
+  // objects (macro expansions): the witness terminal key keeps them apart.
+  ReportManager RM;
+  ErrorReport A = mkReport("boom", 5);
+  A.WitnessKey = "a@1:100";
+  ErrorReport B = mkReport("boom", 5);
+  B.WitnessKey = "b@1:200";
+  RM.add(A);
+  RM.add(B);
+  EXPECT_EQ(RM.size(), 2u);
+}
+
+TEST(ReportManager, EqualWitnessKeysStillDeduplicate) {
+  ReportManager RM;
+  ErrorReport A = mkReport("boom", 5);
+  A.WitnessKey = "a@1:100";
+  A.DistanceLines = 20;
+  ErrorReport B = mkReport("boom", 5);
+  B.WitnessKey = "a@1:100";
+  B.DistanceLines = 3;
+  RM.add(A);
+  RM.add(B);
+  ASSERT_EQ(RM.size(), 1u);
+  // Dedup still keeps the easier-to-inspect report.
+  EXPECT_EQ(RM.reports()[0].DistanceLines, 3u);
+}
+
 //===----------------------------------------------------------------------===//
 // Generic ranking criteria
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,241 @@
+//===- tests/witness_test.cpp - Witness-path capture tests -------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The witness contract: per-report provenance journals record the
+// checker-relevant events of the emitting path; --explain text and the
+// manifest's witnesses array are byte-identical at every job count (the
+// interprocedural steps are route-invariant between summary replay and
+// inline analysis); capture off leaves reports byte-identical; and the
+// manifest schema round-trips with witnesses embedded.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Tool.h"
+#include "engine/RunManifest.h"
+#include "report/Witness.h"
+#include "support/RawOstream.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace mc;
+
+namespace {
+
+/// One analysis run over \p Source with the lock checker.
+struct RunOut {
+  std::string Rendered; ///< print() output (the plain report list).
+  std::string Explain;  ///< renderExplainText over the same ranking.
+  RunManifest Manifest;
+};
+
+RunOut runLock(const std::string &Source, unsigned Jobs, bool Capture,
+               unsigned TopN = 10) {
+  XgccTool Tool;
+  EXPECT_TRUE(Tool.addSource("w.c", Source));
+  EXPECT_TRUE(Tool.addBuiltinChecker("lock"));
+  EngineOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Reporting.CaptureWitness = Capture;
+  Opts.Reporting.ExplainTopN = Capture ? TopN : 0;
+  Tool.run(Opts);
+  RunOut Out;
+  {
+    raw_string_ostream OS(Out.Rendered);
+    Tool.reports().print(OS, RankPolicy::Generic);
+  }
+  {
+    raw_string_ostream OS(Out.Explain);
+    renderExplainText(OS, Tool.reports(), Tool.sourceManager(),
+                      RankPolicy::Generic, TopN);
+  }
+  Out.Manifest = Tool.manifest(Opts);
+  return Out;
+}
+
+/// Prototypes the Figure 3 lock checker matches.
+const char *Protos = "void lock(int *l);\nvoid unlock(int *l);\n";
+
+//===----------------------------------------------------------------------===//
+// Journal mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(WitnessJournal, CapKeepsThePrefixAndCountsTheRest) {
+  WitnessJournal J;
+  for (unsigned I = 0; I != WitnessJournal::MaxSteps + 7; ++I) {
+    WitnessStep S;
+    S.Object = "o" + std::to_string(I);
+    J.append(S);
+  }
+  EXPECT_EQ(J.Steps.size(), WitnessJournal::MaxSteps);
+  EXPECT_EQ(J.Dropped, 7u);
+  // Keep-first: the interesting early steps survive.
+  EXPECT_EQ(J.Steps.front().Object, "o0");
+}
+
+TEST(WitnessJournal, KindNamesRoundTrip) {
+  for (WitnessStep::Kind K :
+       {WitnessStep::Kind::Transition, WitnessStep::Kind::Branch,
+        WitnessStep::Kind::Call, WitnessStep::Kind::SummaryApply,
+        WitnessStep::Kind::Rebind}) {
+    WitnessStep::Kind Back = WitnessStep::Kind::Transition;
+    ASSERT_TRUE(witnessKindFromName(witnessKindName(K), Back));
+    EXPECT_EQ(Back, K);
+  }
+  WitnessStep::Kind K;
+  EXPECT_FALSE(witnessKindFromName("frobnicate", K));
+}
+
+//===----------------------------------------------------------------------===//
+// Capture semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Witness, DoubleAcquireJournalTellsTheLockStory) {
+  std::string Src = std::string(Protos) +
+                    "void f(int *a) { lock(a); lock(a); }\n";
+  RunOut R = runLock(Src, 1, /*Capture=*/true);
+  ASSERT_EQ(R.Manifest.Witnesses.size(), 1u);
+  const ManifestWitness &W = R.Manifest.Witnesses[0];
+  EXPECT_EQ(W.Checker, "lock_checker");
+  EXPECT_EQ(W.File, "w.c");
+  EXPECT_NE(W.Message.find("double acquire"), std::string::npos);
+  // First acquisition, then the violating transition to stop.
+  ASSERT_GE(W.Steps.size(), 2u);
+  EXPECT_EQ(W.Steps[0].Kind, "transition");
+  EXPECT_EQ(W.Steps[0].Object, "a");
+  EXPECT_EQ(W.Steps[0].To, "locked");
+  const ManifestWitnessStep &Last = W.Steps.back();
+  EXPECT_EQ(Last.From, "locked");
+  // The rendered explain section anchors each step to a source line.
+  EXPECT_NE(R.Explain.find("---- explain: top 1 of 1 report(s) ----"),
+            std::string::npos);
+  EXPECT_NE(R.Explain.find("lock(a)"), std::string::npos);
+  EXPECT_NE(R.Explain.find("^ state a: (new) -> locked"), std::string::npos);
+}
+
+TEST(Witness, BranchStepsOnlyAfterTrackingStarts) {
+  // The conditional before lock() is journal noise (no live checker state);
+  // the one after it is the Section 9 "conditionals" signal and is kept.
+  std::string Src = std::string(Protos) +
+                    "void f(int *a, int c, int d) {\n"
+                    "  if (c) { d = 1; }\n"
+                    "  lock(a);\n"
+                    "  if (d) { lock(a); }\n"
+                    "}\n";
+  RunOut R = runLock(Src, 1, /*Capture=*/true);
+  ASSERT_EQ(R.Manifest.Witnesses.size(), 1u);
+  unsigned Branches = 0;
+  for (const ManifestWitnessStep &S : R.Manifest.Witnesses[0].Steps)
+    if (S.Kind == "branch") {
+      ++Branches;
+      EXPECT_EQ(S.Object, "d");
+    }
+  EXPECT_EQ(Branches, 1u);
+}
+
+TEST(Witness, RebindStepRecordsTheSynonym) {
+  std::string Src = std::string(Protos) +
+                    "void f(int *a) {\n"
+                    "  int *b;\n"
+                    "  lock(a);\n"
+                    "  b = a;\n"
+                    "  lock(b);\n"
+                    "}\n";
+  RunOut R = runLock(Src, 1, /*Capture=*/true);
+  ASSERT_EQ(R.Manifest.Witnesses.size(), 1u);
+  bool SawRebind = false;
+  for (const ManifestWitnessStep &S : R.Manifest.Witnesses[0].Steps)
+    if (S.Kind == "rebind") {
+      SawRebind = true;
+      EXPECT_EQ(S.Object, "b");
+      EXPECT_EQ(S.From, "a");
+    }
+  EXPECT_TRUE(SawRebind);
+}
+
+TEST(Witness, CaptureOffIsFree) {
+  std::string Src = std::string(Protos) +
+                    "void f(int *a) { lock(a); lock(a); }\n";
+  RunOut On = runLock(Src, 1, /*Capture=*/true);
+  RunOut Off = runLock(Src, 1, /*Capture=*/false);
+  // Reports are byte-identical; the journal is the only difference.
+  EXPECT_EQ(On.Rendered, Off.Rendered);
+  EXPECT_TRUE(Off.Manifest.Witnesses.empty());
+  EXPECT_FALSE(On.Manifest.Witnesses.empty());
+  // The per-checker witness metric only exists when capture is on.
+  EXPECT_EQ(Off.Manifest.Metrics.value("checker.lock_checker.witness.steps"),
+            0u);
+  EXPECT_GT(On.Manifest.Metrics.value("checker.lock_checker.witness.steps"),
+            0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural route-invariance and cross-jobs determinism
+//===----------------------------------------------------------------------===//
+
+/// Several roots sharing one callee: whether a given callsite replays the
+/// callee's summary or analyzes it inline depends on per-worker cache
+/// warmth, i.e. on sharding. The witnesses must not.
+std::string sharedCalleeCorpus() {
+  std::string S = Protos;
+  S += "void helper(int *l) { lock(l); }\n";
+  for (int I = 0; I != 6; ++I) {
+    std::string T = std::to_string(I);
+    S += "void root" + T + "(int *a) { helper(a); lock(a); }\n";
+  }
+  return S;
+}
+
+TEST(Witness, InterproceduralWitnessShowsSummaryApplication) {
+  RunOut R = runLock(sharedCalleeCorpus(), 1, /*Capture=*/true);
+  ASSERT_GE(R.Manifest.Witnesses.size(), 1u);
+  const ManifestWitness &W = R.Manifest.Witnesses[0];
+  bool SawSummary = false;
+  for (const ManifestWitnessStep &S : W.Steps)
+    if (S.Kind == "summary") {
+      SawSummary = true;
+      EXPECT_EQ(S.To, "helper");
+      EXPECT_NE(S.Line, 0u); // anchored at the callsite
+    }
+  EXPECT_TRUE(SawSummary);
+  // The rendered form shows the callsite chain.
+  EXPECT_NE(R.Explain.find("apply summary: helper"), std::string::npos);
+}
+
+TEST(Witness, ExplainAndManifestWitnessesAreByteIdenticalAcrossJobs) {
+  std::string Src = sharedCalleeCorpus();
+  RunOut J1 = runLock(Src, 1, /*Capture=*/true);
+  RunOut J4 = runLock(Src, 4, /*Capture=*/true);
+  RunOut J8 = runLock(Src, 8, /*Capture=*/true);
+  EXPECT_FALSE(J1.Manifest.Witnesses.empty());
+  EXPECT_EQ(J1.Rendered, J4.Rendered);
+  EXPECT_EQ(J1.Rendered, J8.Rendered);
+  EXPECT_EQ(J1.Explain, J4.Explain);
+  EXPECT_EQ(J1.Explain, J8.Explain);
+  EXPECT_TRUE(J1.Manifest.Witnesses == J4.Manifest.Witnesses);
+  EXPECT_TRUE(J1.Manifest.Witnesses == J8.Manifest.Witnesses);
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest schema
+//===----------------------------------------------------------------------===//
+
+TEST(Witness, ManifestWithWitnessesRoundTrips) {
+  RunOut R = runLock(sharedCalleeCorpus(), 1, /*Capture=*/true);
+  ASSERT_FALSE(R.Manifest.Witnesses.empty());
+  EXPECT_EQ(R.Manifest.Schema, kRunManifestSchema);
+  std::string Json;
+  raw_string_ostream OS(Json);
+  R.Manifest.writeJson(OS);
+  EXPECT_NE(Json.find("\"witnesses\": ["), std::string::npos);
+  RunManifest Back;
+  std::string Err;
+  ASSERT_TRUE(parseRunManifest(Json, Back, &Err)) << Err;
+  EXPECT_TRUE(Back == R.Manifest);
+}
+
+} // namespace
