@@ -13,8 +13,9 @@
 ///
 /// The shared schema: "bench" (name), "wall_ms", "stmts_per_s" (program
 /// points visited per second; 0 when the bench runs no engine), the engine
-/// cache + dispatch-index counters, and "ok" (the bench's own pass/fail
-/// verdict). Benches append extra fields as needed.
+/// cache + dispatch-index + arena counters, "peak_rss_kb" (appended to every
+/// line at emit time), and "ok" (the bench's own pass/fail verdict). Benches
+/// append extra fields as needed.
 ///
 /// The header also hosts the --smoke convention: every bench accepts the
 /// flag and shrinks to a tiny corpus / skips its heavyweight sections so the
@@ -34,7 +35,28 @@
 #include <string>
 #include <string_view>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace mc::bench {
+
+/// Peak resident set size of this process in kilobytes; 0 where the platform
+/// offers no getrusage. (Linux reports ru_maxrss in KB, macOS in bytes.)
+inline uint64_t peakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return uint64_t(RU.ru_maxrss) / 1024;
+#else
+  return uint64_t(RU.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// Builder for one BENCH_JSON line. Field order is insertion order; keys are
 /// assumed not to need escaping (they are string literals in the benches).
@@ -106,7 +128,11 @@ public:
   /// through the snapshot emitter.
   BenchJson &engine(const EngineStats &S) { return engine(S.toMetrics()); }
 
-  void emit(raw_ostream &OS) const { OS << "BENCH_JSON {" << Buf << "}\n"; }
+  /// Emits the line, appending "peak_rss_kb" (sampled at emit time so it
+  /// covers the whole measured run) to every record.
+  void emit(raw_ostream &OS) const {
+    OS << "BENCH_JSON {" << Buf << ",\"peak_rss_kb\":" << peakRssKb() << "}\n";
+  }
 
 private:
   void beginField(std::string_view Key) {

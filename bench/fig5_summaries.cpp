@@ -82,7 +82,7 @@ int main(int argc, char **argv) {
       OS << "  suffix summary:\n";
       for (const SummaryEdge &E : Sum->SuffixEdges) {
         OS << "    " << edgeStr(E, C) << '\n';
-        SuffixMentionsQ |= E.To.TreeKey == "q" || E.From.TreeKey == "q";
+        SuffixMentionsQ |= symbolText(E.To.TreeKey) == "q" || symbolText(E.From.TreeKey) == "q";
         SuffixEndsInStop |=
             !E.To.isPlaceholder() && E.To.Value == StateStop;
       }
@@ -102,8 +102,8 @@ int main(int argc, char **argv) {
       Contrived, Tool.callGraph().cfg(Contrived)->entry());
   bool SawP = false, SawW = false;
   for (const SummaryEdge &E : Entry->SuffixEdges) {
-    SawP |= E.To.TreeKey == "p";
-    SawW |= E.To.TreeKey == "w";
+    SawP |= symbolText(E.To.TreeKey) == "p";
+    SawW |= symbolText(E.To.TreeKey) == "w";
   }
   OS << "contrived's function summary carries p and w:    "
      << (SawP && SawW ? "yes" : "MISSING") << '\n';

@@ -63,7 +63,7 @@ void FaultInjectorChecker::checkPoint(const Stmt *Point,
     // repeats and the state monotonically grows until the valve trips.
     for (unsigned I = 0; I != GrowthPerHit; ++I) {
       VarState &VS = ACtx.createInstance(Tree, Grown);
-      VS.Data = std::to_string(I);
+      VS.Data = symbolize(std::to_string(I));
     }
     break;
   }

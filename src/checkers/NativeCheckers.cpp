@@ -85,7 +85,9 @@ void NativeFreeChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
     if (VarState *VS = ACtx.state().findByKey(exprKey(Sub))) {
       if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
         ACtx.reportError(
-            formatString("using %s after free!", VS->TreeKey.c_str()), VS);
+            formatString("using %s after free!",
+                         std::string(symbolText(VS->TreeKey)).c_str()),
+            VS);
         ACtx.transition(*VS, StateStop);
       }
     }
@@ -120,16 +122,18 @@ void FlowInsensitiveFreeChecker::checkPoint(const Stmt *Point,
       std::string Key = exprKey(Arg);
       if (VarState *VS = ACtx.state().findByKey(Key)) {
         if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
+          std::string Rule(symbolText(VS->Data));
           ACtx.reportError(formatString("double free of %s (via %s)",
                                         Key.c_str(), Callee.c_str()),
-                           VS, /*GroupKey=*/VS->Data);
-          ACtx.countViolation(VS->Data);
+                           VS, /*GroupKey=*/Rule);
+          ACtx.countViolation(Rule);
           ACtx.transition(*VS, StateStop);
         }
         return;
       }
       VarState &VS = ACtx.createInstance(Arg, Freed);
-      VS.Data = Callee; // remember the rule (freeing function) for ranking
+      // remember the rule (freeing function) for ranking
+      VS.Data = symbolize(Callee);
       return;
     }
     // Any other use of a "freed" pointer as an argument is a violation.
@@ -139,11 +143,13 @@ void FlowInsensitiveFreeChecker::checkPoint(const Stmt *Point,
         continue;
       if (VarState *VS = ACtx.state().findByKey(exprKey(Stripped))) {
         if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
+          std::string Rule(symbolText(VS->Data));
           ACtx.reportError(
               formatString("%s used after being freed by %s",
-                           VS->TreeKey.c_str(), VS->Data.c_str()),
-              VS, /*GroupKey=*/VS->Data);
-          ACtx.countViolation(VS->Data);
+                           std::string(symbolText(VS->TreeKey)).c_str(),
+                           Rule.c_str()),
+              VS, /*GroupKey=*/Rule);
+          ACtx.countViolation(Rule);
           ACtx.transition(*VS, StateStop);
         }
       }
@@ -158,10 +164,13 @@ void FlowInsensitiveFreeChecker::checkPoint(const Stmt *Point,
       return;
     if (VarState *VS = ACtx.state().findByKey(exprKey(Sub))) {
       if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
+        std::string Rule(symbolText(VS->Data));
         ACtx.reportError(formatString("%s dereferenced after being freed by %s",
-                                      VS->TreeKey.c_str(), VS->Data.c_str()),
-                         VS, /*GroupKey=*/VS->Data);
-        ACtx.countViolation(VS->Data);
+                                      std::string(symbolText(VS->TreeKey))
+                                          .c_str(),
+                                      Rule.c_str()),
+                         VS, /*GroupKey=*/Rule);
+        ACtx.countViolation(Rule);
         ACtx.transition(*VS, StateStop);
       }
     }
@@ -173,7 +182,7 @@ void FlowInsensitiveFreeChecker::checkEndOfPath(VarState *VS,
   // A pointer that was never touched again is a successful check of the
   // freeing function's rule.
   if (VS && VS->Value == Freed)
-    ACtx.countExample(VS->Data);
+    ACtx.countExample(std::string(symbolText(VS->Data)));
 }
 
 //===----------------------------------------------------------------------===//
@@ -234,7 +243,9 @@ void IntraLockChecker::checkEndOfPath(VarState *VS, AnalysisContext &ACtx) {
   std::string Fn(ACtx.currentFunction() ? ACtx.currentFunction()->name()
                                         : std::string_view());
   ACtx.reportError(
-      formatString("%s never released", VS->TreeKey.c_str()), VS, Fn);
+      formatString("%s never released",
+                   std::string(symbolText(VS->TreeKey)).c_str()),
+      VS, Fn);
   ACtx.countViolation(Fn);
 }
 
@@ -267,14 +278,14 @@ void PairInferenceChecker::checkPoint(const Stmt *Point,
 
   if (CurMode == Mode::Learn) {
     if (VarState *VS = ACtx.state().findByKey(Key)) {
-      if (!ACtx.justCreated(*VS) && VS->Data != Callee) {
+      if (!ACtx.justCreated(*VS) && symbolText(VS->Data) != Callee) {
         std::lock_guard<std::mutex> Lock(LearnMu);
-        ++PairAfter[VS->Data][Callee];
+        ++PairAfter[std::string(symbolText(VS->Data))][Callee];
       }
       return;
     }
     VarState &VS = ACtx.createInstance(Arg, Opened);
-    VS.Data = Callee;
+    VS.Data = symbolize(Callee);
     {
       std::lock_guard<std::mutex> Lock(LearnMu);
       ++Opens[Callee];
@@ -285,17 +296,18 @@ void PairInferenceChecker::checkPoint(const Stmt *Point,
   // Check mode: only inferred openers start tracking; the inferred closer
   // ends it; anything else is neutral.
   if (VarState *VS = ACtx.state().findByKey(Key)) {
-    auto RuleIt = Rules.find(VS->Data);
+    std::string Opener(symbolText(VS->Data));
+    auto RuleIt = Rules.find(Opener);
     if (RuleIt != Rules.end() && RuleIt->second == Callee &&
         !ACtx.justCreated(*VS)) {
-      ACtx.countExample(VS->Data + "->" + Callee);
+      ACtx.countExample(Opener + "->" + Callee);
       ACtx.transition(*VS, StateStop);
     }
     return;
   }
   if (Rules.count(Callee)) {
     VarState &VS = ACtx.createInstance(Arg, Opened);
-    VS.Data = Callee;
+    VS.Data = symbolize(Callee);
   }
 }
 
@@ -305,13 +317,14 @@ void PairInferenceChecker::checkEndOfPath(VarState *VS,
     return;
   if (CurMode == Mode::Learn)
     return;
-  auto RuleIt = Rules.find(VS->Data);
+  std::string Opener(symbolText(VS->Data));
+  auto RuleIt = Rules.find(Opener);
   if (RuleIt == Rules.end())
     return;
-  std::string RuleKey = VS->Data + "->" + RuleIt->second;
+  std::string RuleKey = Opener + "->" + RuleIt->second;
   ACtx.reportError(formatString("missing %s after %s(%s)",
-                                RuleIt->second.c_str(), VS->Data.c_str(),
-                                VS->TreeKey.c_str()),
+                                RuleIt->second.c_str(), Opener.c_str(),
+                                std::string(symbolText(VS->TreeKey)).c_str()),
                    VS, RuleKey);
   ACtx.countViolation(RuleKey);
 }

@@ -24,6 +24,9 @@
 //   --no-dispatch-index  disable the compiled pattern-dispatch index (try
 //                        every transition at every statement, as the paper
 //                        describes it)
+//   --no-state-interning disable hash-consed checker-state sets (fall back
+//                        to serialized-string dedup keys; reports are
+//                        byte-identical either way)
 //   --no-summaries       disable function summaries
 //   --no-fpp             disable false path pruning
 //   --intraprocedural    do not follow calls
@@ -178,6 +181,10 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--no-dispatch-index") {
       Opts.EnableDispatchIndex = false;
+      continue;
+    }
+    if (Arg == "--no-state-interning") {
+      Opts.EnableStateInterning = false;
       continue;
     }
     if (Arg == "--no-summaries") {

@@ -41,6 +41,18 @@ struct Engine::PathState {
   bool Killed = false;
 };
 
+namespace {
+/// Exit-state dedup keys for one function activation. With state interning
+/// on, an exit state's identity is (consed tuple-set id, annotation symbol)
+/// packed into one integer; with it off, the legacy serialized string. Both
+/// encode exactly the same equivalence, so the surviving exit-state list —
+/// and therefore every report byte — is identical either way.
+struct ExitKeySet {
+  std::set<uint64_t> Consed;
+  std::set<std::string> Legacy;
+};
+} // namespace
+
 /// Traversal context for one function activation.
 struct Engine::FrameCtx {
   const FunctionDecl *Fn = nullptr;
@@ -48,7 +60,7 @@ struct Engine::FrameCtx {
   FunctionSummaries *FS = nullptr;
   std::vector<BacktraceEntry> Backtrace;
   std::vector<PathState> *ExitStates = nullptr;
-  std::set<std::string> *ExitKeys = nullptr;
+  ExitKeySet *ExitKeys = nullptr;
   std::set<const FunctionDecl *> *CallStack = nullptr;
   unsigned Depth = 0;
   uint64_t PathsThisFunction = 0;
@@ -174,18 +186,19 @@ bool isLocalTree(const Expr *E) {
       E, [](const VarDecl *VD) { return VD->storage() == VarDecl::Local; });
 }
 
-/// Serialized identity of an exit state, for dedup.
+/// Serialized identity of an exit state, for dedup (the legacy string key,
+/// used when state interning is off).
 std::string exitStateKey(const SMInstance &SMI, const std::string &Annotation) {
   std::vector<StateTuple> Tuples = tuplesOf(SMI);
   std::sort(Tuples.begin(), Tuples.end());
   std::string Key = std::to_string(SMI.GState) + "|" + Annotation;
   for (const StateTuple &T : Tuples) {
     Key += ';';
-    Key += T.TreeKey;
+    Key += symbolText(T.TreeKey);
     Key += ':';
     Key += std::to_string(T.Value);
     Key += ':';
-    Key += T.Data;
+    Key += symbolText(T.Data);
   }
   return Key;
 }
@@ -266,7 +279,7 @@ public:
       bump(E.CkC.States);
     VarState VS;
     VS.Tree = stripCasts(Tree);
-    VS.TreeKey = exprKey(VS.Tree);
+    VS.TreeKey = symbolize(exprKey(VS.Tree));
     VS.Value = Value;
     VS.CreatedAt = PI ? PI->TopStmt : nullptr;
     VS.OriginLoc = PI && PI->Point ? PI->Point->loc() : VS.Tree->loc();
@@ -318,7 +331,7 @@ public:
     R.Line = Full.Line;
     R.FunctionName = Fn ? std::string(Fn->name()) : "";
     if (Instance) {
-      R.VariableName = Instance->TreeKey;
+      R.VariableName = std::string(symbolText(Instance->TreeKey));
       R.Conditionals = Instance->CondsCrossed;
       R.IndirectionDepth = Instance->IndirectionDepth;
       R.Interprocedural = Instance->Interprocedural;
@@ -339,7 +352,7 @@ public:
     // raw origin keeps textually identical reports about different objects
     // at one site (macro expansions) distinct.
     if (Instance && Instance->OriginLoc.isValid()) {
-      R.WitnessKey = Instance->TreeKey;
+      R.WitnessKey = std::string(symbolText(Instance->TreeKey));
       R.WitnessKey += '@';
       R.WitnessKey += std::to_string(Instance->OriginLoc.fileID());
       R.WitnessKey += ':';
@@ -673,11 +686,14 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
         }
       }
     } else {
-      std::string Key = exprKey(LHSStripped);
-      for (VarState &VS : PS.SMI.ActiveVars) {
-        if (VS.live() && VS.CreatedAt != TopStmt && VS.TreeKey == Key) {
-          VS.Value = StateStop;
-          bump(Ctr.KillsApplied);
+      // Probe only: a key never tracked anywhere has no symbol and cannot
+      // match, so the table is not grown for untracked assignments.
+      if (uint32_t KeySym = lookupSymbol(exprKey(LHSStripped))) {
+        for (VarState &VS : PS.SMI.ActiveVars) {
+          if (VS.live() && VS.CreatedAt != TopStmt && VS.TreeKey == KeySym) {
+            VS.Value = StateStop;
+            bump(Ctr.KillsApplied);
+          }
         }
       }
     }
@@ -695,11 +711,12 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
           SrcVS->SynonymGroup = ++SynonymGroupCounter;
         VarState Clone = *SrcVS;
         Clone.Tree = LHSStripped;
-        Clone.TreeKey = exprKey(LHSStripped);
+        Clone.TreeKey = symbolize(exprKey(LHSStripped));
         Clone.CreatedAt = TopStmt;
         Clone.IndirectionDepth = SrcVS->IndirectionDepth + 1;
         if (WitnessOn)
-          NoteRebind(Clone.TreeKey, SrcVS->TreeKey, Clone.Value);
+          NoteRebind(std::string(symbolText(Clone.TreeKey)),
+                     std::string(symbolText(SrcVS->TreeKey)), Clone.Value);
         PS.SMI.ActiveVars.push_back(std::move(Clone));
         bump(Ctr.SynonymsCreated);
         SynonymMade = true;
@@ -721,8 +738,9 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
       if (WitnessOn && !SynonymMade) {
         ValueTracker::RebindNote Note = PS.VT.lastRebind();
         if (Note.Valid)
-          if (const VarState *SrcVS = PS.SMI.findByKey(Note.FromKey))
-            NoteRebind(exprKey(LHSStripped), SrcVS->TreeKey, SrcVS->Value);
+          if (const VarState *SrcVS = PS.SMI.findByKey(exprKey(Note.From)))
+            NoteRebind(exprKey(LHSStripped),
+                       std::string(symbolText(SrcVS->TreeKey)), SrcVS->Value);
       }
     }
   }
@@ -820,26 +838,41 @@ void Engine::traverseBlock(FrameCtx &Frame, const BasicBlock *B,
   if (Opts.EnableDispatchIndex && !blockMayFire(B))
     bump(Ctr.IndexBlocksSkipped);
   BlockSummary &Sum = Frame.FS->of(B);
-  std::vector<StateTuple> Entry = tuplesOf(PS.SMI);
+  // Everything this frame allocates from the root arena (entry-tuple
+  // snapshots) is released when the frame unwinds; the DFS is strictly
+  // nested, so mark/rewind is safe and bounds arena growth by the live path.
+  BumpScope ArenaScope(RootArena);
+  TupleSpan Entry = tuplesOf(PS.SMI, RootArena);
 
   if (Opts.EnableBlockCache) {
-    bool AllCached = true;
-    for (const StateTuple &T : Entry)
-      if (!Sum.Reached.count(T)) {
-        AllCached = false;
-        break;
-      }
+    bool AllCached = false;
+    uint32_t EntrySetId = 0;
+    if (Opts.EnableStateInterning) {
+      // Consed fast path: a set id seen before is already known to be fully
+      // contained in Reached (Reached only grows within a checker run, so
+      // positive answers stay true).
+      EntrySetId = SetIntern.id(Entry);
+      AllCached = Sum.HitSets.count(EntrySetId) != 0;
+    }
+    if (!AllCached) {
+      AllCached = true;
+      for (const StateTuple &T : Entry)
+        if (!Sum.Reached.count(T)) {
+          AllCached = false;
+          break;
+        }
+      if (AllCached && Opts.EnableStateInterning)
+        Sum.HitSets.insert(EntrySetId);
+    }
     if (AllCached) {
       // The whole state has been explored from this block: abort the path
       // (cache_misses, Section 5.2), relaxing suffix summaries on the way.
       bump(Ctr.BlockCacheHits);
       Frame.Backtrace.push_back(BacktraceEntry{B, Entry});
-      relaxSuffixSummaries(Frame.Backtrace, *Frame.FS,
-                           [&](const std::string &Key) {
-                             auto It = Frame.FS->LocalKeys.find(Key);
-                             return It == Frame.FS->LocalKeys.end() ||
-                                    !It->second;
-                           });
+      relaxSuffixSummaries(Frame.Backtrace, *Frame.FS, [&](uint32_t Key) {
+        auto It = Frame.FS->LocalKeys.find(Key);
+        return It == Frame.FS->LocalKeys.end() || !It->second;
+      });
       Frame.Backtrace.pop_back();
       bump(Ctr.PathsExplored);
       if (++Frame.PathsThisFunction > Opts.MaxPathsPerFunction) {
@@ -856,7 +889,7 @@ void Engine::traverseBlock(FrameCtx &Frame, const BasicBlock *B,
       return Sum.Reached.count(
                  StateTuple{PS.SMI.GState, VS.TreeKey, VS.Value, VS.Data}) != 0;
     });
-    Entry = tuplesOf(PS.SMI);
+    Entry = tuplesOf(PS.SMI, RootArena);
   }
 
   for (const StateTuple &T : Entry)
@@ -872,8 +905,7 @@ void Engine::traverseBlock(FrameCtx &Frame, const BasicBlock *B,
 }
 
 void Engine::processPoints(FrameCtx &Frame, const BasicBlock *B,
-                           const std::vector<StateTuple> &EntrySnapshot,
-                           size_t Idx, PathState PS) {
+                           TupleSpan EntrySnapshot, size_t Idx, PathState PS) {
   const std::vector<PointInfo> &Points = pointsOf(B);
   for (size_t I = Idx; I < Points.size(); ++I) {
     if (AbortKind != RootAbortKind::None)
@@ -896,7 +928,8 @@ void Engine::processPoints(FrameCtx &Frame, const BasicBlock *B,
           if (WitnessOn && VS->Value != Value)
             Copy.Witness.append(WitnessStep{
                 WitnessStep::Kind::Transition, PI.Point->loc(), Frame.Depth,
-                Eff.TreeKey, CurChecker->stateName(VS->Value),
+                std::string(symbolText(Eff.TreeKey)),
+                CurChecker->stateName(VS->Value),
                 CurChecker->stateName(Value)});
           VS->Value = Value;
           Copy.SMI.sweepStopped();
@@ -906,7 +939,8 @@ void Engine::processPoints(FrameCtx &Frame, const BasicBlock *B,
           if (WitnessOn)
             Copy.Witness.append(WitnessStep{
                 WitnessStep::Kind::Transition, PI.Point->loc(), Frame.Depth,
-                Eff.TreeKey, "", CurChecker->stateName(Value)});
+                std::string(symbolText(Eff.TreeKey)), "",
+                CurChecker->stateName(Value)});
         }
         processPoints(Frame, B, EntrySnapshot, I + 1, std::move(Copy));
       }
@@ -943,8 +977,7 @@ void Engine::processPoints(FrameCtx &Frame, const BasicBlock *B,
 }
 
 void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
-                         const std::vector<StateTuple> &EntrySnapshot,
-                         PathState PS) {
+                         TupleSpan EntrySnapshot, PathState PS) {
   BlockSummary &Sum = Frame.FS->of(B);
   int GEntry = EntrySnapshot.empty() ? PS.SMI.GState
                                      : EntrySnapshot.front().GState;
@@ -962,12 +995,14 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
   Insert(SummaryEdge{StateTuple{GEntry, {}, StateStop, {}},
                      StateTuple{GExit, {}, StateStop, {}}, nullptr, {}});
 
-  std::map<std::string, const VarState *> ExitByKey;
+  // Hashed: iterated below, but every use (set inserts, LocalKeys probes)
+  // is order-insensitive, so iteration order cannot reach report bytes.
+  std::unordered_map<uint32_t, const VarState *> ExitByKey;
   for (const VarState &VS : PS.SMI.ActiveVars)
     if (VS.live() && !VS.Inactive)
       ExitByKey[VS.TreeKey] = &VS;
 
-  std::set<std::string> EntryKeys;
+  std::unordered_set<uint32_t> EntryKeys;
   for (const StateTuple &T : EntrySnapshot) {
     if (T.isPlaceholder())
       continue;
@@ -994,7 +1029,7 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
                        VS->FactKey});
   }
 
-  auto KeepTree = [&](const std::string &Key) {
+  auto KeepTree = [&](uint32_t Key) {
     auto It = Frame.FS->LocalKeys.find(Key);
     return It == Frame.FS->LocalKeys.end() || !It->second;
   };
@@ -1016,8 +1051,20 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
       Sum.addSuffixEdge(E);
     }
     relaxSuffixSummaries(Frame.Backtrace, *Frame.FS, KeepTree);
-    std::string Key = exitStateKey(PS.SMI, PS.PathAnnotation);
-    if (Frame.ExitKeys->insert(Key).second)
+    // Exit-state dedup: consed (set id, annotation symbol) when interning
+    // is on, the legacy serialized string otherwise — same equivalence, so
+    // the surviving exit-state list is identical either way.
+    bool Fresh;
+    if (Opts.EnableStateInterning) {
+      uint64_t Key = uint64_t(SetIntern.id(tuplesOf(PS.SMI, RootArena))) << 32 |
+                     symbolize(PS.PathAnnotation);
+      Fresh = Frame.ExitKeys->Consed.insert(Key).second;
+    } else {
+      Fresh = Frame.ExitKeys->Legacy
+                  .insert(exitStateKey(PS.SMI, PS.PathAnnotation))
+                  .second;
+    }
+    if (Fresh)
       Frame.ExitStates->push_back(PS);
     NotePathEnd();
     return;
@@ -1098,7 +1145,8 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
             Copy.Witness.append(WitnessStep{
                 WitnessStep::Kind::Transition,
                 B->condition() ? B->condition()->loc() : SourceLoc(),
-                Frame.Depth, Eff.TreeKey, CurChecker->stateName(VS->Value),
+                Frame.Depth, std::string(symbolText(Eff.TreeKey)),
+                CurChecker->stateName(VS->Value),
                 CurChecker->stateName(Value)});
           VS->Value = Value;
         } else if (Value != StateStop && Eff.Tree) {
@@ -1111,7 +1159,8 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
             Copy.Witness.append(WitnessStep{
                 WitnessStep::Kind::Transition,
                 B->condition() ? B->condition()->loc() : SourceLoc(),
-                Frame.Depth, Eff.TreeKey, "", CurChecker->stateName(Value)});
+                Frame.Depth, std::string(symbolText(Eff.TreeKey)), "",
+                CurChecker->stateName(Value)});
           Copy.SMI.ActiveVars.push_back(std::move(NewVS));
         }
       }
@@ -1226,7 +1275,7 @@ Engine::PathState Engine::refine(const PathState &PS, const CallExpr *CE,
     if (Sub != VS.Tree && !referencesAnyOf(Sub, CallerScope)) {
       VarState Clone = VS;
       Clone.Tree = Sub;
-      Clone.TreeKey = exprKey(Sub);
+      Clone.TreeKey = symbolize(exprKey(Sub));
       Clone.Interprocedural = true;
       Clone.CreatedAt = nullptr;
       Out.SMI.ActiveVars.push_back(std::move(Clone));
@@ -1293,7 +1342,7 @@ Engine::PathState Engine::restore(const PathState &CallerPS, SMInstance ExitSM,
     }
     VarState Clone = VS;
     Clone.Tree = Tree;
-    Clone.TreeKey = exprKey(Tree);
+    Clone.TreeKey = symbolize(exprKey(Tree));
     // File-statics reactivate when the analysis returns to their file.
     std::vector<const VarDecl *> Statics;
     collectFileStatics(Tree, Statics);
@@ -1333,7 +1382,10 @@ std::vector<SMInstance> Engine::replaySummary(const FunctionDecl *Callee,
     const SummaryEdge *E;
     const VarState *Source; ///< Incoming instance (null for add edges).
   };
-  std::map<std::string, std::vector<Applicable>> PerTree;
+  // Ordered by key *text*: PerTree's iteration order decides partition
+  // assembly (and hence ActiveVars push order, and hence report bytes), so
+  // it must match the historical string-keyed map exactly.
+  std::map<uint32_t, std::vector<Applicable>, SymbolTextLess> PerTree;
   std::vector<int> GlobalExits;
   std::vector<const VarState *> Unmatched; ///< Kept verbatim (PartialOk).
 
@@ -1381,7 +1433,8 @@ std::vector<SMInstance> Engine::replaySummary(const FunctionDecl *Callee,
     NumParts = std::max(NumParts, List.size());
 
   std::vector<SMInstance> Out;
-  std::set<std::string> Dedup;
+  std::set<std::string> LegacyDedup;
+  std::set<uint64_t> ConsedDedup;
   for (int GExit : GlobalExits) {
     for (size_t Part = 0; Part != NumParts; ++Part) {
       SMInstance SMI;
@@ -1425,8 +1478,12 @@ std::vector<SMInstance> Engine::replaySummary(const FunctionDecl *Callee,
         VS.CreatedAt = nullptr;
         SMI.ActiveVars.push_back(std::move(VS));
       }
-      std::string Key = exitStateKey(SMI, {});
-      if (Dedup.insert(Key).second)
+      bool Fresh;
+      if (Opts.EnableStateInterning)
+        Fresh = ConsedDedup.insert(SetIntern.id(tuplesOf(SMI))).second;
+      else
+        Fresh = LegacyDedup.insert(exitStateKey(SMI, {})).second;
+      if (Fresh)
         Out.push_back(std::move(SMI));
     }
   }
@@ -1434,9 +1491,8 @@ std::vector<SMInstance> Engine::replaySummary(const FunctionDecl *Callee,
 }
 
 void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
-                        const std::vector<StateTuple> &EntrySnapshot,
-                        size_t NextIdx, PathState PS, const CallExpr *CE,
-                        const FunctionDecl *Callee) {
+                        TupleSpan EntrySnapshot, size_t NextIdx, PathState PS,
+                        const CallExpr *CE, const FunctionDecl *Callee) {
   RestoreInfo RI;
   RI.CallerFileID = Frame.Fn->fileID();
   PathState Refined = refine(PS, CE, Frame.Fn, Callee, RI);
@@ -1451,7 +1507,9 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
   // step + callee-internal steps) feeds only reports emitted *inside* the
   // callee during inline descent. Snapshot the entry states before the
   // descent mutates them.
-  std::map<std::string, int> WEntryStates;
+  // Ordered by key text: iterated into witness steps, whose order is
+  // report-visible under --explain.
+  std::map<uint32_t, int, SymbolTextLess> WEntryStates;
   int WEntryG = Refined.SMI.GState;
   if (WitnessOn)
     for (const VarState &VS : Refined.SMI.ActiveVars)
@@ -1466,13 +1524,26 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
   bool Replayed = false;
 
   if (Opts.EnableFunctionSummaries) {
-    const std::set<StateTuple> &EntryTuples = CalleeFS.entryTuples(*CalleeCFG);
-    bool AllIn = !EntryTuples.empty();
-    for (const StateTuple &T : tuplesOf(Refined.SMI))
-      if (!EntryTuples.count(T)) {
-        AllIn = false;
-        break;
-      }
+    const auto &EntryTuples = CalleeFS.entryTuples(*CalleeCFG);
+    bool AllIn = false;
+    uint32_t RefSetId = 0;
+    std::vector<StateTuple> RefTuples = tuplesOf(Refined.SMI);
+    if (Opts.EnableStateInterning) {
+      // Consed fast path, mirroring the block cache: the entry Reached set
+      // only grows within a checker run, so a positive memo stays true.
+      RefSetId = SetIntern.id(RefTuples);
+      AllIn = CalleeFS.EntryHitSets.count(RefSetId) != 0;
+    }
+    if (!AllIn) {
+      AllIn = !EntryTuples.empty();
+      for (const StateTuple &T : RefTuples)
+        if (!EntryTuples.count(T)) {
+          AllIn = false;
+          break;
+        }
+      if (AllIn && Opts.EnableStateInterning)
+        CalleeFS.EntryHitSets.insert(RefSetId);
+    }
     if (AllIn || OnStack) {
       bump(Ctr.FunctionCacheHits);
       for (SMInstance &SMI : replaySummary(Callee, Refined.SMI, OnStack)) {
@@ -1522,7 +1593,7 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
       ContWitness.append(WitnessStep{WitnessStep::Kind::SummaryApply,
                                      CE->loc(), Frame.Depth, "", "",
                                      std::string(Callee->name())});
-      std::map<std::string, int> ExitStates;
+      std::map<uint32_t, int, SymbolTextLess> ExitStates;
       for (const VarState &VS : ExitPS.SMI.ActiveVars)
         if (VS.live() && !VS.Inactive)
           ExitStates[VS.TreeKey] = VS.Value;
@@ -1531,7 +1602,8 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
         if (It != WEntryStates.end() && It->second == Value)
           continue;
         ContWitness.append(WitnessStep{
-            WitnessStep::Kind::Transition, CE->loc(), Frame.Depth, Key,
+            WitnessStep::Kind::Transition, CE->loc(), Frame.Depth,
+            std::string(symbolText(Key)),
             It != WEntryStates.end() ? CurChecker->stateName(It->second)
                                      : std::string(),
             CurChecker->stateName(Value)});
@@ -1539,8 +1611,9 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
       for (const auto &[Key, Value] : WEntryStates)
         if (!ExitStates.count(Key))
           ContWitness.append(WitnessStep{
-              WitnessStep::Kind::Transition, CE->loc(), Frame.Depth, Key,
-              CurChecker->stateName(Value), CurChecker->stateName(StateStop)});
+              WitnessStep::Kind::Transition, CE->loc(), Frame.Depth,
+              std::string(symbolText(Key)), CurChecker->stateName(Value),
+              CurChecker->stateName(StateStop)});
       if (ExitPS.SMI.GState != WEntryG)
         ContWitness.append(WitnessStep{
             WitnessStep::Kind::Transition, CE->loc(), Frame.Depth, "",
@@ -1564,7 +1637,7 @@ Engine::analyzeFunction(const FunctionDecl *Fn, PathState PS,
   const CFG *G = CG.cfg(Fn);
   assert(G && "analyzeFunction requires a CFG");
   std::vector<PathState> Exits;
-  std::set<std::string> ExitKeys;
+  ExitKeySet ExitKeys;
   FrameCtx Frame;
   Frame.Fn = Fn;
   Frame.G = G;
@@ -1721,6 +1794,12 @@ RootOutcome Engine::analyzeRoot(Checker &C, const FunctionDecl *Root) {
     AbortReason.clear();
   }
   RootSpan.arg("outcome", rootAbortKindName(Out.Kind));
+  // Per-root arena teardown: record the telemetry, then free every slab in
+  // one sweep. An aborted root's transients die here too — the rollback
+  // path never has to reason about them.
+  bump(Ctr.ArenaBytes, RootArena.bytesAllocated());
+  bump(Ctr.ArenaSlabs, RootArena.maxSlabs());
+  RootArena.reset();
   return Out;
 }
 
@@ -1731,6 +1810,8 @@ void Engine::beginChecker(Checker &C) {
   CellsChecker = nullptr;
   refreshCheckerCells(C);
   Summaries.clear();
+  // The summary memos hold consed set ids; ids and memos die together.
+  SetIntern.clear();
   // Drop the dispatch memo unconditionally, for the same address-reuse
   // reason.
   DispatchBlockMemo.clear();

@@ -19,10 +19,12 @@
 #define MC_ENGINE_ENGINE_H
 
 #include "cfg/CallGraph.h"
+#include "engine/StateSetInterner.h"
 #include "engine/Summaries.h"
 #include "fpp/ValueTracker.h"
 #include "metal/Checker.h"
 #include "report/ReportManager.h"
+#include "support/Allocator.h"
 #include "support/Metrics.h"
 
 #include <atomic>
@@ -99,6 +101,11 @@ struct EngineOptions {
   /// Compiled pattern-dispatch index + per-block applicable-transition memo
   /// (--no-dispatch-index falls back to trying every transition everywhere).
   bool EnableDispatchIndex = true;
+  /// Hash-consed state sets: block-cache subset tests, summary entryTuples
+  /// lookups and exit-state dedup memoize on canonical set ids instead of
+  /// walking tuple sets (--no-state-interning falls back to the per-tuple
+  /// walks and string dedup keys; report bytes are identical either way).
+  bool EnableStateInterning = true;
   /// Safety valves for cache-off configurations: a function analysis stops
   /// exploring after this many completed paths, and a single path aborts
   /// after this many blocks (without caching, loops never converge).
@@ -164,6 +171,10 @@ struct EngineStats {
   uint64_t RootsDegraded = 0;
   uint64_t RootsQuarantined = 0;
   uint64_t DegradationRetries = 0;
+  /// Per-root arena telemetry: cumulative bytes handed out and high-water
+  /// slab counts summed over roots (recorded just before each root reset).
+  uint64_t ArenaBytes = 0;
+  uint64_t ArenaSlabs = 0;
 
   /// Builds the typed view from a snapshot's dotted names (unknown names are
   /// ignored; absent names read 0).
@@ -285,12 +296,12 @@ private:
 
   void traverseBlock(FrameCtx &Frame, const BasicBlock *B, PathState PS);
   void processPoints(FrameCtx &Frame, const BasicBlock *B,
-                     const std::vector<StateTuple> &EntrySnapshot, size_t Idx,
+                     TupleSpan EntrySnapshot, size_t Idx,
                      PathState PS);
   void finishBlock(FrameCtx &Frame, const BasicBlock *B,
-                   const std::vector<StateTuple> &EntrySnapshot, PathState PS);
+                   TupleSpan EntrySnapshot, PathState PS);
   void followCall(FrameCtx &Frame, const BasicBlock *B,
-                  const std::vector<StateTuple> &EntrySnapshot, size_t NextIdx,
+                  TupleSpan EntrySnapshot, size_t NextIdx,
                   PathState PS, const CallExpr *CE, const FunctionDecl *Callee);
   std::vector<PathState> analyzeFunction(const FunctionDecl *Fn, PathState PS,
                                          std::set<const FunctionDecl *> Stack,
@@ -372,12 +383,23 @@ private:
   TraceCollector *Trace = nullptr;
   /// Root → lane for deterministic trace merging (lane 0 is the tool; root
   /// N in call-graph root order gets lane 1+N). Built lazily on first use.
-  std::map<const FunctionDecl *, uint64_t> RootLanes;
+  /// Hashed: probed by key only, lanes come from call-graph root order.
+  std::unordered_map<const FunctionDecl *, uint64_t> RootLanes;
   uint64_t laneOf(const FunctionDecl *Root);
 
   Checker *CurChecker = nullptr;
-  std::map<const FunctionDecl *, FunctionSummaries> Summaries;
-  // The three lookup caches below are never iterated (single-key probes
+  /// Hashed: probed/erased by key only (analyzeFunction, replay, rollback);
+  /// iteration never happens, so order cannot reach report bytes.
+  std::unordered_map<const FunctionDecl *, FunctionSummaries> Summaries;
+  /// Hash-consed tuple-set ids for the summary memos (worker-private, like
+  /// Summaries; cleared together in beginChecker).
+  StateSetInterner SetIntern;
+  /// Per-root bump arena for traversal transients (entry-tuple snapshots,
+  /// backtrace spans). Frames take mark/rewind scopes so growth is bounded
+  /// by the live DFS path; analyzeRoot records the telemetry and resets it
+  /// wholesale at root end — aborted roots leak nothing by construction.
+  BumpPtrAllocator RootArena;
+  // The lookup caches below are never iterated (single-key probes
   // only), so hashed containers are safe: no engine decision, and hence no
   // report byte, depends on their order. Annotations stays a std::map — the
   // sharded merge and composition tests iterate it in address order.

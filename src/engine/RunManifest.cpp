@@ -43,6 +43,7 @@ static void writeOptionsJson(raw_ostream &OS, const EngineOptions &O) {
   OS << "    \"synonyms\": " << O.EnableSynonyms << ",\n";
   OS << "    \"interprocedural\": " << O.Interprocedural << ",\n";
   OS << "    \"dispatch_index\": " << O.EnableDispatchIndex << ",\n";
+  OS << "    \"state_interning\": " << O.EnableStateInterning << ",\n";
   OS << "    \"max_paths_per_function\": " << O.MaxPathsPerFunction << ",\n";
   OS << "    \"max_path_length\": " << O.MaxPathLength << ",\n";
   OS << "    \"max_call_depth\": " << O.MaxCallDepth << ",\n";
@@ -368,6 +369,8 @@ private:
         return parseBool(O.Interprocedural);
       if (Key == "dispatch_index")
         return parseBool(O.EnableDispatchIndex);
+      if (Key == "state_interning")
+        return parseBool(O.EnableStateInterning);
       if (Key == "max_paths_per_function")
         return parseUInt(O.MaxPathsPerFunction);
       if (Key == "max_path_length") {

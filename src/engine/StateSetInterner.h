@@ -1,0 +1,91 @@
+//===- engine/StateSetInterner.h - Hash-consed tuple sets -------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consing for state-tuple sets. The engine consults the same tuple
+/// sets over and over — the block cache's subset test (Section 5.2), the
+/// summary entryTuples lookup (Section 6.3), and exit-state dedup all start
+/// from "the multiset of tuples of this SMInstance". Consing canonicalizes
+/// each multiset once (sort by flat fields, which is a total order because
+/// symbols are canonical) and hands back a dense 32-bit id; repeat lookups
+/// of a set already seen reduce to one hash of 16-byte PODs plus an integer
+/// memo probe instead of a deep walk over `std::set<StateTuple>`.
+///
+/// Ids are engine-private and never reach output: report bytes depend only
+/// on tuple *text* ordering, so consing order (which varies with worker
+/// schedule) is invisible. Cleared with the summaries at checker start.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_ENGINE_STATESETINTERNER_H
+#define MC_ENGINE_STATESETINTERNER_H
+
+#include "metal/State.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace mc {
+
+/// Canonicalizes tuple multisets to dense ids (> 0). Worker-private (one
+/// per Engine): no locking on the hot path.
+class StateSetInterner {
+public:
+  /// The canonical id of the multiset \p Tuples (order-insensitive).
+  uint32_t id(const StateTuple *Tuples, size_t N) {
+    Scratch.assign(Tuples, Tuples + N);
+    // Sort by the flat fields — cheap, and total because symbol ids are
+    // canonical (equal text <=> equal id). This is an internal canonical
+    // order, unrelated to the text order used for output.
+    std::sort(Scratch.begin(), Scratch.end(),
+              [](const StateTuple &A, const StateTuple &B) {
+                if (A.GState != B.GState)
+                  return A.GState < B.GState;
+                if (A.TreeKey != B.TreeKey)
+                  return A.TreeKey < B.TreeKey;
+                if (A.Value != B.Value)
+                  return A.Value < B.Value;
+                return A.Data < B.Data;
+              });
+    auto It = Ids.find(Scratch);
+    if (It != Ids.end())
+      return It->second;
+    uint32_t Id = uint32_t(Ids.size()) + 1;
+    Ids.emplace(Scratch, Id);
+    return Id;
+  }
+
+  uint32_t id(const std::vector<StateTuple> &Tuples) {
+    return id(Tuples.data(), Tuples.size());
+  }
+  uint32_t id(TupleSpan Span) { return id(Span.begin(), Span.size()); }
+
+  /// Number of distinct sets consed so far.
+  size_t size() const { return Ids.size(); }
+
+  /// Drops every id. Callers holding ids (summary memos) must be cleared
+  /// in the same breath — the engine does both at checker start.
+  void clear() { Ids.clear(); }
+
+private:
+  struct VecHash {
+    size_t operator()(const std::vector<StateTuple> &V) const {
+      size_t H = 0x811c9dc5u ^ V.size();
+      StateTupleHash TH;
+      for (const StateTuple &T : V)
+        H = (H ^ TH(T)) * 0x100000001b3ull;
+      return H;
+    }
+  };
+
+  std::unordered_map<std::vector<StateTuple>, uint32_t, VecHash> Ids;
+  std::vector<StateTuple> Scratch;
+};
+
+} // namespace mc
+
+#endif // MC_ENGINE_STATESETINTERNER_H

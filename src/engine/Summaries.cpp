@@ -8,9 +8,9 @@
 
 using namespace mc;
 
-void mc::relaxSuffixSummaries(
-    const std::vector<BacktraceEntry> &Backtrace, FunctionSummaries &FS,
-    const std::function<bool(const std::string &)> &KeepTree) {
+void mc::relaxSuffixSummaries(const std::vector<BacktraceEntry> &Backtrace,
+                              FunctionSummaries &FS,
+                              const std::function<bool(uint32_t)> &KeepTree) {
   if (Backtrace.size() < 2)
     return;
   for (size_t I = Backtrace.size() - 1; I-- > 0;) {

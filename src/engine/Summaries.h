@@ -13,6 +13,14 @@
 /// to the function exit); the entry block's suffix summary is the function
 /// summary replayed at interprocedural cache hits.
 ///
+/// Container discipline: `Reached` is membership-only, so it hashes;
+/// `Edges`/`SuffixEdges` stay ordered because their iteration order (tuple
+/// text order) reaches report bytes through replay and relax. The consed-id
+/// memos (`HitSets`, `EntryHitSets`) cache positive answers to "is every
+/// tuple of this set already in Reached?" — sound because Reached only
+/// grows within a checker run and a root abort discards whole
+/// FunctionSummaries, memos included.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MC_ENGINE_SUMMARIES_H
@@ -24,6 +32,8 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace mc {
@@ -40,7 +50,7 @@ struct SummaryEdge {
   /// callee (VarState::FactKey), so a replayed instance groups and renders
   /// exactly like its inline-analyzed twin. Metadata, like ToTree: not part
   /// of edge identity.
-  std::string FactKey;
+  uint32_t FactKey = 0;
 
   bool isAdd() const { return From.Value == StateUnknown; }
   /// Global-only edges relate placeholder tuples; relax uses them to match
@@ -60,15 +70,20 @@ struct SummaryEdge {
 /// Per-block cache + effect edges + suffix edges.
 struct BlockSummary {
   /// Tuples that have reached this block (the cache_misses cache).
-  std::set<StateTuple> Reached;
+  /// Membership tests only — hashed, not ordered.
+  std::unordered_set<StateTuple, StateTupleHash> Reached;
   /// How the block transforms each entering tuple (includes identity and
-  /// the global-only edge).
+  /// the global-only edge). Ordered: iteration reaches report bytes.
   std::set<SummaryEdge> Edges;
-  /// Edges from this block's entry to the function exit.
+  /// Edges from this block's entry to the function exit. Ordered likewise.
   std::set<SummaryEdge> SuffixEdges;
 
-  /// ToTree lookup for replay (keyed by tree key).
-  std::map<std::string, const Expr *> Trees;
+  /// ToTree lookup for replay (keyed by tree-key symbol). Write-mostly.
+  std::unordered_map<uint32_t, const Expr *> Trees;
+
+  /// Consed set ids known to be fully contained in Reached (the block-cache
+  /// full-hit memo): one integer probe replaces the per-tuple subset walk.
+  std::unordered_set<uint32_t> HitSets;
 
   void addEdge(const SummaryEdge &E) {
     Edges.insert(E);
@@ -93,7 +108,8 @@ public:
 
   /// The entry block's Reached set records every tuple that entered the
   /// function; the interprocedural cache hit test checks against it.
-  const std::set<StateTuple> &entryTuples(const CFG &G) {
+  const std::unordered_set<StateTuple, StateTupleHash> &entryTuples(
+      const CFG &G) {
     return of(G.entry()).Reached;
   }
   /// The function summary: the entry block's suffix edges.
@@ -104,26 +120,33 @@ public:
 
   /// Records whether a tree key denotes a function-local object (local keys
   /// never enter suffix/function summaries — Figure 5's note about q).
-  std::map<std::string, bool> LocalKeys;
+  /// Probe-only: hashed.
+  std::unordered_map<uint32_t, bool> LocalKeys;
+
+  /// Consed set ids known to be contained in the entry block's Reached set
+  /// (the interprocedural cache-hit memo).
+  std::unordered_set<uint32_t> EntryHitSets;
 
 private:
-  std::map<const BasicBlock *, BlockSummary> Blocks;
+  std::unordered_map<const BasicBlock *, BlockSummary> Blocks;
 };
 
 /// One backtrace element: a block and the tuples the current path carried
-/// into it.
+/// into it. The tuples are an arena span owned by the traversal frame that
+/// pushed the entry (they outlive the entry — backtraces pop before their
+/// frame returns), so pushing a backtrace entry never heap-allocates.
 struct BacktraceEntry {
   const BasicBlock *Block;
-  std::vector<StateTuple> EntryTuples;
+  TupleSpan Entry;
 };
 
 /// The relax pass of Figure 6: walks the backtrace backwards, combining
 /// each block's summary edges with the suffix edges of the subsequent
 /// block. Suffix edges ending in stop are omitted, as are edges whose tree
 /// fails \p KeepTree (local variables never escape — Figure 5's note on q).
-void relaxSuffixSummaries(
-    const std::vector<BacktraceEntry> &Backtrace, FunctionSummaries &FS,
-    const std::function<bool(const std::string &)> &KeepTree);
+void relaxSuffixSummaries(const std::vector<BacktraceEntry> &Backtrace,
+                          FunctionSummaries &FS,
+                          const std::function<bool(uint32_t)> &KeepTree);
 
 } // namespace mc
 

@@ -6,6 +6,8 @@
 
 #include "fpp/CongruenceClosure.h"
 
+#include "metal/State.h" // symbolize
+
 #include <cassert>
 
 using namespace mc;
@@ -27,17 +29,28 @@ TermId CongruenceClosure::constant(long long V) {
 }
 
 TermId CongruenceClosure::variable(const std::string &Name) {
-  auto It = Variables.find(Name);
-  if (It != Variables.end())
+  uint32_t Sym = symbolize(Name);
+  auto It = NamedVariables.find(Sym);
+  if (It != NamedVariables.end())
     return It->second;
   TermId T = fresh();
-  Variables[Name] = T;
+  NamedVariables[Sym] = T;
   return T;
 }
 
-TermId CongruenceClosure::apply(const std::string &Op, TermId A, TermId B) {
+TermId CongruenceClosure::variable(const void *DeclKey, unsigned Version) {
+  DeclVarKey Key{DeclKey, Version};
+  auto It = DeclVariables.find(Key);
+  if (It != DeclVariables.end())
+    return It->second;
+  TermId T = fresh();
+  DeclVariables.emplace(Key, T);
+  return T;
+}
+
+TermId CongruenceClosure::apply(uint32_t Op, TermId A, TermId B) {
   TermId RA = find(A), RB = find(B);
-  std::string Sig = Op + "(" + std::to_string(RA) + "," + std::to_string(RB) + ")";
+  AppKey Sig{Op, RA, RB};
   auto It = AppSignatures.find(Sig);
   if (It != AppSignatures.end())
     return It->second;
@@ -47,10 +60,14 @@ TermId CongruenceClosure::apply(const std::string &Op, TermId A, TermId B) {
   N.Op = Op;
   N.Arg0 = RA;
   N.Arg1 = RB;
-  AppSignatures[Sig] = T;
+  AppSignatures.emplace(Sig, T);
   Nodes[RA].Uses.push_back(T);
   Nodes[RB].Uses.push_back(T);
   return T;
+}
+
+TermId CongruenceClosure::apply(const std::string &Op, TermId A, TermId B) {
+  return apply(symbolize(Op), A, B);
 }
 
 TermId CongruenceClosure::find(TermId A) const {
@@ -116,11 +133,10 @@ bool CongruenceClosure::recongruence(TermId MergedRep) {
     const Node &NU = Nodes[U];
     if (!NU.IsApp)
       continue;
-    std::string Sig = NU.Op + "(" + std::to_string(find(NU.Arg0)) + "," +
-                      std::to_string(find(NU.Arg1)) + ")";
+    AppKey Sig{NU.Op, find(NU.Arg0), find(NU.Arg1)};
     auto It = AppSignatures.find(Sig);
     if (It == AppSignatures.end()) {
-      AppSignatures[Sig] = U;
+      AppSignatures.emplace(Sig, U);
       continue;
     }
     if (find(It->second) != find(U))

@@ -21,6 +21,8 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace mc {
@@ -37,9 +39,19 @@ class CongruenceClosure {
 public:
   /// Returns the term for integer constant \p V.
   TermId constant(long long V);
-  /// Returns the term for a named variable version (e.g. "x#3").
+  /// Returns the term for a named variable version (e.g. "x#3"). Interns the
+  /// name; kept for tests and ad-hoc callers.
   TermId variable(const std::string &Name);
-  /// Returns the hash-consed application term Op(A, B).
+  /// Returns the term for version \p Version of the declaration identified
+  /// by \p DeclKey. This is the engine's hot path: the key is the exact
+  /// (pointer, version) pair — no name string is ever materialized, and
+  /// exact-equality keying means two distinct declarations can never be
+  /// conflated the way a hashed-and-packed key could.
+  TermId variable(const void *DeclKey, unsigned Version);
+  /// Returns the hash-consed application term Op(A, B); \p Op is an interned
+  /// operator symbol (see symbolize() in metal/State.h).
+  TermId apply(uint32_t Op, TermId A, TermId B);
+  /// String-op convenience (tests): interns \p Op and forwards.
   TermId apply(const std::string &Op, TermId A, TermId B);
 
   /// Asserts A == B. Returns false on contradiction (two distinct constants
@@ -69,10 +81,38 @@ private:
     std::optional<long long> Const;
     /// Application terms that mention this class (congruence worklist).
     std::vector<TermId> Uses;
-    /// For application terms: the signature pieces.
+    /// For application terms: the signature pieces. Op is an interned
+    /// operator symbol, making Node trivially cheap to copy at path splits.
     bool IsApp = false;
-    std::string Op;
+    uint32_t Op = 0;
     TermId Arg0 = 0, Arg1 = 0;
+  };
+
+  /// Canonical application signature Op(find(A), find(B)). Replaces the old
+  /// "op(a,b)" string keys: building one is three stores, not a snprintf.
+  struct AppKey {
+    uint32_t Op = 0;
+    TermId A = 0, B = 0;
+    friend bool operator==(const AppKey &, const AppKey &) = default;
+  };
+  struct AppKeyHash {
+    size_t operator()(const AppKey &K) const {
+      uint64_t H = uint64_t(K.Op) * 0x9e3779b97f4a7c15ULL;
+      H ^= uint64_t(K.A) * 0xff51afd7ed558ccdULL;
+      H ^= uint64_t(K.B) * 0xc4ceb9fe1a85ec53ULL;
+      return size_t(H ^ (H >> 32));
+    }
+  };
+  /// Exact (declaration pointer, version) pair. Hashing is only for bucket
+  /// placement — equality is exact, so collisions can never merge variables.
+  using DeclVarKey = std::pair<const void *, unsigned>;
+  struct DeclVarKeyHash {
+    size_t operator()(const DeclVarKey &K) const {
+      uint64_t H = uint64_t(reinterpret_cast<uintptr_t>(K.first)) *
+                   0x9e3779b97f4a7c15ULL;
+      H ^= uint64_t(K.second) * 0xff51afd7ed558ccdULL;
+      return size_t(H ^ (H >> 32));
+    }
   };
 
   TermId fresh();
@@ -87,8 +127,11 @@ private:
 
   std::vector<Node> Nodes{1}; // index 0 unused
   std::map<long long, TermId> Constants;
-  std::map<std::string, TermId> Variables;
-  std::map<std::string, TermId> AppSignatures;
+  /// Interned-name variables (test/ad-hoc entry point).
+  std::unordered_map<uint32_t, TermId> NamedVariables;
+  /// Engine variables keyed by exact (Decl*, version).
+  std::unordered_map<DeclVarKey, TermId, DeclVarKeyHash> DeclVariables;
+  std::unordered_map<AppKey, TermId, AppKeyHash> AppSignatures;
   /// Disequalities between class reps (kept canonical lazily).
   std::set<std::pair<TermId, TermId>> Diseqs;
   /// Ordering edges rep->rep; bool = strict.

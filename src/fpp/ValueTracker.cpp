@@ -6,16 +6,16 @@
 
 #include "fpp/ValueTracker.h"
 
-#include "cfront/ASTUtils.h" // exprKey
-#include "metal/Pattern.h"   // stripCasts
+#include "metal/Pattern.h" // stripCasts
+#include "metal/State.h"   // symbolize
 
 using namespace mc;
 
 TermId ValueTracker::currentVar(const Decl *D) const {
   auto It = Versions.find(D);
   unsigned V = It == Versions.end() ? 0 : It->second;
-  return CC.variable(std::string(D->name()) + "#" + std::to_string(V) + "@" +
-                     std::to_string(reinterpret_cast<uintptr_t>(D) & 0xffff));
+  // Decl-keyed lookup: no per-call name@version string is ever built.
+  return CC.variable(D, V);
 }
 
 TermId ValueTracker::freshVersion(const Decl *D) {
@@ -48,7 +48,8 @@ TermId ValueTracker::termOf(const Expr *E) const {
         return 0;
       if (auto C = CC.constantOf(S))
         return CC.constant(-*C);
-      return CC.apply("neg", S, S);
+      static const uint32_t NegOp = symbolize("neg");
+      return CC.apply(NegOp, S, S);
     }
     if (UO->opcode() == UnaryOperator::LNot) {
       TermId S = termOf(UO->sub());
@@ -56,7 +57,8 @@ TermId ValueTracker::termOf(const Expr *E) const {
         return 0;
       if (auto C = CC.constantOf(S))
         return CC.constant(*C == 0 ? 1 : 0);
-      return CC.apply("lnot", S, S);
+      static const uint32_t LNotOp = symbolize("lnot");
+      return CC.apply(LNotOp, S, S);
     }
     return 0;
   }
@@ -87,7 +89,8 @@ TermId ValueTracker::termOf(const Expr *E) const {
         }
         return CC.constant(V);
       }
-      return CC.apply(BinaryOperator::opcodeText(BO->opcode()), L, R);
+      return CC.apply(symbolize(BinaryOperator::opcodeText(BO->opcode())), L,
+                      R);
     }
     case BinaryOperator::Assign:
       // `(x = e)` as a value: the value is e's (the engine records the
@@ -123,7 +126,7 @@ void ValueTracker::assign(const Expr *LHS, const Expr *RHS) {
   if (const Expr *Src = stripCasts(RHS))
     if (const auto *SrcDRE = dyn_cast<DeclRefExpr>(Src))
       if (isa<VarDecl>(SrcDRE->decl()))
-        Rebind = RebindNote{exprKey(Src), true};
+        Rebind = RebindNote{Src, true};
 }
 
 void ValueTracker::havoc(const Expr *LHS) {

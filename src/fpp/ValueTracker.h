@@ -56,12 +56,13 @@ public:
   std::optional<long long> constantValue(const Expr *E) const;
 
   /// Witness-capture hook: when the most recent assign() was a clean plain
-  /// variable-to-variable copy (`x = y`), FromKey holds the canonical key of
-  /// the source variable. Anything else — constants, arithmetic, havocs —
-  /// invalidates the note. The engine consults this to journal synonym
-  /// rebindings the checker layer does not see.
+  /// variable-to-variable copy (`x = y`), From holds the source DeclRef.
+  /// Anything else — constants, arithmetic, havocs — invalidates the note.
+  /// The engine consults this to journal synonym rebindings the checker
+  /// layer does not see; it carries the Expr (not a key string) so the
+  /// common no-witness path never allocates.
   struct RebindNote {
-    std::string FromKey;
+    const Expr *From = nullptr;
     bool Valid = false;
   };
   RebindNote lastRebind() const { return Rebind; }

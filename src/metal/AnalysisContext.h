@@ -33,7 +33,7 @@ class SourceManager;
 /// deleting it when the value is StateStop.
 struct PathSpecificEffect {
   const Expr *Tree = nullptr;
-  std::string TreeKey;
+  uint32_t TreeKey = 0; ///< Interned exprKey of Tree.
   int TrueValue = StateStop;
   int FalseValue = StateStop;
 };

@@ -96,7 +96,8 @@ void MetalChecker::runActions(const std::vector<MetalAction> &Actions,
         Msg += Fmt[I];
       }
       ACtx.reportError(std::move(Msg), Instance,
-                       Instance ? Instance->FactKey : std::string());
+                       Instance ? std::string(symbolText(Instance->FactKey))
+                                : std::string());
       continue;
     }
     if (A.Fn == "set_global") {
@@ -132,16 +133,15 @@ void MetalChecker::runActions(const std::vector<MetalAction> &Actions,
     if (A.Fn == "data_set" || A.Fn == "data_inc" || A.Fn == "data_dec") {
       if (!Instance)
         continue;
-      long long D = Instance->Data.empty()
-                        ? 0
-                        : std::strtoll(Instance->Data.c_str(), nullptr, 10);
+      std::string Text(symbolText(Instance->Data));
+      long long D = Text.empty() ? 0 : std::strtoll(Text.c_str(), nullptr, 10);
       if (A.Fn == "data_set")
         D = A.Args.empty() ? 0 : A.Args[0].IntValue;
       else if (A.Fn == "data_inc")
         D += 1;
       else
         D -= 1;
-      Instance->Data = std::to_string(D);
+      Instance->Data = symbolize(std::to_string(D));
       continue;
     }
     // Unknown action names are ignored (forward compatibility), matching
@@ -165,8 +165,8 @@ void MetalChecker::execute(const CompiledTransition &CT, const Stmt *Point,
         Tree = It->second;
     }
     if (Tree)
-      ACtx.pathSpecific(PathSpecificEffect{Tree, exprKey(Tree), CT.TrueValue,
-                                           CT.FalseValue});
+      ACtx.pathSpecific(PathSpecificEffect{Tree, symbolize(exprKey(Tree)),
+                                           CT.TrueValue, CT.FalseValue});
     runActions(T.Actions, Point, B, Instance, ACtx);
     return;
   }
@@ -175,7 +175,7 @@ void MetalChecker::execute(const CompiledTransition &CT, const Stmt *Point,
     if (Instance) {
       // Capture identity before transition(): StateStop may sweep the
       // instance (and its synonyms) out from under us.
-      std::string Obj = Instance->TreeKey;
+      std::string Obj(symbolText(Instance->TreeKey));
       int Old = Instance->Value;
       ACtx.transition(*Instance, CT.DestValue);
       ACtx.noteTransition(Obj, stateName(Old), stateName(CT.DestValue));
@@ -198,8 +198,9 @@ void MetalChecker::execute(const CompiledTransition &CT, const Stmt *Point,
         // Remember the analysis fact behind the tracking: errors that share
         // it are grouped (e.g. all errors from one freeing function).
         if (const auto *CE = dyn_cast_or_null<CallExpr>(Point))
-          New.FactKey = std::string(CE->calleeName());
-        ACtx.noteTransition(New.TreeKey, "", stateName(CT.DestValue));
+          New.FactKey = symbolize(CE->calleeName());
+        ACtx.noteTransition(symbolText(New.TreeKey), "",
+                            stateName(CT.DestValue));
         runActions(T.Actions, Point, B, &New, ACtx);
         return;
       }
@@ -240,7 +241,7 @@ void MetalChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
   struct Planned {
     const CompiledTransition *CT;
     Bindings B;
-    std::string InstanceKey; ///< Empty for global-sourced transitions.
+    uint32_t InstanceKey = 0; ///< 0 for global-sourced transitions.
   };
   std::vector<Planned> Plan;
 
@@ -266,7 +267,7 @@ void MetalChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
         Bindings B;
         CalloutEnv Env{Point, &B, &ACtx, nullptr};
         if (CT.T->Pat->match(Point, B, Env))
-          Plan.push_back(Planned{&CT, std::move(B), std::string()});
+          Plan.push_back(Planned{&CT, std::move(B), 0});
       }
       continue;
     }
@@ -290,9 +291,8 @@ void MetalChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
   }
 
   for (Planned &P : Plan) {
-    VarState *Instance =
-        P.InstanceKey.empty() ? nullptr : SM.findByKey(P.InstanceKey);
-    if (!P.InstanceKey.empty() && !Instance)
+    VarState *Instance = P.InstanceKey ? SM.findByKey(P.InstanceKey) : nullptr;
+    if (P.InstanceKey && !Instance)
       continue; // A previous transition stopped it.
     execute(*P.CT, Point, P.B, Instance, ACtx);
   }

@@ -384,10 +384,8 @@ void mc::registerBuiltinCallouts(CalloutRegistry &Registry) {
         return false;
       long long N = Args.back().Kind == CalloutArg::Int ? Args.back().IntValue
                                                         : 0;
-      long long D =
-          Env.Instance->Data.empty()
-              ? 0
-              : std::strtoll(Env.Instance->Data.c_str(), nullptr, 10);
+      std::string Text(symbolText(Env.Instance->Data));
+      long long D = Text.empty() ? 0 : std::strtoll(Text.c_str(), nullptr, 10);
       return Ge ? D >= N : D <= N;
     };
   };

@@ -6,7 +6,49 @@
 
 #include "metal/State.h"
 
+#include "support/Allocator.h"
+#include "support/Interner.h"
+
 using namespace mc;
+
+uint32_t mc::symbolize(std::string_view S) {
+  if (S.empty())
+    return 0;
+  return Interner::global().intern(S);
+}
+
+std::string_view mc::symbolText(uint32_t Sym) {
+  if (!Sym)
+    return {};
+  return Interner::global().text(Sym);
+}
+
+uint32_t mc::lookupSymbol(std::string_view S) {
+  if (S.empty())
+    return 0;
+  return Interner::global().lookup(S);
+}
+
+bool mc::symbolTextLess(uint32_t A, uint32_t B) {
+  if (A == B)
+    return false;
+  return symbolText(A) < symbolText(B);
+}
+
+bool StateTuple::operator<(const StateTuple &RHS) const {
+  // Field order matches the historical string layout: (GState, TreeKey,
+  // Value, Data), with text comparison for the symbol fields so ordered
+  // containers keep their pre-interning iteration order.
+  if (GState != RHS.GState)
+    return GState < RHS.GState;
+  if (TreeKey != RHS.TreeKey)
+    return symbolText(TreeKey) < symbolText(RHS.TreeKey);
+  if (Value != RHS.Value)
+    return Value < RHS.Value;
+  if (Data != RHS.Data)
+    return symbolText(Data) < symbolText(RHS.Data);
+  return false;
+}
 
 std::vector<StateTuple> mc::tuplesOf(const SMInstance &SM) {
   std::vector<StateTuple> Tuples;
@@ -16,9 +58,27 @@ std::vector<StateTuple> mc::tuplesOf(const SMInstance &SM) {
     Tuples.push_back(StateTuple{SM.GState, VS.TreeKey, VS.Value, VS.Data});
   }
   if (Tuples.empty())
-    Tuples.push_back(StateTuple{SM.GState, std::string(), StateStop,
-                                std::string()});
+    Tuples.push_back(StateTuple{SM.GState, 0, StateStop, 0});
   return Tuples;
+}
+
+TupleSpan mc::tuplesOf(const SMInstance &SM, BumpPtrAllocator &Arena) {
+  uint32_t Live = 0;
+  for (const VarState &VS : SM.ActiveVars)
+    if (VS.live() && !VS.Inactive)
+      ++Live;
+  uint32_t N = Live ? Live : 1;
+  auto *Tuples = static_cast<StateTuple *>(
+      Arena.allocate(sizeof(StateTuple) * N, alignof(StateTuple)));
+  if (!Live) {
+    Tuples[0] = StateTuple{SM.GState, 0, StateStop, 0};
+    return TupleSpan{Tuples, 1};
+  }
+  uint32_t I = 0;
+  for (const VarState &VS : SM.ActiveVars)
+    if (VS.live() && !VS.Inactive)
+      Tuples[I++] = StateTuple{SM.GState, VS.TreeKey, VS.Value, VS.Data};
+  return TupleSpan{Tuples, Live};
 }
 
 std::string mc::tupleStr(const StateTuple &T,
@@ -32,7 +92,7 @@ std::string mc::tupleStr(const StateTuple &T,
   } else {
     Out.append(VarName);
     Out += ':';
-    Out += T.TreeKey;
+    Out += symbolText(T.TreeKey);
     Out += "->";
     Out += T.Value == StateUnknown ? "unknown" : StateName(T.Value);
   }

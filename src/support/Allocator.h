@@ -34,10 +34,11 @@ public:
   BumpPtrAllocator &operator=(const BumpPtrAllocator &) = delete;
   BumpPtrAllocator(BumpPtrAllocator &&Other) noexcept
       : Slabs(std::move(Other.Slabs)), Cur(Other.Cur), End(Other.End),
-        BytesAllocated(Other.BytesAllocated) {
+        BytesAllocated(Other.BytesAllocated), MaxSlabs(Other.MaxSlabs) {
     Other.Slabs.clear();
     Other.Cur = Other.End = nullptr;
     Other.BytesAllocated = 0;
+    Other.MaxSlabs = 0;
   }
   ~BumpPtrAllocator() { reset(); }
 
@@ -50,8 +51,10 @@ public:
       P = reinterpret_cast<uintptr_t>(Cur);
       Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
     }
+    // Account for alignment padding too, so bytesAllocated() reflects what
+    // the slab actually lost, not just the sum of requested sizes.
+    BytesAllocated += Size + (Aligned - P);
     Cur = reinterpret_cast<char *>(Aligned + Size);
-    BytesAllocated += Size;
     return reinterpret_cast<void *>(Aligned);
   }
 
@@ -77,10 +80,42 @@ public:
     Slabs.clear();
     Cur = End = nullptr;
     BytesAllocated = 0;
+    MaxSlabs = 0;
   }
 
-  /// Total bytes handed out (excludes slab slack).
+  /// A restore point for stack-disciplined (LIFO) use. Allocations made
+  /// after mark() are released by rewind(); anything allocated before stays
+  /// valid. The engine's DFS traversal is strictly nested, so each frame
+  /// can mark on entry and rewind on exit, bounding arena growth by the
+  /// live path instead of the whole root.
+  struct Mark {
+    size_t NumSlabs = 0;
+    char *Cur = nullptr;
+    char *End = nullptr;
+  };
+
+  Mark mark() const { return Mark{Slabs.size(), Cur, End}; }
+
+  /// Releases everything allocated since \p M was taken. Slabs grown after
+  /// the mark are freed; cumulative byte accounting is NOT rolled back
+  /// (bytesAllocated() stays the total ever handed out until reset()).
+  void rewind(const Mark &M) {
+    while (Slabs.size() > M.NumSlabs)
+      std::free(Slabs.back()), Slabs.pop_back();
+    Cur = M.Cur;
+    End = M.End;
+  }
+
+  /// Cumulative bytes handed out (including alignment padding, excluding
+  /// slab slack). Monotone until reset().
   size_t bytesAllocated() const { return BytesAllocated; }
+
+  /// Current slab count.
+  size_t numSlabs() const { return Slabs.size(); }
+
+  /// High-water slab count since the last reset() (rewind() frees slabs, so
+  /// numSlabs() alone under-reports the footprint of a LIFO workload).
+  size_t maxSlabs() const { return MaxSlabs; }
 
 private:
   void growSlab(size_t MinSize) {
@@ -89,6 +124,8 @@ private:
       SlabSize = MinSize;
     char *S = static_cast<char *>(std::malloc(SlabSize));
     Slabs.push_back(S);
+    if (Slabs.size() > MaxSlabs)
+      MaxSlabs = Slabs.size();
     Cur = S;
     End = S + SlabSize;
   }
@@ -98,6 +135,20 @@ private:
   char *Cur = nullptr;
   char *End = nullptr;
   size_t BytesAllocated = 0;
+  size_t MaxSlabs = 0;
+};
+
+/// RAII frame for BumpPtrAllocator's mark/rewind discipline.
+class BumpScope {
+public:
+  explicit BumpScope(BumpPtrAllocator &A) : A(A), M(A.mark()) {}
+  ~BumpScope() { A.rewind(M); }
+  BumpScope(const BumpScope &) = delete;
+  BumpScope &operator=(const BumpScope &) = delete;
+
+private:
+  BumpPtrAllocator &A;
+  BumpPtrAllocator::Mark M;
 };
 
 } // namespace mc

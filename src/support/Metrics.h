@@ -154,7 +154,9 @@ private:
   X(RootsQuarantined, "ladder.roots.quarantined", "roots-quarantined",         \
     "roots_quarantined")                                                       \
   X(DegradationRetries, "ladder.retries", "degradation-retries",               \
-    "degradation_retries")
+    "degradation_retries")                                                     \
+  X(ArenaBytes, "arena.bytes", "arena-bytes", "arena_bytes")                   \
+  X(ArenaSlabs, "arena.slabs", "arena-slabs", "arena_slabs")
 
 } // namespace mc
 

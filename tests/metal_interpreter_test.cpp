@@ -42,7 +42,7 @@ public:
   VarState &createInstance(const Expr *Tree, int Value) override {
     VarState VS;
     VS.Tree = Tree;
-    VS.TreeKey = exprKey(Tree);
+    VS.TreeKey = symbolize(exprKey(Tree));
     VS.Value = Value;
     VS.CreatedAt = TopStmt;
     SMI.ActiveVars.push_back(std::move(VS));
@@ -123,7 +123,7 @@ TEST(MetalInterpreter, CreationAttachesStateAndMarks) {
   C->checkPoint(Call, ACtx);
   EXPECT_TRUE(ACtx.Transitioned);
   ASSERT_EQ(ACtx.SMI.ActiveVars.size(), 1u);
-  EXPECT_EQ(ACtx.SMI.ActiveVars[0].TreeKey, "p");
+  EXPECT_EQ(symbolText(ACtx.SMI.ActiveVars[0].TreeKey), "p");
   EXPECT_EQ(C->stateName(ACtx.SMI.ActiveVars[0].Value), "freed");
 }
 
@@ -225,7 +225,7 @@ TEST(MetalInterpreter, PathSpecificAtBranchQueuesEffect) {
   ACtx.InCondition = true;
   C->checkPoint(Try, ACtx);
   ASSERT_EQ(ACtx.Effects.size(), 1u);
-  EXPECT_EQ(ACtx.Effects[0].TreeKey, "p");
+  EXPECT_EQ(symbolText(ACtx.Effects[0].TreeKey), "p");
   EXPECT_EQ(C->stateName(ACtx.Effects[0].TrueValue), "locked");
   EXPECT_EQ(ACtx.Effects[0].FalseValue, StateStop);
 }
@@ -239,14 +239,14 @@ TEST(MetalInterpreter, DataValueActions) {
   ACtx.TopStmt = Lock1;
   C->checkPoint(Lock1, ACtx);
   ASSERT_EQ(ACtx.SMI.ActiveVars.size(), 1u);
-  EXPECT_EQ(ACtx.SMI.ActiveVars[0].Data, "1"); // data_set(1) at creation
+  EXPECT_EQ(symbolText(ACtx.SMI.ActiveVars[0].Data), "1"); // data_set(1)
   const Expr *Lock2 = L.expr("rlock(q) , rlock(p)");
   // Use a distinct statement so the transition can fire; match on p again.
   const Expr *Again = L.expr("rlock(p)");
   (void)Lock2;
   ACtx.TopStmt = Again;
   C->checkPoint(Again, ACtx);
-  EXPECT_EQ(ACtx.SMI.ActiveVars[0].Data, "2"); // data_inc()
+  EXPECT_EQ(symbolText(ACtx.SMI.ActiveVars[0].Data), "2"); // data_inc()
 }
 
 TEST(MetalInterpreter, UnknownActionsIgnored) {
@@ -275,7 +275,7 @@ TEST(MetalInterpreter, EndOfPathGlobalAndInstance) {
   ACtx2.SMI.GState = Lock->initialGlobalState();
   VarState VS;
   VS.Tree = L.expr("p");
-  VS.TreeKey = "p";
+  VS.TreeKey = symbolize("p");
   VS.Value = Lock->stateId("locked");
   ACtx2.SMI.ActiveVars.push_back(VS);
   Lock->checkEndOfPath(&ACtx2.SMI.ActiveVars[0], ACtx2);

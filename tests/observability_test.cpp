@@ -308,7 +308,7 @@ TEST(Formatters, StatsLineMatchesHistoricalShape) {
             "pruned=0 kills=0 synonyms=0 index-lookups=0 index-tried=4 "
             "index-skipped=0 index-blocks-skipped=0 deadline-hits=0 "
             "state-limit-hits=0 roots-degraded=0 roots-quarantined=0 "
-            "degradation-retries=0\n");
+            "degradation-retries=0 arena-bytes=0 arena-slabs=0\n");
 }
 
 TEST(Formatters, ProfileRanksByCalloutTime) {
@@ -342,7 +342,8 @@ TEST(Formatters, StatsLineEqualsLegacyEngineStatsFields) {
   raw_string_ostream OS(Line);
   formatStatsText(S.toMetrics(), OS);
   EXPECT_NE(Line.find("points=1 blocks=2 paths=3"), std::string::npos);
-  EXPECT_NE(Line.find("degradation-retries=4\n"), std::string::npos);
+  EXPECT_NE(Line.find("degradation-retries=4 "), std::string::npos);
+  EXPECT_NE(Line.find("arena-bytes=0 arena-slabs=0\n"), std::string::npos);
 }
 
 } // namespace

@@ -128,8 +128,8 @@ TEST(Figure5, FunctionSummaryTransportsParameters) {
   ASSERT_NE(Entry, nullptr);
   bool SawP = false, SawW = false;
   for (const SummaryEdge &E : Entry->SuffixEdges) {
-    SawP |= E.To.TreeKey == "p";
-    SawW |= E.To.TreeKey == "w";
+    SawP |= symbolText(E.To.TreeKey) == "p";
+    SawW |= symbolText(E.To.TreeKey) == "w";
   }
   EXPECT_TRUE(SawP);
   EXPECT_TRUE(SawW);
@@ -144,7 +144,7 @@ TEST(Figure5, EntryCacheRecordsReachingTuples) {
   // The caller enters contrived with p freed.
   bool Found = false;
   for (const StateTuple &T : Entry->Reached)
-    Found |= T.TreeKey == "p" &&
+    Found |= symbolText(T.TreeKey) == "p" &&
              L.FreeChecker->stateName(T.Value) == "freed";
   EXPECT_TRUE(Found);
 }
@@ -187,14 +187,14 @@ TEST(Summaries, GlobalStateTransitionsSummarized) {
 }
 
 TEST(Summaries, TupleStrNotation) {
-  StateTuple Placeholder{1, "", StateStop, ""};
-  StateTuple Var{1, "p", 2, ""};
+  StateTuple Placeholder{1, 0, StateStop, 0};
+  StateTuple Var{1, symbolize("p"), 2, 0};
   auto Name = [](int Id) {
     return std::string(Id == 1 ? "start" : Id == 2 ? "freed" : "stop");
   };
   EXPECT_EQ(tupleStr(Placeholder, Name), "(start, <>)");
   EXPECT_EQ(tupleStr(Var, Name, "v"), "(start, v:p->freed)");
-  StateTuple Unknown{1, "p", StateUnknown, ""};
+  StateTuple Unknown{1, symbolize("p"), StateUnknown, 0};
   EXPECT_EQ(tupleStr(Unknown, Name, "v"), "(start, v:p->unknown)");
 }
 
