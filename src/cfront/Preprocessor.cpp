@@ -7,6 +7,7 @@
 #include "cfront/Preprocessor.h"
 
 #include "cfront/Lexer.h"
+#include "support/Hash.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
@@ -624,4 +625,20 @@ unsigned Preprocessor::preprocessBuffer(const std::string &Name,
   unsigned RawID = SM.addBuffer(Name + " (raw)", std::move(Text));
   std::string Expanded = preprocess(RawID);
   return SM.addBuffer(Name, std::move(Expanded));
+}
+
+uint64_t mc::tokenStreamHash(const SourceManager &SM, unsigned FileID) {
+  // Lexing with a null diagnostic engine: malformed tokens still produce a
+  // deterministic stream, and the parse that follows reports them properly.
+  Lexer L(SM, FileID, /*Diags=*/nullptr);
+  uint64_t H = kFnvOffsetBasis;
+  for (;;) {
+    Token T = L.lex();
+    if (T.Kind == Tok::Eof)
+      break;
+    H = fnv1a64((uint64_t)T.Loc.offset(), H);
+    H = fnv1a64(T.Text, H);
+    H = fnv1a64((uint64_t)0x1F, H); // token separator
+  }
+  return H;
 }

@@ -99,6 +99,18 @@ private:
   std::vector<CondState> CondStack;
 };
 
+/// Hashes the post-preprocess token stream of the registered buffer
+/// \p FileID (normally the expanded buffer a TU's parse consumes). This is
+/// the AST-store cache key: two TUs with the same hash parse to the same
+/// AST *and* the same diagnostics/locations.
+///
+/// The hash covers each token's byte offset as well as its text: source
+/// locations feed report line numbers, so a pure-whitespace edit that moves
+/// code must invalidate the cached image even though the token texts are
+/// unchanged. Comments and macro indirection are already erased by the
+/// preprocessor, so those still hit.
+uint64_t tokenStreamHash(const SourceManager &SM, unsigned FileID);
+
 } // namespace mc
 
 #endif // MC_CFRONT_PREPROCESSOR_H

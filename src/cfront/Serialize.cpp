@@ -24,6 +24,7 @@
 
 #include <cstdio>
 #include <map>
+#include <set>
 #include <vector>
 
 using namespace mc;
@@ -31,6 +32,10 @@ using namespace mc;
 namespace {
 
 constexpr char Magic[] = "MAST2\n";
+// Per-TU images (the AST store's payload) use a separate magic: they carry
+// no file table and encode locations relative to the owning TU, so the two
+// grammars are not interchangeable.
+constexpr char MagicTU[] = "MASTU\n";
 
 //===----------------------------------------------------------------------===//
 // Writer
@@ -38,7 +43,7 @@ constexpr char Magic[] = "MAST2\n";
 
 class Writer {
 public:
-  Writer(const ASTContext &Ctx, const SourceManager *SM) : Ctx(Ctx), SM(SM) {}
+  Writer(const ASTContext *Ctx, const SourceManager *SM) : Ctx(Ctx), SM(SM) {}
 
   std::string run() {
     Out.append(Magic, sizeof(Magic) - 1);
@@ -52,15 +57,42 @@ public:
     } else {
       varint(0);
     }
-    std::vector<const Decl *> Top(Ctx.topLevelDecls().begin(),
-                                  Ctx.topLevelDecls().end());
-    for (const FunctionDecl *FD : Ctx.functions())
+    std::vector<const Decl *> Top(Ctx->topLevelDecls().begin(),
+                                  Ctx->topLevelDecls().end());
+    for (const FunctionDecl *FD : Ctx->functions())
       Top.push_back(FD); // Implicit decls may be absent from topLevelDecls.
     varint(Top.size());
     for (const Decl *D : Top)
       writeDeclRef(D);
-    for (const FunctionDecl *FD : Ctx.functions()) {
+    for (const FunctionDecl *FD : Ctx->functions()) {
       if (!FD->isDefined())
+        continue;
+      byte(1);
+      writeDeclRef(FD);
+      writeStmt(FD->body());
+    }
+    byte(0);
+    return std::move(Out);
+  }
+
+  /// Per-TU image: both parse sinks in recorded order, then bodies for the
+  /// functions this TU defines. Bodies of functions the sinks mention but
+  /// some other TU defines are *not* written — they belong to that TU's
+  /// image (the store refuses to record a TU whose definitions leaked
+  /// elsewhere; see XgccTool's cacheability guard).
+  std::string runTU(const std::vector<Decl *> &Top,
+                    const std::vector<FunctionDecl *> &Fns, unsigned FileID) {
+    TUMode = true;
+    TUFileID = FileID;
+    Out.append(MagicTU, sizeof(MagicTU) - 1);
+    varint(Top.size());
+    for (const Decl *D : Top)
+      writeDeclRef(D);
+    varint(Fns.size());
+    for (const FunctionDecl *FD : Fns)
+      writeDeclRef(FD);
+    for (const FunctionDecl *FD : Fns) {
+      if (!FD->isDefined() || FD->fileID() != TUFileID)
         continue;
       byte(1);
       writeDeclRef(FD);
@@ -84,6 +116,15 @@ private:
     Out.append(S);
   }
   void loc(SourceLoc L) {
+    if (TUMode) {
+      // Own/foreign encoding: a location inside this TU's expanded buffer is
+      // written as file 1 and rebound to the loading run's buffer id; any
+      // other file id (a decl merged from another TU, or an invalid loc) is
+      // written as 0. Raw ids would tie the image to one input ordering.
+      varint(L.fileID() == TUFileID && TUFileID != 0 ? 1 : 0);
+      varint(L.offset());
+      return;
+    }
     varint(L.fileID());
     varint(L.offset());
   }
@@ -172,7 +213,8 @@ private:
     case Decl::DK_Function: {
       const auto *FD = cast<FunctionDecl>(D);
       byte(FD->isFileStatic());
-      varint(FD->fileID());
+      varint(TUMode ? uint64_t(FD->fileID() == TUFileID ? 1 : 0)
+                    : uint64_t(FD->fileID()));
       writeType(FD->type());
       varint(FD->numParams());
       for (const VarDecl *P : FD->params())
@@ -372,13 +414,15 @@ private:
     }
   }
 
-  const ASTContext &Ctx;
+  const ASTContext *Ctx;
   const SourceManager *SM;
   std::string Out;
   std::map<const Type *, unsigned> TypeIds;
   std::map<const Decl *, unsigned> DeclIds;
   unsigned NextTypeId = 0;
   unsigned NextDeclId = 0;
+  bool TUMode = false;
+  unsigned TUFileID = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -430,6 +474,74 @@ public:
         return fail("body attached to a non-function", ErrorOut);
       FD->setBody(cast<CompoundStmt>(Body));
     }
+    return true;
+  }
+
+  /// Per-TU image load. Mirrors a redirected parallel parse: created decls
+  /// land in the TU's sinks, already-known functions merge by name, and the
+  /// sink membership rules match Parser::noteFunction (a merged function
+  /// belongs to the TU that created it, not to this one).
+  bool runTU(unsigned FileID, std::vector<Decl *> &TopSinkOut,
+             std::vector<FunctionDecl *> &FnSinkOut, std::string *ErrorOut) {
+    TUMode = true;
+    TUFileID = FileID;
+    TopSink = &TopSinkOut;
+    FnSink = &FnSinkOut;
+    if (Image.size() < sizeof(MagicTU) - 1 ||
+        Image.compare(0, sizeof(MagicTU) - 1, MagicTU) != 0)
+      return fail("bad magic", ErrorOut);
+    Pos = sizeof(MagicTU) - 1;
+    uint64_t NumTop = varint();
+    if (NumTop > Image.size())
+      return fail("corrupt top-level table", ErrorOut);
+    for (uint64_t I = 0; I != NumTop; ++I) {
+      Decl *D = readDeclRef();
+      if (Failed || !D)
+        return fail("malformed declaration", ErrorOut);
+      // A function that merged with a pre-existing decl was pushed to the
+      // creating TU's sinks already; everything else is this TU's to keep.
+      if (auto *FD = dyn_cast<FunctionDecl>(D))
+        if (!Created.count(FD))
+          continue;
+      TopSink->push_back(D);
+    }
+    uint64_t NumFns = varint();
+    if (NumFns > Image.size())
+      return fail("corrupt function table", ErrorOut);
+    for (uint64_t I = 0; I != NumFns; ++I) {
+      auto *FD = dyn_cast_or_null<FunctionDecl>(readDeclRef());
+      if (Failed || !FD)
+        return fail("malformed function declaration", ErrorOut);
+      if (Created.count(FD) && FnsSunk.insert(FD).second)
+        FnSink->push_back(FD);
+    }
+    for (;;) {
+      uint8_t Tag = byte();
+      if (Failed)
+        return fail("truncated body section", ErrorOut);
+      if (Tag == 0)
+        break;
+      if (Tag != 1)
+        return fail("unexpected record in body section", ErrorOut);
+      Decl *D = readDeclRef();
+      const Stmt *Body = readStmt();
+      if (Failed)
+        return fail("malformed function body", ErrorOut);
+      auto *FD = dyn_cast_or_null<FunctionDecl>(D);
+      if (!FD || !Body || !isa<CompoundStmt>(Body))
+        return fail("body attached to a non-function", ErrorOut);
+      // Mirror the parser's definition path: the body binds the function to
+      // this TU's expanded buffer even when the decl merged from elsewhere.
+      FD->setBody(cast<CompoundStmt>(Body));
+      FD->setFileID(TUFileID);
+    }
+    // Functions first created inside a body (callees the recording schedule
+    // attributed to another TU): adopt them as this TU's implicit decls so
+    // they reach Ctx.functions() through the splice, like a cold parse's
+    // implicit-declaration path would.
+    for (FunctionDecl *FD : CreatedFns)
+      if (FnsSunk.insert(FD).second)
+        FnSink->push_back(FD);
     return true;
   }
 
@@ -486,6 +598,8 @@ private:
   SourceLoc loc() {
     unsigned File = varint();
     unsigned Off = varint();
+    if (TUMode)
+      return SourceLoc(File == 1 ? TUFileID : 0, Off);
     if (File != 0 && File <= FileRemap.size())
       return SourceLoc(FileRemap[File - 1], Off);
     return SourceLoc(SM ? 0 : File, Off);
@@ -598,6 +712,8 @@ private:
     case Decl::DK_Function: {
       bool FileStatic = byte();
       unsigned FileID = varint();
+      if (TUMode)
+        FileID = FileID == 1 ? TUFileID : 0;
       const Type *Ty = readType();
       uint64_t N = varint();
       std::vector<VarDecl *> Params;
@@ -613,6 +729,32 @@ private:
       if (!FT) {
         Failed = true;
         return nullptr;
+      }
+      if (TUMode) {
+        // Find-or-create under the same lock discipline as the parser. The
+        // sinks are filled by runTU's list walks, not here.
+        FunctionDecl *FD = nullptr;
+        bool CreatedNow = false;
+        {
+          auto Lock = Ctx.functionLock();
+          FD = Ctx.findFunctionLocked(Name);
+          if (FD) {
+            if (!FD->isDefined() && !Params.empty())
+              FD->setParams(Ctx.allocateArray(Params));
+          } else {
+            FD = Ctx.create<FunctionDecl>(L, Name, FT,
+                                          Ctx.allocateArray(Params),
+                                          FileStatic, FileID);
+            Ctx.indexFunctionLocked(FD);
+            CreatedNow = true;
+          }
+        }
+        Decls[Slot] = FD;
+        if (CreatedNow) {
+          Created.insert(FD);
+          CreatedFns.push_back(FD);
+        }
+        return FD;
       }
       // Merging multiple images into one context: reuse the existing decl.
       if (FunctionDecl *Existing = Ctx.findFunction(Name)) {
@@ -852,17 +994,39 @@ private:
   std::vector<const Type *> Types;
   std::vector<Decl *> Decls;
   std::vector<unsigned> FileRemap;
+  // Per-TU mode state.
+  bool TUMode = false;
+  unsigned TUFileID = 0;
+  std::vector<Decl *> *TopSink = nullptr;
+  std::vector<FunctionDecl *> *FnSink = nullptr;
+  std::set<const Decl *> Created;
+  std::set<const FunctionDecl *> FnsSunk;
+  std::vector<FunctionDecl *> CreatedFns;
 };
 
 } // namespace
 
 std::string mc::writeMast(const ASTContext &Ctx, const SourceManager *SM) {
-  return Writer(Ctx, SM).run();
+  return Writer(&Ctx, SM).run();
 }
 
 bool mc::readMast(const std::string &Image, ASTContext &Ctx,
                   std::string *ErrorOut, SourceManager *SM) {
   return Reader(Image, Ctx, SM).run(ErrorOut);
+}
+
+std::string mc::writeMastTU(const std::vector<Decl *> &TopLevel,
+                            const std::vector<FunctionDecl *> &Fns,
+                            unsigned TUFileID) {
+  return Writer(nullptr, nullptr).runTU(TopLevel, Fns, TUFileID);
+}
+
+bool mc::readMastTU(const std::string &Image, ASTContext &Ctx,
+                    unsigned TUFileID, std::vector<Decl *> &TopLevelSink,
+                    std::vector<FunctionDecl *> &FnsSink,
+                    std::string *ErrorOut) {
+  return Reader(Image, Ctx, nullptr)
+      .runTU(TUFileID, TopLevelSink, FnsSink, ErrorOut);
 }
 
 bool mc::writeFileBytes(const std::string &Path, const std::string &Image) {

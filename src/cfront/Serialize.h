@@ -17,10 +17,13 @@
 #define MC_CFRONT_SERIALIZE_H
 
 #include <string>
+#include <vector>
 
 namespace mc {
 
 class ASTContext;
+class Decl;
+class FunctionDecl;
 class SourceManager;
 
 /// Serializes every top-level declaration of \p Ctx into a byte image.
@@ -35,6 +38,30 @@ std::string writeMast(const ASTContext &Ctx, const SourceManager *SM = nullptr);
 /// location is remapped accordingly.
 bool readMast(const std::string &Image, ASTContext &Ctx, std::string *ErrorOut,
               SourceManager *SM = nullptr);
+
+/// Serializes one translation unit's parse products — its top-level sink
+/// \p TopLevel and function sink \p Fns as filled by a redirected parallel
+/// parse (Parser::redirectTopLevel) — into a self-contained byte image.
+///
+/// Unlike writeMast, the image carries no file table and no raw file ids:
+/// every location is encoded as "own" (belongs to the TU's expanded buffer
+/// \p TUFileID) or "foreign", so the image depends only on the TU's token
+/// content, never on its position in the input list. This is what lets the
+/// AST store key such images by token-stream hash alone.
+std::string writeMastTU(const std::vector<Decl *> &TopLevel,
+                        const std::vector<FunctionDecl *> &Fns,
+                        unsigned TUFileID);
+
+/// Deserializes a writeMastTU image into \p Ctx, rebinding "own" locations
+/// to \p TUFileID (the freshly registered expanded buffer, which must hold
+/// the same token stream the image was recorded from). Created declarations
+/// go to \p TopLevelSink / \p FnsSink exactly as a redirected parse would
+/// fill them; functions that already exist in \p Ctx are merged by name,
+/// mirroring the parser's find-or-create. Returns false on a malformed
+/// image; \p ErrorOut receives a reason.
+bool readMastTU(const std::string &Image, ASTContext &Ctx, unsigned TUFileID,
+                std::vector<Decl *> &TopLevelSink,
+                std::vector<FunctionDecl *> &FnsSink, std::string *ErrorOut);
 
 /// Writes \p Image to \p Path. Returns false on I/O failure.
 bool writeFileBytes(const std::string &Path, const std::string &Image);

@@ -6,6 +6,8 @@
 
 #include "checkers/BuiltinCheckers.h"
 
+#include "support/Hash.h"
+
 using namespace mc;
 
 namespace {
@@ -208,7 +210,11 @@ mc::compileMetalChecker(const std::string &Source, const std::string &BufName,
   std::unique_ptr<CheckerSpec> Spec = parseMetal(Source, BufName, SM, Diags);
   if (!Spec)
     return nullptr;
-  return std::make_unique<MetalChecker>(std::move(Spec));
+  auto Checker = std::make_unique<MetalChecker>(std::move(Spec));
+  // Summary-store keys must see a different checker when the metal source
+  // changes, even though the name stays the same.
+  Checker->setFingerprintSalt(fnv1a64(Source));
+  return Checker;
 }
 
 std::unique_ptr<MetalChecker>

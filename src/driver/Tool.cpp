@@ -6,10 +6,13 @@
 
 #include "driver/Tool.h"
 
+#include "engine/Summaries.h"
+#include "support/Hash.h"
 #include "support/RawOstream.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <deque>
 
 using namespace mc;
@@ -62,6 +65,9 @@ bool XgccTool::addSourceFiles(const std::vector<std::string> &Paths,
     std::vector<Decl *> TopLevel;
     std::vector<FunctionDecl *> Fns;
     bool ParseOk = false;
+    uint64_t TokenHash = 0;       ///< Post-preprocess token-stream hash.
+    bool FirstWithHash = false;   ///< First TU with this hash in the batch.
+    bool Loaded = false;          ///< Deserialized from the AST store.
   };
   std::deque<TUState> TUs;
 
@@ -92,10 +98,50 @@ bool XgccTool::addSourceFiles(const std::vector<std::string> &Paths,
     if (TU.RawID)
       TU.FileID = SM.addBuffer(TU.Path, std::move(TU.Expanded));
 
+  // Stage 3b (parallel): token-stream hashes — the AST-store key and the
+  // basis of every summary-store function content hash.
+  if (Cache)
+    Pool.parallelFor(TUs.size(), [&](size_t I) {
+      TUState &TU = TUs[I];
+      if (TU.RawID)
+        TU.TokenHash = tokenStreamHash(SM, TU.FileID);
+    });
+
+  // Stage 3c (serial, input order): probe the AST store. Only the *first*
+  // TU with a given token hash may load — a later duplicate must parse cold
+  // so cross-TU redefinition diagnostics replay exactly as they would in an
+  // uncached run.
+  if (Cache) {
+    std::set<uint64_t> SeenHashes;
+    for (TUState &TU : TUs) {
+      if (!TU.RawID)
+        continue;
+      TU.FirstWithHash = SeenHashes.insert(TU.TokenHash).second;
+      if (!TU.FirstWithHash)
+        continue;
+      std::string Image;
+      if (!Cache->load(AnalysisCache::Kind::Ast, TU.TokenHash, Image))
+        continue;
+      std::string Error;
+      if (!readMastTU(Image, Ctx, TU.FileID, TU.TopLevel, TU.Fns, &Error)) {
+        errs() << "xgcc: cache: dropping corrupt entry for '" << TU.Path
+               << "' (" << Error << ")\n";
+        Cache->dropEntry(AnalysisCache::Kind::Ast, TU.TokenHash);
+        Cache->bump(kCacheAstMisses);
+        TU.TopLevel.clear();
+        TU.Fns.clear();
+        continue;
+      }
+      Cache->bump(kCacheAstHits);
+      TU.Loaded = true;
+      TU.ParseOk = true;
+    }
+  }
+
   // Stage 4 (parallel): parse into per-TU sinks and thread-local arenas.
   Pool.parallelFor(TUs.size(), [&](size_t I) {
     TUState &TU = TUs[I];
-    if (!TU.RawID)
+    if (!TU.RawID || TU.Loaded)
       return;
     ASTContext::ParallelArenaScope Scope(Ctx);
     Parser P(Ctx, SM, *TU.TUDiags, TU.FileID);
@@ -130,7 +176,49 @@ bool XgccTool::addSourceFiles(const std::vector<std::string> &Paths,
       Diags.report(D.Kind, D.Loc, D.Message);
     Ok &= TU.ParseOk;
   }
+
+  // Stage 6 (serial): summary-key bookkeeping, then record images for the
+  // cacheable misses. A TU is recorded only when its parse was clean AND
+  // every function defined under its file id landed in its own sink — a
+  // definition whose FunctionDecl another TU created would be lost from the
+  // image (bodies are written for own-sink functions only), so such TUs
+  // stay uncached rather than round-trip wrong.
+  if (Cache) {
+    std::map<unsigned, unsigned> DefinedByFile;
+    for (const FunctionDecl *FD : Ctx.functions())
+      if (FD->isDefined())
+        ++DefinedByFile[FD->fileID()];
+    for (TUState &TU : TUs) {
+      if (!TU.RawID || !TU.ParseOk)
+        continue;
+      TUTokenHash[TU.FileID] = TU.TokenHash;
+      TUPathByFile[TU.FileID] = TU.Path;
+      if (TU.Loaded || !TU.FirstWithHash || !TU.TUDiags->all().empty())
+        continue;
+      unsigned DefinedInSink = 0;
+      for (const FunctionDecl *FD : TU.Fns)
+        if (FD->isDefined() && FD->fileID() == TU.FileID)
+          ++DefinedInSink;
+      if (DefinedInSink != DefinedByFile[TU.FileID])
+        continue;
+      Cache->store(AnalysisCache::Kind::Ast, TU.TokenHash,
+                   writeMastTU(TU.TopLevel, TU.Fns, TU.FileID));
+    }
+  }
   return Ok;
+}
+
+void XgccTool::setCacheDir(const std::string &Dir) {
+  Cache = std::make_unique<AnalysisCache>(Dir);
+}
+
+void XgccTool::finishCache() {
+  if (!Cache || CacheFinished)
+    return;
+  CacheFinished = true;
+  if (CacheMaxMB)
+    Cache->evictToLimit(CacheMaxMB * 1024 * 1024);
+  Cache->bump(kCacheBytes, Cache->diskBytes());
 }
 
 bool XgccTool::addMastFile(const std::string &Path) {
@@ -321,6 +409,332 @@ void XgccTool::runSharded(Checker &C, const EngineOptions &Opts,
         ShardedAnnotations[Node][Key] = Value;
 }
 
+namespace {
+
+/// Fingerprint of every EngineOptions field that can change report bytes.
+/// Jobs, EnableStateInterning, EnableDispatchIndex and the output-routing
+/// Reporting fields are deliberately absent: the determinism contract says
+/// none of them may change a report, so summary keys ignore them and a warm
+/// run replays correctly under any of those toggles.
+uint64_t engineConfigFingerprint(const EngineOptions &O) {
+  uint64_t H = fnv1a64("engine-config-v1");
+  auto MixBool = [&H](bool B) { H = fnv1a64(uint64_t(B), H); };
+  MixBool(O.EnableBlockCache);
+  MixBool(O.EnableFunctionSummaries);
+  MixBool(O.EnableFalsePathPruning);
+  MixBool(O.EnableAutoKill);
+  MixBool(O.EnableSynonyms);
+  MixBool(O.Interprocedural);
+  H = fnv1a64(O.MaxPathsPerFunction, H);
+  H = fnv1a64(uint64_t(O.MaxPathLength), H);
+  H = fnv1a64(uint64_t(O.MaxCallDepth), H);
+  H = fnv1a64(O.RootPathBudget, H);
+  H = fnv1a64(O.MaxActiveStates, H);
+  MixBool(O.Reporting.CaptureWitness);
+  H = fnv1a64(O.Reporting.RootDeadlineMs, H);
+  return H;
+}
+
+/// Hashes the seed annotations visible to a root: every (function, ordinal,
+/// key, value) tuple whose node lies inside \p Closure, sorted so the hash
+/// is independent of AnnotationMap's pointer iteration order. Sets \p OK
+/// false when an annotated node has no stable identity.
+uint64_t seedAnnotationHash(const NodeIndex &Idx,
+                            const Engine::AnnotationMap &Seed,
+                            const std::set<const FunctionDecl *> &Closure,
+                            bool &OK) {
+  std::vector<std::tuple<std::string_view, uint32_t, const std::string *,
+                         const std::string *>>
+      Items;
+  for (const auto &[Node, KV] : Seed) {
+    if (KV.empty())
+      continue;
+    NodeIndex::NodeId Id = Idx.idOf(Node);
+    if (!Id.Fn) {
+      OK = false;
+      return 0;
+    }
+    if (!Closure.count(Id.Fn))
+      continue;
+    for (const auto &[Key, Value] : KV)
+      Items.emplace_back(Id.Fn->name(), Id.Ordinal, &Key, &Value);
+  }
+  std::sort(Items.begin(), Items.end(),
+            [](const auto &A, const auto &B) {
+              if (std::get<0>(A) != std::get<0>(B))
+                return std::get<0>(A) < std::get<0>(B);
+              if (std::get<1>(A) != std::get<1>(B))
+                return std::get<1>(A) < std::get<1>(B);
+              return *std::get<2>(A) < *std::get<2>(B);
+            });
+  uint64_t H = fnv1a64("seed-annots-v1");
+  for (const auto &[Fn, Ordinal, Key, Value] : Items) {
+    H = fnv1a64(Fn, H);
+    H = fnv1a64(uint64_t(Ordinal), H);
+    H = fnv1a64(*Key, H);
+    H = fnv1a64(*Value, H);
+  }
+  return H;
+}
+
+/// Orders artifact annotations deterministically (AnnotationMap iterates in
+/// pointer order, which varies run to run).
+void sortArtifactAnnots(std::vector<RootArtifact::Annot> &Annots) {
+  std::sort(Annots.begin(), Annots.end(),
+            [](const RootArtifact::Annot &A, const RootArtifact::Annot &B) {
+              if (A.Fn != B.Fn)
+                return A.Fn < B.Fn;
+              if (A.Ordinal != B.Ordinal)
+                return A.Ordinal < B.Ordinal;
+              return A.Key < B.Key;
+            });
+}
+
+} // namespace
+
+bool XgccTool::functionContentHash(const FunctionDecl *Fn,
+                                   uint64_t &HashOut) const {
+  auto It = TUTokenHash.find(Fn->fileID());
+  if (It == TUTokenHash.end())
+    return false;
+  uint64_t H = fnv1a64("fn-content-v1");
+  H = fnv1a64(Fn->name(), H);
+  H = fnv1a64(It->second, H);
+  H = fnv1a64(uint64_t(Fn->fileID()), H);
+  auto PIt = TUPathByFile.find(Fn->fileID());
+  if (PIt != TUPathByFile.end())
+    H = fnv1a64(PIt->second, H);
+  HashOut = H;
+  return true;
+}
+
+bool XgccTool::mixClosure(const FunctionDecl *Root, uint64_t &Hash,
+                          std::set<const FunctionDecl *> &ClosureOut) const {
+  // Iterative DFS in call order: push callees in reverse so they pop
+  // first-call-first. Any deterministic order works; this one depends only
+  // on the (body-derived, deduplicated) callee lists.
+  std::vector<const FunctionDecl *> Stack{Root};
+  while (!Stack.empty()) {
+    const FunctionDecl *Fn = Stack.back();
+    Stack.pop_back();
+    if (!ClosureOut.insert(Fn).second)
+      continue;
+    uint64_t FH = 0;
+    if (!functionContentHash(Fn, FH))
+      return false;
+    Hash = fnv1a64(FH, Hash);
+    const CallGraph::Node *N = CG.node(Fn);
+    if (!N)
+      continue;
+    std::vector<const FunctionDecl *> DefinedCallees;
+    for (const FunctionDecl *Callee : N->Callees) {
+      if (Callee->isDefined()) {
+        DefinedCallees.push_back(Callee);
+        continue;
+      }
+      // Undefined externs have no body to hash; their *name* is part of the
+      // caller's behaviour (checkers pattern-match call targets), and the
+      // call sites themselves are covered by the caller's content hash.
+      Hash = fnv1a64("extern", Hash);
+      Hash = fnv1a64(Callee->name(), Hash);
+    }
+    for (size_t I = DefinedCallees.size(); I-- > 0;)
+      Stack.push_back(DefinedCallees[I]);
+  }
+  return true;
+}
+
+void XgccTool::runCachedChecker(Checker &C, const EngineOptions &Opts,
+                                unsigned CheckerIndex, uint64_t SuiteFp) {
+  const std::vector<const FunctionDecl *> &Roots = CG.roots();
+  const size_t NR = Roots.size();
+  // Every root of this checker seeds from the same pre-checker annotation
+  // state — the barrier semantics of the Workers == roots sharding
+  // configuration, which PR 1 proved byte-identical to a serial run.
+  const Engine::AnnotationMap Seed = ShardedAnnotations;
+
+  uint64_t Base = fnv1a64("root-key-v1");
+  Base = fnv1a64(uint64_t(kCacheFormatVersion), Base);
+  Base = fnv1a64(engineConfigFingerprint(Opts), Base);
+  Base = fnv1a64(SuiteFp, Base);
+  Base = fnv1a64(C.fingerprint(), Base);
+  Base = fnv1a64(uint64_t(CheckerIndex), Base);
+
+  std::vector<uint64_t> Keys(NR, 0);
+  std::vector<char> Cacheable(NR, 0), Hit(NR, 0);
+  std::vector<RootArtifact> CachedArts(NR);
+  std::vector<std::set<const FunctionDecl *>> Closures(NR);
+
+  // Probe phase (serial): derive each root's key and try the store.
+  for (size_t I = 0; I < NR; ++I) {
+    uint64_t Key = Base;
+    if (!mixClosure(Roots[I], Key, Closures[I])) {
+      Cache->bump(kCacheSummaryMisses);
+      continue;
+    }
+    bool SeedOK = true;
+    Key = fnv1a64(seedAnnotationHash(NodeIdx, Seed, Closures[I], SeedOK), Key);
+    Key = fnv1a64(Roots[I]->name(), Key);
+    if (!SeedOK) {
+      Cache->bump(kCacheSummaryMisses);
+      continue;
+    }
+    Keys[I] = Key;
+    Cacheable[I] = 1;
+    std::string Payload;
+    if (!Cache->load(AnalysisCache::Kind::Summary, Key, Payload))
+      continue;
+    std::string Error;
+    if (!CachedArts[I].parse(Payload, &Error)) {
+      errs() << "xgcc: cache: dropping corrupt entry for root '"
+             << Roots[I]->name() << "' (" << Error << ")\n";
+      Cache->dropEntry(AnalysisCache::Kind::Summary, Key);
+      Cache->bump(kCacheSummaryMisses);
+      continue;
+    }
+    bool Resolvable = true;
+    for (const RootArtifact::Annot &A : CachedArts[I].Annots)
+      if (!NodeIdx.nodeOf(A.Fn, A.Ordinal)) {
+        Resolvable = false;
+        break;
+      }
+    if (!Resolvable) {
+      Cache->dropEntry(AnalysisCache::Kind::Summary, Key);
+      Cache->bump(kCacheSummaryMisses);
+      continue;
+    }
+    Hit[I] = 1;
+  }
+
+  // Analysis phase (parallel, --jobs wide): cold roots always; hit roots
+  // too under --cache-verify. One isolated engine per root.
+  std::vector<size_t> Live;
+  for (size_t I = 0; I < NR; ++I)
+    if (!Hit[I] || CacheVerify)
+      Live.push_back(I);
+
+  std::vector<ReportManager> Buffers(NR);
+  std::vector<RootRecord> Records(NR);
+  std::vector<MetricsSnapshot> RootStats(NR);
+  std::vector<Engine::AnnotationMap> RootAnnots(NR);
+  std::vector<RootArtifact> FreshArts(NR);
+  std::vector<char> FreshOk(NR, 0);
+  if (!Live.empty()) {
+    unsigned W = effectiveJobs(Opts);
+    if (W > Live.size())
+      W = unsigned(Live.size());
+    ThreadPool Pool(W);
+    for (size_t LI = 0; LI < Live.size(); ++LI) {
+      Pool.async([&, LI] {
+        const size_t I = Live[LI];
+        ASTContext::ParallelArenaScope Scope(Ctx);
+        Engine E(Ctx, SM, CG, Reports, Opts, Trace);
+        E.seedAnnotations(Seed);
+        E.beginChecker(C);
+        E.setReports(Buffers[I]);
+        RootOutcome O = E.analyzeRoot(C, Roots[I]);
+        MetricsSnapshot Ladder;
+        if (O.aborted())
+          Records[I] =
+              containAbortedRoot(C, Roots[I], Opts, E, Buffers[I], Ladder, O);
+        RootStats[I] = E.metrics().snapshot();
+        RootStats[I].merge(Ladder);
+        RootAnnots[I] = E.annotations();
+        // Build the storable artifact while the engine (and its function
+        // summaries) are still alive. Aborted roots are never cached: their
+        // results depend on deadlines and budgets, not content.
+        if (Records[I].Aborted || !Cacheable[I])
+          return;
+        RootArtifact &Art = FreshArts[I];
+        Art.Reports = Buffers[I].reports();
+        Art.Rules = Buffers[I].rules();
+        bool Mappable = true;
+        for (const auto &[Node, KV] : RootAnnots[I]) {
+          for (const auto &[Key, Value] : KV) {
+            auto SIt = Seed.find(Node);
+            if (SIt != Seed.end()) {
+              auto KIt = SIt->second.find(Key);
+              if (KIt != SIt->second.end() && KIt->second == Value)
+                continue; // Unchanged seed entry, not part of the delta.
+            }
+            NodeIndex::NodeId Id = NodeIdx.idOf(Node);
+            if (!Id.Fn) {
+              Mappable = false;
+              break;
+            }
+            Art.Annots.push_back({std::string(Id.Fn->name()), Id.Ordinal, Key,
+                                  Value});
+          }
+          if (!Mappable)
+            break;
+        }
+        if (!Mappable)
+          return;
+        sortArtifactAnnots(Art.Annots);
+        std::vector<const FunctionDecl *> Sorted(Closures[I].begin(),
+                                                 Closures[I].end());
+        std::sort(Sorted.begin(), Sorted.end(),
+                  [](const FunctionDecl *A, const FunctionDecl *B) {
+                    return A->name() < B->name();
+                  });
+        for (const FunctionDecl *Fn : Sorted)
+          if (FunctionSummaries *FS = E.functionSummary(Fn))
+            if (const CFG *G = CG.cfg(Fn))
+              Art.Digests.push_back(
+                  {std::string(Fn->name()), functionSummaryDigest(*FS, *G)});
+        FreshOk[I] = 1;
+      });
+    }
+    Pool.wait();
+  }
+
+  // Merge phase (serial, root order): exactly the sharded-run barrier.
+  for (const MetricsSnapshot &S : RootStats)
+    Accumulated.merge(S);
+  for (size_t I = 0; I < NR; ++I) {
+    bool UseCached = Hit[I];
+    if (Hit[I] && CacheVerify) {
+      Cache->bump(kCacheVerifyChecks);
+      // Digests are excluded from the comparison: interning memo hits can
+      // legally skip Reached-set inserts, so digest bytes may differ across
+      // configurations that produce identical reports.
+      RootArtifact A = CachedArts[I];
+      RootArtifact B = FreshArts[I];
+      A.Digests.clear();
+      B.Digests.clear();
+      if (A.serialize() != B.serialize()) {
+        errs() << "xgcc: cache: verify mismatch for root '"
+               << Roots[I]->name() << "' (checker '" << C.name()
+               << "'); using fresh results\n";
+        Cache->bump(kCacheVerifyMismatch);
+        Cache->bump(kCacheSummaryMisses);
+        UseCached = false;
+      }
+    }
+    if (UseCached) {
+      Cache->bump(kCacheSummaryHits);
+      ReportManager Replay;
+      Replay.restore(std::move(CachedArts[I].Reports),
+                     std::move(CachedArts[I].Rules));
+      Reports.merge(Replay);
+      for (const RootArtifact::Annot &A : CachedArts[I].Annots)
+        ShardedAnnotations[NodeIdx.nodeOf(A.Fn, A.Ordinal)][A.Key] = A.Value;
+      continue;
+    }
+    Reports.merge(Buffers[I]);
+    if (Records[I].Aborted)
+      noteRootOutcome(C, Roots[I], Records[I]);
+    for (const auto &[Node, KV] : RootAnnots[I])
+      for (const auto &[Key, Value] : KV)
+        ShardedAnnotations[Node][Key] = Value;
+    // Reached on a clean cold root, or on a verify mismatch (where the
+    // fresh artifact overwrites the stale entry).
+    if (FreshOk[I])
+      Cache->store(AnalysisCache::Kind::Summary, Keys[I],
+                   FreshArts[I].serialize());
+  }
+}
+
 void XgccTool::run(const EngineOptions &Opts) {
   finalize();
   // Lane 0 is the tool's own lane; the args are job-agnostic so the merged
@@ -329,6 +743,34 @@ void XgccTool::run(const EngineOptions &Opts) {
   TraceSpan RunSpan(Buf, "run");
   RunSpan.arg("checkers", std::to_string(Checkers.size()));
   RunSpan.arg("roots", std::to_string(CG.roots().size()));
+  if (Cache) {
+    // Cached mode: every root in an isolated per-root engine (the
+    // Workers == roots sharding configuration), so a root's result is a
+    // function of exactly what its summary key hashes — closure content,
+    // seed annotations, checker and engine config. --jobs only sizes the
+    // cold-root pool; it never reaches a key or a result.
+    accumulateEngineStats();
+    Eng.reset();
+    ShardedAnnotations.clear();
+    LastShardedOpts = Opts;
+    HasShardedState = true;
+    if (!NodeIdxBuilt) {
+      for (const FunctionDecl *Fn : CG.definedFunctions())
+        NodeIdx.addFunction(Fn);
+      NodeIdxBuilt = true;
+    }
+    uint64_t SuiteFp = fnv1a64("suite-v1");
+    SuiteFp = fnv1a64(uint64_t(Checkers.size()), SuiteFp);
+    for (const std::unique_ptr<Checker> &C : Checkers)
+      SuiteFp = fnv1a64(C->fingerprint(), SuiteFp);
+    unsigned Index = 0;
+    for (std::unique_ptr<Checker> &C : Checkers) {
+      TraceSpan CkSpan(Buf, "checker");
+      CkSpan.arg("name", C->name());
+      runCachedChecker(*C, Opts, Index++, SuiteFp);
+    }
+    return;
+  }
   unsigned W = effectiveJobs(Opts);
   if (W > 1 && CG.roots().size() > 1) {
     // Sharded mode never reuses the serial engine; bank its counters. A
@@ -390,6 +832,8 @@ MetricsSnapshot XgccTool::metrics() const {
   MetricsSnapshot M = Accumulated;
   if (Eng)
     M.merge(Eng->metrics().snapshot());
+  if (Cache)
+    M.merge(Cache->counters());
   return M;
 }
 

@@ -25,8 +25,11 @@
 #include "engine/RunManifest.h"
 #include "report/History.h"
 #include "report/ReportManager.h"
+#include "store/Cache.h"
 
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -105,6 +108,29 @@ public:
   bool keepGoing() const { return KeepGoing; }
 
   //===--------------------------------------------------------------------===//
+  // Incremental caching (--cache-dir)
+  //===--------------------------------------------------------------------===//
+
+  /// Enables the on-disk incremental layer rooted at \p Dir: pass 1 loads
+  /// unchanged TUs from the AST store instead of re-parsing, and run()
+  /// replays unchanged (checker, root) results from the summary store
+  /// instead of re-analyzing. Cached runs analyze every cold root in an
+  /// isolated per-root engine (the Workers == roots sharding configuration),
+  /// so warm and cold reports are byte-identical at any --jobs count and
+  /// with state interning on or off.
+  void setCacheDir(const std::string &Dir);
+  /// --cache-verify: on every summary-store hit, also recompute the root
+  /// live and compare; mismatches are diagnosed, counted under
+  /// cache.verify.mismatch, and resolved in favour of the fresh result.
+  void setCacheVerify(bool V) { CacheVerify = V; }
+  /// --cache-max-mb: size budget applied by finishCache() (0 = unlimited).
+  void setCacheMaxMB(uint64_t MB) { CacheMaxMB = MB; }
+  /// End-of-run cache bookkeeping: applies the size policy and records the
+  /// cache.bytes gauge. Idempotent; a no-op without a cache.
+  void finishCache();
+  AnalysisCache *cache() { return Cache.get(); }
+
+  //===--------------------------------------------------------------------===//
   // Results and plumbing access
   //===--------------------------------------------------------------------===//
 
@@ -165,6 +191,22 @@ private:
   void noteRootOutcome(Checker &C, const FunctionDecl *Root,
                        const RootRecord &Rec);
 
+  /// Cached-mode run of one checker: probes the summary store per root,
+  /// replays hits, analyzes misses in isolated per-root engines, merges in
+  /// root order and stores artifacts for clean, cacheable roots.
+  void runCachedChecker(Checker &C, const EngineOptions &Opts,
+                        unsigned CheckerIndex, uint64_t SuiteFp);
+  /// Content hash of \p Fn: its name folded with its TU's token-stream
+  /// hash, file id and path. False when the function did not come through
+  /// a hashed pass-1 path (roots reaching it are then uncacheable).
+  bool functionContentHash(const FunctionDecl *Fn, uint64_t &HashOut) const;
+  /// Folds \p Root's transitive-callee closure into \p Hash (content hashes
+  /// of defined functions in deterministic DFS call order, names of
+  /// undefined externs) and collects the closure's defined functions.
+  /// False when any closure member is unhashable.
+  bool mixClosure(const FunctionDecl *Root, uint64_t &Hash,
+                  std::set<const FunctionDecl *> &ClosureOut) const;
+
   SourceManager SM;
   DiagnosticEngine Diags;
   ASTContext Ctx;
@@ -187,6 +229,22 @@ private:
   TraceCollector *Trace = nullptr;
   bool Finalized = false;
   bool KeepGoing = false;
+
+  /// The incremental layer (null = caching off). Owned.
+  std::unique_ptr<AnalysisCache> Cache;
+  bool CacheVerify = false;
+  uint64_t CacheMaxMB = 0;
+  bool CacheFinished = false;
+  /// Pass-1 bookkeeping for summary keys: expanded-buffer file id → token
+  /// stream hash / source path, for TUs that came through addSourceFiles.
+  /// Functions from other ingestion paths have no entry and make any root
+  /// whose closure reaches them uncacheable.
+  std::map<unsigned, uint64_t> TUTokenHash;
+  std::map<unsigned, std::string> TUPathByFile;
+  /// Stable (function, pre-order ordinal) statement identities for artifact
+  /// annotations; built lazily on the first cached run().
+  NodeIndex NodeIdx;
+  bool NodeIdxBuilt = false;
 };
 
 } // namespace mc

@@ -33,6 +33,18 @@
 //   --keep-going         drop translation units that fail to parse (with a
 //                        diagnostic) and analyze the rest
 //
+// Incremental caching (warm re-runs over a mostly-unchanged corpus):
+//   --cache-dir DIR      enable the on-disk incremental layer: unchanged TUs
+//                        deserialize instead of re-parsing (AST store) and
+//                        unchanged (checker, root) pairs replay their
+//                        recorded results (summary store). Keys hash content
+//                        only, so warm output is byte-identical to cold at
+//                        any --jobs and with interning on or off
+//   --cache-verify       debug: recompute every summary-store hit live and
+//                        compare; mismatches are diagnosed, counted, and
+//                        resolved in favour of the fresh result
+//   --cache-max-mb N     evict oldest cache entries beyond N MiB at exit
+//
 // Reporting & robustness (one block, one parse path; every flag accepts
 // both "--flag V" and "--flag=V" and lands in EngineOptions::Reporting):
 //   --stats              print the engine work-counter line
@@ -203,6 +215,30 @@ int main(int Argc, char **Argv) {
       Tool.setKeepGoing(true);
       continue;
     }
+    // Incremental cache block (--cache-dir/--cache-verify/--cache-max-mb).
+    {
+      const char *V = nullptr;
+      if (FlagValue("--cache-dir", &V)) {
+        if (!V) {
+          errs() << "xgcc: --cache-dir expects a directory path\n";
+          return 2;
+        }
+        Tool.setCacheDir(V);
+        continue;
+      }
+      if (Arg == "--cache-verify") {
+        Tool.setCacheVerify(true);
+        continue;
+      }
+      if (FlagValue("--cache-max-mb", &V)) {
+        if (!V) {
+          errs() << "xgcc: --cache-max-mb expects a size in MiB\n";
+          return 2;
+        }
+        Tool.setCacheMaxMB(std::strtoull(V, nullptr, 10));
+        continue;
+      }
+    }
     // Reporting & robustness block — every flag routes into
     // EngineOptions::Reporting so the run manifest records exactly what the
     // user asked for.
@@ -357,6 +393,9 @@ int main(int Argc, char **Argv) {
   Tool.setTrace(&Trace);
 
   Tool.run(Opts);
+  // Size-policy eviction and the cache.bytes gauge, before any metrics
+  // surface renders.
+  Tool.finishCache();
 
   // History-based suppression (Section 8).
   HistoryFile History;

@@ -267,6 +267,17 @@ public:
   const BlockSummary *blockSummary(const FunctionDecl *Fn,
                                    const BasicBlock *B) const;
 
+  /// The full summary store of \p Fn for the last checker run, or null when
+  /// the function was never descended into. The incremental cache's
+  /// --cache-verify pass digests these (engine/Summaries.h text form) to
+  /// cross-check warm replays against a fresh analysis; rollbackRoot()
+  /// erases the store of every function the aborted root touched, so a
+  /// ladder-degraded root can never leak partial summaries into a digest.
+  FunctionSummaries *functionSummary(const FunctionDecl *Fn) {
+    auto It = Summaries.find(Fn);
+    return It == Summaries.end() ? nullptr : &It->second;
+  }
+
   /// AST annotations written by checker composition.
   const std::string *annotation(const Stmt *Node,
                                 const std::string &Key) const;

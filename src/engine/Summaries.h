@@ -148,6 +148,30 @@ void relaxSuffixSummaries(const std::vector<BacktraceEntry> &Backtrace,
                           FunctionSummaries &FS,
                           const std::function<bool(uint32_t)> &KeepTree);
 
+/// Canonical text rendering of the interprocedural content of \p FS for the
+/// function with CFG \p G: the entry block's Reached set (sorted by tuple
+/// text order) and its suffix edges (the function summary, already
+/// text-ordered). Every symbol is rendered as its *text*, never its id, so
+/// the output is byte-identical across interning schedules and across the
+/// `--no-state-interning` toggle — the incremental cache's `--cache-verify`
+/// cross-check and the summary digests depend on that.
+///
+/// ToTree pointers and the consed-id memos are deliberately absent: trees
+/// cannot be rematerialized outside their AST and the memos are
+/// rediscoverable. parseFunctionSummary therefore restores a summary good
+/// for digesting and equality checks, not for replay.
+std::string serializeFunctionSummary(FunctionSummaries &FS, const CFG &G);
+
+/// Parses a serializeFunctionSummary rendering back into \p FS (entry
+/// Reached set + suffix edges of \p G's entry block, ToTree left null).
+/// Returns false on malformed input; \p Err receives a reason.
+bool parseFunctionSummary(std::string_view Text, FunctionSummaries &FS,
+                          const CFG &G, std::string *Err);
+
+/// FNV-1a digest of serializeFunctionSummary — the summary-store
+/// cross-check fingerprint.
+uint64_t functionSummaryDigest(FunctionSummaries &FS, const CFG &G);
+
 } // namespace mc
 
 #endif // MC_ENGINE_SUMMARIES_H

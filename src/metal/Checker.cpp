@@ -6,6 +6,8 @@
 
 #include "metal/Checker.h"
 
+#include "support/Hash.h"
+
 using namespace mc;
 
 Checker::~Checker() = default;
@@ -50,4 +52,11 @@ int Checker::initialGlobalState() const {
   // The first interned state is the initial one by convention.
   std::lock_guard<std::mutex> Lock(StateMu);
   return StateNames.size() > 1 ? 1 : StateStop;
+}
+
+uint64_t Checker::fingerprint() const {
+  uint64_t H = fnv1a64(name());
+  if (FingerprintSalt)
+    H = fnv1a64(FingerprintSalt, H);
+  return H;
 }

@@ -83,7 +83,25 @@ public:
   /// interned, by convention "start").
   virtual int initialGlobalState() const;
 
+  //===--------------------------------------------------------------------===//
+  // Identity fingerprint (incremental summary-store keys)
+  //===--------------------------------------------------------------------===//
+
+  /// A stable content fingerprint of this checker: summary-store keys embed
+  /// it so cached per-root results invalidate when the checker changes. The
+  /// default is a hash of the checker's name — correct for built-in native
+  /// checkers, whose behaviour only changes with the binary (the store also
+  /// keys on the format version). Factories that compile checkers from
+  /// source must salt with the source text (compileMetalChecker does).
+  uint64_t fingerprint() const;
+
+  /// Mixes \p Salt into the fingerprint. Call before analysis starts.
+  void setFingerprintSalt(uint64_t Salt) { FingerprintSalt = Salt; }
+
 private:
+  uint64_t FingerprintSalt = 0;
+
+
   /// One checker instance is shared by every worker-engine in a sharded run;
   /// interning at analysis time (e.g. metal set_global) must be synchronized.
   mutable std::mutex StateMu;

@@ -85,6 +85,16 @@ public:
   /// reproduces the serial add() sequence exactly.
   void merge(const ReportManager &O);
 
+  /// Rebuilds a buffer from deserialized state (the summary store's per-root
+  /// replay artifacts). The restored buffer is merged like a live per-root
+  /// buffer, so the add() replay semantics still decide dedup winners.
+  void restore(std::vector<ErrorReport> R,
+               std::map<std::string, RuleStats> Ru) {
+    Reports = std::move(R);
+    Rules = std::move(Ru);
+    Incidents.clear();
+  }
+
   /// Records a fault-containment incident. The driver notes incidents in
   /// serial root order at any job count, so the trailer is deterministic.
   void noteIncident(RootIncident I) { Incidents.push_back(std::move(I)); }

@@ -158,6 +158,24 @@ private:
   X(ArenaBytes, "arena.bytes", "arena-bytes", "arena_bytes")                   \
   X(ArenaSlabs, "arena.slabs", "arena-slabs", "arena_slabs")
 
+/// Incremental-cache counters (src/store). Deliberately NOT rows of
+/// MC_ENGINE_METRICS: the --stats line is a byte-stable surface and cache
+/// traffic must not perturb it. They reach the run manifest and BENCH_JSON
+/// through the snapshot merge like any other dotted name.
+inline constexpr const char *kCacheAstHits = "cache.ast.hits";
+inline constexpr const char *kCacheAstMisses = "cache.ast.misses";
+inline constexpr const char *kCacheSummaryHits = "cache.summary.hits";
+inline constexpr const char *kCacheSummaryMisses = "cache.summary.misses";
+/// Payload bytes read from + written to the store this run.
+inline constexpr const char *kCacheBytes = "cache.bytes";
+/// Entries dropped because their header or checksum failed to validate.
+inline constexpr const char *kCacheEvictionsCorrupt = "cache.evictions.corrupt";
+/// Entries dropped by the --cache-max-mb size policy.
+inline constexpr const char *kCacheEvictionsSize = "cache.evictions.size";
+/// --cache-verify: recomputations performed / mismatches caught.
+inline constexpr const char *kCacheVerifyChecks = "cache.verify.checks";
+inline constexpr const char *kCacheVerifyMismatch = "cache.verify.mismatch";
+
 } // namespace mc
 
 #endif // MC_SUPPORT_METRICS_H

@@ -1,0 +1,133 @@
+//===- tests/serialize_roundtrip_test.cpp - Per-TU image property test ---------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property test for the cache's serialization path: for generated workloads,
+// (a) writeMastTU -> readMastTU -> writeMastTU is byte-stable, and (b) a run
+// that deserializes its TUs from a warm AST store produces byte-identical
+// reports to a run that parses from source — including under parallel parse
+// and analysis, which is why this lives in the TSan-swept parallel binary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/WorkloadGen.h"
+#include "cfront/Parser.h"
+#include "cfront/Serialize.h"
+#include "driver/Tool.h"
+#include "support/RawOstream.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
+using namespace mc;
+using namespace mc::bench;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Parses \p Source as one redirected TU (the parallel-parse configuration)
+/// and returns its self-contained writeMastTU image. The sources WorkloadGen
+/// emits carry no preprocessor directives, so the raw buffer doubles as the
+/// expanded buffer.
+std::string imageOf(const std::string &Source) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  ASTContext Ctx;
+  unsigned ID = SM.addBuffer("tu.c", Source);
+  std::vector<Decl *> TopLevel;
+  std::vector<FunctionDecl *> Fns;
+  Parser P(Ctx, SM, Diags, ID);
+  P.redirectTopLevel(TopLevel, Fns);
+  EXPECT_TRUE(P.parseTranslationUnit());
+  return writeMastTU(TopLevel, Fns, ID);
+}
+
+/// Deserializes \p Image against a fresh context holding the same token
+/// stream and re-serializes the result.
+std::string reimage(const std::string &Source, const std::string &Image) {
+  SourceManager SM;
+  ASTContext Ctx;
+  unsigned ID = SM.addBuffer("tu.c", Source);
+  std::vector<Decl *> TopLevel;
+  std::vector<FunctionDecl *> Fns;
+  std::string Error;
+  EXPECT_TRUE(readMastTU(Image, Ctx, ID, TopLevel, Fns, &Error)) << Error;
+  return writeMastTU(TopLevel, Fns, ID);
+}
+
+std::vector<std::string> workloads() {
+  std::vector<std::string> Out;
+  for (uint64_t Seed : {1ull, 7ull, 23ull, 101ull})
+    Out.push_back(miniKernel(24, Seed).Source);
+  Out.push_back(diamondCorpus(4, 6, /*SeedBugs=*/true));
+  Out.push_back(callChainCorpus(5, 3));
+  Out.push_back(parallelCorpus(6, 4, /*SeedBugs=*/true));
+  return Out;
+}
+
+TEST(SerializeRoundtrip, PerTUImageIsByteStable) {
+  for (const std::string &Source : workloads()) {
+    std::string Image = imageOf(Source);
+    ASSERT_FALSE(Image.empty());
+    EXPECT_EQ(reimage(Source, Image), Image);
+  }
+}
+
+std::string analyze(const std::vector<std::string> &Paths,
+                    const std::string &StoreDir, uint64_t *SummaryHits) {
+  XgccTool Tool;
+  if (!StoreDir.empty())
+    Tool.setCacheDir(StoreDir);
+  EXPECT_TRUE(Tool.addSourceFiles(Paths, /*Jobs=*/4));
+  EXPECT_TRUE(Tool.addBuiltinChecker("free"));
+  EXPECT_TRUE(Tool.addBuiltinChecker("lock"));
+  EngineOptions Opts;
+  Opts.Jobs = 4;
+  Tool.run(Opts);
+  Tool.finishCache();
+  if (SummaryHits)
+    *SummaryHits = Tool.metrics().value(kCacheSummaryHits);
+  std::string Reports;
+  raw_string_ostream OS(Reports);
+  Tool.reports().print(OS, RankPolicy::Generic);
+  OS.flush();
+  return Reports;
+}
+
+TEST(SerializeRoundtrip, WarmStoreReportsMatchSourceParse) {
+  // Each generated workload becomes its own single-TU corpus sharing one
+  // store directory (keys are content-addressed, so corpora never collide):
+  // an uncached parse, a cold cached run, and a warm replay must agree byte
+  // for byte, and the warm run must actually serve from the store.
+  std::error_code EC;
+  fs::path Dir = fs::path(::testing::TempDir()) / "mc_roundtrip_warm";
+  fs::remove_all(Dir, EC);
+  fs::create_directories(Dir, EC);
+  const std::string Store = (Dir / "store").string();
+
+  unsigned I = 0;
+  for (const std::string &Source : workloads()) {
+    fs::path P = Dir / ("w" + std::to_string(I++) + ".c");
+    ASSERT_TRUE(writeFileBytes(P.string(), Source));
+    std::vector<std::string> Paths{P.string()};
+
+    std::string Plain = analyze(Paths, /*StoreDir=*/"", nullptr);
+    std::string Cold = analyze(Paths, Store, nullptr);
+    uint64_t Hits = 0;
+    std::string Warm = analyze(Paths, Store, &Hits);
+
+    EXPECT_EQ(Cold, Plain) << P;
+    EXPECT_EQ(Warm, Plain) << P;
+    EXPECT_GT(Hits, 0u) << P;
+  }
+  fs::remove_all(Dir, EC);
+}
+
+} // namespace
