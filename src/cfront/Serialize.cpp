@@ -22,6 +22,7 @@
 
 #include "cfront/ASTContext.h"
 
+#include <atomic>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -1029,11 +1030,31 @@ bool mc::readMastTU(const std::string &Image, ASTContext &Ctx,
       .runTU(TUFileID, TopLevelSink, FnsSink, ErrorOut);
 }
 
+static std::atomic<unsigned> PendingWriteFaults{0};
+
+void mc::injectWriteFaults(unsigned N) {
+  PendingWriteFaults.store(N, std::memory_order_relaxed);
+}
+
+/// Consumes one pending injected fault, if any.
+static bool takeWriteFault() {
+  unsigned Cur = PendingWriteFaults.load(std::memory_order_relaxed);
+  while (Cur != 0) {
+    if (PendingWriteFaults.compare_exchange_weak(Cur, Cur - 1,
+                                                 std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
 bool mc::writeFileBytes(const std::string &Path, const std::string &Image) {
   FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F)
     return false;
-  size_t Written = std::fwrite(Image.data(), 1, Image.size(), F);
+  size_t Limit = Image.size();
+  if (takeWriteFault())
+    Limit /= 2; // Simulated ENOSPC: the write comes up short.
+  size_t Written = std::fwrite(Image.data(), 1, Limit, F);
   std::fclose(F);
   return Written == Image.size();
 }

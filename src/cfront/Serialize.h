@@ -66,6 +66,12 @@ bool readMastTU(const std::string &Image, ASTContext &Ctx, unsigned TUFileID,
 /// Writes \p Image to \p Path. Returns false on I/O failure.
 bool writeFileBytes(const std::string &Path, const std::string &Image);
 
+/// Testing hook (the FaultInjector's fs knob): the next \p N writeFileBytes
+/// calls stop after writing half their payload and report failure, the way a
+/// full disk (ENOSPC) or a signal-shortened write would. Callers are expected
+/// to treat the partial file as litter and clean it up. Thread-safe.
+void injectWriteFaults(unsigned N);
+
 /// Reads \p Path fully. Returns false on I/O failure.
 bool readFileBytes(const std::string &Path, std::string &ImageOut);
 

@@ -14,11 +14,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 
 using namespace mc;
 
-XgccTool::XgccTool()
-    : Diags(SM, &errs()), PP(std::make_unique<Preprocessor>(SM, Diags)) {}
+XgccTool::XgccTool(raw_ostream *DiagOS)
+    : Diags(SM, DiagOS ? DiagOS : &errs()),
+      PP(std::make_unique<Preprocessor>(SM, Diags)) {}
 
 XgccTool::~XgccTool() = default;
 
@@ -71,6 +73,11 @@ bool XgccTool::addSourceFiles(const std::vector<std::string> &Paths,
   };
   std::deque<TUState> TUs;
 
+  // Fan out on the host's pool when one was lent (the daemon keeps a single
+  // pool resident across requests); otherwise build a private one.
+  std::optional<ThreadPool> LocalPool;
+  ThreadPool &Pool = SharedPool ? *SharedPool : LocalPool.emplace(W);
+
   // Stage 1 (serial): register raw buffers in input order so file ids are
   // deterministic.
   for (const std::string &Path : Paths) {
@@ -80,8 +87,6 @@ bool XgccTool::addSourceFiles(const std::vector<std::string> &Paths,
     TU.TUDiags = std::make_unique<DiagnosticEngine>(SM);
     TU.RawID = SM.addFile(Path);
   }
-
-  ThreadPool Pool(W);
 
   // Stage 2 (parallel): preprocess each unit against a snapshot of the
   // shared -D/-I state — pass 1 "compiles each file in isolation".
@@ -209,11 +214,21 @@ bool XgccTool::addSourceFiles(const std::vector<std::string> &Paths,
 }
 
 void XgccTool::setCacheDir(const std::string &Dir) {
-  Cache = std::make_unique<AnalysisCache>(Dir);
+  OwnedCache = std::make_unique<AnalysisCache>(Dir);
+  Cache = OwnedCache.get();
+  CacheBaseline = MetricsSnapshot();
+}
+
+void XgccTool::setSharedCache(AnalysisCache *Shared) {
+  OwnedCache.reset();
+  Cache = Shared;
+  CacheBaseline = Shared ? Shared->counters() : MetricsSnapshot();
 }
 
 void XgccTool::finishCache() {
-  if (!Cache || CacheFinished)
+  // Borrowed caches are the owner's to size and account for — a request
+  // must never evict the daemon's store out from under its neighbours.
+  if (!Cache || !OwnedCache || CacheFinished)
     return;
   CacheFinished = true;
   if (CacheMaxMB)
@@ -291,6 +306,7 @@ XgccTool::containAbortedRoot(Checker &C, const FunctionDecl *Root,
   // would re-execute the same fault. Quarantine immediately.
   if (First.Kind == RootAbortKind::CheckerFault) {
     Rec.Quarantined = true;
+    Rec.Fault = true;
     return Rec;
   }
   for (unsigned Stage = 1; Stage <= kDegradationStages; ++Stage) {
@@ -307,6 +323,7 @@ XgccTool::containAbortedRoot(Checker &C, const FunctionDecl *Root,
     }
     if (O.Kind == RootAbortKind::CheckerFault) {
       Rec.Reason = O.Reason;
+      Rec.Fault = true;
       break;
     }
   }
@@ -320,6 +337,7 @@ void XgccTool::noteRootOutcome(Checker &C, const FunctionDecl *Root,
   Inc.Root = std::string(Root->name());
   Inc.Checker = std::string(C.name());
   Inc.Quarantined = Rec.Quarantined;
+  Inc.Fault = Rec.Fault;
   Inc.Stage = Rec.Stage;
   Inc.Reason = Rec.Reason;
   Reports.noteIncident(std::move(Inc));
@@ -361,7 +379,8 @@ void XgccTool::runSharded(Checker &C, const EngineOptions &Opts,
   std::vector<MetricsSnapshot> LadderStats(Workers);
   std::vector<Engine::AnnotationMap> WorkerAnnots(Workers);
   {
-    ThreadPool Pool(Workers);
+    std::optional<ThreadPool> LocalPool;
+    ThreadPool &Pool = SharedPool ? *SharedPool : LocalPool.emplace(Workers);
     for (unsigned WI = 0; WI < Workers; ++WI) {
       Pool.async([&, WI] {
         const size_t Lo = NR * WI / Workers;
@@ -623,7 +642,8 @@ void XgccTool::runCachedChecker(Checker &C, const EngineOptions &Opts,
     unsigned W = effectiveJobs(Opts);
     if (W > Live.size())
       W = unsigned(Live.size());
-    ThreadPool Pool(W);
+    std::optional<ThreadPool> LocalPool;
+    ThreadPool &Pool = SharedPool ? *SharedPool : LocalPool.emplace(W);
     for (size_t LI = 0; LI < Live.size(); ++LI) {
       Pool.async([&, LI] {
         const size_t I = Live[LI];
@@ -832,8 +852,18 @@ MetricsSnapshot XgccTool::metrics() const {
   MetricsSnapshot M = Accumulated;
   if (Eng)
     M.merge(Eng->metrics().snapshot());
-  if (Cache)
-    M.merge(Cache->counters());
+  if (Cache) {
+    if (OwnedCache) {
+      M.merge(Cache->counters());
+    } else {
+      // Borrowed cache: only the traffic *this tool* caused since attach.
+      for (const auto &[Name, Value] : Cache->counters()) {
+        uint64_t Base = CacheBaseline.value(Name);
+        if (Value > Base)
+          M.add(Name, Value - Base);
+      }
+    }
+  }
   return M;
 }
 

@@ -35,12 +35,16 @@
 
 namespace mc {
 
+class ThreadPool;
 class TraceCollector;
 
 /// One-stop pipeline driver.
 class XgccTool {
 public:
-  XgccTool();
+  /// \p DiagOS receives every diagnostic this tool emits (null = errs()).
+  /// The service hands each request's tool a private stream so one request's
+  /// noise never bleeds into another's response.
+  explicit XgccTool(raw_ostream *DiagOS = nullptr);
   ~XgccTool();
   XgccTool(const XgccTool &) = delete;
   XgccTool &operator=(const XgccTool &) = delete;
@@ -107,6 +111,14 @@ public:
   void setKeepGoing(bool KG) { KeepGoing = KG; }
   bool keepGoing() const { return KeepGoing; }
 
+  /// Runs pass-1 and analysis fan-out on \p Pool instead of constructing a
+  /// private ThreadPool per phase. The pool's worker count is free to differ
+  /// from the request's --jobs: partitioning is derived from the options, so
+  /// report bytes never depend on who executes the shards (the PR 1
+  /// contract). Pass null to return to private pools. Not owned; must be
+  /// idle whenever this tool runs.
+  void setWorkerPool(ThreadPool *Pool) { SharedPool = Pool; }
+
   //===--------------------------------------------------------------------===//
   // Incremental caching (--cache-dir)
   //===--------------------------------------------------------------------===//
@@ -119,6 +131,13 @@ public:
   /// so warm and cold reports are byte-identical at any --jobs count and
   /// with state interning on or off.
   void setCacheDir(const std::string &Dir);
+  /// Borrows an already-open cache owned by someone longer-lived (the xgccd
+  /// server keeps one store resident across requests). Replay semantics are
+  /// identical to setCacheDir; the differences are ownership and accounting:
+  /// finishCache() leaves the size policy to the owner, and metrics() folds
+  /// in only the counter *delta* this tool caused since attach, so a
+  /// per-request manifest never re-reports the daemon's lifetime traffic.
+  void setSharedCache(AnalysisCache *Shared);
   /// --cache-verify: on every summary-store hit, also recompute the root
   /// live and compare; mismatches are diagnosed, counted under
   /// cache.verify.mismatch, and resolved in favour of the fresh result.
@@ -128,7 +147,7 @@ public:
   /// End-of-run cache bookkeeping: applies the size policy and records the
   /// cache.bytes gauge. Idempotent; a no-op without a cache.
   void finishCache();
-  AnalysisCache *cache() { return Cache.get(); }
+  AnalysisCache *cache() { return Cache; }
 
   //===--------------------------------------------------------------------===//
   // Results and plumbing access
@@ -168,6 +187,7 @@ private:
   struct RootRecord {
     bool Aborted = false;
     bool Quarantined = false;
+    bool Fault = false;   ///< The abort was a checker fault, not a budget.
     unsigned Stage = 0;   ///< Ladder stage that succeeded (degraded only).
     unsigned Retries = 0; ///< Ladder stages attempted.
     std::string Reason;   ///< The triggering abort's reason.
@@ -230,8 +250,16 @@ private:
   bool Finalized = false;
   bool KeepGoing = false;
 
-  /// The incremental layer (null = caching off). Owned.
-  std::unique_ptr<AnalysisCache> Cache;
+  /// The incremental layer (null = caching off). Either owned (setCacheDir)
+  /// or borrowed from a longer-lived holder (setSharedCache); all cached-mode
+  /// logic goes through the raw pointer and never cares which.
+  std::unique_ptr<AnalysisCache> OwnedCache;
+  AnalysisCache *Cache = nullptr;
+  /// Counter values at setSharedCache time; metrics() reports the delta for
+  /// borrowed caches so request manifests stay per-request.
+  MetricsSnapshot CacheBaseline;
+  /// Fan-out pool on loan from the host (null = build private pools).
+  ThreadPool *SharedPool = nullptr;
   bool CacheVerify = false;
   uint64_t CacheMaxMB = 0;
   bool CacheFinished = false;

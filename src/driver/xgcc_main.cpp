@@ -68,12 +68,18 @@
 //                        degraded (degraded), or always exit 0 (never)
 //
 //   --list-checkers      list builtin checkers and exit
+//   --server SOCK        send this invocation to the xgccd daemon listening
+//                        on Unix socket SOCK instead of analyzing locally;
+//                        stdout, stderr and the exit code replay the
+//                        daemon's byte-identical response (docs/SERVICE.md)
 //   -I DIR               add an include directory
 //   -D NAME[=VALUE]      predefine a macro
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/Tool.h"
+#include "service/Client.h"
+#include "service/Protocol.h"
 #include "support/RawOstream.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -81,6 +87,8 @@
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace mc;
 
@@ -113,6 +121,13 @@ int main(int Argc, char **Argv) {
   RankPolicy Policy = RankPolicy::Generic;
   bool Json = false;
   bool ShowGroups = false;
+  // --server mode state: -I/-D are collected (not applied) so they can ride
+  // the wire; local runs apply them after the parse loop, in order.
+  std::string ServerSock;
+  std::string RankName = "generic";
+  std::vector<std::string> IncludeDirs;
+  std::vector<std::pair<std::string, std::string>> Defines;
+  bool UsedCacheFlags = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -160,10 +175,18 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--rank") {
       const char *V = Next();
-      if (V && !std::strcmp(V, "statistical"))
+      if (V && !std::strcmp(V, "statistical")) {
         Policy = RankPolicy::Statistical;
-      else if (V && !std::strcmp(V, "combined"))
+        RankName = "statistical";
+      } else if (V && !std::strcmp(V, "combined")) {
         Policy = RankPolicy::Combined;
+        RankName = "combined";
+      }
+      continue;
+    }
+    if (Arg == "--server") {
+      if (const char *V = Next())
+        ServerSock = V;
       continue;
     }
     if (Arg == "--format") {
@@ -224,10 +247,12 @@ int main(int Argc, char **Argv) {
           return 2;
         }
         Tool.setCacheDir(V);
+        UsedCacheFlags = true;
         continue;
       }
       if (Arg == "--cache-verify") {
         Tool.setCacheVerify(true);
+        UsedCacheFlags = true;
         continue;
       }
       if (FlagValue("--cache-max-mb", &V)) {
@@ -236,6 +261,7 @@ int main(int Argc, char **Argv) {
           return 2;
         }
         Tool.setCacheMaxMB(std::strtoull(V, nullptr, 10));
+        UsedCacheFlags = true;
         continue;
       }
     }
@@ -298,20 +324,20 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "-I") {
       if (const char *V = Next())
-        Tool.preprocessor().addIncludeDir(V);
+        IncludeDirs.push_back(V);
       continue;
     }
     if (Arg.size() > 2 && Arg.compare(0, 2, "-I") == 0) {
-      Tool.preprocessor().addIncludeDir(Arg.substr(2));
+      IncludeDirs.push_back(Arg.substr(2));
       continue;
     }
     if (Arg == "-D" || (Arg.size() > 2 && Arg.compare(0, 2, "-D") == 0)) {
       std::string Def = Arg == "-D" ? (Next() ? Argv[I] : "") : Arg.substr(2);
       size_t Eq = Def.find('=');
       if (Eq == std::string::npos)
-        Tool.preprocessor().define(Def, "1");
+        Defines.emplace_back(Def, "1");
       else
-        Tool.preprocessor().define(Def.substr(0, Eq), Def.substr(Eq + 1));
+        Defines.emplace_back(Def.substr(0, Eq), Def.substr(Eq + 1));
       continue;
     }
     if (!Arg.empty() && Arg[0] == '-') {
@@ -326,6 +352,86 @@ int main(int Argc, char **Argv) {
     printUsage();
     return 2;
   }
+
+  // --server: replay this invocation against a running xgccd instead of
+  // analyzing locally. The response embeds the exact bytes a local run
+  // would print, so stdout/stderr/exit code are indistinguishable.
+  if (!ServerSock.empty()) {
+    if (!EmitPath.empty() || ShowGroups || !HistoryPath.empty() ||
+        !UpdateHistoryPath.empty() || UsedCacheFlags ||
+        Opts.Reporting.ShowStats || Opts.Reporting.ProfileTopN ||
+        !Opts.Reporting.StatsJsonPath.empty() ||
+        !Opts.Reporting.TraceOutPath.empty()) {
+      errs() << "xgcc: --emit-ast/--groups/--history/--update-history/"
+                "--cache-*/--stats/--stats-json/--profile/--trace-out are "
+                "not supported with --server (the daemon owns its cache and "
+                "artifacts)\n";
+      return 2;
+    }
+    ServiceRequest Req;
+    Req.Id = "cli-" + std::to_string(getpid());
+    Req.Files = Inputs; // Verbatim: resolved against the server's cwd.
+    Req.Checkers = CheckerNames;
+    for (const std::string &Path : MetalFiles) {
+      std::string Text;
+      if (!readFileBytes(Path, Text)) {
+        errs() << "xgcc: cannot open metal file '" << Path << "'\n";
+        return 2;
+      }
+      Req.Metal.emplace_back(Path, std::move(Text));
+    }
+    Req.IncludeDirs = IncludeDirs;
+    Req.Defines = Defines;
+    Req.Jobs = Opts.Jobs;
+    Req.Rank = RankName;
+    Req.Format = Json ? "json" : "text";
+    Req.ExplainTopN = Opts.Reporting.ExplainTopN;
+    Req.KeepGoing = Tool.keepGoing();
+    Req.Options.BlockCache = Opts.EnableBlockCache;
+    Req.Options.FunctionSummaries = Opts.EnableFunctionSummaries;
+    Req.Options.FalsePathPruning = Opts.EnableFalsePathPruning;
+    Req.Options.DispatchIndex = Opts.EnableDispatchIndex;
+    Req.Options.StateInterning = Opts.EnableStateInterning;
+    Req.Options.Interprocedural = Opts.Interprocedural;
+    Req.Options.RootDeadlineMs = Opts.Reporting.RootDeadlineMs;
+    Req.Options.RootPathBudget = Opts.RootPathBudget;
+    Req.Options.FailOn = failPolicyName(Opts.Reporting.FailOn);
+
+    std::string Reply, Err;
+    if (!serviceRoundTrip(ServerSock, Req.serializeToString(), Reply, &Err)) {
+      errs() << "xgcc: cannot reach server at '" << ServerSock
+             << "': " << Err << '\n';
+      return 3;
+    }
+    ServiceResponse Resp;
+    if (!Resp.parse(Reply, &Err)) {
+      errs() << "xgcc: malformed server response: " << Err << '\n';
+      return 3;
+    }
+    if (!Resp.Log.empty())
+      errs() << Resp.Log;
+    outs() << Resp.Output;
+    outs().flush();
+    switch (Resp.Status) {
+    case ServiceStatus::Ok:
+    case ServiceStatus::Incomplete:
+      return int(Resp.ExitCode);
+    case ServiceStatus::Error:
+      errs() << "xgcc: server: " << Resp.Error << '\n';
+      return Resp.ExitCode ? int(Resp.ExitCode) : 2;
+    case ServiceStatus::Overloaded:
+    case ServiceStatus::Retriable:
+      errs() << "xgcc: server " << serviceStatusName(Resp.Status) << ": "
+             << Resp.Error << '\n';
+      return 3;
+    }
+    return 3;
+  }
+
+  for (const std::string &Dir : IncludeDirs)
+    Tool.preprocessor().addIncludeDir(Dir);
+  for (const auto &[Name, Value] : Defines)
+    Tool.preprocessor().define(Name, Value);
 
   // Pass 1: parse inputs (or reload AST images). Consecutive C sources are
   // batched through the parallel front end; .mast images load serially at

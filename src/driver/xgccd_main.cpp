@@ -1,0 +1,185 @@
+//===- driver/xgccd_main.cpp - The xgccd analysis daemon ---------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage:
+//   xgccd --socket PATH --cache-dir DIR [options]     serve analysis requests
+//   xgccd --client --socket PATH                      send stdin request lines
+//
+// Server options:
+//   --socket PATH            Unix-domain socket to listen on (required)
+//   --cache-dir DIR          warm-store root; also holds the crash journal
+//                            (required; the directory lock makes this daemon
+//                            the store's only writer)
+//   --max-queue N            admitted-request bound; the next request gets a
+//                            typed `overloaded` response (default 16)
+//   --default-deadline-ms N  deadline for requests that send 0 (default: none)
+//   --jobs N                 worker threads for requests that send 0
+//                            (default: one per hardware thread)
+//   --cache-max-mb N         evict oldest cache entries beyond N MiB at drain
+//   --allow-inject           honor requests' fault-injection block (tests)
+//
+// SIGTERM/SIGINT drain gracefully: stop admitting, answer everything already
+// admitted, flush the stores, exit 0. See docs/SERVICE.md for the wire
+// schema and the status taxonomy.
+//
+// Client mode reads newline-delimited mc.service-request.v1 lines from stdin
+// and prints one mc.service-response.v1 line per request to stdout.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/Server.h"
+#include "support/RawOstream.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <csignal>
+#include <unistd.h>
+
+using namespace mc;
+
+namespace {
+
+void printUsage() {
+  outs() << "usage: xgccd --socket PATH --cache-dir DIR [--max-queue N]\n"
+         << "             [--default-deadline-ms N] [--jobs N]\n"
+         << "             [--cache-max-mb N] [--allow-inject]\n"
+         << "       xgccd --client --socket PATH\n";
+}
+
+ServiceServer *ActiveServer = nullptr;
+
+void onSignal(int) {
+  if (ActiveServer)
+    ActiveServer->requestStop(); // Async-signal-safe (one pipe write).
+}
+
+int runClient(const std::string &SocketPath) {
+  if (SocketPath.empty()) {
+    errs() << "xgccd: --client requires --socket PATH\n";
+    return 2;
+  }
+  char *Line = nullptr;
+  size_t Cap = 0;
+  int RC = 0;
+  for (;;) {
+    ssize_t N = getline(&Line, &Cap, stdin);
+    if (N < 0)
+      break;
+    std::string Request(Line, size_t(N));
+    while (!Request.empty() &&
+           (Request.back() == '\n' || Request.back() == '\r'))
+      Request.pop_back();
+    if (Request.empty())
+      continue;
+    std::string Reply, Err;
+    if (!serviceRoundTrip(SocketPath, Request, Reply, &Err)) {
+      errs() << "xgccd: " << Err << '\n';
+      RC = 1;
+      break;
+    }
+    outs() << Reply << '\n';
+    outs().flush();
+  }
+  std::free(Line);
+  return RC;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServiceConfig Cfg;
+  bool ClientMode = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto FlagValue = [&](const char *Name, const char **V) -> bool {
+      size_t N = std::strlen(Name);
+      if (Arg == Name) {
+        *V = I + 1 < Argc ? Argv[++I] : nullptr;
+        return true;
+      }
+      if (Arg.size() > N + 1 && Arg.compare(0, N, Name) == 0 && Arg[N] == '=') {
+        *V = Arg.c_str() + N + 1;
+        return true;
+      }
+      return false;
+    };
+    const char *V = nullptr;
+    if (Arg == "--help") {
+      printUsage();
+      return 0;
+    }
+    if (Arg == "--client") {
+      ClientMode = true;
+      continue;
+    }
+    if (Arg == "--allow-inject") {
+      Cfg.AllowInject = true;
+      continue;
+    }
+    if (FlagValue("--socket", &V)) {
+      Cfg.SocketPath = V ? V : "";
+      continue;
+    }
+    if (FlagValue("--cache-dir", &V)) {
+      Cfg.CacheDir = V ? V : "";
+      continue;
+    }
+    if (FlagValue("--max-queue", &V)) {
+      Cfg.MaxQueue = V ? unsigned(std::strtoul(V, nullptr, 10)) : 0;
+      if (!Cfg.MaxQueue) {
+        errs() << "xgccd: --max-queue expects a positive count\n";
+        return 2;
+      }
+      continue;
+    }
+    if (FlagValue("--default-deadline-ms", &V)) {
+      Cfg.DefaultDeadlineMs = V ? std::strtoull(V, nullptr, 10) : 0;
+      continue;
+    }
+    if (FlagValue("--jobs", &V)) {
+      Cfg.DefaultJobs = V ? unsigned(std::strtoul(V, nullptr, 10)) : 0;
+      continue;
+    }
+    if (FlagValue("--cache-max-mb", &V)) {
+      Cfg.CacheMaxMB = V ? std::strtoull(V, nullptr, 10) : 0;
+      continue;
+    }
+    errs() << "xgccd: unknown option '" << Arg << "'\n";
+    printUsage();
+    return 2;
+  }
+
+  std::signal(SIGPIPE, SIG_IGN); // A vanished client must not kill the daemon.
+
+  if (ClientMode)
+    return runClient(Cfg.SocketPath);
+
+  if (Cfg.SocketPath.empty() || Cfg.CacheDir.empty()) {
+    printUsage();
+    return 2;
+  }
+
+  ServiceServer Server(Cfg);
+  if (!Server.start())
+    return 1;
+
+  ActiveServer = &Server;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+
+  int RC = Server.serve();
+  ActiveServer = nullptr;
+  return RC;
+}

@@ -425,6 +425,8 @@ private:
         return Inc.Quarantined || S == "degraded" ||
                fail("unknown incident outcome");
       }
+      if (Key == "fault")
+        return parseBool(Inc.Fault);
       if (Key == "stage") {
         uint64_t N;
         if (!parseUInt(N))

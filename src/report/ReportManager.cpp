@@ -182,6 +182,8 @@ void mc::renderIncidentsJson(raw_ostream &OS,
     writeJsonString(OS, Inc.Checker);
     OS << ", \"outcome\": \""
        << (Inc.Quarantined ? "quarantined" : "degraded") << '"';
+    if (Inc.Fault)
+      OS << ", \"fault\": true"; // Additive: absent means false.
     if (!Inc.Quarantined)
       OS << ", \"stage\": " << Inc.Stage;
     OS << ", \"reason\": ";

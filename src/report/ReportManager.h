@@ -55,6 +55,9 @@ struct RootIncident {
   std::string Root;        ///< Root function name.
   std::string Checker;     ///< Checker that was running.
   bool Quarantined = false; ///< false = degraded (a cheaper stage succeeded).
+  bool Fault = false;      ///< Quarantine cause was a checker fault (a bug in
+                           ///< the checker), not an exhausted cost budget. The
+                           ///< service's cross-request quarantine keys on this.
   unsigned Stage = 0;      ///< Ladder stage that produced the result (1-3).
   std::string Reason;      ///< First abort reason (deadline, fault, ...).
 

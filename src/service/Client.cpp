@@ -1,0 +1,85 @@
+//===- service/Client.cpp - xgccd client round-trip -----------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace mc;
+
+bool mc::serviceRoundTrip(const std::string &SocketPath,
+                          const std::string &Line, std::string &ReplyOut,
+                          std::string *Err) {
+  auto Fail = [&](const char *What, int Fd) {
+    if (Err)
+      *Err = std::string(What) + ": " + std::strerror(errno);
+    if (Fd >= 0)
+      ::close(Fd);
+    return false;
+  };
+
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "bad socket path '" + SocketPath + "'";
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size());
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return Fail("socket", -1);
+  if (::connect(Fd, (const sockaddr *)&Addr, sizeof(Addr)) != 0)
+    return Fail("connect", Fd);
+
+  std::string Out = Line;
+  Out += '\n';
+  std::string_view Bytes = Out;
+  while (!Bytes.empty()) {
+    ssize_t N = ::send(Fd, Bytes.data(), Bytes.size(), MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Fail("send", Fd);
+    }
+    Bytes.remove_prefix(size_t(N));
+  }
+
+  ReplyOut.clear();
+  for (;;) {
+    char Tmp[4096];
+    ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Fail("recv", Fd);
+    }
+    if (N == 0)
+      break; // EOF before newline: treat what arrived as the reply.
+    ReplyOut.append(Tmp, size_t(N));
+    size_t NL = ReplyOut.find('\n');
+    if (NL != std::string::npos) {
+      ReplyOut.resize(NL);
+      ::close(Fd);
+      return true;
+    }
+  }
+  ::close(Fd);
+  if (ReplyOut.empty()) {
+    if (Err)
+      *Err = "connection closed without a response";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,30 @@
+//===- service/Client.h - xgccd client round-trip ---------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of the xgccd wire: connect to a Unix-domain socket, send
+/// one request line, read one response line. Used by `xgcc --server`,
+/// `xgccd --client`, the service tests and the throughput bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SERVICE_CLIENT_H
+#define MC_SERVICE_CLIENT_H
+
+#include <string>
+
+namespace mc {
+
+/// Sends \p Line (one request, no trailing newline needed — one is added)
+/// to the server at \p SocketPath and reads one newline-terminated reply
+/// into \p ReplyOut (newline stripped). False on connect/send/receive
+/// failure, with \p Err (when non-null) describing which.
+bool serviceRoundTrip(const std::string &SocketPath, const std::string &Line,
+                      std::string &ReplyOut, std::string *Err = nullptr);
+
+} // namespace mc
+
+#endif // MC_SERVICE_CLIENT_H

@@ -1,0 +1,523 @@
+//===- service/Protocol.cpp - xgccd wire schema ------------------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "report/ReportManager.h" // writeJsonString
+#include "support/Hash.h"
+#include "support/RawOstream.h"
+
+using namespace mc;
+
+const char *mc::serviceStatusName(ServiceStatus S) {
+  switch (S) {
+  case ServiceStatus::Ok:
+    return "ok";
+  case ServiceStatus::Incomplete:
+    return "incomplete";
+  case ServiceStatus::Overloaded:
+    return "overloaded";
+  case ServiceStatus::Retriable:
+    return "retriable";
+  case ServiceStatus::Error:
+    return "error";
+  }
+  return "error";
+}
+
+bool mc::parseServiceStatus(std::string_view Spelling, ServiceStatus &Out) {
+  if (Spelling == "ok")
+    Out = ServiceStatus::Ok;
+  else if (Spelling == "incomplete")
+    Out = ServiceStatus::Incomplete;
+  else if (Spelling == "overloaded")
+    Out = ServiceStatus::Overloaded;
+  else if (Spelling == "retriable")
+    Out = ServiceStatus::Retriable;
+  else if (Spelling == "error")
+    Out = ServiceStatus::Error;
+  else
+    return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeStringArray(raw_ostream &OS, const char *Key,
+                      const std::vector<std::string> &Items) {
+  OS << ", \"" << Key << "\": [";
+  for (size_t I = 0; I != Items.size(); ++I) {
+    if (I)
+      OS << ", ";
+    writeJsonString(OS, Items[I]);
+  }
+  OS << ']';
+}
+
+void writePairArray(raw_ostream &OS, const char *Key, const char *AKey,
+                    const char *BKey,
+                    const std::vector<std::pair<std::string, std::string>> &P) {
+  OS << ", \"" << Key << "\": [";
+  for (size_t I = 0; I != P.size(); ++I) {
+    OS << (I ? ", {" : "{") << '"' << AKey << "\": ";
+    writeJsonString(OS, P[I].first);
+    OS << ", \"" << BKey << "\": ";
+    writeJsonString(OS, P[I].second);
+    OS << '}';
+  }
+  OS << ']';
+}
+
+const char *jsonBool(bool B) { return B ? "true" : "false"; }
+
+} // namespace
+
+void ServiceRequest::serialize(raw_ostream &OS) const {
+  // Canonical form: every field, fixed order — serialize∘parse∘serialize is
+  // the identity, so fingerprint() is well-defined across processes.
+  OS << "{\"schema\": \"" << kServiceRequestSchema << "\", \"id\": ";
+  writeJsonString(OS, Id);
+  writeStringArray(OS, "files", Files);
+  writeStringArray(OS, "checkers", Checkers);
+  writePairArray(OS, "metal", "name", "source", Metal);
+  writeStringArray(OS, "include_dirs", IncludeDirs);
+  writePairArray(OS, "defines", "name", "value", Defines);
+  OS << ", \"jobs\": " << Jobs;
+  OS << ", \"deadline_ms\": " << DeadlineMs;
+  OS << ", \"rank\": ";
+  writeJsonString(OS, Rank);
+  OS << ", \"format\": ";
+  writeJsonString(OS, Format);
+  OS << ", \"explain_top_n\": " << ExplainTopN;
+  OS << ", \"keep_going\": " << jsonBool(KeepGoing);
+  OS << ", \"options\": {\"block_cache\": " << jsonBool(Options.BlockCache)
+     << ", \"function_summaries\": " << jsonBool(Options.FunctionSummaries)
+     << ", \"false_path_pruning\": " << jsonBool(Options.FalsePathPruning)
+     << ", \"dispatch_index\": " << jsonBool(Options.DispatchIndex)
+     << ", \"state_interning\": " << jsonBool(Options.StateInterning)
+     << ", \"interprocedural\": " << jsonBool(Options.Interprocedural)
+     << ", \"root_deadline_ms\": " << Options.RootDeadlineMs
+     << ", \"root_path_budget\": " << Options.RootPathBudget
+     << ", \"max_active_states\": " << Options.MaxActiveStates
+     << ", \"fail_on\": ";
+  writeJsonString(OS, Options.FailOn);
+  OS << "}, \"inject\": {\"slow_ms\": " << InjectKnobs.SlowMs
+     << ", \"die\": " << jsonBool(InjectKnobs.Die)
+     << ", \"poison_checker\": " << jsonBool(InjectKnobs.PoisonChecker)
+     << "}}";
+}
+
+std::string ServiceRequest::serializeToString() const {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  serialize(OS);
+  OS.flush();
+  return Buf;
+}
+
+uint64_t ServiceRequest::fingerprint() const {
+  ServiceRequest Anon = *this;
+  Anon.Id.clear();
+  return fnv1a64(Anon.serializeToString());
+}
+
+void ServiceResponse::serialize(raw_ostream &OS) const {
+  OS << "{\"schema\": \"" << kServiceResponseSchema << "\", \"id\": ";
+  writeJsonString(OS, Id);
+  OS << ", \"status\": \"" << serviceStatusName(Status) << '"';
+  OS << ", \"exit_code\": " << ExitCode;
+  OS << ", \"queue_ms\": " << QueueMs;
+  OS << ", \"run_ms\": " << RunMs;
+  OS << ", \"error\": ";
+  writeJsonString(OS, Error);
+  OS << ", \"output\": ";
+  writeJsonString(OS, Output);
+  OS << ", \"log\": ";
+  writeJsonString(OS, Log);
+  OS << ", \"manifest\": ";
+  writeJsonString(OS, Manifest);
+  OS << '}';
+}
+
+std::string ServiceResponse::serializeToString() const {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  serialize(OS);
+  OS.flush();
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The same strict-subset recursive-descent shape as the manifest reader —
+/// objects, arrays, strings, unsigned integers, booleans; unknown keys skip.
+struct LineParser {
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string *Err;
+
+  LineParser(std::string_view T, std::string *E) : Text(T), Err(E) {}
+
+  bool fail(const char *Why) {
+    if (Err && Err->empty())
+      *Err = Why;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool expect(char C) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail("unexpected character");
+    ++Pos;
+    return true;
+  }
+
+  bool peekIs(char C) {
+    skipWs();
+    return Pos < Text.size() && Text[Pos] == C;
+  }
+
+  bool parseString(std::string &Out) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("truncated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned V = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            V |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            V |= H - 'A' + 10;
+          else
+            return fail("bad \\u escape");
+        }
+        // The writer only emits \u00XX for control bytes.
+        Out += (char)(V & 0xff);
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    if (Pos >= Text.size())
+      return fail("unterminated string");
+    ++Pos;
+    return true;
+  }
+
+  bool parseUInt(uint64_t &Out) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+      return fail("expected number");
+    Out = 0;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      Out = Out * 10 + (Text[Pos++] - '0');
+    return true;
+  }
+
+  bool parseBool(bool &Out) {
+    skipWs();
+    if (Text.substr(Pos, 4) == "true") {
+      Pos += 4;
+      Out = true;
+      return true;
+    }
+    if (Text.substr(Pos, 5) == "false") {
+      Pos += 5;
+      Out = false;
+      return true;
+    }
+    return fail("expected boolean");
+  }
+
+  bool skipValue() {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("expected value");
+    char C = Text[Pos];
+    if (C == '"') {
+      std::string Tmp;
+      return parseString(Tmp);
+    }
+    if (C == '{')
+      return parseObject([&](const std::string &) { return skipValue(); });
+    if (C == '[')
+      return parseArray([&] { return skipValue(); });
+    if (C == 't' || C == 'f') {
+      bool B;
+      return parseBool(B);
+    }
+    uint64_t N;
+    return parseUInt(N);
+  }
+
+  /// {"key": value, ...} — \p OnKey consumes each value.
+  template <typename Fn> bool parseObject(Fn &&OnKey) {
+    if (!expect('{'))
+      return false;
+    if (peekIs('}')) {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      std::string Key;
+      if (!parseString(Key) || !expect(':'))
+        return false;
+      if (!OnKey(Key))
+        return false;
+      skipWs();
+      if (peekIs(',')) {
+        ++Pos;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  /// [value, ...] — \p OnItem consumes each element.
+  template <typename Fn> bool parseArray(Fn &&OnItem) {
+    if (!expect('['))
+      return false;
+    if (peekIs(']')) {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      if (!OnItem())
+        return false;
+      skipWs();
+      if (peekIs(',')) {
+        ++Pos;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  bool parseStringArray(std::vector<std::string> &Out) {
+    Out.clear();
+    return parseArray([&] {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out.push_back(std::move(S));
+      return true;
+    });
+  }
+
+  bool parsePairArray(const char *AKey, const char *BKey,
+                      std::vector<std::pair<std::string, std::string>> &Out) {
+    Out.clear();
+    return parseArray([&] {
+      std::pair<std::string, std::string> P;
+      if (!parseObject([&](const std::string &Key) {
+            if (Key == AKey)
+              return parseString(P.first);
+            if (Key == BKey)
+              return parseString(P.second);
+            return skipValue();
+          }))
+        return false;
+      Out.push_back(std::move(P));
+      return true;
+    });
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos == Text.size();
+  }
+};
+
+} // namespace
+
+bool ServiceRequest::parse(std::string_view Line, std::string *Err) {
+  if (Err)
+    Err->clear();
+  LineParser P(Line, Err);
+  ServiceRequest R;
+  std::string Schema;
+  bool Ok = P.parseObject([&](const std::string &Key) -> bool {
+    if (Key == "schema")
+      return P.parseString(Schema);
+    if (Key == "id")
+      return P.parseString(R.Id);
+    if (Key == "files")
+      return P.parseStringArray(R.Files);
+    if (Key == "checkers")
+      return P.parseStringArray(R.Checkers);
+    if (Key == "metal")
+      return P.parsePairArray("name", "source", R.Metal);
+    if (Key == "include_dirs")
+      return P.parseStringArray(R.IncludeDirs);
+    if (Key == "defines")
+      return P.parsePairArray("name", "value", R.Defines);
+    if (Key == "jobs") {
+      uint64_t N;
+      if (!P.parseUInt(N))
+        return false;
+      R.Jobs = unsigned(N);
+      return true;
+    }
+    if (Key == "deadline_ms")
+      return P.parseUInt(R.DeadlineMs);
+    if (Key == "rank")
+      return P.parseString(R.Rank);
+    if (Key == "format")
+      return P.parseString(R.Format);
+    if (Key == "explain_top_n") {
+      uint64_t N;
+      if (!P.parseUInt(N))
+        return false;
+      R.ExplainTopN = unsigned(N);
+      return true;
+    }
+    if (Key == "keep_going")
+      return P.parseBool(R.KeepGoing);
+    if (Key == "options")
+      return P.parseObject([&](const std::string &K) -> bool {
+        if (K == "block_cache")
+          return P.parseBool(R.Options.BlockCache);
+        if (K == "function_summaries")
+          return P.parseBool(R.Options.FunctionSummaries);
+        if (K == "false_path_pruning")
+          return P.parseBool(R.Options.FalsePathPruning);
+        if (K == "dispatch_index")
+          return P.parseBool(R.Options.DispatchIndex);
+        if (K == "state_interning")
+          return P.parseBool(R.Options.StateInterning);
+        if (K == "interprocedural")
+          return P.parseBool(R.Options.Interprocedural);
+        if (K == "root_deadline_ms")
+          return P.parseUInt(R.Options.RootDeadlineMs);
+        if (K == "root_path_budget")
+          return P.parseUInt(R.Options.RootPathBudget);
+        if (K == "max_active_states")
+          return P.parseUInt(R.Options.MaxActiveStates);
+        if (K == "fail_on")
+          return P.parseString(R.Options.FailOn);
+        return P.skipValue();
+      });
+    if (Key == "inject")
+      return P.parseObject([&](const std::string &K) -> bool {
+        if (K == "slow_ms")
+          return P.parseUInt(R.InjectKnobs.SlowMs);
+        if (K == "die")
+          return P.parseBool(R.InjectKnobs.Die);
+        if (K == "poison_checker")
+          return P.parseBool(R.InjectKnobs.PoisonChecker);
+        return P.skipValue();
+      });
+    return P.skipValue();
+  });
+  if (!Ok)
+    return false;
+  if (!P.atEnd())
+    return P.fail("trailing bytes after request");
+  if (Schema != kServiceRequestSchema)
+    return P.fail("not an mc.service-request.v1 line");
+  *this = std::move(R);
+  return true;
+}
+
+bool ServiceResponse::parse(std::string_view Line, std::string *Err) {
+  if (Err)
+    Err->clear();
+  LineParser P(Line, Err);
+  ServiceResponse R;
+  std::string Schema;
+  bool Ok = P.parseObject([&](const std::string &Key) -> bool {
+    if (Key == "schema")
+      return P.parseString(Schema);
+    if (Key == "id")
+      return P.parseString(R.Id);
+    if (Key == "status") {
+      std::string S;
+      if (!P.parseString(S))
+        return false;
+      return parseServiceStatus(S, R.Status) || P.fail("unknown status");
+    }
+    if (Key == "exit_code") {
+      uint64_t N;
+      if (!P.parseUInt(N))
+        return false;
+      R.ExitCode = unsigned(N);
+      return true;
+    }
+    if (Key == "queue_ms")
+      return P.parseUInt(R.QueueMs);
+    if (Key == "run_ms")
+      return P.parseUInt(R.RunMs);
+    if (Key == "error")
+      return P.parseString(R.Error);
+    if (Key == "output")
+      return P.parseString(R.Output);
+    if (Key == "log")
+      return P.parseString(R.Log);
+    if (Key == "manifest")
+      return P.parseString(R.Manifest);
+    return P.skipValue();
+  });
+  if (!Ok)
+    return false;
+  if (!P.atEnd())
+    return P.fail("trailing bytes after response");
+  if (Schema != kServiceResponseSchema)
+    return P.fail("not an mc.service-response.v1 line");
+  *this = std::move(R);
+  return true;
+}

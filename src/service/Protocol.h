@@ -1,0 +1,174 @@
+//===- service/Protocol.h - xgccd wire schema -------------------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The xgccd request/response wire schema: newline-delimited JSON, one
+/// `mc.service-request.v1` object per line in, one `mc.service-response.v1`
+/// object per line out. The response embeds the exact bytes a standalone
+/// `xgcc` run would have printed for the same request (`output`) plus the
+/// run's `mc.run-manifest.v1` manifest (as an escaped JSON string, so the
+/// response itself stays single-line). See docs/SERVICE.md for the schema
+/// and the status taxonomy.
+///
+/// Both sides parse with the same strict-subset recursive-descent style the
+/// manifest reader uses: objects, arrays, strings, unsigned integers and
+/// booleans; unknown keys skip, so the schema can grow additively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SERVICE_PROTOCOL_H
+#define MC_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mc {
+
+class raw_ostream;
+
+/// Schema identifiers; bump on breaking changes.
+inline constexpr const char *kServiceRequestSchema = "mc.service-request.v1";
+inline constexpr const char *kServiceResponseSchema = "mc.service-response.v1";
+
+/// Terminal status of one request. The taxonomy is the robustness contract:
+/// a client can branch on status alone without parsing diagnostics.
+enum class ServiceStatus {
+  Ok,         ///< Analysis ran to completion with full fidelity.
+  Incomplete, ///< Analysis ran, but parsing failed or roots were
+              ///< degraded/quarantined — partial results, explicit trailer.
+  Overloaded, ///< Bounded admission rejected the request (queue full).
+              ///< Typed so load balancers can back off without string
+              ///< matching.
+  Retriable,  ///< Nothing ran: the server is draining, the deadline expired
+              ///< in queue, or a previous attempt at this exact request died
+              ///< mid-flight (crash-journal recovery). Safe to resend.
+  Error,      ///< The request itself is bad (malformed JSON, unknown
+              ///< checker, unreadable file). Resending verbatim will fail
+              ///< again.
+};
+
+const char *serviceStatusName(ServiceStatus S);
+/// Parses a status spelling; false on an unknown value.
+bool parseServiceStatus(std::string_view Spelling, ServiceStatus &Out);
+
+/// One analysis request. Field-for-field this mirrors the standalone CLI
+/// surface it replays (checker selection, -I/-D, --rank/--format/--explain,
+/// the engine toggles), plus the service-only knobs: a request-level
+/// deadline, and the fault-injection block tests use to exercise every
+/// degradation path deterministically.
+struct ServiceRequest {
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  std::string Id;
+  /// Source files to analyze, resolved against the *server's* cwd. The
+  /// request fingerprint hashes the paths, not the content — content change
+  /// detection is the cache's job.
+  std::vector<std::string> Files;
+  /// Builtin checker names; empty (with no metal) = the full builtin suite,
+  /// exactly like the CLI default.
+  std::vector<std::string> Checkers;
+  /// Inline metal checkers: (name, source text). Inline rather than by path
+  /// so the checker fingerprint is self-contained in the request.
+  std::vector<std::pair<std::string, std::string>> Metal;
+  /// -I include directories, in order.
+  std::vector<std::string> IncludeDirs;
+  /// -D macro definitions: (name, value); value "1" for bare -DNAME.
+  std::vector<std::pair<std::string, std::string>> Defines;
+  /// Worker threads (0 = the server's default). Never changes a report byte.
+  unsigned Jobs = 0;
+  /// Request-level wall-clock deadline in ms, covering queue wait + run
+  /// (0 = the server's default). Enforced cooperatively: the remaining
+  /// budget clamps the per-root deadline when the request starts.
+  uint64_t DeadlineMs = 0;
+  std::string Rank = "generic";  ///< generic | statistical | combined.
+  std::string Format = "text";   ///< text | json.
+  unsigned ExplainTopN = 0;      ///< --explain[=N]; 0 = off.
+  bool KeepGoing = false;        ///< --keep-going.
+
+  /// The engine-option subset a request may override (the rest keep their
+  /// EngineOptions defaults, same as the CLI).
+  struct EngineKnobs {
+    bool BlockCache = true;
+    bool FunctionSummaries = true;
+    bool FalsePathPruning = true;
+    bool DispatchIndex = true;
+    bool StateInterning = true;
+    bool Interprocedural = true;
+    uint64_t RootDeadlineMs = 0;
+    uint64_t RootPathBudget = 0;
+    uint64_t MaxActiveStates = 0; ///< 0 = keep the engine default.
+    std::string FailOn = "never"; ///< never | error | degraded.
+
+    friend bool operator==(const EngineKnobs &, const EngineKnobs &) = default;
+  };
+  EngineKnobs Options;
+
+  /// Service-level FaultInjector knobs. Ignored (with a log line) unless the
+  /// server runs with --allow-inject.
+  struct Inject {
+    uint64_t SlowMs = 0;       ///< Sleep before analyzing (a slow request).
+    bool Die = false;          ///< _exit() mid-request (crash-journal test).
+    bool PoisonChecker = false; ///< Register a fault_injector checker in
+                                ///< Fault mode (quarantine/backoff test).
+
+    friend bool operator==(const Inject &, const Inject &) = default;
+  };
+  Inject InjectKnobs;
+
+  /// Canonical single-line serialization. serialize → parse → serialize is
+  /// byte-stable, which is what makes fingerprint() well-defined.
+  void serialize(raw_ostream &OS) const;
+  std::string serializeToString() const;
+  /// Parses one request line. False (with \p Err set when non-null) on
+  /// malformed input or a schema mismatch.
+  bool parse(std::string_view Line, std::string *Err = nullptr);
+
+  /// Identity of the *work*, independent of the correlation id: the FNV-1a
+  /// hash of the canonical serialization with Id cleared. The crash journal
+  /// keys on this, so a resent request is recognized after a restart even
+  /// though the client picked a fresh id.
+  uint64_t fingerprint() const;
+
+  friend bool operator==(const ServiceRequest &,
+                         const ServiceRequest &) = default;
+};
+
+/// One response line.
+struct ServiceResponse {
+  std::string Id; ///< Echo of the request id.
+  ServiceStatus Status = ServiceStatus::Error;
+  /// The exact stdout bytes a standalone `xgcc` run of the same request
+  /// would print (reports + count + optional --explain rendering, or the
+  /// JSON report array). Byte-identical at any jobs count — the determinism
+  /// contract extended across the wire. Empty when nothing ran.
+  std::string Output;
+  /// The request's private diagnostic stream (what standalone xgcc would
+  /// have sent to stderr), plus service-side notes (quarantine exclusions).
+  std::string Log;
+  /// The run's mc.run-manifest.v1 JSON text, escaped into a string so the
+  /// response stays one line. Parse with parseRunManifest. Empty when
+  /// nothing ran.
+  std::string Manifest;
+  /// Human-readable reason for overloaded/retriable/error.
+  std::string Error;
+  /// The exit code a standalone run would have returned (--fail-on policy).
+  unsigned ExitCode = 0;
+  uint64_t QueueMs = 0; ///< Admission-to-execution wait.
+  uint64_t RunMs = 0;   ///< Execution wall clock.
+
+  void serialize(raw_ostream &OS) const;
+  std::string serializeToString() const;
+  bool parse(std::string_view Line, std::string *Err = nullptr);
+
+  friend bool operator==(const ServiceResponse &,
+                         const ServiceResponse &) = default;
+};
+
+} // namespace mc
+
+#endif // MC_SERVICE_PROTOCOL_H

@@ -1,0 +1,704 @@
+//===- service/Server.cpp - The xgccd analysis service --------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "checkers/FaultInjector.h"
+#include "driver/Tool.h"
+#include "report/Witness.h"
+#include "support/RawOstream.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace mc;
+namespace fs = std::filesystem;
+
+//===----------------------------------------------------------------------===//
+// RequestJournal
+//===----------------------------------------------------------------------===//
+
+static std::string hex16(uint64_t V) {
+  char Buf[17];
+  static const char Digits[] = "0123456789abcdef";
+  for (int I = 15; I >= 0; --I) {
+    Buf[I] = Digits[V & 0xf];
+    V >>= 4;
+  }
+  Buf[16] = '\0';
+  return Buf;
+}
+
+RequestJournal::RequestJournal(const std::string &CacheDir)
+    : Dir(CacheDir + "/journal") {
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+}
+
+std::string RequestJournal::pathFor(uint64_t Fp) const {
+  return Dir + "/req-" + hex16(Fp) + ".j";
+}
+
+void RequestJournal::begin(uint64_t Fp, const std::string &RawLine) {
+  // Plain stdio on purpose: the cache's writeFileBytes path carries the
+  // FaultInjector's fs knob, and a disk-fault test aimed at the store must
+  // not eat the journal entry instead.
+  std::FILE *F = std::fopen(pathFor(Fp).c_str(), "wb");
+  if (!F)
+    return;
+  std::fwrite(RawLine.data(), 1, RawLine.size(), F);
+  std::fclose(F);
+}
+
+void RequestJournal::end(uint64_t Fp) {
+  std::error_code EC;
+  fs::remove(pathFor(Fp), EC);
+}
+
+void RequestJournal::absolve(uint64_t Fp) { end(Fp); }
+
+std::set<uint64_t> RequestJournal::recoverSuspects() const {
+  std::set<uint64_t> Out;
+  std::error_code EC;
+  fs::directory_iterator It(Dir, EC), End;
+  for (; !EC && It != End; It.increment(EC)) {
+    std::string Name = It->path().filename().string();
+    // req-<16 hex>.j
+    if (Name.size() != 4 + 16 + 2 || Name.compare(0, 4, "req-") != 0 ||
+        Name.compare(20, 2, ".j") != 0)
+      continue;
+    uint64_t Fp = 0;
+    bool Valid = true;
+    for (size_t I = 4; I != 20; ++I) {
+      char C = Name[I];
+      Fp <<= 4;
+      if (C >= '0' && C <= '9')
+        Fp |= uint64_t(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Fp |= uint64_t(C - 'a' + 10);
+      else {
+        Valid = false;
+        break;
+      }
+    }
+    if (Valid)
+      Out.insert(Fp);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// ServiceServer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+bool sendAll(int Fd, std::string_view Bytes) {
+  while (!Bytes.empty()) {
+    ssize_t N = ::send(Fd, Bytes.data(), Bytes.size(), MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Bytes.remove_prefix(size_t(N));
+  }
+  return true;
+}
+
+} // namespace
+
+struct ServiceServer::Impl {
+  explicit Impl(const ServiceConfig &C)
+      : Cfg(C), Log(C.Log ? *C.Log : errs()), Journal(C.CacheDir),
+        Quarantine(C.QuarantineCleanRequests, C.QuarantineMaxBackoff) {}
+
+  ServiceConfig Cfg;
+  raw_ostream &Log;
+
+  /// The resident warm state: one cache (and its directory lock), one pool.
+  std::unique_ptr<AnalysisCache> Cache;
+  std::unique_ptr<ThreadPool> Pool;
+
+  RequestJournal Journal;
+  /// Executor-thread-only state (analysis is serialized, so neither needs a
+  /// lock): the cross-request quarantine and the crash suspects recovered
+  /// from the journal at startup.
+  QuarantineTable Quarantine;
+  std::set<uint64_t> Suspects;
+
+  int ListenFd = -1;
+  int WakeR = -1, WakeW = -1;
+
+  /// One admitted request: the connection thread parks on CV until the
+  /// executor fills Resp and flips Done.
+  struct Ticket {
+    ServiceRequest Req;
+    std::string RawLine;
+    std::chrono::steady_clock::time_point AdmitTime;
+    std::mutex Mu;
+    std::condition_variable CV;
+    bool Done = false;
+    ServiceResponse Resp;
+  };
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCV;
+  std::deque<std::shared_ptr<Ticket>> Queue; ///< Guarded by QueueMu.
+  bool Draining = false;                     ///< Guarded by QueueMu.
+
+  std::mutex ConnMu;
+  std::vector<std::thread> ConnThreads; ///< Guarded by ConnMu.
+  std::set<int> ConnFds;                ///< Guarded by ConnMu.
+
+  std::thread Executor;
+
+  bool start();
+  int serve();
+  void handleConnection(int Fd);
+  ServiceResponse dispatchLine(const std::string &Line);
+  void executorLoop();
+  void processTicket(Ticket &T);
+  void execute(const ServiceRequest &Req, ServiceResponse &Resp,
+               uint64_t RemainingMs, std::vector<std::string> &Faulted,
+               std::vector<std::string> &Probed);
+};
+
+bool ServiceServer::Impl::start() {
+  if (Cfg.CacheDir.empty()) {
+    Log << "xgccd: --cache-dir is required (the warm stores are the point)\n";
+    return false;
+  }
+  Cache = std::make_unique<AnalysisCache>(Cfg.CacheDir);
+  if (!Cache->usable()) {
+    if (Cache->lockConflict())
+      Log << "xgccd: cache directory '" << Cfg.CacheDir
+          << "' is locked by process " << Cache->lockHolderPid()
+          << "; refusing to start\n";
+    else
+      Log << "xgccd: cannot open cache directory '" << Cfg.CacheDir << "'\n";
+    return false;
+  }
+
+  Suspects = Journal.recoverSuspects();
+  if (!Suspects.empty())
+    Log << "xgccd: " << Suspects.size()
+        << " request(s) found mid-flight in the journal — the previous "
+           "process died inside them; their resends will be answered "
+           "retriable once\n";
+
+  Pool = std::make_unique<ThreadPool>(0);
+
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  if (Cfg.SocketPath.empty() ||
+      Cfg.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Log << "xgccd: bad socket path '" << Cfg.SocketPath << "'\n";
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Cfg.SocketPath.c_str(), Cfg.SocketPath.size());
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0) {
+    Log << "xgccd: socket: " << std::strerror(errno) << '\n';
+    return false;
+  }
+  // The cache lock (held above) already guarantees we are the only daemon on
+  // this store, so a leftover socket file is stale by construction.
+  ::unlink(Cfg.SocketPath.c_str());
+  if (::bind(ListenFd, (const sockaddr *)&Addr, sizeof(Addr)) != 0 ||
+      ::listen(ListenFd, 64) != 0) {
+    Log << "xgccd: cannot listen on '" << Cfg.SocketPath
+        << "': " << std::strerror(errno) << '\n';
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+
+  int Pipe[2];
+  if (::pipe2(Pipe, O_CLOEXEC) != 0) {
+    Log << "xgccd: pipe2: " << std::strerror(errno) << '\n';
+    return false;
+  }
+  WakeR = Pipe[0];
+  WakeW = Pipe[1];
+
+  Log << "xgccd: listening on " << Cfg.SocketPath << " (cache "
+      << Cfg.CacheDir << ", max queue " << Cfg.MaxQueue << ")\n";
+  return true;
+}
+
+int ServiceServer::Impl::serve() {
+  Executor = std::thread([this] { executorLoop(); });
+
+  for (;;) {
+    pollfd P[2] = {{ListenFd, POLLIN, 0}, {WakeR, POLLIN, 0}};
+    int R = ::poll(P, 2, -1);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      Log << "xgccd: poll: " << std::strerror(errno) << '\n';
+      break;
+    }
+    if (P[1].revents)
+      break; // requestStop(): begin the drain.
+    if (P[0].revents & (POLLERR | POLLHUP))
+      break;
+    if (P[0].revents & POLLIN) {
+      int Fd = ::accept4(ListenFd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (Fd < 0)
+        continue;
+      std::lock_guard<std::mutex> L(ConnMu);
+      ConnFds.insert(Fd);
+      ConnThreads.emplace_back([this, Fd] { handleConnection(Fd); });
+    }
+  }
+
+  // Drain, in dependency order: (1) stop admission — close the listen
+  // socket and flip Draining so in-flight connections get `retriable`;
+  // (2) let the executor answer everything already admitted; (3) unblock
+  // idle readers and join the connection threads; (4) flush the stores.
+  Log << "xgccd: draining\n";
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    Draining = true;
+  }
+  QueueCV.notify_all();
+  ::close(ListenFd);
+  ListenFd = -1;
+
+  Executor.join();
+
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    for (int Fd : ConnFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    Threads.swap(ConnThreads);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  if (Cfg.CacheMaxMB)
+    Cache->evictToLimit(Cfg.CacheMaxMB * 1024ull * 1024ull);
+  Cache.reset(); // Releases the directory lock.
+  ::unlink(Cfg.SocketPath.c_str());
+  Log << "xgccd: drained cleanly\n";
+  return 0;
+}
+
+void ServiceServer::Impl::handleConnection(int Fd) {
+  std::string Buf;
+  bool Open = true;
+  while (Open) {
+    size_t NL;
+    while ((NL = Buf.find('\n')) == std::string::npos) {
+      char Tmp[4096];
+      ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+      if (N <= 0) {
+        Open = false;
+        break;
+      }
+      Buf.append(Tmp, size_t(N));
+    }
+    if (!Open)
+      break;
+    std::string Line = Buf.substr(0, NL);
+    Buf.erase(0, NL + 1);
+    if (Line.empty())
+      continue;
+    ServiceResponse Resp = dispatchLine(Line);
+    std::string Out = Resp.serializeToString();
+    Out += '\n';
+    if (!sendAll(Fd, Out))
+      break;
+  }
+  std::lock_guard<std::mutex> L(ConnMu);
+  ConnFds.erase(Fd);
+  ::close(Fd);
+}
+
+ServiceResponse ServiceServer::Impl::dispatchLine(const std::string &Line) {
+  ServiceResponse Resp;
+  std::string Err;
+  ServiceRequest Req;
+  if (!Req.parse(Line, &Err)) {
+    Resp.Status = ServiceStatus::Error;
+    Resp.Error = "malformed request: " + Err;
+    return Resp;
+  }
+
+  auto T = std::make_shared<Ticket>();
+  T->Req = std::move(Req);
+  T->RawLine = Line;
+  T->AdmitTime = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    if (Draining) {
+      Resp.Id = T->Req.Id;
+      Resp.Status = ServiceStatus::Retriable;
+      Resp.Error = "server is draining";
+      return Resp;
+    }
+    if (Queue.size() >= Cfg.MaxQueue) {
+      Resp.Id = T->Req.Id;
+      Resp.Status = ServiceStatus::Overloaded;
+      Resp.Error = "admission queue is full (" +
+                   std::to_string(Queue.size()) + " request(s) admitted)";
+      return Resp;
+    }
+    Queue.push_back(T);
+  }
+  QueueCV.notify_one();
+
+  std::unique_lock<std::mutex> L(T->Mu);
+  T->CV.wait(L, [&] { return T->Done; });
+  return T->Resp;
+}
+
+void ServiceServer::Impl::executorLoop() {
+  for (;;) {
+    std::shared_ptr<Ticket> T;
+    {
+      std::unique_lock<std::mutex> L(QueueMu);
+      QueueCV.wait(L, [&] { return Draining || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Draining and nothing admitted: done.
+      T = Queue.front();
+      Queue.pop_front();
+    }
+    processTicket(*T);
+    {
+      std::lock_guard<std::mutex> L(T->Mu);
+      T->Done = true;
+    }
+    T->CV.notify_one();
+  }
+}
+
+void ServiceServer::Impl::processTicket(Ticket &T) {
+  using namespace std::chrono;
+  const ServiceRequest &Req = T.Req;
+  ServiceResponse &Resp = T.Resp;
+  auto Start = steady_clock::now();
+  Resp.Id = Req.Id;
+  Resp.QueueMs = uint64_t(duration_cast<milliseconds>(Start - T.AdmitTime).count());
+
+  // The deadline covers queue wait + run as one budget. A request that
+  // already blew it gets answered without burning any analysis time.
+  uint64_t EffDeadlineMs =
+      Req.DeadlineMs ? Req.DeadlineMs : Cfg.DefaultDeadlineMs;
+  if (EffDeadlineMs && Resp.QueueMs >= EffDeadlineMs) {
+    Resp.Status = ServiceStatus::Retriable;
+    Resp.Error = "deadline (" + std::to_string(EffDeadlineMs) +
+                 " ms) expired while queued";
+    return;
+  }
+
+  // Crash recovery: if a previous process died while running this exact
+  // work (same fingerprint), say so once instead of crash-looping silently.
+  uint64_t Fp = Req.fingerprint();
+  if (Suspects.count(Fp)) {
+    Suspects.erase(Fp);
+    Journal.absolve(Fp);
+    Resp.Status = ServiceStatus::Retriable;
+    Resp.Error = "a previous attempt at this request died mid-flight "
+                 "(crash-journal hit); resend to run it again";
+    Log << "xgccd: request " << hex16(Fp)
+        << " matches a crash-journal suspect; answered retriable\n";
+    return;
+  }
+
+  Journal.begin(Fp, T.RawLine);
+
+  // Service-level fault injection (tests only; requires --allow-inject).
+  if (Req.InjectKnobs.SlowMs || Req.InjectKnobs.Die ||
+      Req.InjectKnobs.PoisonChecker) {
+    if (!Cfg.AllowInject) {
+      Log << "xgccd: request " << hex16(Fp)
+          << " carries inject knobs; ignored (started without "
+             "--allow-inject)\n";
+    } else {
+      if (Req.InjectKnobs.SlowMs)
+        std::this_thread::sleep_for(milliseconds(Req.InjectKnobs.SlowMs));
+      if (Req.InjectKnobs.Die)
+        ::_exit(86); // Simulated crash: the journal entry stays behind.
+    }
+  }
+
+  std::vector<std::string> Faulted, Probed;
+  uint64_t RemainingMs = EffDeadlineMs ? EffDeadlineMs - Resp.QueueMs : 0;
+  execute(Req, Resp, RemainingMs, Faulted, Probed);
+
+  Journal.end(Fp);
+  Resp.RunMs =
+      uint64_t(duration_cast<milliseconds>(steady_clock::now() - Start).count());
+
+  // Quarantine bookkeeping, only for requests that actually analyzed.
+  // Completed-request time advances first so a checker quarantined *by this
+  // request* still serves its full sentence.
+  if (Resp.Status == ServiceStatus::Ok ||
+      Resp.Status == ServiceStatus::Incomplete) {
+    Quarantine.noteCompletedRequest();
+    for (const std::string &Name : Probed)
+      if (std::find(Faulted.begin(), Faulted.end(), Name) == Faulted.end()) {
+        Quarantine.noteCleanProbe(Name);
+        Log << "xgccd: checker '" << Name << "' ran clean on probation; "
+            << "quarantine lifted\n";
+      }
+    for (const std::string &Name : Faulted) {
+      Quarantine.noteFault(Name);
+      Log << "xgccd: checker '" << Name << "' faulted; quarantined for "
+          << Quarantine.remaining(Name) << " request(s)\n";
+    }
+  }
+}
+
+void ServiceServer::Impl::execute(const ServiceRequest &Req,
+                                  ServiceResponse &Resp, uint64_t RemainingMs,
+                                  std::vector<std::string> &Faulted,
+                                  std::vector<std::string> &Probed) {
+  auto Fail = [&](std::string Why) {
+    Resp.Status = ServiceStatus::Error;
+    Resp.Error = std::move(Why);
+    Resp.ExitCode = 2; // What the standalone CLI returns for a usage error.
+  };
+  if (Req.Files.empty())
+    return Fail("no input files");
+
+  RankPolicy Policy;
+  if (Req.Rank == "generic")
+    Policy = RankPolicy::Generic;
+  else if (Req.Rank == "statistical")
+    Policy = RankPolicy::Statistical;
+  else if (Req.Rank == "combined")
+    Policy = RankPolicy::Combined;
+  else
+    return Fail("unknown rank mode '" + Req.Rank + "'");
+  bool Json;
+  if (Req.Format == "text")
+    Json = false;
+  else if (Req.Format == "json")
+    Json = true;
+  else
+    return Fail("unknown format '" + Req.Format + "'");
+
+  EngineOptions Opts;
+  Opts.Jobs = Req.Jobs ? Req.Jobs : Cfg.DefaultJobs;
+  Opts.EnableBlockCache = Req.Options.BlockCache;
+  if (!Req.Options.BlockCache)
+    Opts.MaxPathsPerFunction = 1u << 16; // The CLI's --no-cache companion.
+  Opts.EnableFunctionSummaries = Req.Options.FunctionSummaries;
+  Opts.EnableFalsePathPruning = Req.Options.FalsePathPruning;
+  Opts.EnableDispatchIndex = Req.Options.DispatchIndex;
+  Opts.EnableStateInterning = Req.Options.StateInterning;
+  Opts.Interprocedural = Req.Options.Interprocedural;
+  Opts.RootPathBudget = Req.Options.RootPathBudget;
+  if (Req.Options.MaxActiveStates)
+    Opts.MaxActiveStates = Req.Options.MaxActiveStates;
+  Opts.Reporting.RootDeadlineMs = Req.Options.RootDeadlineMs;
+  if (!parseFailPolicy(Req.Options.FailOn, Opts.Reporting.FailOn))
+    return Fail("unknown fail-on mode '" + Req.Options.FailOn + "'");
+  if (Req.ExplainTopN) {
+    Opts.Reporting.ExplainTopN = Req.ExplainTopN;
+    Opts.Reporting.CaptureWitness = true;
+  }
+  // Whatever deadline budget the queue left clamps the per-root deadline;
+  // from here the engine's degradation ladder enforces it root by root.
+  if (RemainingMs &&
+      (!Opts.Reporting.RootDeadlineMs ||
+       Opts.Reporting.RootDeadlineMs > RemainingMs))
+    Opts.Reporting.RootDeadlineMs = RemainingMs;
+
+  std::string LogBuf;
+  raw_string_ostream LogOS(LogBuf);
+  XgccTool Tool(&LogOS);
+  Tool.setSharedCache(Cache.get());
+  Tool.setWorkerPool(Pool.get());
+  Tool.setKeepGoing(Req.KeepGoing);
+  for (const std::string &Dir : Req.IncludeDirs)
+    Tool.preprocessor().addIncludeDir(Dir);
+  for (const auto &[Name, Value] : Req.Defines)
+    Tool.preprocessor().define(Name, Value);
+
+  // Checker selection mirrors the CLI: default full builtin suite,
+  // path_kill stable-sorted first. The service adds one filter on top —
+  // checkers in cross-request quarantine are excluded, with a synthetic
+  // incident in the manifest so the exclusion is visible evidence.
+  std::vector<std::string> Excluded;
+  auto Blocked = [&](const std::string &Name) {
+    if (!Quarantine.blocked(Name))
+      return false;
+    Excluded.push_back(Name);
+    LogOS << "xgccd: checker '" << Name << "' is quarantined; re-probe in "
+          << Quarantine.remaining(Name) << " request(s)\n";
+    return true;
+  };
+  auto NoteProbe = [&](const std::string &Name) {
+    if (Quarantine.onProbation(Name))
+      Probed.push_back(Name);
+  };
+
+  std::vector<std::string> CheckerNames = Req.Checkers;
+  if (CheckerNames.empty() && Req.Metal.empty())
+    CheckerNames = builtinCheckerNames();
+  std::stable_sort(CheckerNames.begin(), CheckerNames.end(),
+                   [](const std::string &A, const std::string &B) {
+                     return (A == "path_kill") > (B == "path_kill");
+                   });
+  for (const std::string &Name : CheckerNames) {
+    if (Blocked(Name))
+      continue;
+    if (!Tool.addBuiltinChecker(Name))
+      return Fail("unknown builtin checker '" + Name + "'");
+    NoteProbe(Name);
+  }
+  for (const auto &[Name, Source] : Req.Metal) {
+    if (Blocked(Name))
+      continue;
+    if (!Tool.addMetalChecker(Source, Name))
+      return Fail("errors in metal checker '" + Name + "'");
+    NoteProbe(Name);
+  }
+  if (Cfg.AllowInject && Req.InjectKnobs.PoisonChecker) {
+    std::string Name = "fault_injector";
+    if (!Blocked(Name)) {
+      Tool.addChecker(
+          std::make_unique<FaultInjectorChecker>(FaultInjectorChecker::Mode::Fault));
+      NoteProbe(Name);
+    }
+  }
+
+  // Pass 1, batched exactly like the CLI (.mast images load serially at
+  // their command-line position).
+  bool ParseOk = true;
+  std::vector<std::string> Batch;
+  auto FlushBatch = [&] {
+    if (Batch.empty())
+      return;
+    ParseOk &= Tool.addSourceFiles(Batch, Opts.Jobs);
+    Batch.clear();
+  };
+  for (const std::string &Path : Req.Files) {
+    if (endsWith(Path, ".mast")) {
+      FlushBatch();
+      ParseOk &= Tool.addMastFile(Path);
+    } else {
+      Batch.push_back(Path);
+    }
+  }
+  FlushBatch();
+  if (!ParseOk)
+    LogOS << "xgcc: continuing despite parse errors\n";
+
+  Tool.run(Opts);
+
+  // Output assembly: the exact byte sequence a standalone run prints.
+  std::string OutBuf;
+  raw_string_ostream OutOS(OutBuf);
+  if (Json) {
+    Tool.reports().printJson(OutOS, Policy);
+  } else {
+    Tool.reports().print(OutOS, Policy);
+    OutOS << Tool.reports().size() << " report(s)\n";
+    if (Opts.Reporting.ExplainTopN)
+      renderExplainText(OutOS, Tool.reports(), Tool.sourceManager(), Policy,
+                        Opts.Reporting.ExplainTopN);
+  }
+
+  RunManifest Man = Tool.manifest(Opts, ParseOk);
+  // Collect this run's checker faults *before* appending the synthetic
+  // exclusion incidents (those carry Fault too, but describe old news).
+  for (const RootIncident &Inc : Man.Incidents)
+    if (Inc.Fault &&
+        std::find(Faulted.begin(), Faulted.end(), Inc.Checker) == Faulted.end())
+      Faulted.push_back(Inc.Checker);
+  for (const std::string &Name : Excluded) {
+    RootIncident Inc;
+    Inc.Root = "<service>";
+    Inc.Checker = Name;
+    Inc.Quarantined = true;
+    Inc.Fault = true;
+    Inc.Reason = "service quarantine: re-probe after " +
+                 std::to_string(Quarantine.remaining(Name)) +
+                 " clean request(s)";
+    Man.Incidents.push_back(std::move(Inc));
+  }
+
+  Resp.Output = std::move(OutBuf);
+  {
+    raw_string_ostream MOS(Resp.Manifest);
+    Man.writeJson(MOS);
+  }
+  Resp.Log = std::move(LogBuf);
+  Resp.Status = (!ParseOk || !Man.Incidents.empty())
+                    ? ServiceStatus::Incomplete
+                    : ServiceStatus::Ok;
+
+  // The exit code a standalone run would have returned under its --fail-on
+  // policy, so `xgcc --server` can just exit with it.
+  Resp.ExitCode = 0;
+  if (Opts.Reporting.FailOn != FailPolicy::Never) {
+    if (Tool.reports().anyQuarantined() || !ParseOk)
+      Resp.ExitCode = 1;
+    else if (Opts.Reporting.FailOn == FailPolicy::Degraded &&
+             Tool.reports().anyDegraded())
+      Resp.ExitCode = 1;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Public surface
+//===----------------------------------------------------------------------===//
+
+ServiceServer::ServiceServer(const ServiceConfig &Cfg) : M(new Impl(Cfg)) {}
+
+ServiceServer::~ServiceServer() {
+  if (M->ListenFd >= 0)
+    ::close(M->ListenFd);
+  if (M->WakeR >= 0)
+    ::close(M->WakeR);
+  if (M->WakeW >= 0)
+    ::close(M->WakeW);
+  delete M;
+}
+
+bool ServiceServer::start() { return M->start(); }
+
+int ServiceServer::serve() { return M->serve(); }
+
+void ServiceServer::requestStop() {
+  // Async-signal-safe: one write to the wake pipe; serve() does the rest.
+  if (M->WakeW >= 0) {
+    char C = 'q';
+    [[maybe_unused]] ssize_t N = ::write(M->WakeW, &C, 1);
+  }
+}

@@ -11,8 +11,14 @@
 #include "support/RawOstream.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <system_error>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 using namespace mc;
@@ -441,9 +447,59 @@ AnalysisCache::AnalysisCache(std::string D) : Dir(std::move(D)) {
   std::error_code EC;
   fs::create_directories(Dir, EC);
   Usable = !EC || fs::is_directory(Dir, EC);
-  if (!Usable)
+  if (!Usable) {
     errs() << "xgcc: cache: cannot open cache directory '" << Dir
            << "'; caching disabled this run\n";
+    return;
+  }
+  acquireLock();
+}
+
+void AnalysisCache::acquireLock() {
+  std::string LockPath = Dir + "/lock";
+  LockFd = ::open(LockPath.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (LockFd < 0) {
+    Usable = false;
+    errs() << "xgcc: cache: cannot open lock file '" << LockPath
+           << "'; caching disabled this run\n";
+    return;
+  }
+  if (::flock(LockFd, LOCK_EX | LOCK_NB) == 0) {
+    // Ours. Advertise our pid for the diagnostics of whoever comes second.
+    std::string Pid = std::to_string(long(::getpid())) + "\n";
+    if (::ftruncate(LockFd, 0) == 0)
+      (void)!::write(LockFd, Pid.data(), Pid.size());
+    return;
+  }
+  // Held elsewhere. Read the holder's advertised pid and probe whether that
+  // process is still alive: flock drops with its holder, so a conflicting
+  // lock normally means a live holder — but a recycled pid or a foreign
+  // filesystem can leave the pid file pointing at a ghost, and the
+  // distinction belongs in the diagnostic.
+  char Buf[32] = {};
+  ssize_t N = ::pread(LockFd, Buf, sizeof(Buf) - 1, 0);
+  LockHolderPid = N > 0 ? std::strtol(Buf, nullptr, 10) : 0;
+  bool HolderAlive =
+      LockHolderPid > 0 && (::kill(pid_t(LockHolderPid), 0) == 0 ||
+                            errno != ESRCH);
+  errs() << "xgcc: cache: directory '" << Dir << "' is locked by ";
+  if (LockHolderPid > 0)
+    errs() << (HolderAlive ? "running" : "stale-looking") << " process "
+           << LockHolderPid;
+  else
+    errs() << "another process";
+  errs() << "; caching disabled this run\n";
+  ::close(LockFd);
+  LockFd = -1;
+  LockConflict = true;
+  Usable = false;
+}
+
+AnalysisCache::~AnalysisCache() {
+  if (LockFd >= 0) {
+    ::flock(LockFd, LOCK_UN);
+    ::close(LockFd);
+  }
 }
 
 std::string AnalysisCache::entryPath(Kind K, uint64_t Key) const {
@@ -496,6 +552,13 @@ void AnalysisCache::store(Kind K, uint64_t Key, const std::string &Payload) {
   std::string Bytes = packHeader(K, Payload);
   Bytes += Payload;
   if (!writeFileBytes(Tmp, Bytes)) {
+    // Short write or open failure (ENOSPC and friends). A partial temp file
+    // is litter a later run would never clean: unlink it now and account for
+    // the drop, so a fault-injected store leaves the directory exactly as it
+    // found it.
+    std::error_code EC;
+    fs::remove(Tmp, EC);
+    Counters.add(kCacheWriteFailures);
     if (!WarnedWriteFailure)
       errs() << "xgcc: cache: cannot write to '" << Dir
              << "'; new entries dropped\n";
@@ -506,6 +569,7 @@ void AnalysisCache::store(Kind K, uint64_t Key, const std::string &Payload) {
   fs::rename(Tmp, Path, EC);
   if (EC) {
     fs::remove(Tmp, EC);
+    Counters.add(kCacheWriteFailures);
     if (!WarnedWriteFailure)
       errs() << "xgcc: cache: cannot write to '" << Dir
              << "'; new entries dropped\n";
@@ -526,7 +590,9 @@ void AnalysisCache::evictToLimit(uint64_t MaxBytes) {
   std::error_code EC;
   for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
        It.increment(EC)) {
-    if (!It->is_regular_file(EC))
+    // Only store entries participate in the size policy — never the lock
+    // file, the crash journal, or anyone's in-flight temp file.
+    if (!It->is_regular_file(EC) || It->path().extension() != ".mcc")
       continue;
     uint64_t Bytes = It->file_size(EC);
     if (EC)
@@ -561,7 +627,7 @@ uint64_t AnalysisCache::diskBytes() const {
   std::error_code EC;
   for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
        It.increment(EC)) {
-    if (!It->is_regular_file(EC))
+    if (!It->is_regular_file(EC) || It->path().extension() != ".mcc")
       continue;
     uint64_t Bytes = It->file_size(EC);
     if (!EC)

@@ -144,12 +144,28 @@ class AnalysisCache {
 public:
   enum class Kind : char { Ast = 'A', Summary = 'S' };
 
-  /// Opens (creating if needed) \p Dir. On failure the cache is unusable:
-  /// every load misses and every store is dropped, with one diagnostic.
+  /// Opens (creating if needed) \p Dir and takes the directory's `lock` file
+  /// (flock, non-blocking). On any failure — including another live process
+  /// holding the lock — the cache is unusable: every load misses and every
+  /// store is dropped, with one diagnostic. The lock keeps a daemon and a
+  /// concurrent CLI run from interleaving temp-file writes into one store.
   explicit AnalysisCache(std::string Dir);
+
+  /// Releases the directory lock. The lock file itself stays behind (its pid
+  /// payload is only advisory; unlinking would race a waiter's open()).
+  ~AnalysisCache();
+
+  AnalysisCache(const AnalysisCache &) = delete;
+  AnalysisCache &operator=(const AnalysisCache &) = delete;
 
   bool usable() const { return Usable; }
   const std::string &dir() const { return Dir; }
+
+  /// True when construction failed specifically because another holder owns
+  /// the directory lock. \c lockHolderPid() is that holder's advertised pid
+  /// (0 when it could not be read) — a daemon refuses to start on this.
+  bool lockConflict() const { return LockConflict; }
+  long lockHolderPid() const { return LockHolderPid; }
 
   /// Loads the entry for \p Key. Returns false on absence or on any header,
   /// version or checksum failure (corrupt entries are unlinked and counted
@@ -188,10 +204,14 @@ public:
 
 private:
   std::string entryPath(Kind K, uint64_t Key) const;
+  void acquireLock();
 
   std::string Dir;
   bool Usable = false;
   bool WarnedWriteFailure = false;
+  bool LockConflict = false;
+  long LockHolderPid = 0;
+  int LockFd = -1;
   MetricsSnapshot Counters;
 };
 

@@ -170,6 +170,9 @@ inline constexpr const char *kCacheSummaryMisses = "cache.summary.misses";
 inline constexpr const char *kCacheBytes = "cache.bytes";
 /// Entries dropped because their header or checksum failed to validate.
 inline constexpr const char *kCacheEvictionsCorrupt = "cache.evictions.corrupt";
+/// Store writes abandoned because the temp file could not be written or
+/// renamed (short write, ENOSPC, permissions). The temp file is unlinked.
+inline constexpr const char *kCacheWriteFailures = "cache.write.failures";
 /// Entries dropped by the --cache-max-mb size policy.
 inline constexpr const char *kCacheEvictionsSize = "cache.evictions.size";
 /// --cache-verify: recomputations performed / mismatches caught.

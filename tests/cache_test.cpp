@@ -20,6 +20,8 @@
 #include <system_error>
 #include <vector>
 
+#include <unistd.h>
+
 using namespace mc;
 using namespace mc::test;
 
@@ -249,6 +251,43 @@ TEST_F(CacheTest, UnusableDirectoryDegradesGracefully) {
   C.store(AnalysisCache::Kind::Ast, 1, "payload");
   std::string Out;
   EXPECT_FALSE(C.load(AnalysisCache::Kind::Ast, 1, Out));
+}
+
+TEST_F(CacheTest, DirectoryLockExcludesSecondOpener) {
+  AnalysisCache First(Store);
+  ASSERT_TRUE(First.usable());
+  EXPECT_FALSE(First.lockConflict());
+
+  // flock is per open file description, so a second opener conflicts even
+  // within one process: it degrades to the unusable cache (misses and
+  // dropped stores), and names the holder.
+  AnalysisCache Second(Store);
+  EXPECT_FALSE(Second.usable());
+  EXPECT_TRUE(Second.lockConflict());
+  EXPECT_EQ(Second.lockHolderPid(), long(::getpid()));
+  Second.store(AnalysisCache::Kind::Ast, 1, "payload");
+  std::string Out;
+  EXPECT_FALSE(Second.load(AnalysisCache::Kind::Ast, 1, Out));
+}
+
+TEST_F(CacheTest, InjectedWriteFaultsLeaveNoLitterAndAreCounted) {
+  writeCorpus();
+  injectWriteFaults(2);
+  CacheRun Faulted = run(Store);
+  injectWriteFaults(0);
+
+  // The shortened writes were detected and counted, and their partial files
+  // were cleaned up — no *.tmp litter for a later run to trip over.
+  EXPECT_GT(Faulted.Metrics.value(kCacheWriteFailures), 0u);
+  std::error_code EC;
+  for (const auto &E : fs::directory_iterator(Store, EC))
+    EXPECT_NE(E.path().extension(), ".tmp") << E.path();
+
+  // A disk fault degrades cache coverage, never reports: the next run over
+  // the same store heals the dropped entries and prints the same bytes.
+  CacheRun Healed = run(Store);
+  EXPECT_EQ(Healed.Reports, Faulted.Reports);
+  EXPECT_EQ(Healed.Metrics.value(kCacheWriteFailures), 0u);
 }
 
 TEST(RootArtifactTest, RoundtripIsByteStable) {

@@ -1,0 +1,749 @@
+//===- tests/service_test.cpp - xgccd analysis-service tests -------------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The xgccd robustness contract, end to end against the real daemon binary:
+// byte-identity with standalone xgcc (cold and warm, any jobs count),
+// bounded admission (typed `overloaded`), deadline expiry in queue
+// (`retriable`), graceful SIGTERM drain (in-flight request answered, exit
+// 0), cross-request checker quarantine with exponential-backoff re-probe,
+// and crash-journal recovery after a mid-request death. The protocol,
+// QuarantineTable and RequestJournal units are covered in-process.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/RunManifest.h"
+#include "service/Client.h"
+#include "service/Protocol.h"
+#include "service/Server.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifndef MC_XGCCD_BINARY
+#define MC_XGCCD_BINARY "xgccd"
+#endif
+#ifndef MC_XGCC_BINARY
+#define MC_XGCC_BINARY "xgcc"
+#endif
+
+using namespace mc;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Protocol round-trips
+//===----------------------------------------------------------------------===//
+
+ServiceRequest sampleRequest() {
+  ServiceRequest R;
+  R.Id = "req-1";
+  R.Files = {"a.c", "dir/b.c"};
+  R.Checkers = {"free", "lock"};
+  R.Metal = {{"no_gets.metal", "sm no_gets;\nstart: { x } ==> start;\n"}};
+  R.IncludeDirs = {"/usr/include", "inc"};
+  R.Defines = {{"DEBUG", "1"}, {"NAME", "\"quoted\nvalue\""}};
+  R.Jobs = 4;
+  R.DeadlineMs = 1500;
+  R.Rank = "combined";
+  R.Format = "json";
+  R.ExplainTopN = 3;
+  R.KeepGoing = true;
+  R.Options.BlockCache = false;
+  R.Options.RootDeadlineMs = 250;
+  R.Options.RootPathBudget = 1000;
+  R.Options.MaxActiveStates = 77;
+  R.Options.FailOn = "degraded";
+  R.InjectKnobs.SlowMs = 10;
+  R.InjectKnobs.PoisonChecker = true;
+  return R;
+}
+
+TEST(ServiceProtocol, RequestRoundTripIsIdentity) {
+  ServiceRequest R = sampleRequest();
+  std::string Line = R.serializeToString();
+  EXPECT_EQ(Line.find('\n'), std::string::npos) << "wire form must be one line";
+
+  ServiceRequest Parsed;
+  std::string Err;
+  ASSERT_TRUE(Parsed.parse(Line, &Err)) << Err;
+  EXPECT_EQ(Parsed, R);
+  // serialize ∘ parse ∘ serialize is byte-stable (what makes fingerprint()
+  // well-defined across processes).
+  EXPECT_EQ(Parsed.serializeToString(), Line);
+}
+
+TEST(ServiceProtocol, FingerprintIgnoresIdOnly) {
+  ServiceRequest A = sampleRequest();
+  ServiceRequest B = A;
+  B.Id = "a totally different correlation id";
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  B.Files.push_back("c.c");
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+}
+
+TEST(ServiceProtocol, ResponseRoundTripWithHostileBytes) {
+  ServiceResponse R;
+  R.Id = "id with \"quotes\" and \\ backslashes";
+  R.Status = ServiceStatus::Incomplete;
+  R.Output = "line one\nline two\twith tab\r\nand control \x01 byte\n";
+  R.Log = "xgcc: continuing despite parse errors\n";
+  R.Manifest = "{\n  \"schema\": \"mc.run-manifest.v1\"\n}\n";
+  R.Error = "";
+  R.ExitCode = 1;
+  R.QueueMs = 12;
+  R.RunMs = 345;
+
+  std::string Line = R.serializeToString();
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+  ServiceResponse Parsed;
+  std::string Err;
+  ASSERT_TRUE(Parsed.parse(Line, &Err)) << Err;
+  EXPECT_EQ(Parsed, R);
+}
+
+TEST(ServiceProtocol, MalformedAndWrongSchemaRejected) {
+  ServiceRequest R;
+  std::string Err;
+  EXPECT_FALSE(R.parse("this is not json", &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(R.parse("{\"schema\": \"mc.other.v1\"}", &Err));
+  EXPECT_NE(Err.find("mc.service-request.v1"), std::string::npos);
+  // A response line is not a request line.
+  ServiceResponse Resp;
+  EXPECT_FALSE(R.parse(Resp.serializeToString(), &Err));
+}
+
+TEST(ServiceProtocol, UnknownKeysSkipForForwardCompat) {
+  ServiceRequest R;
+  std::string Line = "{\"schema\": \"mc.service-request.v1\", "
+                     "\"future_field\": {\"nested\": [1, true, \"s\"]}, "
+                     "\"files\": [\"x.c\"], \"id\": \"f\"}";
+  std::string Err;
+  ASSERT_TRUE(R.parse(Line, &Err)) << Err;
+  EXPECT_EQ(R.Id, "f");
+  ASSERT_EQ(R.Files.size(), 1u);
+  EXPECT_EQ(R.Files[0], "x.c");
+}
+
+//===----------------------------------------------------------------------===//
+// QuarantineTable
+//===----------------------------------------------------------------------===//
+
+TEST(QuarantineTable, FaultBlocksForInitialBackoff) {
+  QuarantineTable Q(2, 64);
+  EXPECT_FALSE(Q.blocked("freak"));
+  Q.noteFault("freak");
+  EXPECT_TRUE(Q.blocked("freak"));
+  EXPECT_EQ(Q.remaining("freak"), 2u);
+  EXPECT_FALSE(Q.onProbation("freak"));
+
+  Q.noteCompletedRequest();
+  EXPECT_TRUE(Q.blocked("freak"));
+  Q.noteCompletedRequest();
+  EXPECT_FALSE(Q.blocked("freak"));
+  EXPECT_TRUE(Q.onProbation("freak"));
+}
+
+TEST(QuarantineTable, RefaultDoublesBackoffUpToCap) {
+  QuarantineTable Q(2, 8);
+  Q.noteFault("freak");
+  EXPECT_EQ(Q.remaining("freak"), 2u);
+  Q.noteFault("freak");
+  EXPECT_EQ(Q.remaining("freak"), 4u);
+  Q.noteFault("freak");
+  EXPECT_EQ(Q.remaining("freak"), 8u);
+  Q.noteFault("freak"); // Capped.
+  EXPECT_EQ(Q.remaining("freak"), 8u);
+  EXPECT_EQ(Q.faultCount("freak"), 4u);
+  // Shift overflow guard: many faults still cap cleanly.
+  for (int I = 0; I != 40; ++I)
+    Q.noteFault("freak");
+  EXPECT_EQ(Q.remaining("freak"), 8u);
+}
+
+TEST(QuarantineTable, CleanProbeResetsTheLadder) {
+  QuarantineTable Q(2, 64);
+  Q.noteFault("freak");
+  Q.noteCompletedRequest();
+  Q.noteCompletedRequest();
+  ASSERT_TRUE(Q.onProbation("freak"));
+  Q.noteCleanProbe("freak");
+  EXPECT_FALSE(Q.blocked("freak"));
+  EXPECT_EQ(Q.faultCount("freak"), 0u);
+  // The next fault starts over at the initial backoff, not doubled.
+  Q.noteFault("freak");
+  EXPECT_EQ(Q.remaining("freak"), 2u);
+}
+
+TEST(QuarantineTable, BlockedCheckersSortedAndScoped) {
+  QuarantineTable Q(1, 64);
+  Q.noteFault("zeta");
+  Q.noteFault("alpha");
+  EXPECT_EQ(Q.blockedCheckers(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+  EXPECT_FALSE(Q.blocked("beta"));
+}
+
+//===----------------------------------------------------------------------===//
+// RequestJournal
+//===----------------------------------------------------------------------===//
+
+TEST(RequestJournal, BeginEndRecoverAbsolve) {
+  fs::path Dir = fs::path(::testing::TempDir()) / "mc_journal_unit";
+  std::error_code EC;
+  fs::remove_all(Dir, EC);
+  fs::create_directories(Dir, EC);
+
+  RequestJournal J(Dir.string());
+  EXPECT_TRUE(J.recoverSuspects().empty());
+
+  J.begin(0xdeadbeefcafef00dULL, "{\"raw\": \"line\"}");
+  EXPECT_TRUE(fs::exists(J.pathFor(0xdeadbeefcafef00dULL)));
+  J.begin(0x1122334455667788ULL, "other");
+
+  // A second journal over the same directory (the restarted process) sees
+  // exactly the two open entries.
+  RequestJournal Restarted(Dir.string());
+  std::set<uint64_t> Suspects = Restarted.recoverSuspects();
+  EXPECT_EQ(Suspects.size(), 2u);
+  EXPECT_TRUE(Suspects.count(0xdeadbeefcafef00dULL));
+  EXPECT_TRUE(Suspects.count(0x1122334455667788ULL));
+
+  J.end(0xdeadbeefcafef00dULL);
+  Restarted.absolve(0x1122334455667788ULL);
+  EXPECT_TRUE(Restarted.recoverSuspects().empty());
+
+  fs::remove_all(Dir, EC);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end daemon harness
+//===----------------------------------------------------------------------===//
+
+std::string writeTemp(const fs::path &Dir, const std::string &Name,
+                      const std::string &Text) {
+  std::string Path = (Dir / Name).string();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  EXPECT_NE(F, nullptr);
+  std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return Path;
+}
+
+/// Forks and execs the real xgccd binary; stderr goes to a log file inside
+/// the test directory so failures are debuggable.
+struct Daemon {
+  pid_t Pid = -1;
+  std::string Sock;
+  std::string CacheDir;
+  std::string LogPath;
+
+  bool start(const fs::path &Dir, const std::string &Tag,
+             std::vector<std::string> Extra = {}) {
+    Sock = (Dir / (Tag + ".sock")).string();
+    CacheDir = (Dir / "cache").string();
+    LogPath = (Dir / (Tag + ".log")).string();
+    std::vector<std::string> Args = {MC_XGCCD_BINARY, "--socket", Sock,
+                                     "--cache-dir", CacheDir};
+    for (std::string &E : Extra)
+      Args.push_back(std::move(E));
+
+    Pid = ::fork();
+    if (Pid == 0) {
+      int LogFd = ::open(LogPath.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (LogFd >= 0) {
+        ::dup2(LogFd, 2);
+        ::close(LogFd);
+      }
+      std::vector<char *> Argv;
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      ::execv(MC_XGCCD_BINARY, Argv.data());
+      ::_exit(127);
+    }
+    if (Pid < 0)
+      return false;
+    return waitForSocket();
+  }
+
+  bool waitForSocket() {
+    for (int I = 0; I != 200; ++I) {
+      int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      sockaddr_un Addr;
+      std::memset(&Addr, 0, sizeof(Addr));
+      Addr.sun_family = AF_UNIX;
+      std::memcpy(Addr.sun_path, Sock.c_str(), Sock.size());
+      bool Up = ::connect(Fd, (const sockaddr *)&Addr, sizeof(Addr)) == 0;
+      ::close(Fd);
+      if (Up)
+        return true;
+      // A daemon that refused to start (e.g. the cache lock) never binds;
+      // notice its exit instead of spinning out the whole timeout. The
+      // status is kept for reap().
+      if (::waitpid(Pid, &ExitStatus, WNOHANG) == Pid) {
+        Exited = true;
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+  }
+
+  /// Signals the daemon and reaps it; returns the wait status (-1 on error).
+  int stop(int Sig = SIGTERM) {
+    if (Pid < 0)
+      return -1;
+    if (!Exited)
+      ::kill(Pid, Sig);
+    return reap();
+  }
+
+  int reap() {
+    if (!Exited && ::waitpid(Pid, &ExitStatus, 0) != Pid)
+      ExitStatus = -1;
+    Exited = false;
+    Pid = -1;
+    return ExitStatus;
+  }
+
+  ~Daemon() {
+    if (Pid > 0 && !Exited) {
+      ::kill(Pid, SIGKILL);
+      ::waitpid(Pid, nullptr, 0);
+    }
+  }
+
+private:
+  int ExitStatus = -1;
+  bool Exited = false;
+};
+
+/// One round-trip, with the response parsed.
+ServiceResponse roundTrip(const Daemon &D, const ServiceRequest &Req) {
+  std::string Reply, Err;
+  ServiceResponse Resp;
+  if (!serviceRoundTrip(D.Sock, Req.serializeToString(), Reply, &Err)) {
+    Resp.Error = "transport: " + Err;
+    return Resp;
+  }
+  EXPECT_TRUE(Resp.parse(Reply, &Err)) << Err;
+  return Resp;
+}
+
+/// Runs the standalone xgcc binary, capturing stdout only (stderr dropped).
+std::string runStandalone(const std::string &Args) {
+  std::string Cmd = std::string(MC_XGCC_BINARY) + " " + Args + " 2>/dev/null";
+  std::FILE *Pipe = popen(Cmd.c_str(), "r");
+  std::string Out;
+  if (!Pipe)
+    return Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Out.append(Buf, N);
+  pclose(Pipe);
+  return Out;
+}
+
+class ServiceTest : public ::testing::Test {
+protected:
+  fs::path Dir;
+
+  void SetUp() override {
+    const auto *Info = ::testing::UnitTest::GetInstance()->current_test_info();
+    Dir = fs::path(::testing::TempDir()) /
+          (std::string("mc_svc_") + Info->name());
+    std::error_code EC;
+    fs::remove_all(Dir, EC);
+    fs::create_directories(Dir, EC);
+  }
+
+  void TearDown() override {
+    std::error_code EC;
+    fs::remove_all(Dir, EC);
+  }
+};
+
+const char *BuggySource = "void kfree(void *p);\n"
+                          "int use_after(int *p) { kfree(p); return *p; }\n"
+                          "int fine(int *p) { return p ? *p : 0; }\n";
+
+ServiceRequest basicRequest(const std::string &File, unsigned Jobs = 1) {
+  ServiceRequest Req;
+  Req.Id = "t-" + std::to_string(Jobs);
+  Req.Files = {File};
+  Req.Checkers = {"free"};
+  Req.Jobs = Jobs;
+  return Req;
+}
+
+//===----------------------------------------------------------------------===//
+// Byte identity with standalone xgcc
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, ResponsesByteIdenticalToStandaloneColdAndWarm) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "ident"));
+
+  // Cold at jobs 1, warm at jobs 8: one daemon, one cache, two requests.
+  ServiceResponse Cold = roundTrip(D, basicRequest(Src, 1));
+  ASSERT_EQ(Cold.Status, ServiceStatus::Ok) << Cold.Error;
+  ServiceResponse Warm = roundTrip(D, basicRequest(Src, 8));
+  ASSERT_EQ(Warm.Status, ServiceStatus::Ok) << Warm.Error;
+  EXPECT_EQ(Cold.Output, Warm.Output);
+  EXPECT_NE(Cold.Output.find("1 report(s)"), std::string::npos);
+
+  // Standalone runs (no cache dir — the daemon holds this one's lock).
+  std::string Standalone1 = runStandalone("--checker free --jobs 1 " + Src);
+  std::string Standalone8 = runStandalone("--checker free --jobs 8 " + Src);
+  EXPECT_EQ(Cold.Output, Standalone1);
+  EXPECT_EQ(Cold.Output, Standalone8);
+
+  // The warm request replayed from the stores, not by re-analysis.
+  RunManifest Man;
+  std::string Err;
+  ASSERT_TRUE(parseRunManifest(Warm.Manifest, Man, &Err)) << Err;
+  EXPECT_GT(Man.Metrics.value("cache.summary.hits"), 0u);
+
+  EXPECT_EQ(D.stop(), 0) << "drain must exit 0";
+}
+
+TEST_F(ServiceTest, JsonFormatAndExplainMatchStandalone) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "json"));
+
+  ServiceRequest Req = basicRequest(Src, 2);
+  Req.Format = "json";
+  ServiceResponse Resp = roundTrip(D, Req);
+  ASSERT_EQ(Resp.Status, ServiceStatus::Ok) << Resp.Error;
+  EXPECT_EQ(Resp.Output,
+            runStandalone("--checker free --jobs 2 --format json " + Src));
+
+  ServiceRequest Explain = basicRequest(Src, 2);
+  Explain.ExplainTopN = 2;
+  ServiceResponse ExplainResp = roundTrip(D, Explain);
+  ASSERT_EQ(ExplainResp.Status, ServiceStatus::Ok) << ExplainResp.Error;
+  EXPECT_EQ(ExplainResp.Output,
+            runStandalone("--checker free --jobs 2 --explain=2 " + Src));
+
+  EXPECT_EQ(D.stop(), 0);
+}
+
+TEST_F(ServiceTest, XgccServerFlagRoundTrips) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "cli"));
+
+  std::string Served = runStandalone("--server " + D.Sock +
+                                     " --checker free --jobs 1 " + Src);
+  std::string Local = runStandalone("--checker free --jobs 1 " + Src);
+  EXPECT_EQ(Served, Local);
+  EXPECT_NE(Served.find("1 report(s)"), std::string::npos);
+
+  EXPECT_EQ(D.stop(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control and deadlines
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, OverloadedWhenQueueIsFull) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "load", {"--max-queue", "1", "--allow-inject"}));
+
+  // One slow request occupies the executor; concurrent fast ones fight for
+  // the single queue slot.
+  ServiceRequest Slow = basicRequest(Src, 1);
+  Slow.Id = "slow";
+  Slow.InjectKnobs.SlowMs = 800;
+  std::thread SlowThread([&] {
+    ServiceResponse R = roundTrip(D, Slow);
+    EXPECT_EQ(R.Status, ServiceStatus::Ok) << R.Error;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  unsigned Overloaded = 0, Completed = 0;
+  std::vector<std::thread> Threads;
+  std::vector<ServiceResponse> Resps(5);
+  for (unsigned I = 0; I != 5; ++I)
+    Threads.emplace_back([&, I] {
+      ServiceRequest Req = basicRequest(Src, 1);
+      Req.Id = "flood-" + std::to_string(I);
+      Resps[I] = roundTrip(D, Req);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  SlowThread.join();
+  for (const ServiceResponse &R : Resps) {
+    if (R.Status == ServiceStatus::Overloaded) {
+      ++Overloaded;
+      EXPECT_NE(R.Error.find("queue"), std::string::npos);
+    } else if (R.Status == ServiceStatus::Ok ||
+               R.Status == ServiceStatus::Incomplete) {
+      ++Completed;
+    }
+  }
+  EXPECT_GE(Overloaded, 1u) << "bounded admission must reject typed";
+  EXPECT_GE(Completed, 1u) << "the queue slot must still serve someone";
+
+  EXPECT_EQ(D.stop(), 0);
+}
+
+TEST_F(ServiceTest, DeadlineExpiredInQueueIsRetriable) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "ddl", {"--allow-inject"}));
+
+  ServiceRequest Slow = basicRequest(Src, 1);
+  Slow.Id = "slow";
+  Slow.InjectKnobs.SlowMs = 600;
+  std::thread SlowThread([&] { roundTrip(D, Slow); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Queued behind 600 ms of work with a 50 ms budget: answered retriable
+  // without burning analysis time.
+  ServiceRequest Doomed = basicRequest(Src, 1);
+  Doomed.Id = "doomed";
+  Doomed.DeadlineMs = 50;
+  ServiceResponse R = roundTrip(D, Doomed);
+  SlowThread.join();
+  EXPECT_EQ(R.Status, ServiceStatus::Retriable);
+  EXPECT_NE(R.Error.find("deadline"), std::string::npos);
+
+  EXPECT_EQ(D.stop(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful drain
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, SigtermMidRequestAnswersThenExitsZero) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "drain", {"--allow-inject"}));
+
+  ServiceRequest Slow = basicRequest(Src, 1);
+  Slow.InjectKnobs.SlowMs = 700;
+  ServiceResponse InFlight;
+  std::thread Client([&] { InFlight = roundTrip(D, Slow); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // SIGTERM while the request runs: it must still be answered, and the
+  // daemon must exit 0 (clean drain), not die with the signal.
+  int Status = D.stop(SIGTERM);
+  Client.join();
+  EXPECT_EQ(InFlight.Status, ServiceStatus::Ok) << InFlight.Error;
+  ASSERT_TRUE(WIFEXITED(Status)) << "daemon must exit, not be killed";
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-request quarantine with exponential backoff
+//===----------------------------------------------------------------------===//
+
+const char *FaultySource = "void bad_call(void *p);\n"
+                           "void inject_fault(void *p);\n"
+                           "int f(int *p) { inject_fault(p); bad_call(p); "
+                           "return *p; }\n";
+const char *HarmlessSource = "void bad_call(void *p);\n"
+                             "int g(int *p) { bad_call(p); return *p; }\n";
+
+bool hasServiceExclusion(const ServiceResponse &R, unsigned *RemainingOut) {
+  RunManifest Man;
+  std::string Err;
+  if (!parseRunManifest(R.Manifest, Man, &Err)) {
+    ADD_FAILURE() << "manifest unparsable: " << Err;
+    return false;
+  }
+  for (const RootIncident &Inc : Man.Incidents)
+    if (Inc.Root == "<service>" && Inc.Checker == "fault_injector") {
+      EXPECT_TRUE(Inc.Quarantined);
+      EXPECT_TRUE(Inc.Fault);
+      if (RemainingOut)
+        *RemainingOut =
+            unsigned(std::strtoul(Inc.Reason.c_str() +
+                                      std::strlen("service quarantine: "
+                                                  "re-probe after "),
+                                  nullptr, 10));
+      return true;
+    }
+  return false;
+}
+
+bool hasRealFault(const ServiceResponse &R) {
+  RunManifest Man;
+  std::string Err;
+  if (!parseRunManifest(R.Manifest, Man, &Err))
+    return false;
+  for (const RootIncident &Inc : Man.Incidents)
+    if (Inc.Root != "<service>" && Inc.Checker == "fault_injector" &&
+        Inc.Fault)
+      return true;
+  return false;
+}
+
+TEST_F(ServiceTest, QuarantinePersistsAcrossRequestsWithBackoff) {
+  std::string Faulty = writeTemp(Dir, "faulty.c", FaultySource);
+  std::string Harmless = writeTemp(Dir, "harmless.c", HarmlessSource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "quar", {"--allow-inject"}));
+
+  auto Poison = [&](const std::string &File, const char *Id) {
+    ServiceRequest Req = basicRequest(File, 1);
+    Req.Id = Id;
+    Req.InjectKnobs.PoisonChecker = true;
+    return roundTrip(D, Req);
+  };
+
+  // Request 1: the poisoned checker faults — a real incident, and the
+  // service quarantines it for 2 requests (the initial backoff).
+  ServiceResponse R1 = Poison(Faulty, "q1");
+  EXPECT_EQ(R1.Status, ServiceStatus::Incomplete) << R1.Error;
+  EXPECT_TRUE(hasRealFault(R1));
+  EXPECT_FALSE(hasServiceExclusion(R1, nullptr));
+
+  // Requests 2-3: excluded with a synthetic incident; the sentence counts
+  // down (2, then 1).
+  unsigned Remaining = 0;
+  ServiceResponse R2 = Poison(Faulty, "q2");
+  EXPECT_FALSE(hasRealFault(R2));
+  ASSERT_TRUE(hasServiceExclusion(R2, &Remaining));
+  EXPECT_EQ(Remaining, 2u);
+  ServiceResponse R3 = Poison(Faulty, "q3");
+  ASSERT_TRUE(hasServiceExclusion(R3, &Remaining));
+  EXPECT_EQ(Remaining, 1u);
+
+  // Request 4: sentence served — the checker is re-probed, faults again,
+  // and the backoff doubles: the next exclusion says 4.
+  ServiceResponse R4 = Poison(Faulty, "q4");
+  EXPECT_TRUE(hasRealFault(R4));
+  EXPECT_FALSE(hasServiceExclusion(R4, nullptr));
+  ServiceResponse R5 = Poison(Faulty, "q5");
+  ASSERT_TRUE(hasServiceExclusion(R5, &Remaining));
+  EXPECT_EQ(Remaining, 4u);
+
+  // Serve the doubled sentence with harmless traffic, then probe against a
+  // source that cannot trip the injector: a clean probe lifts the
+  // quarantine and resets the ladder.
+  for (int I = 0; I != 3; ++I) {
+    ServiceRequest Req = basicRequest(Harmless, 1);
+    Req.Id = "tick-" + std::to_string(I);
+    ServiceResponse R = roundTrip(D, Req);
+    EXPECT_TRUE(R.Status == ServiceStatus::Ok ||
+                R.Status == ServiceStatus::Incomplete)
+        << R.Error;
+  }
+  ServiceResponse CleanProbe = Poison(Harmless, "probe");
+  EXPECT_FALSE(hasRealFault(CleanProbe));
+  EXPECT_FALSE(hasServiceExclusion(CleanProbe, nullptr));
+  // Ladder reset: the next fault is back to the initial 2-request sentence.
+  ServiceResponse R6 = Poison(Faulty, "q6");
+  EXPECT_TRUE(hasRealFault(R6));
+  ServiceResponse R7 = Poison(Faulty, "q7");
+  ASSERT_TRUE(hasServiceExclusion(R7, &Remaining));
+  EXPECT_EQ(Remaining, 2u);
+
+  EXPECT_EQ(D.stop(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-journal recovery
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, RestartAfterKillDiagnosesTheKillerRequest) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "crash", {"--allow-inject"}));
+
+  ServiceRequest Killer = basicRequest(Src, 1);
+  Killer.Id = "killer";
+  Killer.InjectKnobs.Die = true;
+  std::string Reply, Err;
+  EXPECT_FALSE(serviceRoundTrip(D.Sock, Killer.serializeToString(), Reply,
+                                &Err))
+      << "the daemon died mid-request; no response can arrive";
+  int Status = D.reap();
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 86) << "the injected _exit code";
+
+  // The journal still holds the open entry.
+  EXPECT_FALSE(fs::is_empty(fs::path(D.CacheDir) / "journal"));
+
+  // Restart over the same store: the resent request (same fingerprint,
+  // fresh id) is answered retriable with the crash diagnosis — before the
+  // inject knob can kill the daemon again.
+  Daemon D2;
+  ASSERT_TRUE(D2.start(Dir, "crash2", {"--allow-inject"}));
+  ServiceRequest Resend = Killer;
+  Resend.Id = "resend";
+  ServiceResponse R = roundTrip(D2, Resend);
+  EXPECT_EQ(R.Status, ServiceStatus::Retriable);
+  EXPECT_NE(R.Error.find("died mid-flight"), std::string::npos);
+  EXPECT_EQ(R.Id, "resend");
+
+  // Absolved: the journal entry is gone, and an innocent request works.
+  EXPECT_TRUE(fs::is_empty(fs::path(D2.CacheDir) / "journal"));
+  ServiceResponse Normal = roundTrip(D2, basicRequest(Src, 1));
+  EXPECT_EQ(Normal.Status, ServiceStatus::Ok) << Normal.Error;
+
+  EXPECT_EQ(D2.stop(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Error taxonomy
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, BadRequestsGetTypedErrors) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "err"));
+
+  // Malformed JSON.
+  std::string Reply, Err;
+  ASSERT_TRUE(serviceRoundTrip(D.Sock, "{not json", Reply, &Err)) << Err;
+  ServiceResponse R;
+  ASSERT_TRUE(R.parse(Reply, &Err)) << Err;
+  EXPECT_EQ(R.Status, ServiceStatus::Error);
+  EXPECT_NE(R.Error.find("malformed"), std::string::npos);
+
+  // Unknown checker: the request is bad, resending it will not help.
+  ServiceRequest Bad = basicRequest(Src, 1);
+  Bad.Checkers = {"no_such_checker"};
+  ServiceResponse BadResp = roundTrip(D, Bad);
+  EXPECT_EQ(BadResp.Status, ServiceStatus::Error);
+  EXPECT_NE(BadResp.Error.find("unknown builtin checker"), std::string::npos);
+  EXPECT_EQ(BadResp.ExitCode, 2u);
+
+  // A second daemon on the same cache directory must refuse to start (the
+  // lock satellite, daemon-side).
+  Daemon D2;
+  EXPECT_FALSE(D2.start(Dir, "err2"));
+  int Status = D2.reap();
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 1);
+
+  EXPECT_EQ(D.stop(), 0);
+}
+
+} // namespace
