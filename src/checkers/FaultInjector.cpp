@@ -38,7 +38,7 @@ void FaultInjectorChecker::checkPoint(const Stmt *Point,
     // The well-behaved rule: deterministic reports the containment tests
     // compare against a fault-free baseline.
     ACtx.markTransition();
-    ACtx.reportError("call of bad_call", nullptr, "bad_call");
+    ACtx.report(ReportBuilder().message("call of bad_call").group("bad_call"));
     return;
   }
   if (Callee != TriggerFn)

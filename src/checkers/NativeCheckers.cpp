@@ -64,8 +64,10 @@ void NativeFreeChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
       std::string Key = exprKey(Arg);
       if (VarState *VS = ACtx.state().findByKey(Key)) {
         if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
-          ACtx.reportError(
-              formatString("double free of %s!", Key.c_str()), VS);
+          ACtx.report(ReportBuilder()
+                          .message(formatString("double free of %s!",
+                                                Key.c_str()))
+                          .instance(VS));
           ACtx.transition(*VS, StateStop);
         }
         return;
@@ -84,10 +86,12 @@ void NativeFreeChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
       return;
     if (VarState *VS = ACtx.state().findByKey(exprKey(Sub))) {
       if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
-        ACtx.reportError(
-            formatString("using %s after free!",
-                         std::string(symbolText(VS->TreeKey)).c_str()),
-            VS);
+        ACtx.report(
+            ReportBuilder()
+                .message(formatString(
+                    "using %s after free!",
+                    std::string(symbolText(VS->TreeKey)).c_str()))
+                .instance(VS));
         ACtx.transition(*VS, StateStop);
       }
     }
@@ -123,9 +127,12 @@ void FlowInsensitiveFreeChecker::checkPoint(const Stmt *Point,
       if (VarState *VS = ACtx.state().findByKey(Key)) {
         if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
           std::string Rule(symbolText(VS->Data));
-          ACtx.reportError(formatString("double free of %s (via %s)",
-                                        Key.c_str(), Callee.c_str()),
-                           VS, /*GroupKey=*/Rule);
+          ACtx.report(ReportBuilder()
+                          .message(formatString("double free of %s (via %s)",
+                                                Key.c_str(), Callee.c_str()))
+                          .instance(VS)
+                          .group(Rule)
+                          .rule(Rule));
           ACtx.countViolation(Rule);
           ACtx.transition(*VS, StateStop);
         }
@@ -144,11 +151,15 @@ void FlowInsensitiveFreeChecker::checkPoint(const Stmt *Point,
       if (VarState *VS = ACtx.state().findByKey(exprKey(Stripped))) {
         if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
           std::string Rule(symbolText(VS->Data));
-          ACtx.reportError(
-              formatString("%s used after being freed by %s",
-                           std::string(symbolText(VS->TreeKey)).c_str(),
-                           Rule.c_str()),
-              VS, /*GroupKey=*/Rule);
+          ACtx.report(
+              ReportBuilder()
+                  .message(formatString(
+                      "%s used after being freed by %s",
+                      std::string(symbolText(VS->TreeKey)).c_str(),
+                      Rule.c_str()))
+                  .instance(VS)
+                  .group(Rule)
+                  .rule(Rule));
           ACtx.countViolation(Rule);
           ACtx.transition(*VS, StateStop);
         }
@@ -165,11 +176,15 @@ void FlowInsensitiveFreeChecker::checkPoint(const Stmt *Point,
     if (VarState *VS = ACtx.state().findByKey(exprKey(Sub))) {
       if (VS->Value == Freed && !ACtx.justCreated(*VS)) {
         std::string Rule(symbolText(VS->Data));
-        ACtx.reportError(formatString("%s dereferenced after being freed by %s",
-                                      std::string(symbolText(VS->TreeKey))
-                                          .c_str(),
-                                      Rule.c_str()),
-                         VS, /*GroupKey=*/Rule);
+        ACtx.report(
+            ReportBuilder()
+                .message(formatString(
+                    "%s dereferenced after being freed by %s",
+                    std::string(symbolText(VS->TreeKey)).c_str(),
+                    Rule.c_str()))
+                .instance(VS)
+                .group(Rule)
+                .rule(Rule));
         ACtx.countViolation(Rule);
         ACtx.transition(*VS, StateStop);
       }
@@ -219,8 +234,12 @@ void IntraLockChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
       return;
     }
     if (!ACtx.justCreated(*VS)) {
-      ACtx.reportError(
-          formatString("double acquire of %s", Key.c_str()), VS, Fn);
+      ACtx.report(ReportBuilder()
+                      .message(formatString("double acquire of %s",
+                                            Key.c_str()))
+                      .instance(VS)
+                      .group(Fn)
+                      .rule(Fn));
       ACtx.countViolation(Fn);
       ACtx.transition(*VS, StateStop);
     }
@@ -232,8 +251,10 @@ void IntraLockChecker::checkPoint(const Stmt *Point, AnalysisContext &ACtx) {
     ACtx.transition(*VS, StateStop);
     return;
   }
-  ACtx.reportError(formatString("releasing unheld %s", Key.c_str()), nullptr,
-                   Fn);
+  ACtx.report(ReportBuilder()
+                  .message(formatString("releasing unheld %s", Key.c_str()))
+                  .group(Fn)
+                  .rule(Fn));
   ACtx.countViolation(Fn);
 }
 
@@ -242,10 +263,13 @@ void IntraLockChecker::checkEndOfPath(VarState *VS, AnalysisContext &ACtx) {
     return;
   std::string Fn(ACtx.currentFunction() ? ACtx.currentFunction()->name()
                                         : std::string_view());
-  ACtx.reportError(
-      formatString("%s never released",
-                   std::string(symbolText(VS->TreeKey)).c_str()),
-      VS, Fn);
+  ACtx.report(ReportBuilder()
+                  .message(formatString(
+                      "%s never released",
+                      std::string(symbolText(VS->TreeKey)).c_str()))
+                  .instance(VS)
+                  .group(Fn)
+                  .rule(Fn));
   ACtx.countViolation(Fn);
 }
 
@@ -322,10 +346,14 @@ void PairInferenceChecker::checkEndOfPath(VarState *VS,
   if (RuleIt == Rules.end())
     return;
   std::string RuleKey = Opener + "->" + RuleIt->second;
-  ACtx.reportError(formatString("missing %s after %s(%s)",
-                                RuleIt->second.c_str(), Opener.c_str(),
-                                std::string(symbolText(VS->TreeKey)).c_str()),
-                   VS, RuleKey);
+  ACtx.report(ReportBuilder()
+                  .message(formatString(
+                      "missing %s after %s(%s)", RuleIt->second.c_str(),
+                      Opener.c_str(),
+                      std::string(symbolText(VS->TreeKey)).c_str()))
+                  .instance(VS)
+                  .group(RuleKey)
+                  .rule(RuleKey));
   ACtx.countViolation(RuleKey);
 }
 

@@ -874,6 +874,22 @@ RunManifest XgccTool::manifest(const EngineOptions &Opts, bool ParseOk) const {
   M.Incidents = Reports.incidents();
   M.ReportCount = Reports.size();
   M.ParseOk = ParseOk;
+  // Every ranked report with its stable fingerprint (and the lifecycle class
+  // a baseline run assigned), in the same order print() uses — the join key
+  // xgcc-triage uses against baseline stores.
+  for (size_t Idx : Reports.ranked(RankPolicy::Generic)) {
+    const ErrorReport &R = Reports.reports()[Idx];
+    ManifestReport MR;
+    MR.Checker = R.CheckerName;
+    MR.File = R.File;
+    MR.Line = R.Line;
+    MR.Message = R.Message;
+    appendHex64(R.Fingerprint, MR.Fingerprint);
+    if (auto It = Reports.lifecycle().find(R.Fingerprint);
+        It != Reports.lifecycle().end())
+      MR.Lifecycle = It->second;
+    M.Reports.push_back(std::move(MR));
+  }
   // Witness paths ride along in ranked order (the same order print() uses),
   // for reports that captured one. Step locations are decoded here: the
   // manifest outlives the SourceManager.

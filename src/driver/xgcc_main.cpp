@@ -45,6 +45,17 @@
 //                        resolved in favour of the fresh result
 //   --cache-max-mb N     evict oldest cache entries beyond N MiB at exit
 //
+// Cross-run report lifecycle (persistent triage; docs/REPORTS.md):
+//   --baseline DIR       classify this run's reports against the persistent
+//                        baseline store in DIR: each report is tagged new or
+//                        known by its stable fingerprint, store entries that
+//                        no longer fire are marked fixed, the run is
+//                        recorded for `xgcc-triage diff`, and statistical
+//                        ranking uses the rule population accumulated across
+//                        every recorded run instead of this run alone
+//   --suppress-known     with --baseline: drop known reports from the output
+//                        (cross-run history suppression, Section 8.3)
+//
 // Reporting & robustness (one block, one parse path; every flag accepts
 // both "--flag V" and "--flag=V" and lands in EngineOptions::Reporting):
 //   --stats              print the engine work-counter line
@@ -78,8 +89,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Tool.h"
+#include "lifecycle/BaselineStore.h"
 #include "service/Client.h"
 #include "service/Protocol.h"
+#include "support/OptionParser.h"
 #include "support/RawOstream.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -128,53 +141,38 @@ int main(int Argc, char **Argv) {
   std::vector<std::string> IncludeDirs;
   std::vector<std::pair<std::string, std::string>> Defines;
   bool UsedCacheFlags = false;
+  std::string BaselineDir;
+  bool SuppressKnown = false;
 
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    auto Next = [&]() -> const char * {
-      return I + 1 < Argc ? Argv[++I] : nullptr;
-    };
-    // The one parse path for value-carrying reporting flags: accepts both
-    // "--flag V" and "--flag=V"; *V is null when the value is missing.
-    auto FlagValue = [&](const char *Name, const char **V) -> bool {
-      size_t N = std::strlen(Name);
-      if (Arg == Name) {
-        *V = Next();
-        return true;
-      }
-      if (Arg.size() > N + 1 && Arg.compare(0, N, Name) == 0 &&
-          Arg[N] == '=') {
-        *V = Arg.c_str() + N + 1;
-        return true;
-      }
-      return false;
-    };
-    if (Arg == "--help") {
+  OptionParser P(Argc, Argv);
+  while (P.next()) {
+    const std::string &Arg = P.arg();
+    const char *V = nullptr;
+    if (P.flag("--help")) {
       printUsage();
       return 0;
     }
-    if (Arg == "--list-checkers") {
+    if (P.flag("--list-checkers")) {
       for (const std::string &Name : builtinCheckerNames())
         outs() << Name << '\n';
       return 0;
     }
-    if (Arg == "--emit-ast") {
-      if (const char *V = Next())
+    if (P.value("--emit-ast", &V)) {
+      if (V)
         EmitPath = V;
       continue;
     }
-    if (Arg == "--checker") {
-      if (const char *V = Next())
+    if (P.value("--checker", &V)) {
+      if (V)
         CheckerNames.push_back(V);
       continue;
     }
-    if (Arg == "--metal") {
-      if (const char *V = Next())
+    if (P.value("--metal", &V)) {
+      if (V)
         MetalFiles.push_back(V);
       continue;
     }
-    if (Arg == "--rank") {
-      const char *V = Next();
+    if (P.value("--rank", &V)) {
       if (V && !std::strcmp(V, "statistical")) {
         Policy = RankPolicy::Statistical;
         RankName = "statistical";
@@ -184,115 +182,114 @@ int main(int Argc, char **Argv) {
       }
       continue;
     }
-    if (Arg == "--server") {
-      if (const char *V = Next())
+    if (P.value("--server", &V)) {
+      if (V)
         ServerSock = V;
       continue;
     }
-    if (Arg == "--format") {
-      const char *V = Next();
+    if (P.value("--format", &V)) {
       Json = V && !std::strcmp(V, "json");
       continue;
     }
-    if (Arg == "--history") {
-      if (const char *V = Next())
+    if (P.value("--history", &V)) {
+      if (V)
         HistoryPath = V;
       continue;
     }
-    if (Arg == "--update-history") {
-      if (const char *V = Next())
+    if (P.value("--update-history", &V)) {
+      if (V)
         UpdateHistoryPath = V;
       continue;
     }
-    if (Arg == "--jobs") {
-      if (const char *V = Next())
+    if (P.value("--jobs", &V)) {
+      if (V)
         Opts.Jobs = unsigned(std::strtoul(V, nullptr, 10));
       continue;
     }
-    if (Arg == "--no-cache") {
+    if (P.flag("--no-cache")) {
       Opts.EnableBlockCache = false;
       Opts.MaxPathsPerFunction = 1u << 16;
       continue;
     }
-    if (Arg == "--no-dispatch-index") {
+    if (P.flag("--no-dispatch-index")) {
       Opts.EnableDispatchIndex = false;
       continue;
     }
-    if (Arg == "--no-state-interning") {
+    if (P.flag("--no-state-interning")) {
       Opts.EnableStateInterning = false;
       continue;
     }
-    if (Arg == "--no-summaries") {
+    if (P.flag("--no-summaries")) {
       Opts.EnableFunctionSummaries = false;
       continue;
     }
-    if (Arg == "--no-fpp") {
+    if (P.flag("--no-fpp")) {
       Opts.EnableFalsePathPruning = false;
       continue;
     }
-    if (Arg == "--intraprocedural") {
+    if (P.flag("--intraprocedural")) {
       Opts.Interprocedural = false;
       continue;
     }
-    if (Arg == "--keep-going") {
+    if (P.flag("--keep-going")) {
       Tool.setKeepGoing(true);
       continue;
     }
     // Incremental cache block (--cache-dir/--cache-verify/--cache-max-mb).
-    {
-      const char *V = nullptr;
-      if (FlagValue("--cache-dir", &V)) {
-        if (!V) {
-          errs() << "xgcc: --cache-dir expects a directory path\n";
-          return 2;
-        }
-        Tool.setCacheDir(V);
-        UsedCacheFlags = true;
-        continue;
+    if (P.value("--cache-dir", &V)) {
+      if (!V) {
+        errs() << "xgcc: --cache-dir expects a directory path\n";
+        return 2;
       }
-      if (Arg == "--cache-verify") {
-        Tool.setCacheVerify(true);
-        UsedCacheFlags = true;
-        continue;
+      Tool.setCacheDir(V);
+      UsedCacheFlags = true;
+      continue;
+    }
+    if (P.flag("--cache-verify")) {
+      Tool.setCacheVerify(true);
+      UsedCacheFlags = true;
+      continue;
+    }
+    if (P.value("--cache-max-mb", &V)) {
+      if (!V) {
+        errs() << "xgcc: --cache-max-mb expects a size in MiB\n";
+        return 2;
       }
-      if (FlagValue("--cache-max-mb", &V)) {
-        if (!V) {
-          errs() << "xgcc: --cache-max-mb expects a size in MiB\n";
-          return 2;
-        }
-        Tool.setCacheMaxMB(std::strtoull(V, nullptr, 10));
-        UsedCacheFlags = true;
-        continue;
+      Tool.setCacheMaxMB(std::strtoull(V, nullptr, 10));
+      UsedCacheFlags = true;
+      continue;
+    }
+    // Cross-run lifecycle block (--baseline/--suppress-known).
+    if (P.value("--baseline", &V)) {
+      if (!V) {
+        errs() << "xgcc: --baseline expects a directory path\n";
+        return 2;
       }
+      BaselineDir = V;
+      continue;
+    }
+    if (P.flag("--suppress-known")) {
+      SuppressKnown = true;
+      continue;
     }
     // Reporting & robustness block — every flag routes into
     // EngineOptions::Reporting so the run manifest records exactly what the
     // user asked for.
     {
-      const char *V = nullptr;
       bool Handled = true;
-      if (Arg == "--stats")
+      if (P.flag("--stats"))
         Opts.Reporting.ShowStats = true;
-      else if (Arg == "--profile")
-        Opts.Reporting.ProfileTopN = 5;
-      else if (Arg.compare(0, 10, "--profile=") == 0)
+      else if (P.optionalValue("--profile", &V))
         Opts.Reporting.ProfileTopN =
-            unsigned(std::strtoul(Arg.c_str() + 10, nullptr, 10));
-      else if (Arg == "--explain" || Arg.compare(0, 10, "--explain=") == 0) {
+            V ? unsigned(std::strtoul(V, nullptr, 10)) : 5;
+      else if (P.optionalValue("--explain", &V)) {
         // "--explain" alone means top 3; "--explain=N" and "--explain N"
         // (when the next argument is all digits) set N explicitly.
-        const char *Val = nullptr;
-        if (Arg.size() >= 10)
-          Val = Arg.c_str() + 10;
-        else if (I + 1 < Argc && Argv[I + 1][0] &&
-                 std::strspn(Argv[I + 1], "0123456789") ==
-                     std::strlen(Argv[I + 1]))
-          Val = Argv[++I];
         unsigned N = 3;
-        if (Val) {
+        if (V) {
           char *End = nullptr;
-          N = unsigned(std::strtoul(Val, &End, 10));
-          if (!*Val || *End || N == 0) {
+          N = unsigned(std::strtoul(V, &End, 10));
+          if (!*V || *End || N == 0) {
             errs() << "xgcc: --explain expects a positive report count\n";
             printUsage();
             return 2;
@@ -300,13 +297,13 @@ int main(int Argc, char **Argv) {
         }
         Opts.Reporting.ExplainTopN = N;
         Opts.Reporting.CaptureWitness = true;
-      } else if (FlagValue("--stats-json", &V))
+      } else if (P.value("--stats-json", &V))
         Opts.Reporting.StatsJsonPath = V ? V : "";
-      else if (FlagValue("--trace-out", &V))
+      else if (P.value("--trace-out", &V))
         Opts.Reporting.TraceOutPath = V ? V : "";
-      else if (FlagValue("--deadline-ms", &V))
+      else if (P.value("--deadline-ms", &V))
         Opts.Reporting.RootDeadlineMs = V ? std::strtoull(V, nullptr, 10) : 0;
-      else if (FlagValue("--fail-on", &V)) {
+      else if (P.value("--fail-on", &V)) {
         if (!V || !parseFailPolicy(V, Opts.Reporting.FailOn)) {
           errs() << "xgcc: --fail-on expects error|degraded|never\n";
           printUsage();
@@ -318,21 +315,25 @@ int main(int Argc, char **Argv) {
       if (Handled)
         continue;
     }
-    if (Arg == "--groups") {
+    if (P.flag("--groups")) {
       ShowGroups = true;
       continue;
     }
-    if (Arg == "-I") {
-      if (const char *V = Next())
-        IncludeDirs.push_back(V);
+    if (P.flag("-I")) {
+      if (const char *D = P.take())
+        IncludeDirs.push_back(D);
       continue;
     }
-    if (Arg.size() > 2 && Arg.compare(0, 2, "-I") == 0) {
-      IncludeDirs.push_back(Arg.substr(2));
+    if (P.prefixValue("-I", &V)) {
+      IncludeDirs.push_back(V);
       continue;
     }
-    if (Arg == "-D" || (Arg.size() > 2 && Arg.compare(0, 2, "-D") == 0)) {
-      std::string Def = Arg == "-D" ? (Next() ? Argv[I] : "") : Arg.substr(2);
+    if (P.flag("-D") || P.prefixValue("-D", &V)) {
+      std::string Def;
+      if (V)
+        Def = V;
+      else if (const char *D = P.take())
+        Def = D;
       size_t Eq = Def.find('=');
       if (Eq == std::string::npos)
         Defines.emplace_back(Def, "1");
@@ -387,6 +388,8 @@ int main(int Argc, char **Argv) {
     Req.Format = Json ? "json" : "text";
     Req.ExplainTopN = Opts.Reporting.ExplainTopN;
     Req.KeepGoing = Tool.keepGoing();
+    Req.Baseline = BaselineDir; // Verbatim: resolved against the server's cwd.
+    Req.SuppressKnown = SuppressKnown;
     Req.Options.BlockCache = Opts.EnableBlockCache;
     Req.Options.FunctionSummaries = Opts.EnableFunctionSummaries;
     Req.Options.FalsePathPruning = Opts.EnableFalsePathPruning;
@@ -518,11 +521,38 @@ int main(int Argc, char **Argv) {
     Updated.save(UpdateHistoryPath);
   }
 
+  // Cross-run lifecycle (--baseline): classify this run against the
+  // persistent store, tag/suppress reports, fold the accumulated rule
+  // population into statistical ranking, and record the run. A store that
+  // cannot be read or written is a tool failure (mirrors --stats-json).
+  BaselineDelta Delta;
+  bool BaselineWriteFailed = false;
+  const bool BaselineOn = !BaselineDir.empty();
+  if (BaselineOn) {
+    BaselineStore Store;
+    std::string Err;
+    if (!Store.open(BaselineDir, &Err)) {
+      errs() << "xgcc: cannot open baseline store '" << BaselineDir
+             << "': " << Err << '\n';
+      return 1;
+    }
+    Delta = Store.recordRun(Tool.reports(), SuppressKnown);
+    if (!Store.save(&Err)) {
+      errs() << "xgcc: cannot write baseline store '" << BaselineDir
+             << "': " << Err << '\n';
+      BaselineWriteFailed = true;
+    }
+  }
+
   if (Json) {
     Tool.reports().printJson(outs(), Policy);
   } else {
     Tool.reports().print(outs(), Policy);
     outs() << Tool.reports().size() << " report(s)\n";
+    if (BaselineOn)
+      outs() << "baseline: " << Delta.NewCount << " new, " << Delta.KnownCount
+             << " known, " << Delta.FixedCount << " fixed, "
+             << Delta.SuppressedCount << " suppressed\n";
     if (Opts.Reporting.ExplainTopN)
       renderExplainText(outs(), Tool.reports(), Tool.sourceManager(), Policy,
                         Opts.Reporting.ExplainTopN);
@@ -554,6 +584,14 @@ int main(int Argc, char **Argv) {
 
   if (!Opts.Reporting.StatsJsonPath.empty()) {
     RunManifest Manifest = Tool.manifest(Opts, ParseOk);
+    if (BaselineOn) {
+      Manifest.Baseline.Enabled = true;
+      Manifest.Baseline.RunOrdinal = Delta.RunOrdinal;
+      Manifest.Baseline.NewCount = Delta.NewCount;
+      Manifest.Baseline.KnownCount = Delta.KnownCount;
+      Manifest.Baseline.FixedCount = Delta.FixedCount;
+      Manifest.Baseline.SuppressedCount = Delta.SuppressedCount;
+    }
     if (Opts.Reporting.StatsJsonPath == "-") {
       Manifest.writeJson(outs());
     } else {
@@ -581,7 +619,7 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (ArtifactWriteFailed)
+  if (ArtifactWriteFailed || BaselineWriteFailed)
     return 1;
 
   // Exit policy: the default "never" keeps the classic always-0 behavior so

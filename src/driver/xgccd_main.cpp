@@ -32,6 +32,7 @@
 
 #include "service/Client.h"
 #include "service/Server.h"
+#include "support/OptionParser.h"
 #include "support/RawOstream.h"
 
 #include <cstdio>
@@ -97,42 +98,31 @@ int main(int Argc, char **Argv) {
   ServiceConfig Cfg;
   bool ClientMode = false;
 
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    auto FlagValue = [&](const char *Name, const char **V) -> bool {
-      size_t N = std::strlen(Name);
-      if (Arg == Name) {
-        *V = I + 1 < Argc ? Argv[++I] : nullptr;
-        return true;
-      }
-      if (Arg.size() > N + 1 && Arg.compare(0, N, Name) == 0 && Arg[N] == '=') {
-        *V = Arg.c_str() + N + 1;
-        return true;
-      }
-      return false;
-    };
+  OptionParser P(Argc, Argv);
+  while (P.next()) {
+    const std::string &Arg = P.arg();
     const char *V = nullptr;
-    if (Arg == "--help") {
+    if (P.flag("--help")) {
       printUsage();
       return 0;
     }
-    if (Arg == "--client") {
+    if (P.flag("--client")) {
       ClientMode = true;
       continue;
     }
-    if (Arg == "--allow-inject") {
+    if (P.flag("--allow-inject")) {
       Cfg.AllowInject = true;
       continue;
     }
-    if (FlagValue("--socket", &V)) {
+    if (P.value("--socket", &V)) {
       Cfg.SocketPath = V ? V : "";
       continue;
     }
-    if (FlagValue("--cache-dir", &V)) {
+    if (P.value("--cache-dir", &V)) {
       Cfg.CacheDir = V ? V : "";
       continue;
     }
-    if (FlagValue("--max-queue", &V)) {
+    if (P.value("--max-queue", &V)) {
       Cfg.MaxQueue = V ? unsigned(std::strtoul(V, nullptr, 10)) : 0;
       if (!Cfg.MaxQueue) {
         errs() << "xgccd: --max-queue expects a positive count\n";
@@ -140,15 +130,15 @@ int main(int Argc, char **Argv) {
       }
       continue;
     }
-    if (FlagValue("--default-deadline-ms", &V)) {
+    if (P.value("--default-deadline-ms", &V)) {
       Cfg.DefaultDeadlineMs = V ? std::strtoull(V, nullptr, 10) : 0;
       continue;
     }
-    if (FlagValue("--jobs", &V)) {
+    if (P.value("--jobs", &V)) {
       Cfg.DefaultJobs = V ? unsigned(std::strtoul(V, nullptr, 10)) : 0;
       continue;
     }
-    if (FlagValue("--cache-max-mb", &V)) {
+    if (P.value("--cache-max-mb", &V)) {
       Cfg.CacheMaxMB = V ? std::strtoull(V, nullptr, 10) : 0;
       continue;
     }

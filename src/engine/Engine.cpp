@@ -38,6 +38,10 @@ struct Engine::PathState {
   /// Witness journal: checker-relevant events on this path, copied into
   /// reports at emission. Empty (and free to copy) unless WitnessOn.
   WitnessJournal Witness;
+  /// Shape trail: the always-on running hash behind stable fingerprints.
+  /// Two integers — O(1) to fork-copy — mixed at the same events the journal
+  /// records, without the journal's capture gating or location payloads.
+  ShapeTrail Trail;
   bool Killed = false;
 };
 
@@ -313,11 +317,11 @@ public:
 
   void markTransition() override { MatchedFlag = true; }
 
-  void reportError(std::string Message, const VarState *Instance,
-                   std::string GroupKey) override {
+  void report(const ReportBuilder &B) override {
+    const VarState *Instance = B.Instance;
     ErrorReport R;
     R.CheckerName = std::string(E.CurChecker->name());
-    R.Message = std::move(Message);
+    R.Message = B.Message;
     SourceLoc Loc;
     if (PI && PI->Point)
       Loc = PI->Point->loc();
@@ -344,9 +348,9 @@ public:
       R.Interprocedural = Depth > 0;
     }
     R.CallChainLength = Depth;
-    R.Annotation = PS.PathAnnotation;
-    R.GroupKey = GroupKey;
-    R.RuleKey = GroupKey;
+    R.Annotation = B.Annotation.empty() ? PS.PathAnnotation : B.Annotation;
+    R.GroupKey = B.GroupKey;
+    R.RuleKey = B.RuleKey.empty() ? B.GroupKey : B.RuleKey;
     // Witness-terminal identity, computed whether or not capture is on:
     // dedup must not depend on a reporting flag. The tracked object plus its
     // raw origin keeps textually identical reports about different objects
@@ -357,6 +361,24 @@ public:
       R.WitnessKey += std::to_string(Instance->OriginLoc.fileID());
       R.WitnessKey += ':';
       R.WitnessKey += std::to_string(Instance->OriginLoc.offset());
+    }
+    // The stable fingerprint: report identity across runs and code motion.
+    // Only shape goes in — names, message, rule, and the path's trail; never
+    // ErrorLoc/Line/offsets, so edits above the site don't change it.
+    {
+      auto MixStr = [](std::string_view S, uint64_t H) {
+        H = fnv1a64(S, H);
+        return fnv1a64(uint64_t(S.size()), H);
+      };
+      uint64_t H = kFnvOffsetBasis;
+      H = MixStr(R.CheckerName, H);
+      H = MixStr(R.RuleKey, H);
+      H = MixStr(R.VariableName, H);
+      H = MixStr(R.Message, H);
+      H = MixStr(R.FunctionName, H);
+      H = fnv1a64(PS.Trail.Hash, H);
+      H = fnv1a64(uint64_t(PS.Trail.Steps), H);
+      R.Fingerprint = H;
     }
     if (E.WitnessOn) {
       R.Steps = PS.Witness.Steps;
@@ -438,6 +460,9 @@ public:
 
   void noteTransition(std::string_view Object, std::string_view From,
                       std::string_view To) override {
+    // The shape trail is always on: fingerprints must not depend on whether
+    // witness capture was requested. The journal below stays gated.
+    PS.Trail.mix(WitnessStep::Kind::Transition, Object, From, To);
     if (!E.WitnessOn)
       return;
     WitnessStep S;
@@ -658,16 +683,22 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
   const Expr *LHSStripped = stripCasts(LHS);
   if (!LHSStripped)
     return;
-  // Witness helper: journal that LHS became an alias of a tracked object.
+  // Rebind helper: LHS became an alias of a tracked object. The shape trail
+  // always records it (fingerprints are capture-independent); the witness
+  // journal only under capture.
   auto NoteRebind = [&](const std::string &To, const std::string &From,
                         int Value) {
+    std::string State = CurChecker->stateName(Value);
+    PS.Trail.mix(WitnessStep::Kind::Rebind, To, From, State);
+    if (!WitnessOn)
+      return;
     WitnessStep S;
     S.K = WitnessStep::Kind::Rebind;
     S.Loc = LHSStripped->loc();
     S.Depth = Depth;
     S.Object = To;
     S.From = From;
-    S.To = CurChecker->stateName(Value);
+    S.To = State;
     PS.Witness.append(std::move(S));
   };
 
@@ -714,9 +745,8 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
         Clone.TreeKey = symbolize(exprKey(LHSStripped));
         Clone.CreatedAt = TopStmt;
         Clone.IndirectionDepth = SrcVS->IndirectionDepth + 1;
-        if (WitnessOn)
-          NoteRebind(std::string(symbolText(Clone.TreeKey)),
-                     std::string(symbolText(SrcVS->TreeKey)), Clone.Value);
+        NoteRebind(std::string(symbolText(Clone.TreeKey)),
+                   std::string(symbolText(SrcVS->TreeKey)), Clone.Value);
         PS.SMI.ActiveVars.push_back(std::move(Clone));
         bump(Ctr.SynonymsCreated);
         SynonymMade = true;
@@ -735,7 +765,7 @@ void Engine::handleAssignment(PathState &PS, const Expr *LHS, const Expr *RHS,
       // the only record that the alias exists; journal it if the source is a
       // tracked object, so the witness still explains how state reached the
       // reported name.
-      if (WitnessOn && !SynonymMade) {
+      if (!SynonymMade) {
         ValueTracker::RebindNote Note = PS.VT.lastRebind();
         if (Note.Valid)
           if (const VarState *SrcVS = PS.SMI.findByKey(exprKey(Note.From)))
@@ -925,17 +955,25 @@ void Engine::processPoints(FrameCtx &Frame, const BasicBlock *B,
         PathState Copy = PS;
         int Value = Branch ? Eff.TrueValue : Eff.FalseValue;
         if (VarState *VS = Copy.SMI.findByKey(Eff.TreeKey)) {
-          if (WitnessOn && VS->Value != Value)
-            Copy.Witness.append(WitnessStep{
-                WitnessStep::Kind::Transition, PI.Point->loc(), Frame.Depth,
-                std::string(symbolText(Eff.TreeKey)),
-                CurChecker->stateName(VS->Value),
-                CurChecker->stateName(Value)});
+          if (VS->Value != Value) {
+            Copy.Trail.mix(WitnessStep::Kind::Transition,
+                           symbolText(Eff.TreeKey),
+                           CurChecker->stateName(VS->Value),
+                           CurChecker->stateName(Value));
+            if (WitnessOn)
+              Copy.Witness.append(WitnessStep{
+                  WitnessStep::Kind::Transition, PI.Point->loc(), Frame.Depth,
+                  std::string(symbolText(Eff.TreeKey)),
+                  CurChecker->stateName(VS->Value),
+                  CurChecker->stateName(Value)});
+          }
           VS->Value = Value;
           Copy.SMI.sweepStopped();
         } else if (Value != StateStop && Eff.Tree) {
           ACtxImpl ACtx(*this, Copy, Frame.Fn, Frame.Depth, &PI);
           ACtx.createInstance(Eff.Tree, Value);
+          Copy.Trail.mix(WitnessStep::Kind::Transition, symbolText(Eff.TreeKey),
+                         "", CurChecker->stateName(Value));
           if (WitnessOn)
             Copy.Witness.append(WitnessStep{
                 WitnessStep::Kind::Transition, PI.Point->loc(), Frame.Depth,
@@ -1123,31 +1161,43 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
     // Apply path-specific transitions for the taken branch (Section 3.2).
     if (Edge.Kind == CFGEdge::True || Edge.Kind == CFGEdge::False) {
       bool Taken = Edge.Kind == CFGEdge::True;
-      // Witness: record the branch decision itself, but only while the
-      // checker has live state — mirrors the "conditionals crossed" ranking
-      // input, and keeps journals from filling with pre-tracking control
-      // flow. A condition whose path-specific effect *creates* the first
-      // state still gets the effect's transition step below.
-      if (WitnessOn && B->condition()) {
+      // Record the branch decision itself — trail always, journal under
+      // capture — but only while the checker has live state: mirrors the
+      // "conditionals crossed" ranking input, and keeps journals from
+      // filling with pre-tracking control flow. A condition whose
+      // path-specific effect *creates* the first state still gets the
+      // effect's transition step below.
+      if (B->condition()) {
         bool Live = PS.SMI.GState != CurChecker->initialGlobalState();
         for (const VarState &VS : PS.SMI.ActiveVars)
           if (!Live && VS.live() && !VS.Inactive)
             Live = true;
-        if (Live)
-          Copy.Witness.append(WitnessStep{
-              WitnessStep::Kind::Branch, B->condition()->loc(), Frame.Depth,
-              printExpr(B->condition()), Taken ? "true" : "false", ""});
+        if (Live) {
+          const std::string &Cond = condText(B->condition());
+          Copy.Trail.mix(WitnessStep::Kind::Branch, Cond,
+                         Taken ? "true" : "false", "");
+          if (WitnessOn)
+            Copy.Witness.append(WitnessStep{
+                WitnessStep::Kind::Branch, B->condition()->loc(), Frame.Depth,
+                Cond, Taken ? "true" : "false", ""});
+        }
       }
       for (const PathSpecificEffect &Eff : Copy.PendingEffects) {
         int Value = Taken ? Eff.TrueValue : Eff.FalseValue;
         if (VarState *VS = Copy.SMI.findByKey(Eff.TreeKey)) {
-          if (WitnessOn && VS->Value != Value)
-            Copy.Witness.append(WitnessStep{
-                WitnessStep::Kind::Transition,
-                B->condition() ? B->condition()->loc() : SourceLoc(),
-                Frame.Depth, std::string(symbolText(Eff.TreeKey)),
-                CurChecker->stateName(VS->Value),
-                CurChecker->stateName(Value)});
+          if (VS->Value != Value) {
+            Copy.Trail.mix(WitnessStep::Kind::Transition,
+                           symbolText(Eff.TreeKey),
+                           CurChecker->stateName(VS->Value),
+                           CurChecker->stateName(Value));
+            if (WitnessOn)
+              Copy.Witness.append(WitnessStep{
+                  WitnessStep::Kind::Transition,
+                  B->condition() ? B->condition()->loc() : SourceLoc(),
+                  Frame.Depth, std::string(symbolText(Eff.TreeKey)),
+                  CurChecker->stateName(VS->Value),
+                  CurChecker->stateName(Value)});
+          }
           VS->Value = Value;
         } else if (Value != StateStop && Eff.Tree) {
           VarState NewVS;
@@ -1155,6 +1205,8 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
           NewVS.TreeKey = Eff.TreeKey;
           NewVS.Value = Value;
           NewVS.OriginLoc = Eff.Tree->loc();
+          Copy.Trail.mix(WitnessStep::Kind::Transition, symbolText(Eff.TreeKey),
+                         "", CurChecker->stateName(Value));
           if (WitnessOn)
             Copy.Witness.append(WitnessStep{
                 WitnessStep::Kind::Transition,
@@ -1195,6 +1247,13 @@ void Engine::finishBlock(FrameCtx &Frame, const BasicBlock *B,
 //===----------------------------------------------------------------------===//
 // Interprocedural analysis (Section 6)
 //===----------------------------------------------------------------------===//
+
+const std::string &Engine::condText(const Expr *E) {
+  auto It = CondTextCache.find(E);
+  if (It != CondTextCache.end())
+    return It->second;
+  return CondTextCache[E] = printExpr(E);
+}
 
 const std::unordered_set<const VarDecl *> &
 Engine::localsOf(const FunctionDecl *Fn) {
@@ -1297,8 +1356,10 @@ Engine::PathState Engine::restore(const PathState &CallerPS, SMInstance ExitSM,
   // Scope-leave end-of-path reports below fire with the caller's journal as
   // their witness (route-invariant: identical whether the exit SMI came from
   // a summary replay or inline analysis). followCall overwrites the
-  // continuation's journal afterwards.
+  // continuation's journal afterwards. The trail follows the same rule so
+  // their fingerprints are route-invariant too.
   Out.Witness = CallerPS.Witness;
+  Out.Trail = CallerPS.Trail;
   Out.SMI.GState = ExitSM.GState;
 
   bool ByRef = CurChecker->restoreArgsByReference();
@@ -1565,6 +1626,11 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
     bump(Ctr.CallsFollowed);
     std::set<const FunctionDecl *> NewStack = *Frame.CallStack;
     NewStack.insert(Callee);
+    // Reports emitted inside the callee fingerprint as "caller shape + call
+    // step + callee-internal shape" (the trail mirror of the journal rule
+    // below, minus the capture gate).
+    Refined.Trail = PS.Trail;
+    Refined.Trail.mix(WitnessStep::Kind::Call, "", "", Callee->name());
     if (WitnessOn) {
       // Reports emitted inside the callee carry the caller's journal plus
       // an explicit call step — the call-chain the --explain indentation
@@ -1621,6 +1687,10 @@ void Engine::followCall(FrameCtx &Frame, const BasicBlock *B,
             CurChecker->stateName(ExitPS.SMI.GState)});
     }
     PathState Cont = restore(PS, std::move(ExitPS.SMI), RI, Callee);
+    // Continuation trail, route-invariant by construction: the caller's
+    // trail (copied by restore) plus one summary-application step — never
+    // callee-internal events, which depend on replay-vs-inline routing.
+    Cont.Trail.mix(WitnessStep::Kind::SummaryApply, "", "", Callee->name());
     if (WitnessOn)
       Cont.Witness = std::move(ContWitness);
     if (annotationRank(ExitPS.PathAnnotation) <

@@ -418,6 +418,11 @@ private:
   AnnotationMap Annotations;
   /// Synthesized DeclRefExprs for formals and declared locals.
   std::unordered_map<const VarDecl *, const Expr *> DeclRefCache;
+  /// Printed text of branch conditions, memoized per Expr: the always-on
+  /// shape trail mixes condition text at every live branch, and re-printing
+  /// the tree each time would put an allocation on the hot path.
+  std::unordered_map<const Expr *, std::string> CondTextCache;
+  const std::string &condText(const Expr *E);
   /// Params + block-scope locals per function (scope tests for Table 2).
   std::unordered_map<const FunctionDecl *, std::unordered_set<const VarDecl *>>
       FnLocalsCache;

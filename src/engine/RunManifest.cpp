@@ -65,6 +65,33 @@ void RunManifest::writeJson(raw_ostream &OS) const {
   writeJsonString(OS, Version);
   OS << ",\n  \"parse_ok\": " << ParseOk;
   OS << ",\n  \"report_count\": " << ReportCount;
+  OS << ",\n  \"reports\": [";
+  for (size_t RI = 0; RI != Reports.size(); ++RI) {
+    const ManifestReport &R = Reports[RI];
+    OS << (RI ? ",\n    {" : "\n    {");
+    OS << "\"checker\": ";
+    writeJsonString(OS, R.Checker);
+    OS << ", \"file\": ";
+    writeJsonString(OS, R.File);
+    OS << ", \"line\": " << R.Line;
+    OS << ", \"message\": ";
+    writeJsonString(OS, R.Message);
+    OS << ", \"fingerprint\": ";
+    writeJsonString(OS, R.Fingerprint);
+    if (!R.Lifecycle.empty()) {
+      OS << ", \"lifecycle\": ";
+      writeJsonString(OS, R.Lifecycle);
+    }
+    OS << '}';
+  }
+  OS << (Reports.empty() ? "]" : "\n  ]");
+  if (Baseline.Enabled) {
+    OS << ",\n  \"baseline\": {\"run\": " << Baseline.RunOrdinal
+       << ", \"new\": " << Baseline.NewCount
+       << ", \"known\": " << Baseline.KnownCount
+       << ", \"fixed\": " << Baseline.FixedCount
+       << ", \"suppressed\": " << Baseline.SuppressedCount << '}';
+  }
   OS << ",\n  \"options\": ";
   writeOptionsJson(OS, Options);
   OS << ",\n  \"metrics\": {";
@@ -538,6 +565,62 @@ private:
     }
   }
 
+  bool parseReport(ManifestReport &R) {
+    return parseObject([&](const std::string &Key) {
+      if (Key == "checker")
+        return parseString(R.Checker);
+      if (Key == "file")
+        return parseString(R.File);
+      if (Key == "line")
+        return parseUInt(R.Line);
+      if (Key == "message")
+        return parseString(R.Message);
+      if (Key == "fingerprint")
+        return parseString(R.Fingerprint);
+      if (Key == "lifecycle")
+        return parseString(R.Lifecycle);
+      return skipValue();
+    });
+  }
+
+  bool parseReports(std::vector<ManifestReport> &Out) {
+    if (!expect('['))
+      return false;
+    if (peekIs(']')) {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      ManifestReport R;
+      if (!parseReport(R))
+        return false;
+      Out.push_back(std::move(R));
+      skipWs();
+      if (peekIs(',')) {
+        ++Pos;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  bool parseBaseline(ManifestBaseline &B) {
+    B.Enabled = true; // The key is only written when a baseline was active.
+    return parseObject([&](const std::string &Key) {
+      if (Key == "run")
+        return parseUInt(B.RunOrdinal);
+      if (Key == "new")
+        return parseUInt(B.NewCount);
+      if (Key == "known")
+        return parseUInt(B.KnownCount);
+      if (Key == "fixed")
+        return parseUInt(B.FixedCount);
+      if (Key == "suppressed")
+        return parseUInt(B.SuppressedCount);
+      return skipValue();
+    });
+  }
+
   bool parseManifestObject(RunManifest &Out) {
     return parseObject([&](const std::string &Key) {
       if (Key == "schema")
@@ -550,6 +633,10 @@ private:
         return parseBool(Out.ParseOk);
       if (Key == "report_count")
         return parseUInt(Out.ReportCount);
+      if (Key == "reports")
+        return parseReports(Out.Reports);
+      if (Key == "baseline")
+        return parseBaseline(Out.Baseline);
       if (Key == "options")
         return parseOptions(Out.Options);
       if (Key == "metrics")
@@ -573,6 +660,7 @@ bool mc::parseRunManifest(std::string_view Text, RunManifest &Out,
   Parsed.Metrics = MetricsSnapshot();
   Parsed.Incidents.clear();
   Parsed.Witnesses.clear();
+  Parsed.Reports.clear();
   if (!P.parse(Parsed))
     return false;
   Out = std::move(Parsed);

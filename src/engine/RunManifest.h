@@ -33,7 +33,7 @@ namespace mc {
 inline constexpr const char *kRunManifestSchema = "mc.run-manifest.v1";
 /// The reproduction's version (PR sequence): stamped into every manifest so
 /// trajectory tooling can segment by tool revision.
-inline constexpr const char *kToolVersion = "0.7.0";
+inline constexpr const char *kToolVersion = "0.8.0";
 
 /// One step of a report's witness path, with its source location already
 /// decoded (manifests outlive the SourceManager that produced them).
@@ -67,6 +67,37 @@ struct ManifestWitness {
                          const ManifestWitness &) = default;
 };
 
+/// One ranked report, as the manifest records it: presentation coordinates
+/// plus the stable fingerprint (16 lowercase hex chars) that the persistent
+/// baseline store keys on, and the lifecycle class a baseline run assigned
+/// ("" when no baseline was active). `xgcc-triage` joins manifests against
+/// baseline stores through the fingerprint.
+struct ManifestReport {
+  std::string Checker;
+  std::string File;
+  uint64_t Line = 0;
+  std::string Message;
+  std::string Fingerprint;
+  std::string Lifecycle;
+
+  friend bool operator==(const ManifestReport &,
+                         const ManifestReport &) = default;
+};
+
+/// The baseline-diff summary of a `--baseline` run. Additive: the key is
+/// written only when a baseline was active, and old parsers skip it.
+struct ManifestBaseline {
+  bool Enabled = false;
+  uint64_t RunOrdinal = 0;
+  uint64_t NewCount = 0;
+  uint64_t KnownCount = 0;
+  uint64_t FixedCount = 0;
+  uint64_t SuppressedCount = 0;
+
+  friend bool operator==(const ManifestBaseline &,
+                         const ManifestBaseline &) = default;
+};
+
 /// One analysis run, as a value. Comparable so the schema round-trip
 /// (writeJson → parseRunManifest) can be tested for identity.
 struct RunManifest {
@@ -83,6 +114,11 @@ struct RunManifest {
   /// Witness paths for ranked reports that carry one, in ranked order.
   /// Additive: empty when capture is off, and old parsers skip the key.
   std::vector<ManifestWitness> Witnesses;
+  /// Every ranked report with its stable fingerprint, in ranked order.
+  /// Additive (old parsers skip the key); always written.
+  std::vector<ManifestReport> Reports;
+  /// Baseline-diff summary; written only when a baseline was active.
+  ManifestBaseline Baseline;
   uint64_t ReportCount = 0;
   bool ParseOk = true;
 

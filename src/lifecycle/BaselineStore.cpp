@@ -1,0 +1,280 @@
+//===- lifecycle/BaselineStore.cpp - Persistent report lifecycle -------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lifecycle/BaselineStore.h"
+
+#include "cfront/Serialize.h" // readFileBytes
+#include "store/Persist.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <system_error>
+
+using namespace mc;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Frame kind byte for baseline store files ('A'/'S' are the caches).
+constexpr char kBaselineKind = 'B';
+/// Baseline payload grammar version, independent of the caches'.
+constexpr uint8_t kBaselineFormatVersion = 1;
+
+} // namespace
+
+const char *mc::baselineStatusName(BaselineEntry::Status S) {
+  switch (S) {
+  case BaselineEntry::Status::Active:
+    return "active";
+  case BaselineEntry::Status::Fixed:
+    return "fixed";
+  case BaselineEntry::Status::Suppressed:
+    return "suppressed";
+  }
+  return "active";
+}
+
+std::string BaselineStore::storePath() const { return Dir + "/baseline.mcb"; }
+
+bool BaselineStore::open(const std::string &D, std::string *Err) {
+  Dir = D;
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC || !fs::is_directory(Dir)) {
+    if (Err)
+      *Err = "cannot create directory";
+    return false;
+  }
+  std::string Raw;
+  if (!readFileBytes(storePath(), Raw))
+    return true; // No store file yet: a fresh baseline.
+  if (const char *Why =
+          checkPersistHeader(kBaselineKind, kBaselineFormatVersion, Raw)) {
+    if (Err)
+      *Err = std::string(Why) +
+             " (baselines are never silently reset; delete '" + storePath() +
+             "' to start over)";
+    return false;
+  }
+  std::string Payload(Raw, kPersistHeaderSize, Raw.size() - kPersistHeaderSize);
+  return parse(Payload, Err);
+}
+
+std::string BaselineStore::serialize() const {
+  std::string Out;
+  putVarint(Out, RunCounter);
+  putVarint(Out, Entries.size());
+  for (const auto &[FP, E] : Entries) {
+    putVarint(Out, FP);
+    putVarint(Out, E.FirstSeen);
+    putVarint(Out, E.LastSeen);
+    putVarint(Out, E.HitCount);
+    Out.push_back(char(uint8_t(E.St)));
+    putStr(Out, E.Checker);
+    putStr(Out, E.File);
+    putVarint(Out, E.Line);
+    putStr(Out, E.Function);
+    putStr(Out, E.Message);
+    putStr(Out, E.Rule);
+  }
+  putVarint(Out, Rules.size());
+  for (const auto &[Key, RS] : Rules) {
+    putStr(Out, Key);
+    putVarint(Out, RS.Examples);
+    putVarint(Out, RS.Counterexamples);
+  }
+  putVarint(Out, Runs.size());
+  for (const RunRecord &R : Runs) {
+    putVarint(Out, R.Ordinal);
+    putVarint(Out, R.Fingerprints.size());
+    for (uint64_t FP : R.Fingerprints)
+      putVarint(Out, FP);
+  }
+  return Out;
+}
+
+bool BaselineStore::parse(const std::string &Payload, std::string *Err) {
+  auto Fail = [&](const char *Why) {
+    if (Err)
+      *Err = Why;
+    return false;
+  };
+  PayloadReader P{Payload};
+  RunCounter = unsigned(P.varint());
+  uint64_t NumEntries = P.varint();
+  if (P.Failed || NumEntries > Payload.size())
+    return Fail("corrupt entry table");
+  Entries.clear();
+  for (uint64_t I = 0; I != NumEntries; ++I) {
+    uint64_t FP = P.varint();
+    BaselineEntry E;
+    E.FirstSeen = unsigned(P.varint());
+    E.LastSeen = unsigned(P.varint());
+    E.HitCount = unsigned(P.varint());
+    uint8_t St = P.byte();
+    if (St > uint8_t(BaselineEntry::Status::Suppressed))
+      return Fail("bad entry status");
+    E.St = BaselineEntry::Status(St);
+    E.Checker = P.str();
+    E.File = P.str();
+    E.Line = unsigned(P.varint());
+    E.Function = P.str();
+    E.Message = P.str();
+    E.Rule = P.str();
+    if (P.Failed)
+      return Fail("truncated entry table");
+    Entries.emplace(FP, std::move(E));
+  }
+  uint64_t NumRules = P.varint();
+  if (P.Failed || NumRules > Payload.size())
+    return Fail("corrupt rule table");
+  Rules.clear();
+  for (uint64_t I = 0; I != NumRules; ++I) {
+    std::string Key = P.str();
+    RuleStats RS;
+    RS.Examples = unsigned(P.varint());
+    RS.Counterexamples = unsigned(P.varint());
+    if (P.Failed)
+      return Fail("truncated rule table");
+    Rules.emplace(std::move(Key), RS);
+  }
+  uint64_t NumRuns = P.varint();
+  if (P.Failed || NumRuns > Payload.size())
+    return Fail("corrupt run table");
+  Runs.clear();
+  Runs.reserve(size_t(NumRuns));
+  for (uint64_t I = 0; I != NumRuns; ++I) {
+    RunRecord R;
+    R.Ordinal = unsigned(P.varint());
+    uint64_t NumFPs = P.varint();
+    if (P.Failed || NumFPs > Payload.size())
+      return Fail("corrupt run record");
+    R.Fingerprints.reserve(size_t(NumFPs));
+    for (uint64_t J = 0; J != NumFPs; ++J)
+      R.Fingerprints.push_back(P.varint());
+    if (P.Failed)
+      return Fail("truncated run record");
+    Runs.push_back(std::move(R));
+  }
+  if (P.Failed)
+    return Fail("truncated payload");
+  if (P.Pos != Payload.size())
+    return Fail("trailing bytes after payload");
+  return true;
+}
+
+bool BaselineStore::save(std::string *Err) const {
+  std::string Payload = serialize();
+  std::string Bytes =
+      packPersistHeader(kBaselineKind, kBaselineFormatVersion, Payload);
+  Bytes += Payload;
+  return writeFileAtomic(storePath(), Bytes, Err);
+}
+
+BaselineDelta BaselineStore::recordRun(ReportManager &RM, bool SuppressKnown) {
+  BaselineDelta Delta;
+  Delta.RunOrdinal = ++RunCounter;
+
+  // The cross-run rule prior is the population accumulated *before* this
+  // run; ruleZ() then adds the current run's own counters on top.
+  RM.setRulePrior(Rules);
+  for (const auto &[Key, RS] : RM.rules()) {
+    RuleStats &Dst = Rules[Key];
+    Dst.Examples += RS.Examples;
+    Dst.Counterexamples += RS.Counterexamples;
+  }
+
+  // Classify each distinct fingerprint once; several reports can share one
+  // (the same shape reached through different roots) and must agree.
+  std::map<uint64_t, std::string> Tags;
+  std::set<uint64_t> Suppress;
+  std::set<uint64_t> SeenThisRun;
+  RunRecord Rec;
+  Rec.Ordinal = Delta.RunOrdinal;
+  for (const ErrorReport &R : RM.reports()) {
+    bool FirstSighting = SeenThisRun.insert(R.Fingerprint).second;
+    auto It = Entries.find(R.Fingerprint);
+    bool IsNew = It == Entries.end();
+    bool Reopened = !IsNew && It->second.St == BaselineEntry::Status::Fixed;
+    bool Suppressed =
+        !IsNew && It->second.St == BaselineEntry::Status::Suppressed;
+    BaselineEntry &E = IsNew ? Entries[R.Fingerprint] : It->second;
+    if (IsNew) {
+      E.FirstSeen = Delta.RunOrdinal;
+      E.St = BaselineEntry::Status::Active;
+    }
+    if (FirstSighting) {
+      E.LastSeen = Delta.RunOrdinal;
+      ++E.HitCount;
+      if (Suppressed) {
+        ++Delta.SuppressedCount;
+      } else {
+        if (Reopened)
+          E.St = BaselineEntry::Status::Active;
+        if (IsNew || Reopened)
+          ++Delta.NewCount;
+        else
+          ++Delta.KnownCount;
+        Rec.Fingerprints.push_back(R.Fingerprint);
+      }
+    }
+    // Refresh presentation coordinates at every sighting: lines shift.
+    E.Checker = R.CheckerName;
+    E.File = R.File;
+    E.Line = R.Line;
+    E.Function = R.FunctionName;
+    E.Message = R.Message;
+    E.Rule = R.RuleKey;
+    if (Suppressed)
+      Suppress.insert(R.Fingerprint);
+    else
+      Tags[R.Fingerprint] = IsNew || Reopened ? "new" : "known";
+  }
+  std::sort(Rec.Fingerprints.begin(), Rec.Fingerprints.end());
+
+  // Active entries the run no longer produces went fixed.
+  for (auto &[FP, E] : Entries) {
+    if (E.St != BaselineEntry::Status::Active || SeenThisRun.count(FP))
+      continue;
+    E.St = BaselineEntry::Status::Fixed;
+    ++Delta.FixedCount;
+  }
+
+  if (SuppressKnown)
+    for (const auto &[FP, Tag] : Tags)
+      if (Tag == "known")
+        Suppress.insert(FP);
+  if (!Suppress.empty()) {
+    RM.suppressFingerprints(Suppress);
+    for (uint64_t FP : Suppress)
+      Tags.erase(FP);
+  }
+  RM.setLifecycle(std::move(Tags));
+
+  Runs.push_back(std::move(Rec));
+  if (Runs.size() > kMaxRunRecords)
+    Runs.erase(Runs.begin(), Runs.end() - kMaxRunRecords);
+  return Delta;
+}
+
+double BaselineStore::entryZ(const BaselineEntry &Entry) const {
+  if (Entry.Rule.empty())
+    return 0.0;
+  auto It = Rules.find(Entry.Rule);
+  if (It == Rules.end() || It->second.total() == 0)
+    return 0.0;
+  return zStatistic(It->second.total(), It->second.Examples);
+}
+
+bool BaselineStore::setStatus(uint64_t Fingerprint, BaselineEntry::Status S) {
+  auto It = Entries.find(Fingerprint);
+  if (It == Entries.end())
+    return false;
+  It->second.St = S;
+  return true;
+}

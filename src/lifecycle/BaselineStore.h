@@ -1,0 +1,151 @@
+//===- lifecycle/BaselineStore.h - Persistent report lifecycle --*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-run report database behind `--baseline` and `xgcc-triage`
+/// (Section 8's "we track errors across releases" workflow, docs/REPORTS.md).
+/// One directory holds one store file recording, per stable report
+/// fingerprint: when the report was first and last seen, how many runs hit
+/// it, its lifecycle status (active / fixed / suppressed), and presentation
+/// coordinates from its latest sighting so triage listings stay readable
+/// without re-running the analysis.
+///
+/// The store also accumulates the per-rule example/counterexample population
+/// across every recorded run, so the z-statistic ranking sharpens with
+/// history instead of restarting from the current run's counts, and keeps a
+/// bounded journal of recent runs (ordinal -> fingerprints) that
+/// `xgcc-triage diff` compares.
+///
+/// Classification of a run against the store:
+///   * fingerprint absent, or present with status `fixed` -> **new**
+///     (a fixed report that reappears is a regression and reopens);
+///   * present with status `active`  -> **known**;
+///   * present with status `suppressed` -> dropped from output, counted;
+///   * store-active fingerprints absent from the run -> **fixed**.
+///
+/// On disk: a single versioned+checksummed file (store/Persist.h frame, kind
+/// 'B') written atomically via temp-file+rename. A missing file is a fresh
+/// store; a corrupt or version-skewed file is an explicit open() error —
+/// baselines are triage state, never silently reset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_LIFECYCLE_BASELINESTORE_H
+#define MC_LIFECYCLE_BASELINESTORE_H
+
+#include "report/ReportManager.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// What one recordRun() classified, for the driver's summary line and the
+/// manifest's "baseline" object.
+struct BaselineDelta {
+  unsigned NewCount = 0;        ///< First sightings + reopened regressions.
+  unsigned KnownCount = 0;      ///< Seen before, still active.
+  unsigned FixedCount = 0;      ///< Went active -> fixed this run.
+  unsigned SuppressedCount = 0; ///< Dropped by `suppressed` status. Known
+                                ///< reports dropped by --suppress-known stay
+                                ///< in KnownCount; only their output is gone.
+  unsigned RunOrdinal = 0;      ///< This run's position in the store.
+};
+
+/// One fingerprint's persistent record.
+struct BaselineEntry {
+  enum class Status : uint8_t { Active = 0, Fixed = 1, Suppressed = 2 };
+
+  unsigned FirstSeen = 0; ///< Run ordinal of the first sighting.
+  unsigned LastSeen = 0;  ///< Run ordinal of the latest sighting.
+  unsigned HitCount = 0;  ///< Number of runs that reported it.
+  Status St = Status::Active;
+
+  /// Presentation coordinates from the latest sighting (lines shift across
+  /// runs; the fingerprint is the identity, these are just for humans).
+  std::string Checker;
+  std::string File;
+  unsigned Line = 0;
+  std::string Function;
+  std::string Message;
+  std::string Rule;
+
+  friend bool operator==(const BaselineEntry &,
+                         const BaselineEntry &) = default;
+};
+
+/// Stable name of \p S ("active" / "fixed" / "suppressed").
+const char *baselineStatusName(BaselineEntry::Status S);
+
+/// The persistent store for one baseline directory.
+class BaselineStore {
+public:
+  /// One recorded run: its ordinal and the fingerprints present (new +
+  /// known, before suppression). `xgcc-triage diff A B` compares two of
+  /// these.
+  struct RunRecord {
+    unsigned Ordinal = 0;
+    std::vector<uint64_t> Fingerprints;
+
+    friend bool operator==(const RunRecord &, const RunRecord &) = default;
+  };
+
+  /// Recent-run journal bound: older run records are dropped, the per-entry
+  /// and per-rule state is never truncated.
+  static constexpr size_t kMaxRunRecords = 32;
+
+  /// Opens \p Dir (creating it if needed) and loads its store file when one
+  /// exists. Returns false with a reason in \p Err on an unreadable
+  /// directory or a corrupt/version-skewed store file.
+  bool open(const std::string &Dir, std::string *Err);
+
+  /// Classifies \p RM's reports against the store and folds the run in:
+  /// advances the run counter, updates entries (first/last seen, hit counts,
+  /// reopenings, active->fixed transitions), accumulates the rule
+  /// population, appends the run record, installs lifecycle tags and the
+  /// cross-run rule prior on \p RM, and drops suppressed (plus, with
+  /// \p SuppressKnown, known) reports from it.
+  BaselineDelta recordRun(ReportManager &RM, bool SuppressKnown);
+
+  /// Writes the store file atomically. Returns false with a reason in
+  /// \p Err on failure (the driver exits nonzero: a run whose classification
+  /// could not be persisted must not look like it was).
+  bool save(std::string *Err) const;
+
+  //===--------------------------------------------------------------------===//
+  // Triage queries (xgcc-triage)
+  //===--------------------------------------------------------------------===//
+
+  const std::map<uint64_t, BaselineEntry> &entries() const { return Entries; }
+  const std::map<std::string, RuleStats> &rules() const { return Rules; }
+  const std::vector<RunRecord> &runs() const { return Runs; }
+  unsigned runCounter() const { return RunCounter; }
+
+  /// z-statistic of \p Entry's rule over the accumulated population (0 when
+  /// it has no rule or no events) — the triage ranking key.
+  double entryZ(const BaselineEntry &Entry) const;
+
+  /// Sets the status of \p Fingerprint (triage `mark fixed` / `mark
+  /// suppressed`). Returns false when the fingerprint is unknown.
+  bool setStatus(uint64_t Fingerprint, BaselineEntry::Status S);
+
+private:
+  std::string storePath() const;
+  std::string serialize() const;
+  bool parse(const std::string &Payload, std::string *Err);
+
+  std::string Dir;
+  unsigned RunCounter = 0;
+  std::map<uint64_t, BaselineEntry> Entries;
+  std::map<std::string, RuleStats> Rules;
+  std::vector<RunRecord> Runs;
+};
+
+} // namespace mc
+
+#endif // MC_LIFECYCLE_BASELINESTORE_H

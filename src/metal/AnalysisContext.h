@@ -38,6 +38,49 @@ struct PathSpecificEffect {
   int FalseValue = StateStop;
 };
 
+/// Everything a checker attaches to one report, gathered at one site. The
+/// builder replaces the positional reportError(...) overload sprawl: every
+/// ranking input — grouping fact, statistical rule, severity override —
+/// lands on named fields with chaining setters, and the engine derives the
+/// stable fingerprint, witness journal and distance criteria from the same
+/// call. reportError() below is a thin shim over this.
+struct ReportBuilder {
+  /// The human-readable violation message (required).
+  std::string Message;
+  /// The tracked object the violation is about; null for global-state
+  /// violations (anchors the report at the current point instead).
+  const VarState *Instance = nullptr;
+  /// Groups errors computed from a common analysis fact (Section 9).
+  std::string GroupKey;
+  /// The statistical rule this violation counts against. Empty defaults to
+  /// GroupKey (the historical coupling the shim preserves).
+  std::string RuleKey;
+  /// Severity override (SECURITY / ERROR / MINOR). Empty means "use the
+  /// path annotation", i.e. whatever annotatePath() set.
+  std::string Annotation;
+
+  ReportBuilder &message(std::string M) {
+    Message = std::move(M);
+    return *this;
+  }
+  ReportBuilder &instance(const VarState *I) {
+    Instance = I;
+    return *this;
+  }
+  ReportBuilder &group(std::string G) {
+    GroupKey = std::move(G);
+    return *this;
+  }
+  ReportBuilder &rule(std::string R) {
+    RuleKey = std::move(R);
+    return *this;
+  }
+  ReportBuilder &annotation(std::string A) {
+    Annotation = std::move(A);
+    return *this;
+  }
+};
+
 /// Engine services available to a checker at a program point.
 class AnalysisContext {
 public:
@@ -79,11 +122,22 @@ public:
   // Reporting and ranking inputs
   //===--------------------------------------------------------------------===//
 
-  /// Emits a rule-violation report anchored at the current point.
-  /// \p GroupKey groups errors computed from a common analysis fact
-  /// (Section 9); empty means ungrouped.
-  virtual void reportError(std::string Message, const VarState *Instance,
-                           std::string GroupKey = std::string()) = 0;
+  /// Emits a rule-violation report anchored at the current point: the single
+  /// reporting entry point. The engine attaches the ranking criteria, the
+  /// witness journal, and the stable fingerprint here — one site, every
+  /// surface.
+  virtual void report(const ReportBuilder &B) = 0;
+
+  /// Legacy positional shim over report(). Prefer the builder for anything
+  /// beyond message + instance + group.
+  void reportError(std::string Message, const VarState *Instance,
+                   std::string GroupKey = std::string()) {
+    ReportBuilder B;
+    B.Message = std::move(Message);
+    B.Instance = Instance;
+    B.GroupKey = std::move(GroupKey);
+    report(B);
+  }
 
   /// Statistical ranking counters (Section 9): a successful check of rule
   /// \p RuleKey.

@@ -95,9 +95,12 @@ void MetalChecker::runActions(const std::vector<MetalAction> &Actions,
         }
         Msg += Fmt[I];
       }
-      ACtx.reportError(std::move(Msg), Instance,
-                       Instance ? std::string(symbolText(Instance->FactKey))
-                                : std::string());
+      ACtx.report(
+          ReportBuilder()
+              .message(std::move(Msg))
+              .instance(Instance)
+              .group(Instance ? std::string(symbolText(Instance->FactKey))
+                              : std::string()));
       continue;
     }
     if (A.Fn == "set_global") {

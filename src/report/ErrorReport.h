@@ -73,6 +73,13 @@ struct ErrorReport {
   /// Steps beyond the journal cap that were counted but not kept.
   uint32_t DroppedSteps = 0;
 
+  /// Stable cross-run identity: a content hash of the report's *shape* —
+  /// checker, rule, tracked object's tree-key text, message, enclosing
+  /// function name, and the path's ShapeTrail — with no source locations,
+  /// so it survives code motion. Computed at emission whether or not a
+  /// baseline is in use; the persistent lifecycle store keys on it.
+  uint64_t Fingerprint = 0;
+
   /// Severity class index (0 = most severe) used for stratification.
   int severityClass() const {
     if (Annotation == "SECURITY")

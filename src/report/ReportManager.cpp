@@ -6,6 +6,7 @@
 
 #include "report/ReportManager.h"
 
+#include "support/Hash.h"
 #include "support/RawOstream.h"
 
 #include <algorithm>
@@ -41,6 +42,8 @@ void ReportManager::clear() {
   Reports.clear();
   Rules.clear();
   Incidents.clear();
+  Lifecycle.clear();
+  RulePrior.clear();
 }
 
 void ReportManager::merge(const ReportManager &O) {
@@ -66,10 +69,16 @@ bool ReportManager::anyDegraded() const {
 }
 
 double ReportManager::ruleZ(const std::string &RuleKey) const {
-  auto It = Rules.find(RuleKey);
-  if (It == Rules.end())
+  RuleStats RS;
+  if (auto It = Rules.find(RuleKey); It != Rules.end())
+    RS = It->second;
+  if (auto It = RulePrior.find(RuleKey); It != RulePrior.end()) {
+    RS.Examples += It->second.Examples;
+    RS.Counterexamples += It->second.Counterexamples;
+  }
+  if (RS.total() == 0)
     return 0.0;
-  return zStatistic(It->second.total(), It->second.Examples);
+  return zStatistic(RS.total(), RS.Examples);
 }
 
 std::vector<size_t> ReportManager::ranked(RankPolicy Policy) const {
@@ -146,6 +155,15 @@ unsigned ReportManager::suppress(const std::set<std::string> &Suppressed) {
   size_t Before = Reports.size();
   std::erase_if(Reports, [&](const ErrorReport &R) {
     return Suppressed.count(historyKey(R)) != 0;
+  });
+  return Before - Reports.size();
+}
+
+unsigned
+ReportManager::suppressFingerprints(const std::set<uint64_t> &Suppressed) {
+  size_t Before = Reports.size();
+  std::erase_if(Reports, [&](const ErrorReport &R) {
+    return Suppressed.count(R.Fingerprint) != 0;
   });
   return Before - Reports.size();
 }
@@ -244,7 +262,15 @@ void ReportManager::printJson(raw_ostream &OS, RankPolicy Policy) const {
     }
     OS << ", \"interprocedural\": " << (R.Interprocedural ? "true" : "false")
        << ", \"distance\": " << R.DistanceLines << ", \"conditionals\": "
-       << R.Conditionals << "}";
+       << R.Conditionals;
+    std::string Hex;
+    appendHex64(R.Fingerprint, Hex);
+    OS << ", \"fingerprint\": \"" << Hex << '"';
+    if (auto It = Lifecycle.find(R.Fingerprint); It != Lifecycle.end()) {
+      OS << ", \"lifecycle\": ";
+      jsonEscape(OS, It->second);
+    }
+    OS << "}";
     if (Rank + 1 != Order.size())
       OS << ',';
     OS << '\n';
@@ -270,6 +296,8 @@ void ReportManager::print(raw_ostream &OS, RankPolicy Policy) const {
       OS << " (interprocedural, depth " << R.CallChainLength << ')';
     if (!R.RuleKey.empty())
       OS.printf(" {rule %s z=%.2f}", R.RuleKey.c_str(), ruleZ(R.RuleKey));
+    if (auto It = Lifecycle.find(R.Fingerprint); It != Lifecycle.end())
+      OS << " [" << It->second << ']';
     OS << '\n';
   }
   renderIncidentsText(OS, Incidents);

@@ -120,6 +120,30 @@ public:
   /// false-positive suppression, Section 8). Returns how many were dropped.
   unsigned suppress(const std::set<std::string> &Suppressed);
 
+  /// Drops every report whose stable fingerprint is in \p Suppressed (the
+  /// baseline store's `--suppress-known` path and triage-marked
+  /// suppressions). Returns how many were dropped.
+  unsigned suppressFingerprints(const std::set<uint64_t> &Suppressed);
+
+  /// Attaches lifecycle classes from a baseline diff: fingerprint -> "new" /
+  /// "known". print() annotates tagged reports and printJson() emits a
+  /// "lifecycle" field; untagged reports render exactly as before, so output
+  /// without a baseline is byte-identical to prior releases.
+  void setLifecycle(std::map<uint64_t, std::string> Tags) {
+    Lifecycle = std::move(Tags);
+  }
+  const std::map<uint64_t, std::string> &lifecycle() const {
+    return Lifecycle;
+  }
+
+  /// Installs the accumulated cross-run population for statistical ranking:
+  /// ruleZ() adds these counts to the current run's, so z-statistics sharpen
+  /// as the baseline store accumulates checks and violations over many runs
+  /// (docs/REPORTS.md). Current-run counters via rules() are unaffected.
+  void setRulePrior(std::map<std::string, RuleStats> Prior) {
+    RulePrior = std::move(Prior);
+  }
+
   /// Pretty-prints the ranked reports, followed by the "analysis incomplete"
   /// trailer when any root was degraded or quarantined (output stays
   /// byte-identical to a fault-free run when there are no incidents).
@@ -134,6 +158,8 @@ private:
   std::vector<ErrorReport> Reports;
   std::map<std::string, RuleStats> Rules;
   std::vector<RootIncident> Incidents;
+  std::map<uint64_t, std::string> Lifecycle;
+  std::map<std::string, RuleStats> RulePrior;
 };
 
 /// The history key of a report: fields that are "relatively invariant under

@@ -20,6 +20,7 @@
 #ifndef MC_REPORT_WITNESS_H
 #define MC_REPORT_WITNESS_H
 
+#include "support/Hash.h"
 #include "support/SourceManager.h"
 
 #include <cstdint>
@@ -79,6 +80,38 @@ struct WitnessJournal {
 
   friend bool operator==(const WitnessJournal &,
                          const WitnessJournal &) = default;
+};
+
+/// The shape accumulator behind stable report fingerprints: a running
+/// content hash of the path's checker-relevant events — step kinds, tracked
+/// objects' tree-key text, state names, callee names, branch-condition text.
+/// Deliberately NO source locations: a fingerprint derived from the trail
+/// survives line insertion/deletion and unrelated edits (code motion), the
+/// property the persistent baseline store keys on (docs/REPORTS.md).
+///
+/// Unlike the witness journal this is always on: two plain integers, O(1) to
+/// fork-copy at path splits, mixed at exactly the sites the journal appends
+/// (plus none of its capture gating), so a report's fingerprint never
+/// depends on whether --explain was requested.
+struct ShapeTrail {
+  uint64_t Hash = kFnvOffsetBasis;
+  uint32_t Steps = 0;
+
+  /// Folds one event into the trail. Strings are length-delimited so
+  /// adjacent fields cannot alias ("ab"+"c" vs "a"+"bc").
+  void mix(WitnessStep::Kind K, std::string_view Object, std::string_view From,
+           std::string_view To) {
+    Hash = fnv1a64(uint64_t(uint8_t(K)), Hash);
+    Hash = fnv1a64(Object, Hash);
+    Hash = fnv1a64(uint64_t(Object.size()), Hash);
+    Hash = fnv1a64(From, Hash);
+    Hash = fnv1a64(uint64_t(From.size()), Hash);
+    Hash = fnv1a64(To, Hash);
+    Hash = fnv1a64(uint64_t(To.size()), Hash);
+    ++Steps;
+  }
+
+  friend bool operator==(const ShapeTrail &, const ShapeTrail &) = default;
 };
 
 /// Stable lower-case name of \p K ("transition", "branch", "call",

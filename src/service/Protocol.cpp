@@ -97,6 +97,9 @@ void ServiceRequest::serialize(raw_ostream &OS) const {
   writeJsonString(OS, Format);
   OS << ", \"explain_top_n\": " << ExplainTopN;
   OS << ", \"keep_going\": " << jsonBool(KeepGoing);
+  OS << ", \"baseline\": ";
+  writeJsonString(OS, Baseline);
+  OS << ", \"suppress_known\": " << jsonBool(SuppressKnown);
   OS << ", \"options\": {\"block_cache\": " << jsonBool(Options.BlockCache)
      << ", \"function_summaries\": " << jsonBool(Options.FunctionSummaries)
      << ", \"false_path_pruning\": " << jsonBool(Options.FalsePathPruning)
@@ -428,6 +431,10 @@ bool ServiceRequest::parse(std::string_view Line, std::string *Err) {
     }
     if (Key == "keep_going")
       return P.parseBool(R.KeepGoing);
+    if (Key == "baseline")
+      return P.parseString(R.Baseline);
+    if (Key == "suppress_known")
+      return P.parseBool(R.SuppressKnown);
     if (Key == "options")
       return P.parseObject([&](const std::string &K) -> bool {
         if (K == "block_cache")

@@ -89,6 +89,11 @@ struct ServiceRequest {
   std::string Format = "text";   ///< text | json.
   unsigned ExplainTopN = 0;      ///< --explain[=N]; 0 = off.
   bool KeepGoing = false;        ///< --keep-going.
+  /// --baseline DIR: report-lifecycle baseline directory, resolved against
+  /// the *server's* cwd ("" = no baseline). The server keeps one resident
+  /// store per directory; classification still happens per request.
+  std::string Baseline;
+  bool SuppressKnown = false;    ///< --suppress-known.
 
   /// The engine-option subset a request may override (the rest keep their
   /// EngineOptions defaults, same as the CLI).

@@ -8,6 +8,7 @@
 
 #include "checkers/FaultInjector.h"
 #include "driver/Tool.h"
+#include "lifecycle/BaselineStore.h"
 #include "report/Witness.h"
 #include "support/RawOstream.h"
 #include "support/ThreadPool.h"
@@ -150,6 +151,10 @@ struct ServiceServer::Impl {
   /// from the journal at startup.
   QuarantineTable Quarantine;
   std::set<uint64_t> Suspects;
+  /// Resident baseline stores, one per requested directory (executor-thread-
+  /// only). Kept warm across requests like the caches; every recordRun still
+  /// saves to disk, so standalone triage sees each run as it lands.
+  std::map<std::string, std::unique_ptr<BaselineStore>> Baselines;
 
   int ListenFd = -1;
   int WakeR = -1, WakeW = -1;
@@ -621,6 +626,33 @@ void ServiceServer::Impl::execute(const ServiceRequest &Req,
 
   Tool.run(Opts);
 
+  // Report-lifecycle classification against the resident baseline store for
+  // the requested directory (opened on first use, kept warm after), exactly
+  // where the standalone driver does it: before any output is rendered, so
+  // the tags and suppressions land in the same bytes.
+  BaselineDelta Delta;
+  const bool BaselineOn = !Req.Baseline.empty();
+  bool BaselineWriteFailed = false;
+  if (BaselineOn) {
+    std::unique_ptr<BaselineStore> &Store = Baselines[Req.Baseline];
+    if (!Store) {
+      Store = std::make_unique<BaselineStore>();
+      std::string Err;
+      if (!Store->open(Req.Baseline, &Err)) {
+        Baselines.erase(Req.Baseline);
+        return Fail("cannot open baseline store '" + Req.Baseline +
+                    "': " + Err);
+      }
+    }
+    Delta = Store->recordRun(Tool.reports(), Req.SuppressKnown);
+    std::string Err;
+    if (!Store->save(&Err)) {
+      LogOS << "xgcc: cannot write baseline store '" << Req.Baseline
+            << "': " << Err << '\n';
+      BaselineWriteFailed = true;
+    }
+  }
+
   // Output assembly: the exact byte sequence a standalone run prints.
   std::string OutBuf;
   raw_string_ostream OutOS(OutBuf);
@@ -629,12 +661,24 @@ void ServiceServer::Impl::execute(const ServiceRequest &Req,
   } else {
     Tool.reports().print(OutOS, Policy);
     OutOS << Tool.reports().size() << " report(s)\n";
+    if (BaselineOn)
+      OutOS << "baseline: " << Delta.NewCount << " new, " << Delta.KnownCount
+            << " known, " << Delta.FixedCount << " fixed, "
+            << Delta.SuppressedCount << " suppressed\n";
     if (Opts.Reporting.ExplainTopN)
       renderExplainText(OutOS, Tool.reports(), Tool.sourceManager(), Policy,
                         Opts.Reporting.ExplainTopN);
   }
 
   RunManifest Man = Tool.manifest(Opts, ParseOk);
+  if (BaselineOn) {
+    Man.Baseline.Enabled = true;
+    Man.Baseline.RunOrdinal = Delta.RunOrdinal;
+    Man.Baseline.NewCount = Delta.NewCount;
+    Man.Baseline.KnownCount = Delta.KnownCount;
+    Man.Baseline.FixedCount = Delta.FixedCount;
+    Man.Baseline.SuppressedCount = Delta.SuppressedCount;
+  }
   // Collect this run's checker faults *before* appending the synthetic
   // exclusion incidents (those carry Fault too, but describe old news).
   for (const RootIncident &Inc : Man.Incidents)
@@ -673,6 +717,10 @@ void ServiceServer::Impl::execute(const ServiceRequest &Req,
              Tool.reports().anyDegraded())
       Resp.ExitCode = 1;
   }
+  // A run whose classification could not be persisted must not look like it
+  // was (mirrors the standalone --baseline write-failure policy).
+  if (BaselineWriteFailed)
+    Resp.ExitCode = 1;
 }
 
 //===----------------------------------------------------------------------===//

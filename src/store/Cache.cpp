@@ -8,6 +8,7 @@
 
 #include "cfront/AST.h"
 #include "cfront/Serialize.h"
+#include "store/Persist.h"
 #include "support/RawOstream.h"
 
 #include <algorithm>
@@ -181,74 +182,8 @@ const Stmt *NodeIndex::nodeOf(const std::string &Fn, uint32_t Ordinal) const {
 }
 
 //===----------------------------------------------------------------------===//
-// Artifact payload encoding
+// Artifact payload encoding (grammar primitives live in store/Persist.h)
 //===----------------------------------------------------------------------===//
-
-namespace {
-
-void putVarint(std::string &Out, uint64_t V) {
-  while (V >= 0x80) {
-    Out.push_back(char(uint8_t(V) | 0x80));
-    V >>= 7;
-  }
-  Out.push_back(char(uint8_t(V)));
-}
-
-void putStr(std::string &Out, std::string_view S) {
-  putVarint(Out, S.size());
-  Out.append(S);
-}
-
-void putLoc(std::string &Out, SourceLoc L) {
-  putVarint(Out, L.fileID());
-  putVarint(Out, L.offset());
-}
-
-struct PayloadReader {
-  const std::string &In;
-  size_t Pos = 0;
-  bool Failed = false;
-
-  uint8_t byte() {
-    if (Pos >= In.size()) {
-      Failed = true;
-      return 0;
-    }
-    return uint8_t(In[Pos++]);
-  }
-  uint64_t varint() {
-    uint64_t V = 0;
-    unsigned Shift = 0;
-    for (;;) {
-      uint8_t B = byte();
-      V |= uint64_t(B & 0x7f) << Shift;
-      if (!(B & 0x80))
-        return V;
-      Shift += 7;
-      if (Shift > 63) {
-        Failed = true;
-        return 0;
-      }
-    }
-  }
-  std::string str() {
-    uint64_t Len = varint();
-    if (Failed || Pos + Len > In.size()) {
-      Failed = true;
-      return {};
-    }
-    std::string S(In, Pos, Len);
-    Pos += Len;
-    return S;
-  }
-  SourceLoc loc() {
-    unsigned File = unsigned(varint());
-    unsigned Off = unsigned(varint());
-    return SourceLoc(File, Off);
-  }
-};
-
-} // namespace
 
 std::string RootArtifact::serialize() const {
   std::string Out;
@@ -270,6 +205,7 @@ std::string RootArtifact::serialize() const {
     putStr(Out, R.RuleKey);
     putLoc(Out, R.ErrorLoc);
     putStr(Out, R.WitnessKey);
+    putVarint(Out, R.Fingerprint);
     putVarint(Out, R.Steps.size());
     for (const WitnessStep &S : R.Steps) {
       Out.push_back(char(S.K));
@@ -332,6 +268,7 @@ bool RootArtifact::parse(const std::string &Payload, std::string *Err) {
     R.RuleKey = P.str();
     R.ErrorLoc = P.loc();
     R.WitnessKey = P.str();
+    R.Fingerprint = P.varint();
     uint64_t NumSteps = P.varint();
     if (P.Failed || NumSteps > Payload.size())
       return Fail("corrupt witness table");
@@ -405,43 +342,6 @@ bool RootArtifact::parse(const std::string &Payload, std::string *Err) {
 //===----------------------------------------------------------------------===//
 // AnalysisCache
 //===----------------------------------------------------------------------===//
-
-namespace {
-
-constexpr char kFileMagic[4] = {'M', 'C', 'C', '1'};
-constexpr size_t kHeaderSize = 16;
-
-std::string packHeader(AnalysisCache::Kind K, const std::string &Payload) {
-  std::string H(kFileMagic, sizeof(kFileMagic));
-  H.push_back(char(K));
-  H.push_back(char(kCacheFormatVersion));
-  H.push_back(0);
-  H.push_back(0);
-  uint64_t Sum = fnv1a64(Payload);
-  for (int I = 0; I != 8; ++I)
-    H.push_back(char(uint8_t(Sum >> (I * 8))));
-  return H;
-}
-
-/// Validates the header of \p Raw; returns the failure reason or null.
-const char *checkHeader(AnalysisCache::Kind K, const std::string &Raw) {
-  if (Raw.size() < kHeaderSize)
-    return "truncated header";
-  if (Raw.compare(0, sizeof(kFileMagic), kFileMagic, sizeof(kFileMagic)) != 0)
-    return "bad magic";
-  if (Raw[4] != char(K))
-    return "wrong store kind";
-  if (uint8_t(Raw[5]) != kCacheFormatVersion)
-    return "format version mismatch";
-  uint64_t Sum = 0;
-  for (int I = 0; I != 8; ++I)
-    Sum |= uint64_t(uint8_t(Raw[8 + I])) << (I * 8);
-  if (Sum != fnv1a64(std::string_view(Raw).substr(kHeaderSize)))
-    return "checksum mismatch";
-  return nullptr;
-}
-
-} // namespace
 
 AnalysisCache::AnalysisCache(std::string D) : Dir(std::move(D)) {
   std::error_code EC;
@@ -523,7 +423,7 @@ bool AnalysisCache::load(Kind K, uint64_t Key, std::string &PayloadOut) {
     Counters.add(MissName);
     return false;
   }
-  if (const char *Why = checkHeader(K, Raw)) {
+  if (const char *Why = checkPersistHeader(char(K), kCacheFormatVersion, Raw)) {
     errs() << "xgcc: cache: dropping corrupt entry " << Path << " (" << Why
            << ")\n";
     Counters.add(kCacheEvictionsCorrupt);
@@ -532,7 +432,7 @@ bool AnalysisCache::load(Kind K, uint64_t Key, std::string &PayloadOut) {
     fs::remove(Path, EC);
     return false;
   }
-  PayloadOut.assign(Raw, kHeaderSize, Raw.size() - kHeaderSize);
+  PayloadOut.assign(Raw, kPersistHeaderSize, Raw.size() - kPersistHeaderSize);
   return true;
 }
 
@@ -547,28 +447,12 @@ void AnalysisCache::dropEntry(Kind K, uint64_t Key) {
 void AnalysisCache::store(Kind K, uint64_t Key, const std::string &Payload) {
   if (!Usable)
     return;
-  std::string Path = entryPath(K, Key);
-  std::string Tmp = Path + ".tmp" + std::to_string(::getpid());
-  std::string Bytes = packHeader(K, Payload);
+  std::string Bytes = packPersistHeader(char(K), kCacheFormatVersion, Payload);
   Bytes += Payload;
-  if (!writeFileBytes(Tmp, Bytes)) {
-    // Short write or open failure (ENOSPC and friends). A partial temp file
-    // is litter a later run would never clean: unlink it now and account for
-    // the drop, so a fault-injected store leaves the directory exactly as it
-    // found it.
-    std::error_code EC;
-    fs::remove(Tmp, EC);
-    Counters.add(kCacheWriteFailures);
-    if (!WarnedWriteFailure)
-      errs() << "xgcc: cache: cannot write to '" << Dir
-             << "'; new entries dropped\n";
-    WarnedWriteFailure = true;
-    return;
-  }
-  std::error_code EC;
-  fs::rename(Tmp, Path, EC);
-  if (EC) {
-    fs::remove(Tmp, EC);
+  // Atomic write; on failure (short write, ENOSPC, rename refusal) the temp
+  // file is already unlinked, so a fault-injected store leaves the directory
+  // exactly as it found it.
+  if (!writeFileAtomic(entryPath(K, Key), Bytes, nullptr)) {
     Counters.add(kCacheWriteFailures);
     if (!WarnedWriteFailure)
       errs() << "xgcc: cache: cannot write to '" << Dir

@@ -53,7 +53,8 @@ class Stmt;
 /// Bump this when any on-disk encoding changes (cache file header, artifact
 /// payload grammar, per-TU image grammar, or a hashing scheme). Old entries
 /// then read as version-mismatched and silently miss.
-inline constexpr uint8_t kCacheFormatVersion = 1;
+/// v2: ErrorReport gained the stable Fingerprint field.
+inline constexpr uint8_t kCacheFormatVersion = 2;
 
 //===----------------------------------------------------------------------===//
 // Stable statement identity

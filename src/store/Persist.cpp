@@ -1,0 +1,134 @@
+//===- store/Persist.cpp - Shared on-disk persistence helpers ----------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/Persist.h"
+
+#include "cfront/Serialize.h" // writeFileBytes
+#include "support/Hash.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include <unistd.h>
+
+using namespace mc;
+
+namespace fs = std::filesystem;
+
+void mc::putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(char(uint8_t(V) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(char(uint8_t(V)));
+}
+
+void mc::putStr(std::string &Out, std::string_view S) {
+  putVarint(Out, S.size());
+  Out.append(S);
+}
+
+void mc::putLoc(std::string &Out, SourceLoc L) {
+  putVarint(Out, L.fileID());
+  putVarint(Out, L.offset());
+}
+
+uint8_t PayloadReader::byte() {
+  if (Pos >= In.size()) {
+    Failed = true;
+    return 0;
+  }
+  return uint8_t(In[Pos++]);
+}
+
+uint64_t PayloadReader::varint() {
+  uint64_t V = 0;
+  unsigned Shift = 0;
+  for (;;) {
+    uint8_t B = byte();
+    V |= uint64_t(B & 0x7f) << Shift;
+    if (!(B & 0x80))
+      return V;
+    Shift += 7;
+    if (Shift > 63) {
+      Failed = true;
+      return 0;
+    }
+  }
+}
+
+std::string PayloadReader::str() {
+  uint64_t Len = varint();
+  if (Failed || Pos + Len > In.size()) {
+    Failed = true;
+    return {};
+  }
+  std::string S(In, Pos, Len);
+  Pos += Len;
+  return S;
+}
+
+SourceLoc PayloadReader::loc() {
+  unsigned File = unsigned(varint());
+  unsigned Off = unsigned(varint());
+  return SourceLoc(File, Off);
+}
+
+namespace {
+constexpr char kFileMagic[4] = {'M', 'C', 'C', '1'};
+} // namespace
+
+std::string mc::packPersistHeader(char Kind, uint8_t Version,
+                                  const std::string &Payload) {
+  std::string H(kFileMagic, sizeof(kFileMagic));
+  H.push_back(Kind);
+  H.push_back(char(Version));
+  H.push_back(0);
+  H.push_back(0);
+  uint64_t Sum = fnv1a64(Payload);
+  for (int I = 0; I != 8; ++I)
+    H.push_back(char(uint8_t(Sum >> (I * 8))));
+  return H;
+}
+
+const char *mc::checkPersistHeader(char Kind, uint8_t Version,
+                                   const std::string &Raw) {
+  if (Raw.size() < kPersistHeaderSize)
+    return "truncated header";
+  if (Raw.compare(0, sizeof(kFileMagic), kFileMagic, sizeof(kFileMagic)) != 0)
+    return "bad magic";
+  if (Raw[4] != Kind)
+    return "wrong store kind";
+  if (uint8_t(Raw[5]) != Version)
+    return "format version mismatch";
+  uint64_t Sum = 0;
+  for (int I = 0; I != 8; ++I)
+    Sum |= uint64_t(uint8_t(Raw[8 + I])) << (I * 8);
+  if (Sum != fnv1a64(std::string_view(Raw).substr(kPersistHeaderSize)))
+    return "checksum mismatch";
+  return nullptr;
+}
+
+bool mc::writeFileAtomic(const std::string &Path, const std::string &Bytes,
+                         std::string *Err) {
+  std::string Tmp = Path + ".tmp" + std::to_string(long(::getpid()));
+  if (!writeFileBytes(Tmp, Bytes)) {
+    std::error_code EC;
+    fs::remove(Tmp, EC);
+    if (Err)
+      *Err = "cannot write temporary file '" + Tmp + "'";
+    return false;
+  }
+  std::error_code EC;
+  fs::rename(Tmp, Path, EC);
+  if (EC) {
+    fs::remove(Tmp, EC);
+    if (Err)
+      *Err = "cannot rename temporary file into '" + Path + "'";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,91 @@
+//===- store/Persist.h - Shared on-disk persistence helpers -----*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistence primitives every on-disk store in the project shares: the
+/// varint/length-prefixed payload grammar, the bounds-checked PayloadReader,
+/// the versioned+checksummed file frame, and the atomic temp-file+rename
+/// write. The incremental cache (store/Cache.*) and the report-lifecycle
+/// baseline store (lifecycle/BaselineStore.*) both encode through these, so
+/// their corruption behaviour is identical: any malformed, truncated or
+/// version-skewed file is detected at the frame before a single payload byte
+/// is interpreted.
+///
+/// File frame:
+///
+///   "MCC1" kind(1) version(1) reserved(2) checksum(8 LE) payload...
+///
+/// where checksum = FNV-1a of the payload bytes. The kind byte namespaces
+/// stores sharing a directory; the version byte lets each store evolve its
+/// payload grammar independently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_STORE_PERSIST_H
+#define MC_STORE_PERSIST_H
+
+#include "support/SourceManager.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mc {
+
+//===----------------------------------------------------------------------===//
+// Payload grammar primitives
+//===----------------------------------------------------------------------===//
+
+/// Appends \p V as a LEB128-style varint.
+void putVarint(std::string &Out, uint64_t V);
+
+/// Appends \p S length-prefixed (varint length, then raw bytes).
+void putStr(std::string &Out, std::string_view S);
+
+/// Appends \p L as (fileID, offset) varints.
+void putLoc(std::string &Out, SourceLoc L);
+
+/// Cursor over a payload. Every accessor is bounds-checked; the first
+/// overrun latches Failed and all subsequent reads return zero values, so
+/// decoders validate once at the end instead of after every field.
+struct PayloadReader {
+  const std::string &In;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  uint8_t byte();
+  uint64_t varint();
+  std::string str();
+  SourceLoc loc();
+};
+
+//===----------------------------------------------------------------------===//
+// File frame
+//===----------------------------------------------------------------------===//
+
+/// Magic + kind + version + reserved + checksum.
+inline constexpr size_t kPersistHeaderSize = 16;
+
+/// Builds the 16-byte frame header for \p Payload.
+std::string packPersistHeader(char Kind, uint8_t Version,
+                              const std::string &Payload);
+
+/// Validates the frame of \p Raw (magic, kind, version, payload checksum).
+/// Returns the failure reason, or null when the frame is intact and the
+/// payload starts at kPersistHeaderSize.
+const char *checkPersistHeader(char Kind, uint8_t Version,
+                               const std::string &Raw);
+
+/// Writes \p Bytes to \p Path through a pid-suffixed temp file + rename, so
+/// a crashed writer never leaves a half-written file under a valid name. On
+/// failure the temp file is removed and \p Err (when non-null) receives a
+/// one-line reason.
+bool writeFileAtomic(const std::string &Path, const std::string &Bytes,
+                     std::string *Err);
+
+} // namespace mc
+
+#endif // MC_STORE_PERSIST_H

@@ -22,6 +22,7 @@
 #define MC_SUPPORT_HASH_H
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 namespace mc {

@@ -1,0 +1,70 @@
+//===- support/OptionParser.cpp - Shared command-line cursor --------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OptionParser.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace mc {
+
+const char *OptionParser::take() {
+  if (I + 1 >= Argc)
+    return nullptr;
+  return Argv[++I];
+}
+
+bool OptionParser::value(const char *Name, const char **V) {
+  *V = nullptr;
+  if (Cur == Name) {
+    *V = take();
+    return true;
+  }
+  size_t N = std::strlen(Name);
+  if (Cur.size() > N + 1 && Cur.compare(0, N, Name) == 0 && Cur[N] == '=') {
+    *V = Cur.c_str() + N + 1;
+    return true;
+  }
+  return false;
+}
+
+bool OptionParser::optionalValue(const char *Name, const char **V) {
+  *V = nullptr;
+  if (Cur == Name) {
+    // Consume a following argument only when it is all digits, so a bare
+    // "--explain file.c" keeps file.c as an input.
+    if (I + 1 < Argc) {
+      const char *Peek = Argv[I + 1];
+      bool AllDigits = *Peek != '\0';
+      for (const char *P = Peek; *P; ++P)
+        if (!std::isdigit(static_cast<unsigned char>(*P)))
+          AllDigits = false;
+      if (AllDigits)
+        *V = Argv[++I];
+    }
+    return true;
+  }
+  // "--flag=" (empty value) matches here too: the caller sees "" and can
+  // reject it with its own diagnostic instead of "unknown option".
+  size_t N = std::strlen(Name);
+  if (Cur.size() > N && Cur.compare(0, N, Name) == 0 && Cur[N] == '=') {
+    *V = Cur.c_str() + N + 1;
+    return true;
+  }
+  return false;
+}
+
+bool OptionParser::prefixValue(const char *Prefix, const char **V) {
+  *V = nullptr;
+  size_t N = std::strlen(Prefix);
+  if (Cur.size() > N && Cur.compare(0, N, Prefix) == 0) {
+    *V = Cur.c_str() + N;
+    return true;
+  }
+  return false;
+}
+
+} // namespace mc

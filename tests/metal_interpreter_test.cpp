@@ -56,10 +56,9 @@ public:
     Effects.push_back(E);
   }
   void markTransition() override { Transitioned = true; }
-  void reportError(std::string Message, const VarState *,
-                   std::string GroupKey) override {
-    Errors.push_back(std::move(Message));
-    ErrorGroups.push_back(std::move(GroupKey));
+  void report(const ReportBuilder &B) override {
+    Errors.push_back(B.Message);
+    ErrorGroups.push_back(B.GroupKey);
   }
   void countExample(const std::string &K) override { ++Examples[K]; }
   void countViolation(const std::string &K) override { ++Violations[K]; }
