@@ -250,6 +250,35 @@ int main(int argc, char **argv) {
   double SpawnRps = SpawnSecs > 0 ? SpawnRequests / SpawnSecs : 0;
   double Speedup = SpawnRps > 0 ? DaemonRps / SpawnRps : 0;
 
+  // The status RPC: end-to-end latency percentiles for the whole request
+  // stream, straight from the daemon's own histograms — and a consistency
+  // check that their totals equal the requests this bench actually sent.
+  uint64_t P50 = 0, P95 = 0, P99 = 0;
+  bool StatusOk = false;
+  uint64_t HistTotal = 0, ServedTotal = 0;
+  {
+    ServiceStatusRequest StReq;
+    StReq.Id = "bench-status";
+    std::string Reply, Err;
+    ServiceStatusReply St;
+    if (serviceRoundTrip(Sock, StReq.serializeToString(), Reply, &Err) &&
+        St.parse(Reply, &Err)) {
+      StatusOk = St.UptimeMs > 0;
+      ServedTotal = St.Total;
+      // Merge the per-status e2e histograms into one stream-wide
+      // distribution (merge is commutative; order cannot matter).
+      HistogramSnapshot E2e;
+      for (const ServiceStatusReply::HistogramEntry &H : St.Histograms)
+        if (H.Name.compare(0, 15, "service.e2e_ms.") == 0)
+          E2e.merge(H.Snap);
+      HistTotal = E2e.count();
+      P50 = E2e.percentile(50);
+      P95 = E2e.percentile(95);
+      P99 = E2e.percentile(99);
+      StatusOk = StatusOk && HistTotal == ServedTotal;
+    }
+  }
+
   // Drain: SIGTERM must exit 0.
   ::kill(Daemon, SIGTERM);
   int Status = -1;
@@ -261,6 +290,12 @@ int main(int argc, char **argv) {
   OS.printf("spawn:  %u warm processes in %.1f ms (%.1f req/s)\n",
             SpawnRequests, SpawnSecs * 1000, SpawnRps);
   OS.printf("daemon/spawn throughput: %.1fx\n", Speedup);
+  OS.printf("e2e latency (ms, bucket upper bounds): p50<=%llu p95<=%llu "
+            "p99<=%llu over %llu request(s)\n",
+            (unsigned long long)P50, (unsigned long long)P95,
+            (unsigned long long)P99, (unsigned long long)HistTotal);
+  OS << "status RPC consistent (histogram totals == requests served): "
+     << (StatusOk ? "yes" : "NO") << "\n";
   OS << "responses byte-identical to standalone stdout: "
      << (Identical ? "yes" : "NO") << "\n";
   OS << "SIGTERM drain exited 0: " << (DrainOk ? "yes" : "NO") << "\n";
@@ -268,7 +303,8 @@ int main(int argc, char **argv) {
   bool SpeedOk = Smoke || Speedup >= 3.0;
   if (!SpeedOk)
     OS << "THROUGHPUT GATE FAILED: expected >= 3x\n";
-  bool Ok = ColdOk && WarmOk && SpawnOk && Identical && DrainOk && SpeedOk;
+  bool Ok = ColdOk && WarmOk && SpawnOk && Identical && DrainOk && SpeedOk &&
+            StatusOk;
 
   BenchJson("service_throughput")
       .num("wall_ms", Timer.ms())
@@ -277,6 +313,10 @@ int main(int argc, char **argv) {
       .num("speedup", Speedup)
       .count("warm_requests", WarmRequests)
       .count("spawn_requests", SpawnRequests)
+      .count("e2e_p50_ms", P50)
+      .count("e2e_p95_ms", P95)
+      .count("e2e_p99_ms", P99)
+      .flag("status_ok", StatusOk)
       .flag("identical", Identical)
       .flag("ok", Ok)
       .emit(OS);

@@ -15,6 +15,10 @@
 //   xgcc-triage mark DIR FP STATUS      set a report's lifecycle status
 //                                       (active | fixed | suppressed)
 //   xgcc-triage manifest FILE           the reports a manifest recorded
+//   xgcc-triage status SOCK             ask a live xgccd what it is doing
+//                                       (uptime, request ledger, quarantine,
+//                                       latency percentiles — the status RPC,
+//                                       docs/OBSERVABILITY.md)
 //
 // All output is deterministic: listings order by (ordinal, fingerprint),
 // never by map iteration over floats or wall-clock anything.
@@ -24,6 +28,8 @@
 #include "engine/RunManifest.h"
 #include "cfront/Serialize.h" // readFileBytes
 #include "lifecycle/BaselineStore.h"
+#include "service/Client.h"
+#include "service/Protocol.h"
 #include "support/Hash.h"
 #include "support/OptionParser.h"
 #include "support/RawOstream.h"
@@ -44,7 +50,8 @@ int usage(int Code) {
      << "  top DIR [--limit N]\n"
      << "  diff DIR RUN_A RUN_B\n"
      << "  mark DIR FINGERPRINT active|fixed|suppressed\n"
-     << "  manifest FILE\n";
+     << "  manifest FILE\n"
+     << "  status SOCKET\n";
   return Code;
 }
 
@@ -257,6 +264,59 @@ int cmdManifest(const std::string &Path) {
   return 0;
 }
 
+/// The status RPC client: one mc.service-status.v1 line to a live daemon,
+/// pretty-printed. Answered on a connection thread without queueing, so this
+/// works even when the executor is saturated.
+int cmdStatus(const std::string &SocketPath) {
+  ServiceStatusRequest Req;
+  Req.Id = "triage-status";
+  std::string Reply, Err;
+  if (!serviceRoundTrip(SocketPath, Req.serializeToString(), Reply, &Err)) {
+    errs() << "xgcc-triage: " << Err << '\n';
+    return 1;
+  }
+  ServiceStatusReply St;
+  if (!St.parse(Reply, &Err)) {
+    errs() << "xgcc-triage: malformed status reply: " << Err << '\n';
+    return 1;
+  }
+
+  outs() << "xgccd on " << SocketPath << '\n';
+  outs() << "  uptime: " << St.UptimeMs << " ms\n";
+  outs() << "  requests: " << St.Total << " (" << St.Ok << " ok, "
+         << St.Incomplete << " incomplete, " << St.Overloaded
+         << " overloaded, " << St.Retriable << " retriable, " << St.Error
+         << " error)\n";
+  outs() << "  peak queue depth: " << St.PeakQueueDepth << '\n';
+  if (!St.Quarantine.empty()) {
+    outs() << "  quarantine:\n";
+    for (const ServiceStatusReply::QuarantineEntry &Q : St.Quarantine)
+      outs() << "    " << Q.Checker << ": "
+             << (Q.Remaining ? "blocked, re-probe in " +
+                                   std::to_string(Q.Remaining) + " request(s)"
+                             : std::string("on probation"))
+             << ", " << Q.Faults << " fault(s)\n";
+  }
+  if (!St.Baselines.empty()) {
+    outs() << "  resident baselines:\n";
+    for (const std::string &Dir : St.Baselines)
+      outs() << "    " << Dir << '\n';
+  }
+  if (!St.CacheCounters.empty()) {
+    outs() << "  cache:\n";
+    for (const auto &[Name, Value] : St.CacheCounters)
+      outs() << "    " << Name << ": " << Value << '\n';
+  }
+  if (!St.Histograms.empty()) {
+    outs() << "  latency (ms; bucket upper bounds):\n";
+    for (const ServiceStatusReply::HistogramEntry &H : St.Histograms)
+      outs() << "    " << H.Name << ": n=" << H.Snap.count()
+             << " p50<=" << H.P50 << " p95<=" << H.P95 << " p99<=" << H.P99
+             << '\n';
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -316,5 +376,7 @@ int main(int Argc, char **Argv) {
     return cmdMark(Positional[0], Positional[1], Positional[2]);
   if (Command == "manifest" && Positional.size() == 1)
     return cmdManifest(Positional[0]);
+  if (Command == "status" && Positional.size() == 1)
+    return cmdStatus(Positional[0]);
   return usage(2);
 }

@@ -21,6 +21,22 @@
 //   --cache-max-mb N         evict oldest cache entries beyond N MiB at drain
 //   --allow-inject           honor requests' fault-injection block (tests)
 //
+// Observability options (docs/OBSERVABILITY.md):
+//   --log-file PATH          structured JSONL event log (mc.service-event.v1,
+//                            one object per admission/completion/shed/fault/
+//                            quarantine/drain; size-capped rotation)
+//   --log-max-bytes N        event-log rotation cap in bytes (default 4 MiB)
+//   --slow-request-ms N      flight-recorder slow threshold: a request whose
+//                            queue+run time meets N is captured under
+//                            <cache-dir>/flightrec/ (0 = off; retriable and
+//                            error terminals are captured regardless)
+//   --flightrec-max N        captures kept in the flight-recorder ring
+//                            (default 16; oldest evicted beyond it)
+//
+// A live daemon answers `mc.service-status.v1` lines (send one with
+// `xgcc-triage status SOCK` or `xgccd --client`) on the connection thread,
+// without queueing: uptime, requests by status, quarantine, histograms.
+//
 // SIGTERM/SIGINT drain gracefully: stop admitting, answer everything already
 // admitted, flush the stores, exit 0. See docs/SERVICE.md for the wire
 // schema and the status taxonomy.
@@ -51,7 +67,23 @@ void printUsage() {
   outs() << "usage: xgccd --socket PATH --cache-dir DIR [--max-queue N]\n"
          << "             [--default-deadline-ms N] [--jobs N]\n"
          << "             [--cache-max-mb N] [--allow-inject]\n"
+         << "             [--log-file PATH] [--log-max-bytes N]\n"
+         << "             [--slow-request-ms N] [--flightrec-max N]\n"
          << "       xgccd --client --socket PATH\n";
+}
+
+/// Strict all-digits parse for count-valued flags: "12x" and "" are
+/// rejected, not silently truncated by strtoull.
+bool parseCount(const char *V, uint64_t &Out) {
+  if (!V || !*V)
+    return false;
+  Out = 0;
+  for (const char *C = V; *C; ++C) {
+    if (*C < '0' || *C > '9')
+      return false;
+    Out = Out * 10 + uint64_t(*C - '0');
+  }
+  return true;
 }
 
 ServiceServer *ActiveServer = nullptr;
@@ -140,6 +172,37 @@ int main(int Argc, char **Argv) {
     }
     if (P.value("--cache-max-mb", &V)) {
       Cfg.CacheMaxMB = V ? std::strtoull(V, nullptr, 10) : 0;
+      continue;
+    }
+    if (P.value("--log-file", &V)) {
+      Cfg.LogFile = V ? V : "";
+      if (Cfg.LogFile.empty()) {
+        errs() << "xgccd: --log-file expects a path\n";
+        return 2;
+      }
+      continue;
+    }
+    if (P.value("--log-max-bytes", &V)) {
+      if (!parseCount(V, Cfg.LogMaxBytes) || !Cfg.LogMaxBytes) {
+        errs() << "xgccd: --log-max-bytes expects a positive count\n";
+        return 2;
+      }
+      continue;
+    }
+    if (P.value("--slow-request-ms", &V)) {
+      if (!parseCount(V, Cfg.SlowRequestMs)) {
+        errs() << "xgccd: --slow-request-ms expects a non-negative count\n";
+        return 2;
+      }
+      continue;
+    }
+    if (P.value("--flightrec-max", &V)) {
+      uint64_t N = 0;
+      if (!parseCount(V, N) || !N) {
+        errs() << "xgccd: --flightrec-max expects a positive count\n";
+        return 2;
+      }
+      Cfg.FlightRecMax = unsigned(N);
       continue;
     }
     errs() << "xgccd: unknown option '" << Arg << "'\n";

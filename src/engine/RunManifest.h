@@ -33,7 +33,7 @@ namespace mc {
 inline constexpr const char *kRunManifestSchema = "mc.run-manifest.v1";
 /// The reproduction's version (PR sequence): stamped into every manifest so
 /// trajectory tooling can segment by tool revision.
-inline constexpr const char *kToolVersion = "0.8.0";
+inline constexpr const char *kToolVersion = "0.9.0";
 
 /// One step of a report's witness path, with its source location already
 /// decoded (manifests outlive the SourceManager that produced them).

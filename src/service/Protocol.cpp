@@ -481,6 +481,103 @@ bool ServiceRequest::parse(std::string_view Line, std::string *Err) {
   return true;
 }
 
+std::string mc::peekServiceSchema(std::string_view Line) {
+  LineParser P(Line, nullptr);
+  std::string Schema;
+  P.parseObject([&](const std::string &Key) {
+    if (Key == "schema")
+      return P.parseString(Schema);
+    return P.skipValue();
+  });
+  return Schema; // Whatever was seen before any malformed tail.
+}
+
+//===----------------------------------------------------------------------===//
+// Status RPC
+//===----------------------------------------------------------------------===//
+
+void ServiceStatusRequest::serialize(raw_ostream &OS) const {
+  OS << "{\"schema\": \"" << kServiceStatusRequestSchema << "\", \"id\": ";
+  writeJsonString(OS, Id);
+  OS << '}';
+}
+
+std::string ServiceStatusRequest::serializeToString() const {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  serialize(OS);
+  OS.flush();
+  return Buf;
+}
+
+bool ServiceStatusRequest::parse(std::string_view Line, std::string *Err) {
+  if (Err)
+    Err->clear();
+  LineParser P(Line, Err);
+  ServiceStatusRequest R;
+  std::string Schema;
+  bool Ok = P.parseObject([&](const std::string &Key) -> bool {
+    if (Key == "schema")
+      return P.parseString(Schema);
+    if (Key == "id")
+      return P.parseString(R.Id);
+    return P.skipValue();
+  });
+  if (!Ok)
+    return false;
+  if (!P.atEnd())
+    return P.fail("trailing bytes after status request");
+  if (Schema != kServiceStatusRequestSchema)
+    return P.fail("not an mc.service-status.v1 line");
+  *this = std::move(R);
+  return true;
+}
+
+void ServiceStatusReply::serialize(raw_ostream &OS) const {
+  OS << "{\"schema\": \"" << kServiceStatusReplySchema << "\", \"id\": ";
+  writeJsonString(OS, Id);
+  OS << ", \"uptime_ms\": " << UptimeMs;
+  OS << ", \"requests\": {\"ok\": " << Ok << ", \"incomplete\": " << Incomplete
+     << ", \"overloaded\": " << Overloaded << ", \"retriable\": " << Retriable
+     << ", \"error\": " << Error << ", \"total\": " << Total << '}';
+  OS << ", \"peak_queue_depth\": " << PeakQueueDepth;
+  OS << ", \"quarantine\": [";
+  for (size_t I = 0; I != Quarantine.size(); ++I) {
+    OS << (I ? ", {" : "{") << "\"checker\": ";
+    writeJsonString(OS, Quarantine[I].Checker);
+    OS << ", \"remaining\": " << Quarantine[I].Remaining
+       << ", \"faults\": " << Quarantine[I].Faults << '}';
+  }
+  OS << ']';
+  writeStringArray(OS, "baselines", Baselines);
+  OS << ", \"cache\": [";
+  for (size_t I = 0; I != CacheCounters.size(); ++I) {
+    OS << (I ? ", {" : "{") << "\"name\": ";
+    writeJsonString(OS, CacheCounters[I].first);
+    OS << ", \"value\": " << CacheCounters[I].second << '}';
+  }
+  OS << ']';
+  OS << ", \"histograms\": [";
+  for (size_t I = 0; I != Histograms.size(); ++I) {
+    const HistogramEntry &H = Histograms[I];
+    OS << (I ? ", {" : "{") << "\"name\": ";
+    writeJsonString(OS, H.Name);
+    OS << ", \"p50\": " << H.P50 << ", \"p95\": " << H.P95
+       << ", \"p99\": " << H.P99 << ", \"data\": ";
+    H.Snap.writeJson(OS);
+    OS << '}';
+  }
+  OS << "]}";
+}
+
+std::string ServiceStatusReply::serializeToString() const {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  serialize(OS);
+  OS.flush();
+  return Buf;
+}
+
 bool ServiceResponse::parse(std::string_view Line, std::string *Err) {
   if (Err)
     Err->clear();
@@ -525,6 +622,127 @@ bool ServiceResponse::parse(std::string_view Line, std::string *Err) {
     return P.fail("trailing bytes after response");
   if (Schema != kServiceResponseSchema)
     return P.fail("not an mc.service-response.v1 line");
+  *this = std::move(R);
+  return true;
+}
+
+bool ServiceStatusReply::parse(std::string_view Line, std::string *Err) {
+  if (Err)
+    Err->clear();
+  LineParser P(Line, Err);
+  ServiceStatusReply R;
+  std::string Schema;
+
+  auto ParseHistData = [&](HistogramSnapshot &Snap) {
+    return P.parseObject([&](const std::string &K) -> bool {
+      if (K == "sum")
+        return P.parseUInt(Snap.Sum);
+      if (K == "buckets")
+        return P.parseArray([&] {
+          uint64_t B = 0, N = 0;
+          if (!P.parseObject([&](const std::string &BK) -> bool {
+                if (BK == "b")
+                  return P.parseUInt(B);
+                if (BK == "n")
+                  return P.parseUInt(N);
+                return P.skipValue();
+              }))
+            return false;
+          if (B >= HistogramSnapshot::kBuckets)
+            return P.fail("bucket index out of range");
+          Snap.Buckets[B] = N;
+          return true;
+        });
+      // "count" is derived from the buckets; skip it (and unknowns).
+      return P.skipValue();
+    });
+  };
+
+  bool Ok = P.parseObject([&](const std::string &Key) -> bool {
+    if (Key == "schema")
+      return P.parseString(Schema);
+    if (Key == "id")
+      return P.parseString(R.Id);
+    if (Key == "uptime_ms")
+      return P.parseUInt(R.UptimeMs);
+    if (Key == "requests")
+      return P.parseObject([&](const std::string &K) -> bool {
+        if (K == "ok")
+          return P.parseUInt(R.Ok);
+        if (K == "incomplete")
+          return P.parseUInt(R.Incomplete);
+        if (K == "overloaded")
+          return P.parseUInt(R.Overloaded);
+        if (K == "retriable")
+          return P.parseUInt(R.Retriable);
+        if (K == "error")
+          return P.parseUInt(R.Error);
+        if (K == "total")
+          return P.parseUInt(R.Total);
+        return P.skipValue();
+      });
+    if (Key == "peak_queue_depth")
+      return P.parseUInt(R.PeakQueueDepth);
+    if (Key == "quarantine")
+      return P.parseArray([&] {
+        QuarantineEntry E;
+        if (!P.parseObject([&](const std::string &K) -> bool {
+              if (K == "checker")
+                return P.parseString(E.Checker);
+              if (K == "remaining")
+                return P.parseUInt(E.Remaining);
+              if (K == "faults")
+                return P.parseUInt(E.Faults);
+              return P.skipValue();
+            }))
+          return false;
+        R.Quarantine.push_back(std::move(E));
+        return true;
+      });
+    if (Key == "baselines")
+      return P.parseStringArray(R.Baselines);
+    if (Key == "cache")
+      return P.parseArray([&] {
+        std::pair<std::string, uint64_t> C;
+        if (!P.parseObject([&](const std::string &K) -> bool {
+              if (K == "name")
+                return P.parseString(C.first);
+              if (K == "value")
+                return P.parseUInt(C.second);
+              return P.skipValue();
+            }))
+          return false;
+        R.CacheCounters.push_back(std::move(C));
+        return true;
+      });
+    if (Key == "histograms")
+      return P.parseArray([&] {
+        HistogramEntry H;
+        if (!P.parseObject([&](const std::string &K) -> bool {
+              if (K == "name")
+                return P.parseString(H.Name);
+              if (K == "p50")
+                return P.parseUInt(H.P50);
+              if (K == "p95")
+                return P.parseUInt(H.P95);
+              if (K == "p99")
+                return P.parseUInt(H.P99);
+              if (K == "data")
+                return ParseHistData(H.Snap);
+              return P.skipValue();
+            }))
+          return false;
+        R.Histograms.push_back(std::move(H));
+        return true;
+      });
+    return P.skipValue();
+  });
+  if (!Ok)
+    return false;
+  if (!P.atEnd())
+    return P.fail("trailing bytes after status reply");
+  if (Schema != kServiceStatusReplySchema)
+    return P.fail("not an mc.service-status-reply.v1 line");
   *this = std::move(R);
   return true;
 }

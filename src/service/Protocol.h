@@ -22,6 +22,8 @@
 #ifndef MC_SERVICE_PROTOCOL_H
 #define MC_SERVICE_PROTOCOL_H
 
+#include "support/Histogram.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -35,6 +37,15 @@ class raw_ostream;
 /// Schema identifiers; bump on breaking changes.
 inline constexpr const char *kServiceRequestSchema = "mc.service-request.v1";
 inline constexpr const char *kServiceResponseSchema = "mc.service-response.v1";
+inline constexpr const char *kServiceStatusRequestSchema =
+    "mc.service-status.v1";
+inline constexpr const char *kServiceStatusReplySchema =
+    "mc.service-status-reply.v1";
+
+/// The `schema` value of one wire line, or "" when the line is not an object
+/// carrying one. This is how the server routes a line to the right parser
+/// without attempting (and diagnosing) every schema in turn.
+std::string peekServiceSchema(std::string_view Line);
 
 /// Terminal status of one request. The taxonomy is the robustness contract:
 /// a client can branch on status alone without parsing diagnostics.
@@ -172,6 +183,84 @@ struct ServiceResponse {
 
   friend bool operator==(const ServiceResponse &,
                          const ServiceResponse &) = default;
+};
+
+/// The status RPC request (`mc.service-status.v1`): ask a live daemon what
+/// it is doing. Answered on the connection thread, without entering the
+/// worker queue — a wedged executor cannot make the daemon unobservable.
+struct ServiceStatusRequest {
+  /// Client-chosen correlation id, echoed verbatim in the reply.
+  std::string Id;
+
+  void serialize(raw_ostream &OS) const;
+  std::string serializeToString() const;
+  bool parse(std::string_view Line, std::string *Err = nullptr);
+
+  friend bool operator==(const ServiceStatusRequest &,
+                         const ServiceStatusRequest &) = default;
+};
+
+/// The status RPC reply (`mc.service-status-reply.v1`). Everything a load
+/// balancer, a dashboard, or an operator mid-incident wants from a running
+/// daemon: uptime, the request ledger by terminal status, queue pressure,
+/// quarantine state, resident warm state, and the latency distributions.
+/// See docs/SERVICE.md ("Status RPC") for the schema.
+struct ServiceStatusReply {
+  std::string Id;       ///< Echo of the request id.
+  uint64_t UptimeMs = 0; ///< Since start(); a live daemon reports >= 1.
+
+  /// Requests answered so far, by terminal status (status queries
+  /// themselves are not requests and are not counted).
+  uint64_t Ok = 0;
+  uint64_t Incomplete = 0;
+  uint64_t Overloaded = 0;
+  uint64_t Retriable = 0;
+  uint64_t Error = 0;
+  uint64_t Total = 0;
+
+  /// High-water mark of the admission queue depth.
+  uint64_t PeakQueueDepth = 0;
+
+  /// The cross-request quarantine table, sorted by checker name.
+  struct QuarantineEntry {
+    std::string Checker;
+    uint64_t Remaining = 0; ///< Completed requests until re-probe.
+    uint64_t Faults = 0;    ///< Lifetime fault count (backoff exponent).
+
+    friend bool operator==(const QuarantineEntry &,
+                           const QuarantineEntry &) = default;
+  };
+  std::vector<QuarantineEntry> Quarantine;
+
+  /// Resident baseline store directories, sorted.
+  std::vector<std::string> Baselines;
+
+  /// Cumulative cache counters (the `cache.*` dotted names) summed over
+  /// every request served, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> CacheCounters;
+
+  /// The latency histograms: `service.{queue_ms,run_ms,e2e_ms}.<status>`,
+  /// sorted by name. Every request records into all three families, so each
+  /// family's counts sum to Total. Percentiles are precomputed bucket upper
+  /// bounds (serialize∘parse∘serialize stays the identity).
+  struct HistogramEntry {
+    std::string Name;
+    uint64_t P50 = 0;
+    uint64_t P95 = 0;
+    uint64_t P99 = 0;
+    HistogramSnapshot Snap;
+
+    friend bool operator==(const HistogramEntry &,
+                           const HistogramEntry &) = default;
+  };
+  std::vector<HistogramEntry> Histograms;
+
+  void serialize(raw_ostream &OS) const;
+  std::string serializeToString() const;
+  bool parse(std::string_view Line, std::string *Err = nullptr);
+
+  friend bool operator==(const ServiceStatusReply &,
+                         const ServiceStatusReply &) = default;
 };
 
 } // namespace mc

@@ -72,6 +72,20 @@ struct ServiceConfig {
   unsigned QuarantineCleanRequests = 2;
   unsigned QuarantineMaxBackoff = 64;
   raw_ostream *Log = nullptr; ///< Server log (null = errs()).
+
+  /// --log-file: structured JSONL event log path ("" = off). One
+  /// mc.service-event.v1 object per admission/completion/shed/quarantine/
+  /// fault/drain, monotonic sequence numbers, size-capped rotation
+  /// (docs/OBSERVABILITY.md).
+  std::string LogFile;
+  uint64_t LogMaxBytes = 0; ///< Event-log rotation cap (0 = 4 MiB default).
+  /// --slow-request-ms: a completed request whose queue+run time meets this
+  /// threshold is captured by the flight recorder (0 = slow capture off;
+  /// `retriable`/`error` terminals are captured regardless).
+  uint64_t SlowRequestMs = 0;
+  /// --flightrec-max: bounded ring of flight-recorder captures kept under
+  /// <cache-dir>/flightrec/ (oldest evicted beyond this).
+  unsigned FlightRecMax = 16;
 };
 
 /// The cross-request checker quarantine with exponential-backoff re-probe.
@@ -139,6 +153,20 @@ public:
   unsigned faultCount(const std::string &Checker) const {
     auto It = Table.find(Checker);
     return It == Table.end() ? 0 : It->second.Faults;
+  }
+
+  /// Every tracked entry — blocked *and* on probation — sorted by checker
+  /// name (the status RPC's view of the table).
+  struct EntrySnapshot {
+    std::string Checker;
+    unsigned Remaining;
+    unsigned Faults;
+  };
+  std::vector<EntrySnapshot> snapshotEntries() const {
+    std::vector<EntrySnapshot> Out;
+    for (const auto &[Name, E] : Table)
+      Out.push_back({Name, E.Remaining, E.Faults});
+    return Out;
   }
 
 private:

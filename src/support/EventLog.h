@@ -1,0 +1,106 @@
+//===- support/EventLog.h - Bounded structured JSONL event log --*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's structured event log: one `mc.service-event.v1` JSON object
+/// per line, append-only, with monotonic sequence numbers and size-capped
+/// rotation. This replaces grepping ad-hoc stderr prose — every operational
+/// event (admission, completion, shed, quarantine, fault, drain) lands as a
+/// machine-parseable record that tooling can tail.
+///
+/// Rotation: when appending the next line would push the file past the size
+/// cap, the current file is renamed to `<path>.1` (replacing any previous
+/// one) and a fresh file is opened — at most two generations on disk, so the
+/// log is bounded at roughly twice the cap. Sequence numbers keep counting
+/// across rotation, so a consumer can detect the gap.
+///
+/// A default-constructed (or unopened) log is disabled: emit() is a cheap
+/// no-op, so call sites are unconditional. I/O uses plain stdio on purpose,
+/// like the request journal — the FaultInjector's fs knobs aim at the store,
+/// and a disk-fault test must not eat operational evidence instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_EVENTLOG_H
+#define MC_SUPPORT_EVENTLOG_H
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mc {
+
+inline constexpr const char *kServiceEventSchema = "mc.service-event.v1";
+
+/// One event under construction: a type plus key/value fields, emitted in
+/// insertion order (after the fixed schema/seq/event prefix).
+class ServiceEvent {
+public:
+  explicit ServiceEvent(std::string_view Type) : Type(Type) {}
+
+  ServiceEvent &str(std::string_view Key, std::string_view Value) {
+    Fields.emplace_back(std::string(Key), std::string(Value), /*Quoted=*/true);
+    return *this;
+  }
+
+  ServiceEvent &num(std::string_view Key, uint64_t Value) {
+    Fields.emplace_back(std::string(Key), std::to_string(Value),
+                        /*Quoted=*/false);
+    return *this;
+  }
+
+private:
+  friend class EventLog;
+  struct Field {
+    Field(std::string K, std::string V, bool Q)
+        : Key(std::move(K)), Value(std::move(V)), Quoted(Q) {}
+    std::string Key;
+    std::string Value;
+    bool Quoted;
+  };
+  std::string Type;
+  std::vector<Field> Fields;
+};
+
+/// The log itself. Thread-safe: emit() serializes under one mutex (events
+/// are rare relative to analysis work; a line is one fwrite + fflush).
+class EventLog {
+public:
+  EventLog() = default;
+  ~EventLog();
+  EventLog(const EventLog &) = delete;
+  EventLog &operator=(const EventLog &) = delete;
+
+  /// Opens (appending) \p Path with rotation cap \p MaxBytes (0 picks the
+  /// 4 MiB default). False with \p Err set when the file cannot be opened.
+  bool open(const std::string &Path, uint64_t MaxBytes, std::string *Err);
+
+  bool enabled() const { return File != nullptr; }
+
+  /// Appends \p E as one `mc.service-event.v1` line and returns its
+  /// sequence number (0 when the log is disabled — seq numbering is
+  /// 1-based). Rotates first when the line would blow the cap.
+  uint64_t emit(const ServiceEvent &E);
+
+  /// Flushes and closes (emit becomes a no-op again).
+  void close();
+
+private:
+  std::mutex Mu;
+  std::FILE *File = nullptr;
+  std::string Path;
+  uint64_t MaxBytes = 0;
+  uint64_t CurBytes = 0;
+  uint64_t NextSeq = 1;
+};
+
+} // namespace mc
+
+#endif // MC_SUPPORT_EVENTLOG_H

@@ -1,0 +1,135 @@
+//===- support/Histogram.cpp - Fixed-bucket log2 histograms ---------------===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include "support/Metrics.h"
+#include "support/RawOstream.h"
+
+#include <bit>
+#include <cmath>
+
+using namespace mc;
+
+unsigned HistogramSnapshot::bucketFor(uint64_t V) {
+  if (V == 0)
+    return 0;
+  // floor(log2(V)) + 1: value 1 -> bucket 1, [2, 3] -> 2, [4, 7] -> 3, ...
+  unsigned I = unsigned(std::bit_width(V));
+  return I >= kBuckets ? kBuckets - 1 : I;
+}
+
+uint64_t HistogramSnapshot::bucketUpperBound(unsigned I) {
+  if (I == 0)
+    return 0;
+  if (I >= kBuckets - 1)
+    return UINT64_MAX; // Overflow bucket: unbounded above.
+  return (uint64_t(1) << I) - 1;
+}
+
+uint64_t HistogramSnapshot::count() const {
+  uint64_t N = 0;
+  for (uint64_t B : Buckets)
+    N += B;
+  return N;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot &O) {
+  for (unsigned I = 0; I != kBuckets; ++I)
+    Buckets[I] += O.Buckets[I];
+  Sum += O.Sum;
+}
+
+uint64_t HistogramSnapshot::percentile(double P) const {
+  uint64_t N = count();
+  if (N == 0)
+    return 0;
+  if (P < 0)
+    P = 0;
+  if (P > 100)
+    P = 100;
+  // The sample at rank ceil(P/100 * N), 1-based; P = 0 still reads the first
+  // occupied bucket (rank 1).
+  uint64_t Rank = uint64_t(std::ceil(P / 100.0 * double(N)));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I != kBuckets; ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Rank)
+      return bucketUpperBound(I);
+  }
+  return bucketUpperBound(kBuckets - 1);
+}
+
+void HistogramSnapshot::writeJson(raw_ostream &OS, bool IncludeValues) const {
+  if (!IncludeValues) {
+    OS << "{\"count\": 0, \"sum\": 0, \"buckets\": []}";
+    return;
+  }
+  OS << "{\"count\": " << count() << ", \"sum\": " << Sum
+     << ", \"buckets\": [";
+  bool First = true;
+  for (unsigned I = 0; I != kBuckets; ++I) {
+    if (!Buckets[I])
+      continue;
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << "{\"b\": " << I << ", \"n\": " << Buckets[I] << '}';
+  }
+  OS << "]}";
+}
+
+void HistogramSnapshot::exportTo(MetricsSnapshot &Snap, std::string_view Prefix,
+                                 bool IncludeValues) const {
+  std::string P(Prefix);
+  Snap.add(P + ".count", IncludeValues ? count() : 0);
+  Snap.add(P + ".sum", IncludeValues ? Sum : 0);
+  Snap.add(P + ".p50", IncludeValues ? percentile(50) : 0);
+  Snap.add(P + ".p95", IncludeValues ? percentile(95) : 0);
+  Snap.add(P + ".p99", IncludeValues ? percentile(99) : 0);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot S;
+  for (unsigned I = 0; I != HistogramSnapshot::kBuckets; ++I)
+    S.Buckets[I] = Cells[I].load(std::memory_order_relaxed);
+  S.Sum = Sum.load(std::memory_order_relaxed);
+  return S;
+}
+
+Histogram *HistogramRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Name);
+  if (It != Index.end())
+    return It->second;
+  Histogram &Cell = Cells.emplace_back();
+  Index.emplace(std::string(Name), &Cell);
+  return &Cell;
+}
+
+size_t HistogramRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Index.size();
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+HistogramRegistry::snapshotAll() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::pair<std::string, HistogramSnapshot>> Out;
+  Out.reserve(Index.size());
+  // std::map iterates in name order — the deterministic output order.
+  for (const auto &[Name, H] : Index)
+    Out.emplace_back(Name, H->snapshot());
+  return Out;
+}
+
+void HistogramRegistry::exportTo(MetricsSnapshot &Snap,
+                                 bool IncludeValues) const {
+  for (const auto &[Name, S] : snapshotAll())
+    S.exportTo(Snap, "hist." + Name, IncludeValues);
+}

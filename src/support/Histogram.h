@@ -1,0 +1,151 @@
+//===- support/Histogram.h - Fixed-bucket log2 histograms -------*- C++ -*-===//
+//
+// Part of the metal/xgcc reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-bucket log2 histograms for latency/size distributions, built on the
+/// same concurrency model as MetricsRegistry: registration is mutex-guarded
+/// and hands back a stable pointer; the hot path is one relaxed fetch_add on
+/// an atomic bucket cell — no locks, no allocation, no clock reads.
+///
+/// The bucket layout is fixed so merge is deterministic: bucket 0 holds the
+/// value 0, bucket i (1 <= i <= 62) holds [2^(i-1), 2^i - 1], and bucket 63
+/// is the overflow bucket [2^62, +inf). Merging two snapshots sums their
+/// buckets — commutative and associative, so aggregation order never changes
+/// the result (the MetricsSnapshot contract, extended to distributions).
+///
+/// Percentiles read out as the *upper bound* of the bucket holding the
+/// requested rank, so a reported p99 is a true "no more than" statement.
+///
+/// Determinism: like traces (Trace.h's exportChromeJson(IncludeTimes=false)),
+/// histograms carry timing data that varies run to run, so they never enter
+/// a deterministic byte surface with live values. writeJson/exportTo take an
+/// IncludeValues switch; with it false only the structure (name, bucket
+/// vocabulary) is emitted with every count zeroed, which is what
+/// byte-identity tests compare. Run manifests exclude service histograms
+/// entirely — the status RPC and BENCH_JSON are their output surfaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MC_SUPPORT_HISTOGRAM_H
+#define MC_SUPPORT_HISTOGRAM_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mc {
+
+class raw_ostream;
+class MetricsSnapshot;
+
+/// A point-in-time copy of one histogram: plain integers, copyable,
+/// comparable, mergeable. This is the aggregation currency — readers
+/// snapshot, then merge/compute on the snapshot, never on live cells.
+struct HistogramSnapshot {
+  static constexpr unsigned kBuckets = 64;
+
+  uint64_t Buckets[kBuckets] = {};
+  /// Sum of every recorded value (saturating on overflow is not handled;
+  /// callers record milliseconds, not nanoseconds, for a reason).
+  uint64_t Sum = 0;
+
+  /// The bucket a value lands in: 0 for 0, floor(log2(V))+1 clamped to the
+  /// overflow bucket otherwise.
+  static unsigned bucketFor(uint64_t V);
+  /// The largest value bucket \p I holds (0 for bucket 0, 2^I - 1 for the
+  /// middle buckets, UINT64_MAX for the overflow bucket).
+  static uint64_t bucketUpperBound(unsigned I);
+
+  /// Total recorded samples.
+  uint64_t count() const;
+
+  /// Sums \p O into this snapshot bucket by bucket. Commutative and
+  /// associative — merge order never changes the result.
+  void merge(const HistogramSnapshot &O);
+
+  /// The upper bound of the bucket holding the sample at rank
+  /// ceil(P/100 * count): "P percent of samples were <= this". 0 on an
+  /// empty histogram. \p P is clamped to [0, 100]; P = 0 reads the first
+  /// occupied bucket's bound, P = 100 the last's.
+  uint64_t percentile(double P) const;
+
+  /// Writes `{"count": N, "sum": S, "buckets": [{"b": I, "n": N}, ...]}`
+  /// (occupied buckets only, ascending). With \p IncludeValues false every
+  /// number is 0 and the bucket array is empty — the time-stripped mode
+  /// byte-identity tests compare, mirroring trace export.
+  void writeJson(raw_ostream &OS, bool IncludeValues = true) const;
+
+  /// Adds `<Prefix>.count`, `<Prefix>.sum`, `<Prefix>.p50/p95/p99` to \p
+  /// Snap, so distributions flow into the same name→value currency counters
+  /// use (BENCH_JSON's metrics block, the status reply's flat view). With
+  /// \p IncludeValues false the names land with value 0.
+  void exportTo(MetricsSnapshot &Snap, std::string_view Prefix,
+                bool IncludeValues = true) const;
+
+  friend bool operator==(const HistogramSnapshot &,
+                         const HistogramSnapshot &) = default;
+};
+
+/// The live histogram: an array of atomic bucket cells. Safe to record from
+/// any thread; record() is exactly two relaxed fetch_adds.
+class Histogram {
+public:
+  Histogram() = default;
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  void record(uint64_t V) {
+    Cells[HistogramSnapshot::bucketFor(V)].fetch_add(
+        1, std::memory_order_relaxed);
+    Sum.fetch_add(V, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+
+private:
+  std::atomic<uint64_t> Cells[HistogramSnapshot::kBuckets] = {};
+  std::atomic<uint64_t> Sum{0};
+};
+
+/// Named histograms, registered alongside counters: registration takes a
+/// mutex and returns a stable `Histogram *`; the deque never moves cells.
+class HistogramRegistry {
+public:
+  HistogramRegistry() = default;
+  HistogramRegistry(const HistogramRegistry &) = delete;
+  HistogramRegistry &operator=(const HistogramRegistry &) = delete;
+
+  /// Registers (or finds) \p Name. The pointer is stable for the registry's
+  /// lifetime — cache it and record() on hot paths.
+  Histogram *histogram(std::string_view Name);
+
+  /// Convenience record for cold paths (one map lookup per call).
+  void record(std::string_view Name, uint64_t V) { histogram(Name)->record(V); }
+
+  size_t size() const;
+
+  /// Snapshots every histogram, sorted by name (deterministic output order).
+  std::vector<std::pair<std::string, HistogramSnapshot>> snapshotAll() const;
+
+  /// exportTo on every registered histogram, prefixed `hist.<name>`.
+  void exportTo(MetricsSnapshot &Snap, bool IncludeValues = true) const;
+
+private:
+  mutable std::mutex Mu;
+  /// Stable storage: deque growth never moves existing elements.
+  std::deque<Histogram> Cells;
+  std::map<std::string, Histogram *, std::less<>> Index;
+};
+
+} // namespace mc
+
+#endif // MC_SUPPORT_HISTOGRAM_H

@@ -23,9 +23,12 @@ bool OptionParser::value(const char *Name, const char **V) {
     *V = take();
     return true;
   }
+  // "--flag=" (empty value) matches with *V null, the same shape as a
+  // missing "--flag V" follower, so the caller's own diagnostic fires
+  // instead of "unknown option".
   size_t N = std::strlen(Name);
-  if (Cur.size() > N + 1 && Cur.compare(0, N, Name) == 0 && Cur[N] == '=') {
-    *V = Cur.c_str() + N + 1;
+  if (Cur.size() > N && Cur.compare(0, N, Name) == 0 && Cur[N] == '=') {
+    *V = Cur.size() > N + 1 ? Cur.c_str() + N + 1 : nullptr;
     return true;
   }
   return false;

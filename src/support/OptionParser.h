@@ -53,7 +53,7 @@ public:
 
   /// Value flag: "--flag V" (consumes the next argument) or "--flag=V".
   /// Returns true when \p Name matched; *V is null when the value was
-  /// missing ("--flag" at the end of the line).
+  /// missing ("--flag" at the end of the line, or a bare "--flag=").
   bool value(const char *Name, const char **V);
 
   /// Optional-value flag: bare "--flag", "--flag=V", or "--flag V" when the

@@ -366,4 +366,76 @@ TEST(Cli, GroupsOutput) {
   remove(Src.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// xgccd observability flags (both --flag V and --flag=V spellings)
+//===----------------------------------------------------------------------===//
+
+RunResult runXgccd(const std::string &Args) {
+  std::string Cmd = std::string(MC_XGCCD_BINARY) + " " + Args + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  RunResult R;
+  if (!Pipe)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    R.Output.append(Buf, N);
+  int Status = pclose(Pipe);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+/// A well-formed value for an xgccd flag must get past option parsing: with
+/// no --socket the daemon then prints usage (exit 2) WITHOUT a
+/// flag-diagnostic line. A malformed value must fail on the flag itself.
+void expectFlagAccepted(const std::string &Args, const char *Diagnostic) {
+  RunResult R = runXgccd(Args);
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos) << R.Output;
+  EXPECT_EQ(R.Output.find(Diagnostic), std::string::npos) << R.Output;
+}
+
+void expectFlagRejected(const std::string &Args, const char *Diagnostic) {
+  RunResult R = runXgccd(Args);
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find(Diagnostic), std::string::npos) << R.Output;
+}
+
+TEST(Cli, XgccdLogFileFlagBothSpellings) {
+  expectFlagAccepted("--log-file /tmp/ev.jsonl", "--log-file expects");
+  expectFlagAccepted("--log-file=/tmp/ev.jsonl", "--log-file expects");
+  expectFlagRejected("--log-file=", "--log-file expects a path");
+}
+
+TEST(Cli, XgccdSlowRequestMsFlagBothSpellings) {
+  expectFlagAccepted("--slow-request-ms 250", "--slow-request-ms expects");
+  expectFlagAccepted("--slow-request-ms=250", "--slow-request-ms expects");
+  // 0 is meaningful (slow capture off), in either spelling.
+  expectFlagAccepted("--slow-request-ms 0", "--slow-request-ms expects");
+  expectFlagAccepted("--slow-request-ms=0", "--slow-request-ms expects");
+  // Malformed values are rejected on the flag, not silently truncated.
+  expectFlagRejected("--slow-request-ms=12x",
+                     "--slow-request-ms expects a non-negative count");
+  expectFlagRejected("--slow-request-ms abc",
+                     "--slow-request-ms expects a non-negative count");
+  expectFlagRejected("--slow-request-ms=",
+                     "--slow-request-ms expects a non-negative count");
+}
+
+TEST(Cli, XgccdFlightrecMaxFlagBothSpellings) {
+  expectFlagAccepted("--flightrec-max 8", "--flightrec-max expects");
+  expectFlagAccepted("--flightrec-max=8", "--flightrec-max expects");
+  expectFlagRejected("--flightrec-max=0",
+                     "--flightrec-max expects a positive count");
+  expectFlagRejected("--flightrec-max nope",
+                     "--flightrec-max expects a positive count");
+}
+
+TEST(Cli, XgccdLogMaxBytesFlagBothSpellings) {
+  expectFlagAccepted("--log-max-bytes 65536", "--log-max-bytes expects");
+  expectFlagAccepted("--log-max-bytes=65536", "--log-max-bytes expects");
+  expectFlagRejected("--log-max-bytes=zero",
+                     "--log-max-bytes expects a positive count");
+}
+
 } // namespace

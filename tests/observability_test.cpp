@@ -15,6 +15,8 @@
 #include "checkers/FaultInjector.h"
 #include "driver/Tool.h"
 #include "engine/RunManifest.h"
+#include "support/EventLog.h"
+#include "support/Histogram.h"
 #include "support/Metrics.h"
 #include "support/RawOstream.h"
 #include "support/Trace.h"
@@ -22,6 +24,9 @@
 #include "gtest/gtest.h"
 
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -344,6 +349,241 @@ TEST(Formatters, StatsLineEqualsLegacyEngineStatsFields) {
   EXPECT_NE(Line.find("points=1 blocks=2 paths=3"), std::string::npos);
   EXPECT_NE(Line.find("degradation-retries=4 "), std::string::npos);
   EXPECT_NE(Line.find("arena-bytes=0 arena-slabs=0\n"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram / HistogramRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketLayoutEdges) {
+  // Bucket 0 holds exactly the value 0; bucket i holds [2^(i-1), 2^i - 1];
+  // the last bucket is the overflow bucket [2^62, +inf).
+  EXPECT_EQ(HistogramSnapshot::bucketFor(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::bucketFor(1), 1u);
+  EXPECT_EQ(HistogramSnapshot::bucketFor(2), 2u);
+  EXPECT_EQ(HistogramSnapshot::bucketFor(3), 2u);
+  EXPECT_EQ(HistogramSnapshot::bucketFor(4), 3u);
+  EXPECT_EQ(HistogramSnapshot::bucketFor(255), 8u);
+  EXPECT_EQ(HistogramSnapshot::bucketFor(256), 9u);
+  EXPECT_EQ(HistogramSnapshot::bucketFor(1ull << 61), 62u);
+  EXPECT_EQ(HistogramSnapshot::bucketFor((1ull << 62) - 1), 62u);
+  EXPECT_EQ(HistogramSnapshot::bucketFor(1ull << 62), 63u);
+  EXPECT_EQ(HistogramSnapshot::bucketFor(UINT64_MAX), 63u);
+
+  EXPECT_EQ(HistogramSnapshot::bucketUpperBound(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::bucketUpperBound(1), 1u);
+  EXPECT_EQ(HistogramSnapshot::bucketUpperBound(8), 255u);
+  EXPECT_EQ(HistogramSnapshot::bucketUpperBound(63), UINT64_MAX);
+  // Every value lands in a bucket whose bound covers it.
+  for (uint64_t V : {0ull, 1ull, 7ull, 1000ull, (1ull << 40) + 3})
+    EXPECT_GE(HistogramSnapshot::bucketUpperBound(
+                  HistogramSnapshot::bucketFor(V)),
+              V);
+}
+
+TEST(Histogram, RecordCountSumPercentile) {
+  Histogram H;
+  EXPECT_EQ(H.snapshot().count(), 0u);
+  EXPECT_EQ(H.snapshot().percentile(99), 0u); // Empty: 0 by definition.
+  for (uint64_t V : {0ull, 1ull, 2ull, 3ull, 100ull, 200ull, 5000ull})
+    H.record(V);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.count(), 7u);
+  EXPECT_EQ(S.Sum, 0u + 1 + 2 + 3 + 100 + 200 + 5000);
+  // Rank math: p50 of 7 samples is rank 4 (the sample "3", bucket bound 3).
+  EXPECT_EQ(S.percentile(50), 3u);
+  // p100 is the last occupied bucket's bound; 5000 lives in [4096, 8191].
+  EXPECT_EQ(S.percentile(100), 8191u);
+  // p0 reads the first occupied bucket (the recorded 0).
+  EXPECT_EQ(S.percentile(0), 0u);
+  // An out-of-range P clamps instead of reading out of bounds.
+  EXPECT_EQ(S.percentile(250), S.percentile(100));
+  EXPECT_EQ(S.percentile(-5), S.percentile(0));
+}
+
+TEST(Histogram, OverflowBucketReportsUpperBoundMax) {
+  Histogram H;
+  H.record(1ull << 63);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_EQ(S.percentile(50), UINT64_MAX);
+}
+
+TEST(Histogram, MergeIsDeterministicAcrossInterleavings) {
+  // Two recording orders, same values → identical snapshots; merging the
+  // per-thread halves in either order gives the same result (the
+  // MetricsSnapshot contract, extended to distributions).
+  std::vector<uint64_t> Values;
+  for (uint64_t I = 0; I != 1000; ++I)
+    Values.push_back((I * 7919) % 4096);
+
+  Histogram A, B;
+  std::thread T1([&] {
+    for (size_t I = 0; I < Values.size(); I += 2)
+      A.record(Values[I]);
+  });
+  std::thread T2([&] {
+    for (size_t I = 1; I < Values.size(); I += 2)
+      B.record(Values[I]);
+  });
+  T1.join();
+  T2.join();
+
+  HistogramSnapshot AB = A.snapshot(), BA = B.snapshot();
+  AB.merge(B.snapshot());
+  BA.merge(A.snapshot());
+  EXPECT_EQ(AB, BA);
+  EXPECT_EQ(AB.count(), Values.size());
+
+  Histogram Serial;
+  for (uint64_t V : Values)
+    Serial.record(V);
+  EXPECT_EQ(Serial.snapshot(), AB);
+}
+
+TEST(Histogram, ConcurrentRecordOnOneHistogramLosesNothing) {
+  Histogram H;
+  const unsigned Threads = 8, PerThread = 5000;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T != Threads; ++T)
+    Ts.emplace_back([&H] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        H.record(I % 100);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(H.snapshot().count(), uint64_t(Threads) * PerThread);
+}
+
+TEST(Histogram, RegistryStablePointersAndSortedSnapshot) {
+  HistogramRegistry R;
+  Histogram *Z = R.histogram("z.late");
+  Histogram *A = R.histogram("a.early");
+  EXPECT_EQ(R.histogram("z.late"), Z); // Same name, same cell.
+  R.record("z.late", 5);
+  A->record(7);
+  auto All = R.snapshotAll();
+  ASSERT_EQ(All.size(), 2u);
+  EXPECT_EQ(All[0].first, "a.early"); // Name-sorted.
+  EXPECT_EQ(All[1].first, "z.late");
+  EXPECT_EQ(All[0].second.count(), 1u);
+  EXPECT_EQ(All[1].second.Sum, 5u);
+}
+
+TEST(Histogram, JsonAndExportCarryValuesOnlyWhenAsked) {
+  Histogram H;
+  H.record(3);
+  H.record(300);
+  HistogramSnapshot S = H.snapshot();
+
+  std::string Live, Stripped;
+  {
+    raw_string_ostream OS(Live);
+    S.writeJson(OS, /*IncludeValues=*/true);
+  }
+  {
+    raw_string_ostream OS(Stripped);
+    S.writeJson(OS, /*IncludeValues=*/false);
+  }
+  EXPECT_NE(Live.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(Live.find("\"b\": 2"), std::string::npos);
+  // The stripped form is the same for every histogram with any contents —
+  // the byte-identity mode, mirroring trace export's IncludeTimes=false.
+  EXPECT_EQ(Stripped, "{\"count\": 0, \"sum\": 0, \"buckets\": []}");
+
+  MetricsSnapshot M;
+  S.exportTo(M, "hist.x");
+  EXPECT_EQ(M.value("hist.x.count"), 2u);
+  EXPECT_EQ(M.value("hist.x.sum"), 303u);
+  EXPECT_EQ(M.value("hist.x.p50"), 3u);
+  MetricsSnapshot M0;
+  S.exportTo(M0, "hist.x", /*IncludeValues=*/false);
+  EXPECT_EQ(M0.value("hist.x.count"), 0u);
+  EXPECT_EQ(M0.value("hist.x.p99"), 0u);
+  EXPECT_EQ(M0.size(), M.size()); // Same names either way: stable schema.
+}
+
+//===----------------------------------------------------------------------===//
+// EventLog
+//===----------------------------------------------------------------------===//
+
+namespace fs = std::filesystem;
+
+struct EventLogTest : ::testing::Test {
+  std::string Dir;
+  void SetUp() override {
+    Dir = (fs::path(::testing::TempDir()) /
+           ("mc-eventlog-" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name())))
+              .string();
+    std::error_code EC;
+    fs::remove_all(Dir, EC);
+    fs::create_directories(Dir, EC);
+    ASSERT_FALSE(EC);
+  }
+  void TearDown() override {
+    std::error_code EC;
+    fs::remove_all(Dir, EC);
+  }
+  static std::vector<std::string> lines(const std::string &Path) {
+    std::vector<std::string> Out;
+    std::ifstream In(Path);
+    std::string L;
+    while (std::getline(In, L))
+      Out.push_back(L);
+    return Out;
+  }
+};
+
+TEST_F(EventLogTest, DisabledEmitIsANoOp) {
+  EventLog L;
+  EXPECT_FALSE(L.enabled());
+  EXPECT_EQ(L.emit(ServiceEvent("x")), 0u);
+}
+
+TEST_F(EventLogTest, EmitsSchemaSeqAndFieldsInOrder) {
+  std::string Path = Dir + "/ev.jsonl";
+  EventLog L;
+  std::string Err;
+  ASSERT_TRUE(L.open(Path, 0, &Err)) << Err;
+  EXPECT_EQ(L.emit(ServiceEvent("start").str("socket", "/tmp/s").num("pid", 7)),
+            1u);
+  EXPECT_EQ(L.emit(ServiceEvent("complete")
+                       .str("id", "a\"b\n") // Escaping exercised.
+                       .num("run_ms", 12)),
+            2u);
+  L.close();
+
+  auto Ls = lines(Path);
+  ASSERT_EQ(Ls.size(), 2u);
+  EXPECT_EQ(Ls[0],
+            "{\"schema\": \"mc.service-event.v1\", \"seq\": 1, \"event\": "
+            "\"start\", \"socket\": \"/tmp/s\", \"pid\": 7}");
+  EXPECT_EQ(Ls[1],
+            "{\"schema\": \"mc.service-event.v1\", \"seq\": 2, \"event\": "
+            "\"complete\", \"id\": \"a\\\"b\\n\", \"run_ms\": 12}");
+}
+
+TEST_F(EventLogTest, RotationKeepsOneGenerationAndSeqKeepsClimbing) {
+  std::string Path = Dir + "/ev.jsonl";
+  EventLog L;
+  ASSERT_TRUE(L.open(Path, /*MaxBytes=*/256, nullptr));
+  uint64_t LastSeq = 0;
+  for (int I = 0; I != 20; ++I)
+    LastSeq = L.emit(ServiceEvent("tick").num("i", uint64_t(I)));
+  L.close();
+  EXPECT_EQ(LastSeq, 20u);
+
+  // The live file plus exactly one rotated generation exist, both capped.
+  ASSERT_TRUE(fs::exists(Path));
+  ASSERT_TRUE(fs::exists(Path + ".1"));
+  EXPECT_LE(fs::file_size(Path), 256u + 128u);
+  // Sequence numbers keep climbing across the rotation boundary: the last
+  // line of the live file carries the latest seq.
+  auto Ls = lines(Path);
+  ASSERT_FALSE(Ls.empty());
+  EXPECT_NE(Ls.back().find("\"seq\": 20"), std::string::npos);
 }
 
 } // namespace

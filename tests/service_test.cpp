@@ -746,4 +746,350 @@ TEST_F(ServiceTest, BadRequestsGetTypedErrors) {
   EXPECT_EQ(D.stop(), 0);
 }
 
+//===----------------------------------------------------------------------===//
+// Status RPC (mc.service-status.v1)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceProtocol, PeekSchemaRoutesLines) {
+  ServiceRequest Req;
+  EXPECT_EQ(peekServiceSchema(Req.serializeToString()),
+            kServiceRequestSchema);
+  ServiceStatusRequest St;
+  EXPECT_EQ(peekServiceSchema(St.serializeToString()),
+            kServiceStatusRequestSchema);
+  EXPECT_EQ(peekServiceSchema("not json"), "");
+  EXPECT_EQ(peekServiceSchema("{\"id\": \"no schema here\"}"), "");
+  // Peeking never requires the rest of the object to be well-formed for the
+  // *target* schema, only for JSON: routing happens before validation.
+  EXPECT_EQ(peekServiceSchema(
+                "{\"future\": [1, 2], \"schema\": \"mc.something.v9\"}"),
+            "mc.something.v9");
+}
+
+TEST(ServiceProtocol, StatusRequestRoundTripIsIdentity) {
+  ServiceStatusRequest R;
+  R.Id = "status-\"quoted\"-id";
+  std::string Line = R.serializeToString();
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+  ServiceStatusRequest Parsed;
+  std::string Err;
+  ASSERT_TRUE(Parsed.parse(Line, &Err)) << Err;
+  EXPECT_EQ(Parsed, R);
+  EXPECT_EQ(Parsed.serializeToString(), Line);
+  // A status line is not an analysis request, and vice versa.
+  ServiceRequest Analysis;
+  EXPECT_FALSE(Analysis.parse(Line, &Err));
+}
+
+TEST(ServiceProtocol, StatusReplyRoundTripIsIdentity) {
+  ServiceStatusReply R;
+  R.Id = "st-1";
+  R.UptimeMs = 123456;
+  R.Ok = 10;
+  R.Incomplete = 3;
+  R.Overloaded = 2;
+  R.Retriable = 1;
+  R.Error = 4;
+  R.Total = 20;
+  R.PeakQueueDepth = 7;
+  R.Quarantine = {{"free", 3, 2}, {"lock", 0, 1}};
+  R.Baselines = {"/tmp/base-a", "/tmp/base \"b\""};
+  R.CacheCounters = {{"cache.ast.hits", 12}, {"cache.summary.misses", 5}};
+  ServiceStatusReply::HistogramEntry H;
+  H.Name = "service.e2e_ms.ok";
+  Histogram Live;
+  Live.record(0);
+  Live.record(3);
+  Live.record(500);
+  H.Snap = Live.snapshot();
+  H.P50 = H.Snap.percentile(50);
+  H.P95 = H.Snap.percentile(95);
+  H.P99 = H.Snap.percentile(99);
+  R.Histograms.push_back(H);
+
+  std::string Line = R.serializeToString();
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+  ServiceStatusReply Parsed;
+  std::string Err;
+  ASSERT_TRUE(Parsed.parse(Line, &Err)) << Err;
+  EXPECT_EQ(Parsed, R);
+  // serialize ∘ parse ∘ serialize is the identity — the schema contract
+  // every wire struct in Protocol.h carries.
+  EXPECT_EQ(Parsed.serializeToString(), Line);
+}
+
+/// One status round-trip against a live daemon, parsed.
+ServiceStatusReply statusQuery(const Daemon &D) {
+  ServiceStatusRequest Req;
+  Req.Id = "st";
+  std::string Reply, Err;
+  ServiceStatusReply St;
+  EXPECT_TRUE(serviceRoundTrip(D.Sock, Req.serializeToString(), Reply, &Err))
+      << Err;
+  EXPECT_TRUE(St.parse(Reply, &Err)) << Err;
+  return St;
+}
+
+/// Sums the counts of every histogram in \p St whose name starts with
+/// \p Family ("service.e2e_ms." etc).
+uint64_t familyTotal(const ServiceStatusReply &St, const std::string &Family) {
+  uint64_t N = 0;
+  for (const ServiceStatusReply::HistogramEntry &H : St.Histograms)
+    if (H.Name.compare(0, Family.size(), Family) == 0)
+      N += H.Snap.count();
+  return N;
+}
+
+TEST_F(ServiceTest, StatusRpcReportsLedgerAndHistograms) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "status"));
+
+  // A fresh daemon: alive (nonzero uptime), nothing served yet.
+  ServiceStatusReply Fresh = statusQuery(D);
+  EXPECT_EQ(Fresh.Id, "st");
+  EXPECT_GE(Fresh.UptimeMs, 1u);
+  EXPECT_EQ(Fresh.Total, 0u);
+  EXPECT_TRUE(Fresh.Histograms.empty());
+
+  // Serve a mix: 3 ok, 1 error (unknown checker).
+  for (int I = 0; I != 3; ++I) {
+    ServiceRequest Req = basicRequest(Src, 1);
+    Req.Id = "ok-" + std::to_string(I);
+    EXPECT_EQ(roundTrip(D, Req).Status, ServiceStatus::Ok);
+  }
+  ServiceRequest Bad = basicRequest(Src, 1);
+  Bad.Checkers = {"no_such_checker"};
+  EXPECT_EQ(roundTrip(D, Bad).Status, ServiceStatus::Error);
+
+  ServiceStatusReply St = statusQuery(D);
+  EXPECT_EQ(St.Ok, 3u);
+  EXPECT_EQ(St.Error, 1u);
+  EXPECT_EQ(St.Total, 4u);
+  EXPECT_GE(St.UptimeMs, Fresh.UptimeMs);
+  EXPECT_GE(St.PeakQueueDepth, 1u);
+  // Status queries are not requests: the ledger counted exactly the four.
+  // Every request records into all three latency families, so each family's
+  // totals equal requests served — the consistency invariant the ISSUE pins.
+  EXPECT_EQ(familyTotal(St, "service.e2e_ms."), St.Total);
+  EXPECT_EQ(familyTotal(St, "service.queue_ms."), St.Total);
+  EXPECT_EQ(familyTotal(St, "service.run_ms."), St.Total);
+  // Warm traffic flowed through the shared cache and shows in the counters.
+  uint64_t AstTraffic = 0;
+  for (const auto &[Name, Value] : St.CacheCounters)
+    if (Name == "cache.ast.hits" || Name == "cache.ast.misses")
+      AstTraffic += Value;
+  EXPECT_GE(AstTraffic, 3u);
+
+  EXPECT_EQ(D.stop(), 0);
+}
+
+TEST_F(ServiceTest, StatusRpcSeesQuarantineTable) {
+  std::string Faulty = writeTemp(Dir, "faulty.c", FaultySource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "statq", {"--allow-inject"}));
+
+  ServiceRequest Req = basicRequest(Faulty, 1);
+  Req.Id = "poison";
+  Req.InjectKnobs.PoisonChecker = true;
+  ServiceResponse R = roundTrip(D, Req);
+  EXPECT_TRUE(R.Status == ServiceStatus::Ok ||
+              R.Status == ServiceStatus::Incomplete)
+      << R.Error;
+
+  ServiceStatusReply St = statusQuery(D);
+  ASSERT_EQ(St.Quarantine.size(), 1u);
+  EXPECT_EQ(St.Quarantine[0].Checker, "fault_injector");
+  EXPECT_EQ(St.Quarantine[0].Remaining, 2u); // The initial backoff sentence.
+  EXPECT_EQ(St.Quarantine[0].Faults, 1u);
+
+  EXPECT_EQ(D.stop(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Event log and flight recorder
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> fileLines(const std::string &Path) {
+  std::vector<std::string> Out;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Out;
+  std::string All;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    All.append(Buf, N);
+  std::fclose(F);
+  size_t Pos = 0, NL;
+  while ((NL = All.find('\n', Pos)) != std::string::npos) {
+    Out.push_back(All.substr(Pos, NL - Pos));
+    Pos = NL + 1;
+  }
+  return Out;
+}
+
+bool anyLineContains(const std::vector<std::string> &Lines,
+                     const std::string &A, const std::string &B = "") {
+  for (const std::string &L : Lines)
+    if (L.find(A) != std::string::npos &&
+        (B.empty() || L.find(B) != std::string::npos))
+      return true;
+  return false;
+}
+
+TEST_F(ServiceTest, SlowRequestLeavesFlightRecorderCaptureAndEventTrail) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  std::string EventPath = (Dir / "events.jsonl").string();
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "flight",
+                      {"--allow-inject", "--slow-request-ms", "500",
+                       "--log-file", EventPath}));
+
+  // Fast request: no capture (generous threshold so a loaded CI machine
+  // cannot push an honest tiny-file request over it).
+  EXPECT_EQ(roundTrip(D, basicRequest(Src, 1)).Status, ServiceStatus::Ok);
+  fs::path FlightDir = fs::path(D.CacheDir) / "flightrec";
+  EXPECT_TRUE(!fs::exists(FlightDir) || fs::is_empty(FlightDir));
+
+  // Injected-slow request: crosses --slow-request-ms, must be captured.
+  ServiceRequest Slow = basicRequest(Src, 1);
+  Slow.Id = "slowpoke";
+  Slow.InjectKnobs.SlowMs = 800;
+  EXPECT_EQ(roundTrip(D, Slow).Status, ServiceStatus::Ok);
+
+  // Exactly one capture: request + manifest + trace under flightrec/.
+  std::vector<std::string> Bases;
+  for (const auto &E : fs::directory_iterator(FlightDir)) {
+    std::string Name = E.path().filename().string();
+    if (Name.size() > 13 && Name.substr(Name.size() - 13) == ".request.json")
+      Bases.push_back(Name.substr(0, Name.size() - 13));
+  }
+  ASSERT_EQ(Bases.size(), 1u) << "expected exactly one capture";
+  std::string Base = Bases[0];
+  EXPECT_EQ(Base.compare(0, 4, "cap-"), 0);
+  EXPECT_TRUE(fs::exists(FlightDir / (Base + ".manifest.json")));
+  EXPECT_TRUE(fs::exists(FlightDir / (Base + ".trace.json")));
+  // The captured request is the raw wire line: it re-parses.
+  auto ReqLines = fileLines((FlightDir / (Base + ".request.json")).string());
+  ASSERT_EQ(ReqLines.size(), 1u);
+  ServiceRequest Recovered;
+  std::string Err;
+  ASSERT_TRUE(Recovered.parse(ReqLines[0], &Err)) << Err;
+  EXPECT_EQ(Recovered.Id, "slowpoke");
+
+  EXPECT_EQ(D.stop(), 0);
+
+  // The event log tells the same story: admit + complete for both requests,
+  // the slow one's completion referencing the capture by name.
+  auto Events = fileLines(EventPath);
+  EXPECT_TRUE(anyLineContains(Events, "\"event\": \"start\""));
+  EXPECT_TRUE(anyLineContains(Events, "\"event\": \"admit\"",
+                              "\"id\": \"slowpoke\""));
+  EXPECT_TRUE(anyLineContains(Events, "\"event\": \"complete\"",
+                              "\"flightrec\": \"" + Base + "\""));
+  // Sequence numbers are monotonically increasing from 1.
+  uint64_t Prev = 0;
+  for (const std::string &L : Events) {
+    size_t P = L.find("\"seq\": ");
+    ASSERT_NE(P, std::string::npos) << L;
+    uint64_t Seq = std::strtoull(L.c_str() + P + 7, nullptr, 10);
+    EXPECT_EQ(Seq, Prev + 1) << L;
+    Prev = Seq;
+  }
+  // Every event line carries the schema tag.
+  for (const std::string &L : Events)
+    EXPECT_NE(L.find("\"schema\": \"mc.service-event.v1\""),
+              std::string::npos);
+}
+
+TEST_F(ServiceTest, ErrorTerminalsAreCapturedAndTheRingIsBounded) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "ring", {"--flightrec-max", "2"}));
+
+  // Error terminals capture regardless of --slow-request-ms (not given).
+  for (int I = 0; I != 4; ++I) {
+    ServiceRequest Bad = basicRequest(Src, 1);
+    Bad.Id = "bad-" + std::to_string(I);
+    Bad.Checkers = {"no_such_checker"};
+    EXPECT_EQ(roundTrip(D, Bad).Status, ServiceStatus::Error);
+  }
+
+  // The ring kept only the 2 newest capture groups.
+  fs::path FlightDir = fs::path(D.CacheDir) / "flightrec";
+  std::set<std::string> Groups;
+  for (const auto &E : fs::directory_iterator(FlightDir)) {
+    std::string Name = E.path().filename().string();
+    ASSERT_GE(Name.size(), 11u);
+    Groups.insert(Name.substr(0, 11));
+  }
+  EXPECT_EQ(Groups.size(), 2u);
+  // And they are the *newest* two: sequences 3 and 4.
+  EXPECT_TRUE(Groups.count("cap-000003-"));
+  EXPECT_TRUE(Groups.count("cap-000004-"));
+
+  EXPECT_EQ(D.stop(), 0);
+}
+
+TEST_F(ServiceTest, DrainWritesSummaryEvent) {
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  std::string EventPath = (Dir / "events.jsonl").string();
+  Daemon D;
+  ASSERT_TRUE(D.start(Dir, "drainlog", {"--log-file", EventPath}));
+  EXPECT_EQ(roundTrip(D, basicRequest(Src, 1)).Status, ServiceStatus::Ok);
+  EXPECT_EQ(D.stop(SIGTERM), 0);
+
+  auto Events = fileLines(EventPath);
+  ASSERT_FALSE(Events.empty());
+  // The last event of a clean drain is the life summary.
+  const std::string &Last = Events.back();
+  EXPECT_NE(Last.find("\"event\": \"drain\""), std::string::npos);
+  EXPECT_NE(Last.find("\"ok\": 1"), std::string::npos);
+  EXPECT_NE(Last.find("\"total\": 1"), std::string::npos);
+  EXPECT_NE(Last.find("\"peak_queue_depth\": 1"), std::string::npos);
+  EXPECT_NE(Last.find("\"uptime_ms\": "), std::string::npos);
+}
+
+TEST_F(ServiceTest, ObservabilityNeverPerturbsResponseBytes) {
+  // The determinism gate: report and manifest bytes must be identical with
+  // the full observability surface on vs off, at jobs 1 and 8.
+  std::string Src = writeTemp(Dir, "buggy.c", BuggySource);
+  fs::path PlainDir = Dir / "plain", LoudDir = Dir / "loud";
+  std::error_code EC;
+  fs::create_directories(PlainDir, EC);
+  fs::create_directories(LoudDir, EC);
+
+  Daemon Plain, Loud;
+  ASSERT_TRUE(Plain.start(PlainDir, "plain", {"--allow-inject"}));
+  ASSERT_TRUE(Loud.start(LoudDir, "loud",
+                         {"--allow-inject", "--log-file",
+                          (LoudDir / "ev.jsonl").string(), "--slow-request-ms",
+                          "50", "--flightrec-max", "4"}));
+
+  for (unsigned Jobs : {1u, 8u}) {
+    ServiceResponse A = roundTrip(Plain, basicRequest(Src, Jobs));
+    ServiceResponse B = roundTrip(Loud, basicRequest(Src, Jobs));
+    ASSERT_EQ(A.Status, ServiceStatus::Ok) << A.Error;
+    ASSERT_EQ(B.Status, ServiceStatus::Ok) << B.Error;
+    EXPECT_EQ(A.Output, B.Output) << "jobs=" << Jobs;
+    EXPECT_EQ(A.Manifest, B.Manifest) << "jobs=" << Jobs;
+  }
+  // An injected-slow request crosses Loud's threshold, so its flight
+  // recorder runs on the exact request whose bytes must still match the
+  // plain daemon's.
+  ServiceRequest SlowA = basicRequest(Src, 1), SlowB = basicRequest(Src, 1);
+  SlowA.InjectKnobs.SlowMs = SlowB.InjectKnobs.SlowMs = 100;
+  ServiceResponse A = roundTrip(Plain, SlowA);
+  ServiceResponse B = roundTrip(Loud, SlowB);
+  ASSERT_EQ(A.Status, ServiceStatus::Ok) << A.Error;
+  ASSERT_EQ(B.Status, ServiceStatus::Ok) << B.Error;
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Manifest, B.Manifest);
+  EXPECT_FALSE(fs::is_empty(fs::path(Loud.CacheDir) / "flightrec"));
+
+  EXPECT_EQ(Plain.stop(), 0);
+  EXPECT_EQ(Loud.stop(), 0);
+}
+
 } // namespace
